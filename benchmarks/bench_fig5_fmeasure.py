@@ -1,0 +1,19 @@
+"""Figure 5 — F-Measures under each processing mode.
+
+Paper: DexLego lifts F-Measures by 33.3% / 31.1% / 23.6%; DexHunter and
+AppSpear improve results by less than 3%.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import run_fig5
+
+
+def test_fig5_f_measures(benchmark):
+    result = run_once(benchmark, run_fig5)
+    print()
+    print(result.render())
+    gains = result.extras["gains"]
+    for tool, gain in gains.items():
+        assert gain > 15.0, f"{tool} gain {gain:.1f}% too small"
+    # Ordering: the weakest original profits the most.
+    assert gains["DroidSafe"] > gains["HornDroid"] * 0.8

@@ -1,0 +1,24 @@
+"""Figure 6 — CF-Bench scores: unmodified runtime vs DexLego.
+
+Paper: 7.5x Java, 1.4x native, 2.3x overall overhead.  The absolute
+numbers here are Python-scale; the property that must hold is the shape:
+Java (interpreted) work slows substantially, native work barely.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import run_fig6
+
+
+def test_fig6_cfbench(benchmark):
+    result = run_once(benchmark, run_fig6, runs=7)
+    print()
+    print(result.render())
+    baseline = result.extras["baseline"]
+    instrumented = result.extras["instrumented"]
+    java_overhead = baseline.java_score / instrumented.java_score
+    native_overhead = baseline.native_score / instrumented.native_score
+    overall_overhead = baseline.overall_score / instrumented.overall_score
+    assert java_overhead > 1.5
+    assert native_overhead < java_overhead
+    assert native_overhead < 1.5
+    assert 1.0 <= overall_overhead <= java_overhead

@@ -1,0 +1,19 @@
+"""Table I — packer matrix over the AOSP app analogues.
+
+Paper: five services succeed on all four apps (217 / 2,507 / 78,598 /
+103,602 instructions); NetQin, APKProtect and Ijiami are unavailable.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import run_table1
+
+
+def test_table1_packers(benchmark):
+    result = run_once(benchmark, run_table1)
+    print()
+    print(result.render())
+    ok_cells = [cell for row in result.rows for cell in row[1:]
+                if cell == "OK"]
+    unavailable = [row for row in result.rows if "unavailable" in row[1:]]
+    assert len(ok_cells) == 5 * 4  # five services x four apps
+    assert len(unavailable) == 3

@@ -1,0 +1,20 @@
+"""Table II — static tools on original vs DexLego-revealed DroidBench.
+
+Paper shape: TP ordering FlowDroid < DroidSafe < HornDroid; DexLego adds
+8+ true positives and removes 5+ false positives for every tool.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import run_table2
+
+
+def test_table2_static_tools(benchmark):
+    result = run_once(benchmark, run_table2)
+    print()
+    print(result.render())
+    original = result.extras["original"]
+    dexlego = result.extras["dexlego"]
+    assert original["FlowDroid"].tp < original["HornDroid"].tp
+    for tool in ("FlowDroid", "DroidSafe", "HornDroid"):
+        assert dexlego[tool].tp >= original[tool].tp + 8
+        assert original[tool].fp - dexlego[tool].fp >= 5

@@ -1,0 +1,19 @@
+"""Table VIII — launch time with and without DexLego.
+
+Paper: roughly 2x launch-time slowdown across Snapchat / Instagram /
+WhatsApp; our analogues must show a consistent slowdown of the same
+order.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import run_table8
+
+
+def test_table8_launch_time(benchmark):
+    result = run_once(benchmark, run_table8, launches=15)
+    print()
+    print(result.render())
+    for row in result.rows:
+        slowdown = float(row[-1].rstrip("x"))
+        assert slowdown > 1.2, row
+        assert slowdown < 20, row

@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper and
+prints it.  Experiments run once per benchmark round (they are whole
+experiments, not micro-benchmarks); pytest-benchmark reports their
+wall-clock cost while the printed tables carry the scientific payload.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    result_box = {}
+
+    def call():
+        result_box["result"] = fn(*args, **kwargs)
+        return result_box["result"]
+
+    benchmark.pedantic(call, rounds=1, iterations=1)
+    return result_box["result"]

@@ -1,0 +1,14 @@
+"""Repo-level pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test-suite and benchmarks run even
+when the package has not been pip-installed (this sandbox has no network,
+and ``pip install -e .`` requires the ``wheel`` package; use
+``python setup.py develop`` or rely on this shim).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

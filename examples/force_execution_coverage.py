@@ -1,0 +1,50 @@
+"""Coverage scenario: fuzzing plateaus, force execution breaks through.
+
+Generates an F-Droid-style app whose code is half-gated behind an intent
+extra no fuzzer will guess, fuzzes it (Sapienz analogue), then runs the
+iterative force-execution engine of §IV-E and prints the coverage table.
+
+Run:  python examples/force_execution_coverage.py
+"""
+
+from repro.benchsuite import AppProfile, generate_app
+from repro.core import ForceExecutionEngine
+from repro.coverage import CoverageCollector, SapienzFuzzer
+
+
+def main() -> None:
+    app = generate_app(
+        "org.example.gated", 9000, seed=42,
+        profile=AppProfile(gated=0.50, dead=0.08, crash=0.05, handler=0.05),
+    )
+    print(f"generated app: {app.instruction_count} instructions, "
+          f"{app.class_count} classes, {app.method_count} methods")
+    print(f"  gated worker classes: {len(app.gated_methods)}")
+    print(f"  dead worker classes:  {len(app.dead_methods)}")
+    print(f"  crash-blocked:        {len(app.crash_methods)}")
+    print(f"  handler-residue:      {len(app.handler_methods)}\n")
+
+    collector = CoverageCollector()
+    fuzz_report = SapienzFuzzer(population=10).drive(app.apk, [collector])
+    sapienz = collector.report(app.apk.dex_files)
+    print(f"after fuzzing ({fuzz_report.sequences_run} event sequences):")
+    print(f"  {sapienz.as_row()}\n")
+
+    engine = ForceExecutionEngine(
+        app.apk, shared_listeners=[collector],
+        max_iterations=6, max_paths_per_iteration=220,
+    )
+    force_report = engine.run()
+    combined = collector.report(app.apk.dex_files)
+    print(f"after force execution ({force_report.paths_executed} paths, "
+          f"{force_report.iterations} iterations, "
+          f"{force_report.runs} total runs):")
+    print(f"  {combined.as_row()}\n")
+
+    print("uncovered residue = dead classes (never referenced), the code "
+          "behind the crashing native, and never-thrown exception handlers "
+          "- the paper's three categories of missed instructions.")
+
+
+if __name__ == "__main__":
+    main()

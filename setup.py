@@ -1,0 +1,23 @@
+"""Setuptools shim.
+
+The primary build configuration lives in ``pyproject.toml``; this file
+exists so the package can be installed in environments whose setuptools
+lacks PEP 660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of DexLego (DSN 2018): reassembleable bytecode "
+        "extraction for aiding static analysis"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": ["dexlego-repro = repro.harness.runner:main"],
+    },
+)

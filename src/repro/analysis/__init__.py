@@ -1,0 +1,81 @@
+"""Analysis tools: static taint tools, dynamic trackers, unpacker
+baselines, call graphs and metrics."""
+
+from repro.analysis.callgraph import CallGraph, build_call_graph, edges_preserved
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph
+from repro.analysis.dataflow import (
+    AnalysisConfig,
+    DetectedFlow,
+    StaticTaintAnalysis,
+)
+from repro.analysis.dynamic_taint import (
+    TAINTART_PROFILE,
+    TAINTDROID_PROFILE,
+    DynamicLeak,
+    DynamicTaintTracker,
+    TrackerProfile,
+    taintart,
+    taintdroid,
+)
+from repro.analysis.metrics import Confusion
+from repro.analysis.sources_sinks import (
+    SINK_SIGNATURES,
+    SOURCE_SIGNATURES,
+    is_sink,
+    is_source,
+)
+from repro.analysis.static_tools import (
+    ALL_TOOLS,
+    DROIDSAFE_LIKE,
+    FLOWDROID_LIKE,
+    HORNDROID_LIKE,
+    StaticAnalysisResult,
+    StaticTool,
+    all_tools,
+    droidsafe,
+    flowdroid,
+    horndroid,
+)
+from repro.analysis.unpacker_baselines import (
+    AppSpearLike,
+    DexHunterLike,
+    MethodLevelUnpacker,
+    UnpackResult,
+)
+
+__all__ = [
+    "ALL_TOOLS",
+    "AnalysisConfig",
+    "AppSpearLike",
+    "BasicBlock",
+    "CallGraph",
+    "Confusion",
+    "ControlFlowGraph",
+    "DROIDSAFE_LIKE",
+    "DetectedFlow",
+    "DexHunterLike",
+    "DynamicLeak",
+    "DynamicTaintTracker",
+    "FLOWDROID_LIKE",
+    "HORNDROID_LIKE",
+    "MethodLevelUnpacker",
+    "SINK_SIGNATURES",
+    "SOURCE_SIGNATURES",
+    "StaticAnalysisResult",
+    "StaticTaintAnalysis",
+    "StaticTool",
+    "TAINTART_PROFILE",
+    "TAINTDROID_PROFILE",
+    "TrackerProfile",
+    "UnpackResult",
+    "all_tools",
+    "build_call_graph",
+    "droidsafe",
+    "edges_preserved",
+    "flowdroid",
+    "horndroid",
+    "is_sink",
+    "is_source",
+    "taintart",
+    "taintdroid",
+]

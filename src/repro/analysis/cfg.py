@@ -1,0 +1,174 @@
+"""Control-flow graphs over DEX code items.
+
+Used by the static taint engine (block worklists), the call-graph
+builder, the coverage tracker (basic blocks stand in for source lines —
+see DESIGN.md) and force execution's branch analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dex.instructions import Instruction
+from repro.dex.payloads import decode_payload
+from repro.dex.structures import CodeItem
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start_pc: int
+    instructions: list[tuple[int, Instruction]] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)  # start_pcs
+    is_handler: bool = False
+
+    @property
+    def end_pc(self) -> int:
+        if not self.instructions:
+            return self.start_pc
+        pc, ins = self.instructions[-1]
+        return pc + ins.unit_count
+
+    @property
+    def terminator(self) -> Instruction | None:
+        return self.instructions[-1][1] if self.instructions else None
+
+
+class ControlFlowGraph:
+    """CFG of one method body."""
+
+    def __init__(self, code: CodeItem) -> None:
+        self.code = code
+        self.blocks: dict[int, BasicBlock] = {}
+        self._build()
+
+    def _build(self) -> None:
+        instructions = self.code.instructions()
+        if not instructions:
+            return
+        by_pc = dict(instructions)
+        leaders: set[int] = {instructions[0][0]}
+        # Branch targets and fall-throughs after terminators are leaders.
+        for pc, ins in instructions:
+            next_pc = pc + ins.unit_count
+            if ins.opcode.is_branch and not ins.opcode.is_switch:
+                leaders.add(pc + ins.branch_target)
+                if ins.opcode.can_continue and next_pc in by_pc:
+                    leaders.add(next_pc)
+            elif ins.opcode.is_switch:
+                payload = decode_payload(self.code.insns, pc + ins.branch_target)
+                for rel in payload.targets:
+                    leaders.add(pc + rel)
+                if next_pc in by_pc:
+                    leaders.add(next_pc)
+            elif not ins.opcode.can_continue and next_pc in by_pc:
+                leaders.add(next_pc)
+        for try_block in self.code.tries:
+            for _type_idx, addr in try_block.handlers:
+                leaders.add(addr)
+            if try_block.catch_all is not None:
+                leaders.add(try_block.catch_all)
+
+        current: BasicBlock | None = None
+        for pc, ins in instructions:
+            if pc in leaders or current is None:
+                current = BasicBlock(pc)
+                self.blocks[pc] = current
+            current.instructions.append((pc, ins))
+            if ins.opcode.is_branch or ins.opcode.is_switch or not ins.opcode.can_continue:
+                current = None
+
+        handler_pcs = set()
+        for try_block in self.code.tries:
+            for _type_idx, addr in try_block.handlers:
+                handler_pcs.add(addr)
+            if try_block.catch_all is not None:
+                handler_pcs.add(try_block.catch_all)
+        for block in self.blocks.values():
+            if block.start_pc in handler_pcs:
+                block.is_handler = True
+            self._link(block, by_pc)
+
+    def _link(self, block: BasicBlock, by_pc: dict) -> None:
+        pc, ins = block.instructions[-1]
+        next_pc = pc + ins.unit_count
+        if ins.opcode.is_switch:
+            payload = decode_payload(self.code.insns, pc + ins.branch_target)
+            for rel in payload.targets:
+                self._add_edge(block, pc + rel)
+            self._add_edge(block, next_pc)
+        elif ins.opcode.is_branch:
+            self._add_edge(block, pc + ins.branch_target)
+            if ins.opcode.can_continue:
+                self._add_edge(block, next_pc)
+        elif ins.opcode.can_continue:
+            self._add_edge(block, next_pc)
+        # Exception edges: any instruction in a try region may reach the
+        # handlers of that region.
+        for try_block in self.code.tries:
+            if any(try_block.covers(p) for p, _ in block.instructions):
+                for _type_idx, addr in try_block.handlers:
+                    self._add_edge(block, addr)
+                if try_block.catch_all is not None:
+                    self._add_edge(block, try_block.catch_all)
+
+    def _add_edge(self, block: BasicBlock, target_pc: int) -> None:
+        if target_pc in self.blocks or any(
+            target_pc == pc for b in self.blocks.values() for pc, _ in b.instructions
+        ):
+            # Resolve to the containing block's leader.
+            leader = self._leader_of(target_pc)
+            if leader is not None and leader not in block.successors:
+                block.successors.append(leader)
+
+    def _leader_of(self, pc: int) -> int | None:
+        if pc in self.blocks:
+            return pc
+        for leader, block in self.blocks.items():
+            if any(p == pc for p, _ in block.instructions):
+                return leader
+        return None
+
+    # -- queries -------------------------------------------------------------
+
+    def entry_block(self) -> BasicBlock | None:
+        if not self.blocks:
+            return None
+        return self.blocks[min(self.blocks)]
+
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def conditional_branch_sites(self) -> list[int]:
+        """dex_pcs of conditional branches (UCB candidates)."""
+        out = []
+        for block in self.blocks.values():
+            pc, ins = block.instructions[-1]
+            if ins.opcode.is_conditional_branch:
+                out.append(pc)
+        return out
+
+    def reverse_postorder(self) -> list[BasicBlock]:
+        entry = self.entry_block()
+        if entry is None:
+            return []
+        seen: set[int] = set()
+        order: list[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            if block.start_pc in seen:
+                return
+            seen.add(block.start_pc)
+            for succ in block.successors:
+                visit(self.blocks[succ])
+            order.append(block)
+
+        visit(entry)
+        order.reverse()
+        # Include unreachable-from-entry blocks (e.g. orphan handlers) last.
+        for start_pc in sorted(self.blocks):
+            if start_pc not in seen:
+                order.append(self.blocks[start_pc])
+                seen.add(start_pc)
+        return order

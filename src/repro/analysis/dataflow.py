@@ -1,0 +1,839 @@
+"""Static taint analysis over DEX bytecode.
+
+One genuine engine, configurable along the axes where FlowDroid,
+DroidSafe and HornDroid differ (see :mod:`repro.analysis.static_tools`):
+flow sensitivity, field sensitivity, implicit flows, constant-string
+reflection resolution, callback/thread/ICC modelling and array precision.
+
+The engine is a context-insensitive, call-site-inlining abstract
+interpreter: register states map registers to abstract values (taint tags
+plus lightweight constants used for reflection and dispatch), heaps for
+static/instance fields and ICC are global and monotonic, and the whole
+entry-point schedule is iterated to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.sources_sinks import (
+    SINK_SIGNATURES,
+    SOURCE_SIGNATURES,
+)
+from repro.dex.instructions import Instruction
+from repro.dex.structures import DexFile, MethodRef
+
+Tags = frozenset
+_EMPTY: Tags = frozenset()
+
+_FRAMEWORK_PREFIXES = ("Ljava/", "Landroid/", "Ldalvik/", "Ljavax/")
+
+_LIFECYCLE_ORDER = (
+    "onCreate", "onStart", "onResume", "onRestart",
+    "onPause", "onStop", "onDestroy",
+)
+
+_CALLBACK_NAMES = {
+    "onClick", "onLongClick", "onCheckedChanged", "onItemClick",
+    "onTouch", "onKey", "onFocusChange", "run", "handleMessage",
+    "onLocationChanged", "doInBackground", "onPostExecute",
+}
+
+
+@dataclass(frozen=True)
+class DetectedFlow:
+    """One reported source-to-sink flow."""
+
+    source_tag: str
+    sink_signature: str
+    sink_method: str
+    sink_pc: int
+
+    def brief(self) -> str:
+        sink = self.sink_signature.split(";->")[1].split("(")[0]
+        return f"{self.source_tag} -> {sink} in {self.sink_method}"
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Capability profile of one static analysis tool."""
+
+    name: str
+    flow_sensitive: bool = True
+    field_sensitive: bool = True
+    implicit_flows: bool = False
+    resolve_constant_reflection: bool = True
+    handle_callbacks: bool = True
+    model_threads: bool = True
+    model_icc: bool = False
+    precise_arrays: bool = False
+    max_call_depth: int = 24
+    max_block_visits: int = 40
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """Abstract register value: taint plus constants for resolution."""
+
+    tags: Tags = _EMPTY
+    const_string: str | None = None
+    concrete_type: str | None = None  # from new-instance / const-class
+    reflect_class: str | None = None  # java.lang.Class constant
+    reflect_method: tuple[str, str] | None = None  # (class desc, name)
+    runnable_type: str | None = None  # Thread bound to a Runnable
+
+    def with_tags(self, tags: Tags) -> "AbsVal":
+        if tags == self.tags:
+            return self
+        return replace(self, tags=tags)
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        return AbsVal(
+            self.tags | other.tags,
+            self.const_string if self.const_string == other.const_string else None,
+            self.concrete_type if self.concrete_type == other.concrete_type else None,
+            self.reflect_class if self.reflect_class == other.reflect_class else None,
+            self.reflect_method if self.reflect_method == other.reflect_method else None,
+            self.runnable_type if self.runnable_type == other.runnable_type else None,
+        )
+
+
+_BOTTOM = AbsVal()
+
+
+class _RegState:
+    """Register file of abstract values plus the implicit-flow context."""
+
+    def __init__(self, size: int, weak_updates: bool = False) -> None:
+        self.regs: list[AbsVal] = [_BOTTOM] * size
+        self.result: AbsVal = _BOTTOM  # pending invoke result
+        self.implicit: Tags = _EMPTY
+        # Flow-insensitive mode: assignments JOIN instead of replacing, so
+        # statement order stops mattering (and kills stop killing).
+        self.weak_updates = weak_updates
+
+    def copy(self) -> "_RegState":
+        clone = _RegState(0)
+        clone.regs = list(self.regs)
+        clone.result = self.result
+        clone.implicit = self.implicit
+        clone.weak_updates = self.weak_updates
+        return clone
+
+    def get(self, index: int) -> AbsVal:
+        if 0 <= index < len(self.regs):
+            return self.regs[index]
+        return _BOTTOM
+
+    def set(self, index: int, value: AbsVal) -> None:
+        if 0 <= index < len(self.regs):
+            if self.weak_updates:
+                # Taint accumulates (no strong kills), but resolution
+                # metadata (constants, types) tracks the latest write so
+                # reflection / ICC stay resolvable under flow-insensitivity.
+                joined = self.regs[index].join(value)
+                value = replace(
+                    joined,
+                    const_string=value.const_string,
+                    concrete_type=value.concrete_type,
+                    reflect_class=value.reflect_class,
+                    reflect_method=value.reflect_method,
+                    runnable_type=value.runnable_type,
+                )
+            self.regs[index] = value
+
+    def join(self, other: "_RegState") -> tuple["_RegState", bool]:
+        changed = False
+        joined = self.copy()
+        for i, (a, b) in enumerate(zip(self.regs, other.regs)):
+            merged = a.join(b)
+            if merged != a:
+                joined.regs[i] = merged
+                changed = True
+        merged_result = self.result.join(other.result)
+        if merged_result != self.result:
+            joined.result = merged_result
+            changed = True
+        implicit = self.implicit | other.implicit
+        if implicit != self.implicit:
+            joined.implicit = implicit
+            changed = True
+        return joined, changed
+
+
+class StaticTaintAnalysis:
+    """Whole-program analysis of one APK's visible DEX files."""
+
+    def __init__(self, dex_files: list[DexFile], config: AnalysisConfig) -> None:
+        self.config = config
+        self.dex_files = dex_files
+        # signature -> (dex, method_ref, code)
+        self.methods: dict[str, tuple] = {}
+        # descriptor -> (dex, class_def)
+        self.classes: dict[str, tuple] = {}
+        self.superclass: dict[str, str | None] = {}
+        self.interfaces: dict[str, tuple[str, ...]] = {}
+        for dex in dex_files:
+            self._index_dex(dex)
+        self.flows: set[DetectedFlow] = set()
+        # Monotonic heaps.
+        self.static_heap: dict[tuple[str, str], Tags] = {}
+        self.field_heap: dict[object, Tags] = {}
+        self.array_heap: dict[str, Tags] = {}  # per method+pc alloc key
+        self.icc_heap: dict[str, Tags] = {}  # target activity -> intent taint
+        self.thrown_tags: Tags = _EMPTY  # taint carried by thrown exceptions
+        self._heap_version = 0
+        self._summary_cache: dict = {}
+        self._cfg_cache: dict[str, ControlFlowGraph] = {}
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index_dex(self, dex: DexFile) -> None:
+        for class_def in dex.class_defs:
+            descriptor = dex.class_descriptor(class_def)
+            self.classes.setdefault(descriptor, (dex, class_def))
+            from repro.dex.constants import NO_INDEX
+
+            self.superclass[descriptor] = (
+                dex.type_descriptor(class_def.superclass_idx)
+                if class_def.superclass_idx != NO_INDEX
+                else None
+            )
+            self.interfaces[descriptor] = tuple(
+                dex.type_descriptor(i) for i in class_def.interfaces
+            )
+            for method in class_def.all_methods():
+                ref = dex.method_ref(method.method_idx)
+                self.methods.setdefault(
+                    ref.signature, (dex, ref, method.code)
+                )
+
+    def is_subtype(self, descriptor: str, ancestor: str) -> bool:
+        walker: str | None = descriptor
+        seen = set()
+        while walker is not None and walker not in seen:
+            if walker == ancestor:
+                return True
+            seen.add(walker)
+            for iface in self.interfaces.get(walker, ()):
+                if iface == ancestor or self.is_subtype(iface, ancestor):
+                    return True
+            walker = self.superclass.get(walker)
+        return False
+
+    def resolve_method(self, ref: MethodRef) -> list[str]:
+        """Resolve a call to candidate app-method signatures (CHA-style)."""
+        exact = ref.signature
+        if exact in self.methods:
+            return [exact]
+        # Walk up the hierarchy of the named class.
+        walker = self.superclass.get(ref.class_desc)
+        seen = set()
+        while walker is not None and walker not in seen:
+            seen.add(walker)
+            candidate = MethodRef(
+                walker, ref.name, ref.param_descs, ref.return_desc
+            ).signature
+            if candidate in self.methods:
+                return [candidate]
+            walker = self.superclass.get(walker)
+        # Subclass overrides (virtual dispatch over-approximation).
+        candidates = []
+        for descriptor in self.classes:
+            if self.is_subtype(descriptor, ref.class_desc):
+                candidate = MethodRef(
+                    descriptor, ref.name, ref.param_descs, ref.return_desc
+                ).signature
+                if candidate in self.methods:
+                    candidates.append(candidate)
+        return candidates
+
+    # -- entry points -----------------------------------------------------------
+
+    def entry_points(self) -> list[str]:
+        entries: list[str] = []
+        activity_like = []
+        for descriptor in sorted(self.classes):
+            if self.is_framework_subtype(descriptor):
+                activity_like.append(descriptor)
+        for descriptor in activity_like:
+            for name in _LIFECYCLE_ORDER:
+                for signature, (dex, ref, code) in self.methods.items():
+                    if (
+                        ref.class_desc == descriptor
+                        and ref.name == name
+                        and code is not None
+                    ):
+                        entries.append(signature)
+        if self.config.handle_callbacks:
+            for signature, (dex, ref, code) in sorted(self.methods.items()):
+                if (
+                    ref.name in _CALLBACK_NAMES
+                    and code is not None
+                    and signature not in entries
+                ):
+                    entries.append(signature)
+        # <clinit> of every class runs eventually.
+        for signature, (dex, ref, code) in sorted(self.methods.items()):
+            if ref.name == "<clinit>" and code is not None:
+                entries.insert(0, signature)
+        return entries
+
+    def is_framework_subtype(self, descriptor: str) -> bool:
+        walker: str | None = descriptor
+        seen = set()
+        while walker is not None and walker not in seen:
+            seen.add(walker)
+            parent = self.superclass.get(walker)
+            if parent is None:
+                return False
+            if parent.startswith(("Landroid/app/", "Landroid/content/")):
+                return True
+            walker = parent
+        return False
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> list[DetectedFlow]:
+        entries = self.entry_points()
+        # A flow-sensitive analysis without cross-component feedback needs a
+        # single pass over the (lifecycle-ordered) entry points; iterating
+        # the global heap to a fixpoint is what makes order-insensitive
+        # tools report flows against statement order.
+        rounds = 1 if (self.config.flow_sensitive and not self.config.model_icc) else 4
+        for _round in range(rounds):
+            version = self._heap_version
+            flow_count = len(self.flows)
+            self._summary_cache.clear()
+            for signature in entries:
+                self._analyze(signature, (_EMPTY,) * 8, depth=0)
+            if self._heap_version == version and len(self.flows) == flow_count:
+                break
+        return sorted(self.flows, key=lambda f: (f.source_tag, f.sink_signature,
+                                                 f.sink_method, f.sink_pc))
+
+    # -- heap helpers --------------------------------------------------------------
+
+    def _heap_get(self, heap: dict, key) -> Tags:
+        return heap.get(key, _EMPTY)
+
+    def _heap_add(self, heap: dict, key, tags: Tags) -> None:
+        if not tags:
+            return
+        current = heap.get(key, _EMPTY)
+        merged = current | tags
+        if merged != current:
+            heap[key] = merged
+            self._heap_version += 1
+
+    def _field_key(self, class_desc: str, name: str):
+        if self.config.field_sensitive:
+            return (class_desc, name)
+        return class_desc  # object-level blur: all fields share one cell
+
+    # -- per-method analysis ----------------------------------------------------------
+
+    def _analyze(self, signature: str, arg_tags: tuple, depth: int) -> Tags:
+        """Analyze one method given argument taints; returns return-taint."""
+        entry = self.methods.get(signature)
+        if entry is None or entry[2] is None:
+            return _EMPTY
+        if depth > self.config.max_call_depth:
+            return Tags().union(*arg_tags) if arg_tags else _EMPTY
+        cache_key = (signature, arg_tags, self._heap_version)
+        cached = self._summary_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        self._summary_cache[cache_key] = _EMPTY  # cycle breaker
+        dex, ref, code = entry
+        cfg = self._cfg_cache.get(signature)
+        if cfg is None:
+            cfg = ControlFlowGraph(code)
+            self._cfg_cache[signature] = cfg
+        result = self._interpret(signature, dex, ref, code, cfg, arg_tags, depth)
+        self._summary_cache[(signature, arg_tags, self._heap_version)] = result
+        return result
+
+    def _initial_state(self, code, arg_tags: tuple) -> _RegState:
+        state = _RegState(code.registers_size)
+        base = code.registers_size - code.ins_size
+        for i in range(code.ins_size):
+            tags = arg_tags[i] if i < len(arg_tags) else _EMPTY
+            state.set(base + i, AbsVal(tags))
+        return state
+
+    def _interpret(
+        self, signature, dex, ref, code, cfg: ControlFlowGraph, arg_tags, depth
+    ) -> Tags:
+        if self.config.flow_sensitive:
+            return self._interpret_flow_sensitive(
+                signature, dex, code, cfg, arg_tags, depth
+            )
+        return self._interpret_flow_insensitive(
+            signature, dex, code, cfg, arg_tags, depth
+        )
+
+    def _interpret_flow_sensitive(
+        self, signature, dex, code, cfg, arg_tags, depth
+    ) -> Tags:
+        entry_block = cfg.entry_block()
+        if entry_block is None:
+            return _EMPTY
+        in_states: dict[int, _RegState] = {
+            entry_block.start_pc: self._initial_state(code, arg_tags)
+        }
+        visits: dict[int, int] = {}
+        worklist = [entry_block.start_pc]
+        return_tags: Tags = _EMPTY
+        while worklist:
+            start_pc = worklist.pop(0)
+            visits[start_pc] = visits.get(start_pc, 0) + 1
+            if visits[start_pc] > self.config.max_block_visits:
+                continue
+            block = cfg.blocks[start_pc]
+            state = in_states[start_pc].copy()
+            if block.is_handler:
+                # The caught exception value is untainted by default.
+                pass
+            branch_implicit = _EMPTY
+            for pc, ins in block.instructions:
+                ret = self._transfer(signature, dex, state, pc, ins, depth)
+                if ret is not None:
+                    return_tags |= ret
+                if ins.opcode.is_conditional_branch and self.config.implicit_flows:
+                    cond_tags = _EMPTY
+                    regs = (
+                        ins.operands[:-1]
+                        if ins.opcode.fmt in ("21t", "22t")
+                        else ()
+                    )
+                    for reg in regs:
+                        cond_tags |= state.get(reg).tags
+                    branch_implicit = cond_tags
+            for successor in block.successors:
+                succ_state = state.copy()
+                if branch_implicit:
+                    succ_state.implicit = succ_state.implicit | branch_implicit
+                existing = in_states.get(successor)
+                if existing is None:
+                    in_states[successor] = succ_state
+                    worklist.append(successor)
+                else:
+                    joined, changed = existing.join(succ_state)
+                    if changed:
+                        in_states[successor] = joined
+                        worklist.append(successor)
+        return return_tags
+
+    def _interpret_flow_insensitive(
+        self, signature, dex, code, cfg, arg_tags, depth
+    ) -> Tags:
+        """Statement-bag fixpoint: order does not matter, joins everywhere."""
+        state = self._initial_state(code, arg_tags)
+        state.weak_updates = True
+        return_tags: Tags = _EMPTY
+        for _iteration in range(3):
+            before = [v for v in state.regs]
+            for block in cfg.reverse_postorder():
+                for pc, ins in block.instructions:
+                    ret = self._transfer(signature, dex, state, pc, ins, depth)
+                    if ret is not None:
+                        return_tags |= ret
+            if state.regs == before:
+                break
+        return return_tags
+
+    # -- instruction transfer ----------------------------------------------------------
+
+    def _transfer(
+        self, signature, dex, state: _RegState, pc: int, ins: Instruction, depth
+    ) -> Tags | None:
+        """Apply ``ins`` to ``state``; returns tags for return instructions."""
+        name = ins.name
+        ops = ins.operands
+        implicit = state.implicit if self.config.implicit_flows else _EMPTY
+
+        if name.startswith("move-result"):
+            state.set(ops[0], state.result)
+            return None
+        if name == "move-exception":
+            # Exceptional flow: the caught object may carry any taint that
+            # reached a throw site (coarse single-cell model).
+            state.set(ops[0], AbsVal(self.thrown_tags | implicit))
+            return None
+        if name.startswith("move"):
+            state.set(ops[0], state.get(ops[1]))
+            return None
+        if name.startswith("return"):
+            if name == "return-void":
+                return implicit
+            return state.get(ops[0]).tags | implicit
+        if name in ("const-string", "const-string/jumbo"):
+            state.set(ops[0], AbsVal(implicit, const_string=dex.string(ops[1])))
+            return None
+        if name == "const-class":
+            state.set(
+                ops[0],
+                AbsVal(implicit, reflect_class=dex.type_descriptor(ops[1])),
+            )
+            return None
+        if name.startswith("const"):
+            state.set(ops[0], AbsVal(implicit))
+            return None
+        if name == "new-instance":
+            state.set(
+                ops[0],
+                AbsVal(implicit, concrete_type=dex.type_descriptor(ops[1])),
+            )
+            return None
+        if name == "new-array":
+            state.set(ops[0], AbsVal(implicit))
+            return None
+        if name == "throw":
+            tags = state.get(ops[0]).tags | implicit
+            if tags and not tags <= self.thrown_tags:
+                self.thrown_tags = self.thrown_tags | tags
+                self._heap_version += 1
+            return None
+        if name in ("check-cast", "monitor-enter", "monitor-exit", "nop",
+                    "fill-array-data", "packed-switch", "sparse-switch"):
+            return None
+        if name == "instance-of" or name == "array-length":
+            state.set(ops[0], AbsVal(state.get(ops[1]).tags | implicit))
+            return None
+        if name.startswith("aget"):
+            dst, array_reg, index_reg = ops
+            key = self._array_key(signature, state, array_reg, index_reg)
+            tags = self._heap_get(self.array_heap, key)
+            # Register-carried array taint represents content that arrived
+            # from elsewhere (parameters, aliases); it always flows.
+            tags |= state.get(array_reg).tags
+            if not self.config.precise_arrays:
+                # Index-insensitive: the whole array is one taint cell
+                # (classic FP source on ArrayAccess-style samples).
+                tags |= self._heap_get(self.array_heap, ("any", signature, array_reg))
+            state.set(dst, AbsVal(tags | implicit))
+            return None
+        if name.startswith("aput"):
+            src, array_reg, index_reg = ops
+            tags = state.get(src).tags | implicit
+            key = self._array_key(signature, state, array_reg, index_reg)
+            self._heap_add(self.array_heap, key, tags)
+            self._heap_add(
+                self.array_heap, ("any", signature, array_reg), tags
+            )
+            if not self.config.precise_arrays:
+                # Blur the whole array object; the precise model keeps
+                # content in per-index cells (and the "any" summary used at
+                # call boundaries) instead.
+                array_val = state.get(array_reg)
+                state.set(array_reg, array_val.with_tags(array_val.tags | tags))
+            return None
+        if name.startswith("iget"):
+            dst, obj_reg, field_idx = ops
+            field_ref = dex.field_ref(field_idx)
+            key = self._field_key(field_ref.class_desc, field_ref.name)
+            tags = self._heap_get(self.field_heap, key)
+            tags |= state.get(obj_reg).tags  # object-carried taint
+            state.set(dst, AbsVal(tags | implicit))
+            return None
+        if name.startswith("iput"):
+            src, obj_reg, field_idx = ops
+            field_ref = dex.field_ref(field_idx)
+            key = self._field_key(field_ref.class_desc, field_ref.name)
+            tags = state.get(src).tags | implicit
+            self._heap_add(self.field_heap, key, tags)
+            if not self.config.field_sensitive:
+                obj = state.get(obj_reg)
+                state.set(obj_reg, obj.with_tags(obj.tags | tags))
+            return None
+        if name.startswith("sget"):
+            dst, field_idx = ops
+            field_ref = dex.field_ref(field_idx)
+            tags = self._heap_get(
+                self.static_heap, (field_ref.class_desc, field_ref.name)
+            )
+            state.set(dst, AbsVal(tags | implicit))
+            return None
+        if name.startswith("sput"):
+            src, field_idx = ops
+            field_ref = dex.field_ref(field_idx)
+            self._heap_add(
+                self.static_heap,
+                (field_ref.class_desc, field_ref.name),
+                state.get(src).tags | implicit,
+            )
+            return None
+        if ins.opcode.is_invoke:
+            self._transfer_invoke(signature, dex, state, pc, ins, depth)
+            return None
+        if name.startswith("filled-new-array"):
+            tags = _EMPTY
+            for reg in ins.invoke_registers:
+                tags |= state.get(reg).tags
+            state.result = AbsVal(tags | implicit)
+            return None
+        if ins.opcode.is_branch:
+            return None
+        # Arithmetic / compare / conversions: dst <- union of source regs.
+        dst = ops[0]
+        tags = implicit
+        for reg in _source_registers(ins):
+            tags |= state.get(reg).tags
+        state.set(dst, AbsVal(tags))
+        return None
+
+    def _array_key(self, signature, state, array_reg, index_reg):
+        if self.config.precise_arrays:
+            index_val = state.get(index_reg)
+            # Constant index when the register was just loaded with a const
+            # string? No: integers lose constness; use register number as a
+            # weak proxy plus the array register.
+            return ("arr", signature, array_reg, index_reg)
+        return ("arr", signature, array_reg)
+
+    # -- invokes --------------------------------------------------------------------------
+
+    def _transfer_invoke(self, signature, dex, state, pc, ins, depth) -> None:
+        config = self.config
+        ref = dex.method_ref(ins.pool_index)
+        callee_sig = ref.signature
+        regs = ins.invoke_registers
+        is_static_call = "static" in ins.name
+        arg_vals = [state.get(r) for r in regs]
+        # Array contents travel with the array: union in the per-register
+        # content summary so flows survive call boundaries (and sinks taking
+        # whole arrays) even under the precise array model.
+        array_content = [
+            self._heap_get(self.array_heap, ("any", signature, r)) for r in regs
+        ]
+        arg_tags = (
+            Tags().union(*(v.tags for v in arg_vals), *array_content)
+            if arg_vals
+            else _EMPTY
+        )
+        implicit = state.implicit if config.implicit_flows else _EMPTY
+
+        # 1. Sinks.
+        if callee_sig in SINK_SIGNATURES:
+            for tag in sorted(arg_tags | implicit):
+                self._report(tag, callee_sig, signature, pc)
+            state.result = AbsVal(_EMPTY)
+            return
+        # 2. Sources.
+        if callee_sig in SOURCE_SIGNATURES:
+            tag = SOURCE_SIGNATURES[callee_sig]
+            state.result = AbsVal(frozenset({tag}) | implicit)
+            return
+        # 3. Reflection.
+        if ref.class_desc == "Ljava/lang/Class;" and ref.name == "forName":
+            value = arg_vals[0] if arg_vals else _BOTTOM
+            reflect_class = None
+            if config.resolve_constant_reflection and value.const_string:
+                reflect_class = "L" + value.const_string.replace(".", "/") + ";"
+            state.result = AbsVal(arg_tags, reflect_class=reflect_class)
+            return
+        if ref.class_desc == "Ljava/lang/Class;" and ref.name in (
+            "getMethod", "getDeclaredMethod"
+        ):
+            receiver = arg_vals[0] if arg_vals else _BOTTOM
+            name_val = arg_vals[1] if len(arg_vals) > 1 else _BOTTOM
+            reflect_method = None
+            if (
+                config.resolve_constant_reflection
+                and receiver.reflect_class
+                and name_val.const_string
+            ):
+                reflect_method = (receiver.reflect_class, name_val.const_string)
+            state.result = AbsVal(arg_tags, reflect_method=reflect_method)
+            return
+        if (
+            ref.class_desc == "Ljava/lang/reflect/Method;"
+            and ref.name == "invoke"
+        ):
+            method_val = arg_vals[0] if arg_vals else _BOTTOM
+            passed = (
+                Tags().union(
+                    *(v.tags for v in arg_vals[1:]), *array_content[1:]
+                )
+                if len(arg_vals) > 1
+                else _EMPTY
+            )
+            if method_val.reflect_method is not None:
+                target = self._find_by_name(*method_val.reflect_method)
+                if target is not None:
+                    param_count = self.methods[target][1].param_descs
+                    callee_args = tuple([passed] * (len(param_count) + 1))
+                    result = self._analyze(target, callee_args, depth + 1)
+                    state.result = AbsVal(result | implicit)
+                    return
+            # Unresolvable reflection: the tool loses the flow (paper §IV-D).
+            state.result = AbsVal(implicit)
+            return
+        # 4. Threads / runnables / handlers.
+        if config.model_threads and self._maybe_thread(
+            signature, ref, arg_vals, state, regs, depth
+        ):
+            state.result = AbsVal(implicit)
+            return
+        # 5. ICC: bind component classes onto intents, launch targets.
+        if ref.class_desc == "Landroid/content/Intent;" and ref.name == "<init>":
+            if (
+                config.model_icc
+                and len(arg_vals) > 2
+                and arg_vals[2].reflect_class
+                and regs
+            ):
+                receiver = state.get(regs[0])
+                state.set(
+                    regs[0],
+                    replace(receiver, reflect_class=arg_vals[2].reflect_class),
+                )
+            state.result = AbsVal(implicit)
+            return
+        if config.model_icc and self._maybe_icc(ref, arg_vals):
+            state.result = AbsVal(implicit)
+            return
+        # 6. Application bytecode.
+        candidates = self.resolve_method(ref)
+        app_candidates = [c for c in candidates if self.methods[c][2] is not None]
+        if app_candidates:
+            enriched = [
+                v.with_tags(v.tags | content)
+                for v, content in zip(arg_vals, array_content)
+            ]
+            word_tags = self._arg_word_tags(ref, enriched, is_static_call)
+            result: Tags = _EMPTY
+            for candidate in app_candidates[:4]:
+                result |= self._analyze(candidate, word_tags, depth + 1)
+            state.result = AbsVal(result | implicit)
+            return
+        # 7. Framework default taint wrapper: result and receiver get the
+        # union of argument taints (string builders, collections, intents...).
+        if ref.name == "getIntent" and not ref.param_descs:
+            # ICC receive point: the intent that launched this component.
+            tags = self._heap_get(self.icc_heap, signature.split("->")[0])
+            state.result = AbsVal(tags | arg_tags | implicit)
+            return
+        # Widget text is modelled as a global field (the FlowDroid-style
+        # "taint wrapper"): setText stores, getText loads.  Dynamic trackers
+        # lack this model — the Button1/Button3 difference of Table IV.
+        if ref.name == "setText" and len(arg_vals) > 1:
+            self._heap_add(
+                self.field_heap,
+                self._field_key("Landroid/widget/TextView;", "text"),
+                arg_vals[1].tags | implicit,
+            )
+            state.result = AbsVal(implicit)
+            return
+        if ref.name == "getText":
+            tags = self._heap_get(
+                self.field_heap,
+                self._field_key("Landroid/widget/TextView;", "text"),
+            )
+            state.result = AbsVal(tags | implicit)
+            return
+        state.result = AbsVal(arg_tags | implicit)
+        if not is_static_call and regs:
+            receiver = state.get(regs[0])
+            state.set(regs[0], receiver.with_tags(receiver.tags | arg_tags))
+
+    def _arg_word_tags(self, ref: MethodRef, arg_vals, is_static_call) -> tuple:
+        words: list[Tags] = []
+        index = 0
+        if not is_static_call:
+            if arg_vals:
+                words.append(arg_vals[0].tags)
+            index = 1
+        for param in ref.param_descs:
+            value = arg_vals[index] if index < len(arg_vals) else _BOTTOM
+            words.append(value.tags)
+            index += 1
+            if param in ("J", "D"):
+                words.append(_EMPTY)
+                index += 1
+        return tuple(words)
+
+    def _find_by_name(self, class_desc: str, method_name: str) -> str | None:
+        walker: str | None = class_desc
+        seen = set()
+        while walker is not None and walker not in seen:
+            seen.add(walker)
+            for signature, (dex, ref, code) in self.methods.items():
+                if ref.class_desc == walker and ref.name == method_name:
+                    return signature
+            walker = self.superclass.get(walker)
+        return None
+
+    def _maybe_thread(self, signature, ref, arg_vals, state, regs, depth) -> bool:
+        if ref.class_desc == "Ljava/lang/Thread;" and ref.name == "<init>":
+            if len(arg_vals) > 1 and arg_vals[1].concrete_type:
+                receiver = state.get(regs[0])
+                state.set(
+                    regs[0],
+                    replace(receiver, runnable_type=arg_vals[1].concrete_type),
+                )
+            return True
+        if ref.name == "start" and ref.class_desc == "Ljava/lang/Thread;":
+            receiver = arg_vals[0] if arg_vals else _BOTTOM
+            target_type = receiver.runnable_type or receiver.concrete_type
+            if target_type:
+                run_sig = MethodRef(target_type, "run", (), "V").signature
+                if run_sig in self.methods:
+                    self._analyze(run_sig, (receiver.tags,), depth + 1)
+            return True
+        if ref.name in ("post", "postDelayed") and ref.class_desc == "Landroid/os/Handler;":
+            if len(arg_vals) > 1 and arg_vals[1].concrete_type:
+                run_sig = MethodRef(
+                    arg_vals[1].concrete_type, "run", (), "V"
+                ).signature
+                if run_sig in self.methods:
+                    self._analyze(run_sig, (arg_vals[1].tags,), depth + 1)
+            return True
+        if ref.name == "runOnUiThread":
+            if len(arg_vals) > 1 and arg_vals[1].concrete_type:
+                run_sig = MethodRef(
+                    arg_vals[1].concrete_type, "run", (), "V"
+                ).signature
+                if run_sig in self.methods:
+                    self._analyze(run_sig, (arg_vals[1].tags,), depth + 1)
+            return True
+        return False
+
+    def _maybe_icc(self, ref: MethodRef, arg_vals) -> bool:
+        if ref.name == "startActivity":
+            if len(arg_vals) > 1:
+                intent = arg_vals[1]
+                if intent.reflect_class:
+                    self._heap_add(self.icc_heap, intent.reflect_class, intent.tags)
+            return True
+        return False
+
+    def _report(self, tag: str, sink_sig: str, method_sig: str, pc: int) -> None:
+        flow = DetectedFlow(tag, sink_sig, method_sig, pc)
+        if flow not in self.flows:
+            self.flows.add(flow)
+            self._heap_version += 1  # new knowledge: keep iterating
+
+
+
+def _source_registers(ins: Instruction) -> tuple[int, ...]:
+    """Source register operands of an arithmetic/compare/convert instruction.
+
+    Literal operands (22b/22s/const formats) are NOT registers and must not
+    leak taint from unrelated register numbers.
+    """
+    fmt = ins.opcode.fmt
+    ops = ins.operands
+    if fmt == "12x":
+        if ins.name.endswith("/2addr"):
+            return (ops[0], ops[1])
+        return (ops[1],)
+    if fmt == "23x":
+        return (ops[1], ops[2])
+    if fmt in ("22b", "22s"):
+        return (ops[1],)
+    if fmt in ("22x", "32x"):
+        return (ops[1],)
+    return ()

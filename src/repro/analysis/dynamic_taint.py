@@ -1,0 +1,263 @@
+"""Dynamic taint trackers: TaintDroid and TaintART analogues.
+
+Both attach to the runtime as listeners and propagate shadow taint
+through register moves, arithmetic, fields, arrays and calls — honestly
+reproducing the documented blind spots the paper exploits in Table IV:
+
+* **no implicit flows** — control-dependent leaks are invisible to both
+  (the paper's ImplicitFlow1 row);
+* **framework widget laundering** — taint dies crossing framework widget
+  storage (``TextView.setText``/``getText``), the Button1/Button3 rows;
+* **storage laundering** — byte-for-byte file round trips drop tags
+  (everyone misses the file-based flow of PrivateDataLeak3);
+* **TaintDroid runs on an emulator** — emulator-detecting samples behave
+  benignly under it (EmulatorDetection1), while TaintART runs on a real
+  device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.sources_sinks import SINK_SIGNATURES, SOURCE_SIGNATURES
+from repro.runtime.device import EMULATOR, NEXUS_5X, DeviceProfile
+from repro.runtime.hooks import RuntimeListener
+from repro.runtime.values import VmArray, VmObject, VmString
+
+Tags = frozenset
+_EMPTY: Tags = frozenset()
+
+
+@dataclass
+class DynamicLeak:
+    """One leak reported by a dynamic tracker."""
+
+    source_tag: str
+    sink_signature: str
+    method_signature: str
+
+
+@dataclass(frozen=True)
+class TrackerProfile:
+    """Capability switches of one dynamic taint tool."""
+
+    name: str
+    device: DeviceProfile
+    track_implicit: bool = False
+    widget_laundering: bool = True  # taint dies in framework widgets
+    file_laundering: bool = True  # taint dies through file round trips
+
+
+TAINTDROID_PROFILE = TrackerProfile(name="TaintDroid", device=EMULATOR)
+TAINTART_PROFILE = TrackerProfile(name="TaintART", device=NEXUS_5X)
+
+_WIDGET_STORE = {"setText", "putExtra"}
+_WIDGET_LOAD = {"getText", "getStringExtra"}
+
+
+class DynamicTaintTracker(RuntimeListener):
+    """Shadow-register taint propagation inside the interpreter."""
+
+    def __init__(self, profile: TrackerProfile) -> None:
+        self.profile = profile
+        self.leaks: list[DynamicLeak] = []
+        self._shadow: dict[int, dict[int, Tags]] = {}  # frame id -> reg -> tags
+        self._object_taint: dict[int, Tags] = {}  # object_id -> tags
+        self._field_taint: dict[tuple[int, tuple], Tags] = {}
+        self._static_taint: dict[tuple, Tags] = {}
+        self._pending_result: Tags = _EMPTY
+        self._pending_args: list[Tags] | None = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _regs(self, frame) -> dict[int, Tags]:
+        return self._shadow.setdefault(id(frame), {})
+
+    def _get(self, frame, reg: int) -> Tags:
+        return self._regs(frame).get(reg, _EMPTY)
+
+    def _set(self, frame, reg: int, tags: Tags) -> None:
+        regs = self._regs(frame)
+        if tags:
+            regs[reg] = tags
+        else:
+            regs.pop(reg, None)
+
+    def _value_tags(self, value) -> Tags:
+        if isinstance(value, (VmObject, VmString, VmArray)):
+            return self._object_taint.get(value.object_id, _EMPTY)
+        return _EMPTY
+
+    def _taint_value(self, value, tags: Tags) -> None:
+        if tags and isinstance(value, (VmObject, VmString, VmArray)):
+            current = self._object_taint.get(value.object_id, _EMPTY)
+            self._object_taint[value.object_id] = current | tags
+
+    # -- frame lifecycle ---------------------------------------------------------
+
+    def on_method_enter(self, frame) -> None:
+        regs = self._regs(frame)
+        code = frame.method.code
+        base = code.registers_size - code.ins_size
+        if self._pending_args is not None:
+            for i, tags in enumerate(self._pending_args):
+                if tags:
+                    regs[base + i] = tags
+            self._pending_args = None
+        # Values may carry object-level taint into the frame.
+        for i in range(code.ins_size):
+            value = frame.registers[base + i]
+            tags = self._value_tags(value)
+            if tags:
+                regs[base + i] = regs.get(base + i, _EMPTY) | tags
+
+    def on_method_exit(self, frame, result) -> None:
+        self._shadow.pop(id(frame), None)
+
+    def on_invoke(self, frame, dex_pc: int, callee, args: list) -> None:
+        from repro.dex.instructions import Instruction
+
+        ins = Instruction.decode_at(frame.code_units, dex_pc)
+        regs = ins.invoke_registers
+        arg_tags = [self._get(frame, r) for r in regs]
+        callee_sig = callee.ref.signature
+
+        if callee_sig in SINK_SIGNATURES:
+            tags: Tags = _EMPTY
+            for reg_tags, value in zip(arg_tags, args):
+                tags |= reg_tags | self._value_tags(value)
+            for tag in sorted(tags):
+                self.leaks.append(
+                    DynamicLeak(tag, callee_sig, frame.method.ref.signature)
+                )
+            self._pending_result = _EMPTY
+            return
+        if callee_sig in SOURCE_SIGNATURES:
+            self._pending_result = frozenset({SOURCE_SIGNATURES[callee_sig]})
+            return
+        if callee.is_native:
+            # Framework call: default propagation result <- union(args),
+            # with the widget-laundering blind spot.
+            union: Tags = _EMPTY
+            for reg_tags, value in zip(arg_tags, args):
+                union |= reg_tags | self._value_tags(value)
+            if self.profile.widget_laundering and callee.ref.name in _WIDGET_STORE:
+                self._pending_result = _EMPTY
+                return
+            if self.profile.widget_laundering and callee.ref.name in _WIDGET_LOAD:
+                self._pending_result = _EMPTY
+                return
+            # Taint flows into mutable receivers (StringBuilder.append...)
+            # and tags ride on the heap values themselves, as in TaintDroid
+            # where tags live beside the objects.
+            for reg_tags, value in zip(arg_tags, args):
+                self._taint_value(value, reg_tags)
+            if args and union:
+                self._taint_value(args[0], union)
+            self._pending_result = union
+            return
+        # Bytecode callee: hand argument taints to the next frame.
+        words: list[Tags] = []
+        index = 0
+        if not callee.is_static:
+            words.append(arg_tags[0] if arg_tags else _EMPTY)
+            index = 1
+        for param in callee.ref.param_descs:
+            words.append(arg_tags[index] if index < len(arg_tags) else _EMPTY)
+            index += 1
+            if param in ("J", "D"):
+                words.append(_EMPTY)
+                index += 1
+        self._pending_args = words
+        self._pending_result = _EMPTY
+
+    def on_return_value(self, frame, value) -> None:
+        self._pending_result = self._pending_result | self._value_tags(value)
+
+    # -- instruction-level propagation ---------------------------------------------
+
+    def on_instruction(self, frame, dex_pc: int, ins) -> None:
+        if frame.method.declaring_class.source_dex is None:
+            return
+        name = ins.name
+        ops = ins.operands
+        if name.startswith("move-result"):
+            self._set(frame, ops[0], self._pending_result)
+            return
+        if name == "move-exception":
+            self._set(frame, ops[0], _EMPTY)
+            return
+        if name.startswith("move"):
+            self._set(frame, ops[0], self._get(frame, ops[1]))
+            return
+        if name.startswith("return") and name != "return-void":
+            self._pending_result = self._get(frame, ops[0])
+            value = frame.reg(ops[0])
+            self._pending_result |= self._value_tags(value)
+            return
+        if name.startswith("const"):
+            self._set(frame, ops[0], _EMPTY)
+            return
+        if name.startswith("aget"):
+            array = frame.reg(ops[1])
+            self._set(frame, ops[0], self._value_tags(array))
+            return
+        if name.startswith("aput"):
+            array = frame.reg(ops[1])
+            self._taint_value(array, self._get(frame, ops[0]))
+            return
+        if name.startswith("iget"):
+            obj = frame.reg(ops[1])
+            if isinstance(obj, VmObject):
+                key = (obj.object_id, ops[2])
+                self._set(frame, ops[0], self._field_taint.get(key, _EMPTY))
+            return
+        if name.startswith("iput"):
+            obj = frame.reg(ops[1])
+            if isinstance(obj, VmObject):
+                key = (obj.object_id, ops[2])
+                tags = self._get(frame, ops[0])
+                value = frame.reg(ops[0])
+                tags |= self._value_tags(value)
+                if tags:
+                    self._field_taint[key] = (
+                        self._field_taint.get(key, _EMPTY) | tags
+                    )
+            return
+        if name.startswith("sget"):
+            self._set(frame, ops[0], self._static_taint.get(ops[1], _EMPTY))
+            return
+        if name.startswith("sput"):
+            tags = self._get(frame, ops[0])
+            if tags:
+                self._static_taint[ops[1]] = (
+                    self._static_taint.get(ops[1], _EMPTY) | tags
+                )
+            return
+        if ins.opcode.is_invoke or ins.opcode.is_branch or name == "nop":
+            return
+        # Arithmetic / compare / conversions.
+        from repro.analysis.dataflow import _source_registers
+
+        tags: Tags = _EMPTY
+        for reg in _source_registers(ins):
+            tags |= self._get(frame, reg)
+        if ops:
+            self._set(frame, ops[0], tags)
+
+    # -- results ----------------------------------------------------------------------
+
+    def detected_tags(self) -> set[str]:
+        return {leak.source_tag for leak in self.leaks}
+
+    def leak_count(self) -> int:
+        """Distinct (tag, sink) pairs observed leaking."""
+        return len({(l.source_tag, l.sink_signature) for l in self.leaks})
+
+
+def taintdroid() -> DynamicTaintTracker:
+    return DynamicTaintTracker(TAINTDROID_PROFILE)
+
+
+def taintart() -> DynamicTaintTracker:
+    return DynamicTaintTracker(TAINTART_PROFILE)

@@ -1,0 +1,73 @@
+"""Classification metrics: sensitivity, specificity and the paper's
+F-Measure (Formula 1 of §V-B).
+
+Scoring is sample-level, as in the paper's Tables II/III: a leaky sample
+counts as a true positive when the tool reports at least one flow; a
+benign sample with any reported flow is a false positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Confusion:
+    """Sample-level confusion counts."""
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def record(self, is_leaky: bool, detected: bool) -> None:
+        if is_leaky and detected:
+            self.tp += 1
+        elif is_leaky and not detected:
+            self.fn += 1
+        elif not is_leaky and detected:
+            self.fp += 1
+        else:
+            self.tn += 1
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def sensitivity(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def specificity(self) -> float:
+        denominator = self.tn + self.fp
+        return self.tn / denominator if denominator else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        """Formula (1): harmonic mean of sensitivity and specificity."""
+        sens = self.sensitivity
+        spec = self.specificity
+        if sens + spec == 0:
+            return 0.0
+        return 2 * sens * spec / (sens + spec)
+
+    def __add__(self, other: "Confusion") -> "Confusion":
+        return Confusion(
+            self.tp + other.tp,
+            self.fp + other.fp,
+            self.tn + other.tn,
+            self.fn + other.fn,
+        )
+
+    def as_row(self) -> dict:
+        return {
+            "TP": self.tp,
+            "FP": self.fp,
+            "TN": self.tn,
+            "FN": self.fn,
+            "sensitivity": round(self.sensitivity, 3),
+            "specificity": round(self.specificity, 3),
+            "f_measure": round(self.f_measure, 3),
+        }

@@ -1,0 +1,36 @@
+"""Source/sink definitions for taint analysis.
+
+Single source of truth: the framework's own tables in
+:mod:`repro.runtime.android_api` (the runtime stamps provenance with the
+same signatures the analyzers look for, so oracle and tools agree on
+vocabulary while disagreeing — realistically — on reachability).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.android_api import SINK_SIGNATURES, SOURCE_SIGNATURES
+
+__all__ = [
+    "SINK_SIGNATURES",
+    "SOURCE_SIGNATURES",
+    "is_sink",
+    "is_source",
+    "sink_channel",
+    "source_tag",
+]
+
+
+def is_source(signature: str) -> bool:
+    return signature in SOURCE_SIGNATURES
+
+
+def is_sink(signature: str) -> bool:
+    return signature in SINK_SIGNATURES
+
+
+def source_tag(signature: str) -> str | None:
+    return SOURCE_SIGNATURES.get(signature)
+
+
+def sink_channel(signature: str) -> str | None:
+    return SINK_SIGNATURES.get(signature)

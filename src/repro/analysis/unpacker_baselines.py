@@ -1,0 +1,212 @@
+"""DexHunter / AppSpear analogues: dump-based method-level unpackers.
+
+Both run the packed app and dump each class's method bodies from memory
+at a "right timing".  DexHunter forces dumping right after a class is
+loaded and initialized; AppSpear walks the runtime's "reliable" class
+structures at a chosen collection point.  Either way, the result keeps
+**one snapshot per method** — which is precisely the paper's §IV-A
+argument: for self-modifying code the dump holds either Code 2 *or*
+Code 3, never both, and reflective calls stay reflective.
+
+The snapshot source differs:
+
+* DexHunter-like dumps ``loaded_code`` — the body as the class linker
+  loaded it (before any runtime tampering).
+* AppSpear-like dumps the **current** in-memory body at app exit —
+  after the last tampering round (which Code 1 carefully restores, so
+  the result is the same as-loaded code).
+
+Both recover the original DEX of ordinary packed apps perfectly, which
+is their documented success case (Table III: same results as analyzing
+the original DEX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dex.builder import DexBuilder
+from repro.dex.instructions import Instruction
+from repro.dex.opcodes import IndexKind
+from repro.dex.reader import read_dex
+from repro.dex.structures import DexFile, TryBlock
+from repro.dex.verify import assert_valid
+from repro.dex.writer import write_dex
+from repro.errors import BudgetExceeded, VmCrash
+from repro.runtime.apk import Apk
+from repro.runtime.art import AndroidRuntime
+from repro.runtime.device import NEXUS_5X, DeviceProfile
+from repro.runtime.events import AppDriver
+from repro.runtime.exceptions import VmThrow
+from repro.runtime.klass import RuntimeClass
+
+
+@dataclass
+class UnpackResult:
+    """Output of one dump-based unpacker run."""
+
+    tool: str
+    unpacked_apk: Apk
+    dumped_dex: DexFile
+    classes_dumped: int
+
+
+class MethodLevelUnpacker:
+    """Shared implementation; subclasses pick the snapshot source."""
+
+    name = "method-level-unpacker"
+    use_loaded_snapshot = True
+
+    def __init__(self, device: DeviceProfile = NEXUS_5X, run_budget: int = 2_000_000):
+        self.device = device
+        self.run_budget = run_budget
+
+    def unpack(self, apk: Apk, drive=None) -> UnpackResult:
+        runtime = AndroidRuntime(self.device, max_steps=self.run_budget)
+        driver = AppDriver(runtime, apk)
+        drive = drive or (lambda d: d.run_standard_session())
+        try:
+            drive(driver)
+        except (BudgetExceeded, VmCrash, VmThrow):
+            pass
+        self._force_load_everything(runtime)
+        dumped = self._dump(runtime.class_linker.loaded_app_classes())
+        dumped = read_dex(write_dex(dumped))
+        assert_valid(dumped)
+        unpacked = apk.clone()
+        unpacked.dex_files = [dumped]
+        return UnpackResult(
+            self.name, unpacked, dumped,
+            classes_dumped=len(dumped.class_defs),
+        )
+
+    def _force_load_everything(self, runtime: AndroidRuntime) -> None:
+        """DexHunter's signature move: proactively load and initialize
+        every class of every registered DEX so lazy/per-class unpacking
+        cannot withhold bodies from the dump.  (This is also why dead
+        classes — and their false-positive flows — survive in the dumped
+        DEX, unlike in DexLego's executed-only reassembly.)"""
+        linker = runtime.class_linker
+        for dex in list(linker.app_dex_files):
+            for class_def in dex.class_defs:
+                descriptor = dex.class_descriptor(class_def)
+                try:
+                    klass = linker.lookup(descriptor)
+                    linker.ensure_initialized(klass)
+                except (VmThrow, VmCrash, BudgetExceeded):
+                    continue
+
+    # -- dumping --------------------------------------------------------------
+
+    def _dump(self, classes: list[RuntimeClass]) -> DexFile:
+        builder = DexBuilder()
+        for klass in sorted(classes, key=lambda k: k.descriptor):
+            self._dump_class(builder, klass)
+        return builder.build()
+
+    def _dump_class(self, builder: DexBuilder, klass: RuntimeClass) -> None:
+        from repro.dex.constants import AccessFlags
+
+        class_builder = builder.add_class(
+            klass.descriptor,
+            superclass=klass.superclass.descriptor if klass.superclass else None,
+            access=klass.access_flags,
+            interfaces=tuple(i.descriptor for i in klass.interfaces),
+        )
+        defaults = getattr(klass, "_static_value_defaults", {}) or {}
+        for runtime_field in klass.fields.values():
+            if runtime_field.is_static:
+                initial = defaults.get(runtime_field.name)
+                from repro.runtime.values import VmString
+
+                if isinstance(initial, VmString):
+                    initial = initial.value
+                class_builder.add_static_field(
+                    runtime_field.name,
+                    runtime_field.type_desc,
+                    runtime_field.access_flags,
+                    initial,
+                )
+            else:
+                class_builder.add_instance_field(
+                    runtime_field.name,
+                    runtime_field.type_desc,
+                    runtime_field.access_flags,
+                )
+        for method in klass.methods.values():
+            if method.declaring_class is not klass:
+                continue
+            mb = class_builder.method(
+                method.ref.name,
+                method.ref.return_desc,
+                method.ref.param_descs,
+                access=method.access_flags,
+                native=method.is_native and method.code is None,
+                abstract=method.is_abstract,
+            )
+            snapshot = (
+                method.loaded_code if self.use_loaded_snapshot else method.code
+            )
+            if snapshot is None:
+                mb.build()
+                continue
+            encoded = mb.build()
+            encoded.code = self._transplant_code(
+                builder.dex, klass.source_dex, snapshot
+            )
+
+    def _transplant_code(self, new_dex, source_dex, code):
+        """Copy a code item, re-interning pool references into new_dex.
+
+        Index widths are format-stable (16-bit fields), so patching in
+        place preserves the exact instruction layout the dump captured.
+        """
+        clone = code.copy()
+        for dex_pc, ins in clone.instructions():
+            kind = ins.opcode.index_kind
+            if kind is IndexKind.NONE:
+                continue
+            old_index = ins.pool_index
+            if kind is IndexKind.STRING:
+                new_index = new_dex.intern_string(source_dex.string(old_index))
+            elif kind is IndexKind.TYPE:
+                new_index = new_dex.intern_type(
+                    source_dex.type_descriptor(old_index)
+                )
+            elif kind is IndexKind.FIELD:
+                new_index = new_dex.intern_field_ref(
+                    source_dex.field_ref(old_index)
+                )
+            else:
+                new_index = new_dex.intern_method_ref(
+                    source_dex.method_ref(old_index)
+                )
+            patched = ins.with_pool_index(new_index).encode()
+            clone.insns[dex_pc : dex_pc + len(patched)] = patched
+        clone.tries = [
+            TryBlock(
+                t.start_addr,
+                t.insn_count,
+                [
+                    (new_dex.intern_type(source_dex.type_descriptor(type_idx)), addr)
+                    for type_idx, addr in t.handlers
+                ],
+                t.catch_all,
+            )
+            for t in code.tries
+        ]
+        return clone
+
+
+class DexHunterLike(MethodLevelUnpacker):
+    """Dumps method bodies as loaded (right after class initialization)."""
+
+    name = "DexHunter"
+    use_loaded_snapshot = True
+
+
+class AppSpearLike(MethodLevelUnpacker):
+    """Dumps the current in-memory bodies at collection time (app exit)."""
+
+    name = "AppSpear"
+    use_loaded_snapshot = False

@@ -1,0 +1,59 @@
+"""Benchmark corpora: the DroidBench analogue plus app generators."""
+
+from repro.benchsuite.aosp_apps import AOSP_APP_SPECS, AospApp, all_aosp_apps, build_aosp_app
+from repro.benchsuite.codegen import (
+    AppProfile,
+    GeneratedApp,
+    add_leak_sites,
+    generate_app,
+)
+from repro.benchsuite.fdroid_apps import (
+    FDROID_APP_SPECS,
+    FDroidApp,
+    all_fdroid_apps,
+    build_fdroid_app,
+)
+from repro.benchsuite.groundtruth import Sample, SampleOutcome
+from repro.benchsuite.market_apps import (
+    LAUNCH_APP_SPECS,
+    MARKET_APP_SPECS,
+    LaunchApp,
+    MarketApp,
+    all_launch_apps,
+    all_market_apps,
+    build_market_app,
+)
+from repro.benchsuite.suite import (
+    TABLE_IV_SAMPLES,
+    droidbench_samples,
+    sample_by_name,
+    suite_statistics,
+)
+
+__all__ = [
+    "AOSP_APP_SPECS",
+    "AospApp",
+    "AppProfile",
+    "FDROID_APP_SPECS",
+    "FDroidApp",
+    "GeneratedApp",
+    "LAUNCH_APP_SPECS",
+    "LaunchApp",
+    "MARKET_APP_SPECS",
+    "MarketApp",
+    "Sample",
+    "SampleOutcome",
+    "TABLE_IV_SAMPLES",
+    "add_leak_sites",
+    "all_aosp_apps",
+    "all_fdroid_apps",
+    "all_launch_apps",
+    "all_market_apps",
+    "build_aosp_app",
+    "build_fdroid_app",
+    "build_market_app",
+    "droidbench_samples",
+    "generate_app",
+    "sample_by_name",
+    "suite_statistics",
+]

@@ -1,0 +1,1 @@
+"""DroidBench-analogue sample categories."""

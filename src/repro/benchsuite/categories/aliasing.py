@@ -1,0 +1,120 @@
+"""Aliasing samples: taint flows through aliased heap objects."""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import (
+    activity_class,
+    helper_suffix,
+    make_sample_apk,
+    multi_class_apk,
+)
+
+
+def _holder_class(holder: str) -> str:
+    return activity_class(
+        holder,
+        f"""
+.method public <init>()V
+    .registers 1
+    invoke-direct {{p0}}, Ljava/lang/Object;-><init>()V
+    return-void
+.end method
+""",
+        superclass="Ljava/lang/Object;",
+        fields=".field public value:Ljava/lang/String;",
+    )
+
+
+def _sample(index: int) -> Sample:
+    cls = f"Lde/bench/alias/Alias{index};"
+    holder = f"Lde/bench/alias/Holder{index};"
+    sink = ("logIt", "sms", "www")[index % 3]
+    variants = [_direct_alias, _via_param, _via_return]
+    body = variants[index % len(variants)](cls, holder, sink)
+    main_text = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return multi_class_apk(
+            f"de.bench.alias.s{index}", cls, [main_text, _holder_class(holder)]
+        )
+
+    return Sample(
+        name=f"Aliasing{index}", category="aliasing", leaky=True,
+        build=build, description=f"alias variant {index % len(variants)}",
+    )
+
+
+def _direct_alias(cls: str, holder: str, sink: str) -> str:
+    """b = a; b.value = taint; leak a.value."""
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    new-instance v0, {holder}
+    invoke-direct {{v0}}, {holder}-><init>()V
+    move-object v1, v0
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v2
+    iput-object v2, v1, {holder}->value:Ljava/lang/String;
+    iget-object v3, v0, {holder}->value:Ljava/lang/String;
+    invoke-virtual {{p0, v3}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _via_param(cls: str, holder: str, sink: str) -> str:
+    """Callee taints a parameter object; caller leaks it."""
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    new-instance v0, {holder}
+    invoke-direct {{v0}}, {holder}-><init>()V
+    invoke-virtual {{p0, v0}}, {cls}->fill({holder})V
+    iget-object v1, v0, {holder}->value:Ljava/lang/String;
+    invoke-virtual {{p0, v1}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+
+.method public fill({holder})V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    iput-object v0, p1, {holder}->value:Ljava/lang/String;
+    return-void
+.end method
+"""
+
+
+def _via_return(cls: str, holder: str, sink: str) -> str:
+    """Factory returns the same object under two names."""
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    invoke-virtual {{p0}}, {cls}->make(){holder}
+    move-result-object v0
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v1
+    iput-object v1, v0, {holder}->value:Ljava/lang/String;
+    invoke-virtual {{p0, v0}}, {cls}->drain({holder})V
+    return-void
+.end method
+
+.method public make(){holder}
+    .registers 2
+    new-instance v0, {holder}
+    invoke-direct {{v0}}, {holder}-><init>()V
+    return-object v0
+.end method
+
+.method public drain({holder})V
+    .registers 3
+    iget-object v0, p1, {holder}->value:Ljava/lang/String;
+    invoke-virtual {{p0, v0}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def samples() -> list[Sample]:
+    return [_sample(i) for i in range(6)]

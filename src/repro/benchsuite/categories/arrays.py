@@ -1,0 +1,109 @@
+"""Array samples: real flows through arrays plus index-precision traps.
+
+Leaky samples use the same index register for store and load (any array
+model catches them).  The two benign ``ArrayIndex*`` traps store taint at
+one constant index and leak another: index-insensitive tools (FlowDroid-
+and DroidSafe-like) report a false positive; the HornDroid-like value-
+sensitive array model stays quiet.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+
+
+def _leaky_sample(index: int) -> Sample:
+    cls = f"Lde/bench/arrays/ArrayFlow{index};"
+    sink = ("logIt", "sms", "www")[index % 3]
+    source = ("getImei", "getSsid", "getLoc")[(index // 3) % 3]
+    if index % 2 == 0:
+        # Same slot, same index register.
+        body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    const/4 v0, 4
+    new-array v1, v0, [Ljava/lang/String;
+    invoke-virtual {{p0}}, {cls}->{source}()Ljava/lang/String;
+    move-result-object v2
+    const/4 v3, 1
+    aput-object v2, v1, v3
+    aget-object v2, v1, v3
+    invoke-virtual {{p0, v2}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    else:
+        # Through a loop copying the array.
+        body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 8
+    const/4 v0, 3
+    new-array v1, v0, [Ljava/lang/String;
+    new-array v2, v0, [Ljava/lang/String;
+    invoke-virtual {{p0}}, {cls}->{source}()Ljava/lang/String;
+    move-result-object v3
+    const/4 v4, 0
+    aput-object v3, v1, v4
+    const/4 v4, 0
+    :loop
+    if-ge v4, v0, :done
+    aget-object v5, v1, v4
+    aput-object v5, v2, v4
+    add-int/lit8 v4, v4, 1
+    goto :loop
+    :done
+    const/4 v4, 0
+    aget-object v5, v2, v4
+    invoke-virtual {{p0, v5}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(f"de.bench.arrays.flow{index}", cls, smali)
+
+    return Sample(
+        name=f"ArrayFlow{index}", category="arrays", leaky=True,
+        build=build, description=f"array-mediated {source} -> {sink}",
+    )
+
+
+def _index_trap(index: int) -> Sample:
+    """Taint at [0] via v3; read [1] via v4: benign, index-blind FP."""
+    cls = f"Lde/bench/arrays/ArrayIndex{index};"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 7
+    const/4 v0, 4
+    new-array v1, v0, [Ljava/lang/String;
+    const-string v2, "benign"
+    const/4 v4, 1
+    aput-object v2, v1, v4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v2
+    const/4 v3, 0
+    aput-object v2, v1, v3
+    const/4 v4, 1
+    aget-object v5, v1, v4
+    invoke-virtual {{p0, v5}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(f"de.bench.arrays.index{index}", cls, smali)
+
+    return Sample(
+        name=f"ArrayIndex{index}", category="arrays", leaky=False,
+        build=build,
+        description="benign slot leaked; index-insensitive tools FP",
+    )
+
+
+def samples() -> list[Sample]:
+    out = [_leaky_sample(i) for i in range(7)]
+    out += [_index_trap(i) for i in range(2)]
+    return out

@@ -1,0 +1,197 @@
+"""Callback samples: leaks through registered UI listeners.
+
+Includes Button1 and Button3 — the Table IV rows where the sensitive data
+round-trips through framework widget storage (``setText``/``getText``),
+which static taint wrappers model but dynamic trackers launder away.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import (
+    activity_class,
+    helper_suffix,
+    make_sample_apk,
+    multi_class_apk,
+    sink_methods,
+)
+
+
+def _button1() -> Sample:
+    """Source -> widget text in onCreate; onClick reads it back and leaks."""
+    cls = "Lde/bench/callbacks/Button1;"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const/16 v1, 42
+    invoke-virtual {{p0, v1}}, {cls}->findViewById(I)Landroid/view/View;
+    move-result-object v1
+    check-cast v1, Landroid/widget/TextView;
+    invoke-virtual {{v1, v0}}, Landroid/widget/TextView;->setText(Ljava/lang/String;)V
+    invoke-virtual {{v1, p0}}, Landroid/view/View;->setOnClickListener(Landroid/view/View$OnClickListener;)V
+    return-void
+.end method
+
+.method public onClick(Landroid/view/View;)V
+    .registers 4
+    const/16 v0, 42
+    invoke-virtual {{p0, v0}}, {cls}->findViewById(I)Landroid/view/View;
+    move-result-object v0
+    check-cast v0, Landroid/widget/TextView;
+    invoke-virtual {{v0}}, Landroid/widget/TextView;->getText()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->sms(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(
+        cls, body + helper_suffix(cls),
+        implements="Landroid/view/View$OnClickListener;",
+    )
+
+    def build():
+        return make_sample_apk("de.bench.callbacks.button1", cls, smali)
+
+    return Sample(
+        name="Button1", category="callbacks", leaky=True, expected_leaks=1,
+        build=build, description="widget-mediated leak in onClick (Table IV)",
+    )
+
+
+def _button3() -> Sample:
+    """Two widget-mediated leaks through two distinct sinks."""
+    cls = "Lde/bench/callbacks/Button3;"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const/16 v1, 7
+    invoke-virtual {{p0, v1}}, {cls}->findViewById(I)Landroid/view/View;
+    move-result-object v1
+    check-cast v1, Landroid/widget/TextView;
+    invoke-virtual {{v1, v0}}, Landroid/widget/TextView;->setText(Ljava/lang/String;)V
+    invoke-virtual {{v1, p0}}, Landroid/view/View;->setOnClickListener(Landroid/view/View$OnClickListener;)V
+    return-void
+.end method
+
+.method public onClick(Landroid/view/View;)V
+    .registers 4
+    const/16 v0, 7
+    invoke-virtual {{p0, v0}}, {cls}->findViewById(I)Landroid/view/View;
+    move-result-object v0
+    check-cast v0, Landroid/widget/TextView;
+    invoke-virtual {{v0}}, Landroid/widget/TextView;->getText()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->sms(Ljava/lang/String;)V
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(
+        cls, body + helper_suffix(cls),
+        implements="Landroid/view/View$OnClickListener;",
+    )
+
+    def build():
+        return make_sample_apk("de.bench.callbacks.button3", cls, smali)
+
+    return Sample(
+        name="Button3", category="callbacks", leaky=True, expected_leaks=2,
+        build=build, description="two widget-mediated leaks (Table IV)",
+    )
+
+
+def _listener_class_sample(index: int) -> Sample:
+    """Leak in a separate registered listener class fed via constructor."""
+    main = f"Lde/bench/callbacks/Main{index};"
+    listener = f"Lde/bench/callbacks/Listener{index};"
+    sink = ("logIt", "sms", "www")[index % 3]
+    main_text = activity_class(main, f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    invoke-virtual {{p0}}, {main}->getImei()Ljava/lang/String;
+    move-result-object v0
+    new-instance v1, {listener}
+    invoke-direct {{v1, p0, v0}}, {listener}-><init>({main}Ljava/lang/String;)V
+    const/16 v2, {10 + index}
+    invoke-virtual {{p0, v2}}, {main}->findViewById(I)Landroid/view/View;
+    move-result-object v2
+    invoke-virtual {{v2, v1}}, Landroid/view/View;->setOnClickListener(Landroid/view/View$OnClickListener;)V
+    return-void
+.end method
+""" + helper_suffix(main))
+    listener_text = activity_class(listener, f"""
+.method public <init>({main}Ljava/lang/String;)V
+    .registers 4
+    invoke-direct {{p0}}, Ljava/lang/Object;-><init>()V
+    iput-object p1, p0, {listener}->host:{main}
+    iput-object p2, p0, {listener}->data:Ljava/lang/String;
+    return-void
+.end method
+
+.method public onClick(Landroid/view/View;)V
+    .registers 4
+    iget-object v0, p0, {listener}->host:{main}
+    iget-object v1, p0, {listener}->data:Ljava/lang/String;
+    invoke-virtual {{v0, v1}}, {main}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+""", superclass="Ljava/lang/Object;",
+        implements="Landroid/view/View$OnClickListener;",
+        fields=f".field public host:{main}\n.field public data:Ljava/lang/String;")
+
+    def build():
+        return multi_class_apk(
+            f"de.bench.callbacks.listener{index}", main, [main_text, listener_text]
+        )
+
+    return Sample(
+        name=f"Callback{index}", category="callbacks", leaky=True,
+        build=build, description=f"leak via dedicated listener class, {sink}",
+    )
+
+
+def _self_listener_sample(index: int) -> Sample:
+    """Activity registers itself; source inside the callback."""
+    cls = f"Lde/bench/callbacks/SelfListen{index};"
+    source = ("getImei", "getSsid", "getLoc")[index % 3]
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    const/16 v0, {20 + index}
+    invoke-virtual {{p0, v0}}, {cls}->findViewById(I)Landroid/view/View;
+    move-result-object v0
+    invoke-virtual {{v0, p0}}, Landroid/view/View;->setOnClickListener(Landroid/view/View$OnClickListener;)V
+    return-void
+.end method
+
+.method public onClick(Landroid/view/View;)V
+    .registers 3
+    invoke-virtual {{p0}}, {cls}->{source}()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(
+        cls, body + helper_suffix(cls),
+        implements="Landroid/view/View$OnClickListener;",
+    )
+
+    def build():
+        return make_sample_apk(f"de.bench.callbacks.selflisten{index}", cls, smali)
+
+    return Sample(
+        name=f"SelfListener{index}", category="callbacks", leaky=True,
+        build=build, description=f"source+sink inside onClick ({source})",
+    )
+
+
+def samples() -> list[Sample]:
+    out = [_button1(), _button3()]
+    out += [_listener_class_sample(i) for i in range(4)]
+    out += [_self_listener_sample(i) for i in range(4)]
+    return out

@@ -1,0 +1,205 @@
+"""Dynamic-loading samples (3 of the paper's 15 contributed samples).
+
+The leaking code lives in a *secondary DEX* that only exists inside
+``assets/`` (plain, or encrypted and dropped at runtime).  Static tools
+analyse ``classes.dex`` and find nothing; at runtime the code registers
+through the class linker — the same flow DexLego collects (§III-A) — so
+the revealed DEX contains it as ordinary classes.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+from repro.dex import assemble
+from repro.dex.writer import write_dex
+
+
+def _payload_runnable(cls: str) -> bytes:
+    """Secondary DEX: a Runnable whose run() leaks the IMEI."""
+    text = activity_class(cls, f"""
+.method public <init>()V
+    .registers 1
+    invoke-direct {{p0}}, Ljava/lang/Object;-><init>()V
+    return-void
+.end method
+
+.method public run()V
+    .registers 4
+    new-instance v0, Landroid/telephony/TelephonyManager;
+    invoke-direct {{v0}}, Landroid/telephony/TelephonyManager;-><init>()V
+    invoke-virtual {{v0}}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;
+    move-result-object v0
+    const-string v1, "PLUGIN"
+    invoke-static {{v1, v0}}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+""", superclass="Ljava/lang/Object;", implements="Ljava/lang/Runnable;")
+    return write_dex(assemble(text))
+
+
+def _payload_listener(cls: str) -> bytes:
+    """Secondary DEX: an OnClickListener whose onClick leaks the SSID."""
+    text = activity_class(cls, f"""
+.method public <init>()V
+    .registers 1
+    invoke-direct {{p0}}, Ljava/lang/Object;-><init>()V
+    return-void
+.end method
+
+.method public onClick(Landroid/view/View;)V
+    .registers 5
+    new-instance v0, Landroid/net/wifi/WifiManager;
+    invoke-direct {{v0}}, Landroid/net/wifi/WifiManager;-><init>()V
+    invoke-virtual {{v0}}, Landroid/net/wifi/WifiManager;->getConnectionInfo()Landroid/net/wifi/WifiInfo;
+    move-result-object v0
+    invoke-virtual {{v0}}, Landroid/net/wifi/WifiInfo;->getSSID()Ljava/lang/String;
+    move-result-object v0
+    const-string v1, "PLUGIN2"
+    invoke-static {{v1, v0}}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+""", superclass="Ljava/lang/Object;",
+        implements="Landroid/view/View$OnClickListener;")
+    return write_dex(assemble(text))
+
+
+def _plain_load_sample() -> Sample:
+    """DynLoad0: plain DEX in assets, loaded and run as a Runnable."""
+    main = "Lde/bench/dynload/DynLoad0;"
+    payload_cls = "Lde/bench/dynload/Plugin0;"
+    human = payload_cls[1:-1].replace("/", ".")
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 8
+    new-instance v0, Ldalvik/system/DexClassLoader;
+    const-string v1, "plugin0.dex"
+    invoke-direct {{v0, v1}}, Ldalvik/system/DexClassLoader;-><init>(Ljava/lang/String;)V
+    const-string v1, "{human}"
+    invoke-virtual {{v0, v1}}, Ldalvik/system/DexClassLoader;->loadClass(Ljava/lang/String;)Ljava/lang/Class;
+    move-result-object v2
+    invoke-virtual {{v2}}, Ljava/lang/Class;->newInstance()Ljava/lang/Object;
+    move-result-object v3
+    check-cast v3, Ljava/lang/Runnable;
+    invoke-interface {{v3}}, Ljava/lang/Runnable;->run()V
+    return-void
+.end method
+"""
+    smali = activity_class(main, body + helper_suffix(main))
+
+    def build():
+        return make_sample_apk(
+            "de.bench.dynload.s0", main, smali,
+            assets={"plugin0.dex": _payload_runnable(payload_cls)},
+        )
+
+    return Sample(
+        name="DynLoad0", category="dynload", leaky=True, build=build,
+        added_by_paper=True,
+        description="plain secondary DEX from assets runs a leaky Runnable",
+    )
+
+
+def _encrypted_load_sample() -> Sample:
+    """DynLoad1: payload XOR-decrypted in bytecode, dropped to a file,
+    then loaded — no parseable DEX exists anywhere in the APK."""
+    main = "Lde/bench/dynload/DynLoad1;"
+    payload_cls = "Lde/bench/dynload/Plugin1;"
+    human = payload_cls[1:-1].replace("/", ".")
+    raw = _payload_runnable(payload_cls)
+    key = 0x5C
+    encrypted = bytes(b ^ key for b in raw)
+    array_values = "\n".join(
+        f"        {b - 256 if b >= 128 else b}" for b in encrypted
+    )
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 10
+    const v0, {len(encrypted)}
+    new-array v1, v0, [B
+    fill-array-data v1, :blob
+    const/4 v2, 0
+    :dec
+    if-ge v2, v0, :dec_done
+    aget-byte v3, v1, v2
+    xor-int/lit8 v3, v3, {key}
+    int-to-byte v3, v3
+    aput-byte v3, v1, v2
+    add-int/lit8 v2, v2, 1
+    goto :dec
+    :dec_done
+    new-instance v4, Ljava/io/FileOutputStream;
+    const-string v5, "/data/local/plugin1.dex"
+    invoke-direct {{v4, v5}}, Ljava/io/FileOutputStream;-><init>(Ljava/lang/String;)V
+    invoke-virtual {{v4, v1}}, Ljava/io/FileOutputStream;->write([B)V
+    invoke-virtual {{v4}}, Ljava/io/FileOutputStream;->close()V
+    new-instance v6, Ldalvik/system/DexClassLoader;
+    invoke-direct {{v6, v5}}, Ldalvik/system/DexClassLoader;-><init>(Ljava/lang/String;)V
+    const-string v7, "{human}"
+    invoke-virtual {{v6, v7}}, Ldalvik/system/DexClassLoader;->loadClass(Ljava/lang/String;)Ljava/lang/Class;
+    move-result-object v7
+    invoke-virtual {{v7}}, Ljava/lang/Class;->newInstance()Ljava/lang/Object;
+    move-result-object v8
+    check-cast v8, Ljava/lang/Runnable;
+    invoke-interface {{v8}}, Ljava/lang/Runnable;->run()V
+    return-void
+    :blob
+    .array-data 1
+{array_values}
+    .end array-data
+.end method
+"""
+    smali = activity_class(main, body + helper_suffix(main))
+
+    def build():
+        return make_sample_apk("de.bench.dynload.s1", main, smali)
+
+    return Sample(
+        name="DynLoad1", category="dynload", leaky=True, build=build,
+        added_by_paper=True,
+        description="XOR-encrypted payload decrypted in bytecode, dropped "
+                    "to disk and loaded",
+    )
+
+
+def _listener_load_sample() -> Sample:
+    """DynLoad2: loaded class registered as a click listener."""
+    main = "Lde/bench/dynload/DynLoad2;"
+    payload_cls = "Lde/bench/dynload/Plugin2;"
+    human = payload_cls[1:-1].replace("/", ".")
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 8
+    new-instance v0, Ldalvik/system/DexClassLoader;
+    const-string v1, "plugin2.dex"
+    invoke-direct {{v0, v1}}, Ldalvik/system/DexClassLoader;-><init>(Ljava/lang/String;)V
+    const-string v1, "{human}"
+    invoke-virtual {{v0, v1}}, Ldalvik/system/DexClassLoader;->loadClass(Ljava/lang/String;)Ljava/lang/Class;
+    move-result-object v2
+    invoke-virtual {{v2}}, Ljava/lang/Class;->newInstance()Ljava/lang/Object;
+    move-result-object v3
+    check-cast v3, Landroid/view/View$OnClickListener;
+    const/16 v4, 99
+    invoke-virtual {{p0, v4}}, {main}->findViewById(I)Landroid/view/View;
+    move-result-object v4
+    invoke-virtual {{v4, v3}}, Landroid/view/View;->setOnClickListener(Landroid/view/View$OnClickListener;)V
+    return-void
+.end method
+"""
+    smali = activity_class(main, body + helper_suffix(main))
+
+    def build():
+        return make_sample_apk(
+            "de.bench.dynload.s2", main, smali,
+            assets={"plugin2.dex": _payload_listener(payload_cls)},
+        )
+
+    return Sample(
+        name="DynLoad2", category="dynload", leaky=True, build=build,
+        added_by_paper=True,
+        description="dynamically loaded click listener leaks on click",
+    )
+
+
+def samples() -> list[Sample]:
+    return [_plain_load_sample(), _encrypted_load_sample(), _listener_load_sample()]

@@ -1,0 +1,81 @@
+"""Emulator-detection and device-gated samples.
+
+``EmulatorDetection*`` leak only on real hardware (Build fingerprint
+checks).  Statically the flow is visible regardless; dynamically it
+evades emulator-hosted tools (TaintDroid in Table IV).  ``TabletOnly1``
+leaks only on tablets — the paper's single DexLego miss ("sensitive data
+only leaks in the tablet, and it cannot be detected as we execute it in
+a mobile phone").
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+
+
+def _emulator_sample(index: int) -> Sample:
+    cls = f"Lde/bench/emulator/EmulatorDetection{index + 1};"
+    check_field = ("FINGERPRINT", "HARDWARE", "MODEL", "BRAND")[index % 4]
+    needle = ("generic", "goldfish", "sdk_gphone", "generic")[index % 4]
+    sink = ("logIt", "sms", "www")[index % 3]
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    sget-object v0, Landroid/os/Build;->{check_field}:Ljava/lang/String;
+    const-string v1, "{needle}"
+    invoke-virtual {{v0, v1}}, Ljava/lang/String;->contains(Ljava/lang/CharSequence;)Z
+    move-result v2
+    if-nez v2, :emulator
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->{sink}(Ljava/lang/String;)V
+    :emulator
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(f"de.bench.emulator.s{index}", cls, smali)
+
+    return Sample(
+        name=f"EmulatorDetection{index + 1}", category="emulator", leaky=True,
+        build=build,
+        description=f"leaks unless Build.{check_field} looks like an emulator",
+    )
+
+
+def _tablet_only() -> Sample:
+    """Leaks only when running on tablet hardware (paper's one miss)."""
+    cls = "Lde/bench/emulator/TabletOnly1;"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    sget-object v0, Landroid/os/Build;->HARDWARE:Ljava/lang/String;
+    const-string v1, "dragon"
+    invoke-virtual {{v0, v1}}, Ljava/lang/String;->equals(Ljava/lang/Object;)Z
+    move-result v2
+    if-eqz v2, :phone
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->sms(Ljava/lang/String;)V
+    :phone
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk("de.bench.emulator.tablet", cls, smali)
+
+    return Sample(
+        name="TabletOnly1", category="emulator", leaky=True, expected_leaks=0,
+        build=build,
+        description="tablet-gated leak; never fires on the phone device "
+                    "(DexLego's single missed flow in Table II)",
+    )
+
+
+def samples() -> list[Sample]:
+    return [_emulator_sample(i) for i in range(4)] + [_tablet_only()]

@@ -1,0 +1,120 @@
+"""Field-sensitivity samples plus the flow-order and container FP traps.
+
+Leaky: taint stored in one field, read from the SAME field.
+Benign traps:
+
+* ``FieldFlowOrder*`` — sink reads the field *before* the source writes
+  it (flow-insensitive tools report it anyway: DroidSafe-style FPs);
+* ``Container*`` — taint stored in a map under one key, a different key
+  leaked (container-blurred taint: FPs for every tool, original AND
+  revealed — exactly the residual FPs of Table II/III).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+
+
+def _leaky_sample(index: int) -> Sample:
+    """Two fields; the tainted one leaks (field-sensitive tools: 1 flow)."""
+    cls = f"Lde/bench/fields/FieldSense{index};"
+    sink = ("logIt", "sms", "www")[index % 3]
+    source = ("getImei", "getSsid", "getLoc")[index % 3]
+    fields = (
+        ".field public hot:Ljava/lang/String;\n"
+        ".field public cold:Ljava/lang/String;"
+    )
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->{source}()Ljava/lang/String;
+    move-result-object v0
+    iput-object v0, p0, {cls}->hot:Ljava/lang/String;
+    const-string v1, "benign"
+    iput-object v1, p0, {cls}->cold:Ljava/lang/String;
+    iget-object v1, p0, {cls}->hot:Ljava/lang/String;
+    invoke-virtual {{p0, v1}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls), fields=fields)
+
+    def build():
+        return make_sample_apk(f"de.bench.fields.sense{index}", cls, smali)
+
+    return Sample(
+        name=f"FieldSense{index}", category="fieldsense", leaky=True,
+        build=build, description=f"tainted field leaks via {sink}",
+    )
+
+
+def _flow_order_trap(index: int) -> Sample:
+    """Sink BEFORE source on the same field: no real flow."""
+    cls = f"Lde/bench/fields/FieldFlowOrder{index};"
+    fields = ".field public slot:Ljava/lang/String;"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    const-string v0, "empty"
+    iput-object v0, p0, {cls}->slot:Ljava/lang/String;
+    iget-object v1, p0, {cls}->slot:Ljava/lang/String;
+    invoke-virtual {{p0, v1}}, {cls}->logIt(Ljava/lang/String;)V
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    iput-object v0, p0, {cls}->slot:Ljava/lang/String;
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls), fields=fields)
+
+    def build():
+        return make_sample_apk(f"de.bench.fields.order{index}", cls, smali)
+
+    return Sample(
+        name=f"FieldFlowOrder{index}", category="fieldsense", leaky=False,
+        build=build,
+        description="sink reads field before source writes it (FP trap)",
+    )
+
+
+def _container_trap(index: int) -> Sample:
+    """Taint under map key A; key B is leaked: container blur FP for all."""
+    cls = f"Lde/bench/fields/Container{index};"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    new-instance v0, Ljava/util/HashMap;
+    invoke-direct {{v0}}, Ljava/util/HashMap;-><init>()V
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v1
+    const-string v2, "secret"
+    invoke-virtual {{v0, v2, v1}}, Ljava/util/HashMap;->put(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;
+    const-string v2, "public"
+    const-string v3, "hello"
+    invoke-virtual {{v0, v2, v3}}, Ljava/util/HashMap;->put(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;
+    const-string v2, "public"
+    invoke-virtual {{v0, v2}}, Ljava/util/HashMap;->get(Ljava/lang/Object;)Ljava/lang/Object;
+    move-result-object v1
+    check-cast v1, Ljava/lang/String;
+    invoke-virtual {{p0, v1}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(f"de.bench.fields.container{index}", cls, smali)
+
+    return Sample(
+        name=f"Container{index}", category="fieldsense", leaky=False,
+        build=build,
+        description="benign map key leaked; container blur FP (all tools)",
+    )
+
+
+def samples() -> list[Sample]:
+    out = [_leaky_sample(i) for i in range(8)]
+    out += [_flow_order_trap(i) for i in range(2)]
+    out += [_container_trap(i) for i in range(2)]
+    return out

@@ -1,0 +1,300 @@
+"""GeneralJava samples: direct flows, string operations, exceptions.
+
+The bread-and-butter leaks every competent static tool must find — loops,
+helper methods, string transformations, flows through catch blocks.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+
+_SOURCES = ["getImei", "getSsid", "getLoc"]
+_SINKS = ["logIt", "sms", "www"]
+
+
+def _direct_sample(index: int) -> Sample:
+    source = _SOURCES[index % 3]
+    sink = _SINKS[(index // 3) % 3]
+    cls = f"Lde/bench/general/Direct{index};"
+    variants = [_plain, _via_helper, _via_loop, _via_move_chain, _conditional_taken]
+    body = variants[index % len(variants)](cls, source, sink)
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build(cls=cls, smali=smali, index=index):
+        return make_sample_apk(f"de.bench.general.direct{index}", cls, smali)
+
+    return Sample(
+        name=f"Direct{index}",
+        category="general",
+        leaky=True,
+        expected_leaks=1,
+        build=build,
+        description=f"{source} -> {sink}, variant {index % len(variants)}",
+    )
+
+
+def _plain(cls: str, source: str, sink: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    invoke-virtual {{p0}}, {cls}->{source}()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _via_helper(cls: str, source: str, sink: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    invoke-virtual {{p0}}, {cls}->{source}()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->handoff(Ljava/lang/String;)V
+    return-void
+.end method
+
+.method public handoff(Ljava/lang/String;)V
+    .registers 3
+    invoke-virtual {{p0, p1}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _via_loop(cls: str, source: str, sink: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    invoke-virtual {{p0}}, {cls}->{source}()Ljava/lang/String;
+    move-result-object v0
+    const/4 v1, 0
+    :loop
+    const/4 v2, 3
+    if-ge v1, v2, :done
+    add-int/lit8 v1, v1, 1
+    goto :loop
+    :done
+    invoke-virtual {{p0, v0}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _via_move_chain(cls: str, source: str, sink: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    invoke-virtual {{p0}}, {cls}->{source}()Ljava/lang/String;
+    move-result-object v0
+    move-object v1, v0
+    move-object v2, v1
+    move-object v3, v2
+    invoke-virtual {{p0, v3}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _conditional_taken(cls: str, source: str, sink: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    invoke-virtual {{p0}}, {cls}->{source}()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{v0}}, Ljava/lang/String;->length()I
+    move-result v1
+    if-gtz v1, :leak
+    return-void
+    :leak
+    invoke-virtual {{p0, v0}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _stringop_sample(index: int) -> Sample:
+    cls = f"Lde/bench/general/StringOps{index};"
+    bodies = [_concat_body, _builder_body, _substring_body, _upper_body, _valueof_body]
+    body = bodies[index % len(bodies)](cls)
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build(cls=cls, smali=smali, index=index):
+        return make_sample_apk(f"de.bench.general.strops{index}", cls, smali)
+
+    return Sample(
+        name=f"StringOps{index}",
+        category="general",
+        leaky=True,
+        build=build,
+        description="leak survives string transformation",
+    )
+
+
+def _concat_body(cls: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const-string v1, "id="
+    invoke-virtual {{v1, v0}}, Ljava/lang/String;->concat(Ljava/lang/String;)Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _builder_body(cls: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    new-instance v1, Ljava/lang/StringBuilder;
+    invoke-direct {{v1}}, Ljava/lang/StringBuilder;-><init>()V
+    const-string v2, "device:"
+    invoke-virtual {{v1, v2}}, Ljava/lang/StringBuilder;->append(Ljava/lang/String;)Ljava/lang/StringBuilder;
+    invoke-virtual {{v1, v0}}, Ljava/lang/StringBuilder;->append(Ljava/lang/String;)Ljava/lang/StringBuilder;
+    invoke-virtual {{v1}}, Ljava/lang/StringBuilder;->toString()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->sms(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _substring_body(cls: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const/4 v1, 2
+    invoke-virtual {{v0, v1}}, Ljava/lang/String;->substring(I)Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _upper_body(cls: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    invoke-virtual {{p0}}, {cls}->getSsid()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{v0}}, Ljava/lang/String;->toUpperCase()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->www(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _valueof_body(cls: str) -> str:
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    invoke-virtual {{p0}}, {cls}->getLoc()Ljava/lang/String;
+    move-result-object v0
+    invoke-static {{v0}}, Ljava/lang/String;->valueOf(Ljava/lang/Object;)Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _exception_sample(index: int) -> Sample:
+    cls = f"Lde/bench/general/Exceptions{index};"
+    if index == 0:
+        # Leak inside a catch block entered via a real ArithmeticException.
+        body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const/4 v1, 0
+    :try_start
+    const/16 v2, 100
+    div-int v2, v2, v1
+    :try_end
+    return-void
+    :handler
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+    .catch Ljava/lang/ArithmeticException; {{:try_start .. :try_end}} :handler
+.end method
+"""
+    elif index == 1:
+        # Leak value thrown through an exception message.
+        body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    :try_start
+    invoke-virtual {{p0}}, {cls}->boom()V
+    :try_end
+    return-void
+    :handler
+    move-exception v0
+    invoke-virtual {{v0}}, Ljava/lang/RuntimeException;->getMessage()Ljava/lang/String;
+    move-result-object v1
+    invoke-virtual {{p0, v1}}, {cls}->sms(Ljava/lang/String;)V
+    return-void
+    .catch Ljava/lang/RuntimeException; {{:try_start .. :try_end}} :handler
+.end method
+
+.method public boom()V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    new-instance v1, Ljava/lang/RuntimeException;
+    invoke-direct {{v1, v0}}, Ljava/lang/RuntimeException;-><init>(Ljava/lang/String;)V
+    throw v1
+.end method
+"""
+    else:
+        # finally-style: leak after catch-all.
+        body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    invoke-virtual {{p0}}, {cls}->getSsid()Ljava/lang/String;
+    move-result-object v0
+    const/4 v1, 0
+    :try_start
+    const/16 v2, 7
+    div-int v2, v2, v1
+    :try_end
+    goto :after
+    :handler
+    nop
+    :after
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+    .catchall {{:try_start .. :try_end}} :handler
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build(cls=cls, smali=smali, index=index):
+        return make_sample_apk(f"de.bench.general.exc{index}", cls, smali)
+
+    return Sample(
+        name=f"Exceptions{index}",
+        category="general",
+        leaky=True,
+        build=build,
+        description="leak routed through exception handling",
+    )
+
+
+def samples() -> list[Sample]:
+    out = [_direct_sample(i) for i in range(14)]
+    out += [_stringop_sample(i) for i in range(5)]
+    out += [_exception_sample(i) for i in range(3)]
+    return out

@@ -1,0 +1,70 @@
+"""Inter-component communication samples.
+
+Sensitive data rides an Intent extra into a second activity started with
+``startActivity``.  Tools without an ICC model (FlowDroid-like — the
+standalone FlowDroid of the paper, before IccTA) lose the flow at the
+component boundary; DroidSafe-like and HornDroid-like connect it.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, multi_class_apk
+
+
+def _receiver_class(receiver: str, sink: str) -> str:
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    invoke-virtual {{p0}}, {receiver}->getIntent()Landroid/content/Intent;
+    move-result-object v0
+    if-eqz v0, :done
+    const-string v1, "payload"
+    invoke-virtual {{v0, v1}}, Landroid/content/Intent;->getStringExtra(Ljava/lang/String;)Ljava/lang/String;
+    move-result-object v1
+    if-eqz v1, :done
+    invoke-virtual {{p0, v1}}, {receiver}->{sink}(Ljava/lang/String;)V
+    :done
+    return-void
+.end method
+"""
+    return activity_class(receiver, body + helper_suffix(receiver))
+
+
+def _sample(index: int) -> Sample:
+    sender = f"Lde/bench/icc/Sender{index};"
+    receiver = f"Lde/bench/icc/Receiver{index};"
+    sink = ("logIt", "sms", "www")[index % 3]
+    source = ("getImei", "getSsid", "getLoc")[(index // 3) % 3]
+    send_body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    invoke-virtual {{p0}}, {sender}->{source}()Ljava/lang/String;
+    move-result-object v0
+    new-instance v1, Landroid/content/Intent;
+    const-class v2, {receiver}
+    invoke-direct {{v1, p0, v2}}, Landroid/content/Intent;-><init>(Landroid/content/Context;Ljava/lang/Class;)V
+    const-string v3, "payload"
+    invoke-virtual {{v1, v3, v0}}, Landroid/content/Intent;->putExtra(Ljava/lang/String;Ljava/lang/String;)Landroid/content/Intent;
+    invoke-virtual {{p0, v1}}, {sender}->startActivity(Landroid/content/Intent;)V
+    return-void
+.end method
+"""
+    sender_text = activity_class(sender, send_body + helper_suffix(sender))
+
+    def build():
+        return multi_class_apk(
+            f"de.bench.icc.s{index}", sender,
+            [sender_text, _receiver_class(receiver, sink)],
+            activities=[sender, receiver],
+        )
+
+    return Sample(
+        name=f"IccExtra{index}", category="icc", leaky=True,
+        build=build,
+        description=f"{source} rides intent extra into {receiver}",
+    )
+
+
+def samples() -> list[Sample]:
+    return [_sample(i) for i in range(10)]

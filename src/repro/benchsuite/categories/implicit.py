@@ -1,0 +1,86 @@
+"""Implicit-flow samples (including Table IV's ImplicitFlow1).
+
+The secret is leaked through *control dependence*: branch on the
+sensitive value, emit constants in the branches.  Only tools that
+propagate taint through branch conditions (HornDroid-like) see these;
+explicit-only dataflow (FlowDroid-, DroidSafe-like and both dynamic
+trackers) is blind.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+
+
+def _implicit_flow1() -> Sample:
+    """Two implicit leaks: char-by-char digit test to two sinks."""
+    cls = "Lde/bench/implicit/ImplicitFlow1;"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const/4 v1, 0
+    invoke-virtual {{v0, v1}}, Ljava/lang/String;->charAt(I)C
+    move-result v1
+    const/16 v2, 53
+    if-ne v1, v2, :other
+    const-string v3, "first-digit-is-5"
+    goto :out
+    :other
+    const-string v3, "first-digit-not-5"
+    :out
+    invoke-virtual {{p0, v3}}, {cls}->logIt(Ljava/lang/String;)V
+    invoke-virtual {{p0, v3}}, {cls}->sms(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk("de.bench.implicit.flow1", cls, smali)
+
+    return Sample(
+        name="ImplicitFlow1", category="implicit", leaky=True, expected_leaks=0,
+        build=build,
+        description="control-dependent leak (Table IV); oracle sees no "
+                    "explicit flow, ground truth is leaky",
+    )
+
+
+def _sample(index: int) -> Sample:
+    cls = f"Lde/bench/implicit/Implicit{index};"
+    sink = ("logIt", "sms", "www")[index % 3]
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{v0}}, Ljava/lang/String;->hashCode()I
+    move-result v1
+    and-int/lit8 v1, v1, {1 << (index % 4)}
+    if-eqz v1, :zero
+    const-string v2, "bit-set"
+    goto :emit
+    :zero
+    const-string v2, "bit-clear"
+    :emit
+    invoke-virtual {{p0, v2}}, {cls}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(f"de.bench.implicit.s{index}", cls, smali)
+
+    return Sample(
+        name=f"Implicit{index}", category="implicit", leaky=True,
+        expected_leaks=0, build=build,
+        description=f"one secret bit leaks implicitly via {sink}",
+    )
+
+
+def samples() -> list[Sample]:
+    return [_implicit_flow1()] + [_sample(i) for i in range(4)]

@@ -1,0 +1,90 @@
+"""Lifecycle samples: leaks split across activity lifecycle callbacks.
+
+Source and sink live in different lifecycle methods, connected through
+instance or static fields — the pattern FlowDroid's lifecycle model was
+built for.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+
+# (source hook, sink hook) pairs exercised across the ten samples.
+_HOOK_PAIRS = [
+    ("onCreate", "onStart"),
+    ("onCreate", "onResume"),
+    ("onCreate", "onPause"),
+    ("onCreate", "onStop"),
+    ("onCreate", "onDestroy"),
+    ("onStart", "onResume"),
+    ("onStart", "onPause"),
+    ("onResume", "onPause"),
+    ("onResume", "onStop"),
+    ("onCreate", "onRestart"),
+]
+
+
+def _field_kind(index: int) -> str:
+    return "static" if index % 3 == 2 else "instance"
+
+
+def _sample(index: int) -> Sample:
+    source_hook, sink_hook = _HOOK_PAIRS[index]
+    cls = f"Lde/bench/lifecycle/Lifecycle{index};"
+    kind = _field_kind(index)
+    sink = ("logIt", "sms", "www")[index % 3]
+    if kind == "static":
+        fields = ".field public static secret:Ljava/lang/String;"
+        store = f"sput-object v0, {cls}->secret:Ljava/lang/String;"
+        load = f"sget-object v0, {cls}->secret:Ljava/lang/String;"
+    else:
+        fields = ".field public secret:Ljava/lang/String;"
+        store = f"iput-object v0, p0, {cls}->secret:Ljava/lang/String;"
+        load = f"iget-object v0, p0, {cls}->secret:Ljava/lang/String;"
+
+    source_params = "Landroid/os/Bundle;" if source_hook == "onCreate" else ""
+    source_regs = 3
+    body = f"""
+.method public {source_hook}({source_params})V
+    .registers {source_regs + (1 if source_params else 0)}
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    {store}
+    return-void
+.end method
+
+.method public {sink_hook}()V
+    .registers 3
+    {load}
+    if-eqz v0, :skip
+    invoke-virtual {{p0, v0}}, {cls}->{sink}(Ljava/lang/String;)V
+    :skip
+    return-void
+.end method
+"""
+    # onRestart is not part of the standard drive; route it from onPause.
+    if sink_hook == "onRestart":
+        body += f"""
+.method public onPause()V
+    .registers 2
+    invoke-virtual {{p0}}, {cls}->onRestart()V
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls), fields=fields)
+
+    def build(cls=cls, smali=smali, index=index):
+        return make_sample_apk(f"de.bench.lifecycle.s{index}", cls, smali)
+
+    return Sample(
+        name=f"Lifecycle{index}",
+        category="lifecycle",
+        leaky=True,
+        build=build,
+        description=f"{source_hook} stores in {kind} field, {sink_hook} leaks",
+    )
+
+
+def samples() -> list[Sample]:
+    return [_sample(i) for i in range(10)]

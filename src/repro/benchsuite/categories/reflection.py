@@ -1,0 +1,318 @@
+"""Reflection samples: constant-string reflection plus the paper's five
+advanced-reflection additions.
+
+``ReflectConst*`` use plain constant strings — every tool resolves them.
+``ReflectAdv*`` (contributed by the paper) hide the target: the name
+string is assembled at runtime, XOR-"decrypted", read from a character
+array, or no string is involved at all (``getMethods()`` indexing).
+Static tools fail on all five; DexLego's runtime rewrite (§IV-D) turns
+them into direct calls.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+
+_SINK_BODY = """
+.method public deliver(Ljava/lang/String;)V
+    .registers 3
+    invoke-virtual {p0, p1}, %(cls)s->logIt(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def _invoke_reflectively(cls: str, get_name_code: str) -> str:
+    """onCreate body: resolve `deliver` via reflection and call it.
+
+    Ten registers: v0-v7 scratch, p0/p1 land on v8/v9.
+    """
+    return f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 10
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+{get_name_code}
+    invoke-virtual {{p0}}, Ljava/lang/Object;->getClass()Ljava/lang/Class;
+    move-result-object v2
+    invoke-virtual {{v2, v1}}, Ljava/lang/Class;->getMethod(Ljava/lang/String;)Ljava/lang/reflect/Method;
+    move-result-object v3
+    const/4 v4, 1
+    new-array v5, v4, [Ljava/lang/Object;
+    const/4 v4, 0
+    aput-object v0, v5, v4
+    invoke-virtual {{v3, p0, v5}}, Ljava/lang/reflect/Method;->invoke(Ljava/lang/Object;[Ljava/lang/Object;)Ljava/lang/Object;
+    return-void
+.end method
+"""
+
+
+def _const_sample(index: int) -> Sample:
+    cls = f"Lde/bench/reflect/ReflectConst{index};"
+    if index % 2 == 0:
+        # Class.forName with constant class name + constant method name.
+        human = cls[1:-1].replace("/", ".")
+        body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 8
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const-string v1, "{human}"
+    invoke-static {{v1}}, Ljava/lang/Class;->forName(Ljava/lang/String;)Ljava/lang/Class;
+    move-result-object v2
+    const-string v1, "deliver"
+    invoke-virtual {{v2, v1}}, Ljava/lang/Class;->getMethod(Ljava/lang/String;)Ljava/lang/reflect/Method;
+    move-result-object v3
+    const/4 v4, 1
+    new-array v5, v4, [Ljava/lang/Object;
+    const/4 v4, 0
+    aput-object v0, v5, v4
+    invoke-virtual {{v3, p0, v5}}, Ljava/lang/reflect/Method;->invoke(Ljava/lang/Object;[Ljava/lang/Object;)Ljava/lang/Object;
+    return-void
+.end method
+"""
+    else:
+        body = _invoke_reflectively(cls, '    const-string v1, "deliver"')
+    smali = activity_class(
+        cls, body + (_SINK_BODY % {"cls": cls}) + helper_suffix(cls)
+    )
+
+    def build():
+        return make_sample_apk(f"de.bench.reflect.const{index}", cls, smali)
+
+    return Sample(
+        name=f"ReflectConst{index}", category="reflection", leaky=True,
+        build=build, description="constant-string reflection (all tools solve)",
+    )
+
+
+def _adv_concat() -> Sample:
+    """Method name assembled from two halves at runtime."""
+    cls = "Lde/bench/reflect/ReflectAdv0;"
+    name_code = """
+    const-string v1, "del"
+    const-string v6, "iver"
+    invoke-virtual {v1, v6}, Ljava/lang/String;->concat(Ljava/lang/String;)Ljava/lang/String;
+    move-result-object v1
+"""
+    smali = activity_class(
+        cls,
+        _invoke_reflectively(cls, name_code)
+        + (_SINK_BODY % {"cls": cls})
+        + helper_suffix(cls),
+    )
+
+    def build():
+        return make_sample_apk("de.bench.reflect.adv0", cls, smali)
+
+    return Sample(
+        name="ReflectAdv0", category="reflection_adv", leaky=True, build=build,
+        added_by_paper=True,
+        description="method name concatenated at runtime",
+    )
+
+
+def _adv_xor() -> Sample:
+    """Method name XOR-decrypted from a byte array in pure bytecode."""
+    cls = "Lde/bench/reflect/ReflectAdv1;"
+    encrypted = [ord(c) ^ 0x2A for c in "deliver"]
+    array_values = "\n".join(f"        {b}" for b in encrypted)
+    name_code = f"""
+    const/4 v6, 7
+    new-array v6, v6, [B
+    fill-array-data v6, :enc
+    const/4 v1, 0
+    :dec_loop
+    const/4 v7, 7
+    if-ge v1, v7, :dec_done
+    aget-byte v7, v6, v1
+    xor-int/lit8 v7, v7, 42
+    int-to-byte v7, v7
+    aput-byte v7, v6, v1
+    add-int/lit8 v1, v1, 1
+    goto :dec_loop
+    :dec_done
+    new-instance v1, Ljava/lang/StringBuilder;
+    invoke-direct {{v1}}, Ljava/lang/StringBuilder;-><init>()V
+    const/4 v7, 0
+    :cat_loop
+    const/4 v2, 7
+    if-ge v7, v2, :cat_done
+    aget-byte v2, v6, v7
+    int-to-char v2, v2
+    invoke-virtual {{v1, v2}}, Ljava/lang/StringBuilder;->append(C)Ljava/lang/StringBuilder;
+    add-int/lit8 v7, v7, 1
+    goto :cat_loop
+    :cat_done
+    invoke-virtual {{v1}}, Ljava/lang/StringBuilder;->toString()Ljava/lang/String;
+    move-result-object v1
+    goto :name_done
+    :enc
+    .array-data 1
+{array_values}
+    .end array-data
+    :name_done
+"""
+    smali = activity_class(
+        cls,
+        _invoke_reflectively(cls, name_code)
+        + (_SINK_BODY % {"cls": cls})
+        + helper_suffix(cls),
+    )
+
+    def build():
+        return make_sample_apk("de.bench.reflect.adv1", cls, smali)
+
+    return Sample(
+        name="ReflectAdv1", category="reflection_adv", leaky=True, build=build,
+        added_by_paper=True,
+        description="method name XOR-decrypted at runtime (Harvester-style)",
+    )
+
+
+def _adv_no_string() -> Sample:
+    """Reflective call without any string: getMethods() + index."""
+    cls = "Lde/bench/reflect/ReflectAdv2;"
+    # deliver() is alphabetically first among the public methods we add
+    # once helpers are renamed with z-prefixes; select index 0.
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 8
+    invoke-virtual {{p0}}, {cls}->zsrc()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0}}, Ljava/lang/Object;->getClass()Ljava/lang/Class;
+    move-result-object v2
+    invoke-virtual {{v2}}, Ljava/lang/Class;->getMethods()[Ljava/lang/reflect/Method;
+    move-result-object v3
+    const/4 v4, 0
+    aget-object v3, v3, v4
+    const/4 v4, 1
+    new-array v5, v4, [Ljava/lang/Object;
+    const/4 v4, 0
+    aput-object v0, v5, v4
+    invoke-virtual {{v3, p0, v5}}, Ljava/lang/reflect/Method;->invoke(Ljava/lang/Object;[Ljava/lang/Object;)Ljava/lang/Object;
+    return-void
+.end method
+
+.method public deliver(Ljava/lang/String;)V
+    .registers 4
+    const-string v0, "LEAK"
+    invoke-static {{v0, p1}}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+
+.method public zsrc()Ljava/lang/String;
+    .registers 3
+    const-string v0, "phone"
+    invoke-virtual {{p0, v0}}, {cls}->getSystemService(Ljava/lang/String;)Ljava/lang/Object;
+    move-result-object v0
+    check-cast v0, Landroid/telephony/TelephonyManager;
+    invoke-virtual {{v0}}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;
+    move-result-object v0
+    return-object v0
+.end method
+"""
+    smali = activity_class(cls, body)
+
+    def build():
+        return make_sample_apk("de.bench.reflect.adv2", cls, smali)
+
+    return Sample(
+        name="ReflectAdv2", category="reflection_adv", leaky=True, build=build,
+        added_by_paper=True,
+        description="string-free reflective call via getMethods() index",
+    )
+
+
+def _adv_chararray() -> Sample:
+    """Name built from a char array (no string constant anywhere)."""
+    cls = "Lde/bench/reflect/ReflectAdv3;"
+    chars = [ord(c) for c in "deliver"]
+    array_values = "\n".join(f"        {c}" for c in chars)
+    name_code = f"""
+    const/4 v6, 7
+    new-array v6, v6, [C
+    fill-array-data v6, :chars
+    new-instance v1, Ljava/lang/StringBuilder;
+    invoke-direct {{v1}}, Ljava/lang/StringBuilder;-><init>()V
+    const/4 v7, 0
+    :loop
+    const/4 v2, 7
+    if-ge v7, v2, :done
+    aget-char v2, v6, v7
+    invoke-virtual {{v1, v2}}, Ljava/lang/StringBuilder;->append(C)Ljava/lang/StringBuilder;
+    add-int/lit8 v7, v7, 1
+    goto :loop
+    :done
+    invoke-virtual {{v1}}, Ljava/lang/StringBuilder;->toString()Ljava/lang/String;
+    move-result-object v1
+    goto :name_done
+    :chars
+    .array-data 2
+{array_values}
+    .end array-data
+    :name_done
+"""
+    smali = activity_class(
+        cls,
+        _invoke_reflectively(cls, name_code)
+        + (_SINK_BODY % {"cls": cls})
+        + helper_suffix(cls),
+    )
+
+    def build():
+        return make_sample_apk("de.bench.reflect.adv3", cls, smali)
+
+    return Sample(
+        name="ReflectAdv3", category="reflection_adv", leaky=True, build=build,
+        added_by_paper=True,
+        description="method name from char array",
+    )
+
+
+def _adv_field_name() -> Sample:
+    """Target name stored in a static field set by <clinit> arithmetic."""
+    cls = "Lde/bench/reflect/ReflectAdv4;"
+    body = f"""
+.method static constructor <clinit>()V
+    .registers 4
+    const-string v0, "reviled"
+    new-instance v1, Ljava/lang/StringBuilder;
+    invoke-direct {{v1}}, Ljava/lang/StringBuilder;-><init>()V
+    const/4 v2, 6
+    :loop
+    if-ltz v2, :done
+    invoke-virtual {{v0, v2}}, Ljava/lang/String;->charAt(I)C
+    move-result v3
+    invoke-virtual {{v1, v3}}, Ljava/lang/StringBuilder;->append(C)Ljava/lang/StringBuilder;
+    add-int/lit8 v2, v2, -1
+    goto :loop
+    :done
+    invoke-virtual {{v1}}, Ljava/lang/StringBuilder;->toString()Ljava/lang/String;
+    move-result-object v0
+    sput-object v0, {cls}->hidden:Ljava/lang/String;
+    return-void
+.end method
+""" + _invoke_reflectively(cls, f"    sget-object v1, {cls}->hidden:Ljava/lang/String;")
+    smali = activity_class(
+        cls,
+        body + (_SINK_BODY % {"cls": cls}) + helper_suffix(cls),
+        fields=".field public static hidden:Ljava/lang/String;",
+    )
+
+    def build():
+        return make_sample_apk("de.bench.reflect.adv4", cls, smali)
+
+    return Sample(
+        name="ReflectAdv4", category="reflection_adv", leaky=True, build=build,
+        added_by_paper=True,
+        description="method name is a reversed string computed in <clinit>",
+    )
+
+
+def samples() -> list[Sample]:
+    out = [_const_sample(i) for i in range(6)]
+    out += [_adv_concat(), _adv_xor(), _adv_no_string(), _adv_chararray(),
+            _adv_field_name()]
+    return out

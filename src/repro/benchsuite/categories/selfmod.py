@@ -1,0 +1,311 @@
+"""Self-modifying samples (4 of the paper's 15 contributed samples).
+
+Native code rewrites live bytecode between executions, so at no point in
+time does the instruction array show both the source and the sink —
+method-level dumps recover Code 2 *or* Code 3, never the taint flow.
+All pool indices and dex_pcs are resolved against the live DEX at tamper
+time (robust to canonicalization and packing).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+from repro.dex.instructions import Instruction
+from repro.runtime.apk import register_native_library
+
+
+def _swap_invoke(ctx, method_sig: str, host: str, old_callee: str, new_callee_sig: str):
+    """Replace the first invoke of ``old_callee`` with ``new_callee_sig``."""
+    pc = ctx.find_invoke_pc(method_sig, old_callee)
+    units = ctx.method_code_units(method_sig)
+    old_ins = Instruction.decode_at(units, pc)
+    target = ctx.method_pool_index(host, new_callee_sig)
+    patched = Instruction.make(
+        "invoke-virtual", target, *old_ins.invoke_registers
+    ).encode()
+    ctx.patch_code(method_sig, pc, patched)
+
+
+def _code1_single() -> Sample:
+    """SelfMod0: the minimal invoke swap (normal -> sink -> normal)."""
+    cls = "Lde/bench/selfmod/SelfMod0;"
+    leak_sig = f"{cls}->leak()V"
+
+    def tamper(ctx, this, i):
+        if i == 0:
+            _swap_invoke(ctx, leak_sig, cls, "normal",
+                         f"{cls}->sink0(Ljava/lang/String;)V")
+        else:
+            _swap_invoke(ctx, leak_sig, cls, "sink0",
+                         f"{cls}->normal(Ljava/lang/String;)V")
+
+    register_native_library(
+        "libselfmod0", {f"{cls}->tamper(I)V": tamper}
+    )
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    invoke-virtual {{p0}}, {cls}->leak()V
+    return-void
+.end method
+
+.method public leak()V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const/4 v1, 0
+    :loop
+    const/4 v2, 2
+    if-ge v1, v2, :done
+    invoke-virtual {{p0, v0}}, {cls}->normal(Ljava/lang/String;)V
+    invoke-virtual {{p0, v1}}, {cls}->tamper(I)V
+    add-int/lit8 v1, v1, 1
+    goto :loop
+    :done
+    return-void
+.end method
+
+.method public normal(Ljava/lang/String;)V
+    .registers 2
+    return-void
+.end method
+
+.method public sink0(Ljava/lang/String;)V
+    .registers 3
+    invoke-virtual {{p0, p1}}, {cls}->sms(Ljava/lang/String;)V
+    return-void
+.end method
+
+.method public native tamper(I)V
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(
+            "de.bench.selfmod.s0", cls, smali, native_libraries=["libselfmod0"]
+        )
+
+    return Sample(
+        name="SelfMod0", category="selfmod", leaky=True, build=build,
+        added_by_paper=True, description="paper Code 1, single patch",
+    )
+
+
+def _code1_full() -> Sample:
+    """SelfMod1: the exact paper Code 1 — both the source line and the
+    call site are rewritten, defeating any single-snapshot dump."""
+    cls = "Lde/bench/selfmod/SelfMod1;"
+    leak_sig = f"{cls}->leak()V"
+
+    def tamper(ctx, this, i):
+        units = ctx.method_code_units(leak_sig)
+        source_pc = 0  # leak() starts with the source invoke (3 units)
+        if i == 0:
+            # Hide the source: invoke getImei (3u) + move-result-object (1u)
+            # become const-string + 2 nops (4 units total).
+            benign = ctx.string_pool_index(cls, "non-sensitive data")
+            patched = Instruction.make("const-string", 0, benign).encode()
+            patched += [0x0000, 0x0000]  # two nops
+            ctx.patch_code(leak_sig, source_pc, patched)
+            _swap_invoke(ctx, leak_sig, cls, "normal",
+                         f"{cls}->sink1(Ljava/lang/String;)V")
+        else:
+            # Restore everything (paper: "resumes the code back to Code 2").
+            # leak() has 3 locals + this, so p0 is register 3.
+            src = ctx.method_pool_index(cls, f"{cls}->getImei()Ljava/lang/String;")
+            restored = Instruction.make("invoke-virtual", src, 3).encode()
+            restored += Instruction.make("move-result-object", 0).encode()
+            ctx.patch_code(leak_sig, source_pc, restored)
+            _swap_invoke(ctx, leak_sig, cls, "sink1",
+                         f"{cls}->normal(Ljava/lang/String;)V")
+
+    register_native_library(
+        "libselfmod1", {f"{cls}->tamper(I)V": tamper}
+    )
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    invoke-virtual {{p0}}, {cls}->leak()V
+    return-void
+.end method
+
+.method public leak()V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const/4 v1, 0
+    :loop
+    const/4 v2, 2
+    if-ge v1, v2, :done
+    invoke-virtual {{p0, v0}}, {cls}->normal(Ljava/lang/String;)V
+    invoke-virtual {{p0, v1}}, {cls}->tamper(I)V
+    add-int/lit8 v1, v1, 1
+    goto :loop
+    :done
+    return-void
+.end method
+
+.method public normal(Ljava/lang/String;)V
+    .registers 2
+    return-void
+.end method
+
+.method public sink1(Ljava/lang/String;)V
+    .registers 3
+    invoke-virtual {{p0, p1}}, {cls}->sms(Ljava/lang/String;)V
+    return-void
+.end method
+
+.method public native tamper(I)V
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(
+            "de.bench.selfmod.s1", cls, smali, native_libraries=["libselfmod1"]
+        )
+
+    return Sample(
+        name="SelfMod1", category="selfmod", leaky=True, build=build,
+        added_by_paper=True,
+        description="paper Code 1 exactly: source and call site both rewritten",
+    )
+
+
+def _branch_flip() -> Sample:
+    """SelfMod2: an if-eqz guarding the sink is flipped to if-nez."""
+    cls = "Lde/bench/selfmod/SelfMod2;"
+    leak_sig = f"{cls}->guarded()V"
+
+    def tamper(ctx, this):
+        units = ctx.method_code_units(leak_sig)
+        pos = 0
+        while pos < len(units):
+            ins = Instruction.decode_at(units, pos)
+            if ins.name == "if-eqz":
+                flipped = Instruction.make("if-nez", *ins.operands).encode()
+                ctx.patch_code(leak_sig, pos, flipped)
+                return
+            pos += ins.unit_count
+
+    register_native_library(
+        "libselfmod2", {f"{cls}->tamper()V": tamper}
+    )
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    invoke-virtual {{p0}}, {cls}->guarded()V
+    invoke-virtual {{p0}}, {cls}->tamper()V
+    invoke-virtual {{p0}}, {cls}->guarded()V
+    return-void
+.end method
+
+.method public guarded()V
+    .registers 4
+    const/4 v1, 0
+    if-eqz v1, :safe
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    :safe
+    return-void
+.end method
+
+.method public native tamper()V
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(
+            "de.bench.selfmod.s2", cls, smali, native_libraries=["libselfmod2"]
+        )
+
+    return Sample(
+        name="SelfMod2", category="selfmod", leaky=True, build=build,
+        added_by_paper=True,
+        description="branch polarity flipped at runtime to expose the sink",
+    )
+
+
+def _two_layer() -> Sample:
+    """SelfMod3: the same call site is rewritten twice (nested divergence:
+    normal -> decoy -> sink), exercising multi-layer trees."""
+    cls = "Lde/bench/selfmod/SelfMod3;"
+    leak_sig = f"{cls}->leak()V"
+
+    def tamper(ctx, this, i):
+        if i == 0:
+            _swap_invoke(ctx, leak_sig, cls, "normal",
+                         f"{cls}->decoy(Ljava/lang/String;)V")
+        elif i == 1:
+            _swap_invoke(ctx, leak_sig, cls, "decoy",
+                         f"{cls}->sink3(Ljava/lang/String;)V")
+        else:
+            _swap_invoke(ctx, leak_sig, cls, "sink3",
+                         f"{cls}->normal(Ljava/lang/String;)V")
+
+    register_native_library(
+        "libselfmod3", {f"{cls}->tamper(I)V": tamper}
+    )
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    invoke-virtual {{p0}}, {cls}->leak()V
+    return-void
+.end method
+
+.method public leak()V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const/4 v1, 0
+    :loop
+    const/4 v2, 3
+    if-ge v1, v2, :done
+    invoke-virtual {{p0, v0}}, {cls}->normal(Ljava/lang/String;)V
+    invoke-virtual {{p0, v1}}, {cls}->tamper(I)V
+    add-int/lit8 v1, v1, 1
+    goto :loop
+    :done
+    return-void
+.end method
+
+.method public normal(Ljava/lang/String;)V
+    .registers 2
+    return-void
+.end method
+
+.method public decoy(Ljava/lang/String;)V
+    .registers 2
+    return-void
+.end method
+
+.method public sink3(Ljava/lang/String;)V
+    .registers 3
+    invoke-virtual {{p0, p1}}, {cls}->www(Ljava/lang/String;)V
+    return-void
+.end method
+
+.method public native tamper(I)V
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(
+            "de.bench.selfmod.s3", cls, smali, native_libraries=["libselfmod3"]
+        )
+
+    return Sample(
+        name="SelfMod3", category="selfmod", leaky=True, build=build,
+        added_by_paper=True,
+        description="two-layer self-modification (nested divergence)",
+    )
+
+
+def samples() -> list[Sample]:
+    return [_code1_single(), _code1_full(), _branch_flip(), _two_layer()]

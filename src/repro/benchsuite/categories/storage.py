@@ -1,0 +1,75 @@
+"""Storage samples: PrivateDataLeak3 (Table IV's last row).
+
+Two flows: (A) the IMEI is written byte-for-byte to external storage and
+read back before being sent by SMS — the taint tags do not survive the
+filesystem round trip, so *every* tool (TaintDroid, TaintART and
+DexLego+HornDroid alike) misses it; (B) a direct Log leak that everyone
+catches.  Expected detections: 1 of 2, matching the paper.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, make_sample_apk
+
+
+def _private_data_leak3() -> Sample:
+    cls = "Lde/bench/storage/PrivateDataLeak3;"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 10
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+
+    # Flow B: direct leak (caught by everyone).
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+
+    # Flow A: write to external storage, read back, send by SMS.
+    invoke-virtual {{v0}}, Ljava/lang/String;->getBytes()[B
+    move-result-object v1
+    new-instance v2, Ljava/io/FileOutputStream;
+    const-string v3, "/sdcard/out.txt"
+    invoke-direct {{v2, v3}}, Ljava/io/FileOutputStream;-><init>(Ljava/lang/String;)V
+    invoke-virtual {{v2, v1}}, Ljava/io/FileOutputStream;->write([B)V
+    invoke-virtual {{v2}}, Ljava/io/FileOutputStream;->close()V
+
+    new-instance v4, Ljava/io/FileInputStream;
+    invoke-direct {{v4, v3}}, Ljava/io/FileInputStream;-><init>(Ljava/lang/String;)V
+    const/16 v5, 64
+    new-array v5, v5, [B
+    invoke-virtual {{v4, v5}}, Ljava/io/FileInputStream;->read([B)I
+    move-result v6
+    invoke-virtual {{v4}}, Ljava/io/FileInputStream;->close()V
+
+    new-instance v7, Ljava/lang/StringBuilder;
+    invoke-direct {{v7}}, Ljava/lang/StringBuilder;-><init>()V
+    const/4 v8, 0
+    :rebuild
+    if-ge v8, v6, :rebuilt
+    aget-byte v3, v5, v8
+    int-to-char v3, v3
+    invoke-virtual {{v7, v3}}, Ljava/lang/StringBuilder;->append(C)Ljava/lang/StringBuilder;
+    add-int/lit8 v8, v8, 1
+    goto :rebuild
+    :rebuilt
+    invoke-virtual {{v7}}, Ljava/lang/StringBuilder;->toString()Ljava/lang/String;
+    move-result-object v3
+    invoke-virtual {{p0, v3}}, {cls}->sms(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk("de.bench.storage.pdl3", cls, smali)
+
+    return Sample(
+        name="PrivateDataLeak3", category="storage", leaky=True,
+        expected_leaks=1,  # the oracle (like every tool) loses flow A
+        build=build,
+        description="file-laundered SMS flow + direct Log flow (Table IV)",
+    )
+
+
+def samples() -> list[Sample]:
+    return [_private_data_leak3()]

@@ -1,0 +1,87 @@
+"""Threading samples: leaks crossing thread / handler boundaries."""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import activity_class, helper_suffix, multi_class_apk
+
+
+def _runnable_class(runnable: str, main: str, sink: str) -> str:
+    return activity_class(
+        runnable,
+        f"""
+.method public <init>({main}Ljava/lang/String;)V
+    .registers 4
+    invoke-direct {{p0}}, Ljava/lang/Object;-><init>()V
+    iput-object p1, p0, {runnable}->host:{main}
+    iput-object p2, p0, {runnable}->payload:Ljava/lang/String;
+    return-void
+.end method
+
+.method public run()V
+    .registers 3
+    iget-object v0, p0, {runnable}->host:{main}
+    iget-object v1, p0, {runnable}->payload:Ljava/lang/String;
+    invoke-virtual {{v0, v1}}, {main}->{sink}(Ljava/lang/String;)V
+    return-void
+.end method
+""",
+        superclass="Ljava/lang/Object;",
+        implements="Ljava/lang/Runnable;",
+        fields=f".field public host:{main}\n.field public payload:Ljava/lang/String;",
+    )
+
+
+def _thread_sample(index: int, launcher: str) -> Sample:
+    main = f"Lde/bench/threads/Thread{launcher.capitalize()}{index};"
+    runnable = f"Lde/bench/threads/Job{launcher.capitalize()}{index};"
+    sink = ("logIt", "sms", "www")[index % 3]
+    if launcher == "thread":
+        launch = f"""
+    new-instance v2, Ljava/lang/Thread;
+    invoke-direct {{v2, v1}}, Ljava/lang/Thread;-><init>(Ljava/lang/Runnable;)V
+    invoke-virtual {{v2}}, Ljava/lang/Thread;->start()V
+"""
+    elif launcher == "handler":
+        launch = f"""
+    new-instance v2, Landroid/os/Handler;
+    invoke-direct {{v2}}, Landroid/os/Handler;-><init>()V
+    invoke-virtual {{v2, v1}}, Landroid/os/Handler;->post(Ljava/lang/Runnable;)Z
+"""
+    else:  # ui thread
+        launch = f"""
+    invoke-virtual {{p0, v1}}, {main}->runOnUiThread(Ljava/lang/Runnable;)V
+"""
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    invoke-virtual {{p0}}, {main}->getImei()Ljava/lang/String;
+    move-result-object v0
+    new-instance v1, {runnable}
+    invoke-direct {{v1, p0, v0}}, {runnable}-><init>({main}Ljava/lang/String;)V
+{launch}
+    return-void
+.end method
+"""
+    main_text = activity_class(main, body + helper_suffix(main))
+
+    def build():
+        return multi_class_apk(
+            f"de.bench.threads.{launcher}{index}", main,
+            [main_text, _runnable_class(runnable, main, sink)],
+        )
+
+    return Sample(
+        name=f"Thread{launcher.capitalize()}{index}", category="threading",
+        leaky=True, build=build,
+        description=f"leak crosses {launcher} boundary into run()",
+    )
+
+
+def samples() -> list[Sample]:
+    out = []
+    for index, launcher in enumerate(
+        ["thread", "thread", "handler", "handler", "ui", "ui"]
+    ):
+        out.append(_thread_sample(index, launcher))
+    return out

@@ -1,0 +1,229 @@
+"""Dead-code traps, unreachable-flow samples, sanitization traps,
+coverage-gap leaks and plain benign apps.
+
+* ``DeadCode*`` (benign) — a leaky-looking callback or helper that is
+  never registered or called.  Static tools over-approximate entry
+  points and report it; DexLego's reassembled DEX stubs it out (the
+  "at least 5 false positives introduced by dead code blocks" of §V-B).
+* ``UnreachableFlow*`` (benign, paper-contributed) — the leak sits
+  behind a branch that can never be taken at runtime.
+* ``Sanitized*`` (benign) — the tainted value is overwritten before the
+  sink; only flow-insensitive analysis reports it.
+* ``CoverageGap*`` (leaky!) — the leak hides behind an input condition
+  the standard drive never satisfies: statically detectable, dynamically
+  never collected (DexLego's residual FNs).
+* ``Benign*`` — no taint API use at all.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.groundtruth import Sample
+from repro.benchsuite.smali_lib import (
+    activity_class,
+    helper_suffix,
+    make_sample_apk,
+    multi_class_apk,
+)
+
+
+def _dead_code(index: int) -> Sample:
+    """Leak in an unregistered listener class (never instantiated)."""
+    main = f"Lde/bench/dead/Main{index};"
+    orphan = f"Lde/bench/dead/Orphan{index};"
+    main_text = activity_class(main, f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    const-string v0, "nothing to see"
+    invoke-virtual {{p0, v0}}, {main}->note(Ljava/lang/String;)V
+    return-void
+.end method
+
+.method public note(Ljava/lang/String;)V
+    .registers 2
+    return-void
+.end method
+""")
+    orphan_text = activity_class(orphan, f"""
+.method public onClick(Landroid/view/View;)V
+    .registers 4
+    new-instance v0, Landroid/telephony/TelephonyManager;
+    invoke-direct {{v0}}, Landroid/telephony/TelephonyManager;-><init>()V
+    invoke-virtual {{v0}}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;
+    move-result-object v0
+    const-string v1, "DEAD"
+    invoke-static {{v1, v0}}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+""", superclass="Ljava/lang/Object;",
+        implements="Landroid/view/View$OnClickListener;")
+
+    def build():
+        return multi_class_apk(
+            f"de.bench.dead.s{index}", main, [main_text, orphan_text]
+        )
+
+    return Sample(
+        name=f"DeadCode{index}", category="deadcode", leaky=False,
+        build=build,
+        description="leaky onClick never registered: dead-code FP trap",
+    )
+
+
+def _unreachable_flow(index: int) -> Sample:
+    """Leak behind a condition that is constant-false at runtime."""
+    cls = f"Lde/bench/dead/UnreachableFlow{index};"
+    # Three opaque-ish guards: arithmetic identity, length of a constant,
+    # and a static field initialised to zero.
+    guards = [
+        """
+    const/16 v1, 21
+    mul-int/lit8 v1, v1, 2
+    const/16 v2, 43
+    if-ne v1, v2, :skip
+""",
+        """
+    const-string v1, "abc"
+    invoke-virtual {v1}, Ljava/lang/String;->length()I
+    move-result v1
+    const/4 v2, 4
+    if-ne v1, v2, :skip
+""",
+        f"""
+    sget v1, Lde/bench/dead/UnreachableFlow{index};->enabled:I
+    if-eqz v1, :skip
+""",
+    ]
+    fields = ".field public static enabled:I = 0" if index % 3 == 2 else ""
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+{guards[index % 3]}
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    :skip
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls), fields=fields)
+
+    def build():
+        return make_sample_apk(f"de.bench.dead.unreach{index}", cls, smali)
+
+    return Sample(
+        name=f"UnreachableFlow{index}", category="unreachable_flow",
+        leaky=False, build=build, added_by_paper=True,
+        description="leak behind an always-false branch: FP trap the "
+                    "reassembled DEX eliminates",
+    )
+
+
+def _sanitized(index: int) -> Sample:
+    """Taint killed by overwrite before the sink (flow-sensitive TN)."""
+    cls = f"Lde/bench/dead/Sanitized{index};"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    const-string v0, "scrubbed"
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(f"de.bench.dead.sanitized{index}", cls, smali)
+
+    return Sample(
+        name=f"Sanitized{index}", category="sanitized", leaky=False,
+        build=build,
+        description="register overwritten before sink; order-blind tools FP",
+    )
+
+
+def _coverage_gap(index: int) -> Sample:
+    """Leak gated on an intent extra the driver never supplies."""
+    cls = f"Lde/bench/dead/CoverageGap{index};"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    invoke-virtual {{p0}}, {cls}->getIntent()Landroid/content/Intent;
+    move-result-object v0
+    if-eqz v0, :skip
+    const-string v1, "cmd"
+    invoke-virtual {{v0, v1}}, Landroid/content/Intent;->getStringExtra(Ljava/lang/String;)Ljava/lang/String;
+    move-result-object v1
+    if-eqz v1, :skip
+    const-string v2, "activate-{index}"
+    invoke-virtual {{v1, v2}}, Ljava/lang/String;->equals(Ljava/lang/Object;)Z
+    move-result v2
+    if-eqz v2, :skip
+    invoke-virtual {{p0}}, {cls}->getImei()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {{p0, v0}}, {cls}->logIt(Ljava/lang/String;)V
+    :skip
+    return-void
+.end method
+"""
+    smali = activity_class(cls, body + helper_suffix(cls))
+
+    def build():
+        return make_sample_apk(f"de.bench.dead.covgap{index}", cls, smali)
+
+    return Sample(
+        name=f"CoverageGap{index}", category="coverage_gap", leaky=True,
+        expected_leaks=0, build=build,
+        description="leak needs a magic intent extra: statically visible, "
+                    "never executed by the standard drive",
+    )
+
+
+def _benign(index: int) -> Sample:
+    """No taint APIs at all; arithmetic and strings only."""
+    cls = f"Lde/bench/benign/Benign{index};"
+    body = f"""
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 5
+    const/16 v0, {index + 3}
+    invoke-virtual {{p0, v0}}, {cls}->crunch(I)I
+    move-result v1
+    invoke-static {{v1}}, Ljava/lang/String;->valueOf(I)Ljava/lang/String;
+    move-result-object v2
+    const-string v0, "INFO"
+    invoke-static {{v0, v2}}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+
+.method public crunch(I)I
+    .registers 4
+    const/4 v0, 0
+    const/4 v1, 0
+    :loop
+    if-ge v1, p1, :done
+    add-int v0, v0, v1
+    add-int/lit8 v1, v1, 1
+    goto :loop
+    :done
+    return v0
+.end method
+"""
+    smali = activity_class(cls, body)
+
+    def build():
+        return make_sample_apk(f"de.bench.benign.s{index}", cls, smali)
+
+    return Sample(
+        name=f"Benign{index}", category="benign", leaky=False, build=build,
+        description="no sensitive APIs",
+    )
+
+
+def samples() -> list[Sample]:
+    out = [_dead_code(i) for i in range(5)]
+    out += [_unreachable_flow(i) for i in range(3)]
+    out += [_sanitized(i) for i in range(2)]
+    out += [_coverage_gap(i) for i in range(3)]
+    out += [_benign(i) for i in range(7)]
+    return out

@@ -1,0 +1,410 @@
+"""Procedural application generator.
+
+Builds size-realistic apps (hundreds to ~100k instructions) with a
+controlled structure profile:
+
+* **plain** code — executed by any launch (the fuzzer-reachable part);
+* **gated** code — behind string-equality checks on intent extras that
+  random inputs never satisfy (force execution flips them);
+* **dead** code — classes never referenced (JaCoCo's uncovered classes,
+  the paper's ``CmdTemplate`` example);
+* **crash** code — gated groups whose entry triggers a native crash;
+* **handler** code — catch blocks that never run because the guarded
+  division never throws;
+* optional **leak sites** for the Table V market apps.
+
+Generation is deterministic in (package, seed, target size).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dex.builder import ClassBuilder, DexBuilder, MethodBuilder
+from repro.dex.structures import DexFile
+from repro.errors import NativeCrash
+from repro.runtime.apk import Apk, register_native_library
+
+_METHODS_PER_CLASS = 18
+_OPS = ("add-int/lit8", "mul-int/lit8", "xor-int/lit8", "add-int/lit8",
+        "rsub-int/lit8", "and-int/lit8", "or-int/lit8")
+
+
+@dataclass
+class AppProfile:
+    """Fractions of the instruction budget per structure kind."""
+
+    gated: float = 0.0
+    dead: float = 0.0
+    crash: float = 0.0
+    handler: float = 0.0
+    gate_groups: int = 12
+    leak_sites: int = 0
+    leak_tags: tuple[str, ...] = ("imei",)
+
+    @property
+    def plain(self) -> float:
+        return max(0.0, 1.0 - self.gated - self.dead - self.crash - self.handler)
+
+
+@dataclass
+class GeneratedApp:
+    """A generated application plus its structural inventory."""
+
+    apk: Apk
+    package: str
+    main_activity: str
+    instruction_count: int
+    class_count: int
+    method_count: int
+    plain_methods: list[str] = field(default_factory=list)
+    gated_methods: list[str] = field(default_factory=list)
+    dead_methods: list[str] = field(default_factory=list)
+    crash_methods: list[str] = field(default_factory=list)
+    handler_methods: list[str] = field(default_factory=list)
+
+
+def generate_app(
+    package: str,
+    target_instructions: int,
+    seed: int = 7,
+    profile: AppProfile | None = None,
+) -> GeneratedApp:
+    """Generate one app whose DEX holds ~``target_instructions``."""
+    profile = profile or AppProfile()
+    rng = random.Random(seed)
+    builder = DexBuilder()
+    ns = "L" + package.replace(".", "/")
+    main_cls = f"{ns}/MainActivity;"
+
+    budgets = {
+        "plain": int(target_instructions * profile.plain),
+        "gated": int(target_instructions * profile.gated),
+        "dead": int(target_instructions * profile.dead),
+        "crash": int(target_instructions * profile.crash),
+        "handler": int(target_instructions * profile.handler),
+    }
+    inventory: dict[str, list[tuple[str, str]]] = {k: [] for k in budgets}
+
+    class_index = 0
+    for kind, budget in budgets.items():
+        remaining = budget
+        while remaining > 120:
+            cls_desc = f"{ns}/{kind.capitalize()}Worker{class_index};"
+            class_index += 1
+            cls = builder.add_class(cls_desc)
+            _add_default_init(cls)
+            emitted = 0
+            methods: list[str] = []
+            for m in range(_METHODS_PER_CLASS):
+                if emitted >= remaining - 20:
+                    break
+                name = f"step{m}"
+                size = _emit_worker_method(cls, name, rng, handler=(kind == "handler"))
+                emitted += size
+                methods.append(name)
+            _emit_run_all(cls, cls_desc, methods)
+            inventory[kind].append((cls_desc, "runAll"))
+            remaining -= emitted
+
+    crash_lib = None
+    if inventory["crash"]:
+        crash_lib = _register_crash_native(package, ns)
+
+    _emit_main_activity(
+        builder, main_cls, ns, inventory, crash_native=crash_lib is not None
+    )
+    dex = builder.build()
+    apk = Apk(
+        package,
+        main_cls,
+        [dex],
+        native_libraries=[crash_lib] if crash_lib else [],
+    )
+    total = dex.total_instruction_count()
+    counts = {k: [f"{c}->runAll()I" for c, _ in v] for k, v in inventory.items()}
+    return GeneratedApp(
+        apk=apk,
+        package=package,
+        main_activity=main_cls,
+        instruction_count=total,
+        class_count=len(dex.class_defs),
+        method_count=sum(
+            len(c.all_methods()) for c in dex.class_defs
+        ),
+        plain_methods=counts["plain"],
+        gated_methods=counts["gated"],
+        dead_methods=counts["dead"],
+        crash_methods=counts["crash"],
+        handler_methods=counts["handler"],
+    )
+
+
+def _add_default_init(cls: ClassBuilder) -> None:
+    mb = cls.method("<init>", "V", (), locals_count=1)
+    mb.invoke("direct", "Ljava/lang/Object;-><init>()V", mb.p(0))
+    mb.ret_void()
+    mb.build()
+
+
+def _emit_worker_method(
+    cls: ClassBuilder, name: str, rng: random.Random, handler: bool
+) -> int:
+    """One arithmetic method of ~25-45 instructions; returns its size."""
+    mb = cls.method(name, "I", ("I",), locals_count=4)
+    mb.move(0, mb.p(1))
+    loop_count = rng.randint(2, 4)
+    mb.const(1, loop_count)
+    mb.label("loop")
+    for _ in range(rng.randint(4, 9)):
+        op = rng.choice(_OPS)
+        mb.raw(op, 0, 0, rng.randint(1, 63))
+    mb.raw("add-int/lit8", 1, 1, -1)
+    mb.if_zero("ne", 1, "loop")
+    # A data-dependent branch: both sides reachable across inputs but a
+    # single call may cover only one (natural UCB material).
+    mb.raw("and-int/lit8", 2, 0, 1)
+    mb.if_zero("eq", 2, "even")
+    mb.raw("add-int/lit8", 0, 0, 3)
+    mb.goto_("join")
+    mb.label("even")
+    mb.raw("rsub-int/lit8", 0, 0, 9)
+    mb.label("join")
+    if handler:
+        # Guarded division that never throws; catch block stays uncovered.
+        mb.label("try_s")
+        mb.const(1, 7)
+        mb.raw("add-int/lit8", 2, 0, 5)
+        mb.raw("or-int/lit8", 2, 2, 1)  # never zero
+        mb.raw("div-int", 0, 1, 2)
+        mb.label("try_e")
+        mb.goto_("out")
+        mb.label("catch")
+        for _ in range(5):
+            mb.raw("add-int/lit8", 0, 0, 1)
+        mb.label("out")
+        mb.try_range("try_s", "try_e", [("Ljava/lang/ArithmeticException;", "catch")])
+    mb.ret(0)
+    encoded = mb.build()
+    return len(encoded.code.instructions())
+
+
+def _emit_run_all(cls: ClassBuilder, cls_desc: str, methods: list[str]) -> None:
+    mb = cls.method("runAll", "I", (), locals_count=3)
+    mb.const(0, 1)
+    for name in methods:
+        mb.invoke("virtual", f"{cls_desc}->{name}(I)I", mb.p(0), 0)
+        mb.raw("move-result", 0)
+    mb.ret(0)
+    mb.build()
+
+
+def _register_crash_native(package: str, ns: str) -> str:
+    def native_check(ctx, this):
+        raise NativeCrash("segmentation fault in libworker.so")
+
+    return register_native_library(
+        f"libcrash_{package}",
+        {f"{ns}/MainActivity;->nativeCheck()V": native_check},
+    )
+
+
+def _emit_main_activity(
+    builder: DexBuilder,
+    main_cls: str,
+    ns: str,
+    inventory: dict,
+    crash_native: bool,
+) -> None:
+    cls = builder.add_class(main_cls, superclass="Landroid/app/Activity;")
+    gated_all = inventory["gated"] + inventory["crash"]
+    if crash_native:
+        cls.method("nativeCheck", "V", (), native=True).build()
+    if not gated_all:
+        # Fully self-exercising app (RQ1 corpora): no gate machinery, so a
+        # single launch covers every instruction.
+        mb = cls.method("onCreate", "V", ("Landroid/os/Bundle;",), locals_count=4)
+        for cls_desc, _entry in inventory["plain"] + inventory["handler"]:
+            _call_worker(mb, cls_desc)
+        mb.ret_void()
+        mb.build()
+        return
+    cls.add_static_field("gate", "I", initial=0)
+
+    # checkGate(): reads the intent extra; sets gate=1 on the magic value.
+    mb = cls.method("checkGate", "V", (), locals_count=4)
+    mb.invoke("virtual", f"{main_cls}->getIntent()Landroid/content/Intent;", mb.p(0))
+    mb.raw("move-result-object", 0)
+    mb.if_zero("eq", 0, "skip")
+    mb.const_string(1, "mode")
+    mb.invoke(
+        "virtual",
+        "Landroid/content/Intent;->getStringExtra(Ljava/lang/String;)Ljava/lang/String;",
+        0, 1,
+    )
+    mb.raw("move-result-object", 1)
+    mb.if_zero("eq", 1, "skip")
+    mb.const_string(2, "expert-7f3a")
+    mb.invoke("virtual", "Ljava/lang/String;->equals(Ljava/lang/Object;)Z", 1, 2)
+    mb.raw("move-result", 2)
+    mb.if_zero("eq", 2, "skip")
+    mb.const(3, 1)
+    mb.field_op("sput", 3, f"{main_cls}->gate:I")
+    mb.label("skip")
+    mb.ret_void()
+    mb.build()
+
+    mb = cls.method("onCreate", "V", ("Landroid/os/Bundle;",), locals_count=4)
+    mb.invoke("virtual", f"{main_cls}->checkGate()V", mb.p(0))
+    for cls_desc, _entry in inventory["plain"]:
+        _call_worker(mb, cls_desc)
+    # Gated work: one conditional gate per worker class (each a UCB until
+    # force execution flips it).
+    for index, (cls_desc, _entry) in enumerate(gated_all):
+        mb.field_op("sget", 0, f"{main_cls}->gate:I")
+        mb.if_zero("eq", 0, f"g{index}")
+        if (cls_desc, _entry) in inventory["crash"] and crash_native:
+            mb.invoke("virtual", f"{main_cls}->nativeCheck()V", mb.p(0))
+        _call_worker(mb, cls_desc)
+        mb.label(f"g{index}")
+    # Handler-kind classes run unconditionally (their catch blocks do not).
+    for cls_desc, _entry in inventory["handler"]:
+        _call_worker(mb, cls_desc)
+    mb.ret_void()
+    mb.build()
+
+
+def _call_worker(mb: MethodBuilder, cls_desc: str) -> None:
+    mb.new_instance(1, cls_desc)
+    mb.invoke("direct", f"{cls_desc}-><init>()V", 1)
+    mb.invoke("virtual", f"{cls_desc}->runAll()I", 1)
+    mb.raw("move-result", 2)
+
+
+def add_leak_sites(
+    builder_apk: Apk, count: int, tags: tuple[str, ...] = ("imei",)
+) -> Apk:
+    """Append a class with ``count`` distinct executed leak sites.
+
+    Used by the market-app corpus (Table V): each site is its own method
+    with its own sink call, so FlowDroid reports ``count`` flows.
+    """
+    from repro.dex.assembler import assemble
+    from repro.dex.builder import DexBuilder
+
+    dex = builder_apk.primary_dex
+    ns = builder_apk.main_activity.rsplit("/", 1)[0]
+    leak_cls = f"{ns}/Telemetry;"
+    source_for = {
+        "imei": (
+            "Landroid/telephony/TelephonyManager;",
+            "getDeviceId()Ljava/lang/String;",
+        ),
+        "ssid": None,  # handled specially below
+        "location": None,
+    }
+    methods = []
+    for i in range(count):
+        tag = tags[i % len(tags)]
+        sink = ("logIt", "www", "sms")[i % 3]
+        methods.append(_leak_method_smali(leak_cls, i, tag, sink))
+    text = f".class public {leak_cls}\n.super Landroid/app/Activity;\n"
+    text += "\n".join(methods)
+    text += f"""
+.method public runLeaks()V
+    .registers 2
+{chr(10).join(f'    invoke-virtual {{p0}}, {leak_cls}->site{i}()V' for i in range(count))}
+    return-void
+.end method
+"""
+    from repro.benchsuite.smali_lib import sink_methods
+
+    text += sink_methods(leak_cls)
+    builder = DexBuilder()
+    builder.dex = dex
+    assemble(text, builder)
+
+    # Wire runLeaks() into MainActivity.onCreate by appending a trampoline
+    # class called from a fresh onStart override.
+    main = builder_apk.main_activity
+    trampoline = f"""
+.class public {ns}/LeakBoot;
+.super Ljava/lang/Object;
+.method public static fire({main})V
+    .registers 3
+    new-instance v0, {leak_cls}
+    invoke-virtual {{v0}}, {leak_cls}->runLeaks()V
+    return-void
+.end method
+"""
+    assemble(trampoline, builder)
+    main_class = dex.find_class(main)
+    from repro.dex.builder import ClassBuilder
+
+    cb = ClassBuilder(builder, main_class, main)
+    mb = cb.method("onStart", "V", (), locals_count=2)
+    mb.invoke("static", f"{ns}/LeakBoot;->fire({main})V", mb.p(0))
+    mb.ret_void()
+    mb.build()
+    return builder_apk
+
+
+def _leak_method_smali(cls: str, index: int, tag: str, sink: str) -> str:
+    if tag == "ssid":
+        fetch = f"""
+    new-instance v0, Landroid/net/wifi/WifiManager;
+    invoke-direct {{v0}}, Landroid/net/wifi/WifiManager;-><init>()V
+    invoke-virtual {{v0}}, Landroid/net/wifi/WifiManager;->getConnectionInfo()Landroid/net/wifi/WifiInfo;
+    move-result-object v0
+    invoke-virtual {{v0}}, Landroid/net/wifi/WifiInfo;->getSSID()Ljava/lang/String;
+    move-result-object v0
+"""
+    elif tag == "location":
+        fetch = f"""
+    new-instance v0, Landroid/location/LocationManager;
+    invoke-direct {{v0}}, Landroid/location/LocationManager;-><init>()V
+    const-string v1, "gps"
+    invoke-virtual {{v0, v1}}, Landroid/location/LocationManager;->getLastKnownLocation(Ljava/lang/String;)Landroid/location/Location;
+    move-result-object v0
+    invoke-virtual {{v0}}, Landroid/location/Location;->toString()Ljava/lang/String;
+    move-result-object v0
+"""
+    else:
+        fetch = f"""
+    new-instance v0, Landroid/telephony/TelephonyManager;
+    invoke-direct {{v0}}, Landroid/telephony/TelephonyManager;-><init>()V
+    invoke-virtual {{v0}}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;
+    move-result-object v0
+"""
+    # Sinks are inlined per site so every site is a distinct flow for the
+    # analyzer (Table V counts taint flows, not sink helpers).
+    if sink == "logIt":
+        deliver = """
+    const-string v1, "T"
+    invoke-static {v1, v0}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+"""
+    elif sink == "www":
+        deliver = """
+    new-instance v1, Ljava/net/URL;
+    invoke-direct {v1, v0}, Ljava/net/URL;-><init>(Ljava/lang/String;)V
+"""
+    else:
+        deliver = """
+    invoke-static {}, Landroid/telephony/SmsManager;->getDefault()Landroid/telephony/SmsManager;
+    move-result-object v1
+    const-string v2, "+1999"
+    const/4 v3, 0
+    move-object v4, v0
+    const/4 v5, 0
+    const/4 v6, 0
+    invoke-virtual/range {v1 .. v6}, Landroid/telephony/SmsManager;->sendTextMessage(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Landroid/app/PendingIntent;Landroid/app/PendingIntent;)V
+"""
+    return f"""
+.method public site{index}()V
+    .registers 8
+{fetch}
+{deliver}
+    return-void
+.end method
+"""

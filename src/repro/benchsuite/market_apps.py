@@ -1,0 +1,102 @@
+"""Market application analogues.
+
+Two corpora:
+
+* **Table V** — nine packed real-world apps (sample sets A/B/C = Google
+  Play / 360 Market / Wandoujia) with seeded leak sites.  Every app sends
+  the IMEI; three also leak location and two leak the SSID, matching the
+  paper's findings.  Each is packed with a working vendor packer before
+  analysis.
+* **Table VIII** — three popular-app analogues (Snapchat / Instagram /
+  WhatsApp) used for launch-time measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchsuite.codegen import AppProfile, generate_app, add_leak_sites
+from repro.packers.vendors import (
+    AlibabaPacker,
+    BaiduPacker,
+    BangclePacker,
+    Qihoo360Packer,
+    TencentPacker,
+)
+from repro.runtime.apk import Apk
+
+# (package, version, set, installs, leak count, tags, packer, size, seed)
+MARKET_APP_SPECS = (
+    ("com.lenovo.anyshare", "3.6.68", "A", "100 million", 4,
+     ("imei", "imei", "imei", "imei"), Qihoo360Packer, 2600, 301),
+    ("com.moji.mjweather", "6.0102.02", "A", "1 million", 5,
+     ("imei", "location", "imei", "location", "imei"), TencentPacker, 3100, 302),
+    ("com.rongcai.show", "3.4.9", "A", "100 thousand", 3,
+     ("imei", "location", "imei"), AlibabaPacker, 1800, 303),
+    ("com.wawoo.snipershootwar", "2.6", "B", "10 million", 4,
+     ("imei", "imei", "imei", "imei"), BaiduPacker, 2400, 304),
+    ("com.wawoo.gunshootwar", "2.6", "B", "10 million", 5,
+     ("imei", "ssid", "imei", "imei", "imei"), BangclePacker, 2500, 305),
+    ("com.alex.lookwifipassword", "2.9.6", "B", "100 thousand", 2,
+     ("ssid", "imei"), Qihoo360Packer, 1200, 306),
+    ("com.gome.eshopnew", "4.3.5", "C", "15.63 million", 3,
+     ("imei", "imei", "imei"), TencentPacker, 2100, 307),
+    ("com.szzc.ucar.pilot", "3.4.0", "C", "3.59 million", 5,
+     ("imei", "location", "imei", "imei", "imei"), AlibabaPacker, 2700, 308),
+    ("com.pingan.pabank.activity", "2.6.9", "C", "7.9 million", 14,
+     ("imei",) * 6 + ("imei", "location", "imei", "imei", "ssid", "imei",
+                      "imei", "imei"), BaiduPacker, 4200, 309),
+)
+
+
+@dataclass
+class MarketApp:
+    package: str
+    version: str
+    sample_set: str
+    installs: str
+    leak_count: int
+    packed_apk: Apk
+    plain_apk: Apk
+
+
+def build_market_app(package: str) -> MarketApp:
+    for pkg, version, sset, installs, leaks, tags, packer_cls, size, seed in (
+        MARKET_APP_SPECS
+    ):
+        if pkg != package:
+            continue
+        generated = generate_app(pkg, size, seed=seed, profile=AppProfile())
+        plain = add_leak_sites(generated.apk, leaks, tags)
+        packed = packer_cls().pack(plain)
+        return MarketApp(pkg, version, sset, installs, leaks, packed, plain)
+    raise KeyError(package)
+
+
+def all_market_apps() -> list[MarketApp]:
+    return [build_market_app(pkg) for pkg, *_ in MARKET_APP_SPECS]
+
+
+# -- Table VIII launch-time apps ------------------------------------------------
+
+LAUNCH_APP_SPECS = (
+    ("Snapchat", "com.snapchat.android", "9.43.0.0", 22_000, 401),
+    ("Instagram", "com.instagram.android", "9.7.0", 16_000, 402),
+    ("WhatsApp", "com.whatsapp", "2.16.310", 6_000, 403),
+)
+
+
+@dataclass
+class LaunchApp:
+    name: str
+    package: str
+    version: str
+    apk: Apk
+
+
+def all_launch_apps() -> list[LaunchApp]:
+    out = []
+    for name, package, version, size, seed in LAUNCH_APP_SPECS:
+        generated = generate_app(package, size, seed=seed, profile=AppProfile())
+        out.append(LaunchApp(name, package, version, generated.apk))
+    return out

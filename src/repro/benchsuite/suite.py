@@ -1,0 +1,83 @@
+"""The assembled DroidBench-analogue: 134 samples, 111 leaky.
+
+119 "release" samples plus the paper's 15 contributions (5 advanced
+reflection, 3 dynamic loading, 4 self-modifying, 3 unreachable flows),
+mirroring §V-B's corpus statistics.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.categories import (
+    aliasing,
+    arrays,
+    callbacks,
+    dynload,
+    emulator,
+    fieldsense,
+    general_java,
+    icc,
+    implicit,
+    lifecycle,
+    reflection,
+    selfmod,
+    storage,
+    threading,
+    unreachable,
+)
+from repro.benchsuite.groundtruth import Sample
+
+_MODULES = (
+    general_java,
+    lifecycle,
+    callbacks,
+    fieldsense,
+    arrays,
+    aliasing,
+    threading,
+    icc,
+    implicit,
+    reflection,
+    emulator,
+    storage,
+    dynload,
+    selfmod,
+    unreachable,
+)
+
+
+def droidbench_samples() -> list[Sample]:
+    """All 134 samples in deterministic order."""
+    out: list[Sample] = []
+    for module in _MODULES:
+        out.extend(module.samples())
+    names = [s.name for s in out]
+    assert len(names) == len(set(names)), "duplicate sample names"
+    return out
+
+
+def suite_statistics() -> dict:
+    samples = droidbench_samples()
+    leaky = [s for s in samples if s.leaky]
+    return {
+        "total": len(samples),
+        "leaky": len(leaky),
+        "benign": len(samples) - len(leaky),
+        "paper_contributed": sum(1 for s in samples if s.added_by_paper),
+        "categories": sorted({s.category for s in samples}),
+    }
+
+
+def sample_by_name(name: str) -> Sample:
+    for sample in droidbench_samples():
+        if sample.name == name:
+            return sample
+    raise KeyError(name)
+
+
+TABLE_IV_SAMPLES = (
+    "Button1",
+    "Button3",
+    "EmulatorDetection1",
+    "ImplicitFlow1",
+    "PrivateDataLeak3",
+)

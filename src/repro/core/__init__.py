@@ -1,0 +1,46 @@
+"""DexLego core: JIT collection, tree model, reassembly, force execution.
+
+This package is the paper's primary contribution:
+
+* :class:`~repro.core.collector.DexLegoCollector` — Algorithm 1 JIT
+  collection attached to the runtime
+* :class:`~repro.core.tree.CollectionTree` — the divergence-tree model
+* :class:`~repro.core.reassembler.Reassembler` — offline DEX reassembly
+* :class:`~repro.core.force_execution.ForceExecutionEngine` — iterative
+  force execution (the code coverage improvement module)
+* :class:`~repro.core.pipeline.DexLego` — the end-to-end system
+"""
+
+from repro.core.collection_files import CollectionArchive
+from repro.core.collector import DexLegoCollector
+from repro.core.force_execution import (
+    BranchTraceListener,
+    ForcedPathController,
+    ForceExecutionEngine,
+    ForceExecutionReport,
+    PathFile,
+)
+from repro.core.method_store import MethodRecord, MethodStore
+from repro.core.pipeline import DexLego, RevealResult, reveal_apk
+from repro.core.reassembler import INSTRUMENT_CLASS, Reassembler
+from repro.core.tree import CollectedInstruction, CollectionTree, TreeNode
+
+__all__ = [
+    "BranchTraceListener",
+    "CollectedInstruction",
+    "CollectionArchive",
+    "CollectionTree",
+    "DexLego",
+    "DexLegoCollector",
+    "ForceExecutionEngine",
+    "ForceExecutionReport",
+    "ForcedPathController",
+    "INSTRUMENT_CLASS",
+    "MethodRecord",
+    "MethodStore",
+    "PathFile",
+    "Reassembler",
+    "RevealResult",
+    "TreeNode",
+    "reveal_apk",
+]

@@ -1,0 +1,209 @@
+"""Collection files: the on-disk intermediate of Figure 2.
+
+The paper's modified ART writes five kinds of files during execution —
+class data, field data, method data, static values and bytecode — which
+the offline reassembler later combines.  :class:`CollectionArchive`
+implements that boundary: it serialises a collector's state to a
+directory (or measures its size in memory for Table VI) and loads it back
+for offline reassembly, proving collection and reassembly share no
+in-process state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.collector import (
+    CollectedClass,
+    CollectedField,
+    DexLegoCollector,
+    ReflectionSite,
+)
+from repro.core.method_store import CollectedTry, MethodRecord, MethodStore
+from repro.core.tree import CollectionTree
+
+CLASS_DATA_FILE = "class_data.json"
+FIELD_DATA_FILE = "field_data.json"
+METHOD_DATA_FILE = "method_data.json"
+STATIC_VALUES_FILE = "static_values.json"
+BYTECODE_FILE = "bytecode.json"
+REFLECTION_FILE = "reflection.json"
+
+ALL_FILES = (
+    CLASS_DATA_FILE,
+    FIELD_DATA_FILE,
+    METHOD_DATA_FILE,
+    STATIC_VALUES_FILE,
+    BYTECODE_FILE,
+    REFLECTION_FILE,
+)
+
+
+class CollectionArchive:
+    """Serialised collection output (the paper's "Collected Files")."""
+
+    def __init__(self, payload: dict[str, str]) -> None:
+        self._payload = payload  # filename -> JSON text
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_collector(cls, collector: DexLegoCollector) -> "CollectionArchive":
+        class_data = []
+        field_data = []
+        static_values = []
+        for collected in collector.classes.values():
+            class_data.append(
+                {
+                    "descriptor": collected.descriptor,
+                    "superclass": collected.superclass_desc,
+                    "interfaces": list(collected.interface_descs),
+                    "access": collected.access_flags,
+                    "initialized": collected.initialized,
+                    "methods": collected.method_signatures,
+                }
+            )
+            for collected_field in collected.fields:
+                field_data.append(
+                    {
+                        "class": collected.descriptor,
+                        **collected_field.to_dict(),
+                    }
+                )
+                static_values.append(
+                    {
+                        "class": collected.descriptor,
+                        "field": collected_field.name,
+                        "value": list(collected_field.static_value),
+                    }
+                )
+        method_data = []
+        bytecode = []
+        for record in collector.method_store.records.values():
+            method_data.append(
+                {
+                    "signature": record.signature,
+                    "class": record.class_desc,
+                    "name": record.name,
+                    "params": list(record.param_descs),
+                    "return": record.return_desc,
+                    "access": record.access_flags,
+                    "native": record.is_native,
+                    "registers": record.registers_size,
+                    "ins": record.ins_size,
+                    "outs": record.outs_size,
+                    "tries": [t.to_dict() for t in record.tries],
+                }
+            )
+            for tree in record.trees:
+                bytecode.append(tree.to_dict())
+        reflection = [
+            {
+                "caller": site.caller_signature,
+                "dex_pc": site.dex_pc,
+                "targets": [
+                    {"signature": sig, "static": site.target_static[sig]}
+                    for sig in site.targets
+                ],
+            }
+            for site in collector.reflection_sites.values()
+        ]
+        payload = {
+            CLASS_DATA_FILE: json.dumps(class_data, indent=1),
+            FIELD_DATA_FILE: json.dumps(field_data, indent=1),
+            METHOD_DATA_FILE: json.dumps(method_data, indent=1),
+            STATIC_VALUES_FILE: json.dumps(static_values, indent=1),
+            BYTECODE_FILE: json.dumps(bytecode, indent=1),
+            REFLECTION_FILE: json.dumps(reflection, indent=1),
+        }
+        return cls(payload)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        os.makedirs(directory, exist_ok=True)
+        for name, text in self._payload.items():
+            with open(os.path.join(directory, name), "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+    @classmethod
+    def load(cls, directory: str) -> "CollectionArchive":
+        payload = {}
+        for name in ALL_FILES:
+            path = os.path.join(directory, name)
+            with open(path, encoding="utf-8") as fh:
+                payload[name] = fh.read()
+        return cls(payload)
+
+    def total_size_bytes(self) -> int:
+        """Dump-file size (Table VI's "Dump File Size" column)."""
+        return sum(len(text.encode("utf-8")) for text in self._payload.values())
+
+    # -- deserialisation into reassembler inputs ----------------------------------
+
+    def classes(self) -> list[dict]:
+        return json.loads(self._payload[CLASS_DATA_FILE])
+
+    def fields(self) -> list[dict]:
+        return json.loads(self._payload[FIELD_DATA_FILE])
+
+    def static_values(self) -> list[dict]:
+        return json.loads(self._payload[STATIC_VALUES_FILE])
+
+    def method_store(self) -> MethodStore:
+        store = MethodStore()
+        for entry in json.loads(self._payload[METHOD_DATA_FILE]):
+            store.ensure(
+                MethodRecord(
+                    signature=entry["signature"],
+                    class_desc=entry["class"],
+                    name=entry["name"],
+                    param_descs=tuple(entry["params"]),
+                    return_desc=entry["return"],
+                    access_flags=entry["access"],
+                    is_native=entry["native"],
+                    registers_size=entry["registers"],
+                    ins_size=entry["ins"],
+                    outs_size=entry["outs"],
+                    tries=[CollectedTry.from_dict(t) for t in entry["tries"]],
+                )
+            )
+        for tree_data in json.loads(self._payload[BYTECODE_FILE]):
+            tree = CollectionTree.from_dict(tree_data)
+            store.add_tree(tree.method_signature, tree)
+        return store
+
+    def reflection_sites(self) -> dict[tuple[str, int], ReflectionSite]:
+        sites: dict[tuple[str, int], ReflectionSite] = {}
+        for entry in json.loads(self._payload[REFLECTION_FILE]):
+            site = ReflectionSite(entry["caller"], entry["dex_pc"])
+            for target in entry["targets"]:
+                site.add_target(target["signature"], target["static"])
+            sites[(site.caller_signature, site.dex_pc)] = site
+        return sites
+
+    def collected_class_map(self) -> dict[str, CollectedClass]:
+        """Rebuild CollectedClass objects (metadata + fields + values)."""
+        by_desc: dict[str, CollectedClass] = {}
+        for entry in self.classes():
+            by_desc[entry["descriptor"]] = CollectedClass(
+                descriptor=entry["descriptor"],
+                superclass_desc=entry["superclass"],
+                interface_descs=tuple(entry["interfaces"]),
+                access_flags=entry["access"],
+                initialized=entry["initialized"],
+                method_signatures=list(entry["methods"]),
+            )
+        for entry in self.fields():
+            collected = by_desc.get(entry["class"])
+            if collected is not None:
+                collected.fields.append(
+                    CollectedField(
+                        entry["name"],
+                        entry["type"],
+                        entry["access"],
+                        tuple(entry["value"]),
+                    )
+                )
+        return by_desc

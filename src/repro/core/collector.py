@@ -1,0 +1,261 @@
+"""Just-in-Time collection (paper §III-A, §IV-A, §IV-C, Figure 2).
+
+:class:`DexLegoCollector` attaches to the runtime as a listener and
+collects, the moment ART touches them:
+
+* class metadata at class-link time (superclass, interfaces, fields,
+  method structures, try blocks);
+* static field values at initialization time;
+* executed instructions at interpreter-fetch time, fed through
+  Algorithm 1 into per-execution collection trees;
+* resolved reflective-call targets at ``Method.invoke`` dispatch.
+
+Only application classes (those backed by a DEX file) are collected —
+framework classes are boot-classpath noise, exactly as on ART.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.method_store import CollectedTry, MethodRecord, MethodStore
+from repro.core.tree import CollectedInstruction, CollectionTree
+from repro.dex.payloads import payload_unit_count
+from repro.runtime.hooks import RuntimeListener
+from repro.runtime.values import VmString
+
+
+@dataclass
+class CollectedField:
+    name: str
+    type_desc: str
+    access_flags: int
+    static_value: tuple = ("null",)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.type_desc,
+            "access": self.access_flags,
+            "value": list(self.static_value),
+        }
+
+
+@dataclass
+class CollectedClass:
+    """Class metadata captured at link/init time (class data file)."""
+
+    descriptor: str
+    superclass_desc: str | None
+    interface_descs: tuple[str, ...]
+    access_flags: int
+    fields: list[CollectedField] = field(default_factory=list)
+    method_signatures: list[str] = field(default_factory=list)
+    initialized: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "descriptor": self.descriptor,
+            "superclass": self.superclass_desc,
+            "interfaces": list(self.interface_descs),
+            "access": self.access_flags,
+            "fields": [f.to_dict() for f in self.fields],
+            "methods": self.method_signatures,
+            "initialized": self.initialized,
+        }
+
+
+@dataclass
+class ReflectionSite:
+    """One reflective invoke site and the targets resolved there."""
+
+    caller_signature: str
+    dex_pc: int
+    targets: list[str] = field(default_factory=list)  # target signatures
+    target_static: dict[str, bool] = field(default_factory=dict)
+
+    def add_target(self, signature: str, is_static: bool) -> None:
+        if signature not in self.targets:
+            self.targets.append(signature)
+            self.target_static[signature] = is_static
+
+
+class DexLegoCollector(RuntimeListener):
+    """The JIT collection component of DexLego."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, CollectedClass] = {}
+        self.method_store = MethodStore()
+        self.reflection_sites: dict[tuple[str, int], ReflectionSite] = {}
+        self._active_trees: dict[int, CollectionTree] = {}
+        self.instructions_observed = 0
+
+    # -- class linking (metadata collection) --------------------------------
+
+    def on_class_loaded(self, klass) -> None:
+        if klass.source_dex is None:
+            return  # framework class: not part of the application
+        collected = CollectedClass(
+            descriptor=klass.descriptor,
+            superclass_desc=(
+                klass.superclass.descriptor if klass.superclass else None
+            ),
+            interface_descs=tuple(i.descriptor for i in klass.interfaces),
+            access_flags=klass.access_flags,
+        )
+        for runtime_field in klass.fields.values():
+            collected.fields.append(
+                CollectedField(
+                    runtime_field.name,
+                    runtime_field.type_desc,
+                    runtime_field.access_flags,
+                )
+            )
+        for method in klass.methods.values():
+            if method.declaring_class is not klass:
+                continue
+            record = MethodRecord(
+                signature=method.ref.signature,
+                class_desc=klass.descriptor,
+                name=method.ref.name,
+                param_descs=method.ref.param_descs,
+                return_desc=method.ref.return_desc,
+                access_flags=method.access_flags,
+                is_native=method.is_native,
+            )
+            if method.code is not None:
+                record.registers_size = method.code.registers_size
+                record.ins_size = method.code.ins_size
+                record.outs_size = method.code.outs_size
+                dex = klass.source_dex
+                for try_block in method.code.tries:
+                    record.tries.append(
+                        CollectedTry(
+                            try_block.start_addr,
+                            try_block.insn_count,
+                            [
+                                (dex.type_descriptor(t), addr)
+                                for t, addr in try_block.handlers
+                            ],
+                            try_block.catch_all,
+                        )
+                    )
+            self.method_store.ensure(record)
+            collected.method_signatures.append(method.ref.signature)
+        self.classes[klass.descriptor] = collected
+
+    def on_class_initialized(self, klass) -> None:
+        collected = self.classes.get(klass.descriptor)
+        if collected is None:
+            return
+        collected.initialized = True
+        defaults = getattr(klass, "_static_value_defaults", None) or {}
+        for collected_field in collected.fields:
+            if collected_field.name in defaults:
+                collected_field.static_value = _encode_static(
+                    defaults[collected_field.name]
+                )
+
+    # -- bytecode collection (Algorithm 1) -------------------------------------
+
+    def on_method_enter(self, frame) -> None:
+        method = frame.method
+        if method.declaring_class.source_dex is None or method.code is None:
+            return
+        code = method.code
+        self._active_trees[id(frame)] = CollectionTree(
+            method.ref.signature,
+            code.registers_size,
+            code.ins_size,
+            code.outs_size,
+        )
+
+    def on_instruction(self, frame, dex_pc: int, ins) -> None:
+        tree = self._active_trees.get(id(frame))
+        if tree is None:
+            return
+        self.instructions_observed += 1
+        units = tuple(frame.code_units[dex_pc : dex_pc + ins.unit_count])
+        payload_units = None
+        if ins.opcode.fmt == "31t":
+            target = dex_pc + ins.branch_target
+            if 0 <= target < len(frame.code_units):
+                count = payload_unit_count(frame.code_units, target)
+                payload_units = tuple(frame.code_units[target : target + count])
+        symbol = self._resolve_symbol(frame, ins)
+        tree.observe(CollectedInstruction(dex_pc, units, payload_units, symbol))
+
+    @staticmethod
+    def _resolve_symbol(frame, ins) -> str | None:
+        """Resolve the pool reference to its symbolic form (JIT collection
+        of the "related objects" — string / type / field / method)."""
+        from repro.dex.opcodes import IndexKind
+
+        kind = ins.opcode.index_kind
+        if kind is IndexKind.NONE:
+            return None
+        dex = frame.method.declaring_class.source_dex
+        index = ins.pool_index
+        if kind is IndexKind.STRING:
+            return dex.string(index)
+        if kind is IndexKind.TYPE:
+            return dex.type_descriptor(index)
+        if kind is IndexKind.FIELD:
+            return dex.field_ref(index).signature
+        return dex.method_ref(index).signature
+
+    def on_method_exit(self, frame, result) -> None:
+        tree = self._active_trees.pop(id(frame), None)
+        if tree is None:
+            return
+        if tree.root.il:
+            self.method_store.add_tree(tree.method_signature, tree)
+
+    # -- reflection (§IV-D) -------------------------------------------------------
+
+    def on_reflective_call(self, frame, target_method, receiver, args) -> None:
+        if frame is None:
+            return
+        caller = frame.method
+        if caller.declaring_class.source_dex is None:
+            return
+        key = (caller.ref.signature, frame.dex_pc)
+        site = self.reflection_sites.get(key)
+        if site is None:
+            site = ReflectionSite(caller.ref.signature, frame.dex_pc)
+            self.reflection_sites[key] = site
+        site.add_target(target_method.ref.signature, target_method.is_static)
+
+    # -- summary ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        executed = self.method_store.executed_records()
+        return {
+            "classes_collected": len(self.classes),
+            "methods_linked": len(self.method_store.records),
+            "methods_executed": len(executed),
+            "unique_trees": sum(len(r.trees) for r in executed),
+            "divergent_methods": sum(
+                1
+                for r in executed
+                if any(t.has_divergence() for t in r.trees)
+            ),
+            "instructions_observed": self.instructions_observed,
+            "collected_instructions": self.method_store.total_collected_instructions(),
+            "reflection_sites": len(self.reflection_sites),
+        }
+
+
+def _encode_static(value) -> tuple:
+    """Encode a VM static value into a serialisable tagged tuple."""
+    if value is None:
+        return ("null",)
+    if isinstance(value, VmString):
+        return ("string", value.value)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, float):
+        return ("float", value)
+    return ("null",)

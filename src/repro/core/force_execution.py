@@ -1,0 +1,226 @@
+"""Iterative force execution (paper §III-C, §IV-E, Figure 4).
+
+The engine repeats: run the app, identify Uncovered Conditional Branches
+(UCBs — branch sites where only one outcome has ever been observed),
+compute a *path file* to each UCB (the branch-decision prefix of the run
+that reached it, with the final decision flipped), then replay with a
+:class:`ForcedPathController` that manipulates conditional outcomes in
+the interpreter.  Unhandled exceptions are cleared
+(``runtime.tolerate_exceptions``) so infeasible paths don't kill the
+process.  Iteration stops when no new UCBs appear.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceeded, VmCrash
+from repro.runtime.art import AndroidRuntime
+from repro.runtime.device import NEXUS_5X, DeviceProfile
+from repro.runtime.events import AppDriver
+from repro.runtime.exceptions import VmThrow
+from repro.runtime.hooks import BranchController, RuntimeListener
+
+BranchSite = tuple[str, int]  # (method signature, dex_pc)
+Decision = tuple[str, int, bool]
+
+
+class BranchTraceListener(RuntimeListener):
+    """Records the ordered conditional-branch decisions of one run."""
+
+    def __init__(self) -> None:
+        self.trace: list[Decision] = []
+
+    def on_branch(self, frame, dex_pc: int, ins, taken: bool) -> None:
+        method = frame.method
+        if method.declaring_class.source_dex is None:
+            return
+        self.trace.append((method.ref.signature, dex_pc, taken))
+
+
+@dataclass
+class PathFile:
+    """A path to one UCB: decision prefix plus the final flip (§IV-E)."""
+
+    target: BranchSite
+    forced_outcome: bool
+    decisions: list[Decision] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "target": list(self.target),
+                "forced_outcome": self.forced_outcome,
+                "decisions": [list(d) for d in self.decisions],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PathFile":
+        data = json.loads(text)
+        return cls(
+            (data["target"][0], data["target"][1]),
+            data["forced_outcome"],
+            [(d[0], d[1], bool(d[2])) for d in data["decisions"]],
+        )
+
+
+class ForcedPathController(BranchController):
+    """Forces the interpreter along a path file's decisions, in order."""
+
+    def __init__(self, path: PathFile) -> None:
+        self.queue: deque[Decision] = deque(path.decisions)
+        self.mismatches = 0
+        self.forced = 0
+
+    def decide(self, frame, dex_pc: int, ins, concrete_taken: bool) -> bool | None:
+        if not self.queue:
+            return None  # past the UCB: free execution
+        signature, expected_pc, outcome = self.queue[0]
+        if (
+            frame.method.declaring_class.source_dex is not None
+            and frame.method.ref.signature == signature
+            and dex_pc == expected_pc
+        ):
+            self.queue.popleft()
+            self.forced += 1
+            return outcome
+        if frame.method.declaring_class.source_dex is not None:
+            self.mismatches += 1
+        return None
+
+
+@dataclass
+class ForceExecutionReport:
+    """Outcome of one engine run."""
+
+    iterations: int = 0
+    runs: int = 0
+    paths_executed: int = 0
+    native_crashes: int = 0
+    budget_exhausted_runs: int = 0
+    branch_sites: int = 0
+    fully_covered_sites: int = 0
+
+    @property
+    def branch_outcome_coverage(self) -> float:
+        if not self.branch_sites:
+            return 1.0
+        return self.fully_covered_sites / self.branch_sites
+
+
+class ForceExecutionEngine:
+    """Drives iterative force execution over fresh runtime instances."""
+
+    def __init__(
+        self,
+        apk,
+        drive=None,
+        device: DeviceProfile = NEXUS_5X,
+        shared_listeners: list[RuntimeListener] | None = None,
+        run_budget: int = 2_000_000,
+        max_iterations: int = 25,
+        max_paths_per_iteration: int = 64,
+    ) -> None:
+        self.apk = apk
+        self.drive = drive or (lambda driver: driver.run_standard_session())
+        self.device = device
+        self.shared_listeners = shared_listeners or []
+        self.run_budget = run_budget
+        self.max_iterations = max_iterations
+        self.max_paths_per_iteration = max_paths_per_iteration
+        self.outcomes: dict[BranchSite, set[bool]] = {}
+        # First-reaching trace per site, stored as (trace, index) so long
+        # traces are shared rather than copied per site.
+        self.site_trace: dict[BranchSite, tuple[list[Decision], int]] = {}
+        self._attempted: set[tuple[str, int, bool]] = set()
+
+    # -- one run ------------------------------------------------------------
+
+    def _execute(
+        self, controller: ForcedPathController | None, report: ForceExecutionReport
+    ) -> list[Decision]:
+        runtime = AndroidRuntime(self.device, max_steps=self.run_budget)
+        runtime.tolerate_exceptions = True
+        runtime.branch_controller = controller
+        tracer = BranchTraceListener()
+        runtime.add_listener(tracer)
+        for listener in self.shared_listeners:
+            runtime.add_listener(listener)
+        driver = AppDriver(runtime, self.apk)
+        report.runs += 1
+        try:
+            self.drive(driver)
+        except BudgetExceeded:
+            report.budget_exhausted_runs += 1
+        except (VmCrash, VmThrow):
+            # Native crashes (and any exception escaping the tolerant
+            # interpreter) end the run but keep what was collected.
+            report.native_crashes += 1
+        self._merge_trace(tracer.trace)
+        return tracer.trace
+
+    def _merge_trace(self, trace: list[Decision]) -> None:
+        for index, (signature, dex_pc, taken) in enumerate(trace):
+            site = (signature, dex_pc)
+            self.outcomes.setdefault(site, set()).add(taken)
+            if site not in self.site_trace:
+                # Remember the first trace reaching this site (shared ref).
+                self.site_trace[site] = (trace, index)
+
+    # -- UCB analysis ----------------------------------------------------------
+
+    def _uncovered_branches(self) -> list[PathFile]:
+        """Branch analysis + path analysis of Figure 4.
+
+        Entry-point branches (activity methods) are prioritised: flipping
+        a gate in ``onCreate`` typically unlocks far more code than a
+        data branch deep in a worker method.
+        """
+        paths: list[PathFile] = []
+        ordered = sorted(
+            self.outcomes.items(),
+            key=lambda item: (0 if "Activity" in item[0][0] else 1, item[0]),
+        )
+        for site, seen in ordered:
+            if len(seen) == 2:
+                continue
+            missing = not next(iter(seen))
+            key = (site[0], site[1], missing)
+            if key in self._attempted:
+                continue
+            located = self.site_trace.get(site)
+            if located is None:
+                continue
+            trace, index = located
+            decisions = trace[:index] + [(site[0], site[1], missing)]
+            paths.append(PathFile(site, missing, decisions))
+            if len(paths) >= self.max_paths_per_iteration:
+                break
+        return paths
+
+    # -- iteration loop -----------------------------------------------------------
+
+    def run(self) -> ForceExecutionReport:
+        report = ForceExecutionReport()
+        self._execute(None, report)  # the "previous execution" baseline
+        for _ in range(self.max_iterations):
+            paths = self._uncovered_branches()
+            if not paths:
+                break
+            report.iterations += 1
+            for path in paths:
+                self._attempted.add(
+                    (path.target[0], path.target[1], path.forced_outcome)
+                )
+                # Round-trip through the serialised path-file format.
+                controller = ForcedPathController(PathFile.from_json(path.to_json()))
+                self._execute(controller, report)
+                report.paths_executed += 1
+        report.branch_sites = len(self.outcomes)
+        report.fully_covered_sites = sum(
+            1 for seen in self.outcomes.values() if len(seen) == 2
+        )
+        return report

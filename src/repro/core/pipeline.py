@@ -1,0 +1,136 @@
+"""End-to-end DexLego pipeline (paper Figure 1).
+
+``reveal`` executes the target APK inside the instrumented runtime
+(just-in-time collection), optionally drives force execution as the code
+coverage improvement module, writes the collection files, reassembles a
+new DEX offline, verifies it, and swaps it into a copy of the original
+APK — the "Revealed Application" handed to static analysis tools.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.core.collection_files import CollectionArchive
+from repro.core.collector import DexLegoCollector
+from repro.core.force_execution import ForceExecutionEngine, ForceExecutionReport
+from repro.core.reassembler import Reassembler
+from repro.dex.reader import read_dex
+from repro.dex.structures import DexFile
+from repro.dex.verify import assert_valid
+from repro.dex.writer import write_dex
+from repro.errors import BudgetExceeded, VmCrash
+from repro.runtime.apk import Apk
+from repro.runtime.art import AndroidRuntime
+from repro.runtime.device import NEXUS_5X, DeviceProfile
+from repro.runtime.events import AppDriver
+from repro.runtime.exceptions import VmThrow
+
+
+@dataclass
+class RevealResult:
+    """Everything DexLego produced for one application."""
+
+    revealed_apk: Apk
+    reassembled_dex: DexFile
+    archive: CollectionArchive
+    collector_stats: dict
+    force_report: ForceExecutionReport | None = None
+    crashed: bool = False
+    crash_reason: str = ""
+
+    @property
+    def dump_size_bytes(self) -> int:
+        return self.archive.total_size_bytes()
+
+
+class DexLego:
+    """The DexLego system: JIT collection + offline reassembly."""
+
+    def __init__(
+        self,
+        device: DeviceProfile = NEXUS_5X,
+        use_force_execution: bool = False,
+        run_budget: int = 2_000_000,
+        archive_dir: str | None = None,
+        force_iterations: int = 25,
+    ) -> None:
+        self.device = device
+        self.use_force_execution = use_force_execution
+        self.run_budget = run_budget
+        self.archive_dir = archive_dir
+        self.force_iterations = force_iterations
+
+    # -- collection -----------------------------------------------------------
+
+    def collect(self, apk: Apk, drive=None) -> tuple[DexLegoCollector, RevealResult]:
+        collector = DexLegoCollector()
+        force_report = None
+        crashed = False
+        crash_reason = ""
+        drive = drive or (lambda driver: driver.run_standard_session())
+        if self.use_force_execution:
+            engine = ForceExecutionEngine(
+                apk,
+                drive=drive,
+                device=self.device,
+                shared_listeners=[collector],
+                run_budget=self.run_budget,
+                max_iterations=self.force_iterations,
+            )
+            force_report = engine.run()
+        else:
+            runtime = AndroidRuntime(self.device, max_steps=self.run_budget)
+            runtime.add_listener(collector)
+            driver = AppDriver(runtime, apk)
+            try:
+                drive(driver)
+            except BudgetExceeded:
+                pass
+            except (VmCrash, VmThrow) as exc:
+                crashed = True
+                crash_reason = str(exc)
+        partial = RevealResult(
+            revealed_apk=apk,
+            reassembled_dex=DexFile(),
+            archive=CollectionArchive.from_collector(collector),
+            collector_stats=collector.stats(),
+            force_report=force_report,
+            crashed=crashed,
+            crash_reason=crash_reason,
+        )
+        return collector, partial
+
+    # -- full pipeline -----------------------------------------------------------
+
+    def reveal(self, apk: Apk, drive=None) -> RevealResult:
+        collector, result = self.collect(apk, drive)
+        archive = result.archive
+        if self.archive_dir is not None:
+            # Prove the offline boundary: serialise to disk, reload.
+            archive.save(self.archive_dir)
+            archive = CollectionArchive.load(self.archive_dir)
+
+        reassembler = Reassembler(
+            archive.collected_class_map(),
+            archive.method_store(),
+            archive.reflection_sites(),
+        )
+        dex = reassembler.reassemble()
+        # Round-trip through the binary format and verify: the revealed DEX
+        # must be a *valid* DEX file (paper §IV-C).
+        dex = read_dex(write_dex(dex))
+        assert_valid(dex)
+
+        revealed = apk.clone()
+        revealed.dex_files = [dex]  # merged: includes dynamically-loaded code
+        result.revealed_apk = revealed
+        result.reassembled_dex = dex
+        result.archive = archive
+        return result
+
+
+def reveal_apk(apk: Apk, **kwargs) -> RevealResult:
+    """Convenience one-shot: ``DexLego(**kwargs).reveal(apk)``."""
+    return DexLego(**kwargs).reveal(apk)

@@ -1,0 +1,23 @@
+"""Coverage, fuzzing and performance measurement tools."""
+
+from repro.coverage.cfbench import (
+    CfBenchScore,
+    LaunchTiming,
+    measure_launch_time,
+    run_cfbench,
+)
+from repro.coverage.jacoco import CoverageCollector, CoverageReport, CoverageTotals
+from repro.coverage.sapienz import EventSequence, FuzzReport, SapienzFuzzer
+
+__all__ = [
+    "CfBenchScore",
+    "CoverageCollector",
+    "CoverageReport",
+    "CoverageTotals",
+    "EventSequence",
+    "FuzzReport",
+    "LaunchTiming",
+    "SapienzFuzzer",
+    "measure_launch_time",
+    "run_cfbench",
+]

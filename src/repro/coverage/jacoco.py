@@ -1,0 +1,136 @@
+"""Coverage measurement (the JaCoCo analogue, Table VII).
+
+Tracks executed classes, methods, basic blocks ("lines" — the generated
+apps carry no debug line tables, so blocks stand in; see DESIGN.md),
+conditional-branch outcomes and instructions, against the static totals
+of an APK's DEX files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.dex.structures import DexFile
+from repro.runtime.hooks import RuntimeListener
+
+
+@dataclass
+class CoverageTotals:
+    classes: int = 0
+    methods: int = 0
+    lines: int = 0  # basic blocks
+    branches: int = 0  # 2 per conditional-branch site
+    instructions: int = 0
+
+
+@dataclass
+class CoverageReport:
+    totals: CoverageTotals
+    classes: float
+    methods: float
+    lines: float
+    branches: float
+    instructions: float
+
+    def as_row(self) -> dict:
+        return {
+            "Class": f"{self.classes:.0%}",
+            "Method": f"{self.methods:.0%}",
+            "Line": f"{self.lines:.0%}",
+            "Branch": f"{self.branches:.0%}",
+            "Instruction": f"{self.instructions:.0%}",
+        }
+
+
+class CoverageCollector(RuntimeListener):
+    """Accumulates dynamic coverage facts across any number of runs."""
+
+    def __init__(self) -> None:
+        self.executed_instructions: set[tuple[str, int]] = set()
+        self.executed_methods: set[str] = set()
+        self.executed_classes: set[str] = set()
+        self.branch_outcomes: set[tuple[str, int, bool]] = set()
+
+    def on_instruction(self, frame, dex_pc: int, ins) -> None:
+        method = frame.method
+        if method.declaring_class.source_dex is None:
+            return
+        signature = method.ref.signature
+        self.executed_instructions.add((signature, dex_pc))
+
+    def on_method_enter(self, frame) -> None:
+        method = frame.method
+        if method.declaring_class.source_dex is None:
+            return
+        self.executed_methods.add(method.ref.signature)
+        self.executed_classes.add(method.declaring_class.descriptor)
+
+    def on_branch(self, frame, dex_pc: int, ins, taken: bool) -> None:
+        method = frame.method
+        if method.declaring_class.source_dex is None:
+            return
+        self.branch_outcomes.add((method.ref.signature, dex_pc, taken))
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self, dex_files: list[DexFile] | DexFile) -> CoverageReport:
+        if isinstance(dex_files, DexFile):
+            dex_files = [dex_files]
+        totals = CoverageTotals()
+        covered_lines = 0
+        covered_instructions = 0
+        covered_branches = 0
+        for dex in dex_files:
+            for class_def in dex.class_defs:
+                totals.classes += 1
+                for method in class_def.all_methods():
+                    totals.methods += 1
+                    if method.code is None:
+                        continue
+                    signature = dex.method_ref(method.method_idx).signature
+                    instructions = method.code.instructions()
+                    totals.instructions += len(instructions)
+                    covered_instructions += sum(
+                        1
+                        for pc, _ in instructions
+                        if (signature, pc) in self.executed_instructions
+                    )
+                    cfg = ControlFlowGraph(method.code)
+                    totals.lines += cfg.block_count()
+                    for start_pc, block in cfg.blocks.items():
+                        if any(
+                            (signature, pc) in self.executed_instructions
+                            for pc, _ in block.instructions
+                        ):
+                            covered_lines += 1
+                    for site in cfg.conditional_branch_sites():
+                        totals.branches += 2
+                        for outcome in (True, False):
+                            if (signature, site, outcome) in self.branch_outcomes:
+                                covered_branches += 1
+        covered_classes = sum(
+            1
+            for dex in dex_files
+            for class_def in dex.class_defs
+            if dex.class_descriptor(class_def) in self.executed_classes
+        )
+        covered_methods = sum(
+            1
+            for dex in dex_files
+            for class_def in dex.class_defs
+            for method in class_def.all_methods()
+            if dex.method_ref(method.method_idx).signature in self.executed_methods
+        )
+
+        def ratio(part: int, whole: int) -> float:
+            return part / whole if whole else 0.0
+
+        return CoverageReport(
+            totals=totals,
+            classes=ratio(covered_classes, totals.classes),
+            methods=ratio(covered_methods, totals.methods),
+            lines=ratio(covered_lines, totals.lines),
+            branches=ratio(covered_branches, totals.branches),
+            instructions=ratio(covered_instructions, totals.instructions),
+        )

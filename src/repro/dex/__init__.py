@@ -1,0 +1,63 @@
+"""DEX substrate: binary container, bytecode, assembler and tools.
+
+Public surface:
+
+* :class:`~repro.dex.structures.DexFile` — the in-memory model
+* :func:`~repro.dex.writer.write_dex` / :func:`~repro.dex.reader.read_dex`
+* :class:`~repro.dex.builder.DexBuilder` — programmatic construction
+* :func:`~repro.dex.assembler.assemble` /
+  :func:`~repro.dex.disassembler.disassemble` — smali-like text
+* :func:`~repro.dex.verify.verify_dex` — structural verification
+"""
+
+from repro.dex.assembler import assemble
+from repro.dex.builder import ClassBuilder, DexBuilder, MethodBuilder
+from repro.dex.disassembler import disassemble, disassemble_class, disassemble_code
+from repro.dex.instructions import Instruction, iter_instructions
+from repro.dex.opcodes import OPCODES, OPCODES_BY_NAME, IndexKind, OpcodeInfo
+from repro.dex.reader import read_dex
+from repro.dex.sigs import parse_field_signature, parse_method_signature
+from repro.dex.structures import (
+    ClassDef,
+    CodeItem,
+    DexFile,
+    EncodedField,
+    EncodedMethod,
+    EncodedValue,
+    FieldRef,
+    MethodRef,
+    TryBlock,
+)
+from repro.dex.verify import assert_valid, verify_dex
+from repro.dex.writer import write_dex
+
+__all__ = [
+    "ClassBuilder",
+    "ClassDef",
+    "CodeItem",
+    "DexBuilder",
+    "DexFile",
+    "EncodedField",
+    "EncodedMethod",
+    "EncodedValue",
+    "FieldRef",
+    "IndexKind",
+    "Instruction",
+    "MethodBuilder",
+    "MethodRef",
+    "OPCODES",
+    "OPCODES_BY_NAME",
+    "OpcodeInfo",
+    "TryBlock",
+    "assemble",
+    "assert_valid",
+    "disassemble",
+    "disassemble_class",
+    "disassemble_code",
+    "iter_instructions",
+    "parse_field_signature",
+    "parse_method_signature",
+    "read_dex",
+    "verify_dex",
+    "write_dex",
+]

@@ -1,0 +1,516 @@
+"""Smali-like text assembler.
+
+Parses the readable bytecode dialect used throughout the paper (Codes 2
+and 3) into a :class:`~repro.dex.structures.DexFile`.  Supported subset:
+
+* ``.class`` / ``.super`` / ``.implements`` / ``.source``
+* ``.field`` with optional ``= literal`` static initial values
+* ``.method`` ... ``.end method`` with ``.registers``/``.locals``
+* all opcodes in :mod:`repro.dex.opcodes`, labels (``:name``), register
+  lists (``{v0, v1}`` and ``{v0 .. v5}``), string/type/field/method
+  operands
+* ``.packed-switch`` / ``.sparse-switch`` / ``.array-data`` payload blocks
+* ``.catch <type> {:start .. :end} :handler`` and ``.catchall``
+
+The assembler builds on :class:`~repro.dex.builder.MethodBuilder`, so
+layout, branch fix-ups and payload placement are shared with the
+programmatic API.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+
+from repro.dex.builder import ClassBuilder, DexBuilder, MethodBuilder
+from repro.dex.constants import AccessFlags
+from repro.dex.opcodes import OPCODES_BY_NAME, IndexKind, opcode_for
+from repro.dex.sigs import parse_field_signature, parse_method_signature, split_type_list
+from repro.dex.structures import DexFile
+from repro.errors import AssemblyError
+
+_ACCESS_WORDS = {
+    "public": AccessFlags.PUBLIC,
+    "private": AccessFlags.PRIVATE,
+    "protected": AccessFlags.PROTECTED,
+    "static": AccessFlags.STATIC,
+    "final": AccessFlags.FINAL,
+    "abstract": AccessFlags.ABSTRACT,
+    "native": AccessFlags.NATIVE,
+    "synthetic": AccessFlags.SYNTHETIC,
+    "constructor": AccessFlags.CONSTRUCTOR,
+    "interface": AccessFlags.INTERFACE,
+    "synchronized": AccessFlags.SYNCHRONIZED,
+    "volatile": AccessFlags.VOLATILE,
+    "bridge": AccessFlags.BRIDGE,
+    "varargs": AccessFlags.VARARGS,
+    "enum": AccessFlags.ENUM,
+}
+
+
+def assemble(text: str, dex_builder: DexBuilder | None = None) -> DexFile:
+    """Assemble smali-like ``text``; returns the resulting DexFile.
+
+    Pass an existing ``dex_builder`` to accumulate several compilation
+    units into one DEX.
+    """
+    builder = dex_builder or DexBuilder()
+    _Assembler(builder).run(text)
+    return builder.dex
+
+
+class _Assembler:
+    def __init__(self, builder: DexBuilder) -> None:
+        self.builder = builder
+        self.class_builder: ClassBuilder | None = None
+        self.method: MethodBuilder | None = None
+        self.line_no = 0
+
+    def fail(self, message: str) -> AssemblyError:
+        return AssemblyError(f"line {self.line_no}: {message}")
+
+    def run(self, text: str) -> None:
+        lines = text.splitlines()
+        i = 0
+        while i < len(lines):
+            self.line_no = i + 1
+            line = _strip_comment(lines[i])
+            i += 1
+            if not line:
+                continue
+            if line.startswith(".packed-switch"):
+                i = self._parse_packed_switch(line, lines, i)
+            elif line.startswith(".sparse-switch"):
+                i = self._parse_sparse_switch(lines, i)
+            elif line.startswith(".array-data"):
+                i = self._parse_array_data(line, lines, i)
+            else:
+                self._parse_line(line)
+        if self.method is not None:
+            raise self.fail("missing .end method")
+        # A unit may end with a member-less class declaration.
+        if getattr(self, "_class_pending", None) is not None:
+            self._ensure_class()
+
+    # -- directive / instruction dispatch ------------------------------------
+
+    def _parse_line(self, line: str) -> None:
+        if line.startswith("."):
+            self._parse_directive(line)
+        elif line.startswith(":"):
+            self._require_method().label(line[1:])
+        else:
+            self._parse_instruction(line)
+
+    def _parse_directive(self, line: str) -> None:
+        parts = line.split(None, 1)
+        directive = parts[0]
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if directive == ".class":
+            words = rest.split()
+            access = _parse_access(words[:-1])
+            self._class_pending = (words[-1], access)
+            self._super_desc = "Ljava/lang/Object;"
+            self._interfaces: list[str] = []
+            self._source: str | None = None
+            self.class_builder = None
+        elif directive == ".super":
+            self._super_desc = rest
+        elif directive == ".implements":
+            self._interfaces.append(rest)
+        elif directive == ".source":
+            self._source = _parse_string_literal(rest)
+        elif directive == ".field":
+            self._ensure_class()
+            self._parse_field(rest)
+        elif directive == ".method":
+            self._ensure_class()
+            self._parse_method_start(rest)
+        elif directive == ".end":
+            if rest == "method":
+                self._require_method().build()
+                self.method = None
+            elif rest == "class":
+                self.class_builder = None
+            else:
+                raise self.fail(f"unknown .end {rest}")
+        elif directive in (".registers", ".locals"):
+            method = self._require_method()
+            if method._pending:
+                raise self.fail(f"{directive} must precede instructions")
+            count = int(rest)
+            if directive == ".registers":
+                method.locals_count = count - method.ins_size
+            else:
+                method.locals_count = count
+            if method.locals_count < 0:
+                raise self.fail(".registers smaller than parameter width")
+        elif directive == ".catch":
+            self._parse_catch(rest, catch_all=False)
+        elif directive == ".catchall":
+            self._parse_catch(rest, catch_all=True)
+        else:
+            raise self.fail(f"unknown directive {directive}")
+
+    def _ensure_class(self) -> None:
+        if self.class_builder is not None:
+            return
+        if not hasattr(self, "_class_pending") or self._class_pending is None:
+            raise self.fail("no .class directive seen")
+        descriptor, access = self._class_pending
+        self.class_builder = self.builder.add_class(
+            descriptor,
+            superclass=self._super_desc,
+            access=access,
+            interfaces=tuple(self._interfaces),
+            source_file=self._source,
+        )
+        self._class_pending = None
+
+    def _require_method(self) -> MethodBuilder:
+        if self.method is None:
+            raise self.fail("instruction outside .method")
+        return self.method
+
+    def _parse_field(self, rest: str) -> None:
+        initial = None
+        if "=" in rest:
+            rest, _, literal = rest.partition("=")
+            rest = rest.strip()
+            initial = _parse_literal(literal.strip())
+        words = rest.split()
+        access = _parse_access(words[:-1])
+        name, _, type_desc = words[-1].partition(":")
+        if not type_desc:
+            raise self.fail(f"field needs name:type, got {words[-1]!r}")
+        assert self.class_builder is not None
+        if access & AccessFlags.STATIC:
+            self.class_builder.add_static_field(name, type_desc, access, initial)
+        else:
+            self.class_builder.add_instance_field(name, type_desc, access)
+
+    def _parse_method_start(self, rest: str) -> None:
+        if self.method is not None:
+            raise self.fail("nested .method")
+        words = rest.split()
+        access = _parse_access(words[:-1])
+        prototype = words[-1]
+        match = re.fullmatch(r"([^(]+)\(([^)]*)\)(.+)", prototype)
+        if match is None:
+            raise self.fail(f"malformed method prototype {prototype!r}")
+        name, params, return_desc = match.groups()
+        assert self.class_builder is not None
+        self.method = self.class_builder.method(
+            name,
+            return_desc,
+            split_type_list(params),
+            access=access,
+            locals_count=4,
+            native=bool(access & AccessFlags.NATIVE),
+            abstract=bool(access & AccessFlags.ABSTRACT),
+        )
+
+    def _parse_catch(self, rest: str, catch_all: bool) -> None:
+        method = self._require_method()
+        match = re.fullmatch(
+            r"(?:(\S+)\s+)?\{:(\S+)\s+\.\.\s+:(\S+)\}\s+:(\S+)", rest.strip()
+        )
+        if match is None:
+            raise self.fail(f"malformed .catch: {rest!r}")
+        type_desc, start, end, handler = match.groups()
+        if catch_all:
+            type_desc = None
+        elif type_desc is None:
+            raise self.fail(".catch requires an exception type")
+        method.try_range(start, end, [(type_desc, handler)])
+
+    # -- instructions -----------------------------------------------------------
+
+    def _parse_instruction(self, line: str) -> None:
+        method = self._require_method()
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.strip()
+        if mnemonic == "goto":
+            # Upgrade to the 16-bit form so any in-method distance encodes.
+            mnemonic = "goto/16"
+        if mnemonic not in OPCODES_BY_NAME:
+            raise self.fail(f"unknown instruction {mnemonic!r}")
+        info = opcode_for(mnemonic)
+        operand_text = rest.strip()
+        try:
+            self._emit(method, info, operand_text)
+        except AssemblyError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            raise self.fail(f"cannot parse {line!r}: {exc}") from exc
+
+    def _emit(self, method: MethodBuilder, info, operand_text: str) -> None:
+        tokens = _split_operands(operand_text)
+        fmt = info.fmt
+        name = info.name
+
+        if fmt in ("35c", "3rc"):
+            reg_list, signature = tokens
+            regs = self._parse_reg_list(method, reg_list)
+            if info.index_kind is IndexKind.METHOD:
+                ref = parse_method_signature(signature)
+                index = method.dex.intern_method_ref(ref)
+                from repro.dex.sigs import method_arg_width
+
+                is_static = "static" in name
+                method._outs = max(
+                    method._outs, method_arg_width(ref, is_static=is_static)
+                )
+            else:  # filled-new-array takes a type
+                index = method.dex.intern_type(signature)
+            if fmt == "35c":
+                method.raw(name, index, *regs)
+            else:
+                if regs != list(range(regs[0], regs[0] + len(regs))):
+                    raise self.fail("range invoke registers must be contiguous")
+                method.raw(name, index, regs[0], len(regs))
+            return
+
+        operands: list[int] = []
+        label: str | None = None
+        for token in tokens:
+            if token.startswith(("v", "p")) and _is_register(token):
+                operands.append(self._parse_register(method, token))
+            elif token.startswith(":"):
+                label = token[1:]
+            elif token.startswith('"'):
+                operands.append(method.dex.intern_string(_parse_string_literal(token)))
+            elif info.index_kind is IndexKind.TYPE and token.startswith(("L", "[")):
+                operands.append(method.dex.intern_type(token))
+            elif info.index_kind is IndexKind.FIELD and "->" in token:
+                operands.append(
+                    method.dex.intern_field_ref(parse_field_signature(token))
+                )
+            else:
+                operands.append(_parse_int(token))
+        if label is not None:
+            method._emit_branch(name, tuple(operands), label)
+        else:
+            method.raw(name, *operands)
+
+    def _parse_register(self, method: MethodBuilder, token: str) -> int:
+        number = int(token[1:])
+        if token[0] == "p":
+            return method.p(number)
+        return number
+
+    def _parse_reg_list(self, method: MethodBuilder, text: str) -> list[int]:
+        text = text.strip()
+        if not (text.startswith("{") and text.endswith("}")):
+            raise self.fail(f"expected register list, got {text!r}")
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        if ".." in inner:
+            first_text, _, last_text = inner.partition("..")
+            first = self._parse_register(method, first_text.strip())
+            last = self._parse_register(method, last_text.strip())
+            return list(range(first, last + 1))
+        return [
+            self._parse_register(method, part.strip()) for part in inner.split(",")
+        ]
+
+    # -- payload blocks -----------------------------------------------------------
+
+    def _parse_packed_switch(self, line: str, lines: list[str], i: int) -> int:
+        method = self._require_method()
+        first_key = _parse_int(line.split()[1])
+        labels: list[str] = []
+        while i < len(lines):
+            self.line_no = i + 1
+            entry = _strip_comment(lines[i])
+            i += 1
+            if not entry:
+                continue
+            if entry == ".end packed-switch":
+                self._attach_switch_payload(method, "packed", first_key, labels, None)
+                return i
+            if not entry.startswith(":"):
+                raise self.fail(f"expected case label, got {entry!r}")
+            labels.append(entry[1:])
+        raise self.fail("unterminated .packed-switch")
+
+    def _parse_sparse_switch(self, lines: list[str], i: int) -> int:
+        method = self._require_method()
+        cases: list[tuple[int, str]] = []
+        while i < len(lines):
+            self.line_no = i + 1
+            entry = _strip_comment(lines[i])
+            i += 1
+            if not entry:
+                continue
+            if entry == ".end sparse-switch":
+                self._attach_switch_payload(method, "sparse", 0, None, cases)
+                return i
+            key_text, _, label = entry.partition("->")
+            cases.append((_parse_int(key_text.strip()), label.strip()[1:]))
+        raise self.fail("unterminated .sparse-switch")
+
+    def _attach_switch_payload(
+        self, method: MethodBuilder, kind: str, first_key, labels, cases
+    ) -> None:
+        # The payload block must follow the label referenced by the switch
+        # instruction; bind it to the most recent dangling label.
+        pending_label = self._last_label(method)
+        from repro.dex.builder import _PendingPayload
+        from repro.dex.payloads import PackedSwitchPayload, SparseSwitchPayload
+
+        if kind == "packed":
+            payload = PackedSwitchPayload(first_key, list(labels))
+        else:
+            payload = SparseSwitchPayload(
+                [k for k, _ in cases], [lbl for _, lbl in cases]
+            )
+        method._payloads.append(_PendingPayload(pending_label, payload))
+
+    def _parse_array_data(self, line: str, lines: list[str], i: int) -> int:
+        method = self._require_method()
+        width = _parse_int(line.split()[1])
+        values: list[int] = []
+        while i < len(lines):
+            self.line_no = i + 1
+            entry = _strip_comment(lines[i])
+            i += 1
+            if not entry:
+                continue
+            if entry == ".end array-data":
+                from repro.dex.builder import _PendingPayload
+                from repro.dex.payloads import FillArrayDataPayload
+
+                raw = b"".join(
+                    (v & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+                    for v in values
+                )
+                method._payloads.append(
+                    _PendingPayload(
+                        self._last_label(method), FillArrayDataPayload(width, raw)
+                    )
+                )
+                return i
+            for token in entry.replace(",", " ").split():
+                values.append(_parse_int(token))
+        raise self.fail("unterminated .array-data")
+
+    def _last_label(self, method: MethodBuilder) -> str:
+        """The label declared at the current emission point (payload name)."""
+        at_end = [
+            name
+            for name, index in method._labels.items()
+            if index == len(method._pending)
+        ]
+        if not at_end:
+            raise self.fail("payload block must directly follow its label")
+        return at_end[-1]
+
+
+# -- lexical helpers --------------------------------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string = False
+    escaped = False
+    for ch in line:
+        if in_string:
+            out.append(ch)
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out).strip()
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split operand text on commas, respecting strings and {...} lists."""
+    if not text:
+        return []
+    parts: list[str] = []
+    depth = 0
+    in_string = False
+    escaped = False
+    current: list[str] = []
+    for ch in text:
+        if in_string:
+            current.append(ch)
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+            continue
+        if ch == '"':
+            in_string = True
+            current.append(ch)
+        elif ch == "{":
+            depth += 1
+            current.append(ch)
+        elif ch == "}":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current).strip())
+    return [p for p in parts if p]
+
+
+def _is_register(token: str) -> bool:
+    return len(token) > 1 and token[1:].isdigit()
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    if token.endswith(("L", "t", "s")):
+        token = token[:-1]
+    return int(token, 0)
+
+
+def _parse_string_literal(token: str) -> str:
+    token = token.strip()
+    if not (token.startswith('"') and token.endswith('"')):
+        raise AssemblyError(f"expected string literal, got {token!r}")
+    body = token[1:-1]
+    return body.encode("utf-8").decode("unicode_escape")
+
+
+def _parse_literal(token: str):
+    token = token.strip()
+    if token.startswith('"'):
+        return _parse_string_literal(token)
+    if token in ("true", "false"):
+        return token == "true"
+    if "." in token:
+        return float(token)
+    return _parse_int(token)
+
+
+def _parse_access(words: list[str]) -> int:
+    access = 0
+    for word in words:
+        flag = _ACCESS_WORDS.get(word)
+        if flag is None:
+            raise AssemblyError(f"unknown access word {word!r}")
+        access |= int(flag)
+    if not access & (
+        AccessFlags.PUBLIC | AccessFlags.PRIVATE | AccessFlags.PROTECTED
+    ):
+        access |= int(AccessFlags.PUBLIC)
+    return access

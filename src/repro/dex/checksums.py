@@ -1,0 +1,39 @@
+"""Checksum and signature helpers for the DEX header.
+
+A DEX file carries an Adler-32 checksum over everything after the checksum
+field, and a SHA-1 signature over everything after the signature field.
+Both are recomputed by the writer and validated by the reader.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+# Byte layout constants of the DEX header prefix.
+MAGIC_SIZE = 8
+CHECKSUM_OFFSET = MAGIC_SIZE
+CHECKSUM_SIZE = 4
+SIGNATURE_OFFSET = CHECKSUM_OFFSET + CHECKSUM_SIZE
+SIGNATURE_SIZE = 20
+
+
+def adler32_checksum(dex_bytes: bytes) -> int:
+    """Adler-32 over the file contents after the checksum field."""
+    return zlib.adler32(dex_bytes[SIGNATURE_OFFSET:]) & 0xFFFFFFFF
+
+
+def sha1_signature(dex_bytes: bytes) -> bytes:
+    """SHA-1 over the file contents after the signature field."""
+    start = SIGNATURE_OFFSET + SIGNATURE_SIZE
+    return hashlib.sha1(dex_bytes[start:]).digest()
+
+
+def patch_header_digests(dex_bytes: bytearray) -> None:
+    """Fill in the signature then the checksum fields of a complete file."""
+    signature = sha1_signature(bytes(dex_bytes))
+    dex_bytes[SIGNATURE_OFFSET : SIGNATURE_OFFSET + SIGNATURE_SIZE] = signature
+    checksum = adler32_checksum(bytes(dex_bytes))
+    dex_bytes[CHECKSUM_OFFSET : CHECKSUM_OFFSET + CHECKSUM_SIZE] = checksum.to_bytes(
+        4, "little"
+    )

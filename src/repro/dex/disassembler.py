@@ -1,0 +1,203 @@
+"""Disassembler: DexFile -> smali-like text.
+
+The output round-trips through :mod:`repro.dex.assembler` (label names are
+regenerated).  Used for debugging, the RQ1 manual-comparison experiment
+and golden tests.
+"""
+
+from __future__ import annotations
+
+from repro.dex.constants import NO_INDEX, AccessFlags
+from repro.dex.instructions import Instruction
+from repro.dex.opcodes import IndexKind
+from repro.dex.payloads import (
+    FillArrayDataPayload,
+    PackedSwitchPayload,
+    SparseSwitchPayload,
+    decode_payload,
+)
+from repro.dex.structures import ClassDef, CodeItem, DexFile, EncodedMethod
+
+
+def disassemble(dex: DexFile) -> str:
+    """Render the whole DEX as smali-like text."""
+    return "\n".join(disassemble_class(dex, class_def) for class_def in dex.class_defs)
+
+
+def disassemble_class(dex: DexFile, class_def: ClassDef) -> str:
+    lines: list[str] = []
+    descriptor = dex.class_descriptor(class_def)
+    lines.append(f".class {_access_words(class_def.access_flags)}{descriptor}")
+    if class_def.superclass_idx != NO_INDEX:
+        lines.append(f".super {dex.type_descriptor(class_def.superclass_idx)}")
+    for interface_idx in class_def.interfaces:
+        lines.append(f".implements {dex.type_descriptor(interface_idx)}")
+    if class_def.source_file_idx != NO_INDEX:
+        lines.append(f'.source "{dex.string(class_def.source_file_idx)}"')
+    lines.append("")
+    for encoded_field in class_def.all_fields():
+        ref = dex.field_ref(encoded_field.field_idx)
+        lines.append(
+            f".field {_access_words(encoded_field.access_flags)}"
+            f"{ref.name}:{ref.type_desc}"
+        )
+    if class_def.all_fields():
+        lines.append("")
+    for method in class_def.all_methods():
+        lines.extend(_disassemble_method(dex, method))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _disassemble_method(dex: DexFile, method: EncodedMethod) -> list[str]:
+    ref = dex.method_ref(method.method_idx)
+    params = "".join(ref.param_descs)
+    header = (
+        f".method {_access_words(method.access_flags)}"
+        f"{ref.name}({params}){ref.return_desc}"
+    )
+    lines = [header]
+    if method.code is not None:
+        lines.extend(f"    {line}" for line in disassemble_code(dex, method.code))
+    lines.append(".end method")
+    return lines
+
+
+def disassemble_code(dex: DexFile, code: CodeItem) -> list[str]:
+    """Render one code item as instruction lines with labels."""
+    lines = [f".registers {code.registers_size}"]
+    instructions = code.instructions()
+    labels = _collect_labels(code, instructions)
+    payload_at: dict[int, object] = {}
+    for dex_pc, ins in instructions:
+        if ins.opcode.fmt == "31t":
+            target = dex_pc + ins.branch_target
+            payload_at[target] = decode_payload(code.insns, target)
+
+    try_starts: dict[int, list[str]] = {}
+    for try_block in code.tries:
+        for type_idx, addr in try_block.handlers:
+            try_starts.setdefault(try_block.start_addr, []).append(
+                f".catch {dex.type_descriptor(type_idx)} "
+                f"{{:L{try_block.start_addr} .. :L{try_block.end_addr}}} :L{addr}"
+            )
+        if try_block.catch_all is not None:
+            try_starts.setdefault(try_block.start_addr, []).append(
+                f".catchall {{:L{try_block.start_addr} .. "
+                f":L{try_block.end_addr}}} :L{try_block.catch_all}"
+            )
+        labels.add(try_block.start_addr)
+        labels.add(try_block.end_addr)
+
+    for dex_pc, ins in instructions:
+        if dex_pc in labels:
+            lines.append(f":L{dex_pc}")
+        for catch_line in try_starts.get(dex_pc, ()):
+            lines.append(catch_line)
+        lines.append(_render_instruction(dex, ins, dex_pc))
+    end_pc = len(code.insns)
+    if end_pc in labels and end_pc not in [pc for pc, _ in instructions]:
+        lines.append(f":L{end_pc}")
+    for target, payload in sorted(payload_at.items()):
+        lines.append(f":P{target}")
+        lines.extend(_render_payload(payload))
+    return lines
+
+
+def _collect_labels(code: CodeItem, instructions) -> set[int]:
+    labels: set[int] = set()
+    for dex_pc, ins in instructions:
+        if ins.opcode.is_branch:
+            labels.add(dex_pc + ins.branch_target)
+        elif ins.opcode.is_switch:
+            payload = decode_payload(code.insns, dex_pc + ins.branch_target)
+            for target in payload.targets:
+                labels.add(dex_pc + target)
+    return labels
+
+
+def _render_instruction(dex: DexFile, ins: Instruction, dex_pc: int) -> str:
+    name = ins.name
+    kind = ins.opcode.index_kind
+    if ins.opcode.fmt in ("35c", "3rc"):
+        regs = ins.invoke_registers
+        reg_text = "{" + ", ".join(f"v{r}" for r in regs) + "}"
+        if kind is IndexKind.METHOD:
+            target = dex.method_ref(ins.pool_index).signature
+        else:
+            target = dex.type_descriptor(ins.pool_index)
+        return f"{name} {reg_text}, {target}"
+    if ins.opcode.is_switch or name == "fill-array-data":
+        reg = ins.operands[0]
+        return f"{name} v{reg}, :P{dex_pc + ins.branch_target}"
+    if ins.opcode.is_branch:
+        target = dex_pc + ins.branch_target
+        regs = ins.operands[:-1] if not name.startswith("goto") else ()
+        reg_text = "".join(f"v{r}, " for r in regs)
+        base = "goto" if name.startswith("goto") else name
+        return f"{base} {reg_text}:L{target}"
+    parts: list[str] = []
+    operands = list(ins.operands)
+    if kind is not IndexKind.NONE:
+        index = operands.pop()
+        parts.extend(f"v{r}" for r in operands)
+        if kind is IndexKind.STRING:
+            parts.append(f'"{_escape(dex.string(index))}"')
+        elif kind is IndexKind.TYPE:
+            parts.append(dex.type_descriptor(index))
+        elif kind is IndexKind.FIELD:
+            parts.append(dex.field_ref(index).signature)
+        else:
+            parts.append(dex.method_ref(index).signature)
+    elif name.startswith("const") or "/lit" in name or ins.opcode.fmt in ("11n", "22s", "22b"):
+        literal = operands.pop()
+        parts.extend(f"v{r}" for r in operands)
+        parts.append(str(literal))
+    else:
+        parts.extend(f"v{r}" for r in operands)
+    if parts:
+        return f"{name} {', '.join(parts)}"
+    return name
+
+
+def _render_payload(payload) -> list[str]:
+    if isinstance(payload, PackedSwitchPayload):
+        lines = [f".packed-switch {payload.first_key}"]
+        lines.extend(f"    :case_offset_{t}" for t in payload.targets)
+        lines.append(".end packed-switch")
+        return lines
+    if isinstance(payload, SparseSwitchPayload):
+        lines = [".sparse-switch"]
+        lines.extend(
+            f"    {k} -> :case_offset_{t}"
+            for k, t in zip(payload.keys, payload.targets)
+        )
+        lines.append(".end sparse-switch")
+        return lines
+    assert isinstance(payload, FillArrayDataPayload)
+    lines = [f".array-data {payload.element_width}"]
+    lines.extend(f"    {v}" for v in payload.elements())
+    lines.append(".end array-data")
+    return lines
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+_ACCESS_ORDER = [
+    (AccessFlags.PUBLIC, "public"),
+    (AccessFlags.PRIVATE, "private"),
+    (AccessFlags.PROTECTED, "protected"),
+    (AccessFlags.STATIC, "static"),
+    (AccessFlags.FINAL, "final"),
+    (AccessFlags.ABSTRACT, "abstract"),
+    (AccessFlags.NATIVE, "native"),
+    (AccessFlags.SYNTHETIC, "synthetic"),
+    (AccessFlags.CONSTRUCTOR, "constructor"),
+]
+
+
+def _access_words(access: int) -> str:
+    words = [word for flag, word in _ACCESS_ORDER if access & flag]
+    return " ".join(words) + (" " if words else "")

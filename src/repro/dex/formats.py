@@ -1,0 +1,258 @@
+"""Dalvik instruction formats: how operands pack into 16-bit code units.
+
+Each format name follows the Dalvik convention: the first digit is the
+number of 16-bit code units, the second the number of registers, and the
+trailing letter the kind of extra operand (``x`` none, ``n`` nibble
+literal, ``b`` byte literal, ``s`` short literal, ``i``/``l`` 32/64-bit
+literal, ``h`` high16 literal, ``t`` branch target, ``c`` constant-pool
+index).
+
+The encoder/decoder here work on *operand tuples*; operand meaning is
+defined by :mod:`repro.dex.opcodes`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DexEncodeError, DexFormatError
+
+# Format name -> number of 16-bit code units occupied.
+FORMAT_UNITS: dict[str, int] = {
+    "10x": 1,
+    "12x": 1,
+    "11n": 1,
+    "11x": 1,
+    "10t": 1,
+    "20t": 2,
+    "22x": 2,
+    "21t": 2,
+    "21s": 2,
+    "21h": 2,
+    "21c": 2,
+    "23x": 2,
+    "22b": 2,
+    "22t": 2,
+    "22s": 2,
+    "22c": 2,
+    "32x": 3,
+    "30t": 3,
+    "31i": 3,
+    "31t": 3,
+    "31c": 3,
+    "35c": 3,
+    "3rc": 3,
+    "51l": 5,
+}
+
+
+def _check_range(name: str, value: int, lo: int, hi: int) -> None:
+    if not lo <= value <= hi:
+        raise DexEncodeError(f"{name} operand {value} out of range [{lo}, {hi}]")
+
+
+def _u16(value: int) -> int:
+    return value & 0xFFFF
+
+
+def _s_of(value: int, bits: int) -> int:
+    """Interpret ``value`` (unsigned, ``bits`` wide) as signed."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def encode(fmt: str, opcode: int, operands: tuple[int, ...]) -> list[int]:
+    """Encode one instruction into its code units.
+
+    ``operands`` layout per format (registers first, then literal/target/
+    index), matching the order produced by :func:`decode`.
+    """
+    op = opcode & 0xFF
+    if fmt == "10x":
+        return [op]
+    if fmt == "12x":
+        a, b = operands
+        _check_range(fmt, a, 0, 15)
+        _check_range(fmt, b, 0, 15)
+        return [op | (a << 8) | (b << 12)]
+    if fmt == "11n":
+        a, lit = operands
+        _check_range(fmt, a, 0, 15)
+        _check_range(fmt, lit, -8, 7)
+        return [op | (a << 8) | ((lit & 0xF) << 12)]
+    if fmt == "11x":
+        (a,) = operands
+        _check_range(fmt, a, 0, 255)
+        return [op | (a << 8)]
+    if fmt == "10t":
+        (target,) = operands
+        _check_range(fmt, target, -128, 127)
+        return [op | ((target & 0xFF) << 8)]
+    if fmt == "20t":
+        (target,) = operands
+        _check_range(fmt, target, -32768, 32767)
+        return [op, _u16(target)]
+    if fmt == "22x":
+        a, b = operands
+        _check_range(fmt, a, 0, 255)
+        _check_range(fmt, b, 0, 65535)
+        return [op | (a << 8), b]
+    if fmt in ("21t", "21s"):
+        a, lit = operands
+        _check_range(fmt, a, 0, 255)
+        _check_range(fmt, lit, -32768, 32767)
+        return [op | (a << 8), _u16(lit)]
+    if fmt == "21h":
+        a, lit = operands
+        _check_range(fmt, a, 0, 255)
+        _check_range(fmt, lit, -32768, 32767)
+        return [op | (a << 8), _u16(lit)]
+    if fmt == "21c":
+        a, index = operands
+        _check_range(fmt, a, 0, 255)
+        _check_range(fmt, index, 0, 65535)
+        return [op | (a << 8), index]
+    if fmt == "23x":
+        a, b, c = operands
+        for reg in (a, b, c):
+            _check_range(fmt, reg, 0, 255)
+        return [op | (a << 8), b | (c << 8)]
+    if fmt == "22b":
+        a, b, lit = operands
+        _check_range(fmt, a, 0, 255)
+        _check_range(fmt, b, 0, 255)
+        _check_range(fmt, lit, -128, 127)
+        return [op | (a << 8), b | ((lit & 0xFF) << 8)]
+    if fmt in ("22t", "22s"):
+        a, b, lit = operands
+        _check_range(fmt, a, 0, 15)
+        _check_range(fmt, b, 0, 15)
+        _check_range(fmt, lit, -32768, 32767)
+        return [op | (a << 8) | (b << 12), _u16(lit)]
+    if fmt == "22c":
+        a, b, index = operands
+        _check_range(fmt, a, 0, 15)
+        _check_range(fmt, b, 0, 15)
+        _check_range(fmt, index, 0, 65535)
+        return [op | (a << 8) | (b << 12), index]
+    if fmt == "32x":
+        a, b = operands
+        _check_range(fmt, a, 0, 65535)
+        _check_range(fmt, b, 0, 65535)
+        return [op, a, b]
+    if fmt == "30t":
+        (target,) = operands
+        _check_range(fmt, target, -(1 << 31), (1 << 31) - 1)
+        value = target & 0xFFFFFFFF
+        return [op, value & 0xFFFF, value >> 16]
+    if fmt in ("31i", "31t", "31c"):
+        a, lit = operands
+        _check_range(fmt, a, 0, 255)
+        if fmt == "31c":
+            _check_range(fmt, lit, 0, 0xFFFFFFFF)
+        else:
+            _check_range(fmt, lit, -(1 << 31), (1 << 31) - 1)
+        value = lit & 0xFFFFFFFF
+        return [op | (a << 8), value & 0xFFFF, value >> 16]
+    if fmt == "35c":
+        index, regs = operands[0], operands[1:]
+        count = len(regs)
+        if count > 5:
+            raise DexEncodeError(f"35c supports at most 5 registers, got {count}")
+        _check_range(fmt, index, 0, 65535)
+        for reg in regs:
+            _check_range(fmt, reg, 0, 15)
+        padded = list(regs) + [0] * (5 - count)
+        g = padded[4]
+        unit0 = op | (g << 8) | (count << 12)
+        unit2 = padded[0] | (padded[1] << 4) | (padded[2] << 8) | (padded[3] << 12)
+        return [unit0, index, unit2]
+    if fmt == "3rc":
+        index, first_reg, count = operands
+        _check_range(fmt, index, 0, 65535)
+        _check_range(fmt, first_reg, 0, 65535)
+        _check_range(fmt, count, 0, 255)
+        return [op | (count << 8), index, first_reg]
+    if fmt == "51l":
+        a, lit = operands
+        _check_range(fmt, a, 0, 255)
+        _check_range(fmt, lit, -(1 << 63), (1 << 63) - 1)
+        value = lit & 0xFFFFFFFFFFFFFFFF
+        return [
+            op | (a << 8),
+            value & 0xFFFF,
+            (value >> 16) & 0xFFFF,
+            (value >> 32) & 0xFFFF,
+            (value >> 48) & 0xFFFF,
+        ]
+    raise DexEncodeError(f"unknown instruction format {fmt!r}")
+
+
+def decode(fmt: str, units: list[int], pos: int) -> tuple[int, ...]:
+    """Decode the operands of an instruction at ``pos`` in ``units``.
+
+    Returns the operand tuple in the same layout :func:`encode` accepts.
+    The opcode byte itself is ``units[pos] & 0xFF`` and is not returned.
+    """
+    need = FORMAT_UNITS[fmt]
+    if pos + need > len(units):
+        raise DexFormatError(
+            f"truncated {fmt} instruction at unit {pos} (need {need} units)"
+        )
+    u0 = units[pos]
+    if fmt == "10x":
+        return ()
+    if fmt == "12x":
+        return ((u0 >> 8) & 0xF, (u0 >> 12) & 0xF)
+    if fmt == "11n":
+        return ((u0 >> 8) & 0xF, _s_of((u0 >> 12) & 0xF, 4))
+    if fmt == "11x":
+        return ((u0 >> 8) & 0xFF,)
+    if fmt == "10t":
+        return (_s_of((u0 >> 8) & 0xFF, 8),)
+    if fmt == "20t":
+        return (_s_of(units[pos + 1], 16),)
+    if fmt == "22x":
+        return ((u0 >> 8) & 0xFF, units[pos + 1])
+    if fmt in ("21t", "21s", "21h"):
+        return ((u0 >> 8) & 0xFF, _s_of(units[pos + 1], 16))
+    if fmt == "21c":
+        return ((u0 >> 8) & 0xFF, units[pos + 1])
+    if fmt == "23x":
+        u1 = units[pos + 1]
+        return ((u0 >> 8) & 0xFF, u1 & 0xFF, (u1 >> 8) & 0xFF)
+    if fmt == "22b":
+        u1 = units[pos + 1]
+        return ((u0 >> 8) & 0xFF, u1 & 0xFF, _s_of((u1 >> 8) & 0xFF, 8))
+    if fmt in ("22t", "22s"):
+        return ((u0 >> 8) & 0xF, (u0 >> 12) & 0xF, _s_of(units[pos + 1], 16))
+    if fmt == "22c":
+        return ((u0 >> 8) & 0xF, (u0 >> 12) & 0xF, units[pos + 1])
+    if fmt == "32x":
+        return (units[pos + 1], units[pos + 2])
+    if fmt == "30t":
+        value = units[pos + 1] | (units[pos + 2] << 16)
+        return (_s_of(value, 32),)
+    if fmt in ("31i", "31t"):
+        value = units[pos + 1] | (units[pos + 2] << 16)
+        return ((u0 >> 8) & 0xFF, _s_of(value, 32))
+    if fmt == "31c":
+        value = units[pos + 1] | (units[pos + 2] << 16)
+        return ((u0 >> 8) & 0xFF, value)
+    if fmt == "35c":
+        count = (u0 >> 12) & 0xF
+        g = (u0 >> 8) & 0xF
+        index = units[pos + 1]
+        u2 = units[pos + 2]
+        all_regs = (u2 & 0xF, (u2 >> 4) & 0xF, (u2 >> 8) & 0xF, (u2 >> 12) & 0xF, g)
+        return (index, *all_regs[:count])
+    if fmt == "3rc":
+        count = (u0 >> 8) & 0xFF
+        return (units[pos + 1], units[pos + 2], count)
+    if fmt == "51l":
+        value = (
+            units[pos + 1]
+            | (units[pos + 2] << 16)
+            | (units[pos + 3] << 32)
+            | (units[pos + 4] << 48)
+        )
+        return ((u0 >> 8) & 0xFF, _s_of(value, 64))
+    raise DexFormatError(f"unknown instruction format {fmt!r}")

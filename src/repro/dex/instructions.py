@@ -1,0 +1,176 @@
+"""Instruction model: decoded view of one Dalvik instruction.
+
+An :class:`Instruction` pairs an :class:`~repro.dex.opcodes.OpcodeInfo`
+with its operand tuple and knows how to re-encode itself.  The interpreter
+decodes instructions *lazily from the live code-unit array* on every
+execution — this is what makes self-modifying code observable, exactly as
+in ART where the interpreter re-fetches code units each time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dex import formats
+from repro.dex.opcodes import (
+    PAYLOAD_IDENTS,
+    IndexKind,
+    OpcodeInfo,
+    opcode_at,
+    opcode_for,
+)
+from repro.errors import DexFormatError
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``operands`` layout follows :mod:`repro.dex.formats`: register operands
+    first (except 35c/3rc where the pool index leads), then the literal,
+    branch target or pool index.
+    """
+
+    opcode: OpcodeInfo
+    operands: tuple[int, ...]
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def make(cls, name: str, *operands: int) -> "Instruction":
+        """Build an instruction from a mnemonic and raw operands."""
+        return cls(opcode_for(name), tuple(operands))
+
+    @classmethod
+    def decode_at(cls, units: list[int], pos: int) -> "Instruction":
+        """Decode the instruction starting at code unit ``pos``."""
+        info = opcode_at(units, pos)
+        operands = formats.decode(info.fmt, units, pos)
+        return cls(info, operands)
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self) -> list[int]:
+        """Encode back to code units."""
+        return formats.encode(self.opcode.fmt, self.opcode.value, self.operands)
+
+    @property
+    def unit_count(self) -> int:
+        return formats.FORMAT_UNITS[self.opcode.fmt]
+
+    # -- semantic accessors -----------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.opcode.name
+
+    @property
+    def branch_target(self) -> int:
+        """Relative branch offset in code units (branches and switches)."""
+        if self.opcode.name.startswith("goto"):
+            return self.operands[0]
+        if self.opcode.fmt == "21t":
+            return self.operands[1]
+        if self.opcode.fmt == "22t":
+            return self.operands[2]
+        if self.opcode.fmt == "31t":  # switch / fill-array-data payload offset
+            return self.operands[1]
+        raise DexFormatError(f"{self.name} has no branch target")
+
+    def with_branch_target(self, offset: int) -> "Instruction":
+        """Copy of this instruction with its relative offset replaced."""
+        if self.opcode.name.startswith("goto"):
+            return Instruction(self.opcode, (offset,))
+        if self.opcode.fmt == "21t":
+            return Instruction(self.opcode, (self.operands[0], offset))
+        if self.opcode.fmt == "22t":
+            return Instruction(self.opcode, (self.operands[0], self.operands[1], offset))
+        if self.opcode.fmt == "31t":
+            return Instruction(self.opcode, (self.operands[0], offset))
+        raise DexFormatError(f"{self.name} has no branch target")
+
+    @property
+    def pool_index(self) -> int:
+        """Constant-pool index for c-format instructions."""
+        if self.opcode.index_kind is IndexKind.NONE:
+            raise DexFormatError(f"{self.name} carries no pool index")
+        if self.opcode.fmt in ("35c", "3rc"):
+            return self.operands[0]
+        return self.operands[-1]
+
+    def with_pool_index(self, index: int) -> "Instruction":
+        """Copy of this instruction with its pool index replaced."""
+        if self.opcode.index_kind is IndexKind.NONE:
+            raise DexFormatError(f"{self.name} carries no pool index")
+        if self.opcode.fmt in ("35c", "3rc"):
+            return Instruction(self.opcode, (index, *self.operands[1:]))
+        return Instruction(self.opcode, (*self.operands[:-1], index))
+
+    @property
+    def invoke_registers(self) -> list[int]:
+        """Argument registers of an invoke / filled-new-array instruction."""
+        if self.opcode.fmt == "35c":
+            return list(self.operands[1:])
+        if self.opcode.fmt == "3rc":
+            first, count = self.operands[1], self.operands[2]
+            return list(range(first, first + count))
+        raise DexFormatError(f"{self.name} is not a register-list instruction")
+
+    @property
+    def literal(self) -> int:
+        """Literal operand of const / lit-arith instructions."""
+        fmt = self.opcode.fmt
+        if fmt in ("11n", "21s", "21h", "31i", "51l", "22s"):
+            return self.operands[-1]
+        if fmt == "22b":
+            return self.operands[2]
+        raise DexFormatError(f"{self.name} has no literal")
+
+    def __str__(self) -> str:
+        args = ", ".join(str(op) for op in self.operands)
+        return f"{self.name} {args}".rstrip()
+
+
+def iter_instructions(units: list[int]) -> list[tuple[int, Instruction]]:
+    """Decode all real instructions in a code-unit array.
+
+    Returns ``(dex_pc, instruction)`` pairs.  Payload regions referenced by
+    switch / fill-array-data instructions are skipped (they are data).
+    """
+    payload_positions = _payload_positions(units)
+    out: list[tuple[int, Instruction]] = []
+    pos = 0
+    while pos < len(units):
+        if pos in payload_positions:
+            pos += payload_positions[pos]
+            continue
+        ins = Instruction.decode_at(units, pos)
+        out.append((pos, ins))
+        pos += ins.unit_count
+    return out
+
+
+def _payload_positions(units: list[int]) -> dict[int, int]:
+    """Map payload start position -> unit count, found via 31t references."""
+    from repro.dex.payloads import payload_unit_count
+
+    positions: dict[int, int] = {}
+    pos = 0
+    while pos < len(units):
+        if pos in positions:
+            pos += positions[pos]
+            continue
+        unit = units[pos]
+        if unit in PAYLOAD_IDENTS and (unit & 0xFF) == 0 and pos > 0:
+            # Reached an unreferenced payload region directly; treat the
+            # remainder conservatively by decoding it as a payload.
+            positions[pos] = payload_unit_count(units, pos)
+            pos += positions[pos]
+            continue
+        ins = Instruction.decode_at(units, pos)
+        if ins.opcode.fmt == "31t":
+            target = pos + ins.branch_target
+            if 0 <= target < len(units):
+                positions[target] = payload_unit_count(units, target)
+        pos += ins.unit_count
+    return positions

@@ -1,0 +1,87 @@
+"""LEB128 variable-length integer codecs used throughout the DEX format.
+
+The DEX container encodes most counts, offsets and index deltas as
+unsigned LEB128 (``uleb128``), signed LEB128 (``sleb128``) or the odd
+``uleb128p1`` (value plus one, so that -1 encodes as zero) — see the
+Dalvik Executable format specification.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DexFormatError
+
+_MAX_LEB_BYTES = 5  # DEX caps LEB128 values at 32 bits -> at most 5 bytes
+
+
+def encode_uleb128(value: int) -> bytes:
+    """Encode a non-negative integer as unsigned LEB128."""
+    if value < 0:
+        raise DexFormatError(f"uleb128 cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uleb128(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode unsigned LEB128 at ``offset``; return ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    for i in range(_MAX_LEB_BYTES):
+        if offset + i >= len(data):
+            raise DexFormatError("truncated uleb128")
+        byte = data[offset + i]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset + i + 1
+        shift += 7
+    raise DexFormatError("uleb128 longer than 5 bytes")
+
+
+def encode_uleb128p1(value: int) -> bytes:
+    """Encode ``value`` (>= -1) as uleb128 of ``value + 1``."""
+    return encode_uleb128(value + 1)
+
+
+def decode_uleb128p1(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode uleb128p1 at ``offset``; return ``(value, new_offset)``."""
+    raw, new_offset = decode_uleb128(data, offset)
+    return raw - 1, new_offset
+
+
+def encode_sleb128(value: int) -> bytes:
+    """Encode a signed integer as signed LEB128."""
+    out = bytearray()
+    more = True
+    while more:
+        byte = value & 0x7F
+        value >>= 7
+        sign_bit = bool(byte & 0x40)
+        if (value == 0 and not sign_bit) or (value == -1 and sign_bit):
+            more = False
+        else:
+            byte |= 0x80
+        out.append(byte)
+    return bytes(out)
+
+
+def decode_sleb128(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode signed LEB128 at ``offset``; return ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    for i in range(_MAX_LEB_BYTES):
+        if offset + i >= len(data):
+            raise DexFormatError("truncated sleb128")
+        byte = data[offset + i]
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            if byte & 0x40:  # sign extend
+                result -= 1 << shift
+            return result, offset + i + 1
+    raise DexFormatError("sleb128 longer than 5 bytes")

@@ -1,0 +1,91 @@
+"""Modified UTF-8 (MUTF-8) string codec.
+
+DEX string data is stored in the JVM's *modified* UTF-8: code points above
+U+FFFF are first split into a UTF-16 surrogate pair and each surrogate is
+then CESU-8 encoded as a 3-byte sequence, and U+0000 is encoded as the
+two-byte sequence ``C0 80`` so that encoded strings never contain a NUL.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DexFormatError
+
+
+def encode_mutf8(text: str) -> bytes:
+    """Encode ``text`` to MUTF-8 (without the trailing NUL terminator)."""
+    out = bytearray()
+    for char in text:
+        cp = ord(char)
+        if cp == 0:
+            out += b"\xc0\x80"
+        elif cp < 0x80:
+            out.append(cp)
+        elif cp < 0x800:
+            out.append(0xC0 | (cp >> 6))
+            out.append(0x80 | (cp & 0x3F))
+        elif cp < 0x10000:
+            out.append(0xE0 | (cp >> 12))
+            out.append(0x80 | ((cp >> 6) & 0x3F))
+            out.append(0x80 | (cp & 0x3F))
+        else:
+            # Encode as a CESU-8 surrogate pair.
+            cp -= 0x10000
+            high = 0xD800 | (cp >> 10)
+            low = 0xDC00 | (cp & 0x3FF)
+            for surrogate in (high, low):
+                out.append(0xE0 | (surrogate >> 12))
+                out.append(0x80 | ((surrogate >> 6) & 0x3F))
+                out.append(0x80 | (surrogate & 0x3F))
+    return bytes(out)
+
+
+def decode_mutf8(data: bytes) -> str:
+    """Decode MUTF-8 bytes (not NUL terminated) back to a Python string."""
+    chars: list[str] = []
+    i = 0
+    length = len(data)
+    pending_high: int | None = None
+
+    def flush_pending() -> None:
+        nonlocal pending_high
+        if pending_high is not None:
+            # Unpaired high surrogate: keep it as-is (lossy but total).
+            chars.append(chr(pending_high))
+            pending_high = None
+
+    while i < length:
+        byte = data[i]
+        if byte & 0x80 == 0:
+            flush_pending()
+            chars.append(chr(byte))
+            i += 1
+        elif byte & 0xE0 == 0xC0:
+            if i + 1 >= length:
+                raise DexFormatError("truncated 2-byte mutf8 sequence")
+            cp = ((byte & 0x1F) << 6) | (data[i + 1] & 0x3F)
+            flush_pending()
+            chars.append(chr(cp))
+            i += 2
+        elif byte & 0xF0 == 0xE0:
+            if i + 2 >= length:
+                raise DexFormatError("truncated 3-byte mutf8 sequence")
+            cp = (
+                ((byte & 0x0F) << 12)
+                | ((data[i + 1] & 0x3F) << 6)
+                | (data[i + 2] & 0x3F)
+            )
+            i += 3
+            if 0xD800 <= cp <= 0xDBFF:
+                flush_pending()
+                pending_high = cp
+            elif 0xDC00 <= cp <= 0xDFFF and pending_high is not None:
+                combined = 0x10000 + ((pending_high - 0xD800) << 10) + (cp - 0xDC00)
+                chars.append(chr(combined))
+                pending_high = None
+            else:
+                flush_pending()
+                chars.append(chr(cp))
+        else:
+            raise DexFormatError(f"invalid mutf8 lead byte {byte:#04x} at {i}")
+    flush_pending()
+    return "".join(chars)

@@ -1,0 +1,189 @@
+"""Inline data payloads: switch tables and fill-array data.
+
+Payloads live inside a method's code-unit array after the real
+instructions.  ``packed-switch``/``sparse-switch``/``fill-array-data``
+instructions carry a relative unit offset to their payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dex.opcodes import (
+    FILL_ARRAY_DATA_PAYLOAD,
+    PACKED_SWITCH_PAYLOAD,
+    SPARSE_SWITCH_PAYLOAD,
+)
+from repro.errors import DexFormatError
+
+
+def _s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+@dataclass
+class PackedSwitchPayload:
+    """Contiguous-key switch table: ``first_key`` plus branch targets."""
+
+    first_key: int
+    targets: list[int] = field(default_factory=list)
+
+    def unit_count(self) -> int:
+        return 4 + 2 * len(self.targets)
+
+    def encode(self) -> list[int]:
+        units = [PACKED_SWITCH_PAYLOAD, len(self.targets)]
+        key = self.first_key & 0xFFFFFFFF
+        units += [key & 0xFFFF, key >> 16]
+        for target in self.targets:
+            value = target & 0xFFFFFFFF
+            units += [value & 0xFFFF, value >> 16]
+        return units
+
+    @classmethod
+    def decode(cls, units: list[int], pos: int) -> "PackedSwitchPayload":
+        if units[pos] != PACKED_SWITCH_PAYLOAD:
+            raise DexFormatError(f"not a packed-switch payload at {pos}")
+        size = units[pos + 1]
+        first_key = _s32(units[pos + 2] | (units[pos + 3] << 16))
+        targets = []
+        base = pos + 4
+        for i in range(size):
+            raw = units[base + 2 * i] | (units[base + 2 * i + 1] << 16)
+            targets.append(_s32(raw))
+        return cls(first_key, targets)
+
+    def lookup(self, key: int) -> int | None:
+        """Branch offset for ``key`` or None for fall-through."""
+        index = key - self.first_key
+        if 0 <= index < len(self.targets):
+            return self.targets[index]
+        return None
+
+
+@dataclass
+class SparseSwitchPayload:
+    """Arbitrary-key switch table: sorted keys with parallel targets."""
+
+    keys: list[int] = field(default_factory=list)
+    targets: list[int] = field(default_factory=list)
+
+    def unit_count(self) -> int:
+        return 2 + 4 * len(self.keys)
+
+    def encode(self) -> list[int]:
+        if len(self.keys) != len(self.targets):
+            raise DexFormatError("sparse switch keys/targets length mismatch")
+        units = [SPARSE_SWITCH_PAYLOAD, len(self.keys)]
+        for key in self.keys:
+            value = key & 0xFFFFFFFF
+            units += [value & 0xFFFF, value >> 16]
+        for target in self.targets:
+            value = target & 0xFFFFFFFF
+            units += [value & 0xFFFF, value >> 16]
+        return units
+
+    @classmethod
+    def decode(cls, units: list[int], pos: int) -> "SparseSwitchPayload":
+        if units[pos] != SPARSE_SWITCH_PAYLOAD:
+            raise DexFormatError(f"not a sparse-switch payload at {pos}")
+        size = units[pos + 1]
+        keys = []
+        targets = []
+        base = pos + 2
+        for i in range(size):
+            raw = units[base + 2 * i] | (units[base + 2 * i + 1] << 16)
+            keys.append(_s32(raw))
+        base += 2 * size
+        for i in range(size):
+            raw = units[base + 2 * i] | (units[base + 2 * i + 1] << 16)
+            targets.append(_s32(raw))
+        return cls(keys, targets)
+
+    def lookup(self, key: int) -> int | None:
+        """Branch offset for ``key`` or None for fall-through."""
+        for k, target in zip(self.keys, self.targets):
+            if k == key:
+                return target
+        return None
+
+
+@dataclass
+class FillArrayDataPayload:
+    """Raw element data for ``fill-array-data``."""
+
+    element_width: int
+    data: bytes = b""
+
+    @property
+    def element_count(self) -> int:
+        if self.element_width == 0:
+            return 0
+        return len(self.data) // self.element_width
+
+    def unit_count(self) -> int:
+        data_units = (len(self.data) + 1) // 2
+        return 4 + data_units
+
+    def encode(self) -> list[int]:
+        count = self.element_count
+        units = [
+            FILL_ARRAY_DATA_PAYLOAD,
+            self.element_width,
+            count & 0xFFFF,
+            (count >> 16) & 0xFFFF,
+        ]
+        padded = self.data + (b"\x00" if len(self.data) % 2 else b"")
+        for i in range(0, len(padded), 2):
+            units.append(padded[i] | (padded[i + 1] << 8))
+        return units
+
+    @classmethod
+    def decode(cls, units: list[int], pos: int) -> "FillArrayDataPayload":
+        if units[pos] != FILL_ARRAY_DATA_PAYLOAD:
+            raise DexFormatError(f"not a fill-array-data payload at {pos}")
+        width = units[pos + 1]
+        count = units[pos + 2] | (units[pos + 3] << 16)
+        byte_len = width * count
+        raw = bytearray()
+        base = pos + 4
+        for i in range((byte_len + 1) // 2):
+            unit = units[base + i]
+            raw.append(unit & 0xFF)
+            raw.append(unit >> 8)
+        return cls(width, bytes(raw[:byte_len]))
+
+    def elements(self, signed: bool = True) -> list[int]:
+        """Decode the raw data into a list of integers."""
+        out = []
+        for i in range(self.element_count):
+            chunk = self.data[i * self.element_width : (i + 1) * self.element_width]
+            out.append(int.from_bytes(chunk, "little", signed=signed))
+        return out
+
+
+def decode_payload(units: list[int], pos: int):
+    """Decode whichever payload type sits at ``pos``."""
+    ident = units[pos]
+    if ident == PACKED_SWITCH_PAYLOAD:
+        return PackedSwitchPayload.decode(units, pos)
+    if ident == SPARSE_SWITCH_PAYLOAD:
+        return SparseSwitchPayload.decode(units, pos)
+    if ident == FILL_ARRAY_DATA_PAYLOAD:
+        return FillArrayDataPayload.decode(units, pos)
+    raise DexFormatError(f"unknown payload ident {ident:#06x} at unit {pos}")
+
+
+def payload_unit_count(units: list[int], pos: int) -> int:
+    """Number of code units occupied by the payload at ``pos``."""
+    ident = units[pos]
+    if ident == PACKED_SWITCH_PAYLOAD:
+        return 4 + 2 * units[pos + 1]
+    if ident == SPARSE_SWITCH_PAYLOAD:
+        return 2 + 4 * units[pos + 1]
+    if ident == FILL_ARRAY_DATA_PAYLOAD:
+        width = units[pos + 1]
+        count = units[pos + 2] | (units[pos + 3] << 16)
+        return 4 + (width * count + 1) // 2
+    raise DexFormatError(f"unknown payload ident {ident:#06x} at unit {pos}")

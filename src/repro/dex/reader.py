@@ -1,0 +1,248 @@
+"""Binary DEX reader.
+
+Parses the binary container produced by :mod:`repro.dex.writer` (or any
+file using the same layout subset) back into a
+:class:`~repro.dex.structures.DexFile`.  Magic, endian tag, checksum and
+signature are validated unless ``strict=False``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.dex import checksums
+from repro.dex.constants import (
+    DEX_MAGIC,
+    ENDIAN_CONSTANT,
+    HEADER_SIZE,
+    NO_INDEX,
+    EncodedValueType,
+)
+from repro.dex.leb128 import decode_sleb128, decode_uleb128
+from repro.dex.mutf8 import decode_mutf8
+from repro.dex.structures import (
+    ClassDef,
+    CodeItem,
+    DexFieldId,
+    DexFile,
+    DexMethodId,
+    DexProto,
+    EncodedField,
+    EncodedMethod,
+    EncodedValue,
+    TryBlock,
+)
+from repro.errors import DexFormatError
+
+
+def read_dex(data: bytes, strict: bool = True) -> DexFile:
+    """Parse binary DEX ``data`` into a :class:`DexFile` model."""
+    return _Reader(data, strict).parse()
+
+
+class _Reader:
+    def __init__(self, data: bytes, strict: bool) -> None:
+        self.data = data
+        self.strict = strict
+
+    def parse(self) -> DexFile:
+        data = self.data
+        if len(data) < HEADER_SIZE:
+            raise DexFormatError("file smaller than DEX header")
+        if data[:8] != DEX_MAGIC:
+            raise DexFormatError(f"bad DEX magic {data[:8]!r}")
+        (
+            file_size,
+            header_size,
+            endian_tag,
+            _link_size,
+            _link_off,
+            _map_off,
+        ) = struct.unpack_from("<IIIIII", data, 32)
+        if endian_tag != ENDIAN_CONSTANT:
+            raise DexFormatError(f"bad endian tag {endian_tag:#x}")
+        if header_size != HEADER_SIZE:
+            raise DexFormatError(f"unexpected header size {header_size}")
+        if file_size != len(data):
+            raise DexFormatError(
+                f"file_size field {file_size} != actual size {len(data)}"
+            )
+        if self.strict:
+            stored_checksum = struct.unpack_from("<I", data, 8)[0]
+            if stored_checksum != checksums.adler32_checksum(data):
+                raise DexFormatError("checksum mismatch")
+            stored_signature = data[12:32]
+            if stored_signature != checksums.sha1_signature(data):
+                raise DexFormatError("signature mismatch")
+
+        (
+            n_str, string_ids_off,
+            n_type, type_ids_off,
+            n_proto, proto_ids_off,
+            n_field, field_ids_off,
+            n_method, method_ids_off,
+            n_class, class_defs_off,
+            _data_size, _data_off,
+        ) = struct.unpack_from("<IIIIIIIIIIIIII", data, 56)
+
+        dex = DexFile()
+        dex.strings = [
+            self._read_string_data(struct.unpack_from("<I", data, string_ids_off + 4 * i)[0])
+            for i in range(n_str)
+        ]
+        dex.type_ids = [
+            struct.unpack_from("<I", data, type_ids_off + 4 * i)[0]
+            for i in range(n_type)
+        ]
+        for i in range(n_proto):
+            _shorty_idx, return_idx, params_off = struct.unpack_from(
+                "<III", data, proto_ids_off + 12 * i
+            )
+            dex.protos.append(DexProto(return_idx, self._read_type_list(params_off)))
+        for i in range(n_field):
+            class_idx, type_idx, name_idx = struct.unpack_from(
+                "<HHI", data, field_ids_off + 8 * i
+            )
+            dex.field_ids.append(DexFieldId(class_idx, type_idx, name_idx))
+        for i in range(n_method):
+            class_idx, proto_idx, name_idx = struct.unpack_from(
+                "<HHI", data, method_ids_off + 8 * i
+            )
+            dex.method_ids.append(DexMethodId(class_idx, proto_idx, name_idx))
+        for i in range(n_class):
+            dex.class_defs.append(self._read_class_def(class_defs_off + 32 * i))
+        dex._rebuild_indexes()
+        return dex
+
+    def _read_string_data(self, offset: int) -> str:
+        _utf16_len, pos = decode_uleb128(self.data, offset)
+        end = self.data.index(b"\x00", pos)
+        return decode_mutf8(self.data[pos:end])
+
+    def _read_type_list(self, offset: int) -> tuple[int, ...]:
+        if offset == 0:
+            return ()
+        (size,) = struct.unpack_from("<I", self.data, offset)
+        return struct.unpack_from(f"<{size}H", self.data, offset + 4)
+
+    def _read_class_def(self, offset: int) -> ClassDef:
+        (
+            class_idx,
+            access_flags,
+            superclass_idx,
+            interfaces_off,
+            source_file_idx,
+            _annotations_off,
+            class_data_off,
+            static_values_off,
+        ) = struct.unpack_from("<IIIIIIII", self.data, offset)
+        class_def = ClassDef(
+            class_idx=class_idx,
+            access_flags=access_flags,
+            superclass_idx=superclass_idx,
+            interfaces=list(self._read_type_list(interfaces_off)),
+            source_file_idx=source_file_idx,
+        )
+        if class_data_off:
+            self._read_class_data(class_def, class_data_off)
+        if static_values_off:
+            class_def.static_values = self._read_encoded_array(static_values_off)
+        return class_def
+
+    def _read_class_data(self, class_def: ClassDef, offset: int) -> None:
+        data = self.data
+        n_static, pos = decode_uleb128(data, offset)
+        n_instance, pos = decode_uleb128(data, pos)
+        n_direct, pos = decode_uleb128(data, pos)
+        n_virtual, pos = decode_uleb128(data, pos)
+        for target, count in (
+            (class_def.static_fields, n_static),
+            (class_def.instance_fields, n_instance),
+        ):
+            field_idx = 0
+            for _ in range(count):
+                diff, pos = decode_uleb128(data, pos)
+                access, pos = decode_uleb128(data, pos)
+                field_idx += diff
+                target.append(EncodedField(field_idx, access))
+        for target, count in (
+            (class_def.direct_methods, n_direct),
+            (class_def.virtual_methods, n_virtual),
+        ):
+            method_idx = 0
+            for _ in range(count):
+                diff, pos = decode_uleb128(data, pos)
+                access, pos = decode_uleb128(data, pos)
+                code_off, pos = decode_uleb128(data, pos)
+                method_idx += diff
+                code = self._read_code_item(code_off) if code_off else None
+                target.append(EncodedMethod(method_idx, access, code))
+
+    def _read_code_item(self, offset: int) -> CodeItem:
+        data = self.data
+        registers_size, ins_size, outs_size, tries_size, _debug_off, insns_size = (
+            struct.unpack_from("<HHHHII", data, offset)
+        )
+        insns_start = offset + 16
+        insns = list(
+            struct.unpack_from(f"<{insns_size}H", data, insns_start)
+        )
+        code = CodeItem(registers_size, ins_size, outs_size, insns)
+        if tries_size:
+            tries_start = insns_start + 2 * insns_size
+            if insns_size % 2:
+                tries_start += 2  # alignment padding
+            handlers_start = tries_start + 8 * tries_size
+            for i in range(tries_size):
+                start_addr, insn_count, handler_off = struct.unpack_from(
+                    "<IHH", data, tries_start + 8 * i
+                )
+                try_block = TryBlock(start_addr, insn_count)
+                pos = handlers_start + handler_off
+                size, pos = decode_sleb128(data, pos)
+                for _ in range(abs(size)):
+                    type_idx, pos = decode_uleb128(data, pos)
+                    addr, pos = decode_uleb128(data, pos)
+                    try_block.handlers.append((type_idx, addr))
+                if size <= 0:
+                    catch_all, pos = decode_uleb128(data, pos)
+                    try_block.catch_all = catch_all
+                code.tries.append(try_block)
+        return code
+
+    def _read_encoded_array(self, offset: int) -> list[EncodedValue]:
+        size, pos = decode_uleb128(self.data, offset)
+        values = []
+        for _ in range(size):
+            value, pos = self._read_encoded_value(pos)
+            values.append(value)
+        return values
+
+    def _read_encoded_value(self, pos: int) -> tuple[EncodedValue, int]:
+        header = self.data[pos]
+        pos += 1
+        kind = EncodedValueType(header & 0x1F)
+        arg = header >> 5
+        if kind is EncodedValueType.NULL:
+            return EncodedValue(kind, None), pos
+        if kind is EncodedValueType.BOOLEAN:
+            return EncodedValue(kind, bool(arg)), pos
+        size = arg + 1
+        payload = self.data[pos : pos + size]
+        pos += size
+        if kind in (
+            EncodedValueType.BYTE,
+            EncodedValueType.SHORT,
+            EncodedValueType.INT,
+            EncodedValueType.LONG,
+        ):
+            return EncodedValue(kind, int.from_bytes(payload, "little", signed=True)), pos
+        if kind is EncodedValueType.CHAR:
+            return EncodedValue(kind, int.from_bytes(payload, "little")), pos
+        if kind is EncodedValueType.FLOAT:
+            return EncodedValue(kind, struct.unpack("<f", payload.ljust(4, b"\x00"))[0]), pos
+        if kind is EncodedValueType.DOUBLE:
+            return EncodedValue(kind, struct.unpack("<d", payload.ljust(8, b"\x00"))[0]), pos
+        if kind in (EncodedValueType.STRING, EncodedValueType.TYPE):
+            return EncodedValue(kind, int.from_bytes(payload, "little")), pos
+        raise DexFormatError(f"unsupported encoded value kind {kind!r}")

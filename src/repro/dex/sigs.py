@@ -1,0 +1,70 @@
+"""Parsing of descriptor-language signatures.
+
+``Lcom/test/Main;->normal(Ljava/lang/String;)V`` method signatures and
+``Lcom/test/Main;->PHONE:Ljava/lang/String;`` field signatures are the
+lingua franca between the assembler, the runtime and the analysis tools.
+"""
+
+from __future__ import annotations
+
+from repro.dex.structures import FieldRef, MethodRef
+from repro.errors import AssemblyError
+
+
+def split_type_list(descriptors: str) -> tuple[str, ...]:
+    """Split a concatenated descriptor list (``ILjava/lang/String;[B``)."""
+    out: list[str] = []
+    i = 0
+    n = len(descriptors)
+    while i < n:
+        start = i
+        while i < n and descriptors[i] == "[":
+            i += 1
+        if i >= n:
+            raise AssemblyError(f"dangling array marker in {descriptors!r}")
+        if descriptors[i] == "L":
+            end = descriptors.find(";", i)
+            if end < 0:
+                raise AssemblyError(f"unterminated class descriptor in {descriptors!r}")
+            i = end + 1
+        elif descriptors[i] in "VZBSCIJFD":
+            i += 1
+        else:
+            raise AssemblyError(
+                f"bad descriptor character {descriptors[i]!r} in {descriptors!r}"
+            )
+        out.append(descriptors[start:i])
+    return tuple(out)
+
+
+def parse_method_signature(signature: str) -> MethodRef:
+    """Parse ``Lcls;->name(params)ret`` into a :class:`MethodRef`."""
+    try:
+        class_desc, rest = signature.split("->", 1)
+        name, rest = rest.split("(", 1)
+        params, return_desc = rest.split(")", 1)
+    except ValueError:
+        raise AssemblyError(f"malformed method signature {signature!r}") from None
+    if not class_desc.startswith(("L", "[")):
+        raise AssemblyError(f"bad class descriptor in {signature!r}")
+    return MethodRef(class_desc, name, split_type_list(params), return_desc)
+
+
+def parse_field_signature(signature: str) -> FieldRef:
+    """Parse ``Lcls;->name:type`` into a :class:`FieldRef`."""
+    try:
+        class_desc, rest = signature.split("->", 1)
+        name, type_desc = rest.split(":", 1)
+    except ValueError:
+        raise AssemblyError(f"malformed field signature {signature!r}") from None
+    if not class_desc.startswith(("L", "[")):
+        raise AssemblyError(f"bad class descriptor in {signature!r}")
+    return FieldRef(class_desc, name, type_desc)
+
+
+def method_arg_width(ref: MethodRef, is_static: bool) -> int:
+    """Number of argument register words an invoke of ``ref`` consumes."""
+    width = 0 if is_static else 1
+    for param in ref.param_descs:
+        width += 2 if param in ("J", "D") else 1
+    return width

@@ -1,0 +1,202 @@
+"""Structural DEX verifier.
+
+Checks the invariants a conforming consumer relies on: pool sort order,
+index ranges, instruction decodability, branch targets landing on
+instruction boundaries, register bounds and try-block sanity.  The
+reassembler's output must pass this verifier (paper §IV-C: the
+reassembled DEX "can be correctly processed by the state-of-the-art
+static analysis tools").
+"""
+
+from __future__ import annotations
+
+from repro.dex.constants import NO_INDEX
+from repro.dex.instructions import Instruction
+from repro.dex.opcodes import IndexKind
+from repro.dex.payloads import decode_payload
+from repro.dex.structures import CodeItem, DexFile
+from repro.errors import VerificationError
+
+
+def verify_dex(dex: DexFile) -> list[str]:
+    """Verify ``dex``; returns a list of problem strings (empty = OK)."""
+    problems: list[str] = []
+    _check_pools(dex, problems)
+    for class_def in dex.class_defs:
+        descriptor = _safe_descriptor(dex, class_def.class_idx)
+        if class_def.superclass_idx != NO_INDEX and not (
+            0 <= class_def.superclass_idx < len(dex.type_ids)
+        ):
+            problems.append(f"{descriptor}: superclass index out of range")
+        if len(class_def.static_values) > len(class_def.static_fields):
+            problems.append(f"{descriptor}: more static values than static fields")
+        for method in class_def.all_methods():
+            if not 0 <= method.method_idx < len(dex.method_ids):
+                problems.append(f"{descriptor}: method index out of range")
+                continue
+            ref = dex.method_ref(method.method_idx)
+            if method.code is not None:
+                _check_code(dex, f"{ref}", method.code, problems)
+    return problems
+
+
+def assert_valid(dex: DexFile) -> None:
+    """Raise :class:`VerificationError` if the file has structural problems."""
+    problems = verify_dex(dex)
+    if problems:
+        preview = "; ".join(problems[:5])
+        raise VerificationError(
+            f"DEX failed verification with {len(problems)} problem(s): {preview}"
+        )
+
+
+def _check_pools(dex: DexFile, problems: list[str]) -> None:
+    if dex.strings != sorted(dex.strings):
+        problems.append("string pool not sorted")
+    if dex.type_ids != sorted(dex.type_ids):
+        problems.append("type pool not sorted")
+    for string_idx in dex.type_ids:
+        if not 0 <= string_idx < len(dex.strings):
+            problems.append("type id references missing string")
+    proto_keys = [(p.return_type_idx, p.param_type_idxs) for p in dex.protos]
+    if proto_keys != sorted(proto_keys):
+        problems.append("proto pool not sorted")
+    field_keys = [(f.class_idx, f.name_idx, f.type_idx) for f in dex.field_ids]
+    if field_keys != sorted(field_keys):
+        problems.append("field pool not sorted")
+    method_keys = [(m.class_idx, m.name_idx, m.proto_idx) for m in dex.method_ids]
+    if method_keys != sorted(method_keys):
+        problems.append("method pool not sorted")
+    seen_types: set[int] = set()
+    for class_def in dex.class_defs:
+        if class_def.class_idx in seen_types:
+            problems.append(
+                f"duplicate class def {_safe_descriptor(dex, class_def.class_idx)}"
+            )
+        seen_types.add(class_def.class_idx)
+        if class_def.superclass_idx != NO_INDEX:
+            parent = next(
+                (c for c in dex.class_defs if c.class_idx == class_def.superclass_idx),
+                None,
+            )
+            if parent is not None and dex.class_defs.index(parent) > dex.class_defs.index(class_def):
+                problems.append(
+                    f"class {_safe_descriptor(dex, class_def.class_idx)} "
+                    "defined before its superclass"
+                )
+
+
+def _check_code(dex: DexFile, where: str, code: CodeItem, problems: list[str]) -> None:
+    if code.ins_size > code.registers_size:
+        problems.append(f"{where}: ins_size exceeds registers_size")
+    try:
+        instructions = code.instructions()
+    except Exception as exc:
+        problems.append(f"{where}: undecodable instructions ({exc})")
+        return
+    if not instructions:
+        problems.append(f"{where}: empty instruction stream")
+        return
+    boundaries = {dex_pc for dex_pc, _ in instructions}
+    for dex_pc, ins in instructions:
+        _check_instruction(dex, where, code, dex_pc, ins, boundaries, problems)
+    # Control must not fall off the end of the method.  Trailing nops are
+    # alignment padding in front of switch/array payloads and are skipped.
+    trailing = [ins for _pc, ins in instructions]
+    while trailing and trailing[-1].name == "nop":
+        trailing.pop()
+    if trailing:
+        last_ins = trailing[-1]
+        if last_ins.opcode.can_continue and not last_ins.opcode.is_branch:
+            problems.append(f"{where}: control can fall off the end")
+    for try_block in code.tries:
+        if try_block.start_addr not in boundaries:
+            problems.append(f"{where}: try start {try_block.start_addr} misaligned")
+        if try_block.end_addr > len(code.insns):
+            problems.append(f"{where}: try end beyond code")
+        for type_idx, addr in try_block.handlers:
+            if not 0 <= type_idx < len(dex.type_ids):
+                problems.append(f"{where}: catch type index out of range")
+            if addr not in boundaries:
+                problems.append(f"{where}: handler address {addr} misaligned")
+        if try_block.catch_all is not None and try_block.catch_all not in boundaries:
+            problems.append(f"{where}: catch-all address misaligned")
+
+
+def _check_instruction(
+    dex: DexFile,
+    where: str,
+    code: CodeItem,
+    dex_pc: int,
+    ins: Instruction,
+    boundaries: set[int],
+    problems: list[str],
+) -> None:
+    kind = ins.opcode.index_kind
+    pools = {
+        IndexKind.STRING: len(dex.strings),
+        IndexKind.TYPE: len(dex.type_ids),
+        IndexKind.FIELD: len(dex.field_ids),
+        IndexKind.METHOD: len(dex.method_ids),
+    }
+    if kind is not IndexKind.NONE:
+        if not 0 <= ins.pool_index < pools[kind]:
+            problems.append(
+                f"{where}@{dex_pc}: {ins.name} {kind.value} index "
+                f"{ins.pool_index} out of range"
+            )
+    if ins.opcode.is_branch and not ins.opcode.is_switch:
+        target = dex_pc + ins.branch_target
+        if target not in boundaries:
+            problems.append(
+                f"{where}@{dex_pc}: branch target {target} not an instruction"
+            )
+    if ins.opcode.is_switch or ins.name == "fill-array-data":
+        target = dex_pc + ins.branch_target
+        try:
+            payload = decode_payload(code.insns, target)
+        except Exception as exc:
+            problems.append(f"{where}@{dex_pc}: bad payload ({exc})")
+            return
+        if ins.opcode.is_switch:
+            for rel in payload.targets:
+                if dex_pc + rel not in boundaries:
+                    problems.append(
+                        f"{where}@{dex_pc}: switch target {dex_pc + rel} misaligned"
+                    )
+    _check_registers(where, code, dex_pc, ins, problems)
+
+
+def _check_registers(
+    where: str, code: CodeItem, dex_pc: int, ins: Instruction, problems: list[str]
+) -> None:
+    regs: list[int] = []
+    fmt = ins.opcode.fmt
+    if fmt in ("35c", "3rc"):
+        regs = ins.invoke_registers
+    elif fmt in ("12x", "11n", "22t", "22s", "22c"):
+        count = {"12x": 2, "11n": 1, "22t": 2, "22s": 2, "22c": 2}[fmt]
+        regs = list(ins.operands[:count])
+    elif fmt in ("11x", "21t", "21s", "21h", "21c", "31i", "31t", "31c", "51l", "22x"):
+        regs = [ins.operands[0]]
+        if fmt == "22x":
+            regs.append(ins.operands[1])
+    elif fmt == "23x":
+        regs = list(ins.operands)
+    elif fmt == "22b":
+        regs = list(ins.operands[:2])
+    elif fmt == "32x":
+        regs = list(ins.operands)
+    for reg in regs:
+        if reg >= code.registers_size:
+            problems.append(
+                f"{where}@{dex_pc}: {ins.name} uses v{reg} "
+                f"but method has {code.registers_size} registers"
+            )
+
+
+def _safe_descriptor(dex: DexFile, type_idx: int) -> str:
+    try:
+        return dex.type_descriptor(type_idx)
+    except Exception:
+        return f"type@{type_idx}"

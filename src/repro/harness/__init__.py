@@ -1,0 +1,33 @@
+"""Experiment harness: one runner per table/figure of the paper."""
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    run_fig5,
+    run_fig6,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+from repro.harness.tables import render_table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "render_table",
+    "run_fig5",
+    "run_fig6",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+]

@@ -1,0 +1,53 @@
+"""Command-line entry: run paper experiments and print their tables.
+
+Usage::
+
+    dexlego-repro                 # every experiment
+    dexlego-repro table2 fig5     # a subset
+    dexlego-repro --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dexlego-repro",
+        description="Reproduce the tables and figures of DexLego (DSN 2018).",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help=f"which experiments to run (default: all of "
+             f"{', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    selected = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    for name in selected:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

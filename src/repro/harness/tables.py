@@ -1,0 +1,31 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+
+def render_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Fixed-width table in the style of the paper's tables."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(row: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    bar = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, bar, line(headers), bar]
+    out.extend(line(row) for row in cells)
+    out.append(bar)
+    return "\n".join(out)
+
+
+def percent(value: float) -> str:
+    return f"{value * 100:.0f}%"
+
+
+def ratio(a: float, b: float) -> str:
+    if b == 0:
+        return "-"
+    return f"{a / b:.1f}x"

@@ -1,0 +1,42 @@
+"""Packing platform analogues (Table I's services)."""
+
+from repro.packers.base import Packer, UnavailablePacker, all_packers, get_packer
+from repro.packers.crypto import CIPHERS, RotateCipher, StreamCipher, XorCipher
+from repro.packers.shell import ShellRecipe, pack_with_shell
+from repro.packers.vendors import (
+    ALL_PACKERS,
+    UNAVAILABLE_PACKERS,
+    WORKING_PACKERS,
+    AlibabaPacker,
+    APKProtectPacker,
+    BaiduPacker,
+    BangclePacker,
+    IjiamiPacker,
+    NetQinPacker,
+    Qihoo360Packer,
+    TencentPacker,
+)
+
+__all__ = [
+    "ALL_PACKERS",
+    "APKProtectPacker",
+    "AlibabaPacker",
+    "BaiduPacker",
+    "BangclePacker",
+    "CIPHERS",
+    "IjiamiPacker",
+    "NetQinPacker",
+    "Packer",
+    "Qihoo360Packer",
+    "RotateCipher",
+    "ShellRecipe",
+    "StreamCipher",
+    "TencentPacker",
+    "UNAVAILABLE_PACKERS",
+    "UnavailablePacker",
+    "WORKING_PACKERS",
+    "XorCipher",
+    "all_packers",
+    "get_packer",
+    "pack_with_shell",
+]

@@ -1,0 +1,42 @@
+"""Packer interface and registry."""
+
+from __future__ import annotations
+
+from repro.errors import PackerUnavailable
+from repro.runtime.apk import Apk
+
+
+class Packer:
+    """A packing service: APK in, protected APK out."""
+
+    name = "packer"
+    available = True
+
+    def pack(self, apk: Apk) -> Apk:
+        raise NotImplementedError
+
+
+class UnavailablePacker(Packer):
+    """A service that cannot be used (Table I's bottom rows)."""
+
+    available = False
+    reason = "service unavailable"
+
+    def pack(self, apk: Apk) -> Apk:
+        raise PackerUnavailable(self.name, self.reason)
+
+
+_REGISTRY: dict[str, Packer] = {}
+
+
+def register_packer(packer: Packer) -> Packer:
+    _REGISTRY[packer.name] = packer
+    return packer
+
+
+def get_packer(name: str) -> Packer:
+    return _REGISTRY[name]
+
+
+def all_packers() -> list[Packer]:
+    return list(_REGISTRY.values())

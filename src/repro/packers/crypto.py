@@ -1,0 +1,77 @@
+"""Toy ciphers used by the packer analogues.
+
+Real packing services use proprietary encryption; what matters for the
+reproduction is that the payload bytes in the APK are *not* a parseable
+DEX until runtime code transforms them.  Three distinct schemes give the
+vendors different fingerprints.
+"""
+
+from __future__ import annotations
+
+
+class XorCipher:
+    """Repeating-key XOR (the classic cheap packer scheme)."""
+
+    name = "xor"
+
+    @staticmethod
+    def encrypt(data: bytes, key: bytes) -> bytes:
+        if not key:
+            raise ValueError("empty key")
+        return bytes(b ^ key[i % len(key)] for i, b in enumerate(data))
+
+    decrypt = encrypt  # XOR is an involution
+
+
+class RotateCipher:
+    """Byte-wise add/rotate with a rolling counter."""
+
+    name = "rotate"
+
+    @staticmethod
+    def encrypt(data: bytes, key: bytes) -> bytes:
+        out = bytearray()
+        for i, b in enumerate(data):
+            k = key[i % len(key)] + (i & 0x0F)
+            out.append((b + k) & 0xFF)
+        return bytes(out)
+
+    @staticmethod
+    def decrypt(data: bytes, key: bytes) -> bytes:
+        out = bytearray()
+        for i, b in enumerate(data):
+            k = key[i % len(key)] + (i & 0x0F)
+            out.append((b - k) & 0xFF)
+        return bytes(out)
+
+
+class StreamCipher:
+    """RC4-style keystream generator (simplified KSA/PRGA)."""
+
+    name = "stream"
+
+    @staticmethod
+    def _keystream(key: bytes, length: int) -> bytes:
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+        out = bytearray()
+        i = j = 0
+        for _ in range(length):
+            i = (i + 1) & 0xFF
+            j = (j + state[i]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+            out.append(state[(state[i] + state[j]) & 0xFF])
+        return bytes(out)
+
+    @classmethod
+    def encrypt(cls, data: bytes, key: bytes) -> bytes:
+        stream = cls._keystream(key, len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+    decrypt = encrypt
+
+
+CIPHERS = {cipher.name: cipher for cipher in (XorCipher, RotateCipher, StreamCipher)}

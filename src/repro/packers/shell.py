@@ -1,0 +1,172 @@
+"""Shell-DEX construction shared by all packer vendors.
+
+A packed APK contains:
+
+* a **shell DEX** — one stub activity whose lifecycle methods are native,
+  plus a few decoy classes (real packed apps ship "only the classes
+  needed to unpack", which is how §V-C's coarse screen finds them);
+* the original ``classes.dex`` **encrypted in assets**;
+* a native library that decrypts the payload at the configured trigger,
+  registers it with the class linker (the same flow dynamic loading
+  takes, §III-A), instantiates the real main activity and proxies every
+  lifecycle callback to it.
+
+The whole transformation round-trips through APK bytes, exactly like
+uploading to a packing service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dex.builder import DexBuilder
+from repro.dex.reader import read_dex
+from repro.dex.structures import DexFile
+from repro.dex.writer import write_dex
+from repro.errors import NativeCrash, PackerError
+from repro.runtime.apk import Apk, register_native_library
+from repro.runtime.values import VmObject
+
+_LIFECYCLE_FORWARDS = ("onStart", "onResume", "onPause", "onStop", "onDestroy")
+
+
+@dataclass(frozen=True)
+class ShellRecipe:
+    """What distinguishes one vendor's shell from another's."""
+
+    vendor: str
+    cipher: type
+    key: bytes
+    payload_name: str
+    split_payload: bool = False  # two separately-encrypted halves
+    unpack_trigger: str = "onCreate"  # or "onResume" (delayed unpack)
+    refuse_on_emulator: bool = False
+    decoy_classes: int = 4
+
+
+def pack_with_shell(apk: Apk, recipe: ShellRecipe) -> Apk:
+    """Produce the protected APK."""
+    if not apk.dex_files:
+        raise PackerError(f"{recipe.vendor}: APK has no DEX to protect")
+    shell_package = f"Lcom/{recipe.vendor}/shell/StubActivity;"
+    payload_assets = _encrypt_payload(apk, recipe)
+    shell_dex = _build_shell_dex(shell_package, recipe)
+    library = _register_shell_natives(apk, shell_package, recipe)
+
+    # Original assets keep their names (the app reads them at runtime);
+    # the encrypted payload uses a vendor-specific name that cannot clash.
+    if any(name in apk.assets for name in payload_assets):
+        raise PackerError(
+            f"{recipe.vendor}: payload asset name collides with app assets"
+        )
+    packed = Apk(
+        package=apk.package,
+        main_activity=shell_package,
+        dex_files=[shell_dex],
+        assets={**apk.assets, **payload_assets},
+        native_libraries=[library] + list(apk.native_libraries),
+        activities=[shell_package] + list(apk.activities),
+        version=apk.version,
+    )
+    # Round-trip through bytes: what the packing service returns.
+    return Apk.from_bytes(packed.to_bytes())
+
+
+def _encrypt_payload(apk: Apk, recipe: ShellRecipe) -> dict[str, bytes]:
+    raw = write_dex(apk.primary_dex)
+    if not recipe.split_payload:
+        return {recipe.payload_name: recipe.cipher.encrypt(raw, recipe.key)}
+    half = len(raw) // 2
+    return {
+        f"{recipe.payload_name}.0": recipe.cipher.encrypt(raw[:half], recipe.key),
+        f"{recipe.payload_name}.1": recipe.cipher.encrypt(raw[half:], recipe.key),
+    }
+
+
+def _build_shell_dex(shell_class: str, recipe: ShellRecipe) -> DexFile:
+    builder = DexBuilder()
+    shell = builder.add_class(shell_class, superclass="Landroid/app/Activity;")
+    shell.method("onCreate", "V", ("Landroid/os/Bundle;",), native=True).build()
+    for name in _LIFECYCLE_FORWARDS:
+        shell.method(name, "V", (), native=True).build()
+    vendor_ns = shell_class.rsplit("/", 1)[0]
+    for index in range(recipe.decoy_classes):
+        decoy = builder.add_class(f"{vendor_ns}/Decoy{index};")
+        mb = decoy.method("noise", "I", ("I",), locals_count=3)
+        mb.raw("add-int/lit8", 0, mb.p(1), 13 + index)
+        mb.raw("mul-int/lit8", 0, 0, 3)
+        mb.ret(0)
+        mb.build()
+    return builder.build()
+
+
+def _register_shell_natives(apk: Apk, shell_class: str, recipe: ShellRecipe) -> str:
+    original_main = apk.main_activity
+    state_key = ("shell", recipe.vendor, apk.package)
+
+    def decrypt_payload(runtime) -> bytes:
+        assets = runtime.current_apk.assets
+        if recipe.split_payload:
+            parts = [
+                recipe.cipher.decrypt(assets[f"{recipe.payload_name}.{i}"], recipe.key)
+                for i in range(2)
+            ]
+            return b"".join(parts)
+        return recipe.cipher.decrypt(assets[recipe.payload_name], recipe.key)
+
+    def ensure_unpacked(ctx, this) -> VmObject | None:
+        if this.native_data is not None:
+            return this.native_data
+        runtime = ctx.runtime
+        if recipe.refuse_on_emulator and runtime.device.is_emulator:
+            raise NativeCrash(
+                f"{recipe.vendor} shell: anti-debug check failed (emulator)"
+            )
+        dex = read_dex(decrypt_payload(runtime), strict=False)
+        runtime.class_linker.register_dex(dex)
+        klass = runtime.class_linker.lookup(original_main)
+        runtime.class_linker.ensure_initialized(klass)
+        real = VmObject(klass)
+        this.native_data = real
+        init = klass.find_method("<init>", (), "V")
+        if init is not None and (init.code is not None or init.is_native):
+            runtime.interpreter.execute(init, [real], caller=ctx.frame)
+        return real
+
+    def forward_event(ctx, this, name: str, args: list) -> None:
+        real = this.native_data
+        if real is None:
+            return
+        descs = ("Landroid/os/Bundle;",) if name == "onCreate" else ()
+        method = real.klass.find_method(name, descs, "V")
+        if method is not None and (method.code is not None or method.is_native):
+            ctx.runtime.interpreter.execute(method, [real, *args], caller=ctx.frame)
+
+    pending: dict[int, list] = {}  # shell object id -> deferred events
+
+    def on_create(ctx, this, bundle):
+        if recipe.unpack_trigger == "onCreate":
+            ensure_unpacked(ctx, this)
+            forward_event(ctx, this, "onCreate", [bundle])
+        else:
+            pending.setdefault(this.object_id, []).append(("onCreate", [bundle]))
+
+    def make_forward(name: str):
+        def impl(ctx, this):
+            if this.native_data is None:
+                if name == recipe.unpack_trigger:
+                    ensure_unpacked(ctx, this)
+                    for queued_name, queued_args in pending.pop(this.object_id, []):
+                        forward_event(ctx, this, queued_name, queued_args)
+                else:
+                    pending.setdefault(this.object_id, []).append((name, []))
+                    return
+            forward_event(ctx, this, name, [])
+
+        return impl
+
+    impls = {f"{shell_class}->onCreate(Landroid/os/Bundle;)V": on_create}
+    for name in _LIFECYCLE_FORWARDS:
+        impls[f"{shell_class}->{name}()V"] = make_forward(name)
+    library_name = f"lib{recipe.vendor}_{apk.package}"
+    return register_native_library(library_name, impls)

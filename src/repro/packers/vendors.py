@@ -1,0 +1,124 @@
+"""The packing-platform analogues of Table I.
+
+Five working services with distinct strategies, three dead ones:
+
+========  =========  ======================================  =========
+service   cipher     strategy                                trigger
+========  =========  ======================================  =========
+360       XOR        whole-DEX shell                          onCreate
+Alibaba   rotate     whole-DEX shell                          onCreate
+Tencent   XOR        split payload (two encrypted halves)     onCreate
+Baidu     stream     whole-DEX + emulator anti-debug          onCreate
+Bangcle   stream     split payload, delayed unpack            onResume
+NetQin    —          "The service is offline now"
+APKProt.  —          "Unresponsive to packing requests"
+Ijiami    —          "Samples are rejected by human agents"
+========  =========  ======================================  =========
+"""
+
+from __future__ import annotations
+
+from repro.packers.base import Packer, UnavailablePacker, register_packer
+from repro.packers.crypto import RotateCipher, StreamCipher, XorCipher
+from repro.packers.shell import ShellRecipe, pack_with_shell
+from repro.runtime.apk import Apk
+
+
+class _ShellPacker(Packer):
+    """Shared vendor implementation parameterised by a recipe."""
+
+    recipe_kwargs: dict = {}
+
+    def pack(self, apk: Apk) -> Apk:
+        recipe = ShellRecipe(vendor=self.name.lower(), **self.recipe_kwargs)
+        return pack_with_shell(apk, recipe)
+
+
+class Qihoo360Packer(_ShellPacker):
+    name = "360"
+    recipe_kwargs = dict(
+        cipher=XorCipher,
+        key=b"jiagu360",
+        payload_name="qh360.bin",
+        decoy_classes=5,
+    )
+
+    def pack(self, apk: Apk) -> Apk:
+        recipe = ShellRecipe(vendor="qihoo", **self.recipe_kwargs)
+        return pack_with_shell(apk, recipe)
+
+
+class AlibabaPacker(_ShellPacker):
+    name = "Alibaba"
+    recipe_kwargs = dict(
+        cipher=RotateCipher,
+        key=b"aliprotect",
+        payload_name="mobisec.dat",
+        decoy_classes=4,
+    )
+
+
+class TencentPacker(_ShellPacker):
+    name = "Tencent"
+    recipe_kwargs = dict(
+        cipher=XorCipher,
+        key=b"legu-tencent",
+        payload_name="tx_shell.dat",
+        split_payload=True,
+        decoy_classes=6,
+    )
+
+
+class BaiduPacker(_ShellPacker):
+    name = "Baidu"
+    recipe_kwargs = dict(
+        cipher=StreamCipher,
+        key=b"baidu-jiagu",
+        payload_name="baiduprotect.bin",
+        refuse_on_emulator=True,
+        decoy_classes=3,
+    )
+
+
+class BangclePacker(_ShellPacker):
+    name = "Bangcle"
+    recipe_kwargs = dict(
+        cipher=StreamCipher,
+        key=b"secapk-bangcle",
+        payload_name="bangcle_classes.jar",
+        split_payload=True,
+        unpack_trigger="onResume",
+        decoy_classes=8,
+    )
+
+
+class NetQinPacker(UnavailablePacker):
+    name = "NetQin"
+    reason = "The service is offline now"
+
+
+class APKProtectPacker(UnavailablePacker):
+    name = "APKProtect"
+    reason = "Unresponsive to packing requests"
+
+
+class IjiamiPacker(UnavailablePacker):
+    name = "Ijiami"
+    reason = "Samples are rejected by human agents"
+
+
+WORKING_PACKERS: list[Packer] = [
+    register_packer(Qihoo360Packer()),
+    register_packer(AlibabaPacker()),
+    register_packer(TencentPacker()),
+    register_packer(BaiduPacker()),
+    register_packer(BangclePacker()),
+]
+
+UNAVAILABLE_PACKERS: list[Packer] = [
+    register_packer(NetQinPacker()),
+    register_packer(APKProtectPacker()),
+    register_packer(IjiamiPacker()),
+]
+
+ALL_PACKERS: list[Packer] = WORKING_PACKERS + UNAVAILABLE_PACKERS

@@ -1,0 +1,53 @@
+"""Simulated Android Runtime (the ART substrate).
+
+Public surface:
+
+* :class:`~repro.runtime.art.AndroidRuntime` — one simulated process
+* :class:`~repro.runtime.apk.Apk` — application container
+* :class:`~repro.runtime.events.AppDriver` — lifecycle/event driver
+* :class:`~repro.runtime.hooks.RuntimeListener` — instrumentation hook
+* device profiles in :mod:`repro.runtime.device`
+"""
+
+from repro.runtime.apk import NATIVE_LIBRARY_REGISTRY, Apk, register_native_library
+from repro.runtime.art import AndroidRuntime, SinkEvent, SourceEvent
+from repro.runtime.device import EMULATOR, NEXUS_5X, TABLET, DeviceProfile
+from repro.runtime.events import AppDriver, DriveReport
+from repro.runtime.exceptions import VmThrow
+from repro.runtime.hooks import BranchController, RuntimeListener
+from repro.runtime.klass import RuntimeClass, RuntimeField, RuntimeMethod
+from repro.runtime.values import (
+    WIDE_HIGH,
+    VmArray,
+    VmClassObject,
+    VmObject,
+    VmString,
+    VmValue,
+)
+
+__all__ = [
+    "EMULATOR",
+    "NATIVE_LIBRARY_REGISTRY",
+    "NEXUS_5X",
+    "TABLET",
+    "AndroidRuntime",
+    "Apk",
+    "AppDriver",
+    "BranchController",
+    "DeviceProfile",
+    "DriveReport",
+    "RuntimeClass",
+    "RuntimeField",
+    "RuntimeListener",
+    "RuntimeMethod",
+    "SinkEvent",
+    "SourceEvent",
+    "VmArray",
+    "VmClassObject",
+    "VmObject",
+    "VmString",
+    "VmThrow",
+    "VmValue",
+    "WIDE_HIGH",
+    "register_native_library",
+]

@@ -1,0 +1,792 @@
+"""Android framework stubs: activities, telephony, SMS, location, files.
+
+Two roles:
+
+1. Provide the framework surface the benchmark corpus calls (lifecycle,
+   views, intents, system services, storage).
+2. Define the **canonical source/sink tables** used by both the runtime's
+   taint oracle (provenance stamping / sink logging) and the static
+   analysis tools.
+
+Taint tags: ``imei``, ``sim``, ``subscriber``, ``phone-number``,
+``location``, ``ssid``, ``android-id``, ``contacts``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.class_linker import NativeClassSpec
+from repro.runtime.exceptions import VmThrow
+from repro.runtime.values import VmArray, VmObject, VmString, provenance_of
+
+# ---------------------------------------------------------------------------
+# Canonical source/sink tables (shared with repro.analysis.sources_sinks)
+# ---------------------------------------------------------------------------
+
+SOURCE_SIGNATURES: dict[str, str] = {
+    "Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;": "imei",
+    "Landroid/telephony/TelephonyManager;->getSimSerialNumber()Ljava/lang/String;": "sim",
+    "Landroid/telephony/TelephonyManager;->getSubscriberId()Ljava/lang/String;": "subscriber",
+    "Landroid/telephony/TelephonyManager;->getLine1Number()Ljava/lang/String;": "phone-number",
+    "Landroid/location/LocationManager;->getLastKnownLocation(Ljava/lang/String;)Landroid/location/Location;": "location",
+    "Landroid/location/Location;->toString()Ljava/lang/String;": "location",
+    "Landroid/net/wifi/WifiInfo;->getSSID()Ljava/lang/String;": "ssid",
+    "Landroid/provider/Settings$Secure;->getString(Landroid/content/ContentResolver;Ljava/lang/String;)Ljava/lang/String;": "android-id",
+    "Landroid/content/ContentResolver;->query(Ljava/lang/String;)Ljava/lang/String;": "contacts",
+}
+
+SINK_SIGNATURES: dict[str, str] = {
+    "Landroid/telephony/SmsManager;->sendTextMessage(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Landroid/app/PendingIntent;Landroid/app/PendingIntent;)V": "sms",
+    "Landroid/util/Log;->d(Ljava/lang/String;Ljava/lang/String;)I": "log",
+    "Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I": "log",
+    "Landroid/util/Log;->e(Ljava/lang/String;Ljava/lang/String;)I": "log",
+    "Landroid/util/Log;->v(Ljava/lang/String;Ljava/lang/String;)I": "log",
+    "Landroid/util/Log;->w(Ljava/lang/String;Ljava/lang/String;)I": "log",
+    "Ljava/net/URL;-><init>(Ljava/lang/String;)V": "network",
+    "Ljava/net/URLConnection;->sendData(Ljava/lang/String;)V": "network",
+    "Landroid/webkit/WebView;->loadUrl(Ljava/lang/String;)V": "network",
+    "Ljava/io/OutputStream;->write([B)V": "stream",
+}
+
+
+def _throw(ctx, descriptor: str, message: str = ""):
+    raise VmThrow(ctx.runtime.new_exception(descriptor, message))
+
+
+def _source_string(ctx, signature: str, raw: str) -> VmString:
+    tag = SOURCE_SIGNATURES[signature]
+    ctx.runtime.record_source(signature, tag, ctx.frame)
+    return VmString(raw, (tag,))
+
+
+def _sink(ctx, signature: str, args: list) -> None:
+    ctx.runtime.record_sink(signature, args, ctx.frame)
+
+
+def _new(ctx, descriptor: str) -> VmObject:
+    return VmObject(ctx.runtime.class_linker.lookup(descriptor))
+
+
+# ---------------------------------------------------------------------------
+# Context / Activity / lifecycle
+# ---------------------------------------------------------------------------
+
+
+def context_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Landroid/content/Context;")
+    spec.method("<init>", (), "V", lambda ctx, this: None)
+
+    def get_system_service(ctx, this, name: VmString):
+        mapping = {
+            "phone": "Landroid/telephony/TelephonyManager;",
+            "location": "Landroid/location/LocationManager;",
+            "wifi": "Landroid/net/wifi/WifiManager;",
+            "connectivity": "Landroid/net/ConnectivityManager;",
+        }
+        descriptor = mapping.get(name.value)
+        if descriptor is None:
+            return None
+        return _new(ctx, descriptor)
+
+    spec.method("getSystemService", ("Ljava/lang/String;",),
+                "Ljava/lang/Object;", get_system_service)
+    spec.method(
+        "getSharedPreferences", ("Ljava/lang/String;", "I"),
+        "Landroid/content/SharedPreferences;",
+        lambda ctx, this, name, mode: _shared_prefs(ctx, name.value),
+    )
+    spec.method(
+        "getApplicationContext", (), "Landroid/content/Context;",
+        lambda ctx, this: this,
+    )
+    spec.method(
+        "getContentResolver", (), "Landroid/content/ContentResolver;",
+        lambda ctx, this: _new(ctx, "Landroid/content/ContentResolver;"),
+    )
+    spec.method("startActivity", ("Landroid/content/Intent;",), "V",
+                _start_activity)
+    return spec
+
+
+def _shared_prefs(ctx, name: str) -> VmObject:
+    obj = _new(ctx, "Landroid/content/SharedPreferences;")
+    obj.native_data = ctx.runtime.shared_prefs.setdefault(name, {})
+    return obj
+
+
+def _start_activity(ctx, this, intent: VmObject):
+    """Launch the activity named in the intent (ICC within the app)."""
+    runtime = ctx.runtime
+    target = intent.fields.get(("Landroid/content/Intent;", "component"))
+    if not isinstance(target, VmString):
+        return
+    descriptor = target.value
+    if not runtime.class_linker.is_known(descriptor):
+        return
+    klass = runtime.class_linker.lookup(descriptor)
+    runtime.class_linker.ensure_initialized(klass)
+    activity = VmObject(klass)
+    activity.fields[("Landroid/app/Activity;", "intent")] = intent
+    init = klass.find_method("<init>", (), "V")
+    if init is not None:
+        runtime.interpreter.execute(init, [activity], caller=ctx.frame)
+    on_create = klass.find_method("onCreate", ("Landroid/os/Bundle;",), "V")
+    if on_create is not None:
+        runtime.interpreter.execute(on_create, [activity, None], caller=ctx.frame)
+
+
+def activity_spec() -> NativeClassSpec:
+    spec = NativeClassSpec(
+        "Landroid/app/Activity;", superclass="Landroid/content/Context;"
+    )
+    spec.method("<init>", (), "V", lambda ctx, this: None)
+    for hook in ("onCreate",):
+        spec.method(hook, ("Landroid/os/Bundle;",), "V",
+                    lambda ctx, this, bundle: None)
+    for hook in ("onStart", "onResume", "onPause", "onStop", "onDestroy",
+                 "onRestart", "finish"):
+        spec.method(hook, (), "V", lambda ctx, this: None)
+    spec.method("setContentView", ("I",), "V", lambda ctx, this, layout: None)
+    spec.method(
+        "getIntent", (), "Landroid/content/Intent;",
+        lambda ctx, this: this.fields.get(("Landroid/app/Activity;", "intent")),
+    )
+    spec.method("findViewById", ("I",), "Landroid/view/View;", _find_view_by_id)
+    spec.method(
+        "runOnUiThread", ("Ljava/lang/Runnable;",), "V",
+        lambda ctx, this, runnable: _run_runnable(ctx, runnable),
+    )
+    return spec
+
+
+def _run_runnable(ctx, runnable):
+    if runnable is None:
+        return
+    method = runnable.klass.find_method("run", (), "V")
+    if method is not None:
+        ctx.runtime.interpreter.execute(method, [runnable], caller=ctx.frame)
+
+
+def _find_view_by_id(ctx, this, view_id: int) -> VmObject:
+    runtime = ctx.runtime
+    view = runtime.ui_views.get(view_id)
+    if view is None:
+        view = _new(ctx, "Landroid/widget/Button;")
+        view.fields[("Landroid/view/View;", "id")] = view_id
+        runtime.ui_views[view_id] = view
+    return view
+
+
+def service_spec() -> NativeClassSpec:
+    spec = NativeClassSpec(
+        "Landroid/app/Service;", superclass="Landroid/content/Context;"
+    )
+    spec.method("<init>", (), "V", lambda ctx, this: None)
+    spec.method("onCreate", (), "V", lambda ctx, this: None)
+    return spec
+
+
+def application_spec() -> NativeClassSpec:
+    spec = NativeClassSpec(
+        "Landroid/app/Application;", superclass="Landroid/content/Context;"
+    )
+    spec.method("<init>", (), "V", lambda ctx, this: None)
+    spec.method("onCreate", (), "V", lambda ctx, this: None)
+    spec.method("attachBaseContext", ("Landroid/content/Context;",), "V",
+                lambda ctx, this, base: None)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Bundles and intents
+# ---------------------------------------------------------------------------
+
+
+def bundle_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Landroid/os/Bundle;")
+
+    def init(ctx, this):
+        this.native_data = {}
+
+    spec.method("<init>", (), "V", init)
+    spec.method(
+        "putString", ("Ljava/lang/String;", "Ljava/lang/String;"), "V",
+        lambda ctx, this, key, value: this.native_data.__setitem__(key.value, value),
+    )
+    spec.method(
+        "getString", ("Ljava/lang/String;",), "Ljava/lang/String;",
+        lambda ctx, this, key: this.native_data.get(key.value)
+        if this.native_data else None,
+    )
+    return spec
+
+
+def intent_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Landroid/content/Intent;")
+
+    def init(ctx, this, *args):
+        this.native_data = {}
+        # Intent(Context, Class) form names the target component.
+        for arg in args:
+            klass_obj = getattr(arg, "klass", None)
+            if arg is not None and klass_obj is not None and hasattr(arg, "object_id"):
+                from repro.runtime.values import VmClassObject
+
+                if isinstance(arg, VmClassObject):
+                    this.fields[("Landroid/content/Intent;", "component")] = VmString(
+                        arg.klass.descriptor
+                    )
+
+    spec.method("<init>", (), "V", init)
+    spec.method("<init>", ("Landroid/content/Context;", "Ljava/lang/Class;"),
+                "V", init)
+    spec.method(
+        "putExtra", ("Ljava/lang/String;", "Ljava/lang/String;"),
+        "Landroid/content/Intent;",
+        lambda ctx, this, key, value: (
+            this.native_data.__setitem__(key.value, value),
+            this.add_provenance(provenance_of(value)),
+            this,
+        )[-1],
+    )
+    spec.method(
+        "getStringExtra", ("Ljava/lang/String;",), "Ljava/lang/String;",
+        lambda ctx, this, key: this.native_data.get(key.value)
+        if this.native_data else None,
+    )
+    spec.method(
+        "setComponent", ("Ljava/lang/String;",), "Landroid/content/Intent;",
+        lambda ctx, this, name: (
+            this.fields.__setitem__(
+                ("Landroid/content/Intent;", "component"), name
+            ),
+            this,
+        )[-1],
+    )
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Telephony, SMS, location, wifi  (sources and sinks)
+# ---------------------------------------------------------------------------
+
+
+def telephony_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Landroid/telephony/TelephonyManager;")
+    spec.method("<init>", (), "V", lambda ctx, this: None)
+    spec.method(
+        "getDeviceId", (), "Ljava/lang/String;",
+        lambda ctx, this: _source_string(
+            ctx,
+            "Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;",
+            ctx.runtime.device.imei,
+        ),
+    )
+    spec.method(
+        "getSimSerialNumber", (), "Ljava/lang/String;",
+        lambda ctx, this: _source_string(
+            ctx,
+            "Landroid/telephony/TelephonyManager;->getSimSerialNumber()Ljava/lang/String;",
+            ctx.runtime.device.sim_serial,
+        ),
+    )
+    spec.method(
+        "getSubscriberId", (), "Ljava/lang/String;",
+        lambda ctx, this: _source_string(
+            ctx,
+            "Landroid/telephony/TelephonyManager;->getSubscriberId()Ljava/lang/String;",
+            ctx.runtime.device.subscriber_id,
+        ),
+    )
+    spec.method(
+        "getLine1Number", (), "Ljava/lang/String;",
+        lambda ctx, this: _source_string(
+            ctx,
+            "Landroid/telephony/TelephonyManager;->getLine1Number()Ljava/lang/String;",
+            ctx.runtime.device.phone_number,
+        ),
+    )
+    return spec
+
+
+def sms_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Landroid/telephony/SmsManager;")
+    spec.method(
+        "getDefault", (), "Landroid/telephony/SmsManager;",
+        lambda ctx: _new(ctx, "Landroid/telephony/SmsManager;"),
+        static=True,
+    )
+
+    def send_text(ctx, this, dest, sc, text, sent_intent, delivery_intent):
+        _sink(
+            ctx,
+            "Landroid/telephony/SmsManager;->sendTextMessage(Ljava/lang/String;"
+            "Ljava/lang/String;Ljava/lang/String;Landroid/app/PendingIntent;"
+            "Landroid/app/PendingIntent;)V",
+            [text],
+        )
+
+    spec.method(
+        "sendTextMessage",
+        ("Ljava/lang/String;", "Ljava/lang/String;", "Ljava/lang/String;",
+         "Landroid/app/PendingIntent;", "Landroid/app/PendingIntent;"),
+        "V",
+        send_text,
+    )
+    return spec
+
+
+def log_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Landroid/util/Log;")
+    for level in ("d", "i", "e", "v", "w"):
+        signature = (
+            f"Landroid/util/Log;->{level}(Ljava/lang/String;Ljava/lang/String;)I"
+        )
+
+        def log_impl(ctx, tag, message, _sig=signature):
+            _sink(ctx, _sig, [message])
+            return 0
+
+        spec.method(level, ("Ljava/lang/String;", "Ljava/lang/String;"), "I",
+                    log_impl, static=True)
+    return spec
+
+
+def location_specs() -> list[NativeClassSpec]:
+    manager = NativeClassSpec("Landroid/location/LocationManager;")
+    manager.method("<init>", (), "V", lambda ctx, this: None)
+
+    def last_known(ctx, this, provider):
+        signature = (
+            "Landroid/location/LocationManager;->getLastKnownLocation"
+            "(Ljava/lang/String;)Landroid/location/Location;"
+        )
+        ctx.runtime.record_source(signature, "location", ctx.frame)
+        location = _new(ctx, "Landroid/location/Location;")
+        location.add_provenance(("location",))
+        location.native_data = (
+            ctx.runtime.device.latitude,
+            ctx.runtime.device.longitude,
+        )
+        return location
+
+    manager.method("getLastKnownLocation", ("Ljava/lang/String;",),
+                   "Landroid/location/Location;", last_known)
+
+    location = NativeClassSpec("Landroid/location/Location;")
+    location.method("getLatitude", (), "D",
+                    lambda ctx, this: this.native_data[0])
+    location.method("getLongitude", (), "D",
+                    lambda ctx, this: this.native_data[1])
+    location.method(
+        "toString", (), "Ljava/lang/String;",
+        lambda ctx, this: VmString(
+            f"Location[{this.native_data[0]:.4f},{this.native_data[1]:.4f}]",
+            this.provenance,
+        ),
+    )
+    return [manager, location]
+
+
+def wifi_specs() -> list[NativeClassSpec]:
+    manager = NativeClassSpec("Landroid/net/wifi/WifiManager;")
+    manager.method("<init>", (), "V", lambda ctx, this: None)
+    manager.method(
+        "getConnectionInfo", (), "Landroid/net/wifi/WifiInfo;",
+        lambda ctx, this: _new(ctx, "Landroid/net/wifi/WifiInfo;"),
+    )
+    info = NativeClassSpec("Landroid/net/wifi/WifiInfo;")
+    info.method(
+        "getSSID", (), "Ljava/lang/String;",
+        lambda ctx, this: _source_string(
+            ctx,
+            "Landroid/net/wifi/WifiInfo;->getSSID()Ljava/lang/String;",
+            ctx.runtime.device.ssid,
+        ),
+    )
+    connectivity = NativeClassSpec("Landroid/net/ConnectivityManager;")
+    connectivity.method("<init>", (), "V", lambda ctx, this: None)
+    return [manager, info, connectivity]
+
+
+def settings_specs() -> list[NativeClassSpec]:
+    resolver = NativeClassSpec("Landroid/content/ContentResolver;")
+    resolver.method("<init>", (), "V", lambda ctx, this: None)
+
+    def query(ctx, this, uri):
+        signature = (
+            "Landroid/content/ContentResolver;->query(Ljava/lang/String;)"
+            "Ljava/lang/String;"
+        )
+        return _source_string(ctx, signature, "contact:alice:+15557654321")
+
+    resolver.method("query", ("Ljava/lang/String;",), "Ljava/lang/String;", query)
+
+    secure = NativeClassSpec("Landroid/provider/Settings$Secure;")
+    secure.method(
+        "getString",
+        ("Landroid/content/ContentResolver;", "Ljava/lang/String;"),
+        "Ljava/lang/String;",
+        lambda ctx, resolver_obj, key: _source_string(
+            ctx,
+            "Landroid/provider/Settings$Secure;->getString(Landroid/content/"
+            "ContentResolver;Ljava/lang/String;)Ljava/lang/String;",
+            ctx.runtime.device.android_id,
+        ),
+        static=True,
+    )
+    return [resolver, secure]
+
+
+# ---------------------------------------------------------------------------
+# Build info (emulator / tablet detection)
+# ---------------------------------------------------------------------------
+
+
+def build_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Landroid/os/Build;")
+    spec.static_fields["MODEL"] = (
+        "Ljava/lang/String;",
+        lambda runtime: VmString(runtime.device.model),
+    )
+    spec.static_fields["BRAND"] = (
+        "Ljava/lang/String;",
+        lambda runtime: VmString(runtime.device.brand),
+    )
+    spec.static_fields["FINGERPRINT"] = (
+        "Ljava/lang/String;",
+        lambda runtime: VmString(runtime.device.fingerprint),
+    )
+    spec.static_fields["HARDWARE"] = (
+        "Ljava/lang/String;",
+        lambda runtime: VmString(runtime.device.hardware),
+    )
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Views / widgets
+# ---------------------------------------------------------------------------
+
+
+def view_specs() -> list[NativeClassSpec]:
+    listener_iface = NativeClassSpec("Landroid/view/View$OnClickListener;")
+
+    view = NativeClassSpec("Landroid/view/View;")
+    view.method("<init>", (), "V", lambda ctx, this: None)
+    view.method(
+        "getId", (), "I",
+        lambda ctx, this: this.fields.get(("Landroid/view/View;", "id"), 0),
+    )
+    view.method(
+        "setId", ("I",), "V",
+        lambda ctx, this, view_id: (
+            this.fields.__setitem__(("Landroid/view/View;", "id"), view_id),
+            ctx.runtime.ui_views.__setitem__(view_id, this),
+            None,
+        )[-1],
+    )
+
+    def set_on_click(ctx, this, listener):
+        ctx.runtime.click_listeners.append((this, listener))
+
+    view.method("setOnClickListener", ("Landroid/view/View$OnClickListener;",),
+                "V", set_on_click)
+
+    text_view = NativeClassSpec(
+        "Landroid/widget/TextView;", superclass="Landroid/view/View;"
+    )
+    text_view.method("<init>", (), "V", lambda ctx, this: None)
+    text_view.method(
+        "setText", ("Ljava/lang/String;",), "V",
+        lambda ctx, this, text: this.fields.__setitem__(
+            ("Landroid/widget/TextView;", "text"), text
+        ),
+    )
+    text_view.method(
+        "getText", (), "Ljava/lang/String;",
+        lambda ctx, this: this.fields.get(
+            ("Landroid/widget/TextView;", "text"), VmString("")
+        ),
+    )
+
+    # Button extends TextView in the real framework; the benchmark corpus
+    # relies on check-cast Button -> TextView succeeding.
+    button = NativeClassSpec(
+        "Landroid/widget/Button;", superclass="Landroid/widget/TextView;"
+    )
+    button.method("<init>", (), "V", lambda ctx, this: None)
+
+    web_view = NativeClassSpec(
+        "Landroid/webkit/WebView;", superclass="Landroid/view/View;"
+    )
+    web_view.method("<init>", (), "V", lambda ctx, this: None)
+    web_view.method(
+        "loadUrl", ("Ljava/lang/String;",), "V",
+        lambda ctx, this, url: _sink(
+            ctx, "Landroid/webkit/WebView;->loadUrl(Ljava/lang/String;)V", [url]
+        ),
+    )
+
+    pending_intent = NativeClassSpec("Landroid/app/PendingIntent;")
+
+    handler = NativeClassSpec("Landroid/os/Handler;")
+    handler.method("<init>", (), "V", lambda ctx, this: None)
+    handler.method(
+        "post", ("Ljava/lang/Runnable;",), "Z",
+        lambda ctx, this, runnable: (_run_runnable(ctx, runnable), 1)[-1],
+    )
+    handler.method(
+        "postDelayed", ("Ljava/lang/Runnable;", "J"), "Z",
+        lambda ctx, this, runnable, delay: (_run_runnable(ctx, runnable), 1)[-1],
+    )
+    return [listener_iface, view, button, text_view, web_view, pending_intent, handler]
+
+
+# ---------------------------------------------------------------------------
+# Network sinks
+# ---------------------------------------------------------------------------
+
+
+def network_specs() -> list[NativeClassSpec]:
+    url = NativeClassSpec("Ljava/net/URL;")
+
+    def url_init(ctx, this, spec_string):
+        this.fields[("Ljava/net/URL;", "spec")] = spec_string
+        this.add_provenance(provenance_of(spec_string))
+        _sink(ctx, "Ljava/net/URL;-><init>(Ljava/lang/String;)V", [spec_string])
+
+    url.method("<init>", ("Ljava/lang/String;",), "V", url_init)
+    url.method(
+        "openConnection", (), "Ljava/net/URLConnection;",
+        lambda ctx, this: _new(ctx, "Ljava/net/URLConnection;"),
+    )
+
+    connection = NativeClassSpec("Ljava/net/URLConnection;")
+    connection.method("<init>", (), "V", lambda ctx, this: None)
+    connection.method("connect", (), "V", lambda ctx, this: None)
+    connection.method(
+        "sendData", ("Ljava/lang/String;",), "V",
+        lambda ctx, this, data: _sink(
+            ctx, "Ljava/net/URLConnection;->sendData(Ljava/lang/String;)V", [data]
+        ),
+    )
+    connection.method(
+        "getOutputStream", (), "Ljava/io/OutputStream;",
+        lambda ctx, this: _new(ctx, "Ljava/io/OutputStream;"),
+    )
+    return [url, connection]
+
+
+# ---------------------------------------------------------------------------
+# Files / storage (the PrivateDataLeak3 channel)
+# ---------------------------------------------------------------------------
+
+
+def file_specs() -> list[NativeClassSpec]:
+    file_spec_obj = NativeClassSpec("Ljava/io/File;")
+
+    def file_init(ctx, this, *args):
+        parts = []
+        for arg in args:
+            if isinstance(arg, VmString):
+                parts.append(arg.value)
+            elif isinstance(arg, VmObject):
+                path = arg.fields.get(("Ljava/io/File;", "path"))
+                parts.append(path.value if isinstance(path, VmString) else "")
+        this.fields[("Ljava/io/File;", "path")] = VmString("/".join(parts))
+
+    file_spec_obj.method("<init>", ("Ljava/lang/String;",), "V", file_init)
+    file_spec_obj.method(
+        "<init>", ("Ljava/io/File;", "Ljava/lang/String;"), "V", file_init
+    )
+    file_spec_obj.method(
+        "getPath", (), "Ljava/lang/String;",
+        lambda ctx, this: this.fields.get(("Ljava/io/File;", "path")),
+    )
+    file_spec_obj.method(
+        "exists", (), "Z",
+        lambda ctx, this: 1
+        if _file_path(this) in ctx.runtime.filesystem
+        else 0,
+    )
+
+    out_stream = NativeClassSpec("Ljava/io/OutputStream;")
+    out_stream.method("<init>", (), "V", lambda ctx, this: None)
+    out_stream.method(
+        "write", ("[B",), "V",
+        lambda ctx, this, data: _sink(
+            ctx, "Ljava/io/OutputStream;->write([B)V", [data]
+        ),
+    )
+    out_stream.method("close", (), "V", lambda ctx, this: None)
+    out_stream.method("flush", (), "V", lambda ctx, this: None)
+
+    fos = NativeClassSpec(
+        "Ljava/io/FileOutputStream;", superclass="Ljava/io/OutputStream;"
+    )
+
+    def fos_init(ctx, this, target):
+        path = (
+            target.value
+            if isinstance(target, VmString)
+            else _file_path(target)
+        )
+        this.native_data = path
+        ctx.runtime.filesystem.setdefault(path, b"")
+
+    def fos_write(ctx, this, data: VmArray):
+        # NOTE: the byte payload is persisted but provenance is NOT —
+        # storage round-trips launder taint, which is exactly why every
+        # tool in Table IV misses the file-based flow in PrivateDataLeak3.
+        raw = bytes((b & 0xFF) for b in data.elements)
+        path = this.native_data
+        ctx.runtime.filesystem[path] = ctx.runtime.filesystem.get(path, b"") + raw
+
+    fos.method("<init>", ("Ljava/lang/String;",), "V", fos_init)
+    fos.method("<init>", ("Ljava/io/File;",), "V", fos_init)
+    fos.method("write", ("[B",), "V", fos_write)
+    fos.method("close", (), "V", lambda ctx, this: None)
+
+    in_stream = NativeClassSpec("Ljava/io/InputStream;")
+    in_stream.method("<init>", (), "V", lambda ctx, this: None)
+
+    fis = NativeClassSpec(
+        "Ljava/io/FileInputStream;", superclass="Ljava/io/InputStream;"
+    )
+
+    def fis_init(ctx, this, target):
+        path = (
+            target.value if isinstance(target, VmString) else _file_path(target)
+        )
+        if path not in ctx.runtime.filesystem:
+            _throw(ctx, "Ljava/io/FileNotFoundException;", path)
+        this.native_data = path
+
+    def fis_read(ctx, this, buffer: VmArray):
+        data = ctx.runtime.filesystem.get(this.native_data, b"")
+        count = min(len(data), buffer.length)
+        for i in range(count):
+            byte = data[i]
+            buffer.elements[i] = byte - 256 if byte >= 128 else byte
+        return count if count else -1
+
+    fis.method("<init>", ("Ljava/lang/String;",), "V", fis_init)
+    fis.method("<init>", ("Ljava/io/File;",), "V", fis_init)
+    fis.method("read", ("[B",), "I", fis_read)
+    fis.method("close", (), "V", lambda ctx, this: None)
+
+    environment = NativeClassSpec("Landroid/os/Environment;")
+    environment.method(
+        "getExternalStorageDirectory", (), "Ljava/io/File;",
+        lambda ctx: _make_file(ctx, "/sdcard"),
+        static=True,
+    )
+
+    prefs = NativeClassSpec("Landroid/content/SharedPreferences;")
+    prefs.method(
+        "getString", ("Ljava/lang/String;", "Ljava/lang/String;"),
+        "Ljava/lang/String;",
+        lambda ctx, this, key, default: this.native_data.get(key.value, default),
+    )
+    prefs.method(
+        "edit", (), "Landroid/content/SharedPreferences;",
+        lambda ctx, this: this,
+    )
+    prefs.method(
+        "putString", ("Ljava/lang/String;", "Ljava/lang/String;"),
+        "Landroid/content/SharedPreferences;",
+        lambda ctx, this, key, value: (
+            this.native_data.__setitem__(key.value, value), this
+        )[-1],
+    )
+    prefs.method("commit", (), "Z", lambda ctx, this: 1)
+    prefs.method("apply", (), "V", lambda ctx, this: None)
+
+    return [file_spec_obj, out_stream, fos, in_stream, fis, environment, prefs]
+
+
+def _file_path(file_obj: VmObject) -> str:
+    path = file_obj.fields.get(("Ljava/io/File;", "path"))
+    return path.value if isinstance(path, VmString) else ""
+
+
+def _make_file(ctx, path: str) -> VmObject:
+    obj = _new(ctx, "Ljava/io/File;")
+    obj.fields[("Ljava/io/File;", "path")] = VmString(path)
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Dynamic loading (DexClassLoader analogue)
+# ---------------------------------------------------------------------------
+
+
+def classloader_specs() -> list[NativeClassSpec]:
+    loader = NativeClassSpec("Ldalvik/system/DexClassLoader;")
+
+    def loader_init(ctx, this, dex_path, *rest):
+        """Load a secondary DEX: from APK assets or the in-memory fs."""
+        runtime = ctx.runtime
+        path = dex_path.value if isinstance(dex_path, VmString) else ""
+        payload = None
+        apk = runtime.current_apk
+        if apk is not None and path in apk.assets:
+            payload = apk.assets[path]
+        elif path in runtime.filesystem:
+            payload = runtime.filesystem[path]
+        if payload is None:
+            _throw(ctx, "Ljava/io/FileNotFoundException;", path)
+        from repro.dex.reader import read_dex
+
+        dex = read_dex(payload, strict=False)
+        runtime.class_linker.register_dex(dex)
+        this.native_data = [dex.class_descriptor(c) for c in dex.class_defs]
+
+    def load_class(ctx, this, name: VmString):
+        descriptor = "L" + name.value.replace(".", "/") + ";"
+        linker = ctx.runtime.class_linker
+        if not linker.is_known(descriptor):
+            _throw(ctx, "Ljava/lang/ClassNotFoundException;", name.value)
+        from repro.runtime.values import VmClassObject
+
+        return VmClassObject(linker.lookup(descriptor))
+
+    loader.method(
+        "<init>",
+        ("Ljava/lang/String;", "Ljava/lang/String;", "Ljava/lang/String;",
+         "Ljava/lang/ClassLoader;"),
+        "V",
+        loader_init,
+    )
+    loader.method("<init>", ("Ljava/lang/String;",), "V", loader_init)
+    loader.method("loadClass", ("Ljava/lang/String;",), "Ljava/lang/Class;",
+                  load_class)
+
+    base_loader = NativeClassSpec("Ljava/lang/ClassLoader;")
+    base_loader.method("<init>", (), "V", lambda ctx, this: None)
+    return [loader, base_loader]
+
+
+def all_specs() -> list[NativeClassSpec]:
+    """Every framework class spec, in dependency order."""
+    return (
+        [
+            context_spec(),
+            activity_spec(),
+            service_spec(),
+            application_spec(),
+            bundle_spec(),
+            intent_spec(),
+            telephony_spec(),
+            sms_spec(),
+            log_spec(),
+            build_spec(),
+        ]
+        + location_specs()
+        + wifi_specs()
+        + settings_specs()
+        + view_specs()
+        + network_specs()
+        + file_specs()
+        + classloader_specs()
+    )

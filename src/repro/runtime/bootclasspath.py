@@ -1,0 +1,16 @@
+"""Boot classpath assembly: registers all framework class specs."""
+
+from __future__ import annotations
+
+from repro.runtime import android_api, intrinsics, reflection
+
+
+def register_boot_classes(runtime) -> None:
+    """Register every intrinsic / framework / reflection class spec."""
+    linker = runtime.class_linker
+    for spec in intrinsics.all_specs():
+        linker.register_boot_class(spec)
+    for spec in reflection.all_specs():
+        linker.register_boot_class(spec)
+    for spec in android_api.all_specs():
+        linker.register_boot_class(spec)

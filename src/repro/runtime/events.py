@@ -1,0 +1,130 @@
+"""Application driver: install, launch, deliver UI events.
+
+The analogue of instrumentation harnesses (monkey / Sapienz execution
+layer): it installs an APK into a runtime, walks activity lifecycles and
+delivers click events to registered listeners.  Fuzzing and force
+execution both drive applications through this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BudgetExceeded, VmCrash
+from repro.runtime.apk import Apk
+from repro.runtime.art import AndroidRuntime
+from repro.runtime.exceptions import VmThrow
+from repro.runtime.values import VmObject
+
+
+@dataclass
+class DriveReport:
+    """What happened while driving the app."""
+
+    launched: bool = False
+    crashed: bool = False
+    crash_reason: str = ""
+    events_delivered: int = 0
+    budget_exhausted: bool = False
+
+
+class AppDriver:
+    """Installs and exercises one application."""
+
+    def __init__(self, runtime: AndroidRuntime, apk: Apk) -> None:
+        self.runtime = runtime
+        self.apk = apk
+        self.activity: VmObject | None = None
+        self.installed = False
+
+    def install(self) -> None:
+        if not self.installed:
+            self.runtime.install_apk(self.apk)
+            self.installed = True
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def launch(self, activity_desc: str | None = None) -> DriveReport:
+        """Create the main activity and run onCreate/onStart/onResume."""
+        self.install()
+        report = DriveReport()
+        descriptor = activity_desc or self.apk.main_activity
+        runtime = self.runtime
+        try:
+            klass = runtime.class_linker.lookup(descriptor)
+            runtime.class_linker.ensure_initialized(klass)
+            activity = VmObject(klass)
+            self.activity = activity
+            self._call_if_defined(activity, "<init>", (), [activity])
+            self._call_if_defined(
+                activity, "onCreate", ("Landroid/os/Bundle;",), [activity, None]
+            )
+            self._call_if_defined(activity, "onStart", (), [activity])
+            self._call_if_defined(activity, "onResume", (), [activity])
+            report.launched = True
+        except BudgetExceeded:
+            report.budget_exhausted = True
+        except (VmThrow, VmCrash) as exc:
+            report.crashed = True
+            report.crash_reason = str(exc)
+        return report
+
+    def pause_resume(self) -> None:
+        if self.activity is None:
+            return
+        self._call_if_defined(self.activity, "onPause", (), [self.activity])
+        self._call_if_defined(self.activity, "onResume", (), [self.activity])
+
+    def stop(self) -> None:
+        if self.activity is None:
+            return
+        for hook in ("onPause", "onStop", "onDestroy"):
+            self._call_if_defined(self.activity, hook, (), [self.activity])
+
+    def _call_if_defined(self, receiver: VmObject, name: str, params, args) -> None:
+        method = receiver.klass.find_method(name, tuple(params), "V")
+        if method is not None and (method.code is not None or method.is_native):
+            self.runtime.interpreter.execute(method, args)
+
+    # -- events ------------------------------------------------------------------
+
+    def click_all(self, report: DriveReport | None = None) -> int:
+        """Deliver onClick to every registered listener (snapshot)."""
+        delivered = 0
+        for view, listener in list(self.runtime.click_listeners):
+            self.click(view, listener)
+            delivered += 1
+            if report is not None:
+                report.events_delivered += 1
+        return delivered
+
+    def click(self, view: VmObject, listener: VmObject) -> None:
+        method = listener.klass.find_method(
+            "onClick", ("Landroid/view/View;",), "V"
+        )
+        if method is not None:
+            try:
+                self.runtime.interpreter.execute(method, [listener, view])
+            except (VmThrow, VmCrash):
+                pass  # one bad handler must not kill the drive
+
+    def run_standard_session(self) -> DriveReport:
+        """Launch, click everything twice, pause/resume, stop.
+
+        The deterministic analogue of the paper's "open the application
+        and close" baseline execution.
+        """
+        report = self.launch()
+        if not report.launched:
+            return report
+        try:
+            self.click_all(report)
+            self.pause_resume()
+            self.click_all(report)
+            self.stop()
+        except BudgetExceeded:
+            report.budget_exhausted = True
+        except (VmThrow, VmCrash) as exc:
+            report.crashed = True
+            report.crash_reason = str(exc)
+        return report

@@ -1,0 +1,39 @@
+"""VM exception plumbing.
+
+A thrown Dalvik exception travels through the Python interpreter as a
+:class:`VmThrow`; each frame consults its try blocks and either catches
+(storing the exception object for ``move-exception``) or re-raises.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.values import VmObject, VmString
+
+
+class VmThrow(Exception):
+    """Carrier for an in-flight VM exception object."""
+
+    def __init__(self, exception_obj: VmObject) -> None:
+        self.exception_obj = exception_obj
+        super().__init__(describe_exception(exception_obj))
+
+
+def describe_exception(exception_obj: VmObject) -> str:
+    descriptor = exception_obj.klass.descriptor
+    message = exception_obj.fields.get(("Ljava/lang/Throwable;", "message"))
+    if isinstance(message, VmString):
+        return f"{descriptor}: {message.value}"
+    return descriptor
+
+
+def is_instance_of(exception_obj: VmObject, type_desc: str) -> bool:
+    """Walk the class hierarchy to test ``instanceof`` for catch matching."""
+    klass = exception_obj.klass
+    while klass is not None:
+        if klass.descriptor == type_desc:
+            return True
+        for interface in klass.interfaces:
+            if interface.descriptor == type_desc:
+                return True
+        klass = klass.superclass
+    return False

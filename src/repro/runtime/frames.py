@@ -1,0 +1,58 @@
+"""Interpreter frames.
+
+A frame owns the register file of one executing bytecode method.  Like
+Dalvik, arguments occupy the *last* ``ins_size`` registers and wide
+values span register pairs.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.klass import RuntimeMethod
+
+
+class Frame:
+    """Register file + program counter of one method activation."""
+
+    __slots__ = (
+        "method",
+        "registers",
+        "dex_pc",
+        "result",
+        "pending_exception",
+        "caller",
+        "depth",
+    )
+
+    def __init__(
+        self,
+        method: RuntimeMethod,
+        arg_words: list,
+        caller: "Frame | None" = None,
+    ) -> None:
+        code = method.code
+        assert code is not None, f"frame for code-less method {method}"
+        self.method = method
+        self.registers: list = [0] * code.registers_size
+        if arg_words:
+            base = code.registers_size - code.ins_size
+            for i, word in enumerate(arg_words):
+                self.registers[base + i] = word
+        self.dex_pc = 0
+        self.result: object = None  # last invoke / filled-new-array result
+        self.pending_exception = None  # for move-exception
+        self.caller = caller
+        self.depth = 0 if caller is None else caller.depth + 1
+
+    @property
+    def code_units(self) -> list[int]:
+        """The LIVE code-unit array (mutations are visible immediately)."""
+        return self.method.code.insns
+
+    def reg(self, index: int):
+        return self.registers[index]
+
+    def set_reg(self, index: int, value) -> None:
+        self.registers[index] = value
+
+    def __repr__(self) -> str:
+        return f"<frame {self.method.ref.signature} pc={self.dex_pc}>"

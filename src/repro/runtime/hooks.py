@@ -1,0 +1,68 @@
+"""Instrumentation surface of the simulated ART.
+
+DexLego's collector, the dynamic taint tools, the coverage tracker and
+the unpacker baselines all attach to the runtime as
+:class:`RuntimeListener` instances.  The interpreter and class linker
+invoke the hooks below at the same points the paper instruments in ART
+(class linking / initialization, interpreter fetch, branches, reflective
+dispatch).
+"""
+
+from __future__ import annotations
+
+
+class RuntimeListener:
+    """Base listener; every hook is a no-op so subclasses pick what they need."""
+
+    def on_class_loaded(self, klass) -> None:
+        """A class was linked (paper: class linker collection point)."""
+
+    def on_class_initialized(self, klass) -> None:
+        """A class finished <clinit> and static field initialization."""
+
+    def on_method_enter(self, frame) -> None:
+        """A bytecode method frame was pushed."""
+
+    def on_method_exit(self, frame, result) -> None:
+        """A bytecode method returned normally."""
+
+    def on_instruction(self, frame, dex_pc: int, ins) -> None:
+        """About to execute ``ins`` at ``dex_pc`` (interpreter fetch point)."""
+
+    def on_branch(self, frame, dex_pc: int, ins, taken: bool) -> None:
+        """A conditional branch resolved to ``taken``."""
+
+    def on_invoke(self, frame, dex_pc: int, callee, args: list) -> None:
+        """About to invoke ``callee`` (bytecode or native)."""
+
+    def on_return_value(self, frame, value) -> None:
+        """A callee returned ``value`` into ``frame`` (before move-result)."""
+
+    def on_reflective_call(self, frame, target_method, receiver, args) -> None:
+        """Reflection resolved ``target_method`` at runtime (Method.invoke)."""
+
+    def on_exception_thrown(self, frame, exception_obj) -> None:
+        """An exception was thrown at ``frame``'s current pc."""
+
+    def on_exception_cleared(self, frame, exception_obj) -> None:
+        """Force execution cleared an unhandled exception."""
+
+    def on_native_call(self, frame, method, args: list) -> None:
+        """A native (JNI-analogue) method is about to run."""
+
+    def on_field_read(self, frame, field_key, value) -> None:
+        """An instance/static field was read."""
+
+    def on_field_write(self, frame, field_key, value) -> None:
+        """An instance/static field was written."""
+
+
+class BranchController:
+    """Force-execution control point for conditional branches.
+
+    Return ``None`` to keep the concrete outcome, or a bool to force the
+    branch.  Attached to the runtime by the force-execution engine.
+    """
+
+    def decide(self, frame, dex_pc: int, ins, concrete_taken: bool) -> bool | None:
+        return None

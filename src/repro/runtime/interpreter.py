@@ -1,0 +1,928 @@
+"""The bytecode interpreter (``ExecuteSwitchImpl`` analogue).
+
+Executes code-unit arrays instruction by instruction.  Three properties
+matter for the reproduction:
+
+* **Live fetch** — every step decodes from the method's mutable code-unit
+  array, so in-place modification by native code changes behaviour
+  exactly as on ART.
+* **Instrumentation** — listeners observe the fetch (``on_instruction``),
+  branches, invokes, class events and exceptions; DexLego's collector is
+  just a listener.
+* **Branch control** — a :class:`~repro.runtime.hooks.BranchController`
+  may override conditional-branch outcomes (force execution), and the
+  runtime can be configured to clear unhandled exceptions (§IV-E).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dex.instructions import Instruction
+from repro.dex.payloads import decode_payload
+from repro.dex.structures import MethodRef
+from repro.errors import BudgetExceeded, ClassLinkError, VmCrash
+from repro.runtime.exceptions import VmThrow, is_instance_of
+from repro.runtime.frames import Frame
+from repro.runtime.klass import RuntimeMethod
+from repro.runtime.natives import NativeContext
+from repro.runtime.values import (
+    WIDE_HIGH,
+    VmArray,
+    VmClassObject,
+    VmObject,
+    VmString,
+    i32,
+    i64,
+    java_div,
+    java_rem,
+)
+
+_MAX_CALL_DEPTH = 200
+
+
+class Interpreter:
+    """Executes bytecode methods against a runtime."""
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+
+    # ------------------------------------------------------------------ entry
+
+    def execute(self, method: RuntimeMethod, arg_words: list, caller=None):
+        """Execute ``method`` with already-flattened argument words."""
+        runtime = self.runtime
+        if method.is_native or method.code is None:
+            return self._call_native(method, arg_words, caller)
+        frame = Frame(method, arg_words, caller)
+        if frame.depth > _MAX_CALL_DEPTH:
+            raise self._vm_exception(
+                "Ljava/lang/StackOverflowError;", method.ref.signature
+            )
+        for listener in runtime.listeners:
+            listener.on_method_enter(frame)
+        result = None
+        try:
+            result = self._run_frame(frame)
+        finally:
+            # Fires on abrupt (exception) exits too, with result None, so
+            # collectors can finalize per-frame state.
+            for listener in runtime.listeners:
+                listener.on_method_exit(frame, result)
+        return result
+
+    def invoke_signature(self, signature: str, args: list):
+        """Resolve a full method signature and execute it with VM values."""
+        from repro.dex.sigs import parse_method_signature
+
+        ref = parse_method_signature(signature)
+        klass = self.runtime.class_linker.lookup(ref.class_desc)
+        method = klass.find_method(ref.name, ref.param_descs, ref.return_desc)
+        if method is None:
+            raise ClassLinkError(f"method not found: {signature}")
+        self.runtime.class_linker.ensure_initialized(klass)
+        return self.execute(method, self._flatten_args(method, args))
+
+    def _flatten_args(self, method: RuntimeMethod, args: list) -> list:
+        """Expand VM values into register words (wide values take two)."""
+        words: list = []
+        descs = method.ref.param_descs
+        values = list(args)
+        if not method.is_static:
+            words.append(values.pop(0))
+        for desc, value in zip(descs, values):
+            words.append(value)
+            if desc in ("J", "D"):
+                words.append(WIDE_HIGH)
+        return words
+
+    # ----------------------------------------------------------------- natives
+
+    def _call_native(self, method: RuntimeMethod, arg_words: list, caller):
+        runtime = self.runtime
+        impl = method.native_impl
+        if impl is None:
+            impl = runtime.natives.resolve(method.ref.signature)
+        if impl is None:
+            raise self._vm_exception(
+                "Ljava/lang/UnsatisfiedLinkError;", method.ref.signature
+            )
+        args = self._words_to_values(method, arg_words)
+        ctx = NativeContext(runtime, caller, method)
+        for listener in runtime.listeners:
+            listener.on_native_call(caller, method, args)
+        return impl(ctx, *args)
+
+    def _words_to_values(self, method: RuntimeMethod, arg_words: list) -> list:
+        values: list = []
+        index = 0
+        if not method.is_static:
+            values.append(arg_words[0])
+            index = 1
+        for desc in method.ref.param_descs:
+            values.append(arg_words[index])
+            index += 2 if desc in ("J", "D") else 1
+        return values
+
+    # -------------------------------------------------------------------- loop
+
+    def _run_frame(self, frame: Frame):
+        runtime = self.runtime
+        listeners = runtime.listeners
+        while True:
+            pc = frame.dex_pc
+            runtime.consume_step()
+            try:
+                ins = Instruction.decode_at(frame.code_units, pc)
+            except Exception as exc:
+                raise VmCrash(
+                    f"undecodable instruction at {frame.method.ref.signature}"
+                    f"@{pc}: {exc}"
+                ) from exc
+            for listener in listeners:
+                listener.on_instruction(frame, pc, ins)
+            try:
+                outcome = self._dispatch(frame, pc, ins)
+            except VmThrow as thrown:
+                outcome = self._handle_throw(frame, pc, thrown)
+                if outcome is _UNWIND:
+                    raise
+            if outcome is None:
+                frame.dex_pc = pc + ins.unit_count
+            elif isinstance(outcome, int):
+                frame.dex_pc = outcome
+            else:  # ("return", value)
+                return outcome[1]
+
+    def _handle_throw(self, frame: Frame, pc: int, thrown: VmThrow):
+        runtime = self.runtime
+        exception_obj = thrown.exception_obj
+        code = frame.method.code
+        for try_block in code.tries:
+            if not try_block.covers(pc):
+                continue
+            dex = frame.method.declaring_class.source_dex
+            for type_idx, handler_addr in try_block.handlers:
+                type_desc = dex.type_descriptor(type_idx) if dex else None
+                if type_desc and is_instance_of(exception_obj, type_desc):
+                    frame.pending_exception = exception_obj
+                    for listener in runtime.listeners:
+                        listener.on_exception_thrown(frame, exception_obj)
+                    return handler_addr
+            if try_block.catch_all is not None:
+                frame.pending_exception = exception_obj
+                for listener in runtime.listeners:
+                    listener.on_exception_thrown(frame, exception_obj)
+                return try_block.catch_all
+        for listener in runtime.listeners:
+            listener.on_exception_thrown(frame, exception_obj)
+        if runtime.tolerate_exceptions:
+            # Force execution (§IV-E): clear the unhandled exception and
+            # continue with the next instruction.
+            for listener in runtime.listeners:
+                listener.on_exception_cleared(frame, exception_obj)
+            ins = Instruction.decode_at(frame.code_units, pc)
+            if ins.opcode.is_return:
+                return ("return", None)
+            if ins.opcode.is_throw:
+                # Skipping a bare throw: fall through to the next instruction.
+                return pc + ins.unit_count
+            return pc + ins.unit_count
+        return _UNWIND
+
+    # --------------------------------------------------------------- dispatch
+
+    def _dispatch(self, frame: Frame, pc: int, ins: Instruction):
+        name = ins.name
+        handler = _HANDLERS.get(name)
+        if handler is None:
+            raise VmCrash(f"no handler for opcode {name}")
+        return handler(self, frame, pc, ins)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _vm_exception(self, descriptor: str, message: str = "") -> VmThrow:
+        return VmThrow(self.runtime.new_exception(descriptor, message))
+
+    def _throw_npe(self, what: str):
+        raise self._vm_exception("Ljava/lang/NullPointerException;", what)
+
+    def _dex_of(self, frame: Frame):
+        dex = frame.method.declaring_class.source_dex
+        if dex is None:
+            raise VmCrash(
+                f"pool access from non-DEX method {frame.method.ref.signature}"
+            )
+        return dex
+
+    def _resolve_static_field(self, frame: Frame, field_idx: int):
+        dex = self._dex_of(frame)
+        ref = dex.field_ref(field_idx)
+        klass = self.runtime.class_linker.lookup(ref.class_desc)
+        owner = klass.static_owner(ref.name) or klass
+        self.runtime.class_linker.ensure_initialized(owner)
+        return owner, ref
+
+    def _resolve_instance_field(self, frame: Frame, field_idx: int, obj):
+        if obj is None or (isinstance(obj, int) and obj == 0):
+            self._throw_npe(f"field access @{frame.dex_pc}")
+        dex = self._dex_of(frame)
+        ref = dex.field_ref(field_idx)
+        if isinstance(obj, VmObject):
+            runtime_field = obj.klass.find_field(ref.name)
+            declaring = (
+                runtime_field.declaring_desc if runtime_field else ref.class_desc
+            )
+        else:
+            declaring = ref.class_desc
+        return (declaring, ref.name)
+
+    # -- invoke -----------------------------------------------------------------
+
+    def _do_invoke(self, frame: Frame, pc: int, ins: Instruction):
+        dex = self._dex_of(frame)
+        ref = dex.method_ref(ins.pool_index)
+        regs = ins.invoke_registers
+        arg_words = [frame.reg(r) for r in regs]
+        kind = ins.name.split("-")[1].split("/")[0]
+        callee = self._resolve_callee(frame, ref, kind, arg_words)
+        for listener in self.runtime.listeners:
+            listener.on_invoke(frame, pc, callee, arg_words)
+        result = self.execute(callee, arg_words, caller=frame)
+        frame.result = result
+        for listener in self.runtime.listeners:
+            listener.on_return_value(frame, result)
+        return None
+
+    def _resolve_callee(
+        self, frame: Frame, ref: MethodRef, kind: str, arg_words: list
+    ) -> RuntimeMethod:
+        linker = self.runtime.class_linker
+        if kind == "static":
+            klass = linker.lookup(ref.class_desc)
+            linker.ensure_initialized(klass)
+            method = klass.find_method(ref.name, ref.param_descs, ref.return_desc)
+        elif kind == "super":
+            start = frame.method.declaring_class.superclass
+            if start is None:
+                raise self._vm_exception(
+                    "Ljava/lang/NoSuchMethodError;", ref.signature
+                )
+            method = start.find_method(ref.name, ref.param_descs, ref.return_desc)
+        elif kind == "direct":
+            klass = linker.lookup(ref.class_desc)
+            method = klass.find_method(ref.name, ref.param_descs, ref.return_desc)
+        else:  # virtual / interface: dispatch on the receiver
+            receiver = arg_words[0] if arg_words else None
+            if receiver is None or (isinstance(receiver, int) and receiver == 0):
+                self._throw_npe(f"invoke-{kind} {ref.signature}")
+            if isinstance(receiver, (VmObject, VmClassObject)):
+                klass = (
+                    receiver.klass
+                    if isinstance(receiver, VmObject)
+                    else linker.lookup("Ljava/lang/Class;")
+                )
+            elif isinstance(receiver, VmString):
+                klass = linker.lookup("Ljava/lang/String;")
+            elif isinstance(receiver, VmArray):
+                klass = linker.lookup("Ljava/lang/Object;")
+            else:
+                klass = linker.lookup(ref.class_desc)
+            method = klass.find_method(ref.name, ref.param_descs, ref.return_desc)
+            if method is None:
+                # Interface default resolution / framework fallback.
+                method = linker.lookup(ref.class_desc).find_method(
+                    ref.name, ref.param_descs, ref.return_desc
+                )
+        if method is None or method.is_abstract:
+            raise self._vm_exception("Ljava/lang/NoSuchMethodError;", ref.signature)
+        return method
+
+
+_UNWIND = object()
+
+
+# ---------------------------------------------------------------------------
+# Opcode handlers.  Each returns None (fall through), an int (new dex_pc) or
+# ("return", value).
+# ---------------------------------------------------------------------------
+
+
+def _is_null(value) -> bool:
+    """Registers are untyped: integer zero is the null reference."""
+    return value is None or (isinstance(value, int) and value == 0)
+
+
+def _op_nop(interp, frame, pc, ins):
+    return None
+
+
+def _op_move(interp, frame, pc, ins):
+    dst, src = ins.operands
+    frame.set_reg(dst, frame.reg(src))
+    return None
+
+
+def _op_move_wide(interp, frame, pc, ins):
+    dst, src = ins.operands
+    frame.set_reg(dst, frame.reg(src))
+    frame.set_reg(dst + 1, WIDE_HIGH)
+    return None
+
+
+def _op_move_result(interp, frame, pc, ins):
+    frame.set_reg(ins.operands[0], frame.result)
+    return None
+
+
+def _op_move_result_wide(interp, frame, pc, ins):
+    dst = ins.operands[0]
+    frame.set_reg(dst, frame.result)
+    frame.set_reg(dst + 1, WIDE_HIGH)
+    return None
+
+
+def _op_move_exception(interp, frame, pc, ins):
+    frame.set_reg(ins.operands[0], frame.pending_exception)
+    frame.pending_exception = None
+    return None
+
+
+def _op_return_void(interp, frame, pc, ins):
+    return ("return", None)
+
+
+def _op_return(interp, frame, pc, ins):
+    return ("return", frame.reg(ins.operands[0]))
+
+
+def _op_const(interp, frame, pc, ins):
+    frame.set_reg(ins.operands[0], ins.operands[1])
+    return None
+
+
+def _op_const_high16(interp, frame, pc, ins):
+    frame.set_reg(ins.operands[0], i32(ins.operands[1] << 16))
+    return None
+
+
+def _op_const_wide(interp, frame, pc, ins):
+    dst = ins.operands[0]
+    frame.set_reg(dst, ins.operands[1])
+    frame.set_reg(dst + 1, WIDE_HIGH)
+    return None
+
+
+def _op_const_wide_high16(interp, frame, pc, ins):
+    dst = ins.operands[0]
+    frame.set_reg(dst, i64(ins.operands[1] << 48))
+    frame.set_reg(dst + 1, WIDE_HIGH)
+    return None
+
+
+def _op_const_string(interp, frame, pc, ins):
+    dex = interp._dex_of(frame)
+    value = interp.runtime.interned_string(dex, ins.pool_index)
+    frame.set_reg(ins.operands[0], value)
+    return None
+
+
+def _op_const_class(interp, frame, pc, ins):
+    dex = interp._dex_of(frame)
+    descriptor = dex.type_descriptor(ins.pool_index)
+    klass = interp.runtime.class_linker.lookup(descriptor)
+    frame.set_reg(ins.operands[0], VmClassObject(klass))
+    return None
+
+
+def _op_monitor(interp, frame, pc, ins):
+    if _is_null(frame.reg(ins.operands[0])):
+        interp._throw_npe("monitor")
+    return None
+
+
+def _op_check_cast(interp, frame, pc, ins):
+    value = frame.reg(ins.operands[0])
+    if _is_null(value):
+        return None
+    dex = interp._dex_of(frame)
+    descriptor = dex.type_descriptor(ins.pool_index)
+    if not _is_type_instance(interp, value, descriptor):
+        raise interp._vm_exception("Ljava/lang/ClassCastException;", descriptor)
+    return None
+
+
+def _op_instance_of(interp, frame, pc, ins):
+    dst, src, type_idx = ins.operands
+    value = frame.reg(src)
+    dex = interp._dex_of(frame)
+    descriptor = dex.type_descriptor(type_idx)
+    frame.set_reg(dst, 1 if (value is not None and _is_type_instance(interp, value, descriptor)) else 0)
+    return None
+
+
+def _is_type_instance(interp, value, descriptor: str) -> bool:
+    if descriptor == "Ljava/lang/Object;":
+        return True
+    if isinstance(value, VmString):
+        return descriptor == "Ljava/lang/String;"
+    if isinstance(value, VmArray):
+        return descriptor.startswith("[") or descriptor == "Ljava/lang/Object;"
+    if isinstance(value, VmClassObject):
+        return descriptor == "Ljava/lang/Class;"
+    if isinstance(value, VmObject):
+        return value.klass.is_subclass_of(descriptor)
+    return False
+
+
+def _op_array_length(interp, frame, pc, ins):
+    dst, src = ins.operands
+    array = frame.reg(src)
+    if _is_null(array):
+        interp._throw_npe("array-length")
+    frame.set_reg(dst, array.length)
+    return None
+
+
+def _op_new_instance(interp, frame, pc, ins):
+    dex = interp._dex_of(frame)
+    descriptor = dex.type_descriptor(ins.pool_index)
+    klass = interp.runtime.class_linker.lookup(descriptor)
+    interp.runtime.class_linker.ensure_initialized(klass)
+    frame.set_reg(ins.operands[0], VmObject(klass))
+    return None
+
+
+def _op_new_array(interp, frame, pc, ins):
+    dst, size_reg, type_idx = ins.operands
+    size = frame.reg(size_reg)
+    if size < 0:
+        raise interp._vm_exception(
+            "Ljava/lang/NegativeArraySizeException;", str(size)
+        )
+    dex = interp._dex_of(frame)
+    frame.set_reg(dst, VmArray(dex.type_descriptor(type_idx), size))
+    return None
+
+
+def _op_filled_new_array(interp, frame, pc, ins):
+    dex = interp._dex_of(frame)
+    descriptor = dex.type_descriptor(ins.pool_index)
+    regs = ins.invoke_registers
+    array = VmArray(descriptor, len(regs))
+    for i, reg in enumerate(regs):
+        array.elements[i] = frame.reg(reg)
+    frame.result = array
+    return None
+
+
+def _op_fill_array_data(interp, frame, pc, ins):
+    array = frame.reg(ins.operands[0])
+    if _is_null(array):
+        interp._throw_npe("fill-array-data")
+    payload = decode_payload(frame.code_units, pc + ins.branch_target)
+    values = payload.elements()
+    array.elements[: len(values)] = values
+    return None
+
+
+def _op_throw(interp, frame, pc, ins):
+    obj = frame.reg(ins.operands[0])
+    if _is_null(obj):
+        interp._throw_npe("throw")
+    raise VmThrow(obj)
+
+
+def _op_goto(interp, frame, pc, ins):
+    return pc + ins.branch_target
+
+
+def _op_switch(interp, frame, pc, ins):
+    key = frame.reg(ins.operands[0])
+    payload = decode_payload(frame.code_units, pc + ins.branch_target)
+    target = payload.lookup(key)
+    if target is None:
+        return None
+    return pc + target
+
+
+def _cmp(a, b, nan_result):
+    if isinstance(a, float) and (math.isnan(a) or math.isnan(b)):
+        return nan_result
+    return (a > b) - (a < b)
+
+
+def _op_cmpl(interp, frame, pc, ins):
+    dst, b, c = ins.operands
+    frame.set_reg(dst, _cmp(frame.reg(b), frame.reg(c), -1))
+    return None
+
+
+def _op_cmpg(interp, frame, pc, ins):
+    dst, b, c = ins.operands
+    frame.set_reg(dst, _cmp(frame.reg(b), frame.reg(c), 1))
+    return None
+
+
+def _op_cmp_long(interp, frame, pc, ins):
+    dst, b, c = ins.operands
+    frame.set_reg(dst, _cmp(frame.reg(b), frame.reg(c), 0))
+    return None
+
+
+_IF_CONDS = {
+    "eq": lambda a, b: _ref_eq(a, b),
+    "ne": lambda a, b: not _ref_eq(a, b),
+    "lt": lambda a, b: a < b,
+    "ge": lambda a, b: a >= b,
+    "gt": lambda a, b: a > b,
+    "le": lambda a, b: a <= b,
+}
+
+
+def _ref_eq(a, b) -> bool:
+    if isinstance(a, (VmObject, VmString, VmArray, VmClassObject)) or isinstance(
+        b, (VmObject, VmString, VmArray, VmClassObject)
+    ):
+        return a is b
+    return a == b
+
+
+def _make_if(cond: str, zero: bool):
+    test = _IF_CONDS[cond]
+
+    def handler(interp, frame, pc, ins):
+        if zero:
+            a = frame.reg(ins.operands[0])
+            b = None if isinstance(a, (VmObject, VmString, VmArray, VmClassObject)) or a is None else 0
+            taken = test(a, b)
+        else:
+            taken = test(frame.reg(ins.operands[0]), frame.reg(ins.operands[1]))
+        controller = interp.runtime.branch_controller
+        if controller is not None:
+            forced = controller.decide(frame, pc, ins, taken)
+            if forced is not None:
+                taken = forced
+        for listener in interp.runtime.listeners:
+            listener.on_branch(frame, pc, ins, taken)
+        if taken:
+            return pc + ins.branch_target
+        return None
+
+    return handler
+
+
+# -- arrays -------------------------------------------------------------------
+
+
+def _op_aget(interp, frame, pc, ins):
+    dst, array_reg, index_reg = ins.operands
+    array = frame.reg(array_reg)
+    if _is_null(array):
+        interp._throw_npe("aget")
+    index = frame.reg(index_reg)
+    if not 0 <= index < array.length:
+        raise interp._vm_exception(
+            "Ljava/lang/ArrayIndexOutOfBoundsException;", str(index)
+        )
+    frame.set_reg(dst, array.elements[index])
+    if ins.name == "aget-wide":
+        frame.set_reg(dst + 1, WIDE_HIGH)
+    return None
+
+
+def _op_aput(interp, frame, pc, ins):
+    src, array_reg, index_reg = ins.operands
+    array = frame.reg(array_reg)
+    if _is_null(array):
+        interp._throw_npe("aput")
+    index = frame.reg(index_reg)
+    if not 0 <= index < array.length:
+        raise interp._vm_exception(
+            "Ljava/lang/ArrayIndexOutOfBoundsException;", str(index)
+        )
+    array.elements[index] = frame.reg(src)
+    return None
+
+
+# -- fields ----------------------------------------------------------------------
+
+
+def _op_iget(interp, frame, pc, ins):
+    dst, obj_reg, field_idx = ins.operands
+    obj = frame.reg(obj_reg)
+    key = interp._resolve_instance_field(frame, field_idx, obj)
+    value = obj.fields.get(key, _default_for(ins.name))
+    frame.set_reg(dst, value)
+    if ins.name == "iget-wide":
+        frame.set_reg(dst + 1, WIDE_HIGH)
+    for listener in interp.runtime.listeners:
+        listener.on_field_read(frame, key, value)
+    return None
+
+
+def _op_iput(interp, frame, pc, ins):
+    src, obj_reg, field_idx = ins.operands
+    obj = frame.reg(obj_reg)
+    key = interp._resolve_instance_field(frame, field_idx, obj)
+    value = frame.reg(src)
+    obj.fields[key] = value
+    for listener in interp.runtime.listeners:
+        listener.on_field_write(frame, key, value)
+    return None
+
+
+def _op_sget(interp, frame, pc, ins):
+    dst, field_idx = ins.operands
+    owner, ref = interp._resolve_static_field(frame, field_idx)
+    value = owner.statics.get(ref.name, _default_for(ins.name))
+    frame.set_reg(dst, value)
+    if ins.name == "sget-wide":
+        frame.set_reg(dst + 1, WIDE_HIGH)
+    for listener in interp.runtime.listeners:
+        listener.on_field_read(frame, (owner.descriptor, ref.name), value)
+    return None
+
+
+def _op_sput(interp, frame, pc, ins):
+    src, field_idx = ins.operands
+    owner, ref = interp._resolve_static_field(frame, field_idx)
+    value = frame.reg(src)
+    owner.statics[ref.name] = value
+    for listener in interp.runtime.listeners:
+        listener.on_field_write(frame, (owner.descriptor, ref.name), value)
+    return None
+
+
+def _default_for(name: str):
+    return None if name.endswith("-object") else 0
+
+
+# -- arithmetic -------------------------------------------------------------------
+
+
+def _unary(fn):
+    def handler(interp, frame, pc, ins):
+        dst, src = ins.operands
+        frame.set_reg(dst, fn(frame.reg(src)))
+        return None
+
+    return handler
+
+
+def _unary_wide_out(fn):
+    def handler(interp, frame, pc, ins):
+        dst, src = ins.operands
+        frame.set_reg(dst, fn(frame.reg(src)))
+        frame.set_reg(dst + 1, WIDE_HIGH)
+        return None
+
+    return handler
+
+
+def _int_div(interp, a, b):
+    if b == 0:
+        raise interp._vm_exception("Ljava/lang/ArithmeticException;", "divide by zero")
+    return java_div(a, b)
+
+
+def _int_rem(interp, a, b):
+    if b == 0:
+        raise interp._vm_exception("Ljava/lang/ArithmeticException;", "divide by zero")
+    return java_rem(a, b)
+
+
+_INT_OPS = {
+    "add": lambda interp, a, b: a + b,
+    "sub": lambda interp, a, b: a - b,
+    "mul": lambda interp, a, b: a * b,
+    "div": _int_div,
+    "rem": _int_rem,
+    "and": lambda interp, a, b: a & b,
+    "or": lambda interp, a, b: a | b,
+    "xor": lambda interp, a, b: a ^ b,
+    "shl": lambda interp, a, b: a << (b & 31),
+    "shr": lambda interp, a, b: a >> (b & 31),
+    "ushr": lambda interp, a, b: (a & 0xFFFFFFFF) >> (b & 31),
+}
+
+_LONG_SHIFTS = {"shl", "shr", "ushr"}
+
+
+def _float_div(interp, a, b):
+    if b == 0:
+        if a == 0:
+            return math.nan
+        return math.inf if a > 0 else -math.inf
+    return a / b
+
+
+def _float_rem(interp, a, b):
+    if b == 0:
+        return math.nan
+    return math.fmod(a, b)
+
+
+_FLOAT_OPS = {
+    "add": lambda interp, a, b: a + b,
+    "sub": lambda interp, a, b: a - b,
+    "mul": lambda interp, a, b: a * b,
+    "div": _float_div,
+    "rem": _float_rem,
+}
+
+
+def _make_binop(op: str, width: str, two_addr: bool):
+    is_float = width in ("float", "double")
+    ops = _FLOAT_OPS if is_float else _INT_OPS
+    fn = ops[op]
+    wrap = (
+        float
+        if is_float
+        else (i64 if width == "long" else i32)
+    )
+    is_wide = width in ("long", "double")
+
+    def handler(interp, frame, pc, ins):
+        if two_addr:
+            dst, src_b = ins.operands
+            a = frame.reg(dst)
+            b = frame.reg(src_b)
+        else:
+            dst, src_a, src_b = ins.operands
+            a = frame.reg(src_a)
+            b = frame.reg(src_b)
+        if width == "long" and op in _LONG_SHIFTS:
+            shift = b & 63
+            if op == "shl":
+                result = a << shift
+            elif op == "shr":
+                result = a >> shift
+            else:  # ushr
+                result = (a & 0xFFFFFFFFFFFFFFFF) >> shift
+        else:
+            result = fn(interp, a, b)
+        frame.set_reg(dst, wrap(result))
+        if is_wide:
+            frame.set_reg(dst + 1, WIDE_HIGH)
+        return None
+
+    return handler
+
+
+def _make_lit_binop(op: str):
+    fn = _INT_OPS.get(op)  # None for rsub, handled explicitly
+
+    def handler(interp, frame, pc, ins):
+        dst, src, literal = ins.operands
+        a = frame.reg(src)
+        if op == "rsub":
+            result = literal - a
+        else:
+            result = fn(interp, a, literal)
+        frame.set_reg(dst, i32(result))
+        return None
+
+    return handler
+
+
+def _float_to_int(value: float) -> int:
+    if math.isnan(value):
+        return 0
+    if value >= 2**31 - 1:
+        return 2**31 - 1
+    if value <= -(2**31):
+        return -(2**31)
+    return int(value)
+
+
+def _float_to_long(value: float) -> int:
+    if math.isnan(value):
+        return 0
+    if value >= 2**63 - 1:
+        return 2**63 - 1
+    if value <= -(2**63):
+        return -(2**63)
+    return int(value)
+
+
+def _to_char(value: int) -> int:
+    return value & 0xFFFF
+
+
+def _to_byte(value: int) -> int:
+    value &= 0xFF
+    return value - 0x100 if value >= 0x80 else value
+
+
+def _to_short(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value >= 0x8000 else value
+
+
+# ---------------------------------------------------------------------------
+# Handler table construction
+# ---------------------------------------------------------------------------
+
+
+def _build_handlers() -> dict:
+    handlers: dict = {}
+    handlers["nop"] = _op_nop
+    for name in ("move", "move/from16", "move/16", "move-object",
+                 "move-object/from16", "move-object/16"):
+        handlers[name] = _op_move
+    for name in ("move-wide", "move-wide/from16", "move-wide/16"):
+        handlers[name] = _op_move_wide
+    handlers["move-result"] = _op_move_result
+    handlers["move-result-object"] = _op_move_result
+    handlers["move-result-wide"] = _op_move_result_wide
+    handlers["move-exception"] = _op_move_exception
+    handlers["return-void"] = _op_return_void
+    for name in ("return", "return-object", "return-wide"):
+        handlers[name] = _op_return
+    for name in ("const/4", "const/16", "const"):
+        handlers[name] = _op_const
+    handlers["const/high16"] = _op_const_high16
+    for name in ("const-wide/16", "const-wide/32", "const-wide"):
+        handlers[name] = _op_const_wide
+    handlers["const-wide/high16"] = _op_const_wide_high16
+    handlers["const-string"] = _op_const_string
+    handlers["const-string/jumbo"] = _op_const_string
+    handlers["const-class"] = _op_const_class
+    handlers["monitor-enter"] = _op_monitor
+    handlers["monitor-exit"] = _op_monitor
+    handlers["check-cast"] = _op_check_cast
+    handlers["instance-of"] = _op_instance_of
+    handlers["array-length"] = _op_array_length
+    handlers["new-instance"] = _op_new_instance
+    handlers["new-array"] = _op_new_array
+    handlers["filled-new-array"] = _op_filled_new_array
+    handlers["filled-new-array/range"] = _op_filled_new_array
+    handlers["fill-array-data"] = _op_fill_array_data
+    handlers["throw"] = _op_throw
+    for name in ("goto", "goto/16", "goto/32"):
+        handlers[name] = _op_goto
+    handlers["packed-switch"] = _op_switch
+    handlers["sparse-switch"] = _op_switch
+    handlers["cmpl-float"] = _op_cmpl
+    handlers["cmpg-float"] = _op_cmpg
+    handlers["cmpl-double"] = _op_cmpl
+    handlers["cmpg-double"] = _op_cmpg
+    handlers["cmp-long"] = _op_cmp_long
+    for cond in ("eq", "ne", "lt", "ge", "gt", "le"):
+        handlers[f"if-{cond}"] = _make_if(cond, zero=False)
+        handlers[f"if-{cond}z"] = _make_if(cond, zero=True)
+    for suffix in ("", "-wide", "-object", "-boolean", "-byte", "-char", "-short"):
+        handlers[f"aget{suffix}"] = _op_aget
+        handlers[f"aput{suffix}"] = _op_aput
+        handlers[f"iget{suffix}"] = _op_iget
+        handlers[f"iput{suffix}"] = _op_iput
+        handlers[f"sget{suffix}"] = _op_sget
+        handlers[f"sput{suffix}"] = _op_sput
+    for kind in ("virtual", "super", "direct", "static", "interface"):
+        handlers[f"invoke-{kind}"] = Interpreter._do_invoke
+        handlers[f"invoke-{kind}/range"] = Interpreter._do_invoke
+
+    handlers["neg-int"] = _unary(lambda v: i32(-v))
+    handlers["not-int"] = _unary(lambda v: i32(~v))
+    handlers["neg-long"] = _unary_wide_out(lambda v: i64(-v))
+    handlers["not-long"] = _unary_wide_out(lambda v: i64(~v))
+    handlers["neg-float"] = _unary(lambda v: -v)
+    handlers["neg-double"] = _unary_wide_out(lambda v: -v)
+    handlers["int-to-long"] = _unary_wide_out(lambda v: v)
+    handlers["int-to-float"] = _unary(float)
+    handlers["int-to-double"] = _unary_wide_out(float)
+    handlers["long-to-int"] = _unary(i32)
+    handlers["long-to-float"] = _unary(float)
+    handlers["long-to-double"] = _unary_wide_out(float)
+    handlers["float-to-int"] = _unary(_float_to_int)
+    handlers["float-to-long"] = _unary_wide_out(_float_to_long)
+    handlers["float-to-double"] = _unary_wide_out(lambda v: v)
+    handlers["double-to-int"] = _unary(_float_to_int)
+    handlers["double-to-long"] = _unary_wide_out(_float_to_long)
+    handlers["double-to-float"] = _unary(lambda v: v)
+    handlers["int-to-byte"] = _unary(_to_byte)
+    handlers["int-to-char"] = _unary(_to_char)
+    handlers["int-to-short"] = _unary(_to_short)
+
+    int_ops = ("add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "ushr")
+    float_ops = ("add", "sub", "mul", "div", "rem")
+    for op in int_ops:
+        handlers[f"{op}-int"] = _make_binop(op, "int", False)
+        handlers[f"{op}-int/2addr"] = _make_binop(op, "int", True)
+        handlers[f"{op}-long"] = _make_binop(op, "long", False)
+        handlers[f"{op}-long/2addr"] = _make_binop(op, "long", True)
+    for op in float_ops:
+        handlers[f"{op}-float"] = _make_binop(op, "float", False)
+        handlers[f"{op}-float/2addr"] = _make_binop(op, "float", True)
+        handlers[f"{op}-double"] = _make_binop(op, "double", False)
+        handlers[f"{op}-double/2addr"] = _make_binop(op, "double", True)
+    for op in ("add", "rsub", "mul", "div", "rem", "and", "or", "xor"):
+        suffix = "" if op == "rsub" else "/lit16"
+        handlers[f"{op}-int{suffix}"] = _make_lit_binop(op)
+    for op in ("add", "rsub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "ushr"):
+        handlers[f"{op}-int/lit8"] = _make_lit_binop(op)
+    return handlers
+
+
+_HANDLERS = _build_handlers()

@@ -1,0 +1,657 @@
+"""``java.lang`` / ``java.util`` / ``java.io`` intrinsics.
+
+Framework classes implemented in Python and registered on the boot
+classpath.  String operations propagate provenance tags so the runtime's
+taint oracle survives concatenation, builders and copies — mirroring how
+real taint trackers propagate through the string library.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.runtime.class_linker import NativeClassSpec
+from repro.runtime.exceptions import VmThrow
+from repro.runtime.values import (
+    VmArray,
+    VmClassObject,
+    VmObject,
+    VmString,
+    i32,
+    i64,
+    provenance_of,
+)
+
+
+def _throw(ctx, descriptor: str, message: str = ""):
+    raise VmThrow(ctx.runtime.new_exception(descriptor, message))
+
+
+def _str(value) -> str:
+    """Render a VM value the way java.lang.String.valueOf would."""
+    if value is None:
+        return "null"
+    if isinstance(value, VmString):
+        return value.value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, VmObject):
+        data = value.native_data
+        if isinstance(data, list) and all(isinstance(p, str) for p in data):
+            return "".join(data)
+        return f"{value.klass.descriptor}@{value.object_id:x}"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _derive(ctx, text: str, *parents) -> VmString:
+    """New string whose provenance is the union of its parents'."""
+    tags = frozenset().union(*(provenance_of(p) for p in parents)) if parents else frozenset()
+    return VmString(text, tags)
+
+
+# ---------------------------------------------------------------------------
+# java.lang.Object and Throwable hierarchy
+# ---------------------------------------------------------------------------
+
+
+def object_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Ljava/lang/Object;", superclass=None)
+    spec.method("<init>", (), "V", lambda ctx, this: None)
+    spec.method(
+        "toString", (), "Ljava/lang/String;", lambda ctx, this: _derive(ctx, _str(this), this)
+    )
+    spec.method("hashCode", (), "I", lambda ctx, this: i32(this.object_id * 31))
+    spec.method("equals", ("Ljava/lang/Object;",), "Z",
+                lambda ctx, this, other: 1 if this is other else 0)
+    spec.method("getClass", (), "Ljava/lang/Class;",
+                lambda ctx, this: VmClassObject(_class_of(ctx, this)))
+    return spec
+
+
+def _class_of(ctx, value):
+    if isinstance(value, VmString):
+        return ctx.runtime.class_linker.lookup("Ljava/lang/String;")
+    if isinstance(value, VmObject):
+        return value.klass
+    return ctx.runtime.class_linker.lookup("Ljava/lang/Object;")
+
+
+_THROWABLE_TYPES = [
+    ("Ljava/lang/Throwable;", "Ljava/lang/Object;"),
+    ("Ljava/lang/Error;", "Ljava/lang/Throwable;"),
+    ("Ljava/lang/Exception;", "Ljava/lang/Throwable;"),
+    ("Ljava/lang/RuntimeException;", "Ljava/lang/Exception;"),
+    ("Ljava/lang/NullPointerException;", "Ljava/lang/RuntimeException;"),
+    ("Ljava/lang/ArithmeticException;", "Ljava/lang/RuntimeException;"),
+    ("Ljava/lang/ArrayIndexOutOfBoundsException;", "Ljava/lang/RuntimeException;"),
+    ("Ljava/lang/ClassCastException;", "Ljava/lang/RuntimeException;"),
+    ("Ljava/lang/IllegalStateException;", "Ljava/lang/RuntimeException;"),
+    ("Ljava/lang/IllegalArgumentException;", "Ljava/lang/RuntimeException;"),
+    ("Ljava/lang/NumberFormatException;", "Ljava/lang/IllegalArgumentException;"),
+    ("Ljava/lang/NegativeArraySizeException;", "Ljava/lang/RuntimeException;"),
+    ("Ljava/lang/UnsupportedOperationException;", "Ljava/lang/RuntimeException;"),
+    ("Ljava/lang/SecurityException;", "Ljava/lang/RuntimeException;"),
+    ("Ljava/lang/StackOverflowError;", "Ljava/lang/Error;"),
+    ("Ljava/lang/UnsatisfiedLinkError;", "Ljava/lang/Error;"),
+    ("Ljava/lang/ClassNotFoundException;", "Ljava/lang/Exception;"),
+    ("Ljava/lang/NoSuchMethodError;", "Ljava/lang/Error;"),
+    ("Ljava/lang/NoSuchMethodException;", "Ljava/lang/Exception;"),
+    ("Ljava/lang/InterruptedException;", "Ljava/lang/Exception;"),
+    ("Ljava/io/IOException;", "Ljava/lang/Exception;"),
+    ("Ljava/io/FileNotFoundException;", "Ljava/io/IOException;"),
+]
+
+
+def throwable_specs() -> list[NativeClassSpec]:
+    specs = []
+    for descriptor, superclass in _THROWABLE_TYPES:
+        spec = NativeClassSpec(descriptor, superclass=superclass)
+        spec.method("<init>", (), "V", lambda ctx, this: None)
+        spec.method(
+            "<init>",
+            ("Ljava/lang/String;",),
+            "V",
+            lambda ctx, this, message: this.fields.__setitem__(
+                ("Ljava/lang/Throwable;", "message"), message
+            ),
+        )
+        spec.method(
+            "getMessage",
+            (),
+            "Ljava/lang/String;",
+            lambda ctx, this: this.fields.get(("Ljava/lang/Throwable;", "message")),
+        )
+        spec.method(
+            "toString",
+            (),
+            "Ljava/lang/String;",
+            lambda ctx, this: _derive(
+                ctx,
+                this.klass.descriptor,
+                this.fields.get(("Ljava/lang/Throwable;", "message")),
+            ),
+        )
+        specs.append(spec)
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# java.lang.String
+# ---------------------------------------------------------------------------
+
+
+def string_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Ljava/lang/String;")
+    spec.method("<init>", (), "V", lambda ctx, this: None)
+    spec.method("length", (), "I", lambda ctx, this: len(this.value))
+    spec.method("isEmpty", (), "Z", lambda ctx, this: 1 if not this.value else 0)
+    spec.method(
+        "charAt", ("I",), "C",
+        lambda ctx, this, index: _char_at(ctx, this, index),
+    )
+    spec.method(
+        "equals", ("Ljava/lang/Object;",), "Z",
+        lambda ctx, this, other: 1
+        if isinstance(other, VmString) and other.value == this.value
+        else 0,
+    )
+    spec.method(
+        "equalsIgnoreCase", ("Ljava/lang/String;",), "Z",
+        lambda ctx, this, other: 1
+        if isinstance(other, VmString) and other.value.lower() == this.value.lower()
+        else 0,
+    )
+    spec.method(
+        "concat", ("Ljava/lang/String;",), "Ljava/lang/String;",
+        lambda ctx, this, other: _derive(ctx, this.value + other.value, this, other),
+    )
+    spec.method(
+        "substring", ("I",), "Ljava/lang/String;",
+        lambda ctx, this, start: _derive(ctx, this.value[start:], this),
+    )
+    spec.method(
+        "substring", ("I", "I"), "Ljava/lang/String;",
+        lambda ctx, this, start, end: _derive(ctx, this.value[start:end], this),
+    )
+    spec.method(
+        "indexOf", ("Ljava/lang/String;",), "I",
+        lambda ctx, this, needle: this.value.find(needle.value),
+    )
+    spec.method(
+        "contains", ("Ljava/lang/CharSequence;",), "Z",
+        lambda ctx, this, needle: 1 if needle.value in this.value else 0,
+    )
+    spec.method(
+        "startsWith", ("Ljava/lang/String;",), "Z",
+        lambda ctx, this, prefix: 1 if this.value.startswith(prefix.value) else 0,
+    )
+    spec.method(
+        "endsWith", ("Ljava/lang/String;",), "Z",
+        lambda ctx, this, suffix: 1 if this.value.endswith(suffix.value) else 0,
+    )
+    spec.method(
+        "replace", ("Ljava/lang/CharSequence;", "Ljava/lang/CharSequence;"),
+        "Ljava/lang/String;",
+        lambda ctx, this, old, new: _derive(
+            ctx, this.value.replace(old.value, new.value), this, new
+        ),
+    )
+    spec.method(
+        "toLowerCase", (), "Ljava/lang/String;",
+        lambda ctx, this: _derive(ctx, this.value.lower(), this),
+    )
+    spec.method(
+        "toUpperCase", (), "Ljava/lang/String;",
+        lambda ctx, this: _derive(ctx, this.value.upper(), this),
+    )
+    spec.method(
+        "trim", (), "Ljava/lang/String;",
+        lambda ctx, this: _derive(ctx, this.value.strip(), this),
+    )
+    spec.method(
+        "hashCode", (), "I", lambda ctx, this: _string_hash(this.value)
+    )
+    spec.method(
+        "compareTo", ("Ljava/lang/String;",), "I",
+        lambda ctx, this, other: (this.value > other.value) - (this.value < other.value),
+    )
+    spec.method(
+        "toString", (), "Ljava/lang/String;", lambda ctx, this: this
+    )
+    spec.method(
+        "intern", (), "Ljava/lang/String;", lambda ctx, this: this
+    )
+    spec.method(
+        "getBytes", (), "[B", lambda ctx, this: _string_bytes(this)
+    )
+    spec.method(
+        "toCharArray", (), "[C", lambda ctx, this: _string_chars(this)
+    )
+    spec.method(
+        "split", ("Ljava/lang/String;",), "[Ljava/lang/String;",
+        lambda ctx, this, sep: _string_split(this, sep),
+    )
+    spec.method(
+        "valueOf", ("Ljava/lang/Object;",), "Ljava/lang/String;",
+        lambda ctx, value: _derive(ctx, _str(value), value),
+        static=True,
+    )
+    spec.method(
+        "valueOf", ("I",), "Ljava/lang/String;",
+        lambda ctx, value: VmString(str(value)),
+        static=True,
+    )
+    spec.method(
+        "valueOf", ("J",), "Ljava/lang/String;",
+        lambda ctx, value: VmString(str(value)),
+        static=True,
+    )
+    spec.method(
+        "valueOf", ("D",), "Ljava/lang/String;",
+        lambda ctx, value: VmString(_str(float(value))),
+        static=True,
+    )
+    spec.method(
+        "valueOf", ("C",), "Ljava/lang/String;",
+        lambda ctx, value: VmString(chr(value & 0xFFFF)),
+        static=True,
+    )
+    spec.method(
+        "format",
+        ("Ljava/lang/String;", "[Ljava/lang/Object;"),
+        "Ljava/lang/String;",
+        _string_format,
+        static=True,
+    )
+    return spec
+
+
+def _char_at(ctx, this: VmString, index: int) -> int:
+    if not 0 <= index < len(this.value):
+        _throw(ctx, "Ljava/lang/ArrayIndexOutOfBoundsException;", str(index))
+    return ord(this.value[index])
+
+
+def _string_hash(value: str) -> int:
+    result = 0
+    for ch in value:
+        result = i32(result * 31 + ord(ch))
+    return result
+
+
+def _string_bytes(this: VmString) -> VmArray:
+    data = this.value.encode("utf-8")
+    array = VmArray("[B", len(data))
+    array.elements = [b - 256 if b >= 128 else b for b in data]
+    array.provenance = this.provenance
+    return array
+
+
+def _string_chars(this: VmString) -> VmArray:
+    array = VmArray("[C", len(this.value))
+    array.elements = [ord(c) for c in this.value]
+    array.provenance = this.provenance
+    return array
+
+
+def _string_split(this: VmString, sep: VmString) -> VmArray:
+    parts = this.value.split(sep.value)
+    array = VmArray("[Ljava/lang/String;", len(parts))
+    array.elements = [VmString(p, this.provenance) for p in parts]
+    return array
+
+
+def _string_format(ctx, fmt: VmString, args: VmArray | None) -> VmString:
+    values = args.elements if args is not None else []
+    text = fmt.value
+    for value in values:
+        for spec_token in ("%s", "%d", "%f"):
+            if spec_token in text:
+                text = text.replace(spec_token, _str(value), 1)
+                break
+    return _derive(ctx, text, fmt, *(values or []))
+
+
+# ---------------------------------------------------------------------------
+# StringBuilder / StringBuffer
+# ---------------------------------------------------------------------------
+
+
+def _builder_spec(descriptor: str) -> NativeClassSpec:
+    spec = NativeClassSpec(descriptor)
+
+    def init(ctx, this, seed=None):
+        this.native_data = [seed.value] if isinstance(seed, VmString) else []
+        if isinstance(seed, VmString):
+            this.add_provenance(seed.provenance)
+
+    def append(ctx, this, value):
+        this.native_data.append(_str(value))
+        this.add_provenance(provenance_of(value))
+        return this
+
+    def append_char(ctx, this, value):
+        this.native_data.append(chr(value & 0xFFFF))
+        return this
+
+    spec.method("<init>", (), "V", init)
+    spec.method("<init>", ("Ljava/lang/String;",), "V", init)
+    spec.method("<init>", ("I",), "V", lambda ctx, this, cap: init(ctx, this))
+    for param in ("Ljava/lang/String;", "Ljava/lang/Object;", "I", "J", "Z", "D"):
+        spec.method("append", (param,), descriptor, append)
+    spec.method("append", ("C",), descriptor, append_char)
+    spec.method(
+        "toString", (), "Ljava/lang/String;",
+        lambda ctx, this: VmString("".join(this.native_data), this.provenance),
+    )
+    spec.method(
+        "length", (), "I", lambda ctx, this: len("".join(this.native_data))
+    )
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Boxed primitives, Math, System
+# ---------------------------------------------------------------------------
+
+
+def _parse_int(ctx, text: VmString, base: int = 10) -> int:
+    try:
+        return i32(int(text.value, base))
+    except ValueError:
+        _throw(ctx, "Ljava/lang/NumberFormatException;", text.value)
+
+
+def boxed_specs() -> list[NativeClassSpec]:
+    integer = NativeClassSpec("Ljava/lang/Integer;", superclass="Ljava/lang/Number;")
+    integer.static_fields["MAX_VALUE"] = ("I", lambda rt: 2**31 - 1)
+    integer.static_fields["MIN_VALUE"] = ("I", lambda rt: -(2**31))
+    integer.method("parseInt", ("Ljava/lang/String;",), "I",
+                   lambda ctx, text: _parse_int(ctx, text), static=True)
+    integer.method("parseInt", ("Ljava/lang/String;", "I"), "I",
+                   lambda ctx, text, base: _parse_int(ctx, text, base), static=True)
+    integer.method("valueOf", ("I",), "Ljava/lang/Integer;",
+                   lambda ctx, value: _box(ctx, "Ljava/lang/Integer;", value),
+                   static=True)
+    integer.method("intValue", (), "I", lambda ctx, this: this.native_data)
+    integer.method("toString", ("I",), "Ljava/lang/String;",
+                   lambda ctx, value: VmString(str(value)), static=True)
+    integer.method("toString", (), "Ljava/lang/String;",
+                   lambda ctx, this: VmString(str(this.native_data), this.provenance))
+
+    number = NativeClassSpec("Ljava/lang/Number;")
+    number.method("<init>", (), "V", lambda ctx, this: None)
+
+    long_spec = NativeClassSpec("Ljava/lang/Long;", superclass="Ljava/lang/Number;")
+    long_spec.method("parseLong", ("Ljava/lang/String;",), "J",
+                     lambda ctx, text: i64(int(text.value)), static=True)
+    long_spec.method("valueOf", ("J",), "Ljava/lang/Long;",
+                     lambda ctx, value: _box(ctx, "Ljava/lang/Long;", value),
+                     static=True)
+    long_spec.method("longValue", (), "J", lambda ctx, this: this.native_data)
+
+    boolean = NativeClassSpec("Ljava/lang/Boolean;")
+    boolean.method("valueOf", ("Z",), "Ljava/lang/Boolean;",
+                   lambda ctx, value: _box(ctx, "Ljava/lang/Boolean;", value),
+                   static=True)
+    boolean.method("booleanValue", (), "Z", lambda ctx, this: this.native_data)
+    boolean.method("parseBoolean", ("Ljava/lang/String;",), "Z",
+                   lambda ctx, text: 1 if text.value == "true" else 0, static=True)
+
+    character = NativeClassSpec("Ljava/lang/Character;")
+    character.method("valueOf", ("C",), "Ljava/lang/Character;",
+                     lambda ctx, value: _box(ctx, "Ljava/lang/Character;", value),
+                     static=True)
+    character.method("charValue", (), "C", lambda ctx, this: this.native_data)
+
+    double_spec = NativeClassSpec("Ljava/lang/Double;", superclass="Ljava/lang/Number;")
+    double_spec.method("valueOf", ("D",), "Ljava/lang/Double;",
+                       lambda ctx, value: _box(ctx, "Ljava/lang/Double;", value),
+                       static=True)
+    double_spec.method("doubleValue", (), "D", lambda ctx, this: this.native_data)
+    double_spec.method("parseDouble", ("Ljava/lang/String;",), "D",
+                       lambda ctx, text: float(text.value), static=True)
+    return [number, integer, long_spec, boolean, character, double_spec]
+
+
+def _box(ctx, descriptor: str, value) -> VmObject:
+    obj = VmObject(ctx.runtime.class_linker.lookup(descriptor))
+    obj.native_data = value
+    if isinstance(value, (VmString,)):
+        obj.add_provenance(value.provenance)
+    return obj
+
+
+def math_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Ljava/lang/Math;")
+    spec.method("abs", ("I",), "I", lambda ctx, v: i32(abs(v)), static=True)
+    spec.method("abs", ("J",), "J", lambda ctx, v: i64(abs(v)), static=True)
+    spec.method("abs", ("D",), "D", lambda ctx, v: abs(v), static=True)
+    spec.method("max", ("I", "I"), "I", lambda ctx, a, b: max(a, b), static=True)
+    spec.method("min", ("I", "I"), "I", lambda ctx, a, b: min(a, b), static=True)
+    spec.method("max", ("D", "D"), "D", lambda ctx, a, b: max(a, b), static=True)
+    spec.method("min", ("D", "D"), "D", lambda ctx, a, b: min(a, b), static=True)
+    spec.method("sqrt", ("D",), "D",
+                lambda ctx, v: math.sqrt(v) if v >= 0 else math.nan, static=True)
+    spec.method("pow", ("D", "D"), "D", lambda ctx, a, b: float(a) ** float(b),
+                static=True)
+    spec.method("floor", ("D",), "D", lambda ctx, v: float(math.floor(v)), static=True)
+    spec.method("ceil", ("D",), "D", lambda ctx, v: float(math.ceil(v)), static=True)
+    spec.method("random", (), "D", lambda ctx: ctx.runtime.next_random(), static=True)
+    return spec
+
+
+def system_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Ljava/lang/System;")
+    spec.static_fields["out"] = (
+        "Ljava/io/PrintStream;",
+        lambda runtime: _print_stream(runtime),
+    )
+    spec.method(
+        "currentTimeMillis", (), "J",
+        lambda ctx: i64(1_500_000_000_000 + ctx.runtime.clock_ms), static=True,
+    )
+    spec.method(
+        "nanoTime", (), "J",
+        lambda ctx: i64(ctx.runtime.steps * 1000), static=True,
+    )
+    spec.method("arraycopy",
+                ("Ljava/lang/Object;", "I", "Ljava/lang/Object;", "I", "I"), "V",
+                _arraycopy, static=True)
+    spec.method("exit", ("I",), "V",
+                lambda ctx, code: ctx.crash(f"System.exit({code})"), static=True)
+    spec.method("getProperty", ("Ljava/lang/String;",), "Ljava/lang/String;",
+                lambda ctx, key: VmString("dalvik"), static=True)
+    return spec
+
+
+def _arraycopy(ctx, src, src_pos, dst, dst_pos, length):
+    if src is None or dst is None:
+        _throw(ctx, "Ljava/lang/NullPointerException;", "arraycopy")
+    if (
+        src_pos < 0
+        or dst_pos < 0
+        or length < 0
+        or src_pos + length > src.length
+        or dst_pos + length > dst.length
+    ):
+        _throw(ctx, "Ljava/lang/ArrayIndexOutOfBoundsException;", "arraycopy")
+    dst.elements[dst_pos : dst_pos + length] = src.elements[src_pos : src_pos + length]
+    dst.add_provenance(src.provenance)
+
+
+def _print_stream(runtime) -> VmObject:
+    klass = runtime.class_linker.lookup("Ljava/io/PrintStream;")
+    return VmObject(klass)
+
+
+def print_stream_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Ljava/io/PrintStream;")
+
+    def println(ctx, this, value=None):
+        ctx.runtime.stdout.append(_str(value) if value is not None else "")
+
+    spec.method("println", (), "V", println)
+    for param in ("Ljava/lang/String;", "Ljava/lang/Object;", "I", "J", "D", "Z"):
+        spec.method("println", (param,), "V", println)
+        spec.method("print", (param,), "V", println)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Threads (deterministic synchronous model) and collections
+# ---------------------------------------------------------------------------
+
+
+def thread_specs() -> list[NativeClassSpec]:
+    runnable = NativeClassSpec("Ljava/lang/Runnable;")
+    # Interface: no implementation; bytecode classes implement run().
+
+    thread = NativeClassSpec("Ljava/lang/Thread;")
+
+    def thread_init(ctx, this, runnable_obj=None):
+        this.native_data = runnable_obj
+
+    def thread_start(ctx, this):
+        # Deterministic threading: run() executes synchronously on start().
+        target = this.native_data if this.native_data is not None else this
+        klass = target.klass if isinstance(target, VmObject) else None
+        if klass is None:
+            return
+        method = klass.find_method("run", (), "V")
+        if method is not None:
+            ctx.runtime.interpreter.execute(method, [target], caller=ctx.frame)
+
+    thread.method("<init>", (), "V", thread_init)
+    thread.method("<init>", ("Ljava/lang/Runnable;",), "V", thread_init)
+    thread.method("start", (), "V", thread_start)
+    thread.method("run", (), "V", lambda ctx, this: thread_start(ctx, this))
+    thread.method("join", (), "V", lambda ctx, this: None)
+    thread.method("sleep", ("J",), "V",
+                  lambda ctx, ms: setattr(ctx.runtime, "clock_ms",
+                                          ctx.runtime.clock_ms + ms),
+                  static=True)
+    thread.method("currentThread", (), "Ljava/lang/Thread;",
+                  lambda ctx: _box(ctx, "Ljava/lang/Thread;", None), static=True)
+    return [runnable, thread]
+
+
+def collection_specs() -> list[NativeClassSpec]:
+    specs = []
+    iterable = NativeClassSpec("Ljava/lang/Iterable;")
+    char_sequence = NativeClassSpec("Ljava/lang/CharSequence;")
+    list_iface = NativeClassSpec("Ljava/util/List;", interfaces=())
+    map_iface = NativeClassSpec("Ljava/util/Map;")
+    specs += [iterable, char_sequence, list_iface, map_iface]
+
+    array_list = NativeClassSpec(
+        "Ljava/util/ArrayList;", interfaces=("Ljava/util/List;",)
+    )
+
+    def list_init(ctx, this, _cap=None):
+        this.native_data = []
+
+    array_list.method("<init>", (), "V", list_init)
+    array_list.method("<init>", ("I",), "V", list_init)
+    array_list.method(
+        "add", ("Ljava/lang/Object;",), "Z",
+        lambda ctx, this, value: (this.native_data.append(value),
+                                  this.add_provenance(provenance_of(value)), 1)[-1],
+    )
+    array_list.method(
+        "get", ("I",), "Ljava/lang/Object;",
+        lambda ctx, this, index: _list_get(ctx, this, index),
+    )
+    array_list.method("size", (), "I", lambda ctx, this: len(this.native_data))
+    array_list.method(
+        "remove", ("I",), "Ljava/lang/Object;",
+        lambda ctx, this, index: this.native_data.pop(index),
+    )
+    array_list.method(
+        "contains", ("Ljava/lang/Object;",), "Z",
+        lambda ctx, this, value: 1 if any(_vm_eq(e, value) for e in this.native_data) else 0,
+    )
+    array_list.method("clear", (), "V", lambda ctx, this: this.native_data.clear())
+    array_list.method("isEmpty", (), "Z",
+                      lambda ctx, this: 0 if this.native_data else 1)
+    specs.append(array_list)
+
+    hash_map = NativeClassSpec("Ljava/util/HashMap;", interfaces=("Ljava/util/Map;",))
+
+    def map_init(ctx, this, _cap=None):
+        this.native_data = {}
+
+    def map_key(key):
+        return key.value if isinstance(key, VmString) else key
+
+    hash_map.method("<init>", (), "V", map_init)
+    hash_map.method("<init>", ("I",), "V", map_init)
+    hash_map.method(
+        "put", ("Ljava/lang/Object;", "Ljava/lang/Object;"), "Ljava/lang/Object;",
+        lambda ctx, this, key, value: (
+            this.native_data.update({map_key(key): value}),
+            this.add_provenance(provenance_of(value)),
+            None,
+        )[-1],
+    )
+    hash_map.method(
+        "get", ("Ljava/lang/Object;",), "Ljava/lang/Object;",
+        lambda ctx, this, key: this.native_data.get(map_key(key)),
+    )
+    hash_map.method(
+        "containsKey", ("Ljava/lang/Object;",), "Z",
+        lambda ctx, this, key: 1 if map_key(key) in this.native_data else 0,
+    )
+    hash_map.method("size", (), "I", lambda ctx, this: len(this.native_data))
+    specs.append(hash_map)
+
+    random = NativeClassSpec("Ljava/util/Random;")
+    random.method("<init>", (), "V", lambda ctx, this: None)
+    random.method("<init>", ("J",), "V", lambda ctx, this, seed: None)
+    random.method(
+        "nextInt", ("I",), "I",
+        lambda ctx, this, bound: int(ctx.runtime.next_random() * bound),
+    )
+    random.method(
+        "nextInt", (), "I",
+        lambda ctx, this: i32(int(ctx.runtime.next_random() * 2**32)),
+    )
+    random.method(
+        "nextBoolean", (), "Z",
+        lambda ctx, this: 1 if ctx.runtime.next_random() >= 0.5 else 0,
+    )
+    specs.append(random)
+    return specs
+
+
+def _list_get(ctx, this, index):
+    if not 0 <= index < len(this.native_data):
+        _throw(ctx, "Ljava/lang/ArrayIndexOutOfBoundsException;", str(index))
+    return this.native_data[index]
+
+
+def _vm_eq(a, b) -> bool:
+    if isinstance(a, VmString) and isinstance(b, VmString):
+        return a.value == b.value
+    return a is b
+
+
+def all_specs() -> list[NativeClassSpec]:
+    """Every intrinsic class spec, in registration order."""
+    return (
+        [object_spec()]
+        + throwable_specs()
+        + [
+            string_spec(),
+            _builder_spec("Ljava/lang/StringBuilder;"),
+            _builder_spec("Ljava/lang/StringBuffer;"),
+            math_spec(),
+            system_spec(),
+            print_stream_spec(),
+        ]
+        + boxed_specs()
+        + thread_specs()
+        + collection_specs()
+    )

@@ -1,0 +1,193 @@
+"""``java.lang.Class`` and ``java.lang.reflect`` intrinsics.
+
+Reflection is central to the paper: the runtime *knows* the resolved
+target of every reflective call (§IV-D), so ``Method.invoke`` fires the
+``on_reflective_call`` hook with the concrete target — the collection
+point DexLego uses to replace reflective calls with direct calls.  This
+works no matter how the name string was produced (constant, decrypted,
+or computed without any string at all).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.class_linker import NativeClassSpec
+from repro.runtime.exceptions import VmThrow
+from repro.runtime.values import (
+    WIDE_HIGH,
+    VmArray,
+    VmClassObject,
+    VmObject,
+    VmReflectField,
+    VmReflectMethod,
+    VmString,
+)
+
+
+def _throw(ctx, descriptor: str, message: str = ""):
+    raise VmThrow(ctx.runtime.new_exception(descriptor, message))
+
+
+def _human_to_descriptor(name: str) -> str:
+    return "L" + name.replace(".", "/") + ";"
+
+
+def _for_name(ctx, name: VmString) -> VmClassObject:
+    descriptor = _human_to_descriptor(name.value)
+    linker = ctx.runtime.class_linker
+    if not linker.is_known(descriptor):
+        _throw(ctx, "Ljava/lang/ClassNotFoundException;", name.value)
+    return VmClassObject(linker.lookup(descriptor))
+
+
+def _get_method(ctx, this: VmClassObject, name: VmString, _param_classes=None):
+    method = this.klass.find_method_by_name(name.value)
+    if method is None:
+        _throw(ctx, "Ljava/lang/NoSuchMethodException;", name.value)
+    return VmReflectMethod(method)
+
+
+def _get_methods(ctx, this: VmClassObject) -> VmArray:
+    methods = [
+        VmReflectMethod(m)
+        for m in this.klass.methods.values()
+        if not m.is_constructor
+    ]
+    methods.sort(key=lambda rm: rm.method.ref.name)
+    array = VmArray("[Ljava/lang/reflect/Method;", len(methods))
+    array.elements = methods
+    return array
+
+
+def _new_instance(ctx, this: VmClassObject):
+    klass = this.klass
+    ctx.runtime.class_linker.ensure_initialized(klass)
+    obj = VmObject(klass)
+    init = klass.find_method("<init>", (), "V")
+    if init is not None:
+        ctx.runtime.interpreter.execute(init, [obj], caller=ctx.frame)
+    return obj
+
+
+def _method_invoke(ctx, this: VmReflectMethod, receiver, args_array):
+    """The reflective dispatch point (paper §IV-D)."""
+    method = this.method
+    args = list(args_array.elements) if isinstance(args_array, VmArray) else []
+    runtime = ctx.runtime
+    for listener in runtime.listeners:
+        listener.on_reflective_call(ctx.frame, method, receiver, args)
+    arg_words: list = []
+    if not method.is_static:
+        if receiver is None:
+            _throw(ctx, "Ljava/lang/NullPointerException;", "Method.invoke")
+        arg_words.append(receiver)
+    for desc, value in zip(method.ref.param_descs, args):
+        arg_words.append(_unbox_for(desc, value))
+        if desc in ("J", "D"):
+            arg_words.append(WIDE_HIGH)
+    runtime.class_linker.ensure_initialized(method.declaring_class)
+    return runtime.interpreter.execute(method, arg_words, caller=ctx.frame)
+
+
+def _unbox_for(desc: str, value):
+    if isinstance(value, VmObject) and desc in ("I", "J", "Z", "B", "S", "C", "F", "D"):
+        if value.native_data is not None:
+            return value.native_data
+    return value
+
+
+def _field_get(ctx, this: VmReflectField, receiver):
+    klass = this.klass
+    runtime_field = klass.find_field(this.field_name)
+    if runtime_field is None:
+        _throw(ctx, "Ljava/lang/NoSuchMethodException;", this.field_name)
+    if runtime_field.is_static:
+        owner = klass.static_owner(this.field_name) or klass
+        ctx.runtime.class_linker.ensure_initialized(owner)
+        return owner.statics.get(this.field_name)
+    if receiver is None:
+        _throw(ctx, "Ljava/lang/NullPointerException;", "Field.get")
+    return receiver.fields.get((runtime_field.declaring_desc, this.field_name))
+
+
+def _field_set(ctx, this: VmReflectField, receiver, value):
+    klass = this.klass
+    runtime_field = klass.find_field(this.field_name)
+    if runtime_field is None:
+        _throw(ctx, "Ljava/lang/NoSuchMethodException;", this.field_name)
+    if runtime_field.is_static:
+        owner = klass.static_owner(this.field_name) or klass
+        owner.statics[this.field_name] = value
+    else:
+        receiver.fields[(runtime_field.declaring_desc, this.field_name)] = value
+
+
+def class_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Ljava/lang/Class;")
+    spec.method("forName", ("Ljava/lang/String;",), "Ljava/lang/Class;",
+                _for_name, static=True)
+    spec.method(
+        "getName", (), "Ljava/lang/String;",
+        lambda ctx, this: VmString(
+            this.klass.descriptor[1:-1].replace("/", ".")
+        ),
+    )
+    spec.method(
+        "getSimpleName", (), "Ljava/lang/String;",
+        lambda ctx, this: VmString(
+            this.klass.descriptor[1:-1].split("/")[-1]
+        ),
+    )
+    spec.method("getMethod",
+                ("Ljava/lang/String;", "[Ljava/lang/Class;"),
+                "Ljava/lang/reflect/Method;", _get_method)
+    spec.method("getMethod", ("Ljava/lang/String;",),
+                "Ljava/lang/reflect/Method;", _get_method)
+    spec.method("getDeclaredMethod",
+                ("Ljava/lang/String;", "[Ljava/lang/Class;"),
+                "Ljava/lang/reflect/Method;", _get_method)
+    spec.method("getDeclaredMethod", ("Ljava/lang/String;",),
+                "Ljava/lang/reflect/Method;", _get_method)
+    spec.method("getMethods", (), "[Ljava/lang/reflect/Method;", _get_methods)
+    spec.method("getDeclaredMethods", (), "[Ljava/lang/reflect/Method;",
+                _get_methods)
+    spec.method(
+        "getField", ("Ljava/lang/String;",), "Ljava/lang/reflect/Field;",
+        lambda ctx, this, name: VmReflectField(this.klass, name.value),
+    )
+    spec.method(
+        "getDeclaredField", ("Ljava/lang/String;",), "Ljava/lang/reflect/Field;",
+        lambda ctx, this, name: VmReflectField(this.klass, name.value),
+    )
+    spec.method("newInstance", (), "Ljava/lang/Object;", _new_instance)
+    return spec
+
+
+def method_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Ljava/lang/reflect/Method;")
+    spec.method("invoke",
+                ("Ljava/lang/Object;", "[Ljava/lang/Object;"),
+                "Ljava/lang/Object;", _method_invoke)
+    spec.method("invoke", ("Ljava/lang/Object;",), "Ljava/lang/Object;",
+                lambda ctx, this, receiver: _method_invoke(ctx, this, receiver, None))
+    spec.method("setAccessible", ("Z",), "V", lambda ctx, this, flag: None)
+    spec.method(
+        "getName", (), "Ljava/lang/String;",
+        lambda ctx, this: VmString(this.method.ref.name),
+    )
+    return spec
+
+
+def field_spec() -> NativeClassSpec:
+    spec = NativeClassSpec("Ljava/lang/reflect/Field;")
+    spec.method("get", ("Ljava/lang/Object;",), "Ljava/lang/Object;", _field_get)
+    spec.method("set", ("Ljava/lang/Object;", "Ljava/lang/Object;"), "V", _field_set)
+    spec.method("setAccessible", ("Z",), "V", lambda ctx, this, flag: None)
+    spec.method(
+        "getName", (), "Ljava/lang/String;",
+        lambda ctx, this: VmString(this.field_name),
+    )
+    return spec
+
+
+def all_specs() -> list[NativeClassSpec]:
+    return [class_spec(), method_spec(), field_spec()]

@@ -1,0 +1,181 @@
+"""Runtime value model of the simulated Android Runtime.
+
+Registers hold either Python ``int``/``float`` primitives, ``None`` (the
+null reference), or reference values: :class:`VmObject`,
+:class:`VmString` and :class:`VmArray`.  Wide (long/double) values occupy
+a register pair — the value lives in the low register and the
+:data:`WIDE_HIGH` sentinel in the high one, mirroring Dalvik's register
+word pairs.
+
+Reference values carry a ``provenance`` tag set used as the ground-truth
+oracle for taint experiments: framework sources stamp fresh values and
+sinks inspect them.  String intrinsics propagate provenance through
+copies and concatenations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+
+class _WideHigh:
+    """Sentinel filling the high register of a wide value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<wide-high>"
+
+
+WIDE_HIGH = _WideHigh()
+
+_object_ids = itertools.count(1)
+
+
+class VmValue:
+    """Base class for reference values (objects, strings, arrays)."""
+
+    __slots__ = ("object_id", "provenance")
+
+    def __init__(self) -> None:
+        self.object_id = next(_object_ids)
+        self.provenance: frozenset[str] = frozenset()
+
+    def add_provenance(self, tags: Iterable[str]) -> None:
+        self.provenance = self.provenance | frozenset(tags)
+
+
+class VmObject(VmValue):
+    """An instance of a class; fields keyed by (declaring class, name)."""
+
+    __slots__ = ("klass", "fields", "native_data")
+
+    def __init__(self, klass) -> None:
+        super().__init__()
+        self.klass = klass
+        self.fields: dict[tuple[str, str], object] = {}
+        # Slot for framework-implemented classes (StringBuilder buffer,
+        # collection backing store, stream state, ...).
+        self.native_data: object = None
+
+    def __repr__(self) -> str:
+        return f"<{self.klass.descriptor} #{self.object_id}>"
+
+
+class VmString(VmValue):
+    """A java.lang.String value (identity-bearing wrapper over str)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, provenance: Iterable[str] = ()) -> None:
+        super().__init__()
+        self.value = value
+        self.provenance = frozenset(provenance)
+
+    def __repr__(self) -> str:
+        return f"VmString({self.value!r})"
+
+
+class VmArray(VmValue):
+    """An array; ``elements`` is a plain Python list of register values."""
+
+    __slots__ = ("type_desc", "elements")
+
+    def __init__(self, type_desc: str, length: int, fill: object = None) -> None:
+        super().__init__()
+        self.type_desc = type_desc
+        element_desc = type_desc[1:] if type_desc.startswith("[") else "?"
+        if fill is None and element_desc in ("I", "B", "S", "C", "Z", "J", "F", "D"):
+            fill = 0.0 if element_desc in ("F", "D") else 0
+        self.elements: list[object] = [fill] * length
+
+    @property
+    def length(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:
+        return f"VmArray({self.type_desc}, len={self.length})"
+
+
+class VmClassObject(VmValue):
+    """A ``java.lang.Class`` reference (result of const-class / forName)."""
+
+    __slots__ = ("klass",)
+
+    def __init__(self, klass) -> None:
+        super().__init__()
+        self.klass = klass
+
+    def __repr__(self) -> str:
+        return f"VmClassObject({self.klass.descriptor})"
+
+
+class VmReflectMethod(VmValue):
+    """A ``java.lang.reflect.Method`` reference."""
+
+    __slots__ = ("method",)
+
+    def __init__(self, method) -> None:
+        super().__init__()
+        self.method = method
+
+    def __repr__(self) -> str:
+        return f"VmReflectMethod({self.method.ref.signature})"
+
+
+class VmReflectField(VmValue):
+    """A ``java.lang.reflect.Field`` reference."""
+
+    __slots__ = ("klass", "field_name")
+
+    def __init__(self, klass, field_name: str) -> None:
+        super().__init__()
+        self.klass = klass
+        self.field_name = field_name
+
+
+# -- numeric helpers ---------------------------------------------------------
+
+
+def i32(value: int) -> int:
+    """Wrap to 32-bit two's-complement."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def i64(value: int) -> int:
+    """Wrap to 64-bit two's-complement."""
+    value &= 0xFFFFFFFFFFFFFFFF
+    return value - 0x10000000000000000 if value >= 0x8000000000000000 else value
+
+
+def java_div(a: int, b: int) -> int:
+    """Integer division truncating toward zero (Java semantics)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def java_rem(a: int, b: int) -> int:
+    """Integer remainder with the sign of the dividend (Java semantics)."""
+    return a - java_div(a, b) * b
+
+
+def to_py(value: object) -> object:
+    """Convert a VM value into a plain Python value (for natives)."""
+    if isinstance(value, VmString):
+        return value.value
+    if isinstance(value, VmArray):
+        return [to_py(e) for e in value.elements]
+    return value
+
+
+def provenance_of(value: object) -> frozenset[str]:
+    """Collect provenance tags reachable from ``value`` (shallow + arrays)."""
+    if isinstance(value, VmArray):
+        tags = set(value.provenance)
+        for element in value.elements:
+            if isinstance(element, VmValue):
+                tags |= element.provenance
+        return frozenset(tags)
+    if isinstance(value, VmValue):
+        return value.provenance
+    return frozenset()

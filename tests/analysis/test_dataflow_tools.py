@@ -1,0 +1,205 @@
+"""Static taint engine and tool-profile differentiation tests."""
+
+import pytest
+
+from repro.analysis import (
+    DROIDSAFE_LIKE,
+    FLOWDROID_LIKE,
+    HORNDROID_LIKE,
+    StaticTool,
+    all_tools,
+    droidsafe,
+    flowdroid,
+    horndroid,
+)
+from repro.dex import assemble
+from repro.runtime import Apk
+
+from repro.benchsuite import sample_by_name
+
+
+def _analyze_all(apk):
+    return {t.name: t.analyze(apk).detected for t in all_tools()}
+
+
+class TestBasicDetection:
+    def test_direct_flow_found_by_all(self):
+        apk = sample_by_name("Direct0").build_apk()
+        assert all(_analyze_all(apk).values())
+
+    def test_benign_app_clean_for_all(self):
+        apk = sample_by_name("Benign0").build_apk()
+        assert not any(_analyze_all(apk).values())
+
+    def test_flow_reported_with_tag_and_sink(self):
+        apk = sample_by_name("Direct0").build_apk()
+        flows = flowdroid().analyze(apk).flows
+        assert flows[0].source_tag == "imei"
+        assert "Log" in flows[0].sink_signature
+
+
+class TestToolDifferentiation:
+    def test_icc_splits_flowdroid_from_the_rest(self):
+        apk = sample_by_name("IccExtra0").build_apk()
+        results = _analyze_all(apk)
+        assert not results["FlowDroid"]  # no ICC model
+        assert results["DroidSafe"]
+        assert results["HornDroid"]
+
+    def test_implicit_flows_only_horndroid(self):
+        apk = sample_by_name("ImplicitFlow1").build_apk()
+        results = _analyze_all(apk)
+        assert not results["FlowDroid"]
+        assert not results["DroidSafe"]
+        assert results["HornDroid"]
+
+    def test_flow_order_trap_only_order_blind_tools(self):
+        apk = sample_by_name("FieldFlowOrder0").build_apk()
+        results = _analyze_all(apk)
+        assert not results["FlowDroid"]  # flow-sensitive: no FP
+        assert results["DroidSafe"]  # flow-insensitive: FP
+
+    def test_sanitized_trap(self):
+        apk = sample_by_name("Sanitized0").build_apk()
+        results = _analyze_all(apk)
+        assert not results["FlowDroid"]
+        assert results["DroidSafe"]
+        assert not results["HornDroid"]
+
+    def test_array_index_trap_spares_horndroid(self):
+        apk = sample_by_name("ArrayIndex0").build_apk()
+        results = _analyze_all(apk)
+        assert results["FlowDroid"]  # index-blind FP
+        assert results["DroidSafe"]
+        assert not results["HornDroid"]  # value-sensitive arrays
+
+    def test_container_trap_fools_everyone(self):
+        apk = sample_by_name("Container0").build_apk()
+        assert all(_analyze_all(apk).values())
+
+    def test_constant_reflection_resolved_by_all(self):
+        apk = sample_by_name("ReflectConst0").build_apk()
+        assert all(_analyze_all(apk).values())
+
+    def test_advanced_reflection_defeats_all(self):
+        for name in ("ReflectAdv0", "ReflectAdv1", "ReflectAdv2"):
+            apk = sample_by_name(name).build_apk()
+            assert not any(_analyze_all(apk).values()), name
+
+    def test_selfmod_invisible_statically(self):
+        apk = sample_by_name("SelfMod1").build_apk()
+        assert not any(_analyze_all(apk).values())
+
+    def test_dynload_invisible_statically(self):
+        apk = sample_by_name("DynLoad0").build_apk()
+        assert not any(_analyze_all(apk).values())
+
+    def test_dead_code_fp_for_all(self):
+        apk = sample_by_name("DeadCode0").build_apk()
+        assert all(_analyze_all(apk).values())
+
+
+class TestEngineMechanics:
+    def _apk(self, body: str, extra: str = "") -> Apk:
+        text = f"""
+.class public La/T;
+.super Landroid/app/Activity;
+{extra}
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+{body}
+    return-void
+.end method
+
+.method public src()Ljava/lang/String;
+    .registers 3
+    new-instance v0, Landroid/telephony/TelephonyManager;
+    invoke-direct {{v0}}, Landroid/telephony/TelephonyManager;-><init>()V
+    invoke-virtual {{v0}}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;
+    move-result-object v0
+    return-object v0
+.end method
+
+.method public snk(Ljava/lang/String;)V
+    .registers 3
+    const-string v0, "t"
+    invoke-static {{v0, p1}}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+"""
+        return Apk("a.t", "La/T;", [assemble(text)])
+
+    def test_taint_through_return_value(self):
+        apk = self._apk("""
+    invoke-virtual {p0}, La/T;->src()Ljava/lang/String;
+    move-result-object v0
+    invoke-virtual {p0, v0}, La/T;->snk(Ljava/lang/String;)V
+""")
+        assert flowdroid().analyze(apk).detected
+
+    def test_taint_killed_by_overwrite(self):
+        apk = self._apk("""
+    invoke-virtual {p0}, La/T;->src()Ljava/lang/String;
+    move-result-object v0
+    const-string v0, "clean"
+    invoke-virtual {p0, v0}, La/T;->snk(Ljava/lang/String;)V
+""")
+        assert not flowdroid().analyze(apk).detected
+
+    def test_join_at_merge_point(self):
+        apk = self._apk("""
+    invoke-virtual {p0}, La/T;->src()Ljava/lang/String;
+    move-result-object v0
+    const/4 v1, 0
+    if-eqz v1, :other
+    const-string v2, "clean"
+    goto :merge
+    :other
+    move-object v2, v0
+    :merge
+    invoke-virtual {p0, v2}, La/T;->snk(Ljava/lang/String;)V
+""")
+        assert flowdroid().analyze(apk).detected  # joined state is tainted
+
+    def test_static_field_channel(self):
+        apk = self._apk("""
+    invoke-virtual {p0}, La/T;->src()Ljava/lang/String;
+    move-result-object v0
+    sput-object v0, La/T;->box:Ljava/lang/String;
+    sget-object v1, La/T;->box:Ljava/lang/String;
+    invoke-virtual {p0, v1}, La/T;->snk(Ljava/lang/String;)V
+""", extra=".field public static box:Ljava/lang/String;")
+        assert flowdroid().analyze(apk).detected
+
+    def test_string_builder_wrapper(self):
+        apk = self._apk("""
+    invoke-virtual {p0}, La/T;->src()Ljava/lang/String;
+    move-result-object v0
+    new-instance v1, Ljava/lang/StringBuilder;
+    invoke-direct {v1}, Ljava/lang/StringBuilder;-><init>()V
+    invoke-virtual {v1, v0}, Ljava/lang/StringBuilder;->append(Ljava/lang/String;)Ljava/lang/StringBuilder;
+    invoke-virtual {v1}, Ljava/lang/StringBuilder;->toString()Ljava/lang/String;
+    move-result-object v2
+    invoke-virtual {p0, v2}, La/T;->snk(Ljava/lang/String;)V
+""")
+        assert flowdroid().analyze(apk).detected
+
+    def test_flows_are_deterministic(self):
+        apk = sample_by_name("Direct1").build_apk()
+        first = [f.brief() for f in horndroid().analyze(apk).flows]
+        second = [f.brief() for f in horndroid().analyze(apk).flows]
+        assert first == second
+
+
+class TestConfigSurface:
+    def test_profiles_differ_where_documented(self):
+        assert FLOWDROID_LIKE.flow_sensitive and not FLOWDROID_LIKE.model_icc
+        assert not DROIDSAFE_LIKE.flow_sensitive and DROIDSAFE_LIKE.model_icc
+        assert HORNDROID_LIKE.implicit_flows and HORNDROID_LIKE.precise_arrays
+
+    def test_custom_profile_runs(self):
+        from repro.analysis import AnalysisConfig
+
+        tool = StaticTool(AnalysisConfig(name="custom", implicit_flows=True))
+        apk = sample_by_name("Direct0").build_apk()
+        assert tool.analyze(apk).detected

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dex import DexBuilder, assemble
+from repro.runtime import AndroidRuntime, Apk, AppDriver
+
+
+@pytest.fixture
+def runtime() -> AndroidRuntime:
+    return AndroidRuntime(max_steps=2_000_000)
+
+
+def build_simple_apk(package: str = "com.fix.simple") -> Apk:
+    """A minimal activity computing sum of squares into a field."""
+    text = """
+.class public Lcom/fix/Simple;
+.super Landroid/app/Activity;
+.field public total:I
+
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    const/4 v0, 0
+    const/4 v1, 0
+    :loop
+    const/16 v2, 10
+    if-ge v1, v2, :done
+    mul-int v3, v1, v1
+    add-int v0, v0, v3
+    add-int/lit8 v1, v1, 1
+    goto :loop
+    :done
+    iput v0, p0, Lcom/fix/Simple;->total:I
+    return-void
+.end method
+"""
+    return Apk(package, "Lcom/fix/Simple;", [assemble(text)])
+
+
+def run_method(runtime: AndroidRuntime, smali: str, signature: str, *args):
+    """Assemble a class, install it and invoke one method."""
+    dex = assemble(smali)
+    apk = Apk("com.fix.run", dex.class_descriptor(dex.class_defs[0]), [dex])
+    runtime.install_apk(apk)
+    return runtime.call(signature, *args)

@@ -1,0 +1,106 @@
+"""Collector and collection-file tests."""
+
+import os
+
+from repro.core import CollectionArchive, DexLego, DexLegoCollector
+from repro.runtime import AndroidRuntime, AppDriver
+
+from tests.conftest import build_simple_apk
+
+
+def _collect(apk):
+    runtime = AndroidRuntime()
+    collector = DexLegoCollector()
+    runtime.add_listener(collector)
+    AppDriver(runtime, apk).run_standard_session()
+    return collector
+
+
+class TestCollector:
+    def test_collects_class_metadata(self):
+        collector = _collect(build_simple_apk("c.meta"))
+        assert "Lcom/fix/Simple;" in collector.classes
+        collected = collector.classes["Lcom/fix/Simple;"]
+        assert collected.superclass_desc == "Landroid/app/Activity;"
+        assert collected.initialized
+        assert any(f.name == "total" for f in collected.fields)
+
+    def test_collects_executed_bytecode(self):
+        collector = _collect(build_simple_apk("c.code"))
+        record = collector.method_store.get(
+            "Lcom/fix/Simple;->onCreate(Landroid/os/Bundle;)V"
+        )
+        assert record is not None and record.executed
+        assert len(record.trees) == 1
+        assert record.trees[0].instruction_count() > 5
+
+    def test_framework_classes_not_collected(self):
+        collector = _collect(build_simple_apk("c.fw"))
+        assert all(not d.startswith("Ljava/") for d in collector.classes)
+        assert all(not d.startswith("Landroid/") for d in collector.classes)
+
+    def test_repeated_executions_dedupe_trees(self):
+        apk = build_simple_apk("c.dedupe")
+        runtime = AndroidRuntime()
+        collector = DexLegoCollector()
+        runtime.add_listener(collector)
+        driver = AppDriver(runtime, apk)
+        driver.launch()
+        for _ in range(3):
+            driver._call_if_defined(
+                driver.activity, "onCreate", ("Landroid/os/Bundle;",),
+                [driver.activity, None],
+            )
+        record = collector.method_store.get(
+            "Lcom/fix/Simple;->onCreate(Landroid/os/Bundle;)V"
+        )
+        assert len(record.trees) == 1  # identical executions -> one tree
+
+    def test_symbols_resolved_at_collection(self):
+        collector = _collect(build_simple_apk("c.sym"))
+        record = collector.method_store.get(
+            "Lcom/fix/Simple;->onCreate(Landroid/os/Bundle;)V"
+        )
+        symbols = [c.symbol for c in record.trees[0].root.il if c.symbol]
+        assert "Lcom/fix/Simple;->total:I" in symbols
+
+    def test_stats_shape(self):
+        collector = _collect(build_simple_apk("c.stats"))
+        stats = collector.stats()
+        assert stats["classes_collected"] == 1
+        assert stats["methods_executed"] >= 1
+        assert stats["collected_instructions"] > 0
+
+
+class TestCollectionArchive:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        collector = _collect(build_simple_apk("c.archive"))
+        archive = CollectionArchive.from_collector(collector)
+        target = str(tmp_path / "dump")
+        archive.save(target)
+        for name in ("class_data.json", "bytecode.json", "method_data.json",
+                     "field_data.json", "static_values.json", "reflection.json"):
+            assert os.path.exists(os.path.join(target, name))
+        again = CollectionArchive.load(target)
+        assert again.total_size_bytes() == archive.total_size_bytes()
+        store = again.method_store()
+        assert store.get(
+            "Lcom/fix/Simple;->onCreate(Landroid/os/Bundle;)V"
+        ).executed
+
+    def test_dump_size_grows_with_code(self):
+        from repro.benchsuite import generate_app
+
+        small = generate_app("c.size.small", 500, seed=1)
+        large = generate_app("c.size.large", 5000, seed=1)
+        sizes = []
+        for app in (small, large):
+            collector = _collect(app.apk)
+            sizes.append(CollectionArchive.from_collector(collector).total_size_bytes())
+        assert sizes[1] > sizes[0] * 2
+
+    def test_archive_dir_pipeline_boundary(self, tmp_path):
+        lego = DexLego(archive_dir=str(tmp_path / "files"))
+        result = lego.reveal(build_simple_apk("c.boundary"))
+        assert os.path.isdir(str(tmp_path / "files"))
+        assert result.reassembled_dex.find_class("Lcom/fix/Simple;") is not None

@@ -1,0 +1,164 @@
+"""Force execution engine tests (§IV-E)."""
+
+from repro.core import ForceExecutionEngine, ForcedPathController, PathFile
+from repro.coverage import CoverageCollector
+from repro.dex import assemble
+from repro.runtime import Apk
+
+
+def _gated_apk(package: str = "f.gate") -> Apk:
+    """An app whose juicy branch is unreachable under normal input."""
+    text = """
+.class public Lf/Gate;
+.super Landroid/app/Activity;
+.field public static hits:I = 0
+
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    invoke-virtual {p0}, Lf/Gate;->getIntent()Landroid/content/Intent;
+    move-result-object v0
+    if-nez v0, :skip
+    goto :skip
+    :skip
+    const/4 v1, 0
+    if-eqz v1, :locked
+    goto :end
+    :locked
+    sget v2, Lf/Gate;->hits:I
+    add-int/lit8 v2, v2, 1
+    sput v2, Lf/Gate;->hits:I
+    :end
+    return-void
+.end method
+"""
+    return Apk(package, "Lf/Gate;", [assemble(text)])
+
+
+class TestPathFiles:
+    def test_json_roundtrip(self):
+        path = PathFile(("Lf/Gate;->m()V", 10), True,
+                        [("Lf/Gate;->m()V", 4, False),
+                         ("Lf/Gate;->m()V", 10, True)])
+        again = PathFile.from_json(path.to_json())
+        assert again.target == path.target
+        assert again.forced_outcome is True
+        assert again.decisions == path.decisions
+
+    def test_controller_forces_in_order(self):
+        path = PathFile(("sig", 4), True, [("sig", 4, True)])
+        controller = ForcedPathController(path)
+
+        class FakeDex:  # sentinel: source_dex must be non-None
+            pass
+
+        class FakeKlass:
+            source_dex = FakeDex()
+
+        class FakeMethod:
+            declaring_class = FakeKlass()
+
+            class ref:
+                signature = "sig"
+
+        class FakeFrame:
+            method = FakeMethod()
+
+        assert controller.decide(FakeFrame(), 4, None, False) is True
+        assert not controller.queue
+        # Past the flip: free execution.
+        assert controller.decide(FakeFrame(), 4, None, False) is None
+
+
+class TestEngine:
+    def test_wait_locked_branch_is_reached(self):
+        engine = ForceExecutionEngine(_gated_apk("f.e1"), max_iterations=4)
+        report = engine.run()
+        assert report.paths_executed >= 1
+        # The locked branch site now has both outcomes observed.
+        locked_sites = [
+            seen for site, seen in engine.outcomes.items()
+            if site[0].startswith("Lf/Gate;->onCreate")
+        ]
+        assert any(len(seen) == 2 for seen in locked_sites)
+
+    def test_gated_code_collected_under_forcing(self):
+        collector = CoverageCollector()
+        engine = ForceExecutionEngine(
+            _gated_apk("f.e2"), shared_listeners=[collector], max_iterations=4
+        )
+        engine.run()
+        executed = {pc for sig, pc in collector.executed_instructions
+                    if "onCreate" in sig}
+        # The sget/add/sput block behind the gate executed in some run.
+        report = collector.report(_gated_apk("f.e2b").dex_files)
+        assert report.instructions == 1.0
+
+    def test_no_new_ucbs_terminates(self):
+        engine = ForceExecutionEngine(_gated_apk("f.e3"), max_iterations=10)
+        report = engine.run()
+        assert report.iterations < 10  # converged before the cap
+
+    def test_crash_tolerated_and_counted(self):
+        from repro.errors import NativeCrash
+        from repro.runtime import register_native_library
+
+        text = """
+.class public Lf/Cr;
+.super Landroid/app/Activity;
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    const/4 v0, 0
+    if-eqz v0, :safe
+    invoke-virtual {p0}, Lf/Cr;->boom()V
+    :safe
+    return-void
+.end method
+.method public static native boomNative()V
+.end method
+.method public boom()V
+    .registers 1
+    invoke-static {}, Lf/Cr;->boomNative()V
+    return-void
+.end method
+"""
+
+        def boom(ctx):
+            raise NativeCrash("deliberate")
+
+        register_native_library("libf_cr", {"Lf/Cr;->boomNative()V": boom})
+        apk = Apk("f.cr", "Lf/Cr;", [assemble(text)],
+                  native_libraries=["libf_cr"])
+        engine = ForceExecutionEngine(apk, max_iterations=4)
+        report = engine.run()
+        # The flip reaching boom() crashed a run; engine carried on.
+        assert report.paths_executed >= 1
+
+    def test_unhandled_exceptions_cleared_during_forcing(self):
+        text = """
+.class public Lf/Ex;
+.super Landroid/app/Activity;
+.field public static reached:I = 0
+
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    const/4 v0, 1
+    if-nez v0, :ok
+    const/4 v1, 0
+    div-int v1, v0, v1
+    :ok
+    const/4 v2, 0
+    if-eqz v2, :locked
+    goto :end
+    :locked
+    const/4 v3, 1
+    sput v3, Lf/Ex;->reached:I
+    :end
+    return-void
+.end method
+"""
+        apk = Apk("f.ex", "Lf/Ex;", [assemble(text)])
+        engine = ForceExecutionEngine(apk, max_iterations=6)
+        report = engine.run()
+        # Forcing the first branch causes a division by zero which must be
+        # cleared (tolerated), not kill the engine.
+        assert report.runs > 1

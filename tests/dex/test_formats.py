@@ -1,0 +1,139 @@
+"""Instruction format encode/decode tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dex import formats
+from repro.errors import DexEncodeError
+
+_OP = 0x42  # arbitrary opcode byte for raw format tests
+
+
+class TestFixedCases:
+    def test_10x(self):
+        assert formats.encode("10x", 0x0E, ()) == [0x0E]
+        assert formats.decode("10x", [0x0E], 0) == ()
+
+    def test_12x_packs_nibbles(self):
+        units = formats.encode("12x", 0x01, (3, 12))
+        assert units == [0x01 | (3 << 8) | (12 << 12)]
+        assert formats.decode("12x", units, 0) == (3, 12)
+
+    def test_11n_negative_literal(self):
+        units = formats.encode("11n", 0x12, (0, -8))
+        assert formats.decode("11n", units, 0) == (0, -8)
+
+    def test_21s_sign(self):
+        units = formats.encode("21s", 0x13, (5, -32768))
+        assert formats.decode("21s", units, 0) == (5, -32768)
+
+    def test_22b_negative_literal(self):
+        units = formats.encode("22b", 0xD8, (1, 2, -128))
+        assert formats.decode("22b", units, 0) == (1, 2, -128)
+
+    def test_22t_branch_offset(self):
+        units = formats.encode("22t", 0x32, (1, 2, -100))
+        assert formats.decode("22t", units, 0) == (1, 2, -100)
+
+    def test_30t_wide_branch(self):
+        units = formats.encode("30t", 0x2A, (-70000,))
+        assert formats.decode("30t", units, 0) == (-70000,)
+
+    def test_31i_full_word(self):
+        units = formats.encode("31i", 0x14, (7, -2**31))
+        assert formats.decode("31i", units, 0) == (7, -2**31)
+
+    def test_51l_long_literal(self):
+        value = -(2**63) + 12345
+        units = formats.encode("51l", 0x18, (3, value))
+        assert len(units) == 5
+        assert formats.decode("51l", units, 0) == (3, value)
+
+    def test_35c_register_list(self):
+        units = formats.encode("35c", 0x6E, (0x1234, 1, 2, 3))
+        index, *regs = formats.decode("35c", units, 0)
+        assert index == 0x1234
+        assert regs == [1, 2, 3]
+
+    def test_35c_five_registers(self):
+        units = formats.encode("35c", 0x6E, (7, 0, 1, 2, 3, 4))
+        assert formats.decode("35c", units, 0) == (7, 0, 1, 2, 3, 4)
+
+    def test_35c_zero_registers(self):
+        units = formats.encode("35c", 0x71, (9,))
+        assert formats.decode("35c", units, 0) == (9,)
+
+    def test_3rc_range(self):
+        units = formats.encode("3rc", 0x74, (0x55, 16, 6))
+        assert formats.decode("3rc", units, 0) == (0x55, 16, 6)
+
+
+class TestRangeChecks:
+    def test_12x_register_too_large(self):
+        with pytest.raises(DexEncodeError):
+            formats.encode("12x", _OP, (16, 0))
+
+    def test_11n_literal_out_of_range(self):
+        with pytest.raises(DexEncodeError):
+            formats.encode("11n", _OP, (0, 8))
+
+    def test_10t_branch_too_far(self):
+        with pytest.raises(DexEncodeError):
+            formats.encode("10t", _OP, (200,))
+
+    def test_35c_too_many_registers(self):
+        with pytest.raises(DexEncodeError):
+            formats.encode("35c", _OP, (0, 1, 2, 3, 4, 5, 6))
+
+    def test_35c_register_above_15(self):
+        with pytest.raises(DexEncodeError):
+            formats.encode("35c", _OP, (0, 16))
+
+    def test_unknown_format(self):
+        with pytest.raises(DexEncodeError):
+            formats.encode("99z", _OP, ())
+
+
+_FORMAT_STRATEGIES = {
+    "12x": st.tuples(st.integers(0, 15), st.integers(0, 15)),
+    "11n": st.tuples(st.integers(0, 15), st.integers(-8, 7)),
+    "11x": st.tuples(st.integers(0, 255)),
+    "10t": st.tuples(st.integers(-128, 127)),
+    "20t": st.tuples(st.integers(-32768, 32767)),
+    "22x": st.tuples(st.integers(0, 255), st.integers(0, 65535)),
+    "21t": st.tuples(st.integers(0, 255), st.integers(-32768, 32767)),
+    "21s": st.tuples(st.integers(0, 255), st.integers(-32768, 32767)),
+    "21c": st.tuples(st.integers(0, 255), st.integers(0, 65535)),
+    "23x": st.tuples(*(st.integers(0, 255),) * 3),
+    "22b": st.tuples(st.integers(0, 255), st.integers(0, 255),
+                     st.integers(-128, 127)),
+    "22t": st.tuples(st.integers(0, 15), st.integers(0, 15),
+                     st.integers(-32768, 32767)),
+    "22s": st.tuples(st.integers(0, 15), st.integers(0, 15),
+                     st.integers(-32768, 32767)),
+    "22c": st.tuples(st.integers(0, 15), st.integers(0, 15),
+                     st.integers(0, 65535)),
+    "32x": st.tuples(st.integers(0, 65535), st.integers(0, 65535)),
+    "30t": st.tuples(st.integers(-(2**31), 2**31 - 1)),
+    "31i": st.tuples(st.integers(0, 255), st.integers(-(2**31), 2**31 - 1)),
+    "31t": st.tuples(st.integers(0, 255), st.integers(-(2**31), 2**31 - 1)),
+    "31c": st.tuples(st.integers(0, 255), st.integers(0, 2**32 - 1)),
+    "3rc": st.tuples(st.integers(0, 65535), st.integers(0, 65535),
+                     st.integers(0, 255)),
+    "51l": st.tuples(st.integers(0, 255), st.integers(-(2**63), 2**63 - 1)),
+}
+
+
+@pytest.mark.parametrize("fmt", sorted(_FORMAT_STRATEGIES))
+def test_roundtrip_property(fmt):
+    strategy = _FORMAT_STRATEGIES[fmt]
+
+    @given(strategy)
+    def check(operands):
+        units = formats.encode(fmt, _OP, tuple(operands))
+        assert len(units) == formats.FORMAT_UNITS[fmt]
+        assert all(0 <= u <= 0xFFFF for u in units)
+        assert formats.decode(fmt, units, 0) == tuple(operands)
+
+    check()

@@ -1,0 +1,144 @@
+"""Instruction model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dex import OPCODES, Instruction, iter_instructions
+from repro.dex.opcodes import IndexKind, opcode_for
+from repro.errors import DexFormatError
+
+
+class TestMakeAndDecode:
+    def test_make_by_mnemonic(self):
+        ins = Instruction.make("const/4", 2, 5)
+        assert ins.name == "const/4"
+        assert ins.operands == (2, 5)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(DexFormatError):
+            Instruction.make("bogus-op", 0)
+
+    def test_decode_at_offset(self):
+        units = Instruction.make("nop").encode() + Instruction.make(
+            "const/16", 1, 300
+        ).encode()
+        ins = Instruction.decode_at(units, 1)
+        assert ins.name == "const/16"
+        assert ins.operands == (1, 300)
+
+    def test_encode_decode_identity(self):
+        for name, operands in [
+            ("move", (1, 2)),
+            ("return-void", ()),
+            ("if-eq", (3, 4, -10)),
+            ("goto/16", (400,)),
+            ("invoke-virtual", (9, 0, 1)),
+            ("add-int/lit8", (0, 1, 17)),
+            ("const-wide", (2, 2**40)),
+        ]:
+            ins = Instruction.make(name, *operands)
+            again = Instruction.decode_at(ins.encode(), 0)
+            assert again == ins
+
+
+class TestAccessors:
+    def test_branch_target_if(self):
+        assert Instruction.make("if-ge", 1, 2, 7).branch_target == 7
+
+    def test_branch_target_goto(self):
+        assert Instruction.make("goto", -3).branch_target == -3
+
+    def test_branch_target_switch(self):
+        assert Instruction.make("packed-switch", 0, 40).branch_target == 40
+
+    def test_branch_target_on_non_branch(self):
+        with pytest.raises(DexFormatError):
+            _ = Instruction.make("nop").branch_target
+
+    def test_with_branch_target(self):
+        ins = Instruction.make("if-ltz", 5, 2)
+        assert ins.with_branch_target(9).branch_target == 9
+        assert ins.with_branch_target(9).operands[0] == 5
+
+    def test_pool_index_21c(self):
+        assert Instruction.make("const-string", 0, 77).pool_index == 77
+
+    def test_pool_index_35c_leads(self):
+        assert Instruction.make("invoke-static", 12, 0).pool_index == 12
+
+    def test_with_pool_index(self):
+        ins = Instruction.make("sget-object", 0, 5)
+        assert ins.with_pool_index(6).pool_index == 6
+
+    def test_pool_index_on_plain_op(self):
+        with pytest.raises(DexFormatError):
+            _ = Instruction.make("add-int", 0, 1, 2).pool_index
+
+    def test_invoke_registers_35c(self):
+        ins = Instruction.make("invoke-virtual", 3, 4, 5, 6)
+        assert ins.invoke_registers == [4, 5, 6]
+
+    def test_invoke_registers_range(self):
+        ins = Instruction.make("invoke-virtual/range", 3, 10, 4)
+        assert ins.invoke_registers == [10, 11, 12, 13]
+
+    def test_literal(self):
+        assert Instruction.make("const/16", 0, -5).literal == -5
+        assert Instruction.make("add-int/lit8", 0, 1, 9).literal == 9
+
+
+class TestOpcodeProperties:
+    def test_every_opcode_has_format(self):
+        from repro.dex.formats import FORMAT_UNITS
+
+        for info in OPCODES.values():
+            assert info.fmt in FORMAT_UNITS
+
+    def test_branch_classification(self):
+        assert opcode_for("if-eq").is_conditional_branch
+        assert opcode_for("goto").is_branch
+        assert not opcode_for("goto").is_conditional_branch
+        assert opcode_for("packed-switch").is_switch
+        assert not opcode_for("nop").is_branch
+
+    def test_can_continue(self):
+        assert not opcode_for("return-void").can_continue
+        assert not opcode_for("throw").can_continue
+        assert not opcode_for("goto").can_continue
+        assert opcode_for("if-eq").can_continue
+        assert opcode_for("invoke-virtual").can_continue
+
+    def test_index_kinds(self):
+        assert opcode_for("const-string").index_kind is IndexKind.STRING
+        assert opcode_for("new-instance").index_kind is IndexKind.TYPE
+        assert opcode_for("iget").index_kind is IndexKind.FIELD
+        assert opcode_for("invoke-super").index_kind is IndexKind.METHOD
+        assert opcode_for("add-int").index_kind is IndexKind.NONE
+
+    def test_opcode_values_unique_and_byte_sized(self):
+        assert len({i.value for i in OPCODES.values()}) == len(OPCODES)
+        assert all(0 <= i.value <= 0xFF for i in OPCODES.values())
+
+
+class TestIterInstructions:
+    def test_linear_stream(self):
+        units = []
+        for name, ops in [("const/4", (0, 1)), ("const/4", (1, 2)),
+                          ("add-int", (2, 0, 1)), ("return", (2,))]:
+            units += Instruction.make(name, *ops).encode()
+        decoded = iter_instructions(units)
+        assert [ins.name for _pc, ins in decoded] == [
+            "const/4", "const/4", "add-int", "return"
+        ]
+        assert [pc for pc, _ in decoded] == [0, 1, 2, 4]
+
+    def test_payload_region_is_skipped(self):
+        from repro.dex.payloads import PackedSwitchPayload
+
+        switch = Instruction.make("packed-switch", 0, 4)
+        ret = Instruction.make("return-void")
+        units = switch.encode() + ret.encode()
+        units += PackedSwitchPayload(0, [4, 4]).encode()
+        names = [ins.name for _pc, ins in iter_instructions(units)]
+        assert names == ["packed-switch", "return-void"]

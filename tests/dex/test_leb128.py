@@ -1,0 +1,90 @@
+"""ULEB128 / SLEB128 codec tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dex.leb128 import (
+    decode_sleb128,
+    decode_uleb128,
+    decode_uleb128p1,
+    encode_sleb128,
+    encode_uleb128,
+    encode_uleb128p1,
+)
+from repro.errors import DexFormatError
+
+
+class TestUleb128:
+    def test_zero_is_single_byte(self):
+        assert encode_uleb128(0) == b"\x00"
+
+    def test_small_values_single_byte(self):
+        assert encode_uleb128(127) == b"\x7f"
+
+    def test_128_takes_two_bytes(self):
+        assert encode_uleb128(128) == b"\x80\x01"
+
+    def test_known_dex_spec_example(self):
+        # From the DEX format spec: 0x4040 encodes as c0 80 01? verify both ways
+        value, _ = decode_uleb128(b"\xc0\xbb\x78")
+        assert value == ((0x78 << 14) | (0x3B << 7) | 0x40)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DexFormatError):
+            encode_uleb128(-1)
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(DexFormatError):
+            decode_uleb128(b"\x80")
+
+    def test_overlong_rejected(self):
+        with pytest.raises(DexFormatError):
+            decode_uleb128(b"\x80\x80\x80\x80\x80\x80")
+
+    def test_decode_returns_new_offset(self):
+        data = encode_uleb128(300) + b"\xff"
+        value, offset = decode_uleb128(data)
+        assert value == 300
+        assert offset == 2
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, value):
+        encoded = encode_uleb128(value)
+        decoded, offset = decode_uleb128(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+
+class TestUleb128P1:
+    def test_minus_one_is_zero_byte(self):
+        assert encode_uleb128p1(-1) == b"\x00"
+
+    @given(st.integers(min_value=-1, max_value=2**31 - 1))
+    def test_roundtrip(self, value):
+        decoded, _ = decode_uleb128p1(encode_uleb128p1(value))
+        assert decoded == value
+
+
+class TestSleb128:
+    def test_zero(self):
+        assert encode_sleb128(0) == b"\x00"
+
+    def test_minus_one_single_byte(self):
+        assert encode_sleb128(-1) == b"\x7f"
+
+    def test_sign_extension_on_decode(self):
+        value, _ = decode_sleb128(encode_sleb128(-128))
+        assert value == -128
+
+    def test_positive_needing_extra_byte(self):
+        # 64 has bit 6 set -> needs a second byte to stay positive.
+        encoded = encode_sleb128(64)
+        assert len(encoded) == 2
+        value, _ = decode_sleb128(encoded)
+        assert value == 64
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_roundtrip(self, value):
+        decoded, offset = decode_sleb128(encode_sleb128(value))
+        assert decoded == value

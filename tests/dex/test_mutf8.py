@@ -1,0 +1,51 @@
+"""MUTF-8 codec tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dex.mutf8 import decode_mutf8, encode_mutf8
+
+
+class TestEncode:
+    def test_ascii_passthrough(self):
+        assert encode_mutf8("hello") == b"hello"
+
+    def test_nul_is_two_bytes(self):
+        assert encode_mutf8("\x00") == b"\xc0\x80"
+
+    def test_encoded_form_never_contains_nul(self):
+        text = "a\x00b c"
+        assert b"\x00" not in encode_mutf8(text)
+
+    def test_two_byte_sequence(self):
+        assert encode_mutf8("é") == "é".encode("utf-8")
+
+    def test_three_byte_sequence(self):
+        assert encode_mutf8("中") == "中".encode("utf-8")
+
+    def test_supplementary_uses_surrogate_pair(self):
+        encoded = encode_mutf8("\U0001f600")
+        # CESU-8: two 3-byte sequences instead of one 4-byte sequence.
+        assert len(encoded) == 6
+        assert encoded != "\U0001f600".encode("utf-8")
+
+
+class TestDecode:
+    def test_surrogate_pair_recombines(self):
+        assert decode_mutf8(encode_mutf8("\U0001f600")) == "\U0001f600"
+
+    def test_empty(self):
+        assert decode_mutf8(b"") == ""
+
+    def test_mixed_content(self):
+        text = "Lcom/test/Main;->run()V ü 中 \U00010000"
+        assert decode_mutf8(encode_mutf8(text)) == text
+
+    @given(st.text(max_size=200))
+    def test_roundtrip_any_text(self, text):
+        assert decode_mutf8(encode_mutf8(text)) == text
+
+    @given(st.text(alphabet=st.characters(min_codepoint=0x10000,
+                                          max_codepoint=0x10FFFF), max_size=20))
+    def test_roundtrip_supplementary_planes(self, text):
+        assert decode_mutf8(encode_mutf8(text)) == text

@@ -1,0 +1,112 @@
+"""Switch/array payload tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dex.payloads import (
+    FillArrayDataPayload,
+    PackedSwitchPayload,
+    SparseSwitchPayload,
+    decode_payload,
+    payload_unit_count,
+)
+
+
+class TestPackedSwitch:
+    def test_roundtrip(self):
+        payload = PackedSwitchPayload(-2, [10, 20, 30])
+        units = payload.encode()
+        again = PackedSwitchPayload.decode(units, 0)
+        assert again.first_key == -2
+        assert again.targets == [10, 20, 30]
+
+    def test_lookup_hit_and_miss(self):
+        payload = PackedSwitchPayload(5, [100, 200])
+        assert payload.lookup(5) == 100
+        assert payload.lookup(6) == 200
+        assert payload.lookup(7) is None
+        assert payload.lookup(4) is None
+
+    def test_unit_count_matches_encoding(self):
+        payload = PackedSwitchPayload(0, [1, 2, 3, 4])
+        assert len(payload.encode()) == payload.unit_count()
+
+    @given(st.integers(-2**31, 2**31 - 1),
+           st.lists(st.integers(-2**31, 2**31 - 1), max_size=20))
+    def test_roundtrip_property(self, first_key, targets):
+        units = PackedSwitchPayload(first_key, targets).encode()
+        again = PackedSwitchPayload.decode(units, 0)
+        assert (again.first_key, again.targets) == (first_key, targets)
+
+
+class TestSparseSwitch:
+    def test_roundtrip(self):
+        payload = SparseSwitchPayload([-5, 10, 999], [4, 8, 12])
+        again = SparseSwitchPayload.decode(payload.encode(), 0)
+        assert again.keys == [-5, 10, 999]
+        assert again.targets == [4, 8, 12]
+
+    def test_lookup(self):
+        payload = SparseSwitchPayload([7, 42], [1, 2])
+        assert payload.lookup(42) == 2
+        assert payload.lookup(8) is None
+
+    @given(st.lists(st.tuples(st.integers(-2**31, 2**31 - 1),
+                              st.integers(-2**31, 2**31 - 1)), max_size=15))
+    def test_roundtrip_property(self, pairs):
+        keys = [k for k, _ in pairs]
+        targets = [t for _, t in pairs]
+        again = SparseSwitchPayload.decode(
+            SparseSwitchPayload(keys, targets).encode(), 0
+        )
+        assert (again.keys, again.targets) == (keys, targets)
+
+
+class TestFillArrayData:
+    def test_roundtrip_bytes(self):
+        payload = FillArrayDataPayload(1, bytes([1, 2, 3]))
+        again = FillArrayDataPayload.decode(payload.encode(), 0)
+        assert again.data == bytes([1, 2, 3])
+        assert again.element_width == 1
+
+    def test_odd_byte_count_padding(self):
+        payload = FillArrayDataPayload(1, bytes([9, 8, 7]))
+        units = payload.encode()
+        assert len(units) == payload.unit_count()
+        again = FillArrayDataPayload.decode(units, 0)
+        assert again.data == bytes([9, 8, 7])
+
+    def test_elements_signed(self):
+        payload = FillArrayDataPayload(1, bytes([0xFF, 0x01]))
+        assert payload.elements(signed=True) == [-1, 1]
+        assert payload.elements(signed=False) == [255, 1]
+
+    def test_wide_elements(self):
+        values = [1, -1, 2**31 - 1]
+        raw = b"".join((v & 0xFFFFFFFF).to_bytes(4, "little") for v in values)
+        payload = FillArrayDataPayload(4, raw)
+        assert payload.elements() == values
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_property(self, data):
+        again = FillArrayDataPayload.decode(
+            FillArrayDataPayload(1, data).encode(), 0
+        )
+        assert again.data == data
+
+
+class TestDispatch:
+    def test_decode_payload_dispatches(self):
+        units = PackedSwitchPayload(0, [4]).encode()
+        assert isinstance(decode_payload(units, 0), PackedSwitchPayload)
+        units = SparseSwitchPayload([1], [2]).encode()
+        assert isinstance(decode_payload(units, 0), SparseSwitchPayload)
+
+    def test_payload_unit_count_matches(self):
+        for payload in (
+            PackedSwitchPayload(1, [2, 3]),
+            SparseSwitchPayload([4], [5]),
+            FillArrayDataPayload(2, b"abcd"),
+        ):
+            units = payload.encode()
+            assert payload_unit_count(units, 0) == len(units)

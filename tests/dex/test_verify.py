@@ -1,0 +1,144 @@
+"""Structural verifier negative tests."""
+
+import pytest
+
+from repro.dex import DexBuilder, assemble, verify_dex
+from repro.dex.instructions import Instruction
+from repro.dex.verify import assert_valid
+from repro.errors import VerificationError
+
+
+def _valid_dex():
+    return assemble("""
+.class public Lv/Ok;
+.super Ljava/lang/Object;
+.method public static f(I)I
+    .registers 3
+    const/4 v0, 1
+    add-int v0, v0, p0
+    return v0
+.end method
+""")
+
+
+class TestAcceptsValid:
+    def test_clean_file_has_no_problems(self):
+        dex = _valid_dex()
+        dex.canonicalize()
+        assert verify_dex(dex) == []
+
+    def test_assert_valid_passes(self):
+        dex = _valid_dex()
+        dex.canonicalize()
+        assert_valid(dex)
+
+
+class TestRejectsBroken:
+    def _method(self, dex):
+        return dex.class_defs[0].all_methods()[0]
+
+    def test_unsorted_string_pool(self):
+        dex = _valid_dex()
+        dex.canonicalize()
+        if len(dex.strings) >= 2:
+            dex.strings[0], dex.strings[1] = dex.strings[1], dex.strings[0]
+        problems = verify_dex(dex)
+        assert any("string pool" in p for p in problems)
+
+    def test_fall_off_end(self):
+        dex = _valid_dex()
+        dex.canonicalize()
+        method = self._method(dex)
+        # Drop the trailing return.
+        ret = Instruction.make("return", 0)
+        assert method.code.insns[-1:] == ret.encode()
+        method.code.insns = method.code.insns[:-1]
+        problems = verify_dex(dex)
+        assert any("fall off" in p for p in problems)
+
+    def test_branch_to_middle_of_instruction(self):
+        builder = DexBuilder()
+        cls = builder.add_class("Lv/Mid;")
+        mb = cls.method("f", "V", (), locals_count=2)
+        mb.const(0, 1000)  # const/16: 2 units
+        mb.label("x")
+        mb.ret_void()
+        mb.build()
+        dex = builder.build()
+        dex.canonicalize()
+        method = self._method(dex)
+        # Overwrite the return with a goto into the const/16's second unit.
+        goto = Instruction.make("goto", -1)
+        method.code.insns[2:3] = goto.encode()
+        problems = verify_dex(dex)
+        assert any("branch target" in p for p in problems)
+
+    def test_pool_index_out_of_range(self):
+        dex = _valid_dex()
+        dex.canonicalize()
+        method = self._method(dex)
+        bad = Instruction.make("const-string", 0, 9999).encode()
+        method.code.insns[0:1] = bad + [0]  # keep unit count stable-ish
+        # Re-pad: replace first const/4 (1 unit) with const-string (2 units)
+        # then drop one trailing unit to keep the return reachable.
+        method.code.insns = bad + method.code.insns[3:]
+        problems = verify_dex(dex)
+        assert any("out of range" in p for p in problems)
+
+    def test_register_out_of_bounds(self):
+        builder = DexBuilder()
+        cls = builder.add_class("Lv/Reg;")
+        mb = cls.method("f", "V", (), locals_count=2)
+        mb.raw("move", 0, 1)
+        mb.ret_void()
+        mb.build()
+        dex = builder.build()
+        dex.canonicalize()
+        method = self._method(dex)
+        method.code.registers_size = 1  # v1 now out of bounds
+        problems = verify_dex(dex)
+        assert any("registers" in p for p in problems)
+
+    def test_misaligned_handler(self):
+        dex = assemble("""
+.class public Lv/H;
+.super Ljava/lang/Object;
+.method public static f(I)I
+    .registers 3
+    :s
+    const/16 v0, 7
+    div-int v0, v0, p0
+    :e
+    return v0
+    :h
+    const/4 v0, -1
+    return v0
+    .catch Ljava/lang/ArithmeticException; {:s .. :e} :h
+.end method
+""")
+        dex.canonicalize()
+        method = dex.class_defs[0].all_methods()[0]
+        method.code.tries[0].handlers = [
+            (method.code.tries[0].handlers[0][0], 1)  # inside const/16
+        ]
+        problems = verify_dex(dex)
+        assert any("handler" in p for p in problems)
+
+    def test_assert_valid_raises(self):
+        dex = _valid_dex()
+        dex.canonicalize()
+        self._method(dex).code.insns = self._method(dex).code.insns[:-1]
+        with pytest.raises(VerificationError):
+            assert_valid(dex)
+
+    def test_empty_method_body(self):
+        builder = DexBuilder()
+        cls = builder.add_class("Lv/E;")
+        mb = cls.method("f", "V", (), locals_count=1)
+        mb.ret_void()
+        mb.build()
+        dex = builder.build()
+        dex.canonicalize()
+        dex.class_defs[0].all_methods()[0].code.insns = []
+        problems = verify_dex(dex)
+        assert any("empty" in p for p in problems)

@@ -1,0 +1,85 @@
+"""Experiment harness tests (scaled-down runs of each table/figure)."""
+
+import pytest
+
+from repro.benchsuite import droidbench_samples, sample_by_name
+from repro.harness import (
+    render_table,
+    run_fig5,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+
+def _subset(names):
+    return [sample_by_name(n) for n in names]
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [["1", "222"], ["33", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "table3", "fig5", "table4",
+            "table5", "table6", "table7", "fig6", "table8",
+        }
+
+
+class TestTable2Subset:
+    def test_dexlego_beats_original_on_hidden_samples(self):
+        samples = _subset([
+            "Direct0", "SelfMod0", "DynLoad0", "ReflectAdv0",
+            "UnreachableFlow0", "Benign0",
+        ])
+        result = run_table2(samples)
+        for tool in ("FlowDroid", "DroidSafe", "HornDroid"):
+            orig = result.extras["original"][tool]
+            dexlego = result.extras["dexlego"][tool]
+            assert dexlego.tp > orig.tp
+            assert dexlego.fp <= orig.fp
+        assert result.rows
+
+    def test_table3_dexhunter_fails_selfmod(self):
+        samples = _subset(["Direct0", "SelfMod0", "Benign0"])
+        result = run_table3(samples)
+        for tool in ("FlowDroid", "HornDroid"):
+            assert result.extras["dexhunter"][tool].tp == 1  # Direct0 only
+            assert result.extras["dexlego"][tool].tp == 2  # + SelfMod0
+
+    def test_fig5_gains_positive(self):
+        samples = _subset([
+            "Direct0", "Direct1", "SelfMod0", "DynLoad0",
+            "UnreachableFlow0", "Benign0", "Benign1",
+        ])
+        t2 = run_table2(samples)
+        t3 = run_table3(samples)
+        fig = run_fig5(t2, t3)
+        assert all(gain > 0 for gain in fig.extras["gains"].values())
+
+
+class TestTable4:
+    def test_matches_paper_rows_exactly(self):
+        result = run_table4()
+        by_sample = {row[0]: row for row in result.rows}
+        # (leak#, TD, TA, DexLego+HD) per the paper's Table IV.
+        assert by_sample["Button1"][1:] == [1, 0, 0, 1]
+        assert by_sample["Button3"][1:] == [2, 0, 0, 2]
+        assert by_sample["EmulatorDetection1"][1:] == [1, 0, 1, 1]
+        assert by_sample["ImplicitFlow1"][1:] == [2, 0, 0, 2]
+        assert by_sample["PrivateDataLeak3"][1:] == [2, 1, 1, 1]
+
+
+class TestTable5:
+    def test_packed_hidden_revealed_found(self):
+        result = run_table5(limit=2)
+        for row in result.rows:
+            package, _version, _set, _installs, original, revealed = row
+            assert original == 0, f"{package} leaked while packed"
+            assert revealed > 0, f"{package} not revealed"

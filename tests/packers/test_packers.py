@@ -1,0 +1,106 @@
+"""Packer tests: ciphers, shell behaviour, vendor matrix."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dex import read_dex
+from repro.errors import DexFormatError, PackerUnavailable
+from repro.packers import (
+    UNAVAILABLE_PACKERS,
+    WORKING_PACKERS,
+    BaiduPacker,
+    Qihoo360Packer,
+    RotateCipher,
+    StreamCipher,
+    XorCipher,
+)
+from repro.runtime import EMULATOR, AndroidRuntime, AppDriver
+
+from tests.conftest import build_simple_apk
+
+_KEYS = st.binary(min_size=1, max_size=16)
+
+
+class TestCiphers:
+    @pytest.mark.parametrize("cipher", [XorCipher, RotateCipher, StreamCipher])
+    def test_roundtrip_fixed(self, cipher):
+        data = bytes(range(256)) * 3
+        key = b"key-material"
+        assert cipher.decrypt(cipher.encrypt(data, key), key) == data
+
+    @pytest.mark.parametrize("cipher", [XorCipher, RotateCipher, StreamCipher])
+    def test_ciphertext_differs(self, cipher):
+        data = b"dex\n035\x00" + bytes(64)
+        assert cipher.encrypt(data, b"k3y") != data
+
+    @given(st.binary(max_size=300), _KEYS)
+    def test_xor_roundtrip_property(self, data, key):
+        assert XorCipher.decrypt(XorCipher.encrypt(data, key), key) == data
+
+    @given(st.binary(max_size=300), _KEYS)
+    def test_rotate_roundtrip_property(self, data, key):
+        assert RotateCipher.decrypt(RotateCipher.encrypt(data, key), key) == data
+
+    @given(st.binary(max_size=300), _KEYS)
+    def test_stream_roundtrip_property(self, data, key):
+        assert StreamCipher.decrypt(StreamCipher.encrypt(data, key), key) == data
+
+
+class TestShellStructure:
+    def test_payload_is_not_parseable_dex(self):
+        packed = Qihoo360Packer().pack(build_simple_apk("com.fix.p1"))
+        blob = packed.assets["qh360.bin"]
+        with pytest.raises(DexFormatError):
+            read_dex(blob, strict=False)
+
+    def test_shell_dex_hides_original_classes(self):
+        packed = Qihoo360Packer().pack(build_simple_apk("com.fix.p2"))
+        descriptors = packed.primary_dex.class_descriptors()
+        assert "Lcom/fix/Simple;" not in descriptors
+        assert any("StubActivity" in d for d in descriptors)
+
+    def test_packed_apk_is_small_class_count(self):
+        # The paper's §V-C screen: packed apps have few classes.
+        packed = Qihoo360Packer().pack(build_simple_apk("com.fix.p3"))
+        assert len(packed.primary_dex.class_defs) < 50
+
+    def test_main_activity_points_at_shell(self):
+        packed = Qihoo360Packer().pack(build_simple_apk("com.fix.p4"))
+        assert "shell" in packed.main_activity.lower() or "Stub" in packed.main_activity
+
+
+class TestPackedExecution:
+    @pytest.mark.parametrize("packer", WORKING_PACKERS, ids=lambda p: p.name)
+    def test_packed_app_behaves_like_original(self, packer):
+        apk = build_simple_apk(f"com.fix.exec.{packer.name.lower()}")
+        packed = packer.pack(apk)
+        runtime = AndroidRuntime()
+        driver = AppDriver(runtime, packed)
+        report = driver.run_standard_session()
+        assert report.launched and not report.crashed, report.crash_reason
+        # The shell proxies lifecycle into the real activity, which it
+        # keeps in its native_data slot.
+        real_activity = driver.activity.native_data
+        assert real_activity is not None, "shell never unpacked"
+        assert real_activity.klass.descriptor == "Lcom/fix/Simple;"
+        assert real_activity.fields[("Lcom/fix/Simple;", "total")] == 285
+
+    def test_baidu_refuses_on_emulator(self):
+        packed = BaiduPacker().pack(build_simple_apk("com.fix.antidebug"))
+        runtime = AndroidRuntime(device=EMULATOR)
+        report = AppDriver(runtime, packed).launch()
+        assert report.crashed
+        assert "anti-debug" in report.crash_reason
+
+    def test_unavailable_services_raise(self):
+        apk = build_simple_apk("com.fix.unavail")
+        for packer in UNAVAILABLE_PACKERS:
+            with pytest.raises(PackerUnavailable):
+                packer.pack(apk)
+
+    def test_pack_twice_is_deterministic_shape(self):
+        apk = build_simple_apk("com.fix.det")
+        a = Qihoo360Packer().pack(apk)
+        b = Qihoo360Packer().pack(build_simple_apk("com.fix.det"))
+        assert a.primary_dex.class_descriptors() == b.primary_dex.class_descriptors()

@@ -1,0 +1,225 @@
+"""APK container, app driver and self-modification primitives."""
+
+import pytest
+
+from repro.dex import assemble
+from repro.dex.instructions import Instruction
+from repro.errors import ReproError
+from repro.runtime import (
+    AndroidRuntime,
+    Apk,
+    AppDriver,
+    register_native_library,
+)
+
+from tests.conftest import build_simple_apk
+
+
+class TestApkContainer:
+    def test_bytes_roundtrip(self):
+        apk = build_simple_apk()
+        apk.assets["data/blob.bin"] = b"\x01\x02\x03"
+        again = Apk.from_bytes(apk.to_bytes())
+        assert again.package == apk.package
+        assert again.main_activity == apk.main_activity
+        assert again.assets["data/blob.bin"] == b"\x01\x02\x03"
+        assert len(again.dex_files) == 1
+
+    def test_clone_is_deep(self):
+        apk = build_simple_apk()
+        clone = apk.clone()
+        assert clone.primary_dex is not apk.primary_dex
+        assert clone.primary_dex.class_descriptors() == (
+            apk.primary_dex.class_descriptors()
+        )
+
+    def test_multi_dex_roundtrip(self):
+        apk = build_simple_apk()
+        second = assemble(".class public Lx/Extra;\n.super Ljava/lang/Object;")
+        apk.dex_files.append(second)
+        again = Apk.from_bytes(apk.to_bytes())
+        assert len(again.dex_files) == 2
+        assert again.dex_files[1].find_class("Lx/Extra;") is not None
+
+    def test_unknown_native_library_fails_on_install(self):
+        apk = build_simple_apk()
+        apk.native_libraries.append("lib-that-does-not-exist")
+        runtime = AndroidRuntime()
+        with pytest.raises(ReproError):
+            runtime.install_apk(apk)
+
+    def test_replace_primary_dex(self):
+        apk = build_simple_apk()
+        replacement = assemble(".class public Ln/New;\n.super Ljava/lang/Object;")
+        apk.replace_primary_dex(replacement)
+        assert apk.primary_dex.find_class("Ln/New;") is not None
+
+
+class TestAppDriver:
+    def test_launch_runs_lifecycle(self):
+        runtime = AndroidRuntime()
+        driver = AppDriver(runtime, build_simple_apk())
+        report = driver.launch()
+        assert report.launched
+        assert driver.activity.fields[("Lcom/fix/Simple;", "total")] == 285
+
+    def test_standard_session_delivers_clicks(self):
+        text = """
+.class public Lt/Click;
+.super Landroid/app/Activity;
+.field public static clicks:I = 0
+
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    const/16 v0, 5
+    invoke-virtual {p0, v0}, Lt/Click;->findViewById(I)Landroid/view/View;
+    move-result-object v0
+    invoke-virtual {v0, p0}, Landroid/view/View;->setOnClickListener(Landroid/view/View$OnClickListener;)V
+    return-void
+.end method
+
+.method public onClick(Landroid/view/View;)V
+    .registers 4
+    sget v0, Lt/Click;->clicks:I
+    add-int/lit8 v0, v0, 1
+    sput v0, Lt/Click;->clicks:I
+    return-void
+.end method
+"""
+        dex = assemble(text)
+        runtime = AndroidRuntime()
+        driver = AppDriver(runtime, Apk("t.click", "Lt/Click;", [dex]))
+        report = driver.run_standard_session()
+        assert report.launched
+        klass = runtime.class_linker.lookup("Lt/Click;")
+        # Standard session clicks every listener twice.
+        assert klass.statics["clicks"] == 2
+
+    def test_crash_is_reported_not_raised(self):
+        text = """
+.class public Lt/Boom;
+.super Landroid/app/Activity;
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 3
+    const/4 v0, 0
+    const/4 v1, 1
+    div-int v0, v1, v0
+    return-void
+.end method
+"""
+        runtime = AndroidRuntime()
+        driver = AppDriver(runtime, Apk("t.boom", "Lt/Boom;", [assemble(text)]))
+        report = driver.launch()
+        assert report.crashed
+        assert "ArithmeticException" in report.crash_reason
+
+
+class TestNativeContext:
+    def test_patch_code_changes_behavior(self):
+        text = """
+.class public Lt/Sm;
+.super Ljava/lang/Object;
+.method public static answer()I
+    .registers 2
+    const/16 v0, 111
+    return v0
+.end method
+.method public static native rewrite()V
+.end method
+"""
+
+        def rewrite(ctx):
+            patched = Instruction.make("const/16", 0, 222).encode()
+            ctx.patch_code("Lt/Sm;->answer()I", 0, patched)
+
+        register_native_library("libtest_sm", {"Lt/Sm;->rewrite()V": rewrite})
+        apk = Apk("t.sm", "Lt/Sm;", [assemble(text)],
+                  native_libraries=["libtest_sm"])
+        runtime = AndroidRuntime()
+        runtime.install_apk(apk)
+        assert runtime.call("Lt/Sm;->answer()I") == 111
+        runtime.call("Lt/Sm;->rewrite()V")
+        assert runtime.call("Lt/Sm;->answer()I") == 222
+
+    def test_find_invoke_pc_and_pool_index(self):
+        text = """
+.class public Lt/Fi;
+.super Ljava/lang/Object;
+.method public static a()V
+    .registers 1
+    invoke-static {}, Lt/Fi;->b()V
+    return-void
+.end method
+.method public static b()V
+    .registers 1
+    return-void
+.end method
+.method public static c()V
+    .registers 1
+    return-void
+.end method
+.method public static native probe()V
+.end method
+"""
+        results = {}
+
+        def probe(ctx):
+            results["pc"] = ctx.find_invoke_pc("Lt/Fi;->a()V", "b")
+            results["idx"] = ctx.method_pool_index("Lt/Fi;", "Lt/Fi;->c()V")
+
+        register_native_library("libtest_fi", {"Lt/Fi;->probe()V": probe})
+        runtime = AndroidRuntime()
+        runtime.install_apk(
+            Apk("t.fi", "Lt/Fi;", [assemble(text)], native_libraries=["libtest_fi"])
+        )
+        runtime.call("Lt/Fi;->probe()V")
+        assert results["pc"] == 0
+        dex = runtime.class_linker.lookup("Lt/Fi;").source_dex
+        assert dex.method_ref(results["idx"]).name == "c"
+
+    def test_unlinked_native_throws(self):
+        from repro.runtime.exceptions import VmThrow
+
+        text = """
+.class public Lt/Un;
+.super Ljava/lang/Object;
+.method public static native ghost()V
+.end method
+"""
+        runtime = AndroidRuntime()
+        runtime.install_apk(Apk("t.un", "Lt/Un;", [assemble(text)]))
+        with pytest.raises(VmThrow) as info:
+            runtime.call("Lt/Un;->ghost()V")
+        assert "UnsatisfiedLinkError" in str(info.value)
+
+
+class TestDynamicLoading:
+    def test_dexclassloader_from_assets(self):
+        payload = assemble("""
+.class public Lp/Plug;
+.super Ljava/lang/Object;
+.method public static ping()I
+    .registers 2
+    const/16 v0, 777
+    return v0
+.end method
+""")
+        from repro.dex import write_dex
+
+        text = """
+.class public Lt/Dl;
+.super Landroid/app/Activity;
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    new-instance v0, Ldalvik/system/DexClassLoader;
+    const-string v1, "plug.dex"
+    invoke-direct {v0, v1}, Ldalvik/system/DexClassLoader;-><init>(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+        apk = Apk("t.dl", "Lt/Dl;", [assemble(text)],
+                  assets={"plug.dex": write_dex(payload)})
+        runtime = AndroidRuntime()
+        AppDriver(runtime, apk).launch()
+        # Loaded class is callable afterwards.
+        assert runtime.call("Lp/Plug;->ping()I") == 777

@@ -1,0 +1,150 @@
+"""Class linker behaviour: lazy linking, init order, dynamic DEX."""
+
+import pytest
+
+from repro.dex import DexBuilder, assemble
+from repro.errors import ClassLinkError
+from repro.runtime import AndroidRuntime, Apk
+from repro.runtime.hooks import RuntimeListener
+
+
+class _LoadSpy(RuntimeListener):
+    def __init__(self):
+        self.loaded = []
+        self.initialized = []
+
+    def on_class_loaded(self, klass):
+        self.loaded.append(klass.descriptor)
+
+    def on_class_initialized(self, klass):
+        self.initialized.append(klass.descriptor)
+
+
+def _two_class_apk() -> Apk:
+    builder = DexBuilder()
+    assemble("""
+.class public Ll/A;
+.super Ljava/lang/Object;
+.method public static touch()V
+    .registers 1
+    return-void
+.end method
+""", builder)
+    assemble("""
+.class public Ll/B;
+.super Ljava/lang/Object;
+.field public static marker:I = 3
+.method public static touch()V
+    .registers 1
+    return-void
+.end method
+""", builder)
+    return Apk("l.two", "Ll/A;", [builder.dex])
+
+
+class TestLazyLinking:
+    def test_classes_link_on_first_use_only(self):
+        runtime = AndroidRuntime()
+        spy = _LoadSpy()
+        runtime.add_listener(spy)
+        runtime.install_apk(_two_class_apk())
+        assert spy.loaded == []  # registration does not link
+        runtime.call("Ll/A;->touch()V")
+        assert spy.loaded == ["Ll/A;"]
+        runtime.call("Ll/B;->touch()V")
+        assert spy.loaded == ["Ll/A;", "Ll/B;"]
+
+    def test_initialization_fires_once(self):
+        runtime = AndroidRuntime()
+        spy = _LoadSpy()
+        runtime.add_listener(spy)
+        runtime.install_apk(_two_class_apk())
+        runtime.call("Ll/B;->touch()V")
+        runtime.call("Ll/B;->touch()V")
+        assert spy.initialized.count("Ll/B;") == 1
+
+    def test_missing_class_raises(self):
+        runtime = AndroidRuntime()
+        with pytest.raises(ClassLinkError):
+            runtime.class_linker.lookup("Lno/Such;")
+
+    def test_superclass_initialized_first(self):
+        builder = DexBuilder()
+        assemble("""
+.class public Ll/Sup;
+.super Ljava/lang/Object;
+.field public static order:Ljava/lang/String; = "sup"
+.method static constructor <clinit>()V
+    .registers 1
+    return-void
+.end method
+""", builder)
+        assemble("""
+.class public Ll/Sub;
+.super Ll/Sup;
+.method public static touch()V
+    .registers 1
+    return-void
+.end method
+""", builder)
+        runtime = AndroidRuntime()
+        spy = _LoadSpy()
+        runtime.add_listener(spy)
+        runtime.install_apk(Apk("l.order", "Ll/Sub;", [builder.dex]))
+        runtime.call("Ll/Sub;->touch()V")
+        assert spy.initialized.index("Ll/Sup;") < spy.initialized.index("Ll/Sub;")
+
+    def test_boot_classes_have_no_source_dex(self):
+        runtime = AndroidRuntime()
+        klass = runtime.class_linker.lookup("Ljava/lang/String;")
+        assert klass.source_dex is None
+        assert runtime.class_linker.loaded_app_classes() == []
+
+    def test_array_class_synthesized(self):
+        runtime = AndroidRuntime()
+        klass = runtime.class_linker.lookup("[I")
+        assert klass.superclass.descriptor == "Ljava/lang/Object;"
+
+
+class TestDynamicRegistration:
+    def test_second_dex_registers_through_same_path(self):
+        runtime = AndroidRuntime()
+        spy = _LoadSpy()
+        runtime.add_listener(spy)
+        runtime.install_apk(_two_class_apk())
+        extra = assemble("""
+.class public Ll/Late;
+.super Ljava/lang/Object;
+.method public static touch()I
+    .registers 2
+    const/16 v0, 64
+    return v0
+.end method
+""")
+        runtime.class_linker.register_dex(extra)
+        assert runtime.call("Ll/Late;->touch()I") == 64
+        assert "Ll/Late;" in spy.loaded  # collected like any app class
+
+    def test_first_registration_wins_for_duplicate_descriptor(self):
+        runtime = AndroidRuntime()
+        first = assemble("""
+.class public Ll/Dup;
+.super Ljava/lang/Object;
+.method public static v()I
+    .registers 2
+    const/4 v0, 1
+    return v0
+.end method
+""")
+        second = assemble("""
+.class public Ll/Dup;
+.super Ljava/lang/Object;
+.method public static v()I
+    .registers 2
+    const/4 v0, 2
+    return v0
+.end method
+""")
+        runtime.class_linker.register_dex(first)
+        runtime.class_linker.register_dex(second)
+        assert runtime.call("Ll/Dup;->v()I") == 1

@@ -1,0 +1,196 @@
+"""Arithmetic semantics: Java int/long wrapping, division, shifts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime import AndroidRuntime, Apk
+from repro.dex import DexBuilder
+from repro.runtime.exceptions import VmThrow
+
+_I32 = st.integers(-(2**31), 2**31 - 1)
+_I64 = st.integers(-(2**63), 2**63 - 1)
+
+
+def _binop_runtime(op_name: str, wide: bool = False):
+    """Build a runtime exposing static `op(XX)X` for one binop."""
+    builder = DexBuilder()
+    cls = builder.add_class("Lt/Arith;")
+    if wide:
+        mb = cls.method("op", "J", ("J", "J"), access=0x9, locals_count=2)
+        mb.raw(op_name, 0, mb.p(0), mb.p(2))
+        mb.ret_wide(0)
+    else:
+        mb = cls.method("op", "I", ("I", "I"), access=0x9, locals_count=2)
+        mb.raw(op_name, 0, mb.p(0), mb.p(1))
+        mb.ret(0)
+    mb.build()
+    runtime = AndroidRuntime()
+    runtime.install_apk(Apk("t.arith", "Lt/Arith;", [builder.build()]))
+    return runtime
+
+
+def _wrap32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 2**32 if value >= 2**31 else value
+
+
+def _wrap64(value: int) -> int:
+    value &= 2**64 - 1
+    return value - 2**64 if value >= 2**63 else value
+
+
+class TestIntArithmetic:
+    @given(_I32, _I32)
+    def test_add_wraps(self, a, b):
+        runtime = _binop_runtime("add-int")
+        sig = "Lt/Arith;->op(II)I"
+        assert runtime.call(sig, a, b) == _wrap32(a + b)
+
+    @given(_I32, _I32)
+    def test_mul_wraps(self, a, b):
+        runtime = _binop_runtime("mul-int")
+        assert runtime.call("Lt/Arith;->op(II)I", a, b) == _wrap32(a * b)
+
+    @given(_I32, _I32.filter(lambda v: v != 0))
+    def test_div_truncates_toward_zero(self, a, b):
+        runtime = _binop_runtime("div-int")
+        expected = _wrap32(int(a / b)) if b != 0 else None
+        assert runtime.call("Lt/Arith;->op(II)I", a, b) == expected
+
+    @given(_I32, _I32.filter(lambda v: v != 0))
+    def test_rem_sign_follows_dividend(self, a, b):
+        runtime = _binop_runtime("rem-int")
+        import math
+        expected = _wrap32(a - int(a / b) * b)
+        assert runtime.call("Lt/Arith;->op(II)I", a, b) == expected
+
+    def test_div_by_zero_throws(self):
+        runtime = _binop_runtime("div-int")
+        with pytest.raises(VmThrow) as info:
+            runtime.call("Lt/Arith;->op(II)I", 1, 0)
+        assert "ArithmeticException" in str(info.value)
+
+    def test_int_min_div_minus_one(self):
+        runtime = _binop_runtime("div-int")
+        assert runtime.call("Lt/Arith;->op(II)I", -(2**31), -1) == -(2**31)
+
+    @given(_I32, st.integers(0, 63))
+    def test_shl_masks_shift(self, a, shift):
+        runtime = _binop_runtime("shl-int")
+        assert runtime.call("Lt/Arith;->op(II)I", a, shift) == _wrap32(
+            a << (shift & 31)
+        )
+
+    @given(_I32, st.integers(0, 63))
+    def test_ushr_zero_extends(self, a, shift):
+        runtime = _binop_runtime("ushr-int")
+        assert runtime.call("Lt/Arith;->op(II)I", a, shift) == _wrap32(
+            (a & 0xFFFFFFFF) >> (shift & 31)
+        )
+
+    @given(_I32, _I32)
+    def test_xor(self, a, b):
+        runtime = _binop_runtime("xor-int")
+        assert runtime.call("Lt/Arith;->op(II)I", a, b) == _wrap32(a ^ b)
+
+
+class TestLongArithmetic:
+    @given(_I64, _I64)
+    def test_add_long_wraps(self, a, b):
+        runtime = _binop_runtime("add-long", wide=True)
+        assert runtime.call("Lt/Arith;->op(JJ)J", a, b) == _wrap64(a + b)
+
+    @given(_I64, st.integers(0, 127))
+    def test_shl_long_masks_to_63(self, a, shift):
+        runtime = _binop_runtime("shl-long", wide=True)
+        # second operand is an int register in real dalvik; our op reads
+        # the low word of the second pair, which holds the full value.
+        assert runtime.call("Lt/Arith;->op(JJ)J", a, shift) == _wrap64(
+            a << (shift & 63)
+        )
+
+    def test_cmp_long(self):
+        builder = DexBuilder()
+        cls = builder.add_class("Lt/Cmp;")
+        mb = cls.method("c", "I", ("J", "J"), access=0x9, locals_count=1)
+        mb.raw("cmp-long", 0, mb.p(0), mb.p(2))
+        mb.ret(0)
+        mb.build()
+        runtime = AndroidRuntime()
+        runtime.install_apk(Apk("t.cmp", "Lt/Cmp;", [builder.build()]))
+        assert runtime.call("Lt/Cmp;->c(JJ)I", 1, 2) == -1
+        assert runtime.call("Lt/Cmp;->c(JJ)I", 2, 2) == 0
+        assert runtime.call("Lt/Cmp;->c(JJ)I", 3, 2) == 1
+
+
+class TestConversions:
+    def _unary_runtime(self, op: str, in_desc: str, out_desc: str):
+        builder = DexBuilder()
+        cls = builder.add_class("Lt/Conv;")
+        mb = cls.method("c", out_desc, (in_desc,), access=0x9, locals_count=2)
+        mb.raw(op, 0, mb.p(0))
+        if out_desc in ("J", "D"):
+            mb.ret_wide(0)
+        else:
+            mb.ret(0)
+        mb.build()
+        runtime = AndroidRuntime()
+        runtime.install_apk(Apk("t.conv", "Lt/Conv;", [builder.build()]))
+        return runtime
+
+    def test_int_to_byte_sign_extends(self):
+        runtime = self._unary_runtime("int-to-byte", "I", "I")
+        assert runtime.call("Lt/Conv;->c(I)I", 0x80) == -128
+        assert runtime.call("Lt/Conv;->c(I)I", 0x7F) == 127
+
+    def test_int_to_char_zero_extends(self):
+        runtime = self._unary_runtime("int-to-char", "I", "I")
+        assert runtime.call("Lt/Conv;->c(I)I", -1) == 0xFFFF
+
+    def test_int_to_short(self):
+        runtime = self._unary_runtime("int-to-short", "I", "I")
+        assert runtime.call("Lt/Conv;->c(I)I", 0x8000) == -32768
+
+    def test_double_to_int_saturates(self):
+        runtime = self._unary_runtime("double-to-int", "D", "I")
+        assert runtime.call("Lt/Conv;->c(D)I", 1e30) == 2**31 - 1
+        assert runtime.call("Lt/Conv;->c(D)I", -1e30) == -(2**31)
+
+    def test_nan_to_int_is_zero(self):
+        runtime = self._unary_runtime("double-to-int", "D", "I")
+        assert runtime.call("Lt/Conv;->c(D)I", float("nan")) == 0
+
+    def test_neg_int_min_wraps(self):
+        runtime = self._unary_runtime("neg-int", "I", "I")
+        assert runtime.call("Lt/Conv;->c(I)I", -(2**31)) == -(2**31)
+
+
+class TestFloatSemantics:
+    def test_float_div_by_zero_is_infinite(self):
+        builder = DexBuilder()
+        cls = builder.add_class("Lt/F;")
+        mb = cls.method("d", "D", ("D", "D"), access=0x9, locals_count=2)
+        mb.raw("div-double", 0, mb.p(0), mb.p(2))
+        mb.ret_wide(0)
+        mb.build()
+        runtime = AndroidRuntime()
+        runtime.install_apk(Apk("t.f", "Lt/F;", [builder.build()]))
+        assert runtime.call("Lt/F;->d(DD)D", 1.0, 0.0) == float("inf")
+        import math
+        assert math.isnan(runtime.call("Lt/F;->d(DD)D", 0.0, 0.0))
+
+    def test_cmpl_cmpg_nan_bias(self):
+        builder = DexBuilder()
+        cls = builder.add_class("Lt/N;")
+        for name, op in (("l", "cmpl-double"), ("g", "cmpg-double")):
+            mb = cls.method(name, "I", ("D", "D"), access=0x9, locals_count=1)
+            mb.raw(op, 0, mb.p(0), mb.p(2))
+            mb.ret(0)
+            mb.build()
+        runtime = AndroidRuntime()
+        runtime.install_apk(Apk("t.n", "Lt/N;", [builder.build()]))
+        nan = float("nan")
+        assert runtime.call("Lt/N;->l(DD)I", nan, 1.0) == -1
+        assert runtime.call("Lt/N;->g(DD)I", nan, 1.0) == 1
+        assert runtime.call("Lt/N;->l(DD)I", 2.0, 1.0) == 1

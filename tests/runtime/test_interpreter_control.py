@@ -1,0 +1,480 @@
+"""Control flow, arrays, fields, exceptions, wide values, switches."""
+
+import pytest
+
+from repro.errors import BudgetExceeded
+from repro.runtime import AndroidRuntime, Apk, VmString
+from repro.runtime.exceptions import VmThrow
+
+from tests.conftest import run_method
+
+
+class TestBranchesAndSwitches:
+    def test_packed_switch_dispatch(self, runtime):
+        smali = """
+.class public Lt/Sw;
+.super Ljava/lang/Object;
+.method public static pick(I)I
+    .registers 2
+    packed-switch p0, :t
+    const/4 v0, -1
+    return v0
+    :a
+    const/16 v0, 10
+    return v0
+    :b
+    const/16 v0, 20
+    return v0
+    :t
+    .packed-switch 5
+        :a
+        :b
+    .end packed-switch
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Sw;->pick(I)I", 5) == 10
+        assert runtime.call("Lt/Sw;->pick(I)I", 6) == 20
+        assert runtime.call("Lt/Sw;->pick(I)I", 7) == -1
+        assert runtime.call("Lt/Sw;->pick(I)I", 0) == -1
+
+    def test_sparse_switch_dispatch(self, runtime):
+        smali = """
+.class public Lt/Sp;
+.super Ljava/lang/Object;
+.method public static pick(I)I
+    .registers 2
+    sparse-switch p0, :t
+    const/4 v0, 0
+    return v0
+    :neg
+    const/4 v0, 1
+    return v0
+    :big
+    const/4 v0, 2
+    return v0
+    :t
+    .sparse-switch
+        -100 -> :neg
+        99999 -> :big
+    .end sparse-switch
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Sp;->pick(I)I", -100) == 1
+        assert runtime.call("Lt/Sp;->pick(I)I", 99999) == 2
+        assert runtime.call("Lt/Sp;->pick(I)I", 3) == 0
+
+    def test_loop_countdown(self, runtime):
+        smali = """
+.class public Lt/Loop;
+.super Ljava/lang/Object;
+.method public static sum(I)I
+    .registers 3
+    const/4 v0, 0
+    :head
+    if-lez p0, :done
+    add-int v0, v0, p0
+    add-int/lit8 p0, p0, -1
+    goto :head
+    :done
+    return v0
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Loop;->sum(I)I", 10) == 55
+
+    def test_infinite_loop_hits_budget(self):
+        runtime = AndroidRuntime(max_steps=5_000)
+        smali = """
+.class public Lt/Inf;
+.super Ljava/lang/Object;
+.method public static spin()V
+    .registers 1
+    :x
+    goto :x
+.end method
+"""
+        with pytest.raises(BudgetExceeded):
+            run_method(runtime, smali, "Lt/Inf;->spin()V")
+
+
+class TestArrays:
+    def test_fill_array_data_and_sum(self, runtime):
+        smali = """
+.class public Lt/Arr;
+.super Ljava/lang/Object;
+.method public static sum()I
+    .registers 5
+    const/4 v0, 4
+    new-array v1, v0, [I
+    fill-array-data v1, :data
+    const/4 v2, 0
+    const/4 v3, 0
+    :loop
+    if-ge v3, v0, :done
+    aget v4, v1, v3
+    add-int v2, v2, v4
+    add-int/lit8 v3, v3, 1
+    goto :loop
+    :done
+    return v2
+    :data
+    .array-data 4
+        10
+        20
+        -5
+        1000
+    .end array-data
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Arr;->sum()I") == 1025
+
+    def test_out_of_bounds_throws(self, runtime):
+        smali = """
+.class public Lt/Oob;
+.super Ljava/lang/Object;
+.method public static bad()I
+    .registers 3
+    const/4 v0, 2
+    new-array v1, v0, [I
+    const/4 v0, 5
+    aget v0, v1, v0
+    return v0
+.end method
+"""
+        with pytest.raises(VmThrow) as info:
+            run_method(runtime, smali, "Lt/Oob;->bad()I")
+        assert "ArrayIndexOutOfBounds" in str(info.value)
+
+    def test_null_array_throws_npe(self, runtime):
+        smali = """
+.class public Lt/Nul;
+.super Ljava/lang/Object;
+.method public static bad()I
+    .registers 3
+    const/4 v1, 0
+    array-length v0, v1
+    return v0
+.end method
+"""
+        with pytest.raises(VmThrow) as info:
+            run_method(runtime, smali, "Lt/Nul;->bad()I")
+        assert "NullPointerException" in str(info.value)
+
+    def test_negative_size_throws(self, runtime):
+        smali = """
+.class public Lt/Neg;
+.super Ljava/lang/Object;
+.method public static bad()V
+    .registers 3
+    const/4 v0, -1
+    new-array v1, v0, [I
+    return-void
+.end method
+"""
+        with pytest.raises(VmThrow) as info:
+            run_method(runtime, smali, "Lt/Neg;->bad()V")
+        assert "NegativeArraySize" in str(info.value)
+
+
+class TestExceptions:
+    def test_catch_typed_handler(self, runtime):
+        smali = """
+.class public Lt/Try;
+.super Ljava/lang/Object;
+.method public static guard(I)I
+    .registers 4
+    :s
+    const/16 v0, 100
+    div-int v0, v0, p0
+    :e
+    return v0
+    :h
+    const/4 v0, -1
+    return v0
+    .catch Ljava/lang/ArithmeticException; {:s .. :e} :h
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Try;->guard(I)I", 4) == 25
+        assert runtime.call("Lt/Try;->guard(I)I", 0) == -1
+
+    def test_catch_respects_hierarchy(self, runtime):
+        # ArithmeticException is caught by a RuntimeException handler.
+        smali = """
+.class public Lt/Hier;
+.super Ljava/lang/Object;
+.method public static guard()I
+    .registers 4
+    :s
+    const/4 v0, 0
+    const/16 v1, 9
+    div-int v0, v1, v0
+    :e
+    return v0
+    :h
+    const/16 v0, 77
+    return v0
+    .catch Ljava/lang/RuntimeException; {:s .. :e} :h
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Hier;->guard()I") == 77
+
+    def test_uncaught_propagates_to_caller_handler(self, runtime):
+        smali = """
+.class public Lt/Prop;
+.super Ljava/lang/Object;
+.method public static inner()V
+    .registers 2
+    const/4 v0, 0
+    const/4 v1, 1
+    div-int v0, v1, v0
+    return-void
+.end method
+
+.method public static outer()I
+    .registers 2
+    :s
+    invoke-static {}, Lt/Prop;->inner()V
+    :e
+    const/4 v0, 0
+    return v0
+    :h
+    const/4 v0, 1
+    return v0
+    .catchall {:s .. :e} :h
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Prop;->outer()I") == 1
+
+    def test_move_exception_carries_object(self, runtime):
+        smali = """
+.class public Lt/Msg;
+.super Ljava/lang/Object;
+.method public static msg()Ljava/lang/String;
+    .registers 4
+    :s
+    new-instance v0, Ljava/lang/IllegalStateException;
+    const-string v1, "boom-42"
+    invoke-direct {v0, v1}, Ljava/lang/IllegalStateException;-><init>(Ljava/lang/String;)V
+    throw v0
+    :e
+    const/4 v2, 0
+    return-object v2
+    :h
+    move-exception v2
+    invoke-virtual {v2}, Ljava/lang/IllegalStateException;->getMessage()Ljava/lang/String;
+    move-result-object v3
+    return-object v3
+    .catch Ljava/lang/IllegalStateException; {:s .. :e} :h
+.end method
+"""
+        result = run_method(runtime, smali, "Lt/Msg;->msg()Ljava/lang/String;")
+        assert isinstance(result, VmString)
+        assert result.value == "boom-42"
+
+    def test_tolerated_exception_continues(self):
+        runtime = AndroidRuntime(max_steps=100_000)
+        runtime.tolerate_exceptions = True
+        smali = """
+.class public Lt/Tol;
+.super Ljava/lang/Object;
+.method public static go()I
+    .registers 3
+    const/4 v0, 0
+    const/4 v1, 5
+    div-int v2, v1, v0
+    const/16 v2, 123
+    return v2
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Tol;->go()I") == 123
+
+
+class TestObjectsAndFields:
+    def test_instance_fields_roundtrip(self, runtime):
+        smali = """
+.class public Lt/Obj;
+.super Ljava/lang/Object;
+.field public x:I
+
+.method public <init>()V
+    .registers 1
+    invoke-direct {p0}, Ljava/lang/Object;-><init>()V
+    return-void
+.end method
+
+.method public static demo()I
+    .registers 3
+    new-instance v0, Lt/Obj;
+    invoke-direct {v0}, Lt/Obj;-><init>()V
+    const/16 v1, 41
+    iput v1, v0, Lt/Obj;->x:I
+    iget v1, v0, Lt/Obj;->x:I
+    add-int/lit8 v1, v1, 1
+    return v1
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Obj;->demo()I") == 41 + 1
+
+    def test_static_field_defaults_after_init(self, runtime):
+        smali = """
+.class public Lt/St;
+.super Ljava/lang/Object;
+.field public static seed:I = 9
+
+.method public static bump()I
+    .registers 2
+    sget v0, Lt/St;->seed:I
+    add-int/lit8 v0, v0, 1
+    sput v0, Lt/St;->seed:I
+    return v0
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/St;->bump()I") == 10
+        assert runtime.call("Lt/St;->bump()I") == 11
+
+    def test_clinit_runs_once_before_use(self, runtime):
+        smali = """
+.class public Lt/Cl;
+.super Ljava/lang/Object;
+.field public static v:I
+
+.method static constructor <clinit>()V
+    .registers 2
+    const/16 v0, 555
+    sput v0, Lt/Cl;->v:I
+    return-void
+.end method
+
+.method public static get()I
+    .registers 1
+    sget v0, Lt/Cl;->v:I
+    return v0
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Cl;->get()I") == 555
+
+    def test_instance_of_and_check_cast(self, runtime):
+        smali = """
+.class public Lt/Io;
+.super Ljava/lang/Object;
+.method public static probe(Ljava/lang/Object;)I
+    .registers 3
+    instance-of v0, p0, Ljava/lang/String;
+    return v0
+.end method
+"""
+        run_method(runtime, smali, "Lt/Io;->probe(Ljava/lang/Object;)I",
+                   VmString("x"))
+        assert runtime.call("Lt/Io;->probe(Ljava/lang/Object;)I", VmString("x")) == 1
+        assert runtime.call("Lt/Io;->probe(Ljava/lang/Object;)I", None) == 0
+
+    def test_wide_values_span_pairs(self, runtime):
+        smali = """
+.class public Lt/Wide;
+.super Ljava/lang/Object;
+.method public static mix(J)J
+    .registers 6
+    const-wide v0, 1000000000000
+    add-long v2, v0, p0
+    return-wide v2
+.end method
+"""
+        assert run_method(
+            runtime, smali, "Lt/Wide;->mix(J)J", 5
+        ) == 1000000000005
+
+
+class TestVirtualDispatch:
+    def test_override_wins(self, runtime):
+        smali = """
+.class public Lt/Base;
+.super Ljava/lang/Object;
+.method public <init>()V
+    .registers 1
+    invoke-direct {p0}, Ljava/lang/Object;-><init>()V
+    return-void
+.end method
+.method public tag()I
+    .registers 2
+    const/4 v0, 1
+    return v0
+.end method
+.method public static via(Lt/Base;)I
+    .registers 2
+    invoke-virtual {p0}, Lt/Base;->tag()I
+    move-result v0
+    return v0
+.end method
+"""
+        smali2 = """
+.class public Lt/Derived;
+.super Lt/Base;
+.method public <init>()V
+    .registers 1
+    invoke-direct {p0}, Lt/Base;-><init>()V
+    return-void
+.end method
+.method public tag()I
+    .registers 2
+    const/4 v0, 2
+    return v0
+.end method
+.method public static make()Lt/Derived;
+    .registers 1
+    new-instance v0, Lt/Derived;
+    invoke-direct {v0}, Lt/Derived;-><init>()V
+    return-object v0
+.end method
+"""
+        from repro.dex import DexBuilder, assemble
+
+        builder = DexBuilder()
+        assemble(smali, builder)
+        assemble(smali2, builder)
+        runtime.install_apk(Apk("t.vd", "Lt/Base;", [builder.dex]))
+        derived = runtime.call("Lt/Derived;->make()Lt/Derived;")
+        assert runtime.call("Lt/Base;->via(Lt/Base;)I", derived) == 2
+
+    def test_invoke_super(self, runtime):
+        from repro.dex import DexBuilder, assemble
+
+        builder = DexBuilder()
+        assemble("""
+.class public Lt/Sup;
+.super Ljava/lang/Object;
+.method public <init>()V
+    .registers 1
+    invoke-direct {p0}, Ljava/lang/Object;-><init>()V
+    return-void
+.end method
+.method public tag()I
+    .registers 2
+    const/16 v0, 10
+    return v0
+.end method
+""", builder)
+        assemble("""
+.class public Lt/Sub;
+.super Lt/Sup;
+.method public <init>()V
+    .registers 1
+    invoke-direct {p0}, Lt/Sup;-><init>()V
+    return-void
+.end method
+.method public tag()I
+    .registers 3
+    invoke-super {p0}, Lt/Sup;->tag()I
+    move-result v0
+    add-int/lit8 v0, v0, 1
+    return v0
+.end method
+.method public static demo()I
+    .registers 2
+    new-instance v0, Lt/Sub;
+    invoke-direct {v0}, Lt/Sub;-><init>()V
+    invoke-virtual {v0}, Lt/Sub;->tag()I
+    move-result v1
+    return v1
+.end method
+""", builder)
+        runtime.install_apk(Apk("t.sup", "Lt/Sup;", [builder.dex]))
+        assert runtime.call("Lt/Sub;->demo()I") == 11

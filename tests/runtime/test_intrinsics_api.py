@@ -1,0 +1,319 @@
+"""Framework intrinsics: strings, builders, collections, android APIs."""
+
+import pytest
+
+from repro.runtime import AndroidRuntime, Apk, EMULATOR, TABLET, VmString
+from repro.runtime.exceptions import VmThrow
+
+from tests.conftest import run_method
+
+
+class TestStringIntrinsics:
+    def test_equals_and_length(self, runtime):
+        smali = """
+.class public Lt/Str;
+.super Ljava/lang/Object;
+.method public static f(Ljava/lang/String;)I
+    .registers 4
+    const-string v0, "hello"
+    invoke-virtual {v0, p0}, Ljava/lang/String;->equals(Ljava/lang/Object;)Z
+    move-result v1
+    if-eqz v1, :no
+    invoke-virtual {v0}, Ljava/lang/String;->length()I
+    move-result v2
+    return v2
+    :no
+    const/4 v2, -1
+    return v2
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Str;->f(Ljava/lang/String;)I",
+                          VmString("hello")) == 5
+        assert runtime.call("Lt/Str;->f(Ljava/lang/String;)I",
+                            VmString("nope")) == -1
+
+    def test_concat_preserves_provenance(self, runtime):
+        tainted = VmString("secret", ("imei",))
+        smali = """
+.class public Lt/Cat;
+.super Ljava/lang/Object;
+.method public static f(Ljava/lang/String;)Ljava/lang/String;
+    .registers 3
+    const-string v0, "prefix:"
+    invoke-virtual {v0, p0}, Ljava/lang/String;->concat(Ljava/lang/String;)Ljava/lang/String;
+    move-result-object v1
+    return-object v1
+.end method
+"""
+        result = run_method(
+            runtime, smali, "Lt/Cat;->f(Ljava/lang/String;)Ljava/lang/String;",
+            tainted,
+        )
+        assert result.value == "prefix:secret"
+        assert "imei" in result.provenance
+
+    def test_stringbuilder_chain(self, runtime):
+        smali = """
+.class public Lt/Sb;
+.super Ljava/lang/Object;
+.method public static f(I)Ljava/lang/String;
+    .registers 5
+    new-instance v0, Ljava/lang/StringBuilder;
+    invoke-direct {v0}, Ljava/lang/StringBuilder;-><init>()V
+    const-string v1, "n="
+    invoke-virtual {v0, v1}, Ljava/lang/StringBuilder;->append(Ljava/lang/String;)Ljava/lang/StringBuilder;
+    invoke-virtual {v0, p0}, Ljava/lang/StringBuilder;->append(I)Ljava/lang/StringBuilder;
+    invoke-virtual {v0}, Ljava/lang/StringBuilder;->toString()Ljava/lang/String;
+    move-result-object v2
+    return-object v2
+.end method
+"""
+        result = run_method(runtime, smali, "Lt/Sb;->f(I)Ljava/lang/String;", 42)
+        assert result.value == "n=42"
+
+    def test_parse_int_and_format_error(self, runtime):
+        smali = """
+.class public Lt/Pi;
+.super Ljava/lang/Object;
+.method public static f(Ljava/lang/String;)I
+    .registers 3
+    :s
+    invoke-static {p0}, Ljava/lang/Integer;->parseInt(Ljava/lang/String;)I
+    move-result v0
+    :e
+    return v0
+    :h
+    const/4 v0, -1
+    return v0
+    .catch Ljava/lang/NumberFormatException; {:s .. :e} :h
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Pi;->f(Ljava/lang/String;)I",
+                          VmString("123")) == 123
+        assert runtime.call("Lt/Pi;->f(Ljava/lang/String;)I",
+                            VmString("xyz")) == -1
+
+    def test_string_hashcode_matches_java(self, runtime):
+        smali = """
+.class public Lt/Hc;
+.super Ljava/lang/Object;
+.method public static f()I
+    .registers 2
+    const-string v0, "Abc"
+    invoke-virtual {v0}, Ljava/lang/String;->hashCode()I
+    move-result v1
+    return v1
+.end method
+"""
+        # Java: "Abc".hashCode() == 65*31*31 + 98*31 + 99
+        assert run_method(runtime, smali, "Lt/Hc;->f()I") == (
+            65 * 31 * 31 + 98 * 31 + 99
+        )
+
+
+class TestCollections:
+    def test_arraylist_and_hashmap(self, runtime):
+        smali = """
+.class public Lt/Coll;
+.super Ljava/lang/Object;
+.method public static f()I
+    .registers 6
+    new-instance v0, Ljava/util/ArrayList;
+    invoke-direct {v0}, Ljava/util/ArrayList;-><init>()V
+    const-string v1, "a"
+    invoke-virtual {v0, v1}, Ljava/util/ArrayList;->add(Ljava/lang/Object;)Z
+    const-string v1, "b"
+    invoke-virtual {v0, v1}, Ljava/util/ArrayList;->add(Ljava/lang/Object;)Z
+    invoke-virtual {v0}, Ljava/util/ArrayList;->size()I
+    move-result v2
+    new-instance v3, Ljava/util/HashMap;
+    invoke-direct {v3}, Ljava/util/HashMap;-><init>()V
+    const-string v1, "k"
+    const-string v4, "val"
+    invoke-virtual {v3, v1, v4}, Ljava/util/HashMap;->put(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;
+    invoke-virtual {v3}, Ljava/util/HashMap;->size()I
+    move-result v5
+    add-int v2, v2, v5
+    return v2
+.end method
+"""
+        assert run_method(runtime, smali, "Lt/Coll;->f()I") == 3
+
+
+class TestAndroidApis:
+    def _leaky_apk(self) -> Apk:
+        from repro.dex import assemble
+
+        text = """
+.class public Lt/App;
+.super Landroid/app/Activity;
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    const-string v0, "phone"
+    invoke-virtual {p0, v0}, Lt/App;->getSystemService(Ljava/lang/String;)Ljava/lang/Object;
+    move-result-object v0
+    check-cast v0, Landroid/telephony/TelephonyManager;
+    invoke-virtual {v0}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;
+    move-result-object v1
+    const-string v0, "T"
+    invoke-static {v0, v1}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+"""
+        return Apk("t.app", "Lt/App;", [assemble(text)])
+
+    def test_source_taints_and_sink_records(self):
+        from repro.runtime import AppDriver
+
+        runtime = AndroidRuntime()
+        AppDriver(runtime, self._leaky_apk()).launch()
+        assert len(runtime.source_log) == 1
+        assert runtime.source_log[0].tag == "imei"
+        leaks = runtime.observed_leaks()
+        assert len(leaks) == 1
+        assert "imei" in leaks[0].provenance
+
+    def test_device_profile_feeds_sources(self):
+        from repro.runtime import AppDriver
+
+        runtime = AndroidRuntime(device=EMULATOR)
+        AppDriver(runtime, self._leaky_apk()).launch()
+        assert EMULATOR.imei in runtime.sink_log[0].argument_repr
+
+    def test_build_fields_reflect_device(self, runtime):
+        smali = """
+.class public Lt/Bl;
+.super Ljava/lang/Object;
+.method public static f()Ljava/lang/String;
+    .registers 2
+    sget-object v0, Landroid/os/Build;->HARDWARE:Ljava/lang/String;
+    return-object v0
+.end method
+"""
+        result = run_method(runtime, smali, "Lt/Bl;->f()Ljava/lang/String;")
+        assert result.value == "bullhead"  # NEXUS_5X default
+
+    def test_tablet_profile(self):
+        runtime = AndroidRuntime(device=TABLET)
+        smali = """
+.class public Lt/Tb;
+.super Ljava/lang/Object;
+.method public static f()Ljava/lang/String;
+    .registers 2
+    sget-object v0, Landroid/os/Build;->HARDWARE:Ljava/lang/String;
+    return-object v0
+.end method
+"""
+        assert run_method(
+            runtime, smali, "Lt/Tb;->f()Ljava/lang/String;"
+        ).value == "dragon"
+
+    def test_file_roundtrip_drops_provenance(self, runtime):
+        smali = """
+.class public Lt/Fs;
+.super Ljava/lang/Object;
+.method public static f(Ljava/lang/String;)[B
+    .registers 6
+    invoke-virtual {p0}, Ljava/lang/String;->getBytes()[B
+    move-result-object v0
+    new-instance v1, Ljava/io/FileOutputStream;
+    const-string v2, "/sdcard/t.bin"
+    invoke-direct {v1, v2}, Ljava/io/FileOutputStream;-><init>(Ljava/lang/String;)V
+    invoke-virtual {v1, v0}, Ljava/io/FileOutputStream;->write([B)V
+    new-instance v3, Ljava/io/FileInputStream;
+    invoke-direct {v3, v2}, Ljava/io/FileInputStream;-><init>(Ljava/lang/String;)V
+    const/16 v4, 32
+    new-array v4, v4, [B
+    invoke-virtual {v3, v4}, Ljava/io/FileInputStream;->read([B)I
+    return-object v4
+.end method
+"""
+        tainted = VmString("top-secret", ("imei",))
+        result = run_method(runtime, smali, "Lt/Fs;->f(Ljava/lang/String;)[B",
+                            tainted)
+        # Bytes made it through the filesystem...
+        text = bytes(b & 0xFF for b in result.elements[:10]).decode()
+        assert text == "top-secret"
+        # ...but provenance did not (the PrivateDataLeak3 mechanism).
+        assert not result.provenance
+
+    def test_missing_file_throws(self, runtime):
+        smali = """
+.class public Lt/Nf;
+.super Ljava/lang/Object;
+.method public static f()V
+    .registers 3
+    new-instance v0, Ljava/io/FileInputStream;
+    const-string v1, "/no/such/file"
+    invoke-direct {v0, v1}, Ljava/io/FileInputStream;-><init>(Ljava/lang/String;)V
+    return-void
+.end method
+"""
+        with pytest.raises(VmThrow) as info:
+            run_method(runtime, smali, "Lt/Nf;->f()V")
+        assert "FileNotFound" in str(info.value)
+
+
+class TestReflectionApis:
+    def test_forname_getmethod_invoke(self, runtime):
+        smali = """
+.class public Lt/Ref;
+.super Ljava/lang/Object;
+.method public static target(Ljava/lang/String;)Ljava/lang/String;
+    .registers 3
+    const-string v0, "got:"
+    invoke-virtual {v0, p0}, Ljava/lang/String;->concat(Ljava/lang/String;)Ljava/lang/String;
+    move-result-object v1
+    return-object v1
+.end method
+
+.method public static f()Ljava/lang/String;
+    .registers 8
+    const-string v0, "t.Ref"
+    invoke-static {v0}, Ljava/lang/Class;->forName(Ljava/lang/String;)Ljava/lang/Class;
+    move-result-object v1
+    const-string v2, "target"
+    invoke-virtual {v1, v2}, Ljava/lang/Class;->getMethod(Ljava/lang/String;)Ljava/lang/reflect/Method;
+    move-result-object v3
+    const/4 v4, 1
+    new-array v5, v4, [Ljava/lang/Object;
+    const/4 v4, 0
+    const-string v6, "ping"
+    aput-object v6, v5, v4
+    const/4 v6, 0
+    invoke-virtual {v3, v6, v5}, Ljava/lang/reflect/Method;->invoke(Ljava/lang/Object;[Ljava/lang/Object;)Ljava/lang/Object;
+    move-result-object v7
+    check-cast v7, Ljava/lang/String;
+    return-object v7
+.end method
+"""
+        result = run_method(runtime, smali, "Lt/Ref;->f()Ljava/lang/String;")
+        assert result.value == "got:ping"
+
+    def test_forname_missing_class_throws(self, runtime):
+        smali = """
+.class public Lt/Miss;
+.super Ljava/lang/Object;
+.method public static f()V
+    .registers 2
+    const-string v0, "no.such.Klass"
+    invoke-static {v0}, Ljava/lang/Class;->forName(Ljava/lang/String;)Ljava/lang/Class;
+    return-void
+.end method
+"""
+        with pytest.raises(VmThrow) as info:
+            run_method(runtime, smali, "Lt/Miss;->f()V")
+        assert "ClassNotFound" in str(info.value)
+
+    def test_reflective_hook_fires(self, runtime):
+        from repro.runtime.hooks import RuntimeListener
+
+        seen = []
+
+        class Spy(RuntimeListener):
+            def on_reflective_call(self, frame, target, receiver, args):
+                seen.append(target.ref.signature)
+
+        runtime.add_listener(Spy())
+        self.test_forname_getmethod_invoke(runtime)
+        assert seen == ["Lt/Ref;->target(Ljava/lang/String;)Ljava/lang/String;"]
