@@ -1,0 +1,35 @@
+# One-keystroke entry points for the tier-1 verify, the paper
+# benchmarks, and a dependency-free lint floor. Everything runs from
+# the repo root with src/ on the path — no install required.
+
+PYTHON ?= python
+PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-batch lint all help
+
+help:
+	@echo "make test        - tier-1 verify: full pytest suite (-x -q)"
+	@echo "make bench       - regenerate every paper table/figure (pytest-benchmark)"
+	@echo "make bench-batch - batch-service throughput: serial vs parallel, cold vs warm cache"
+	@echo "make lint        - byte-compile everything (syntax floor; uses pyflakes when present)"
+
+test:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+# bench_*.py does not match pytest's default collection pattern, so the
+# bench targets widen it explicitly.
+bench:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/ -o python_files='bench_*.py' --benchmark-only -s
+
+bench-batch:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_batch_throughput.py --benchmark-only -s
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
+		$(PYTHON) -m pyflakes src tests benchmarks examples; \
+	else \
+		echo "pyflakes not installed; compileall-only lint passed"; \
+	fi
+
+all: lint test

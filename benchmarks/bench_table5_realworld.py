@@ -3,6 +3,9 @@
 Paper shape: FlowDroid finds zero flows in every packed original; the
 revealed APKs expose 2-14 flows each (IMEI in all nine, location and
 SSID in several).
+
+The nine packed apps are revealed as one batch through the service
+layer; set ``DEXLEGO_WORKERS`` to parallelise the reveal phase.
 """
 
 from benchmarks.conftest import run_once

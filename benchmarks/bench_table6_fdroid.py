@@ -3,6 +3,10 @@
 Paper: five apps from 8,812 to 93,913 instructions with dump files from
 47 KB to 3.2 MB; dump size grows with code size but also depends on
 structure and coverage.
+
+The corpus collection runs through the batch service (collect-only
+jobs with a Sapienz drive); set ``DEXLEGO_WORKERS`` to parallelise.
+See ``bench_batch_throughput.py`` for the service's own numbers.
 """
 
 from benchmarks.conftest import run_once

@@ -18,6 +18,8 @@ Layer map (bottom-up):
 * :mod:`repro.benchsuite` — the DroidBench analogue (134 samples) and
   procedurally generated application corpora.
 * :mod:`repro.coverage` — coverage measurement, fuzzing, CF-Bench.
+* :mod:`repro.service` — corpus-scale batch reveal: worker pools,
+  content-addressed result cache, per-app outcomes, throughput stats.
 * :mod:`repro.harness` — one experiment runner per paper table/figure.
 
 Quickstart::
@@ -48,6 +50,7 @@ from repro.dex import (
 )
 from repro.errors import ReproError
 from repro.runtime import AndroidRuntime, Apk, AppDriver, register_native_library
+from repro.service import BatchRevealService, RevealJob, RevealOutcome
 
 __version__ = "1.0.0"
 
@@ -55,11 +58,14 @@ __all__ = [
     "AndroidRuntime",
     "Apk",
     "AppDriver",
+    "BatchRevealService",
     "DexBuilder",
     "DexFile",
     "DexLego",
     "DexLegoCollector",
     "ReproError",
+    "RevealJob",
+    "RevealOutcome",
     "RevealResult",
     "assemble",
     "disassemble",

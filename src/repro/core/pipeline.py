@@ -24,13 +24,31 @@ from repro.errors import BudgetExceeded, VmCrash
 from repro.runtime.apk import Apk
 from repro.runtime.art import AndroidRuntime
 from repro.runtime.device import NEXUS_5X, DeviceProfile
-from repro.runtime.events import AppDriver
+from repro.runtime.events import AppDriver, DriveReport
 from repro.runtime.exceptions import VmThrow
 
 
 @dataclass
 class RevealResult:
-    """Everything DexLego produced for one application."""
+    """Everything DexLego produced for one application.
+
+    Fields:
+
+    * ``revealed_apk`` — the repacked application whose ``classes.dex``
+      is the reassembled DEX (the artefact handed to static analyzers).
+    * ``reassembled_dex`` — the offline-reassembled DEX after a binary
+      round-trip and verification.
+    * ``archive`` — the collection files (Figure 2's five on-disk
+      intermediates plus reflection records).
+    * ``collector_stats`` — :meth:`DexLegoCollector.stats` snapshot:
+      classes/methods/instructions observed during the drive.
+    * ``force_report`` — force-execution iteration report when the code
+      coverage improvement module ran, else ``None``.
+    * ``crashed`` / ``crash_reason`` — the drive died with a VM crash or
+      uncaught application throw; collection up to that point is kept.
+    * ``budget_exhausted`` — the interpreter step budget expired before
+      the drive finished; the reveal covers only the executed prefix.
+    """
 
     revealed_apk: Apk
     reassembled_dex: DexFile
@@ -39,6 +57,7 @@ class RevealResult:
     force_report: ForceExecutionReport | None = None
     crashed: bool = False
     crash_reason: str = ""
+    budget_exhausted: bool = False
 
     @property
     def dump_size_bytes(self) -> int:
@@ -69,6 +88,7 @@ class DexLego:
         force_report = None
         crashed = False
         crash_reason = ""
+        budget_exhausted = False
         drive = drive or (lambda driver: driver.run_standard_session())
         if self.use_force_execution:
             engine = ForceExecutionEngine(
@@ -85,12 +105,20 @@ class DexLego:
             runtime.add_listener(collector)
             driver = AppDriver(runtime, apk)
             try:
-                drive(driver)
+                outcome = drive(driver)
             except BudgetExceeded:
-                pass
+                budget_exhausted = True
             except (VmCrash, VmThrow) as exc:
                 crashed = True
                 crash_reason = str(exc)
+            else:
+                # Drivers absorb VM failures into their DriveReport
+                # (run_standard_session and launch both do); fold those
+                # flags into the reveal result rather than losing them.
+                if isinstance(outcome, DriveReport):
+                    crashed = outcome.crashed
+                    crash_reason = outcome.crash_reason
+                    budget_exhausted = outcome.budget_exhausted
         partial = RevealResult(
             revealed_apk=apk,
             reassembled_dex=DexFile(),
@@ -99,6 +127,7 @@ class DexLego:
             force_report=force_report,
             crashed=crashed,
             crash_reason=crash_reason,
+            budget_exhausted=budget_exhausted,
         )
         return collector, partial
 

@@ -4,6 +4,14 @@ Every function *measures* — builds the corpus, runs the systems, and
 returns structured results plus a rendered table.  The benchmarks under
 ``benchmarks/`` and the CLI (``python -m repro.harness.runner``) are thin
 wrappers around these.
+
+All corpus reveals route through
+:class:`~repro.service.batch.BatchRevealService` rather than hand-rolled
+serial loops, so every experiment inherits worker-pool parallelism and
+content-addressed result caching.  Runners accept a ``workers`` keyword;
+when omitted, the process-wide default applies (``--workers`` on the
+CLI, or the ``DEXLEGO_WORKERS`` environment variable; serial otherwise),
+which keeps paper-faithful deterministic runs the default.
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from repro.benchsuite import (
     droidbench_samples,
     sample_by_name,
 )
-from repro.core import DexLego, ForceExecutionEngine
+from repro.core import ForceExecutionEngine
 from repro.coverage import (
     CoverageCollector,
     SapienzFuzzer,
@@ -39,9 +47,10 @@ from repro.coverage import (
     run_cfbench,
 )
 from repro.errors import PackerUnavailable
-from repro.harness.tables import percent, render_table
+from repro.harness.tables import human_size, percent, render_table
 from repro.packers import ALL_PACKERS
 from repro.runtime import EMULATOR, NEXUS_5X, AndroidRuntime, AppDriver
+from repro.service import BatchRevealService, RevealJob, RevealOutcome
 
 
 @dataclass
@@ -61,17 +70,40 @@ class ExperimentResult:
         return text
 
 
+def _revealed_apk(outcome: RevealOutcome):
+    """Unwrap a batch outcome, failing fast like the old serial loops."""
+    apk = outcome.revealed_apk
+    if apk is None:
+        raise RuntimeError(
+            f"reveal failed for {outcome.app_id}: "
+            f"{outcome.status} ({outcome.error})"
+        )
+    return apk
+
+
 # ---------------------------------------------------------------------------
 # Table I — packers on AOSP apps
 # ---------------------------------------------------------------------------
 
 
-def run_table1(quick: bool = False) -> ExperimentResult:
+def run_table1(quick: bool = False, workers: int | None = None) -> ExperimentResult:
     """Pack each AOSP app with each service; reveal; verify preservation."""
     apps = all_aosp_apps()
     if quick:
         apps = apps[:2]
     headers = ["Service"] + [f"{a.name} ({a.instruction_count})" for a in apps]
+
+    # Pack the full matrix up-front, then reveal it as one batch.
+    service = BatchRevealService(workers=workers)
+    jobs = [
+        RevealJob(f"{packer.name}/{app.name}", packer.pack(app.apk))
+        for packer in ALL_PACKERS if packer.available
+        for app in apps
+    ]
+    outcomes = {
+        o.app_id: o for o in service.reveal_batch(jobs).outcomes
+    }
+
     rows = []
     for packer in ALL_PACKERS:
         row = [packer.name]
@@ -83,10 +115,11 @@ def run_table1(quick: bool = False) -> ExperimentResult:
                 except PackerUnavailable:
                     row.append("unavailable")
                 continue
-            packed = packer.pack(app.apk)
-            result = DexLego().reveal(packed)
+            outcome = outcomes[f"{packer.name}/{app.name}"]
             original_graph = build_call_graph(app.apk.primary_dex)
-            revealed_graph = build_call_graph(result.reassembled_dex)
+            revealed_graph = build_call_graph(
+                _revealed_apk(outcome).primary_dex
+            )
             preserved = edges_preserved(original_graph, revealed_graph)
             row.append("OK" if preserved >= 0.999 else f"{preserved:.0%}")
         rows.append(row)
@@ -103,15 +136,19 @@ def run_table1(quick: bool = False) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def run_table2(samples=None) -> ExperimentResult:
+def run_table2(samples=None, workers: int | None = None) -> ExperimentResult:
     """Static tools on original vs DexLego-revealed DroidBench."""
     samples = samples if samples is not None else droidbench_samples()
     tools = all_tools()
     original = {t.name: Confusion() for t in tools}
     revealed_scores = {t.name: Confusion() for t in tools}
-    for sample in samples:
-        apk = sample.build_apk()
-        revealed = DexLego(device=sample.device).reveal(apk).revealed_apk
+    apks = [sample.build_apk() for sample in samples]
+    report = BatchRevealService(workers=workers).reveal_batch(
+        RevealJob(sample.name, apk, device=sample.device)
+        for sample, apk in zip(samples, apks)
+    )
+    for sample, apk, outcome in zip(samples, apks, report.outcomes):
+        revealed = _revealed_apk(outcome)
         for tool in tools:
             original[tool.name].record(sample.leaky, tool.analyze(apk).detected)
             revealed_scores[tool.name].record(
@@ -133,7 +170,8 @@ def run_table2(samples=None) -> ExperimentResult:
     )
 
 
-def run_table3(samples=None, packer=None) -> ExperimentResult:
+def run_table3(samples=None, packer=None,
+               workers: int | None = None) -> ExperimentResult:
     """Packed samples: DexHunter/AppSpear vs DexLego."""
     from repro.packers import Qihoo360Packer
 
@@ -145,11 +183,15 @@ def run_table3(samples=None, packer=None) -> ExperimentResult:
     dl_scores = {t.name: Confusion() for t in tools}
     dexhunter = DexHunterLike()
     appspear = AppSpearLike()
-    for sample in samples:
-        packed = packer.pack(sample.build_apk())
+    packed_apks = [packer.pack(sample.build_apk()) for sample in samples]
+    report = BatchRevealService(workers=workers).reveal_batch(
+        RevealJob(sample.name, packed, device=sample.device)
+        for sample, packed in zip(samples, packed_apks)
+    )
+    for sample, packed, outcome in zip(samples, packed_apks, report.outcomes):
         dh_apk = dexhunter.unpack(packed, drive=None).unpacked_apk
         as_apk = appspear.unpack(packed, drive=None).unpacked_apk
-        dl_apk = DexLego(device=sample.device).reveal(packed).revealed_apk
+        dl_apk = _revealed_apk(outcome)
         for tool in tools:
             dh_scores[tool.name].record(sample.leaky, tool.analyze(dh_apk).detected)
             as_scores[tool.name].record(sample.leaky, tool.analyze(as_apk).detected)
@@ -199,12 +241,17 @@ def run_fig5(table2: ExperimentResult | None = None,
 # ---------------------------------------------------------------------------
 
 
-def run_table4() -> ExperimentResult:
+def run_table4(workers: int | None = None) -> ExperimentResult:
     headers = ["Sample", "Leak #", "TD", "TA", "DexLego + HD"]
     rows = []
     hd = horndroid()
-    for name in TABLE_IV_SAMPLES:
-        sample = sample_by_name(name)
+    samples = [sample_by_name(name) for name in TABLE_IV_SAMPLES]
+    report = BatchRevealService(workers=workers).reveal_batch(
+        RevealJob(sample.name, sample.build_apk(), device=sample.device)
+        for sample in samples
+    )
+    for sample, outcome in zip(samples, report.outcomes):
+        name = sample.name
         ground_truth = {
             "Button1": 1, "Button3": 2, "EmulatorDetection1": 1,
             "ImplicitFlow1": 2, "PrivateDataLeak3": 2,
@@ -218,10 +265,7 @@ def run_table4() -> ExperimentResult:
             runtime.add_listener(tracker)
             AppDriver(runtime, sample.build_apk()).run_standard_session()
             detected[tracker.profile.name] = tracker.leak_count()
-        revealed = DexLego(device=sample.device).reveal(
-            sample.build_apk()
-        ).revealed_apk
-        flows = hd.analyze(revealed).flows
+        flows = hd.analyze(_revealed_apk(outcome)).flows
         dl_count = len({(f.source_tag, f.sink_signature) for f in flows})
         rows.append([name, ground_truth, detected["TaintDroid"],
                      detected["TaintART"], dl_count])
@@ -236,17 +280,20 @@ def run_table4() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def run_table5(limit: int | None = None) -> ExperimentResult:
+def run_table5(limit: int | None = None,
+               workers: int | None = None) -> ExperimentResult:
     headers = ["Package", "Version", "Set", "# Installs", "Original", "Revealed"]
     rows = []
     fd = flowdroid()
     apps = all_market_apps()
     if limit:
         apps = apps[:limit]
-    for app in apps:
+    report = BatchRevealService(workers=workers).reveal_batch(
+        RevealJob(app.package, app.packed_apk) for app in apps
+    )
+    for app, outcome in zip(apps, report.outcomes):
         original_flows = len(fd.analyze(app.packed_apk).flows)
-        revealed = DexLego().reveal(app.packed_apk).revealed_apk
-        revealed_flows = len(fd.analyze(revealed).flows)
+        revealed_flows = len(fd.analyze(_revealed_apk(outcome)).flows)
         rows.append([app.package, app.version, app.sample_set, app.installs,
                      original_flows, revealed_flows])
     return ExperimentResult(
@@ -262,21 +309,26 @@ def run_table5(limit: int | None = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def run_table6(limit: int | None = None) -> ExperimentResult:
+def run_table6(limit: int | None = None,
+               workers: int | None = None) -> ExperimentResult:
     headers = ["Package", "Version", "# Instructions", "Dump File Size"]
-    rows = []
     apps = all_fdroid_apps()
     if limit:
         apps = apps[:limit]
+    jobs = []
     for app in apps:
         fuzzer = SapienzFuzzer(population=8)
-        lego = DexLego()
-        collector, partial = lego.collect(
-            app.apk, drive=lambda d: fuzzer.drive(d.apk, d.runtime.listeners)
-        )
-        size = partial.archive.total_size_bytes()
-        rows.append([app.package, app.version, app.instruction_count,
-                     _human_size(size)])
+        jobs.append(RevealJob(
+            app.package, app.apk, collect_only=True,
+            drive=lambda d, f=fuzzer: f.drive(d.apk, d.runtime.listeners),
+            cache_salt="sapienz-pop8",
+        ))
+    report = BatchRevealService(workers=workers).reveal_batch(jobs)
+    rows = [
+        [app.package, app.version, app.instruction_count,
+         human_size(outcome.dump_size_bytes)]
+        for app, outcome in zip(apps, report.outcomes)
+    ]
     return ExperimentResult("Table VI: Samples from F-Droid", headers, rows)
 
 
@@ -375,12 +427,6 @@ def run_table8(launches: int = 30) -> ExperimentResult:
         headers, rows,
         notes="The paper reports roughly 2x launch-time slowdown.",
     )
-
-
-def _human_size(size: int) -> str:
-    if size >= 1 << 20:
-        return f"{size / (1 << 20):.2f} MB"
-    return f"{size / 1024:.2f} KB"
 
 
 ALL_EXPERIMENTS = {

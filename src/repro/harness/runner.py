@@ -1,10 +1,26 @@
 """Command-line entry: run paper experiments and print their tables.
 
+This is the reproduction's front door for the *scientific* artefacts:
+each experiment name maps to one table or figure of the DSN 2018 paper
+(see :mod:`repro.harness.experiments` for the registry), builds its
+corpus from :mod:`repro.benchsuite`, runs the systems under test, and
+prints the rendered table together with its wall-clock cost.
+
+Corpus reveals inside the experiments route through the batch service
+(:mod:`repro.service`), so ``--workers`` parallelises every experiment
+without changing its semantics — results are order-preserving and
+per-app, exactly as the serial loops produced them.
+
 Usage::
 
-    dexlego-repro                 # every experiment
-    dexlego-repro table2 fig5     # a subset
+    dexlego-repro                      # every experiment
+    dexlego-repro table2 fig5          # a subset
+    dexlego-repro --workers 4 table1   # parallel corpus reveal
     dexlego-repro --list
+
+For corpus-scale extraction *without* the paper's measurement harness
+(per-app outcome records, caching, throughput stats), use
+``python -m repro.service reveal-batch`` instead.
 """
 
 from __future__ import annotations
@@ -14,6 +30,7 @@ import sys
 import time
 
 from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.service import set_default_workers
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,6 +44,11 @@ def main(argv: list[str] | None = None) -> int:
              f"{', '.join(ALL_EXPERIMENTS)})",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-pool size for corpus reveals (default: serial, or "
+             "the DEXLEGO_WORKERS environment variable)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -39,6 +61,9 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+
+    if args.workers is not None:
+        set_default_workers(args.workers)
 
     for name in selected:
         start = time.time()

@@ -1,4 +1,18 @@
-"""Plain-text table rendering for the experiment harness."""
+"""Plain-text table rendering for the experiment harness.
+
+The harness renders every result the way the paper presents it: a
+titled, fixed-width table whose header row names the systems or corpora
+under comparison.  Three helpers cover all of them:
+
+* :func:`render_table` — the table itself (title, rule, aligned rows);
+* :func:`percent` — coverage-style cells (Table VII);
+* :func:`ratio` — slowdown/overhead cells (Figure 6, Table VIII);
+* :func:`human_size` — dump-file-size cells (Table VI, the batch CLI).
+
+This module is deliberately dependency-free (it sits *below* both the
+experiment runners and the service CLI) so anything in the repo can
+format a table without importing the harness package.
+"""
 
 from __future__ import annotations
 
@@ -29,3 +43,10 @@ def ratio(a: float, b: float) -> str:
     if b == 0:
         return "-"
     return f"{a / b:.1f}x"
+
+
+def human_size(size: int) -> str:
+    """KB/MB rendering in the paper's Table VI style."""
+    if size >= 1 << 20:
+        return f"{size / (1 << 20):.2f} MB"
+    return f"{size / 1024:.2f} KB"

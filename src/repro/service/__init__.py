@@ -1,0 +1,65 @@
+"""Batch reveal service: DexLego at corpus scale.
+
+Layer above :mod:`repro.core`: where the core pipeline reveals *one*
+application, this package reveals *corpora* — the consumer posture of
+the paper's evaluation (markets, app stores, analysis fleets):
+
+* :class:`~repro.service.batch.BatchRevealService` — worker-pool
+  execution (thread / process / serial) with per-app crash isolation
+* :class:`~repro.service.cache.RevealCache` — content-addressed result
+  cache keyed on DEX checksum × pipeline-config hash
+* :class:`~repro.service.outcomes.RevealOutcome` — uniform per-app
+  records (ok / crashed / budget-exceeded / verify-failed / error)
+* :class:`~repro.service.stats.BatchReport` — aggregate throughput
+  (apps/sec, cache hit rate, p50/p95 latency)
+* ``python -m repro.service`` — the batch CLI
+"""
+
+from repro.service.batch import (
+    BACKENDS,
+    BatchRevealService,
+    RevealJob,
+    default_worker_count,
+    set_default_workers,
+)
+from repro.service.cache import (
+    RevealCache,
+    apk_content_key,
+    pipeline_config_key,
+    reveal_cache_key,
+)
+from repro.service.outcomes import (
+    ALL_STATUSES,
+    CACHEABLE_STATUSES,
+    STATUS_BUDGET_EXCEEDED,
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_VERIFY_FAILED,
+    RevealOutcome,
+    classify_result,
+)
+from repro.service.stats import BatchReport, percentile
+
+__all__ = [
+    "ALL_STATUSES",
+    "BACKENDS",
+    "BatchReport",
+    "BatchRevealService",
+    "CACHEABLE_STATUSES",
+    "RevealCache",
+    "RevealJob",
+    "RevealOutcome",
+    "STATUS_BUDGET_EXCEEDED",
+    "STATUS_CRASHED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_VERIFY_FAILED",
+    "apk_content_key",
+    "classify_result",
+    "default_worker_count",
+    "percentile",
+    "pipeline_config_key",
+    "reveal_cache_key",
+    "set_default_workers",
+]

@@ -1,0 +1,6 @@
+"""Module entry point: ``python -m repro.service reveal-batch ...``."""
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

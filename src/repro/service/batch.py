@@ -1,0 +1,360 @@
+"""BatchRevealService: corpus-scale reveal with workers and caching.
+
+The paper evaluates DexLego one application at a time; its consumers
+(static analyzers scanning markets, unpacking services, CI pipelines)
+run it over *corpora*.  This module is that production posture:
+
+* a :class:`RevealJob` names one application plus its per-app knobs
+  (device profile, drive callable, collect-only mode),
+* :class:`BatchRevealService` fans jobs across a ``concurrent.futures``
+  pool — thread-backed by default, process-backed for CPU-bound fleets,
+  or serial for debugging — with every job isolated so one crashing APK
+  produces an ``error`` record instead of aborting the batch,
+* results flow through the content-addressed
+  :class:`~repro.service.cache.RevealCache`, so re-running a corpus only
+  pays for apps whose bytes or pipeline configuration changed,
+* the returned :class:`~repro.service.stats.BatchReport` preserves
+  submission order and carries throughput aggregates (apps/sec, cache
+  hit rate, p50/p95 latency).
+
+Backend notes
+-------------
+
+The ``process`` backend serialises each APK to bytes and rebuilds the
+pipeline in the worker, so it only ships jobs it can reconstruct there:
+no ``drive`` callable (closures do not pickle) and a device profile
+from the built-in registry; other jobs transparently run in the parent
+while the pool works.  On platforms whose process start method is not
+``fork``, registered native libraries are not inherited by workers —
+thread remains the safe default everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.pipeline import DexLego
+from repro.errors import VerificationError
+from repro.runtime.apk import Apk
+from repro.runtime.device import EMULATOR, NEXUS_5X, TABLET, DeviceProfile
+from repro.service.cache import RevealCache, reveal_cache_key
+from repro.service.outcomes import (
+    STATUS_ERROR,
+    STATUS_VERIFY_FAILED,
+    RevealOutcome,
+    classify_result,
+)
+from repro.service.stats import BatchReport
+
+BACKENDS = ("thread", "process", "serial")
+
+_DEVICES_BY_NAME = {d.name: d for d in (NEXUS_5X, EMULATOR, TABLET)}
+
+#: Environment override consulted when a service (or experiment runner)
+#: does not pin a worker count; also settable via :func:`set_default_workers`.
+WORKERS_ENV_VAR = "DEXLEGO_WORKERS"
+
+_default_workers: int | None = None
+
+
+def set_default_workers(count: int | None) -> None:
+    """Process-wide default worker count (the runner's ``--workers``)."""
+    global _default_workers
+    _default_workers = count
+
+
+def default_worker_count() -> int:
+    """Resolved default: explicit setting, else env var, else serial."""
+    if _default_workers is not None:
+        return max(1, _default_workers)
+    env = os.environ.get(WORKERS_ENV_VAR, "")
+    try:
+        return max(1, int(env))
+    except ValueError:
+        return 1
+
+
+@dataclass
+class RevealJob:
+    """One unit of batch work.
+
+    Fields:
+
+    * ``app_id`` — identifier the outcome is reported under.
+    * ``apk`` — the application to reveal.
+    * ``device`` — per-job device profile override (DroidBench samples
+      pin emulator vs. handset identity); ``None`` uses the service's.
+    * ``drive`` — optional drive callable forwarded to the pipeline
+      (e.g. a fuzzer); jobs with a drive are not cacheable unless they
+      also set ``cache_salt``, because the cache cannot fingerprint a
+      callable.
+    * ``collect_only`` — run only the JIT-collection half (Table VI's
+      dump-size measurements) and skip reassembly.
+    * ``cache_salt`` — extra key material identifying the drive/workload.
+    """
+
+    app_id: str
+    apk: Apk
+    device: DeviceProfile | None = None
+    drive: Callable | None = None
+    collect_only: bool = False
+    cache_salt: str = ""
+
+    @property
+    def cacheable(self) -> bool:
+        return self.drive is None or bool(self.cache_salt)
+
+
+class BatchRevealService:
+    """Parallel, cached collect→reassemble→verify over an APK corpus."""
+
+    def __init__(
+        self,
+        *,
+        device: DeviceProfile = NEXUS_5X,
+        use_force_execution: bool = False,
+        run_budget: int = 2_000_000,
+        force_iterations: int = 25,
+        workers: int | None = None,
+        backend: str = "thread",
+        cache: RevealCache | None = None,
+        cache_dir: str | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend {backend!r} not one of {BACKENDS}")
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache or cache_dir, not both")
+        self.device = device
+        self.use_force_execution = use_force_execution
+        self.run_budget = run_budget
+        self.force_iterations = force_iterations
+        self.workers = max(1, workers) if workers is not None \
+            else default_worker_count()
+        self.backend = backend
+        self.cache = cache if cache is not None else RevealCache(cache_dir)
+
+    # -- pipeline construction ---------------------------------------------
+
+    def pipeline_for(self, job: RevealJob) -> DexLego:
+        """A fresh, job-private pipeline (runtimes are never shared)."""
+        return DexLego(
+            device=job.device or self.device,
+            use_force_execution=self.use_force_execution,
+            run_budget=self.run_budget,
+            force_iterations=self.force_iterations,
+        )
+
+    def job_cache_key(self, job: RevealJob) -> str:
+        salt = job.cache_salt
+        if job.collect_only:
+            salt += "|collect-only"
+        return reveal_cache_key(job.apk, self.pipeline_for(job), salt)
+
+    # -- single job ---------------------------------------------------------
+
+    def reveal_one(self, job: RevealJob | Apk) -> RevealOutcome:
+        """Run (or fetch) one job; never raises for per-app failures."""
+        job = self._coerce(job)
+        key = self.job_cache_key(job) if job.cacheable else ""
+        cached = self._lookup(job, key)
+        if cached is not None:
+            return cached
+        outcome = self._run_job(job, key)
+        self._store(job, outcome)
+        return outcome
+
+    # -- batch --------------------------------------------------------------
+
+    def reveal_batch(self, jobs: Iterable[RevealJob | Apk]) -> BatchReport:
+        """Run a corpus; outcomes come back in submission order."""
+        job_list = [self._coerce(j) for j in jobs]
+        started = time.perf_counter()
+        outcomes: list[RevealOutcome | None] = [None] * len(job_list)
+
+        # The key hashes every DEX and asset — compute it once per job.
+        pending: list[tuple[int, RevealJob, str]] = []
+        for index, job in enumerate(job_list):
+            key = self.job_cache_key(job) if job.cacheable else ""
+            cached = self._lookup(job, key)
+            if cached is not None:
+                outcomes[index] = cached
+            else:
+                pending.append((index, job, key))
+
+        if pending:
+            if self.backend == "serial" or self.workers <= 1 or len(pending) == 1:
+                for index, job, key in pending:
+                    outcomes[index] = self._run_job(job, key)
+            else:
+                self._run_pool(pending, outcomes)
+            for index, job, _key in pending:
+                self._store(job, outcomes[index])
+
+        return BatchReport(
+            outcomes=[o for o in outcomes if o is not None],
+            wall_time_s=time.perf_counter() - started,
+            workers=self.workers,
+            backend=self.backend,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _coerce(job: RevealJob | Apk) -> RevealJob:
+        if isinstance(job, RevealJob):
+            return job
+        return RevealJob(app_id=job.package, apk=job)
+
+    def _lookup(self, job: RevealJob, key: str) -> RevealOutcome | None:
+        if not job.cacheable:
+            return None
+        cached = self.cache.get(key)
+        if cached is not None:
+            cached.app_id = job.app_id  # key is content-addressed, not name-addressed
+        return cached
+
+    def _store(self, job: RevealJob, outcome: RevealOutcome | None) -> None:
+        if outcome is not None and job.cacheable and not outcome.cache_hit:
+            self.cache.put(outcome.cache_key, outcome)
+
+    def _run_pool(
+        self,
+        pending: Sequence[tuple[int, RevealJob, str]],
+        outcomes: list[RevealOutcome | None],
+    ) -> None:
+        max_workers = min(self.workers, len(pending))
+        executor: Executor
+        local: list[tuple[int, RevealJob, str]] = []
+        if self.backend == "process":
+            executor = ProcessPoolExecutor(max_workers=max_workers)
+            shippable = [entry for entry in pending
+                         if self._process_safe(entry[1])]
+            local = [entry for entry in pending
+                     if not self._process_safe(entry[1])]
+        else:
+            executor = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="reveal"
+            )
+            shippable = list(pending)
+        with executor:
+            futures = {}
+            for index, job, key in shippable:
+                if self.backend == "process":
+                    future = executor.submit(
+                        _process_reveal,
+                        job.app_id,
+                        job.apk.to_bytes(),
+                        self._config_tuple(job),
+                        job.collect_only,
+                        key,
+                    )
+                else:
+                    future = executor.submit(self._run_job, job, key)
+                futures[future] = (index, job, key)
+            # Jobs the process backend cannot pickle (custom drive,
+            # unregistered device) run in the parent while the pool works.
+            for index, job, key in local:
+                outcomes[index] = self._run_job(job, key)
+            for future, (index, job, key) in futures.items():
+                try:
+                    outcomes[index] = future.result()
+                except Exception as exc:  # worker death must not kill the batch
+                    outcomes[index] = RevealOutcome(
+                        app_id=job.app_id,
+                        status=STATUS_ERROR,
+                        error=f"{type(exc).__name__}: {exc}",
+                        cache_key=key,
+                    )
+
+    def _config_tuple(self, job: RevealJob) -> tuple:
+        device = job.device or self.device
+        return (
+            device.name,
+            self.use_force_execution,
+            self.run_budget,
+            self.force_iterations,
+        )
+
+    def _process_safe(self, job: RevealJob) -> bool:
+        """Can this job ship to a process worker?  No closures, and a
+        device profile the worker can rebuild from its registry."""
+        device = job.device or self.device
+        return job.drive is None and _DEVICES_BY_NAME.get(device.name) == device
+
+    def _run_job(self, job: RevealJob, key: str = "") -> RevealOutcome:
+        lego = self.pipeline_for(job)
+        started = time.perf_counter()
+        try:
+            if job.collect_only:
+                _collector, result = lego.collect(job.apk, drive=job.drive)
+            else:
+                result = lego.reveal(job.apk, drive=job.drive)
+            status = classify_result(result)
+        except VerificationError as exc:
+            return RevealOutcome(
+                app_id=job.app_id,
+                status=STATUS_VERIFY_FAILED,
+                latency_s=time.perf_counter() - started,
+                error=str(exc),
+                cache_key=key,
+            )
+        except Exception as exc:
+            return RevealOutcome(
+                app_id=job.app_id,
+                status=STATUS_ERROR,
+                latency_s=time.perf_counter() - started,
+                error="".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip(),
+                cache_key=key,
+            )
+        return RevealOutcome(
+            app_id=job.app_id,
+            status=status,
+            latency_s=time.perf_counter() - started,
+            dump_size_bytes=result.dump_size_bytes,
+            collector_stats=result.collector_stats,
+            error=result.crash_reason,
+            cache_key=key,
+            result=result,
+        )
+
+
+def _process_reveal(
+    app_id: str,
+    apk_bytes: bytes,
+    config: tuple,
+    collect_only: bool,
+    cache_key: str,
+) -> RevealOutcome:
+    """Module-level worker body for the process backend.
+
+    Rebuilds the APK and pipeline from picklable primitives and returns
+    a slim outcome (serialised revealed APK, no live result object).
+    """
+    device_name, use_force, run_budget, force_iterations = config
+    device = _DEVICES_BY_NAME.get(device_name, NEXUS_5X)
+    service = BatchRevealService(
+        device=device,
+        use_force_execution=use_force,
+        run_budget=run_budget,
+        force_iterations=force_iterations,
+        workers=1,
+        backend="serial",
+    )
+    job = RevealJob(app_id=app_id, apk=Apk.from_bytes(apk_bytes),
+                    collect_only=collect_only)
+    outcome = service._run_job(job)
+    outcome.cache_key = cache_key
+    # Strip the live result: ship the serialised revealed APK instead.
+    if outcome.result is not None:
+        revealed = outcome.result.revealed_apk
+        if revealed is not None and revealed.dex_files:
+            outcome.revealed_apk_bytes = revealed.to_bytes()
+        outcome.result = None
+    return outcome

@@ -1,0 +1,207 @@
+"""Content-addressed result cache for revealed applications.
+
+Re-running a corpus is the common case — a new pipeline version, a new
+downstream analysis, a crashed batch resumed — and reveal latency is
+dominated by driving the app inside the instrumented runtime.  The cache
+makes the second run nearly free: a record is keyed on *what was
+analysed* (the APK's DEX payload) and *how* (the pipeline configuration),
+so any byte-level change to either misses cleanly.
+
+Key construction
+----------------
+
+``reveal_cache_key`` = SHA-256 over:
+
+* each DEX file's serialised bytes (which embed the header's Adler-32
+  checksum and SHA-1 signature, so this is "the APK dex checksum" in
+  the strongest sense),
+* the asset blobs and named native libraries (packers hide encrypted
+  payloads in assets; two packed stubs can share identical DEX loaders),
+* a fingerprint of the :class:`~repro.core.pipeline.DexLego`
+  configuration (device, budget, force-execution settings),
+* an optional caller-supplied salt (used by jobs with custom drive
+  callables, whose identity the cache cannot observe).
+
+Backends
+--------
+
+:class:`RevealCache` stores records in memory by default, or under a
+directory when constructed with ``directory=...``: each record is one
+``<key>.json`` metadata file plus an optional ``<key>.apk`` sidecar with
+the serialised revealed application.  The on-disk format is versioned;
+unreadable or stale entries are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+
+from repro.core.pipeline import DexLego
+from repro.dex.writer import write_dex
+from repro.runtime.apk import Apk
+from repro.service.outcomes import CACHEABLE_STATUSES, RevealOutcome
+
+CACHE_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Key construction
+# ---------------------------------------------------------------------------
+
+
+def apk_content_key(apk: Apk) -> str:
+    """SHA-256 over the APK's executable content (DEX + assets + JNI)."""
+    digest = hashlib.sha256()
+    digest.update(apk.package.encode("utf-8"))
+    for dex in apk.dex_files:
+        payload = write_dex(dex)
+        digest.update(len(payload).to_bytes(8, "little"))
+        digest.update(payload)
+    for path in sorted(apk.assets):
+        data = apk.assets[path]
+        digest.update(path.encode("utf-8"))
+        digest.update(len(data).to_bytes(8, "little"))
+        digest.update(data)
+    for name in apk.native_libraries:
+        digest.update(b"jni:" + name.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def pipeline_config_fingerprint(lego: DexLego) -> dict:
+    """The identity-relevant slice of a pipeline configuration.
+
+    The whole device profile participates, not just its name: device
+    state (IMEI, location, emulator-ness) feeds sources and
+    emulator-detection branches, so two profiles sharing a name must
+    not share reveal results.
+    """
+    return {
+        "device": dataclasses.asdict(lego.device),
+        "use_force_execution": lego.use_force_execution,
+        "run_budget": lego.run_budget,
+        "force_iterations": lego.force_iterations,
+    }
+
+
+def pipeline_config_key(lego: DexLego) -> str:
+    blob = json.dumps(pipeline_config_fingerprint(lego), sort_keys=True,
+                      default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def reveal_cache_key(apk: Apk, lego: DexLego, salt: str = "") -> str:
+    """Content-addressed key: dex checksum × pipeline config × salt."""
+    digest = hashlib.sha256()
+    digest.update(apk_content_key(apk).encode("ascii"))
+    digest.update(pipeline_config_key(lego).encode("ascii"))
+    if salt:
+        digest.update(salt.encode("utf-8"))
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Cache backends
+# ---------------------------------------------------------------------------
+
+
+class RevealCache:
+    """Keyed store of :class:`RevealOutcome` records.
+
+    In-memory when ``directory`` is ``None`` (the default — scoped to the
+    service instance), on-disk otherwise (shared across runs and
+    processes).  Only deterministic statuses (:data:`CACHEABLE_STATUSES`)
+    are admitted; everything else is silently skipped so transient
+    failures are retried on the next run.
+    """
+
+    def __init__(self, directory: str | None = None) -> None:
+        self.directory = directory
+        self._memory: dict[str, dict] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    # -- write --------------------------------------------------------------
+
+    def put(self, key: str, outcome: RevealOutcome) -> bool:
+        """Store one outcome; returns True when admitted."""
+        if outcome.status not in CACHEABLE_STATUSES:
+            return False
+        apk_bytes = outcome.revealed_apk_bytes
+        if apk_bytes is None and outcome.result is not None:
+            revealed = outcome.result.revealed_apk
+            apk_bytes = revealed.to_bytes() if revealed is not None else None
+        record = {
+            "version": CACHE_FORMAT_VERSION,
+            "app_id": outcome.app_id,
+            "status": outcome.status,
+            "latency_s": outcome.latency_s,
+            "dump_size_bytes": outcome.dump_size_bytes,
+            "collector_stats": outcome.collector_stats,
+            "error": outcome.error,
+        }
+        if self.directory is None:
+            record["apk_bytes"] = apk_bytes
+            self._memory[key] = record
+            return True
+        if apk_bytes is not None:
+            with open(self._apk_path(key), "wb") as fh:
+                fh.write(apk_bytes)
+            record["has_apk"] = True
+        tmp = self._json_path(key) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record, fh)
+        os.replace(tmp, self._json_path(key))
+        return True
+
+    # -- read ---------------------------------------------------------------
+
+    def get(self, key: str) -> RevealOutcome | None:
+        """Look up one record; any malformed entry is a miss."""
+        record = self._load(key)
+        if record is None or record.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        return RevealOutcome(
+            app_id=record["app_id"],
+            status=record["status"],
+            cache_hit=True,
+            latency_s=record.get("latency_s", 0.0),
+            dump_size_bytes=record.get("dump_size_bytes", 0),
+            collector_stats=record.get("collector_stats", {}),
+            error=record.get("error", ""),
+            cache_key=key,
+            revealed_apk_bytes=record.get("apk_bytes"),
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return self._load(key) is not None
+
+    def __len__(self) -> int:
+        if self.directory is None:
+            return len(self._memory)
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".json"))
+
+    def _load(self, key: str) -> dict | None:
+        if self.directory is None:
+            return self._memory.get(key)
+        try:
+            with open(self._json_path(key), encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if record.get("has_apk"):
+            try:
+                with open(self._apk_path(key), "rb") as fh:
+                    record["apk_bytes"] = fh.read()
+            except OSError:
+                return None
+        return record
+
+    def _json_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _apk_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.apk")

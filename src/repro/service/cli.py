@@ -1,0 +1,148 @@
+"""``python -m repro.service`` — batch reveal from the command line.
+
+Usage::
+
+    python -m repro.service reveal-batch                      # F-Droid corpus
+    python -m repro.service reveal-batch --corpus aosp --workers 4
+    python -m repro.service reveal-batch --cache-dir /tmp/dexlego-cache
+    python -m repro.service reveal-batch --corpus droidbench --limit 10 --json
+
+The command builds the requested benchsuite corpus, runs it through a
+:class:`~repro.service.batch.BatchRevealService`, prints one row per
+application (status, cache provenance, latency, dump size) and the
+aggregate throughput block.  Exit status is 0 when every app resolved
+to a deterministic outcome (``ok``/``crashed``/``budget-exceeded``)
+and 1 when any app errored or failed verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.service.batch import BACKENDS, BatchRevealService, RevealJob
+from repro.service.outcomes import STATUS_ERROR, STATUS_VERIFY_FAILED
+
+CORPORA = ("fdroid", "aosp", "launch", "packed", "droidbench")
+
+
+def build_corpus_jobs(corpus: str, limit: int | None = None) -> list[RevealJob]:
+    """Materialise one named benchsuite corpus as reveal jobs."""
+    jobs: list[RevealJob] = []
+    if corpus == "fdroid":
+        from repro.benchsuite import all_fdroid_apps
+
+        jobs = [RevealJob(app.package, app.apk) for app in all_fdroid_apps()]
+    elif corpus == "aosp":
+        from repro.benchsuite import all_aosp_apps
+
+        jobs = [RevealJob(app.name, app.apk) for app in all_aosp_apps()]
+    elif corpus == "launch":
+        from repro.benchsuite import all_launch_apps
+
+        jobs = [RevealJob(app.package, app.apk) for app in all_launch_apps()]
+    elif corpus == "packed":
+        from repro.benchsuite import all_market_apps
+
+        jobs = [RevealJob(app.package, app.packed_apk)
+                for app in all_market_apps()]
+    elif corpus == "droidbench":
+        from repro.benchsuite import droidbench_samples
+
+        jobs = [
+            RevealJob(sample.name, sample.build_apk(), device=sample.device)
+            for sample in droidbench_samples()
+        ]
+    else:
+        raise ValueError(f"unknown corpus {corpus!r}; pick one of {CORPORA}")
+    if limit is not None:
+        jobs = jobs[:limit]
+    return jobs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Corpus-scale DexLego: parallel, cached batch reveal.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    batch = sub.add_parser(
+        "reveal-batch",
+        help="reveal a benchsuite corpus through the batch service",
+    )
+    batch.add_argument("--corpus", choices=CORPORA, default="fdroid",
+                       help="which benchsuite corpus to reveal")
+    batch.add_argument("--limit", type=int, default=None,
+                       help="cap the corpus at the first N apps")
+    batch.add_argument("--workers", type=int, default=2,
+                       help="worker-pool size (default: 2)")
+    batch.add_argument("--backend", choices=BACKENDS, default="thread",
+                       help="pool flavour (default: thread)")
+    batch.add_argument("--cache-dir", default=None,
+                       help="persistent result-cache directory")
+    batch.add_argument("--force-execution", action="store_true",
+                       help="enable the code coverage improvement module")
+    batch.add_argument("--budget", type=int, default=2_000_000,
+                       help="interpreter step budget per run")
+    batch.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+    args = parser.parse_args(argv)
+
+    if args.command is None:
+        parser.print_help()
+        return 2
+
+    jobs = build_corpus_jobs(args.corpus, args.limit)
+    try:
+        service = BatchRevealService(
+            use_force_execution=args.force_execution,
+            run_budget=args.budget,
+            workers=args.workers,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+        )
+    except OSError as exc:
+        print(f"cannot use cache dir {args.cache_dir!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = service.reveal_batch(jobs)
+
+    if args.json:
+        print(json.dumps(
+            {
+                "corpus": args.corpus,
+                "summary": report.summary(),
+                "outcomes": [o.to_summary() for o in report.outcomes],
+            },
+            indent=2,
+        ))
+    else:
+        # Deferred import: repro.harness imports this package back.
+        from repro.harness.tables import human_size, render_table
+
+        rows = [
+            [
+                o.app_id,
+                o.status,
+                "hit" if o.cache_hit else "miss",
+                f"{o.latency_s * 1000:.1f}ms",
+                human_size(o.dump_size_bytes),
+                o.error[:60],
+            ]
+            for o in report.outcomes
+        ]
+        print(render_table(
+            f"Batch reveal — {args.corpus} corpus",
+            ["App", "Status", "Cache", "Latency", "Dump Size", "Detail"],
+            rows,
+        ))
+        print()
+        print(report.render())
+
+    hard_failures = {STATUS_ERROR, STATUS_VERIFY_FAILED}
+    return 1 if any(o.status in hard_failures for o in report.outcomes) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

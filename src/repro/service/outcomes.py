@@ -1,0 +1,128 @@
+"""Per-application outcome records for batch extraction.
+
+A :class:`RevealOutcome` is the service-layer wrapper around one
+pipeline run: the paper's ``reveal`` produces a
+:class:`~repro.core.pipeline.RevealResult` (or raises), and the batch
+service normalises either into a uniform record so a corpus run can be
+summarised, cached, and resumed without losing per-app detail.
+
+Statuses
+--------
+
+``ok``
+    Collection, reassembly and verification all succeeded.
+``crashed``
+    The VM crashed while driving the app (``VmCrash``/``VmThrow``); the
+    pipeline still reassembles whatever was collected before the crash.
+``budget-exceeded``
+    The interpreter hit its step budget before the drive finished; the
+    revealed DEX covers only the executed prefix.
+``verify-failed``
+    Reassembly produced a DEX the verifier rejected (paper §IV-C's
+    validity requirement) — a pipeline bug, surfaced rather than hidden.
+``error``
+    Any other Python-level failure (bad input, unregistered native
+    library, a crashing drive callable...).  One erroring app must never
+    abort the batch; it becomes an ``error`` record instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import RevealResult
+from repro.runtime.apk import Apk
+
+STATUS_OK = "ok"
+STATUS_CRASHED = "crashed"
+STATUS_BUDGET_EXCEEDED = "budget-exceeded"
+STATUS_VERIFY_FAILED = "verify-failed"
+STATUS_ERROR = "error"
+
+ALL_STATUSES = (
+    STATUS_OK,
+    STATUS_CRASHED,
+    STATUS_BUDGET_EXCEEDED,
+    STATUS_VERIFY_FAILED,
+    STATUS_ERROR,
+)
+
+#: Statuses that are deterministic pipeline outputs and therefore safe to
+#: serve from the result cache.  ``verify-failed`` and ``error`` are
+#: excluded so a fixed pipeline (or fixed input) gets a fresh run.
+CACHEABLE_STATUSES = (STATUS_OK, STATUS_CRASHED, STATUS_BUDGET_EXCEEDED)
+
+
+def classify_result(result: RevealResult) -> str:
+    """Map a completed pipeline result to an outcome status."""
+    if result.crashed:
+        return STATUS_CRASHED
+    if result.budget_exhausted:
+        return STATUS_BUDGET_EXCEEDED
+    return STATUS_OK
+
+
+@dataclass
+class RevealOutcome:
+    """One application's result inside a batch run.
+
+    Fields:
+
+    * ``app_id`` — caller-chosen identifier (usually the package name).
+    * ``status`` — one of :data:`ALL_STATUSES` above.
+    * ``cache_hit`` — True when the record was served from the result
+      cache instead of running the pipeline.
+    * ``latency_s`` — wall-clock seconds for this app's pipeline run
+      (the *original* run's latency when served from cache).
+    * ``dump_size_bytes`` — total size of the collection files
+      (Table VI's "Dump File Size" column).
+    * ``collector_stats`` — :meth:`DexLegoCollector.stats` snapshot.
+    * ``error`` — human-readable failure reason for non-``ok`` records.
+    * ``cache_key`` — content-addressed key the record is stored under.
+    * ``result`` — the live :class:`RevealResult` when the pipeline ran
+      in-process; ``None`` for disk-cache hits and process workers.
+    * ``revealed_apk_bytes`` — serialised revealed APK; set whenever the
+      full result object is unavailable (cache hits, process backend).
+    """
+
+    app_id: str
+    status: str
+    cache_hit: bool = False
+    latency_s: float = 0.0
+    dump_size_bytes: int = 0
+    collector_stats: dict = field(default_factory=dict)
+    error: str = ""
+    cache_key: str = ""
+    result: RevealResult | None = None
+    revealed_apk_bytes: bytes | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def revealed_apk(self) -> Apk | None:
+        """The revealed application, whatever the record's provenance."""
+        if self.result is not None:
+            return self.result.revealed_apk
+        if self.revealed_apk_bytes is not None:
+            return Apk.from_bytes(self.revealed_apk_bytes)
+        return None
+
+    @property
+    def reassembled_dex(self):
+        """Primary DEX of the revealed APK (None when unavailable)."""
+        apk = self.revealed_apk
+        return apk.primary_dex if apk is not None and apk.dex_files else None
+
+    def to_summary(self) -> dict:
+        """JSON-safe digest (no APK payload) for reports and the CLI."""
+        return {
+            "app_id": self.app_id,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "latency_s": round(self.latency_s, 6),
+            "dump_size_bytes": self.dump_size_bytes,
+            "error": self.error,
+            "cache_key": self.cache_key,
+        }

@@ -1,0 +1,130 @@
+"""Aggregate throughput statistics for batch reveal runs.
+
+A corpus run is judged by four numbers: how many apps resolved to each
+outcome, how fast the batch went end-to-end (apps/sec against wall
+clock, which credits parallelism), how much of it was served from cache,
+and where the per-app latency distribution sits (p50/p95 — the paper's
+single-app measurements generalised to a fleet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.outcomes import ALL_STATUSES, STATUS_OK, RevealOutcome
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile; 0 for an empty sample."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch run produced, plus the aggregate view.
+
+    ``outcomes`` preserves the submission order of the jobs regardless
+    of worker count or completion order — callers can zip it back
+    against their corpus.
+    """
+
+    outcomes: list[RevealOutcome] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    workers: int = 1
+    backend: str = "serial"
+
+    # -- counts -------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == STATUS_OK)
+
+    @property
+    def failed_count(self) -> int:
+        return self.total - self.ok_count
+
+    def status_counts(self) -> dict[str, int]:
+        counts = {status: 0 for status in ALL_STATUSES}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    # -- cache --------------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    # -- throughput ---------------------------------------------------------
+
+    @property
+    def apps_per_sec(self) -> float:
+        return self.total / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    @property
+    def latencies(self) -> list[float]:
+        """Per-app pipeline latencies for apps that actually ran."""
+        return [o.latency_s for o in self.outcomes if not o.cache_hit]
+
+    @property
+    def p50_latency_s(self) -> float:
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return percentile(self.latencies, 0.95)
+
+    # -- presentation -------------------------------------------------------
+
+    def summary(self) -> dict:
+        """JSON-safe aggregate digest."""
+        return {
+            "total": self.total,
+            "ok": self.ok_count,
+            "failed": self.failed_count,
+            "status_counts": self.status_counts(),
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "wall_time_s": round(self.wall_time_s, 6),
+            "apps_per_sec": round(self.apps_per_sec, 3),
+            "p50_latency_s": round(self.p50_latency_s, 6),
+            "p95_latency_s": round(self.p95_latency_s, 6),
+            "workers": self.workers,
+            "backend": self.backend,
+        }
+
+    def render(self) -> str:
+        """Human-readable aggregate block for CLIs and benchmarks."""
+        counts = self.status_counts()
+        breakdown = "  ".join(
+            f"{status}={count}" for status, count in counts.items() if count
+        ) or "(empty batch)"
+        return "\n".join([
+            f"batch: {self.total} app(s) via {self.workers} "
+            f"{self.backend} worker(s) in {self.wall_time_s:.2f}s "
+            f"({self.apps_per_sec:.2f} apps/sec)",
+            f"outcomes: {breakdown}",
+            f"cache: {self.cache_hits}/{self.total} hits "
+            f"({self.cache_hit_rate:.0%})",
+            f"latency: p50={self.p50_latency_s * 1000:.1f}ms  "
+            f"p95={self.p95_latency_s * 1000:.1f}ms",
+        ])

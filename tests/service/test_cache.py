@@ -1,0 +1,158 @@
+"""Content-addressed cache: key construction and store behavior."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import DexLego
+from repro.dex import assemble
+from repro.runtime import Apk
+from repro.service import (
+    STATUS_ERROR,
+    STATUS_OK,
+    RevealCache,
+    RevealOutcome,
+    apk_content_key,
+    pipeline_config_key,
+    reveal_cache_key,
+)
+
+from tests.conftest import build_simple_apk
+
+
+def _outcome(app_id="app", status=STATUS_OK, apk=None, **kwargs):
+    apk_bytes = (apk or build_simple_apk()).to_bytes()
+    return RevealOutcome(app_id=app_id, status=status,
+                         revealed_apk_bytes=apk_bytes, **kwargs)
+
+
+class TestKeys:
+    def test_same_content_same_key(self):
+        a = build_simple_apk("c.k.same")
+        b = build_simple_apk("c.k.same")
+        assert apk_content_key(a) == apk_content_key(b)
+
+    def test_package_changes_key(self):
+        assert apk_content_key(build_simple_apk("c.k.one")) != \
+            apk_content_key(build_simple_apk("c.k.two"))
+
+    def test_dex_bytes_change_key(self):
+        apk = build_simple_apk("c.k.dex")
+        other = build_simple_apk("c.k.dex")
+        other.dex_files = [assemble("""
+.class public Lcom/fix/Simple;
+.super Landroid/app/Activity;
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 2
+    return-void
+.end method
+""")]
+        assert apk_content_key(apk) != apk_content_key(other)
+
+    def test_asset_changes_key(self):
+        apk = build_simple_apk("c.k.asset")
+        other = build_simple_apk("c.k.asset")
+        other.assets["payload.bin"] = b"\x00\x01"
+        assert apk_content_key(apk) != apk_content_key(other)
+
+    def test_config_changes_key(self):
+        apk = build_simple_apk("c.k.cfg")
+        default = reveal_cache_key(apk, DexLego())
+        assert default != reveal_cache_key(apk, DexLego(run_budget=10))
+        assert default != reveal_cache_key(
+            apk, DexLego(use_force_execution=True))
+        assert default == reveal_cache_key(apk, DexLego())
+
+    def test_archive_dir_is_not_identity(self):
+        # Where collection files land on disk doesn't change the result.
+        apk = build_simple_apk("c.k.dir")
+        assert reveal_cache_key(apk, DexLego()) == \
+            reveal_cache_key(apk, DexLego(archive_dir="/tmp/elsewhere"))
+
+    def test_device_state_changes_key(self):
+        # Two profiles sharing a *name* must not share reveal results:
+        # device state (IMEI, location, emulator-ness) feeds sources.
+        import dataclasses
+
+        from repro.runtime import NEXUS_5X
+
+        custom = dataclasses.replace(NEXUS_5X, imei="111111111111111")
+        apk = build_simple_apk("c.k.dev")
+        assert reveal_cache_key(apk, DexLego()) != \
+            reveal_cache_key(apk, DexLego(device=custom))
+
+    def test_salt_changes_key(self):
+        apk = build_simple_apk("c.k.salt")
+        lego = DexLego()
+        assert reveal_cache_key(apk, lego) != \
+            reveal_cache_key(apk, lego, salt="sapienz")
+
+    def test_config_key_is_stable_text(self):
+        key = pipeline_config_key(DexLego())
+        assert key == pipeline_config_key(DexLego())
+        assert len(key) == 64
+
+
+class TestMemoryBackend:
+    def test_round_trip(self):
+        cache = RevealCache()
+        outcome = _outcome("mem.app", dump_size_bytes=123,
+                           collector_stats={"classes_collected": 1})
+        assert cache.put("k1", outcome)
+        loaded = cache.get("k1")
+        assert loaded is not None
+        assert loaded.cache_hit
+        assert loaded.app_id == "mem.app"
+        assert loaded.dump_size_bytes == 123
+        assert loaded.collector_stats == {"classes_collected": 1}
+        assert loaded.revealed_apk.package == build_simple_apk().package
+
+    def test_miss(self):
+        assert RevealCache().get("nope") is None
+
+    def test_non_cacheable_status_rejected(self):
+        cache = RevealCache()
+        assert not cache.put("k", _outcome(status=STATUS_ERROR))
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+
+class TestDiskBackend:
+    def test_round_trip_with_apk_sidecar(self, tmp_path):
+        cache = RevealCache(str(tmp_path))
+        apk = build_simple_apk("disk.app")
+        assert cache.put("deadbeef", _outcome("disk.app", apk=apk))
+        assert os.path.exists(tmp_path / "deadbeef.json")
+        assert os.path.exists(tmp_path / "deadbeef.apk")
+        # A *fresh* cache object sees the record (persistence).
+        loaded = RevealCache(str(tmp_path)).get("deadbeef")
+        assert loaded is not None and loaded.cache_hit
+        assert loaded.revealed_apk.package == "disk.app"
+
+    def test_malformed_entry_is_a_miss(self, tmp_path):
+        cache = RevealCache(str(tmp_path))
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = RevealCache(str(tmp_path))
+        cache.put("v", _outcome())
+        path = tmp_path / "v.json"
+        record = json.loads(path.read_text())
+        record["version"] = 999
+        path.write_text(json.dumps(record))
+        assert cache.get("v") is None
+
+    def test_missing_sidecar_is_a_miss(self, tmp_path):
+        cache = RevealCache(str(tmp_path))
+        cache.put("s", _outcome())
+        os.unlink(tmp_path / "s.apk")
+        assert cache.get("s") is None
+
+    def test_len_counts_records(self, tmp_path):
+        cache = RevealCache(str(tmp_path))
+        cache.put("a", _outcome("a"))
+        cache.put("b", _outcome("b"))
+        assert len(cache) == 2
+        assert "a" in cache and "c" not in cache

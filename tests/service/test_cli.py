@@ -1,0 +1,54 @@
+"""The ``python -m repro.service`` batch CLI."""
+
+import json
+
+import pytest
+
+from repro.service.cli import build_corpus_jobs, main
+
+
+class TestCorpusBuilder:
+    def test_fdroid_default(self):
+        jobs = build_corpus_jobs("fdroid")
+        assert len(jobs) == 5
+        assert jobs[0].app_id == "be.ppareit.swiftp"
+
+    def test_limit(self):
+        assert len(build_corpus_jobs("fdroid", limit=2)) == 2
+
+    def test_droidbench_pins_devices(self):
+        jobs = build_corpus_jobs("droidbench", limit=3)
+        assert all(job.device is not None for job in jobs)
+
+    def test_unknown_corpus(self):
+        with pytest.raises(ValueError):
+            build_corpus_jobs("playstore")
+
+
+class TestMain:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "reveal-batch" in capsys.readouterr().out
+
+    def test_cold_then_warm_run(self, tmp_path, capsys):
+        args = ["reveal-batch", "--corpus", "fdroid", "--limit", "1",
+                "--workers", "2", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "miss" in cold and "be.ppareit.swiftp" in cold
+        assert "apps/sec" in cold
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "hit" in warm
+        assert "1/1 hits" in warm
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(["reveal-batch", "--corpus", "fdroid", "--limit", "1",
+                     "--workers", "2", "--json",
+                     "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corpus"] == "fdroid"
+        assert payload["summary"]["total"] == 1
+        assert payload["outcomes"][0]["status"] == "ok"
+        assert "cache_hit_rate" in payload["summary"]

@@ -1,0 +1,87 @@
+"""BatchReport aggregates and the percentile helper."""
+
+import pytest
+
+from repro.service import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    BatchReport,
+    RevealOutcome,
+    percentile,
+)
+
+
+def _outcome(status=STATUS_OK, latency=0.1, hit=False, app_id="a"):
+    return RevealOutcome(app_id=app_id, status=status, latency_s=latency,
+                         cache_hit=hit)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_median_and_tail(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+        assert percentile(values, 0.95) == pytest.approx(4.8)
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestBatchReport:
+    def test_counts_and_rates(self):
+        report = BatchReport(
+            outcomes=[
+                _outcome(STATUS_OK, 0.1),
+                _outcome(STATUS_OK, 0.3, hit=True),
+                _outcome(STATUS_CRASHED, 0.2),
+                _outcome(STATUS_ERROR, 0.4),
+            ],
+            wall_time_s=2.0,
+            workers=2,
+            backend="thread",
+        )
+        assert report.total == 4
+        assert report.ok_count == 2
+        assert report.failed_count == 2
+        assert report.status_counts()[STATUS_CRASHED] == 1
+        assert report.cache_hits == 1
+        assert report.cache_hit_rate == 0.25
+        assert report.apps_per_sec == 2.0
+        # Cache hits don't pollute the latency distribution.
+        assert sorted(report.latencies) == [0.1, 0.2, 0.4]
+
+    def test_empty_report(self):
+        report = BatchReport()
+        assert report.total == 0
+        assert report.cache_hit_rate == 0.0
+        assert report.apps_per_sec == 0.0
+        assert report.p50_latency_s == 0.0
+        assert "(empty batch)" in report.render()
+
+    def test_summary_is_json_safe(self):
+        import json
+
+        report = BatchReport(outcomes=[_outcome()], wall_time_s=1.0)
+        blob = json.dumps(report.summary())
+        assert "cache_hit_rate" in blob
+        assert "p95_latency_s" in blob
+
+    def test_render_mentions_throughput_and_cache(self):
+        report = BatchReport(outcomes=[_outcome(hit=True)], wall_time_s=0.5,
+                             workers=3, backend="thread")
+        text = report.render()
+        assert "apps/sec" in text
+        assert "1/1 hits" in text
+        assert "3 thread worker(s)" in text
