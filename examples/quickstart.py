@@ -111,9 +111,13 @@ def main() -> None:
               f"{event.sink_signature.split(';->')[1].split('(')[0]}")
     print()
 
-    print("=== 3. DexLego: collect + reassemble ===")
+    print("=== 3. DexLego: collect -> reassemble -> verify -> repack ===")
     result = DexLego().reveal(apk)
-    print(f"collector stats: {result.collector_stats}\n")
+    print(f"collector stats: {result.collector_stats}")
+    print("stage timings:  " + "  ".join(
+        f"{stage}={seconds * 1000:.1f}ms"
+        for stage, seconds in result.stage_timings.items()
+    ) + "\n")
     print("reassembled leak() method:")
     dex = result.reassembled_dex
     cls = dex.find_class("Lcom/quickstart/Main;")

@@ -38,7 +38,15 @@ from repro.analysis import (
     taintart,
     taintdroid,
 )
-from repro.core import DexLego, DexLegoCollector, RevealResult, reveal_apk
+from repro.core import (
+    DexLego,
+    DexLegoCollector,
+    Pipeline,
+    RevealConfig,
+    RevealResult,
+    reveal_apk,
+    reveal_from_archive,
+)
 from repro.dex import (
     DexBuilder,
     DexFile,
@@ -63,7 +71,9 @@ __all__ = [
     "DexFile",
     "DexLego",
     "DexLegoCollector",
+    "Pipeline",
     "ReproError",
+    "RevealConfig",
     "RevealJob",
     "RevealOutcome",
     "RevealResult",
@@ -75,6 +85,7 @@ __all__ = [
     "read_dex",
     "register_native_library",
     "reveal_apk",
+    "reveal_from_archive",
     "taintart",
     "taintdroid",
     "verify_dex",

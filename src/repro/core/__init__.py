@@ -8,11 +8,19 @@ This package is the paper's primary contribution:
 * :class:`~repro.core.reassembler.Reassembler` — offline DEX reassembly
 * :class:`~repro.core.force_execution.ForceExecutionEngine` — iterative
   force execution (the code coverage improvement module)
-* :class:`~repro.core.pipeline.DexLego` — the end-to-end system
+* :class:`~repro.core.config.RevealConfig` — frozen, hashable,
+  JSON-round-trippable pipeline configuration
+* :mod:`repro.core.stages` — the four composable stages
+  (collect → reassemble → verify → repack)
+* :class:`~repro.core.pipeline.Pipeline` — the stage conductor, with
+  :class:`~repro.core.pipeline.DexLego` as the paper-shaped facade and
+  :func:`~repro.core.pipeline.reveal_from_archive` as the offline-only
+  entry point
 """
 
 from repro.core.collection_files import CollectionArchive
 from repro.core.collector import DexLegoCollector
+from repro.core.config import RevealConfig
 from repro.core.force_execution import (
     BranchTraceListener,
     ForcedPathController,
@@ -21,15 +29,38 @@ from repro.core.force_execution import (
     PathFile,
 )
 from repro.core.method_store import MethodRecord, MethodStore
-from repro.core.pipeline import DexLego, RevealResult, reveal_apk
+from repro.core.pipeline import (
+    DexLego,
+    Pipeline,
+    RevealResult,
+    reveal_apk,
+    reveal_from_archive,
+)
 from repro.core.reassembler import INSTRUMENT_CLASS, Reassembler
+from repro.core.stages import (
+    ALL_STAGES,
+    STAGE_COLLECT,
+    STAGE_REASSEMBLE,
+    STAGE_REPACK,
+    STAGE_VERIFY,
+    CollectResult,
+    CollectStage,
+    ReassembleStage,
+    RepackStage,
+    StageEvent,
+    VerifyStage,
+)
 from repro.core.tree import CollectedInstruction, CollectionTree, TreeNode
+from repro.errors import StageError
 
 __all__ = [
+    "ALL_STAGES",
     "BranchTraceListener",
     "CollectedInstruction",
     "CollectionArchive",
     "CollectionTree",
+    "CollectResult",
+    "CollectStage",
     "DexLego",
     "DexLegoCollector",
     "ForceExecutionEngine",
@@ -39,8 +70,20 @@ __all__ = [
     "MethodRecord",
     "MethodStore",
     "PathFile",
+    "Pipeline",
     "Reassembler",
+    "ReassembleStage",
+    "RepackStage",
+    "RevealConfig",
     "RevealResult",
+    "STAGE_COLLECT",
+    "STAGE_REASSEMBLE",
+    "STAGE_REPACK",
+    "STAGE_VERIFY",
+    "StageError",
+    "StageEvent",
     "TreeNode",
+    "VerifyStage",
     "reveal_apk",
+    "reveal_from_archive",
 ]

@@ -1,0 +1,118 @@
+"""First-class pipeline configuration.
+
+The paper separates *what* DexLego does (collect, reassemble, verify,
+repack) from *how* it is parameterised (device identity, execution
+budget, force-execution knobs).  :class:`RevealConfig` is that second
+half as a value object: frozen (hashable, safe as a dict key or cache
+key component), JSON-round-trippable (shippable to process workers and
+storable next to archives), and self-hashing (``config_hash()`` is the
+sole configuration input to the service layer's content-addressed
+cache keys).
+
+``archive_dir`` is deliberately excluded from the identity hash: where
+the collection files land on disk does not change what the pipeline
+computes, only where its intermediate is persisted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.runtime.device import NEXUS_5X, DeviceProfile
+
+
+def resolve_config(config: "RevealConfig | None", **knobs) -> "RevealConfig":
+    """Constructor-argument resolution shared by the pipeline facades.
+
+    Callers accept either a ready ``config=`` or the historical
+    individual knobs (``None`` meaning "not passed"); mixing the two
+    is rejected rather than silently dropping a knob.
+    """
+    explicit = {key: value for key, value in knobs.items() if value is not None}
+    if config is not None:
+        if explicit:
+            raise ValueError(
+                "pass either config= or the individual knobs "
+                f"({', '.join(sorted(explicit))}), not both"
+            )
+        return config
+    return RevealConfig(**explicit)
+
+
+@dataclass(frozen=True)
+class RevealConfig:
+    """Everything that parameterises one pipeline run.
+
+    Fields:
+
+    * ``device`` — simulated device identity (feeds sources and
+      emulator-detection branches; the whole profile is identity, not
+      just its name).
+    * ``use_force_execution`` — run the code coverage improvement
+      module (iterative force execution) instead of a single drive.
+    * ``run_budget`` — interpreter step budget per run; the analogue of
+      the paper's wall-clock execution budget.
+    * ``archive_dir`` — when set, collection files are serialised here
+      and reloaded before reassembly, proving the offline boundary.
+      Not part of the configuration identity.
+    * ``force_iterations`` — iteration cap for force execution.
+    """
+
+    device: DeviceProfile = NEXUS_5X
+    use_force_execution: bool = False
+    run_budget: int = 2_000_000
+    archive_dir: str | None = None
+    force_iterations: int = 25
+
+    # -- derivation ---------------------------------------------------------
+
+    def replace(self, **changes) -> "RevealConfig":
+        """A copy with some fields swapped (frozen-friendly)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- JSON round trip ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "device": dataclasses.asdict(self.device),
+            "use_force_execution": self.use_force_execution,
+            "run_budget": self.run_budget,
+            "archive_dir": self.archive_dir,
+            "force_iterations": self.force_iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RevealConfig":
+        device = data.get("device", NEXUS_5X)
+        if isinstance(device, dict):
+            device = DeviceProfile(**device)
+        return cls(
+            device=device,
+            use_force_execution=data.get("use_force_execution", False),
+            run_budget=data.get("run_budget", 2_000_000),
+            archive_dir=data.get("archive_dir"),
+            force_iterations=data.get("force_iterations", 25),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RevealConfig":
+        return cls.from_dict(json.loads(text))
+
+    # -- identity -----------------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """The identity-relevant slice: everything except ``archive_dir``."""
+        identity = self.to_dict()
+        del identity["archive_dir"]
+        return identity
+
+    def config_hash(self) -> str:
+        """Stable SHA-256 of the configuration identity (64 hex chars)."""
+        blob = json.dumps(self.fingerprint(), sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,31 +1,49 @@
-"""End-to-end DexLego pipeline (paper Figure 1).
+"""End-to-end DexLego pipeline (paper Figure 1), as composed stages.
 
-``reveal`` executes the target APK inside the instrumented runtime
-(just-in-time collection), optionally drives force execution as the code
-coverage improvement module, writes the collection files, reassembles a
-new DEX offline, verifies it, and swaps it into a copy of the original
-APK — the "Revealed Application" handed to static analysis tools.
+:class:`Pipeline` chains the four first-class stages of
+:mod:`repro.core.stages` — collect → reassemble → verify → repack —
+under one :class:`~repro.core.config.RevealConfig`, recording per-stage
+wall-clock timings and notifying an optional observer after every
+stage.  Because the stages are separable, the pipeline also exposes
+suffix entry points: :meth:`Pipeline.collect` runs only the on-device
+half, and :func:`reveal_from_archive` runs only the offline half over
+previously saved collection files (re-run reassembly after a
+reassembler fix without re-driving the app).
+
+:class:`DexLego` and :func:`reveal_apk` remain as thin facades so the
+paper-shaped call sites — ``DexLego(run_budget=...).reveal(apk)`` —
+keep working unchanged.
 """
 
 from __future__ import annotations
 
-import tempfile
+import os
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.collection_files import CollectionArchive
-from repro.core.collector import DexLegoCollector
-from repro.core.force_execution import ForceExecutionEngine, ForceExecutionReport
-from repro.core.reassembler import Reassembler
-from repro.dex.reader import read_dex
+from repro.core.config import RevealConfig, resolve_config
+from repro.core.force_execution import ForceExecutionReport
+from repro.core.stages import (
+    STAGE_COLLECT,
+    STAGE_REASSEMBLE,
+    STAGE_REPACK,
+    STAGE_VERIFY,
+    CollectResult,
+    CollectStage,
+    ReassembleStage,
+    RepackStage,
+    StageEvent,
+    VerifyStage,
+)
 from repro.dex.structures import DexFile
-from repro.dex.verify import assert_valid
-from repro.dex.writer import write_dex
-from repro.errors import BudgetExceeded, VmCrash
+from repro.errors import StageError
 from repro.runtime.apk import Apk
-from repro.runtime.art import AndroidRuntime
-from repro.runtime.device import NEXUS_5X, DeviceProfile
-from repro.runtime.events import AppDriver, DriveReport
-from repro.runtime.exceptions import VmThrow
+from repro.runtime.device import DeviceProfile
+
+#: Observer signature: called once per finished (or failed) stage.
+PipelineObserver = Callable[[StageEvent], None]
 
 
 @dataclass
@@ -36,21 +54,25 @@ class RevealResult:
 
     * ``revealed_apk`` — the repacked application whose ``classes.dex``
       is the reassembled DEX (the artefact handed to static analyzers).
+      ``None`` for archive-only runs with no original APK to repack.
     * ``reassembled_dex`` — the offline-reassembled DEX after a binary
       round-trip and verification.
     * ``archive`` — the collection files (Figure 2's five on-disk
       intermediates plus reflection records).
     * ``collector_stats`` — :meth:`DexLegoCollector.stats` snapshot:
-      classes/methods/instructions observed during the drive.
+      classes/methods/instructions observed during the drive (empty for
+      archive-only runs, where no collector was live).
     * ``force_report`` — force-execution iteration report when the code
       coverage improvement module ran, else ``None``.
     * ``crashed`` / ``crash_reason`` — the drive died with a VM crash or
       uncaught application throw; collection up to that point is kept.
     * ``budget_exhausted`` — the interpreter step budget expired before
       the drive finished; the reveal covers only the executed prefix.
+    * ``stage_timings`` — wall-clock seconds per executed stage, keyed
+      by stage name (``collect``/``reassemble``/``verify``/``repack``).
     """
 
-    revealed_apk: Apk
+    revealed_apk: Apk | None
     reassembled_dex: DexFile
     archive: CollectionArchive
     collector_stats: dict
@@ -58,108 +80,211 @@ class RevealResult:
     crashed: bool = False
     crash_reason: str = ""
     budget_exhausted: bool = False
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def dump_size_bytes(self) -> int:
         return self.archive.total_size_bytes()
 
 
-class DexLego:
-    """The DexLego system: JIT collection + offline reassembly."""
+class Pipeline:
+    """Stage conductor: one config, four stages, timed and observable."""
 
     def __init__(
         self,
-        device: DeviceProfile = NEXUS_5X,
-        use_force_execution: bool = False,
-        run_budget: int = 2_000_000,
-        archive_dir: str | None = None,
-        force_iterations: int = 25,
+        config: RevealConfig | None = None,
+        observer: PipelineObserver | None = None,
     ) -> None:
-        self.device = device
-        self.use_force_execution = use_force_execution
-        self.run_budget = run_budget
-        self.archive_dir = archive_dir
-        self.force_iterations = force_iterations
+        self.config = config or RevealConfig()
+        self.observer = observer
+        self.collect_stage = CollectStage(self.config)
+        self.reassemble_stage = ReassembleStage()
+        self.verify_stage = VerifyStage()
+        self.repack_stage = RepackStage()
+
+    # -- stage execution ----------------------------------------------------
+
+    def _timed(self, stage: str, timings: dict[str, float], fn, *args):
+        started = time.perf_counter()
+        try:
+            result = fn(*args)
+        except StageError as err:
+            duration = time.perf_counter() - started
+            timings[stage] = duration
+            self._notify(StageEvent(stage, duration, ok=False,
+                                    error=str(err.cause)))
+            raise
+        duration = time.perf_counter() - started
+        timings[stage] = duration
+        self._notify(StageEvent(stage, duration))
+        return result
+
+    def _notify(self, event: StageEvent) -> None:
+        if self.observer is not None:
+            self.observer(event)
+
+    # -- entry points -------------------------------------------------------
+
+    def collect(self, apk: Apk, drive=None,
+                timings: dict[str, float] | None = None) -> CollectResult:
+        """The on-device half only: drive the app, return the archive."""
+        timings = timings if timings is not None else {}
+        return self._timed(STAGE_COLLECT, timings,
+                           self.collect_stage.run, apk, drive)
+
+    def run(self, apk: Apk, drive=None) -> RevealResult:
+        """The full Figure-1 pipeline for one application."""
+        timings: dict[str, float] = {}
+        collected = self.collect(apk, drive, timings=timings)
+        archive = collected.archive
+        if self.config.archive_dir is not None:
+            # Prove the offline boundary: serialise to disk, reload.
+            # Persistence failures belong to the collect stage (its
+            # output could not be written), with full attribution.
+            try:
+                archive.save(self.config.archive_dir)
+                archive = CollectionArchive.load(self.config.archive_dir)
+            except OSError as exc:
+                self._notify(StageEvent(STAGE_COLLECT, 0.0, ok=False,
+                                        error=str(exc)))
+                raise StageError(STAGE_COLLECT, exc) from exc
+        dex, revealed = self._offline(archive, apk, timings)
+        return RevealResult(
+            revealed_apk=revealed,
+            reassembled_dex=dex,
+            archive=archive,
+            collector_stats=collected.collector_stats,
+            force_report=collected.force_report,
+            crashed=collected.crashed,
+            crash_reason=collected.crash_reason,
+            budget_exhausted=collected.budget_exhausted,
+            stage_timings=timings,
+        )
+
+    def reveal_from_archive(
+        self,
+        source: CollectionArchive | str | os.PathLike,
+        apk: Apk | None = None,
+    ) -> RevealResult:
+        """The offline half only: saved collection files → verified DEX.
+
+        ``source`` is a :class:`CollectionArchive` or a directory it was
+        saved to.  When ``apk`` is provided the DEX is also repacked
+        into a revealed application; otherwise ``revealed_apk`` is
+        ``None`` and the reassembled DEX is the product.
+        """
+        if isinstance(source, (str, os.PathLike)):
+            archive = CollectionArchive.load(os.fspath(source))
+        else:
+            archive = source
+        timings: dict[str, float] = {}
+        dex, revealed = self._offline(archive, apk, timings)
+        return RevealResult(
+            revealed_apk=revealed,
+            reassembled_dex=dex,
+            archive=archive,
+            collector_stats={},
+            stage_timings=timings,
+        )
+
+    def _offline(
+        self,
+        archive: CollectionArchive,
+        apk: Apk | None,
+        timings: dict[str, float],
+    ) -> tuple[DexFile, Apk | None]:
+        """Shared reassemble → verify → (repack) suffix."""
+        dex = self._timed(STAGE_REASSEMBLE, timings,
+                          self.reassemble_stage.run, archive)
+        dex = self._timed(STAGE_VERIFY, timings, self.verify_stage.run, dex)
+        revealed = None
+        if apk is not None:
+            revealed = self._timed(STAGE_REPACK, timings,
+                                   self.repack_stage.run, apk, dex)
+        return dex, revealed
+
+
+class DexLego:
+    """The DexLego system: JIT collection + offline reassembly.
+
+    Back-compat facade over :class:`Pipeline`: the historical kwargs
+    construct a :class:`RevealConfig`, or pass ``config=`` directly.
+    """
+
+    def __init__(
+        self,
+        device: DeviceProfile | None = None,
+        use_force_execution: bool | None = None,
+        run_budget: int | None = None,
+        archive_dir: str | None = None,
+        force_iterations: int | None = None,
+        config: RevealConfig | None = None,
+        observer: PipelineObserver | None = None,
+    ) -> None:
+        config = resolve_config(
+            config,
+            device=device,
+            use_force_execution=use_force_execution,
+            run_budget=run_budget,
+            archive_dir=archive_dir,
+            force_iterations=force_iterations,
+        )
+        self.config = config
+        self.pipeline = Pipeline(config, observer=observer)
+
+    # Attribute views kept for callers that read the old constructor
+    # fields off the instance.
+
+    @property
+    def device(self) -> DeviceProfile:
+        return self.config.device
+
+    @property
+    def use_force_execution(self) -> bool:
+        return self.config.use_force_execution
+
+    @property
+    def run_budget(self) -> int:
+        return self.config.run_budget
+
+    @property
+    def archive_dir(self) -> str | None:
+        return self.config.archive_dir
+
+    @property
+    def force_iterations(self) -> int:
+        return self.config.force_iterations
 
     # -- collection -----------------------------------------------------------
 
-    def collect(self, apk: Apk, drive=None) -> tuple[DexLegoCollector, RevealResult]:
-        collector = DexLegoCollector()
-        force_report = None
-        crashed = False
-        crash_reason = ""
-        budget_exhausted = False
-        drive = drive or (lambda driver: driver.run_standard_session())
-        if self.use_force_execution:
-            engine = ForceExecutionEngine(
-                apk,
-                drive=drive,
-                device=self.device,
-                shared_listeners=[collector],
-                run_budget=self.run_budget,
-                max_iterations=self.force_iterations,
-            )
-            force_report = engine.run()
-        else:
-            runtime = AndroidRuntime(self.device, max_steps=self.run_budget)
-            runtime.add_listener(collector)
-            driver = AppDriver(runtime, apk)
-            try:
-                outcome = drive(driver)
-            except BudgetExceeded:
-                budget_exhausted = True
-            except (VmCrash, VmThrow) as exc:
-                crashed = True
-                crash_reason = str(exc)
-            else:
-                # Drivers absorb VM failures into their DriveReport
-                # (run_standard_session and launch both do); fold those
-                # flags into the reveal result rather than losing them.
-                if isinstance(outcome, DriveReport):
-                    crashed = outcome.crashed
-                    crash_reason = outcome.crash_reason
-                    budget_exhausted = outcome.budget_exhausted
-        partial = RevealResult(
-            revealed_apk=apk,
-            reassembled_dex=DexFile(),
-            archive=CollectionArchive.from_collector(collector),
-            collector_stats=collector.stats(),
-            force_report=force_report,
-            crashed=crashed,
-            crash_reason=crash_reason,
-            budget_exhausted=budget_exhausted,
-        )
-        return collector, partial
+    def collect(self, apk: Apk, drive=None) -> CollectResult:
+        """The on-device half: archive + drive outcome, nothing faked."""
+        return self.pipeline.collect(apk, drive)
 
     # -- full pipeline -----------------------------------------------------------
 
     def reveal(self, apk: Apk, drive=None) -> RevealResult:
-        collector, result = self.collect(apk, drive)
-        archive = result.archive
-        if self.archive_dir is not None:
-            # Prove the offline boundary: serialise to disk, reload.
-            archive.save(self.archive_dir)
-            archive = CollectionArchive.load(self.archive_dir)
+        return self.pipeline.run(apk, drive)
 
-        reassembler = Reassembler(
-            archive.collected_class_map(),
-            archive.method_store(),
-            archive.reflection_sites(),
-        )
-        dex = reassembler.reassemble()
-        # Round-trip through the binary format and verify: the revealed DEX
-        # must be a *valid* DEX file (paper §IV-C).
-        dex = read_dex(write_dex(dex))
-        assert_valid(dex)
-
-        revealed = apk.clone()
-        revealed.dex_files = [dex]  # merged: includes dynamically-loaded code
-        result.revealed_apk = revealed
-        result.reassembled_dex = dex
-        result.archive = archive
-        return result
+    def reveal_from_archive(
+        self,
+        source: CollectionArchive | str | os.PathLike,
+        apk: Apk | None = None,
+    ) -> RevealResult:
+        return self.pipeline.reveal_from_archive(source, apk)
 
 
 def reveal_apk(apk: Apk, **kwargs) -> RevealResult:
     """Convenience one-shot: ``DexLego(**kwargs).reveal(apk)``."""
     return DexLego(**kwargs).reveal(apk)
+
+
+def reveal_from_archive(
+    source: CollectionArchive | str | os.PathLike,
+    apk: Apk | None = None,
+    config: RevealConfig | None = None,
+    observer: PipelineObserver | None = None,
+) -> RevealResult:
+    """Standalone offline entry point: saved collection files in,
+    verified (optionally repacked) DEX out — no runtime, no drive."""
+    return Pipeline(config, observer=observer).reveal_from_archive(source, apk)

@@ -1,0 +1,196 @@
+"""Composable pipeline stages: collect → reassemble → verify → repack.
+
+The paper's central separability claim (§III, Figure 1) is that
+just-in-time collection happens *on-device* while reassembly is an
+*offline* step over the collection files.  This module makes that
+boundary first-class: each stage is an object with one typed ``run``
+method, so consumers can execute any suffix of the pipeline on its own
+— most importantly re-running reassembly over a saved archive after a
+reassembler fix, without re-driving the application.
+
+* :class:`CollectStage` — APK + drive → :class:`CollectResult`
+  (archive + drive outcome; nothing downstream, no fake fields)
+* :class:`ReassembleStage` — :class:`CollectionArchive` → ``DexFile``
+  (offline reassembly plus the binary round-trip)
+* :class:`VerifyStage` — ``DexFile`` → verified ``DexFile``, or a
+  structured :class:`~repro.errors.StageError`
+* :class:`RepackStage` — APK + DEX → revealed APK
+
+Failures inside a stage surface as :class:`~repro.errors.StageError`
+carrying the stage name and the original cause; drive-level VM crashes
+and budget exhaustion are *not* failures — collection up to that point
+is the result (the paper reveals the executed prefix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.collection_files import CollectionArchive
+from repro.core.collector import DexLegoCollector
+from repro.core.config import RevealConfig
+from repro.core.force_execution import ForceExecutionEngine, ForceExecutionReport
+from repro.core.reassembler import Reassembler
+from repro.dex.reader import read_dex
+from repro.dex.structures import DexFile
+from repro.dex.verify import assert_valid
+from repro.dex.writer import write_dex
+from repro.errors import BudgetExceeded, StageError, VmCrash
+from repro.runtime.apk import Apk
+from repro.runtime.art import AndroidRuntime
+from repro.runtime.events import AppDriver, DriveReport
+from repro.runtime.exceptions import VmThrow
+
+STAGE_COLLECT = "collect"
+STAGE_REASSEMBLE = "reassemble"
+STAGE_VERIFY = "verify"
+STAGE_REPACK = "repack"
+
+ALL_STAGES = (STAGE_COLLECT, STAGE_REASSEMBLE, STAGE_VERIFY, STAGE_REPACK)
+
+
+@dataclass
+class StageEvent:
+    """One observer notification: a stage finished (or failed)."""
+
+    stage: str
+    duration_s: float
+    ok: bool = True
+    error: str = ""
+
+
+@dataclass
+class CollectResult:
+    """What JIT collection produced: the archive plus the drive outcome.
+
+    Carries only what the collect stage actually knows — the serialised
+    collection files and how the drive ended.  Downstream artefacts
+    (reassembled DEX, revealed APK) belong to later stages.
+    """
+
+    archive: CollectionArchive
+    collector_stats: dict = field(default_factory=dict)
+    force_report: ForceExecutionReport | None = None
+    crashed: bool = False
+    crash_reason: str = ""
+    budget_exhausted: bool = False
+
+    @property
+    def dump_size_bytes(self) -> int:
+        return self.archive.total_size_bytes()
+
+
+class CollectStage:
+    """Drive the app inside the instrumented runtime; keep what ran.
+
+    VM crashes and budget exhaustion end the drive but not the stage:
+    the archive covers the executed prefix and the outcome flags say
+    why it stopped.  Only non-VM exceptions (a crashing drive callable,
+    bad input) are stage failures.
+    """
+
+    name = STAGE_COLLECT
+
+    def __init__(self, config: RevealConfig | None = None) -> None:
+        self.config = config or RevealConfig()
+
+    def run(self, apk: Apk, drive=None) -> CollectResult:
+        config = self.config
+        collector = DexLegoCollector()
+        force_report = None
+        crashed = False
+        crash_reason = ""
+        budget_exhausted = False
+        drive = drive or (lambda driver: driver.run_standard_session())
+        try:
+            if config.use_force_execution:
+                engine = ForceExecutionEngine(
+                    apk,
+                    drive=drive,
+                    device=config.device,
+                    shared_listeners=[collector],
+                    run_budget=config.run_budget,
+                    max_iterations=config.force_iterations,
+                )
+                force_report = engine.run()
+            else:
+                runtime = AndroidRuntime(config.device,
+                                         max_steps=config.run_budget)
+                runtime.add_listener(collector)
+                driver = AppDriver(runtime, apk)
+                try:
+                    outcome = drive(driver)
+                except BudgetExceeded:
+                    budget_exhausted = True
+                except (VmCrash, VmThrow) as exc:
+                    crashed = True
+                    crash_reason = str(exc)
+                else:
+                    # Drivers absorb VM failures into their DriveReport
+                    # (run_standard_session and launch both do); fold
+                    # those flags into the result rather than losing them.
+                    if isinstance(outcome, DriveReport):
+                        crashed = outcome.crashed
+                        crash_reason = outcome.crash_reason
+                        budget_exhausted = outcome.budget_exhausted
+        except StageError:
+            raise
+        except Exception as exc:
+            raise StageError(self.name, exc) from exc
+        return CollectResult(
+            archive=CollectionArchive.from_collector(collector),
+            collector_stats=collector.stats(),
+            force_report=force_report,
+            crashed=crashed,
+            crash_reason=crash_reason,
+            budget_exhausted=budget_exhausted,
+        )
+
+
+class ReassembleStage:
+    """Offline reassembly: collection files in, binary-faithful DEX out.
+
+    Includes the binary round-trip (serialise, re-read) so the returned
+    model is exactly what a consumer would load from disk.
+    """
+
+    name = STAGE_REASSEMBLE
+
+    def run(self, archive: CollectionArchive) -> DexFile:
+        try:
+            reassembler = Reassembler(
+                archive.collected_class_map(),
+                archive.method_store(),
+                archive.reflection_sites(),
+            )
+            dex = reassembler.reassemble()
+            return read_dex(write_dex(dex))
+        except Exception as exc:
+            raise StageError(self.name, exc) from exc
+
+
+class VerifyStage:
+    """The §IV-C validity gate: the revealed DEX must verify."""
+
+    name = STAGE_VERIFY
+
+    def run(self, dex: DexFile) -> DexFile:
+        try:
+            assert_valid(dex)
+        except Exception as exc:
+            raise StageError(self.name, exc) from exc
+        return dex
+
+
+class RepackStage:
+    """Swap the reassembled DEX into a copy of the original APK."""
+
+    name = STAGE_REPACK
+
+    def run(self, apk: Apk, dex: DexFile) -> Apk:
+        try:
+            revealed = apk.clone()
+            revealed.dex_files = [dex]  # merged: includes dynamically-loaded code
+            return revealed
+        except Exception as exc:
+            raise StageError(self.name, exc) from exc

@@ -87,3 +87,21 @@ class ReassemblyError(ReproError):
 
 class ForceExecutionError(ReproError):
     """The force execution engine could not compute or follow a path."""
+
+
+class StageError(ReproError):
+    """A pipeline stage failed; names the stage and keeps the cause.
+
+    Raised by the staged pipeline (:mod:`repro.core.stages`) so callers
+    learn *where* a reveal died — ``collect``, ``reassemble``,
+    ``verify`` or ``repack`` — without parsing messages.  ``cause`` is
+    the original exception (e.g. a :class:`VerificationError` from the
+    verify stage), also chained as ``__cause__``.
+    """
+
+    def __init__(self, stage: str, cause: BaseException) -> None:
+        super().__init__(
+            f"{stage} stage failed: {type(cause).__name__}: {cause}"
+        )
+        self.stage = stage
+        self.cause = cause

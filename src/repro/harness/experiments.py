@@ -39,7 +39,7 @@ from repro.benchsuite import (
     droidbench_samples,
     sample_by_name,
 )
-from repro.core import ForceExecutionEngine
+from repro.core import ForceExecutionEngine, RevealConfig
 from repro.coverage import (
     CoverageCollector,
     SapienzFuzzer,
@@ -94,7 +94,7 @@ def run_table1(quick: bool = False, workers: int | None = None) -> ExperimentRes
     headers = ["Service"] + [f"{a.name} ({a.instruction_count})" for a in apps]
 
     # Pack the full matrix up-front, then reveal it as one batch.
-    service = BatchRevealService(workers=workers)
+    service = BatchRevealService(config=RevealConfig(), workers=workers)
     jobs = [
         RevealJob(f"{packer.name}/{app.name}", packer.pack(app.apk))
         for packer in ALL_PACKERS if packer.available
@@ -143,7 +143,8 @@ def run_table2(samples=None, workers: int | None = None) -> ExperimentResult:
     original = {t.name: Confusion() for t in tools}
     revealed_scores = {t.name: Confusion() for t in tools}
     apks = [sample.build_apk() for sample in samples]
-    report = BatchRevealService(workers=workers).reveal_batch(
+    report = BatchRevealService(config=RevealConfig(),
+                                 workers=workers).reveal_batch(
         RevealJob(sample.name, apk, device=sample.device)
         for sample, apk in zip(samples, apks)
     )
@@ -184,7 +185,8 @@ def run_table3(samples=None, packer=None,
     dexhunter = DexHunterLike()
     appspear = AppSpearLike()
     packed_apks = [packer.pack(sample.build_apk()) for sample in samples]
-    report = BatchRevealService(workers=workers).reveal_batch(
+    report = BatchRevealService(config=RevealConfig(),
+                                 workers=workers).reveal_batch(
         RevealJob(sample.name, packed, device=sample.device)
         for sample, packed in zip(samples, packed_apks)
     )
@@ -246,7 +248,8 @@ def run_table4(workers: int | None = None) -> ExperimentResult:
     rows = []
     hd = horndroid()
     samples = [sample_by_name(name) for name in TABLE_IV_SAMPLES]
-    report = BatchRevealService(workers=workers).reveal_batch(
+    report = BatchRevealService(config=RevealConfig(),
+                                 workers=workers).reveal_batch(
         RevealJob(sample.name, sample.build_apk(), device=sample.device)
         for sample in samples
     )
@@ -288,7 +291,8 @@ def run_table5(limit: int | None = None,
     apps = all_market_apps()
     if limit:
         apps = apps[:limit]
-    report = BatchRevealService(workers=workers).reveal_batch(
+    report = BatchRevealService(config=RevealConfig(),
+                                 workers=workers).reveal_batch(
         RevealJob(app.package, app.packed_apk) for app in apps
     )
     for app, outcome in zip(apps, report.outcomes):
@@ -323,7 +327,8 @@ def run_table6(limit: int | None = None,
             drive=lambda d, f=fuzzer: f.drive(d.apk, d.runtime.listeners),
             cache_salt="sapienz-pop8",
         ))
-    report = BatchRevealService(workers=workers).reveal_batch(jobs)
+    report = BatchRevealService(config=RevealConfig(),
+                                 workers=workers).reveal_batch(jobs)
     rows = [
         [app.package, app.version, app.instruction_count,
          human_size(outcome.dump_size_bytes)]

@@ -38,8 +38,9 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.core.config import RevealConfig, resolve_config
 from repro.core.pipeline import DexLego
-from repro.errors import VerificationError
+from repro.errors import StageError, VerificationError
 from repro.runtime.apk import Apk
 from repro.runtime.device import EMULATOR, NEXUS_5X, TABLET, DeviceProfile
 from repro.service.cache import RevealCache, reveal_cache_key
@@ -116,10 +117,11 @@ class BatchRevealService:
     def __init__(
         self,
         *,
-        device: DeviceProfile = NEXUS_5X,
-        use_force_execution: bool = False,
-        run_budget: int = 2_000_000,
-        force_iterations: int = 25,
+        device: DeviceProfile | None = None,
+        use_force_execution: bool | None = None,
+        run_budget: int | None = None,
+        force_iterations: int | None = None,
+        config: RevealConfig | None = None,
         workers: int | None = None,
         backend: str = "thread",
         cache: RevealCache | None = None,
@@ -129,31 +131,61 @@ class BatchRevealService:
             raise ValueError(f"backend {backend!r} not one of {BACKENDS}")
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
-        self.device = device
-        self.use_force_execution = use_force_execution
-        self.run_budget = run_budget
-        self.force_iterations = force_iterations
+        self.config = resolve_config(
+            config,
+            device=device,
+            use_force_execution=use_force_execution,
+            run_budget=run_budget,
+            force_iterations=force_iterations,
+        )
         self.workers = max(1, workers) if workers is not None \
             else default_worker_count()
         self.backend = backend
         self.cache = cache if cache is not None else RevealCache(cache_dir)
 
+    # Attribute views kept for callers that read the old constructor
+    # fields off the instance.
+
+    @property
+    def device(self) -> DeviceProfile:
+        return self.config.device
+
+    @property
+    def use_force_execution(self) -> bool:
+        return self.config.use_force_execution
+
+    @property
+    def run_budget(self) -> int:
+        return self.config.run_budget
+
+    @property
+    def force_iterations(self) -> int:
+        return self.config.force_iterations
+
     # -- pipeline construction ---------------------------------------------
+
+    def config_for(self, job: RevealJob) -> RevealConfig:
+        """The service config with the job's device override applied."""
+        if job.device is None or job.device == self.config.device:
+            return self.config
+        return self.config.replace(device=job.device)
 
     def pipeline_for(self, job: RevealJob) -> DexLego:
         """A fresh, job-private pipeline (runtimes are never shared)."""
-        return DexLego(
-            device=job.device or self.device,
-            use_force_execution=self.use_force_execution,
-            run_budget=self.run_budget,
-            force_iterations=self.force_iterations,
-        )
+        config = self.config_for(job)
+        if config.archive_dir is not None:
+            # Collection files have fixed names, so parallel jobs
+            # sharing one archive directory would cross-contaminate
+            # their save/load round-trips; scope it per job.
+            config = config.replace(
+                archive_dir=os.path.join(config.archive_dir, job.app_id))
+        return DexLego(config=config)
 
     def job_cache_key(self, job: RevealJob) -> str:
         salt = job.cache_salt
         if job.collect_only:
             salt += "|collect-only"
-        return reveal_cache_key(job.apk, self.pipeline_for(job), salt)
+        return reveal_cache_key(job.apk, self.config_for(job), salt)
 
     # -- single job ---------------------------------------------------------
 
@@ -227,21 +259,25 @@ class BatchRevealService:
         pending: Sequence[tuple[int, RevealJob, str]],
         outcomes: list[RevealOutcome | None],
     ) -> None:
-        max_workers = min(self.workers, len(pending))
-        executor: Executor
+        shippable: list[tuple[int, RevealJob, str]] = []
         local: list[tuple[int, RevealJob, str]] = []
         if self.backend == "process":
-            executor = ProcessPoolExecutor(max_workers=max_workers)
-            shippable = [entry for entry in pending
-                         if self._process_safe(entry[1])]
-            local = [entry for entry in pending
-                     if not self._process_safe(entry[1])]
+            for entry in pending:
+                target = shippable if self._process_safe(entry[1]) else local
+                target.append(entry)
         else:
-            executor = ThreadPoolExecutor(
-                max_workers=max_workers, thread_name_prefix="reveal"
-            )
             shippable = list(pending)
-        with executor:
+
+        executor: Executor | None = None
+        if shippable:
+            max_workers = min(self.workers, len(shippable))
+            if self.backend == "process":
+                executor = ProcessPoolExecutor(max_workers=max_workers)
+            else:
+                executor = ThreadPoolExecutor(
+                    max_workers=max_workers, thread_name_prefix="reveal"
+                )
+        try:
             futures = {}
             for index, job, key in shippable:
                 if self.backend == "process":
@@ -249,7 +285,7 @@ class BatchRevealService:
                         _process_reveal,
                         job.app_id,
                         job.apk.to_bytes(),
-                        self._config_tuple(job),
+                        self.config_for(job).to_dict(),
                         job.collect_only,
                         key,
                     )
@@ -270,15 +306,9 @@ class BatchRevealService:
                         error=f"{type(exc).__name__}: {exc}",
                         cache_key=key,
                     )
-
-    def _config_tuple(self, job: RevealJob) -> tuple:
-        device = job.device or self.device
-        return (
-            device.name,
-            self.use_force_execution,
-            self.run_budget,
-            self.force_iterations,
-        )
+        finally:
+            if executor is not None:
+                executor.shutdown()
 
     def _process_safe(self, job: RevealJob) -> bool:
         """Can this job ship to a process worker?  No closures, and a
@@ -291,16 +321,30 @@ class BatchRevealService:
         started = time.perf_counter()
         try:
             if job.collect_only:
-                _collector, result = lego.collect(job.apk, drive=job.drive)
-            else:
-                result = lego.reveal(job.apk, drive=job.drive)
+                timings: dict = {}
+                collected = lego.pipeline.collect(job.apk, job.drive,
+                                                  timings=timings)
+                return RevealOutcome(
+                    app_id=job.app_id,
+                    status=classify_result(collected),
+                    latency_s=time.perf_counter() - started,
+                    dump_size_bytes=collected.dump_size_bytes,
+                    collector_stats=collected.collector_stats,
+                    error=collected.crash_reason,
+                    stage_timings=timings,
+                    cache_key=key,
+                )
+            result = lego.reveal(job.apk, drive=job.drive)
             status = classify_result(result)
-        except VerificationError as exc:
+        except StageError as err:
+            verify_failed = isinstance(err.cause, VerificationError)
             return RevealOutcome(
                 app_id=job.app_id,
-                status=STATUS_VERIFY_FAILED,
+                status=STATUS_VERIFY_FAILED if verify_failed else STATUS_ERROR,
                 latency_s=time.perf_counter() - started,
-                error=str(exc),
+                error=(str(err.cause) if verify_failed else
+                       f"{type(err.cause).__name__}: {err.cause}"),
+                failed_stage=err.stage,
                 cache_key=key,
             )
         except Exception as exc:
@@ -320,6 +364,7 @@ class BatchRevealService:
             dump_size_bytes=result.dump_size_bytes,
             collector_stats=result.collector_stats,
             error=result.crash_reason,
+            stage_timings=result.stage_timings,
             cache_key=key,
             result=result,
         )
@@ -328,22 +373,18 @@ class BatchRevealService:
 def _process_reveal(
     app_id: str,
     apk_bytes: bytes,
-    config: tuple,
+    config_dict: dict,
     collect_only: bool,
     cache_key: str,
 ) -> RevealOutcome:
     """Module-level worker body for the process backend.
 
-    Rebuilds the APK and pipeline from picklable primitives and returns
+    Rebuilds the APK and pipeline from picklable primitives — the
+    configuration travels as ``RevealConfig.to_dict()`` — and returns
     a slim outcome (serialised revealed APK, no live result object).
     """
-    device_name, use_force, run_budget, force_iterations = config
-    device = _DEVICES_BY_NAME.get(device_name, NEXUS_5X)
     service = BatchRevealService(
-        device=device,
-        use_force_execution=use_force,
-        run_budget=run_budget,
-        force_iterations=force_iterations,
+        config=RevealConfig.from_dict(config_dict),
         workers=1,
         backend="serial",
     )

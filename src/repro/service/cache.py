@@ -4,8 +4,8 @@ Re-running a corpus is the common case — a new pipeline version, a new
 downstream analysis, a crashed batch resumed — and reveal latency is
 dominated by driving the app inside the instrumented runtime.  The cache
 makes the second run nearly free: a record is keyed on *what was
-analysed* (the APK's DEX payload) and *how* (the pipeline configuration),
-so any byte-level change to either misses cleanly.
+analysed* (the APK's DEX payload) and *how* (the pipeline
+configuration), so any byte-level change to either misses cleanly.
 
 Key construction
 ----------------
@@ -17,8 +17,10 @@ Key construction
   the strongest sense),
 * the asset blobs and named native libraries (packers hide encrypted
   payloads in assets; two packed stubs can share identical DEX loaders),
-* a fingerprint of the :class:`~repro.core.pipeline.DexLego`
-  configuration (device, budget, force-execution settings),
+* :meth:`RevealConfig.config_hash()
+  <repro.core.config.RevealConfig.config_hash>` — the *sole*
+  configuration input; ``DexLego``/``Pipeline`` instances are accepted
+  and reduced to their ``RevealConfig``,
 * an optional caller-supplied salt (used by jobs with custom drive
   callables, whose identity the cache cannot observe).
 
@@ -34,12 +36,11 @@ unreadable or stale entries are treated as misses, never as errors.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
 
-from repro.core.pipeline import DexLego
+from repro.core.config import RevealConfig
 from repro.dex.writer import write_dex
 from repro.runtime.apk import Apk
 from repro.service.outcomes import CACHEABLE_STATUSES, RevealOutcome
@@ -50,6 +51,19 @@ CACHE_FORMAT_VERSION = 1
 # ---------------------------------------------------------------------------
 # Key construction
 # ---------------------------------------------------------------------------
+
+
+def as_reveal_config(config) -> RevealConfig:
+    """Normalise a RevealConfig, DexLego or Pipeline to its config."""
+    if isinstance(config, RevealConfig):
+        return config
+    inner = getattr(config, "config", None)
+    if isinstance(inner, RevealConfig):
+        return inner
+    raise TypeError(
+        f"expected RevealConfig (or an object carrying one), got "
+        f"{type(config).__name__}"
+    )
 
 
 def apk_content_key(apk: Apk) -> str:
@@ -70,7 +84,7 @@ def apk_content_key(apk: Apk) -> str:
     return digest.hexdigest()
 
 
-def pipeline_config_fingerprint(lego: DexLego) -> dict:
+def pipeline_config_fingerprint(config) -> dict:
     """The identity-relevant slice of a pipeline configuration.
 
     The whole device profile participates, not just its name: device
@@ -78,25 +92,18 @@ def pipeline_config_fingerprint(lego: DexLego) -> dict:
     emulator-detection branches, so two profiles sharing a name must
     not share reveal results.
     """
-    return {
-        "device": dataclasses.asdict(lego.device),
-        "use_force_execution": lego.use_force_execution,
-        "run_budget": lego.run_budget,
-        "force_iterations": lego.force_iterations,
-    }
+    return as_reveal_config(config).fingerprint()
 
 
-def pipeline_config_key(lego: DexLego) -> str:
-    blob = json.dumps(pipeline_config_fingerprint(lego), sort_keys=True,
-                      default=repr)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+def pipeline_config_key(config) -> str:
+    return as_reveal_config(config).config_hash()
 
 
-def reveal_cache_key(apk: Apk, lego: DexLego, salt: str = "") -> str:
-    """Content-addressed key: dex checksum × pipeline config × salt."""
+def reveal_cache_key(apk: Apk, config, salt: str = "") -> str:
+    """Content-addressed key: dex checksum × ``config_hash()`` × salt."""
     digest = hashlib.sha256()
     digest.update(apk_content_key(apk).encode("ascii"))
-    digest.update(pipeline_config_key(lego).encode("ascii"))
+    digest.update(as_reveal_config(config).config_hash().encode("ascii"))
     if salt:
         digest.update(salt.encode("utf-8"))
     return digest.hexdigest()
@@ -139,8 +146,11 @@ class RevealCache:
             "status": outcome.status,
             "latency_s": outcome.latency_s,
             "dump_size_bytes": outcome.dump_size_bytes,
-            "collector_stats": outcome.collector_stats,
+            # Copied so the memory backend never aliases live outcome
+            # dicts (the disk backend is isolated by the JSON trip).
+            "collector_stats": dict(outcome.collector_stats),
             "error": outcome.error,
+            "stage_timings": dict(outcome.stage_timings),
         }
         if self.directory is None:
             record["apk_bytes"] = apk_bytes
@@ -169,10 +179,11 @@ class RevealCache:
             cache_hit=True,
             latency_s=record.get("latency_s", 0.0),
             dump_size_bytes=record.get("dump_size_bytes", 0),
-            collector_stats=record.get("collector_stats", {}),
+            collector_stats=dict(record.get("collector_stats", {})),
             error=record.get("error", ""),
             cache_key=key,
             revealed_apk_bytes=record.get("apk_bytes"),
+            stage_timings=dict(record.get("stage_timings", {})),
         )
 
     def __contains__(self, key: str) -> bool:

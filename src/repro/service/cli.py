@@ -6,19 +6,27 @@ Usage::
     python -m repro.service reveal-batch --corpus aosp --workers 4
     python -m repro.service reveal-batch --cache-dir /tmp/dexlego-cache
     python -m repro.service reveal-batch --corpus droidbench --limit 10 --json
+    python -m repro.service reassemble /path/to/archive --out revealed.dex
 
-The command builds the requested benchsuite corpus, runs it through a
-:class:`~repro.service.batch.BatchRevealService`, prints one row per
-application (status, cache provenance, latency, dump size) and the
-aggregate throughput block.  Exit status is 0 when every app resolved
-to a deterministic outcome (``ok``/``crashed``/``budget-exceeded``)
-and 1 when any app errored or failed verification.
+``reveal-batch`` builds the requested benchsuite corpus, runs it
+through a :class:`~repro.service.batch.BatchRevealService`, prints one
+row per application (status, cache provenance, latency, dump size) and
+the aggregate throughput block.  Exit status is 0 when every app
+resolved to a deterministic outcome (``ok``/``crashed``/
+``budget-exceeded``) and 1 when any app errored or failed verification.
+
+``reassemble`` runs only the offline half of the pipeline
+(:func:`~repro.core.pipeline.reveal_from_archive`) over a directory of
+saved collection files — re-running reassembly after a reassembler fix
+without re-driving the application — and writes the verified DEX to
+``--out``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.service.batch import BACKENDS, BatchRevealService, RevealJob
@@ -87,11 +95,25 @@ def main(argv: list[str] | None = None) -> int:
                        help="interpreter step budget per run")
     batch.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
+    reasm = sub.add_parser(
+        "reassemble",
+        help="offline reassembly over saved collection files (no drive)",
+    )
+    reasm.add_argument("archive",
+                       help="directory of collection files saved by the "
+                            "collect stage (class_data.json, bytecode.json, ...)")
+    reasm.add_argument("--out", default=None,
+                       help="path for the emitted DEX "
+                            "(default: <archive>/reassembled.dex)")
+    reasm.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
     args = parser.parse_args(argv)
 
     if args.command is None:
         parser.print_help()
         return 2
+    if args.command == "reassemble":
+        return _run_reassemble(args)
 
     jobs = build_corpus_jobs(args.corpus, args.limit)
     try:
@@ -142,6 +164,56 @@ def main(argv: list[str] | None = None) -> int:
 
     hard_failures = {STATUS_ERROR, STATUS_VERIFY_FAILED}
     return 1 if any(o.status in hard_failures for o in report.outcomes) else 0
+
+
+def _run_reassemble(args) -> int:
+    """The ``reassemble`` subcommand: archive dir → verified DEX file."""
+    from repro.core import reveal_from_archive
+    from repro.dex.writer import write_dex
+    from repro.errors import StageError
+
+    try:
+        result = reveal_from_archive(args.archive)
+    except OSError as exc:
+        print(f"cannot read archive {args.archive!r}: {exc}", file=sys.stderr)
+        return 2
+    except StageError as err:
+        print(f"reassembly failed in the {err.stage} stage: {err.cause}",
+              file=sys.stderr)
+        return 1
+
+    dex = result.reassembled_dex
+    payload = write_dex(dex)
+    out = args.out or os.path.join(args.archive, "reassembled.dex")
+    try:
+        with open(out, "wb") as fh:
+            fh.write(payload)
+    except OSError as exc:
+        print(f"cannot write DEX to {out!r}: {exc}", file=sys.stderr)
+        return 2
+
+    summary = {
+        "archive": args.archive,
+        "out": out,
+        "dex_size_bytes": len(payload),
+        "classes": len(dex.class_defs),
+        "archive_size_bytes": result.dump_size_bytes,
+        "stage_timings": {
+            stage: round(seconds, 6)
+            for stage, seconds in result.stage_timings.items()
+        },
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        timings = " ".join(
+            f"{stage}={seconds * 1000:.1f}ms"
+            for stage, seconds in result.stage_timings.items()
+        )
+        print(f"reassembled {summary['classes']} classes "
+              f"({summary['dex_size_bytes']} bytes) -> {out}")
+        print(f"stages: {timings}")
+    return 0
 
 
 if __name__ == "__main__":

@@ -53,8 +53,13 @@ ALL_STATUSES = (
 CACHEABLE_STATUSES = (STATUS_OK, STATUS_CRASHED, STATUS_BUDGET_EXCEEDED)
 
 
-def classify_result(result: RevealResult) -> str:
-    """Map a completed pipeline result to an outcome status."""
+def classify_result(result) -> str:
+    """Map a completed pipeline result to an outcome status.
+
+    Accepts anything carrying the drive-outcome flags — a full
+    :class:`RevealResult` or a collect-only
+    :class:`~repro.core.stages.CollectResult`.
+    """
     if result.crashed:
         return STATUS_CRASHED
     if result.budget_exhausted:
@@ -78,6 +83,11 @@ class RevealOutcome:
       (Table VI's "Dump File Size" column).
     * ``collector_stats`` — :meth:`DexLegoCollector.stats` snapshot.
     * ``error`` — human-readable failure reason for non-``ok`` records.
+    * ``failed_stage`` — which pipeline stage died (``collect`` /
+      ``reassemble`` / ``verify`` / ``repack``) for ``verify-failed``
+      and stage-level ``error`` records; empty otherwise.
+    * ``stage_timings`` — per-stage wall-clock seconds from the
+      pipeline run, keyed by stage name.
     * ``cache_key`` — content-addressed key the record is stored under.
     * ``result`` — the live :class:`RevealResult` when the pipeline ran
       in-process; ``None`` for disk-cache hits and process workers.
@@ -92,6 +102,8 @@ class RevealOutcome:
     dump_size_bytes: int = 0
     collector_stats: dict = field(default_factory=dict)
     error: str = ""
+    failed_stage: str = ""
+    stage_timings: dict = field(default_factory=dict)
     cache_key: str = ""
     result: RevealResult | None = None
     revealed_apk_bytes: bytes | None = None
@@ -124,5 +136,10 @@ class RevealOutcome:
             "latency_s": round(self.latency_s, 6),
             "dump_size_bytes": self.dump_size_bytes,
             "error": self.error,
+            "failed_stage": self.failed_stage,
+            "stage_timings": {
+                stage: round(seconds, 6)
+                for stage, seconds in self.stage_timings.items()
+            },
             "cache_key": self.cache_key,
         }

@@ -82,6 +82,27 @@ class TestBatchBasics:
         with pytest.raises(ValueError):
             BatchRevealService(backend="fibers")
 
+    def test_rejects_config_plus_kwargs(self):
+        from repro.core import RevealConfig
+
+        with pytest.raises(ValueError, match="run_budget"):
+            BatchRevealService(config=RevealConfig(), run_budget=500)
+
+    def test_parallel_jobs_get_private_archive_dirs(self, tmp_path):
+        import os
+
+        from repro.core import RevealConfig
+
+        root = str(tmp_path / "archives")
+        service = BatchRevealService(
+            config=RevealConfig(archive_dir=root), workers=4)
+        report = service.reveal_batch(_corpus(4, "svc.archdir"))
+        assert all(o.status == STATUS_OK for o in report.outcomes)
+        # One subdirectory per job: concurrent save/load never collides.
+        for i in range(4):
+            assert os.path.exists(
+                os.path.join(root, f"app{i}", "class_data.json"))
+
 
 class TestCacheIntegration:
     def test_second_run_hits_memory_cache(self):
@@ -197,16 +218,44 @@ class TestCrashIsolation:
         assert outcome.revealed_apk is not None
 
     def test_verify_failure_status(self, monkeypatch):
-        import repro.core.pipeline as pipeline_module
+        import repro.core.stages as stages_module
 
         def always_invalid(dex):
             raise VerificationError("forced for test")
 
-        monkeypatch.setattr(pipeline_module, "assert_valid", always_invalid)
+        monkeypatch.setattr(stages_module, "assert_valid", always_invalid)
         report = BatchRevealService(workers=2).reveal_batch(
             _corpus(2, "svc.verify"))
         assert all(o.status == STATUS_VERIFY_FAILED for o in report.outcomes)
         assert all("forced for test" in o.error for o in report.outcomes)
+        # The redesigned pipeline names the stage that died.
+        assert all(o.failed_stage == "verify" for o in report.outcomes)
+
+    def test_collect_stage_failure_names_stage(self):
+        def bad_drive(driver):
+            raise RuntimeError("fuzzer exploded")
+
+        outcome = BatchRevealService().reveal_one(
+            RevealJob("stagefail", build_simple_apk("svc.stagefail"),
+                      drive=bad_drive))
+        assert outcome.status == STATUS_ERROR
+        assert outcome.failed_stage == "collect"
+        assert "fuzzer exploded" in outcome.error
+
+    def test_ok_outcome_carries_stage_timings(self):
+        outcome = BatchRevealService().reveal_one(
+            build_simple_apk("svc.timings"))
+        assert outcome.status == STATUS_OK
+        assert set(outcome.stage_timings) == \
+            {"collect", "reassemble", "verify", "repack"}
+        assert all(t >= 0 for t in outcome.stage_timings.values())
+
+    def test_collect_only_outcome_times_the_collect_stage(self):
+        outcome = BatchRevealService().reveal_one(
+            RevealJob("co", build_simple_apk("svc.cotimings"),
+                      collect_only=True))
+        assert outcome.status == STATUS_OK
+        assert set(outcome.stage_timings) == {"collect"}
 
 
 class TestProcessBackend:

@@ -93,6 +93,30 @@ class TestKeys:
         assert key == pipeline_config_key(DexLego())
         assert len(key) == 64
 
+    def test_accepts_reveal_config_directly(self):
+        from repro.core import RevealConfig
+
+        apk = build_simple_apk("c.k.cfgobj")
+        assert reveal_cache_key(apk, RevealConfig()) == \
+            reveal_cache_key(apk, DexLego())
+        assert pipeline_config_key(RevealConfig()) == \
+            pipeline_config_key(DexLego())
+
+    def test_config_hash_is_the_sole_config_input(self):
+        # Two configs with equal config_hash() produce equal cache keys,
+        # whatever else differs (archive_dir is not identity).
+        from repro.core import RevealConfig
+
+        apk = build_simple_apk("c.k.sole")
+        a = RevealConfig()
+        b = RevealConfig(archive_dir="/tmp/elsewhere")
+        assert a.config_hash() == b.config_hash()
+        assert reveal_cache_key(apk, a) == reveal_cache_key(apk, b)
+
+    def test_rejects_non_config_objects(self):
+        with pytest.raises(TypeError):
+            reveal_cache_key(build_simple_apk("c.k.bad"), object())
+
 
 class TestMemoryBackend:
     def test_round_trip(self):

@@ -52,3 +52,50 @@ class TestMain:
         assert payload["summary"]["total"] == 1
         assert payload["outcomes"][0]["status"] == "ok"
         assert "cache_hit_rate" in payload["summary"]
+
+
+class TestReassembleCommand:
+    def _saved_archive(self, tmp_path, package="cli.reasm"):
+        from repro.core import CollectStage
+        from tests.conftest import build_simple_apk
+
+        target = str(tmp_path / "archive")
+        CollectStage().run(build_simple_apk(package)).archive.save(target)
+        return target
+
+    def test_reassemble_emits_valid_dex(self, tmp_path, capsys):
+        from repro.dex import assert_valid, read_dex
+
+        archive = self._saved_archive(tmp_path)
+        out = str(tmp_path / "revealed.dex")
+        assert main(["reassemble", archive, "--out", out]) == 0
+        with open(out, "rb") as fh:
+            assert_valid(read_dex(fh.read()))
+        printed = capsys.readouterr().out
+        assert "reassembled" in printed and "reassemble=" in printed
+
+    def test_default_out_lands_in_archive_dir(self, tmp_path, capsys):
+        import os
+
+        archive = self._saved_archive(tmp_path, "cli.reasm.dflt")
+        assert main(["reassemble", archive]) == 0
+        assert os.path.exists(os.path.join(archive, "reassembled.dex"))
+
+    def test_json_summary(self, tmp_path, capsys):
+        archive = self._saved_archive(tmp_path, "cli.reasm.json")
+        out = str(tmp_path / "r.dex")
+        assert main(["reassemble", archive, "--out", out, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["out"] == out
+        assert payload["classes"] >= 1
+        assert set(payload["stage_timings"]) == {"reassemble", "verify"}
+
+    def test_missing_archive_is_exit_2(self, tmp_path, capsys):
+        assert main(["reassemble", str(tmp_path / "nope")]) == 2
+        assert "cannot read archive" in capsys.readouterr().err
+
+    def test_unwritable_out_is_exit_2(self, tmp_path, capsys):
+        archive = self._saved_archive(tmp_path, "cli.reasm.ro")
+        out = str(tmp_path / "no" / "such" / "dir" / "r.dex")
+        assert main(["reassemble", archive, "--out", out]) == 2
+        assert "cannot write DEX" in capsys.readouterr().err
