@@ -4,14 +4,18 @@
 
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+BENCH_TIMINGS ?= bench-smoke-timings.json
 
-.PHONY: test bench bench-batch lint all help
+.PHONY: test bench bench-batch bench-force bench-smoke lint ci all help
 
 help:
 	@echo "make test        - tier-1 verify: full pytest suite (-x -q)"
 	@echo "make bench       - regenerate every paper table/figure (pytest-benchmark)"
 	@echo "make bench-batch - batch-service throughput: serial vs parallel, cold vs warm cache"
+	@echo "make bench-force - force-execution exploration: serial vs parallel, fifo vs rarity-first"
+	@echo "make bench-smoke - every benchmark once in quick mode (--benchmark-disable); timing JSON to $(BENCH_TIMINGS)"
 	@echo "make lint        - byte-compile everything (syntax floor; uses pyflakes when present)"
+	@echo "make ci          - exactly what the CI workflow runs: lint + test + bench-smoke"
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -24,6 +28,15 @@ bench:
 bench-batch:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_batch_throughput.py --benchmark-only -s
 
+bench-force:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_force_execution.py -o python_files='bench_*.py' --benchmark-only -s
+
+# Quick mode: every benchmark file collects and executes once, untimed,
+# so a broken benchmark breaks the build; per-test timings land in
+# $(BENCH_TIMINGS) (written by benchmarks/conftest.py).
+bench-smoke:
+	$(PYTHONPATH_SRC) BENCH_TIMINGS_JSON=$(BENCH_TIMINGS) DEXLEGO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ -o python_files='bench_*.py' --benchmark-disable -q
+
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
@@ -31,5 +44,9 @@ lint:
 	else \
 		echo "pyflakes not installed; compileall-only lint passed"; \
 	fi
+
+# Mirrors .github/workflows/ci.yml: the test job runs lint + test, the
+# bench-smoke job runs bench-smoke.
+ci: lint test bench-smoke
 
 all: lint test

@@ -8,14 +8,52 @@ wall-clock cost while the printed tables carry the scientific payload.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+CI's bench-smoke lane runs the same files with ``--benchmark-disable``
+(each experiment executes once, untimed by pytest-benchmark) purely to
+catch collection and execution errors.  Because pytest-benchmark emits
+an empty JSON in that mode, this conftest writes its own per-test
+timing JSON to the path named by ``$BENCH_TIMINGS_JSON`` — the
+artifact the workflow uploads.
 """
 
+import json
 import os
 import sys
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+_TIMINGS: list[dict] = []
+
+
+def quick_mode() -> bool:
+    """True in the bench-smoke lane (``DEXLEGO_BENCH_QUICK=1``): heavy
+    experiments trim their corpora so the lane finishes in minutes."""
+    return bool(os.environ.get("DEXLEGO_BENCH_QUICK"))
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _TIMINGS.append({
+            "test": report.nodeid,
+            "outcome": report.outcome,
+            "duration_s": round(report.duration, 6),
+        })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out = os.environ.get("BENCH_TIMINGS_JSON")
+    if not out:
+        return
+    payload = {
+        "exitstatus": int(exitstatus),
+        "total_duration_s": round(sum(t["duration_s"] for t in _TIMINGS), 6),
+        "timings": sorted(_TIMINGS, key=lambda t: -t["duration_s"]),
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -14,7 +14,6 @@ from repro import (
     AppDriver,
     DexLego,
     assemble,
-    disassemble,
     flowdroid,
     register_native_library,
 )

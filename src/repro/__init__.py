@@ -44,6 +44,7 @@ from repro.core import (
     Pipeline,
     RevealConfig,
     RevealResult,
+    resume_exploration,
     reveal_apk,
     reveal_from_archive,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "horndroid",
     "read_dex",
     "register_native_library",
+    "resume_exploration",
     "reveal_apk",
     "reveal_from_archive",
     "taintart",

@@ -586,10 +586,8 @@ class StaticTaintAnalysis:
 
     def _array_key(self, signature, state, array_reg, index_reg):
         if self.config.precise_arrays:
-            index_val = state.get(index_reg)
-            # Constant index when the register was just loaded with a const
-            # string? No: integers lose constness; use register number as a
-            # weak proxy plus the array register.
+            # Integers lose constness through the transfer functions, so
+            # the index register number is the (weak) precision proxy.
             return ("arr", signature, array_reg, index_reg)
         return ("arr", signature, array_reg)
 

@@ -17,7 +17,7 @@ reproducing the documented blind spots the paper exploits in Table IV:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.sources_sinks import SINK_SIGNATURES, SOURCE_SIGNATURES
 from repro.runtime.device import EMULATOR, NEXUS_5X, DeviceProfile

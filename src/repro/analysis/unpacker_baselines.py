@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dex.builder import DexBuilder
-from repro.dex.instructions import Instruction
 from repro.dex.opcodes import IndexKind
 from repro.dex.reader import read_dex
 from repro.dex.structures import DexFile, TryBlock
@@ -105,7 +104,6 @@ class MethodLevelUnpacker:
         return builder.build()
 
     def _dump_class(self, builder: DexBuilder, klass: RuntimeClass) -> None:
-        from repro.dex.constants import AccessFlags
 
         class_builder = builder.add_class(
             klass.descriptor,

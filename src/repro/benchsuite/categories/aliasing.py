@@ -6,7 +6,6 @@ from repro.benchsuite.groundtruth import Sample
 from repro.benchsuite.smali_lib import (
     activity_class,
     helper_suffix,
-    make_sample_apk,
     multi_class_apk,
 )
 

@@ -13,7 +13,6 @@ from repro.benchsuite.smali_lib import (
     helper_suffix,
     make_sample_apk,
     multi_class_apk,
-    sink_methods,
 )
 
 

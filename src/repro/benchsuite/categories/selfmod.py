@@ -100,7 +100,6 @@ def _code1_full() -> Sample:
     leak_sig = f"{cls}->leak()V"
 
     def tamper(ctx, this, i):
-        units = ctx.method_code_units(leak_sig)
         source_pc = 0  # leak() starts with the source invoke (3 units)
         if i == 0:
             # Hide the source: invoke getImei (3u) + move-result-object (1u)

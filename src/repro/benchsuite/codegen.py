@@ -22,7 +22,6 @@ import random
 from dataclasses import dataclass, field
 
 from repro.dex.builder import ClassBuilder, DexBuilder, MethodBuilder
-from repro.dex.structures import DexFile
 from repro.errors import NativeCrash
 from repro.runtime.apk import Apk, register_native_library
 
@@ -296,14 +295,6 @@ def add_leak_sites(
     dex = builder_apk.primary_dex
     ns = builder_apk.main_activity.rsplit("/", 1)[0]
     leak_cls = f"{ns}/Telemetry;"
-    source_for = {
-        "imei": (
-            "Landroid/telephony/TelephonyManager;",
-            "getDeviceId()Ljava/lang/String;",
-        ),
-        "ssid": None,  # handled specially below
-        "location": None,
-    }
     methods = []
     for i in range(count):
         tag = tags[i % len(tags)]

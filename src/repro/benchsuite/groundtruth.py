@@ -9,7 +9,7 @@ test-suite — the declared truth must match observed behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.runtime.apk import Apk

@@ -21,6 +21,14 @@ This package is the paper's primary contribution:
 from repro.core.collection_files import CollectionArchive
 from repro.core.collector import DexLegoCollector
 from repro.core.config import RevealConfig
+from repro.core.exploration import (
+    ALL_STRATEGIES,
+    STRATEGY_BFS,
+    STRATEGY_DFS,
+    STRATEGY_RARITY,
+    ExplorationScheduler,
+    ExplorationStats,
+)
 from repro.core.force_execution import (
     BranchTraceListener,
     ForcedPathController,
@@ -33,6 +41,7 @@ from repro.core.pipeline import (
     DexLego,
     Pipeline,
     RevealResult,
+    resume_exploration,
     reveal_apk,
     reveal_from_archive,
 )
@@ -55,7 +64,13 @@ from repro.errors import StageError
 
 __all__ = [
     "ALL_STAGES",
+    "ALL_STRATEGIES",
     "BranchTraceListener",
+    "ExplorationScheduler",
+    "ExplorationStats",
+    "STRATEGY_BFS",
+    "STRATEGY_DFS",
+    "STRATEGY_RARITY",
     "CollectedInstruction",
     "CollectionArchive",
     "CollectionTree",
@@ -84,6 +99,7 @@ __all__ = [
     "StageEvent",
     "TreeNode",
     "VerifyStage",
+    "resume_exploration",
     "reveal_apk",
     "reveal_from_archive",
 ]

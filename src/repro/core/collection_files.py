@@ -29,6 +29,7 @@ METHOD_DATA_FILE = "method_data.json"
 STATIC_VALUES_FILE = "static_values.json"
 BYTECODE_FILE = "bytecode.json"
 REFLECTION_FILE = "reflection.json"
+EXPLORATION_STATE_FILE = "exploration_state.json"
 
 ALL_FILES = (
     CLASS_DATA_FILE,
@@ -38,6 +39,12 @@ ALL_FILES = (
     BYTECODE_FILE,
     REFLECTION_FILE,
 )
+
+#: Files an archive may carry but reassembly does not require.
+#: ``exploration_state.json`` is the force-execution frontier snapshot
+#: (scheduler state, covered-outcome map, counters) that lets a resumed
+#: run continue an interrupted exploration instead of restarting.
+OPTIONAL_FILES = (EXPLORATION_STATE_FILE,)
 
 
 class CollectionArchive:
@@ -126,6 +133,14 @@ class CollectionArchive:
         for name, text in self._payload.items():
             with open(os.path.join(directory, name), "w", encoding="utf-8") as fh:
                 fh.write(text)
+        # Optional files this archive does not carry must not survive
+        # from an earlier save — a stale exploration_state.json would
+        # resurrect a foreign frontier on the next load/resume.
+        for name in OPTIONAL_FILES:
+            if name not in self._payload:
+                path = os.path.join(directory, name)
+                if os.path.exists(path):
+                    os.remove(path)
 
     @classmethod
     def load(cls, directory: str) -> "CollectionArchive":
@@ -134,11 +149,144 @@ class CollectionArchive:
             path = os.path.join(directory, name)
             with open(path, encoding="utf-8") as fh:
                 payload[name] = fh.read()
+        for name in OPTIONAL_FILES:
+            path = os.path.join(directory, name)
+            if os.path.exists(path):
+                with open(path, encoding="utf-8") as fh:
+                    payload[name] = fh.read()
         return cls(payload)
 
     def total_size_bytes(self) -> int:
-        """Dump-file size (Table VI's "Dump File Size" column)."""
-        return sum(len(text.encode("utf-8")) for text in self._payload.values())
+        """Dump-file size (Table VI's "Dump File Size" column).
+
+        Counts only the Figure-2 collection files; optional
+        bookkeeping (the exploration-state snapshot) is not part of the
+        paper's metric.
+        """
+        return sum(
+            len(text.encode("utf-8"))
+            for name, text in self._payload.items()
+            if name not in OPTIONAL_FILES
+        )
+
+    # -- merging (resume) ---------------------------------------------------
+
+    @classmethod
+    def merged(cls, base: "CollectionArchive",
+               update: "CollectionArchive") -> "CollectionArchive":
+        """Union of two archives: everything either session collected.
+
+        A resumed exploration collects only its own session's runs, so
+        its archive must be merged with the archive it resumed from or
+        code executed only by the earlier session (the baseline drive,
+        prior replays) would vanish from the reveal.  Keys are unioned
+        — classes by descriptor, methods by signature, fields and
+        static values by (class, name), reflection sites by (caller,
+        pc) with targets unioned, bytecode trees with exact duplicates
+        dropped.  On conflicts ``update`` wins, except class-init state
+        and static values, where the side that actually ran ``<clinit>``
+        wins.  The exploration state is ``update``'s (it supersedes the
+        frontier it was resumed from).
+        """
+        base_classes = {e["descriptor"]: e for e in base.classes()}
+        new_classes = {e["descriptor"]: e for e in update.classes()}
+        merged_classes = []
+        for desc in list(base_classes) + \
+                [d for d in new_classes if d not in base_classes]:
+            old = base_classes.get(desc)
+            new = new_classes.get(desc)
+            if old is None or new is None:
+                merged_classes.append(old or new)
+                continue
+            entry = dict(new)
+            entry["initialized"] = old["initialized"] or new["initialized"]
+            known_methods = set(new["methods"])
+            entry["methods"] = list(new["methods"]) + [
+                m for m in old["methods"] if m not in known_methods
+            ]
+            merged_classes.append(entry)
+        # Whichever side initialized a class carries its real static
+        # values; the other side only has link-time defaults.
+        def initialized_side(desc: str) -> str:
+            old = base_classes.get(desc)
+            new = new_classes.get(desc)
+            if new is not None and new["initialized"]:
+                return "update"
+            if old is not None and old["initialized"]:
+                return "base"
+            return "update" if new is not None else "base"
+
+        def merge_keyed(base_entries, update_entries, key_of):
+            chosen = {}
+            order = []
+            for origin, entries in (("base", base_entries),
+                                    ("update", update_entries)):
+                for entry in entries:
+                    key = key_of(entry)
+                    if key not in chosen:
+                        order.append(key)
+                        chosen[key] = entry
+                    elif origin == initialized_side(entry["class"]):
+                        chosen[key] = entry
+            return [chosen[key] for key in order]
+
+        fields = merge_keyed(base.fields(), update.fields(),
+                             lambda e: (e["class"], e["name"]))
+        statics = merge_keyed(base.static_values(), update.static_values(),
+                              lambda e: (e["class"], e["field"]))
+        methods = {}
+        for entry in json.loads(base._payload[METHOD_DATA_FILE]) + \
+                json.loads(update._payload[METHOD_DATA_FILE]):
+            methods[entry["signature"]] = entry
+        seen_trees = set()
+        bytecode = []
+        for tree in json.loads(base._payload[BYTECODE_FILE]) + \
+                json.loads(update._payload[BYTECODE_FILE]):
+            digest = json.dumps(tree, sort_keys=True)
+            if digest not in seen_trees:
+                seen_trees.add(digest)
+                bytecode.append(tree)
+        reflection = {}
+        for entry in json.loads(base._payload[REFLECTION_FILE]) + \
+                json.loads(update._payload[REFLECTION_FILE]):
+            key = (entry["caller"], entry["dex_pc"])
+            site = reflection.get(key)
+            if site is None:
+                reflection[key] = {
+                    "caller": entry["caller"],
+                    "dex_pc": entry["dex_pc"],
+                    "targets": list(entry["targets"]),
+                }
+            else:
+                known = {t["signature"] for t in site["targets"]}
+                site["targets"].extend(
+                    t for t in entry["targets"] if t["signature"] not in known
+                )
+        payload = {
+            CLASS_DATA_FILE: json.dumps(merged_classes, indent=1),
+            FIELD_DATA_FILE: json.dumps(fields, indent=1),
+            METHOD_DATA_FILE: json.dumps(list(methods.values()), indent=1),
+            STATIC_VALUES_FILE: json.dumps(statics, indent=1),
+            BYTECODE_FILE: json.dumps(bytecode, indent=1),
+            REFLECTION_FILE: json.dumps(list(reflection.values()), indent=1),
+        }
+        archive = cls(payload)
+        archive.set_exploration_state(update.exploration_state())
+        return archive
+
+    # -- exploration state (force-execution resume) -------------------------
+
+    def exploration_state(self) -> dict | None:
+        """The serialised force-execution frontier, or None."""
+        text = self._payload.get(EXPLORATION_STATE_FILE)
+        return json.loads(text) if text is not None else None
+
+    def set_exploration_state(self, state: dict | None) -> None:
+        """Attach (or clear) the frontier snapshot carried by save/load."""
+        if state is None:
+            self._payload.pop(EXPLORATION_STATE_FILE, None)
+        else:
+            self._payload[EXPLORATION_STATE_FILE] = json.dumps(state, indent=1)
 
     # -- deserialisation into reassembler inputs ----------------------------------
 

@@ -16,6 +16,7 @@ framework classes are boot-classpath noise, exactly as on ART.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.method_store import CollectedTry, MethodRecord, MethodStore
@@ -67,17 +68,25 @@ class CollectedClass:
 
 @dataclass
 class ReflectionSite:
-    """One reflective invoke site and the targets resolved there."""
+    """One reflective invoke site and the targets resolved there.
+
+    The insertion-ordered ``target_static`` dict is the single source
+    of truth and is only ever mutated via ``setdefault`` — atomic under
+    the GIL, so concurrent force-execution replays sharing a collector
+    can never drop a resolved target.
+    """
 
     caller_signature: str
     dex_pc: int
-    targets: list[str] = field(default_factory=list)  # target signatures
     target_static: dict[str, bool] = field(default_factory=dict)
 
+    @property
+    def targets(self) -> list[str]:
+        """Target signatures in first-observed order."""
+        return list(self.target_static)
+
     def add_target(self, signature: str, is_static: bool) -> None:
-        if signature not in self.targets:
-            self.targets.append(signature)
-            self.target_static[signature] = is_static
+        self.target_static.setdefault(signature, is_static)
 
 
 class DexLegoCollector(RuntimeListener):
@@ -89,6 +98,13 @@ class DexLegoCollector(RuntimeListener):
         self.reflection_sites: dict[tuple[str, int], ReflectionSite] = {}
         self._active_trees: dict[int, CollectionTree] = {}
         self.instructions_observed = 0
+        # Per-frame event counts, folded into instructions_observed at
+        # method exit under the lock: a frame belongs to exactly one
+        # thread, so the hot per-instruction increment never contends,
+        # and the shared total never loses updates when parallel
+        # force-execution replays share this collector.
+        self._frame_counts: dict[int, int] = {}
+        self._stats_lock = threading.Lock()
 
     # -- class linking (metadata collection) --------------------------------
 
@@ -142,7 +158,9 @@ class DexLegoCollector(RuntimeListener):
                     )
             self.method_store.ensure(record)
             collected.method_signatures.append(method.ref.signature)
-        self.classes[klass.descriptor] = collected
+        # setdefault, not assignment: a replay thread may already have
+        # linked this class (and recorded init state on its object).
+        self.classes.setdefault(klass.descriptor, collected)
 
     def on_class_initialized(self, klass) -> None:
         collected = self.classes.get(klass.descriptor)
@@ -174,7 +192,8 @@ class DexLegoCollector(RuntimeListener):
         tree = self._active_trees.get(id(frame))
         if tree is None:
             return
-        self.instructions_observed += 1
+        key = id(frame)
+        self._frame_counts[key] = self._frame_counts.get(key, 0) + 1
         units = tuple(frame.code_units[dex_pc : dex_pc + ins.unit_count])
         payload_units = None
         if ins.opcode.fmt == "31t":
@@ -208,6 +227,10 @@ class DexLegoCollector(RuntimeListener):
         tree = self._active_trees.pop(id(frame), None)
         if tree is None:
             return
+        observed = self._frame_counts.pop(id(frame), 0)
+        if observed:
+            with self._stats_lock:
+                self.instructions_observed += observed
         if tree.root.il:
             self.method_store.add_tree(tree.method_signature, tree)
 
@@ -222,8 +245,12 @@ class DexLegoCollector(RuntimeListener):
         key = (caller.ref.signature, frame.dex_pc)
         site = self.reflection_sites.get(key)
         if site is None:
-            site = ReflectionSite(caller.ref.signature, frame.dex_pc)
-            self.reflection_sites[key] = site
+            # setdefault keeps the race between concurrent replays
+            # benign: whichever site object wins, every thread adds its
+            # target to that one.
+            site = self.reflection_sites.setdefault(
+                key, ReflectionSite(caller.ref.signature, frame.dex_pc)
+            )
         site.add_target(target_method.ref.signature, target_method.is_static)
 
     # -- summary ---------------------------------------------------------------

@@ -21,6 +21,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 
+from repro.core.exploration import ALL_STRATEGIES, STRATEGY_BFS
 from repro.runtime.device import NEXUS_5X, DeviceProfile
 
 
@@ -59,6 +60,19 @@ class RevealConfig:
       and reloaded before reassembly, proving the offline boundary.
       Not part of the configuration identity.
     * ``force_iterations`` — iteration cap for force execution.
+    * ``exploration_strategy`` — frontier order for force execution:
+      ``bfs`` / ``dfs`` / ``rarity-first``
+      (:data:`~repro.core.exploration.ALL_STRATEGIES`).
+    * ``max_paths`` — total replay budget across the exploration
+      (``None`` = unbounded; the frontier serialises for resume).
+    * ``path_budget`` — interpreter step budget per *replay* run
+      (``None`` = same as ``run_budget``).
+    * ``explore_workers`` — thread-pool width for replaying one wave of
+      path files.  The exploration itself (order, covered-UCB set,
+      coverage curve) is identical at any width because traces merge in
+      pop order; collector events interleave in completion order, so
+      archive byte layout can vary above 1 — one reason the knob feeds
+      the identity hash with the rest.
     """
 
     device: DeviceProfile = NEXUS_5X
@@ -66,6 +80,17 @@ class RevealConfig:
     run_budget: int = 2_000_000
     archive_dir: str | None = None
     force_iterations: int = 25
+    exploration_strategy: str = STRATEGY_BFS
+    max_paths: int | None = None
+    path_budget: int | None = None
+    explore_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.exploration_strategy not in ALL_STRATEGIES:
+            raise ValueError(
+                f"unknown exploration_strategy {self.exploration_strategy!r}; "
+                f"pick one of {ALL_STRATEGIES}"
+            )
 
     # -- derivation ---------------------------------------------------------
 
@@ -82,6 +107,10 @@ class RevealConfig:
             "run_budget": self.run_budget,
             "archive_dir": self.archive_dir,
             "force_iterations": self.force_iterations,
+            "exploration_strategy": self.exploration_strategy,
+            "max_paths": self.max_paths,
+            "path_budget": self.path_budget,
+            "explore_workers": self.explore_workers,
         }
 
     @classmethod
@@ -95,6 +124,11 @@ class RevealConfig:
             run_budget=data.get("run_budget", 2_000_000),
             archive_dir=data.get("archive_dir"),
             force_iterations=data.get("force_iterations", 25),
+            exploration_strategy=data.get("exploration_strategy",
+                                          STRATEGY_BFS),
+            max_paths=data.get("max_paths"),
+            path_budget=data.get("path_budget"),
+            explore_workers=data.get("explore_workers", 1),
         )
 
     def to_json(self) -> str:
@@ -107,7 +141,14 @@ class RevealConfig:
     # -- identity -----------------------------------------------------------
 
     def fingerprint(self) -> dict:
-        """The identity-relevant slice: everything except ``archive_dir``."""
+        """The identity-relevant slice: everything except ``archive_dir``.
+
+        Force-execution knobs (``force_iterations`` and the exploration
+        set) participate even when ``use_force_execution`` is off —
+        deliberately conservative: over-keying the cache costs at most
+        a recompute, while normalising inert knobs risks serving a
+        stale record if a future pipeline consults them elsewhere.
+        """
         identity = self.to_dict()
         del identity["archive_dir"]
         return identity

@@ -8,23 +8,51 @@ that reached it, with the final decision flipped), then replay with a
 the interpreter.  Unhandled exceptions are cleared
 (``runtime.tolerate_exceptions``) so infeasible paths don't kill the
 process.  Iteration stops when no new UCBs appear.
+
+Scheduling is delegated to
+:class:`~repro.core.exploration.ExplorationScheduler`: candidates are
+*offered* (decision-prefix dedup collapses repeats), popped back in
+strategy order (``bfs`` / ``dfs`` / ``rarity-first``), and capped by a
+total replay budget.  Each wave of replays runs on isolated
+:class:`~repro.runtime.art.AndroidRuntime` instances — serially or
+across a thread pool — and traces merge in pop order, so the covered
+set and exploration order are identical at any worker count.  The
+whole exploration state serialises via :meth:`ForceExecutionEngine.state_dict`
+and resumes via ``resume_state=``, which is how an interrupted
+exploration continues out of a collection archive.
 """
 
 from __future__ import annotations
 
-import json
+import threading
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.core.exploration import (
+    STRATEGY_BFS,
+    BranchSite,
+    Decision,
+    ExplorationScheduler,
+    FlipKey,
+    PathFile,
+)
 from repro.errors import BudgetExceeded, VmCrash
 from repro.runtime.art import AndroidRuntime
 from repro.runtime.device import NEXUS_5X, DeviceProfile
-from repro.runtime.events import AppDriver
+from repro.runtime.events import AppDriver, DriveReport
 from repro.runtime.exceptions import VmThrow
 from repro.runtime.hooks import BranchController, RuntimeListener
 
-BranchSite = tuple[str, int]  # (method signature, dex_pc)
-Decision = tuple[str, int, bool]
+__all__ = [
+    "BranchSite",
+    "BranchTraceListener",
+    "Decision",
+    "ForceExecutionEngine",
+    "ForceExecutionReport",
+    "ForcedPathController",
+    "PathFile",
+]
 
 
 class BranchTraceListener(RuntimeListener):
@@ -38,33 +66,6 @@ class BranchTraceListener(RuntimeListener):
         if method.declaring_class.source_dex is None:
             return
         self.trace.append((method.ref.signature, dex_pc, taken))
-
-
-@dataclass
-class PathFile:
-    """A path to one UCB: decision prefix plus the final flip (§IV-E)."""
-
-    target: BranchSite
-    forced_outcome: bool
-    decisions: list[Decision] = field(default_factory=list)
-
-    def to_json(self) -> str:
-        return json.dumps(
-            {
-                "target": list(self.target),
-                "forced_outcome": self.forced_outcome,
-                "decisions": [list(d) for d in self.decisions],
-            }
-        )
-
-    @classmethod
-    def from_json(cls, text: str) -> "PathFile":
-        data = json.loads(text)
-        return cls(
-            (data["target"][0], data["target"][1]),
-            data["forced_outcome"],
-            [(d[0], d[1], bool(d[2])) for d in data["decisions"]],
-        )
 
 
 class ForcedPathController(BranchController):
@@ -91,10 +92,15 @@ class ForcedPathController(BranchController):
             self.mismatches += 1
         return None
 
+    @property
+    def reached_target(self) -> bool:
+        """True once every decision (including the flip) was forced."""
+        return not self.queue
+
 
 @dataclass
 class ForceExecutionReport:
-    """Outcome of one engine run."""
+    """Outcome of one engine run (or one resumed continuation)."""
 
     iterations: int = 0
     runs: int = 0
@@ -103,6 +109,18 @@ class ForceExecutionReport:
     budget_exhausted_runs: int = 0
     branch_sites: int = 0
     fully_covered_sites: int = 0
+    # -- exploration-scheduler view ----------------------------------------
+    strategy: str = STRATEGY_BFS
+    workers: int = 1
+    ucbs_discovered: int = 0
+    ucbs_covered: int = 0
+    paths_deduped: int = 0
+    forced_decisions: int = 0
+    paths_reaching_target: int = 0
+    coverage_curve: list[int] = field(default_factory=list)
+    exploration_order: list[FlipKey] = field(default_factory=list)
+    frontier_pending: int = 0
+    resumed: bool = False
 
     @property
     def branch_outcome_coverage(self) -> float:
@@ -110,9 +128,51 @@ class ForceExecutionReport:
             return 1.0
         return self.fully_covered_sites / self.branch_sites
 
+    def to_summary(self) -> dict:
+        """JSON-safe digest for outcome records and batch reports."""
+        return {
+            "strategy": self.strategy,
+            "workers": self.workers,
+            "iterations": self.iterations,
+            "runs": self.runs,
+            "paths_explored": self.paths_executed,
+            "ucbs_discovered": self.ucbs_discovered,
+            "ucbs_covered": self.ucbs_covered,
+            "replays_saved_by_dedup": self.paths_deduped,
+            "paths_reaching_target": self.paths_reaching_target,
+            "forced_decisions": self.forced_decisions,
+            "branch_sites": self.branch_sites,
+            "fully_covered_sites": self.fully_covered_sites,
+            "branch_outcome_coverage": round(self.branch_outcome_coverage, 4),
+            "native_crashes": self.native_crashes,
+            "budget_exhausted_runs": self.budget_exhausted_runs,
+            "frontier_pending": self.frontier_pending,
+            "resumed": self.resumed,
+            "coverage_curve": list(self.coverage_curve),
+        }
+
 
 class ForceExecutionEngine:
-    """Drives iterative force execution over fresh runtime instances."""
+    """Drives iterative force execution over fresh runtime instances.
+
+    One iteration = one UCB/path analysis plus one *wave* of replays
+    popped from the scheduler (at most ``max_paths_per_iteration``).
+    Waves execute serially or on a ``workers``-wide thread pool; every
+    replay gets its own isolated runtime, shared listeners rely on the
+    per-frame keying of the collector (and the GIL) for safe concurrent
+    attachment, and traces merge in pop order either way — so the
+    *exploration* state (order, covered-UCB set, coverage curve) is
+    identical at any worker count.  Shared-listener *events*, however,
+    interleave in completion order, so collector counters and
+    collection-archive byte layout are only guaranteed reproducible at
+    ``workers=1``.
+
+    ``resume_state`` (a dict from :meth:`state_dict`, usually loaded
+    from a collection archive) restores the frontier, covered-outcome
+    map and counters; the constructor's ``max_paths`` then applies as
+    this session's replay budget, while the recorded strategy continues
+    (frontier priorities were stamped under it).
+    """
 
     def __init__(
         self,
@@ -123,6 +183,11 @@ class ForceExecutionEngine:
         run_budget: int = 2_000_000,
         max_iterations: int = 25,
         max_paths_per_iteration: int = 64,
+        strategy: str = STRATEGY_BFS,
+        max_paths: int | None = None,
+        path_budget: int | None = None,
+        workers: int = 1,
+        resume_state: dict | None = None,
     ) -> None:
         self.apk = apk
         self.drive = drive or (lambda driver: driver.run_standard_session())
@@ -131,18 +196,40 @@ class ForceExecutionEngine:
         self.run_budget = run_budget
         self.max_iterations = max_iterations
         self.max_paths_per_iteration = max_paths_per_iteration
+        self.path_budget = path_budget if path_budget is not None else run_budget
+        self.workers = max(1, workers)
         self.outcomes: dict[BranchSite, set[bool]] = {}
         # First-reaching trace per site, stored as (trace, index) so long
         # traces are shared rather than copied per site.
         self.site_trace: dict[BranchSite, tuple[list[Decision], int]] = {}
-        self._attempted: set[tuple[str, int, bool]] = set()
+        # Candidate path files by flip key; a site's prefix never
+        # changes once site_trace holds it, so build each once.
+        self._candidates: dict[FlipKey, PathFile] = {}
+        self._report_lock = threading.Lock()
+        self._report_seed: dict | None = None
+        self._resumed = False
+        self.last_report: ForceExecutionReport | None = None
+        if resume_state is not None:
+            self.load_state(resume_state)
+            # This session's replay budget starts fresh — resuming with
+            # the interrupting config must continue, not no-op — and
+            # prefixes whose replay never covered its flip (starved or
+            # diverged) become offerable again, so a resume with a
+            # larger path_budget can actually retry them.
+            self.scheduler.begin_session(max_paths)
+            self.scheduler.release_uncovered(self.outcomes)
+        else:
+            self.scheduler = ExplorationScheduler(strategy, max_paths)
 
     # -- one run ------------------------------------------------------------
 
     def _execute(
-        self, controller: ForcedPathController | None, report: ForceExecutionReport
+        self,
+        controller: ForcedPathController | None,
+        report: ForceExecutionReport,
+        budget: int,
     ) -> list[Decision]:
-        runtime = AndroidRuntime(self.device, max_steps=self.run_budget)
+        runtime = AndroidRuntime(self.device, max_steps=budget)
         runtime.tolerate_exceptions = True
         runtime.branch_controller = controller
         tracer = BranchTraceListener()
@@ -150,16 +237,32 @@ class ForceExecutionEngine:
         for listener in self.shared_listeners:
             runtime.add_listener(listener)
         driver = AppDriver(runtime, self.apk)
-        report.runs += 1
+        budget_hit = crashed = False
         try:
-            self.drive(driver)
+            outcome = self.drive(driver)
         except BudgetExceeded:
-            report.budget_exhausted_runs += 1
+            budget_hit = True
         except (VmCrash, VmThrow):
             # Native crashes (and any exception escaping the tolerant
             # interpreter) end the run but keep what was collected.
-            report.native_crashes += 1
-        self._merge_trace(tracer.trace)
+            crashed = True
+        else:
+            # Standard drivers absorb budget/crash endings into their
+            # DriveReport instead of raising; fold those flags in so
+            # starved replays are counted as such.
+            if isinstance(outcome, DriveReport):
+                budget_hit = outcome.budget_exhausted
+                crashed = outcome.crashed
+        with self._report_lock:
+            report.runs += 1
+            if budget_hit:
+                report.budget_exhausted_runs += 1
+            if crashed:
+                report.native_crashes += 1
+            if controller is not None:
+                report.forced_decisions += controller.forced
+                if controller.reached_target:
+                    report.paths_reaching_target += 1
         return tracer.trace
 
     def _merge_trace(self, trace: list[Decision]) -> None:
@@ -170,57 +273,216 @@ class ForceExecutionEngine:
                 # Remember the first trace reaching this site (shared ref).
                 self.site_trace[site] = (trace, index)
 
+    def _covered_sites(self) -> int:
+        return sum(1 for seen in self.outcomes.values() if len(seen) == 2)
+
+    def _absorb(self, trace: list[Decision], path: PathFile | None) -> None:
+        """Deterministic post-replay merge: trace, rarity, curve, order."""
+        self._merge_trace(trace)
+        self.scheduler.observe_trace(trace)
+        if path is not None:
+            self.scheduler.note_replayed(path)
+        self.scheduler.record_coverage(self._covered_sites())
+
     # -- UCB analysis ----------------------------------------------------------
 
     def _uncovered_branches(self) -> list[PathFile]:
         """Branch analysis + path analysis of Figure 4.
 
-        Entry-point branches (activity methods) are prioritised: flipping
-        a gate in ``onCreate`` typically unlocks far more code than a
-        data branch deep in a worker method.
+        Produces *every* current candidate, in a deterministic site
+        order; prioritisation and dedup belong to the scheduler, which
+        collapses re-proposals of prefixes it has already seen.
         """
         paths: list[PathFile] = []
-        ordered = sorted(
-            self.outcomes.items(),
-            key=lambda item: (0 if "Activity" in item[0][0] else 1, item[0]),
-        )
-        for site, seen in ordered:
+        for site, seen in sorted(self.outcomes.items()):
             if len(seen) == 2:
                 continue
             missing = not next(iter(seen))
             key = (site[0], site[1], missing)
-            if key in self._attempted:
-                continue
-            located = self.site_trace.get(site)
-            if located is None:
-                continue
-            trace, index = located
-            decisions = trace[:index] + [(site[0], site[1], missing)]
-            paths.append(PathFile(site, missing, decisions))
-            if len(paths) >= self.max_paths_per_iteration:
-                break
+            path = self._candidates.get(key)
+            if path is None:
+                located = self.site_trace.get(site)
+                if located is None:
+                    continue
+                trace, index = located
+                decisions = trace[:index] + [(site[0], site[1], missing)]
+                path = PathFile(site, missing, decisions)
+                self._candidates[key] = path
+            paths.append(path)
         return paths
+
+    # -- wave replay --------------------------------------------------------
+
+    def _replay_wave(
+        self, wave: list[PathFile], report: ForceExecutionReport
+    ) -> list[list[Decision]]:
+        """Replay one wave of path files on isolated runtimes.
+
+        Traces come back in wave (pop) order regardless of backend, so
+        the merged exploration state is worker-count-independent.
+        """
+
+        def replay(path: PathFile) -> list[Decision]:
+            # Round-trip through the serialised path-file format.
+            controller = ForcedPathController(PathFile.from_json(path.to_json()))
+            return self._execute(controller, report, self.path_budget)
+
+        if self.workers == 1 or len(wave) == 1:
+            return [replay(path) for path in wave]
+        pool_size = min(self.workers, len(wave))
+        with ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="explore"
+        ) as pool:
+            return list(pool.map(replay, wave))
 
     # -- iteration loop -----------------------------------------------------------
 
     def run(self) -> ForceExecutionReport:
-        report = ForceExecutionReport()
-        self._execute(None, report)  # the "previous execution" baseline
-        for _ in range(self.max_iterations):
-            paths = self._uncovered_branches()
-            if not paths:
+        report = self._new_report()
+        scheduler = self.scheduler
+        if not self._resumed:
+            # The "previous execution" baseline of Figure 4.
+            trace = self._execute(None, report, self.run_budget)
+            self._absorb(trace, None)
+        # The iteration cap, like max_paths, is a per-session budget:
+        # report.iterations stays cumulative across resumes, the cap
+        # governs only this session's analysis rounds.
+        session_iterations = 0
+        while session_iterations < self.max_iterations:
+            for path in self._uncovered_branches():
+                scheduler.offer(path)
+            wave = scheduler.pop_wave(self.max_paths_per_iteration)
+            if not wave:
                 break
+            session_iterations += 1
             report.iterations += 1
-            for path in paths:
-                self._attempted.add(
-                    (path.target[0], path.target[1], path.forced_outcome)
-                )
-                # Round-trip through the serialised path-file format.
-                controller = ForcedPathController(PathFile.from_json(path.to_json()))
-                self._execute(controller, report)
-                report.paths_executed += 1
-        report.branch_sites = len(self.outcomes)
-        report.fully_covered_sites = sum(
-            1 for seen in self.outcomes.values() if len(seen) == 2
-        )
+            traces = self._replay_wave(wave, report)
+            for path, trace in zip(wave, traces):
+                self._absorb(trace, path)
+            if scheduler.replays_remaining() == 0:
+                break
+        self._finalize(report)
+        self.last_report = report
         return report
+
+    def _new_report(self) -> ForceExecutionReport:
+        report = ForceExecutionReport()
+        seed = self._report_seed
+        if seed is not None:
+            report.iterations = seed.get("iterations", 0)
+            report.runs = seed.get("runs", 0)
+            report.native_crashes = seed.get("native_crashes", 0)
+            report.budget_exhausted_runs = seed.get("budget_exhausted_runs", 0)
+            report.forced_decisions = seed.get("forced_decisions", 0)
+            report.paths_reaching_target = seed.get("paths_reaching_target", 0)
+            report.resumed = True
+        return report
+
+    def _finalize(self, report: ForceExecutionReport) -> None:
+        report.branch_sites = len(self.outcomes)
+        report.fully_covered_sites = self._covered_sites()
+        self.scheduler.finalize_covered(self.outcomes)
+        stats = self.scheduler.stats
+        # The scheduler's stats are the single source for replay
+        # counters; the report mirrors them (cumulative across resumes).
+        report.paths_executed = stats.paths_explored
+        report.strategy = self.scheduler.strategy
+        report.workers = self.workers
+        report.ucbs_discovered = stats.ucbs_discovered
+        report.ucbs_covered = stats.ucbs_covered
+        report.paths_deduped = stats.replays_saved_by_dedup
+        report.coverage_curve = list(stats.coverage_curve)
+        report.exploration_order = list(stats.exploration_order)
+        report.frontier_pending = self.scheduler.pending
+
+    # -- state (resume) -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe exploration state: frontier, coverage, counters.
+
+        Serialised into the collection archive by the collect stage;
+        feeding it back as ``resume_state`` continues the exploration
+        (no baseline re-run, frontier and dedup set intact).
+        """
+        # Counters come from the finished run, or — for a resumed
+        # engine checkpointed before/without run() completing — from
+        # the seed loaded out of resume_state, so cumulative run counts
+        # survive a save that happens between sessions.
+        if self.last_report is not None:
+            seed = {
+                "iterations": self.last_report.iterations,
+                "runs": self.last_report.runs,
+                "native_crashes": self.last_report.native_crashes,
+                "budget_exhausted_runs":
+                    self.last_report.budget_exhausted_runs,
+                "forced_decisions": self.last_report.forced_decisions,
+                "paths_reaching_target":
+                    self.last_report.paths_reaching_target,
+            }
+        else:
+            seed = self._report_seed or {}
+        counters = {
+            key: seed.get(key, 0)
+            for key in ("iterations", "runs", "native_crashes",
+                        "budget_exhausted_runs", "forced_decisions",
+                        "paths_reaching_target")
+        }
+        # Serialise each distinct trace once and point sites at it by
+        # (trace id, index) — mirroring the in-memory sharing; copying
+        # trace[:index] per site would blow the file up quadratically.
+        traces: list[list[Decision]] = []
+        trace_ids: dict[int, int] = {}
+        site_refs: list[list] = []
+        for (signature, dex_pc), (trace, index) in sorted(
+                self.site_trace.items()):
+            tid = trace_ids.get(id(trace))
+            if tid is None:
+                tid = len(traces)
+                trace_ids[id(trace)] = tid
+                traces.append(trace)
+            site_refs.append([signature, dex_pc, tid, index])
+        return {
+            "version": 1,
+            # Which application this frontier belongs to (the main
+            # activity anchors the signature space the path files
+            # reference); resuming against a different app is rejected
+            # instead of silently merging two apps' collections.
+            "apk_main_activity": getattr(self.apk, "main_activity", None),
+            "scheduler": self.scheduler.to_dict(),
+            "outcomes": [
+                [signature, dex_pc, sorted(seen)]
+                for (signature, dex_pc), seen in sorted(self.outcomes.items())
+            ],
+            "traces": [[list(d) for d in trace] for trace in traces],
+            "site_traces": site_refs,
+            # Run-level counters the scheduler does not own; replay
+            # counts and curves live in (and resume from) the
+            # scheduler's own stats above.
+            "report": counters,
+        }
+
+    def load_state(self, state: dict) -> None:
+        recorded = state.get("apk_main_activity")
+        current = getattr(self.apk, "main_activity", None)
+        if recorded is not None and current is not None \
+                and recorded != current:
+            raise ValueError(
+                f"exploration state belongs to an app with main activity "
+                f"{recorded!r}, not {current!r}; refusing to merge two "
+                "applications"
+            )
+        self.scheduler = ExplorationScheduler.from_dict(state["scheduler"])
+        self.outcomes = {
+            (signature, dex_pc): {bool(v) for v in seen}
+            for signature, dex_pc, seen in state.get("outcomes", [])
+        }
+        traces = [
+            [(d[0], d[1], bool(d[2])) for d in trace]
+            for trace in state.get("traces", [])
+        ]
+        self.site_trace = {
+            (signature, dex_pc): (traces[tid], index)
+            for signature, dex_pc, tid, index in state.get("site_traces", [])
+        }
+        self._report_seed = state.get("report", {})
+        self._resumed = True

@@ -8,6 +8,7 @@ flags) the reassembler needs to rebuild a method.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.tree import CollectionTree
@@ -57,15 +58,22 @@ class MethodRecord:
     tries: list[CollectedTry] = field(default_factory=list)
     trees: list[CollectionTree] = field(default_factory=list)
     _fingerprints: set = field(default_factory=set)
+    # Guards the fingerprint check-then-append, which must stay atomic
+    # when parallel force-execution replays share one collector; method
+    # exit is cold enough that the lock is free in practice.
+    _tree_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def add_tree(self, tree: CollectionTree) -> bool:
         """Add a per-execution tree; returns False if it was a duplicate."""
         fingerprint = tree.fingerprint()
-        if fingerprint in self._fingerprints:
-            return False
-        self._fingerprints.add(fingerprint)
-        self.trees.append(tree)
-        return True
+        with self._tree_lock:
+            if fingerprint in self._fingerprints:
+                return False
+            self._fingerprints.add(fingerprint)
+            self.trees.append(tree)
+            return True
 
     @property
     def executed(self) -> bool:
@@ -82,11 +90,9 @@ class MethodStore:
         self.records: dict[str, MethodRecord] = {}
 
     def ensure(self, record: MethodRecord) -> MethodRecord:
-        existing = self.records.get(record.signature)
-        if existing is None:
-            self.records[record.signature] = record
-            return record
-        return existing
+        # setdefault, not check-then-assign: re-linking must never
+        # replace a record another replay thread already added trees to.
+        return self.records.setdefault(record.signature, record)
 
     def get(self, signature: str) -> MethodRecord | None:
         return self.records.get(signature)

@@ -136,17 +136,55 @@ class Pipeline:
         """The full Figure-1 pipeline for one application."""
         timings: dict[str, float] = {}
         collected = self.collect(apk, drive, timings=timings)
+        return self._finish_run(apk, collected, timings)
+
+    def resume(self, apk: Apk, source: "CollectionArchive | str | os.PathLike",
+               drive=None) -> RevealResult:
+        """Continue an interrupted force-execution exploration.
+
+        ``source`` is a saved collection archive (or directory) whose
+        ``exploration_state.json`` carries the frontier of a previous
+        run; collection restarts *from that frontier* — no baseline
+        re-drive, dedup set intact — then the offline half runs as
+        usual.  Raises ``ValueError`` when the archive has no
+        exploration state to resume.
+        """
+        if isinstance(source, (str, os.PathLike)):
+            archive = CollectionArchive.load(os.fspath(source))
+        else:
+            archive = source
+        state = archive.exploration_state()
+        if state is None:
+            raise ValueError(
+                "archive carries no exploration_state.json to resume; "
+                "run collection with use_force_execution first"
+            )
+        timings: dict[str, float] = {}
+        collected = self._timed(STAGE_COLLECT, timings,
+                                self.collect_stage.run, apk, drive, state)
+        # The session's collector saw only this session's replays; merge
+        # with the archive being resumed so code executed only by the
+        # earlier session (baseline drive, prior replays) stays revealed
+        # — and a no-op resume (empty frontier) degrades to the saved
+        # archive instead of clobbering it with empty collection files.
+        collected.archive = CollectionArchive.merged(archive,
+                                                     collected.archive)
+        return self._finish_run(apk, collected, timings)
+
+    def _finish_run(self, apk: Apk, collected: CollectResult,
+                    timings: dict[str, float]) -> RevealResult:
+        """Shared archive-persistence + offline suffix after collection."""
         archive = collected.archive
         if self.config.archive_dir is not None:
             # Prove the offline boundary: serialise to disk, reload.
             # Persistence failures belong to the collect stage (its
-            # output could not be written), with full attribution.
+            # output could not be written) and surface as a StageError;
+            # no extra observer event — the stage itself already
+            # notified once, and the contract is one event per stage.
             try:
                 archive.save(self.config.archive_dir)
                 archive = CollectionArchive.load(self.config.archive_dir)
             except OSError as exc:
-                self._notify(StageEvent(STAGE_COLLECT, 0.0, ok=False,
-                                        error=str(exc)))
                 raise StageError(STAGE_COLLECT, exc) from exc
         dex, revealed = self._offline(archive, apk, timings)
         return RevealResult(
@@ -288,3 +326,20 @@ def reveal_from_archive(
     """Standalone offline entry point: saved collection files in,
     verified (optionally repacked) DEX out — no runtime, no drive."""
     return Pipeline(config, observer=observer).reveal_from_archive(source, apk)
+
+
+def resume_exploration(
+    source: CollectionArchive | str | os.PathLike,
+    apk: Apk,
+    config: RevealConfig | None = None,
+    drive=None,
+    observer: PipelineObserver | None = None,
+) -> RevealResult:
+    """Continue an interrupted force-execution run from a saved archive.
+
+    The archive's ``exploration_state.json`` restores the scheduler
+    frontier, covered-outcome map and dedup set; replays pick up where
+    the previous session's budget stopped them (``config.max_paths``
+    applies afresh to this session).
+    """
+    return Pipeline(config, observer=observer).resume(apk, source, drive)

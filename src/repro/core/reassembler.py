@@ -30,7 +30,6 @@ from repro.core.method_store import MethodRecord, MethodStore
 from repro.core.tree import CollectedInstruction, TreeNode
 from repro.dex.builder import ClassBuilder, DexBuilder, MethodBuilder
 from repro.dex.constants import AccessFlags
-from repro.dex.instructions import Instruction
 from repro.dex.opcodes import IndexKind
 from repro.dex.payloads import decode_payload
 from repro.dex.sigs import parse_field_signature, parse_method_signature

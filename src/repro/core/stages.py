@@ -94,16 +94,25 @@ class CollectStage:
     def __init__(self, config: RevealConfig | None = None) -> None:
         self.config = config or RevealConfig()
 
-    def run(self, apk: Apk, drive=None) -> CollectResult:
+    def run(self, apk: Apk, drive=None,
+            resume_state: dict | None = None) -> CollectResult:
+        """Drive (or resume) collection.
+
+        ``resume_state`` is a force-execution frontier snapshot (the
+        archive's ``exploration_state.json``); passing one continues an
+        interrupted exploration — force execution is implied even when
+        the config flag is off, because the state only exists for it.
+        """
         config = self.config
         collector = DexLegoCollector()
+        engine = None
         force_report = None
         crashed = False
         crash_reason = ""
         budget_exhausted = False
         drive = drive or (lambda driver: driver.run_standard_session())
         try:
-            if config.use_force_execution:
+            if config.use_force_execution or resume_state is not None:
                 engine = ForceExecutionEngine(
                     apk,
                     drive=drive,
@@ -111,6 +120,11 @@ class CollectStage:
                     shared_listeners=[collector],
                     run_budget=config.run_budget,
                     max_iterations=config.force_iterations,
+                    strategy=config.exploration_strategy,
+                    max_paths=config.max_paths,
+                    path_budget=config.path_budget,
+                    workers=config.explore_workers,
+                    resume_state=resume_state,
                 )
                 force_report = engine.run()
             else:
@@ -137,8 +151,13 @@ class CollectStage:
             raise
         except Exception as exc:
             raise StageError(self.name, exc) from exc
+        archive = CollectionArchive.from_collector(collector)
+        if engine is not None:
+            # Persist the frontier with the collection files, so the
+            # archive is enough to continue an interrupted exploration.
+            archive.set_exploration_state(engine.state_dict())
         return CollectResult(
-            archive=CollectionArchive.from_collector(collector),
+            archive=archive,
             collector_stats=collector.stats(),
             force_report=force_report,
             crashed=crashed,

@@ -8,7 +8,7 @@ of an APK's DEX files.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.cfg import ControlFlowGraph
 from repro.dex.structures import DexFile

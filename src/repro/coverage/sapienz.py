@@ -11,7 +11,7 @@ precisely why fuzzing alone plateaus around a third of the instructions
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import BudgetExceeded, VmCrash
 from repro.runtime.apk import Apk

@@ -20,7 +20,6 @@ programmatic API.
 from __future__ import annotations
 
 import re
-import shlex
 
 from repro.dex.builder import ClassBuilder, DexBuilder, MethodBuilder
 from repro.dex.constants import AccessFlags

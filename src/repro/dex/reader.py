@@ -15,7 +15,6 @@ from repro.dex.constants import (
     DEX_MAGIC,
     ENDIAN_CONSTANT,
     HEADER_SIZE,
-    NO_INDEX,
     EncodedValueType,
 )
 from repro.dex.leb128 import decode_sleb128, decode_uleb128

@@ -10,7 +10,7 @@ every index reference (including those embedded in instructions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.dex.constants import NO_INDEX, AccessFlags, EncodedValueType, shorty_of
 from repro.dex.instructions import Instruction, iter_instructions

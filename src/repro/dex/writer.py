@@ -15,7 +15,6 @@ from repro.dex.constants import (
     DEX_MAGIC,
     ENDIAN_CONSTANT,
     HEADER_SIZE,
-    NO_INDEX,
     EncodedValueType,
     MapItemType,
 )

@@ -339,7 +339,18 @@ def run_table6(limit: int | None = None,
 
 def run_table7(limit: int | None = None,
                force_iterations: int = 3,
-               max_paths: int = 150) -> ExperimentResult:
+               max_paths_per_iteration: int = 150,
+               strategy: str = "bfs",
+               explore_workers: int = 1) -> ExperimentResult:
+    """Coverage with and without force execution (Table VII).
+
+    ``max_paths_per_iteration`` caps each analysis round's replay wave
+    (named to avoid colliding with ``RevealConfig.max_paths``, the
+    *total* replay budget).  ``strategy`` / ``explore_workers`` select
+    the exploration-scheduler frontier order and wave-replay pool;
+    results are identical at any worker count, so parallelism here is
+    wall-clock only.
+    """
     apps = all_fdroid_apps()
     if limit:
         apps = apps[:limit]
@@ -354,7 +365,9 @@ def run_table7(limit: int | None = None,
         engine = ForceExecutionEngine(
             app.apk, shared_listeners=[collector],
             max_iterations=force_iterations,
-            max_paths_per_iteration=max_paths,
+            max_paths_per_iteration=max_paths_per_iteration,
+            strategy=strategy,
+            workers=explore_workers,
         )
         engine.run()
         combined_report = collector.report(app.apk.dex_files)

@@ -102,7 +102,6 @@ def _build_shell_dex(shell_class: str, recipe: ShellRecipe) -> DexFile:
 
 def _register_shell_natives(apk: Apk, shell_class: str, recipe: ShellRecipe) -> str:
     original_main = apk.main_activity
-    state_key = ("shell", recipe.vendor, apk.package)
 
     def decrypt_payload(runtime) -> bytes:
         assets = runtime.current_apk.assets

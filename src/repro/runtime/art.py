@@ -8,7 +8,7 @@ runs an application inside one of these.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import BudgetExceeded
 from repro.runtime.class_linker import ClassLinker

@@ -8,7 +8,7 @@ missed flow), and sources (IMEI, location, SSID) read device state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,14 @@ class RuntimeListener:
     def on_branch(self, frame, dex_pc: int, ins, taken: bool) -> None:
         """A conditional branch resolved to ``taken``."""
 
+    def on_branch_forced(self, frame, dex_pc: int, ins, forced: bool) -> None:
+        """Force execution overrode a branch: the concrete outcome was
+        ``not forced`` but the controller steered it to ``forced``.
+        Fires *before* the matching :meth:`on_branch` (which reports the
+        forced outcome), only when the override actually flipped the
+        branch — collectors can use it to tell manipulated control flow
+        from organic control flow (paper §IV-E)."""
+
     def on_invoke(self, frame, dex_pc: int, callee, args: list) -> None:
         """About to invoke ``callee`` (bytecode or native)."""
 
@@ -62,6 +70,9 @@ class BranchController:
 
     Return ``None`` to keep the concrete outcome, or a bool to force the
     branch.  Attached to the runtime by the force-execution engine.
+    One controller belongs to exactly one runtime/replay — the parallel
+    exploration scheduler never shares a controller across the isolated
+    runtimes of a wave, so implementations need no locking.
     """
 
     def decide(self, frame, dex_pc: int, ins, concrete_taken: bool) -> bool | None:

@@ -21,7 +21,7 @@ import math
 from repro.dex.instructions import Instruction
 from repro.dex.payloads import decode_payload
 from repro.dex.structures import MethodRef
-from repro.errors import BudgetExceeded, ClassLinkError, VmCrash
+from repro.errors import ClassLinkError, VmCrash
 from repro.runtime.exceptions import VmThrow, is_instance_of
 from repro.runtime.frames import Frame
 from repro.runtime.klass import RuntimeMethod
@@ -562,6 +562,9 @@ def _make_if(cond: str, zero: bool):
         if controller is not None:
             forced = controller.decide(frame, pc, ins, taken)
             if forced is not None:
+                if forced != taken:
+                    for listener in interp.runtime.listeners:
+                        listener.on_branch_forced(frame, pc, ins, forced)
                 taken = forced
         for listener in interp.runtime.listeners:
             listener.on_branch(frame, pc, ins, taken)

@@ -10,7 +10,7 @@ JIT collection reads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.dex.constants import AccessFlags

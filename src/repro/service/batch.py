@@ -22,11 +22,12 @@ Backend notes
 
 The ``process`` backend serialises each APK to bytes and rebuilds the
 pipeline in the worker, so it only ships jobs it can reconstruct there:
-no ``drive`` callable (closures do not pickle) and a device profile
-from the built-in registry; other jobs transparently run in the parent
-while the pool works.  On platforms whose process start method is not
-``fork``, registered native libraries are not inherited by workers —
-thread remains the safe default everywhere.
+no ``drive`` callable (closures do not pickle); the device profile —
+custom or registry — travels whole inside ``RevealConfig.to_dict()``.
+Jobs with a drive transparently run in the parent while the pool
+works.  On platforms whose process start method is not ``fork``,
+registered native libraries are not inherited by workers — thread
+remains the safe default everywhere.
 """
 
 from __future__ import annotations
@@ -42,7 +43,7 @@ from repro.core.config import RevealConfig, resolve_config
 from repro.core.pipeline import DexLego
 from repro.errors import StageError, VerificationError
 from repro.runtime.apk import Apk
-from repro.runtime.device import EMULATOR, NEXUS_5X, TABLET, DeviceProfile
+from repro.runtime.device import DeviceProfile
 from repro.service.cache import RevealCache, reveal_cache_key
 from repro.service.outcomes import (
     STATUS_ERROR,
@@ -53,8 +54,6 @@ from repro.service.outcomes import (
 from repro.service.stats import BatchReport
 
 BACKENDS = ("thread", "process", "serial")
-
-_DEVICES_BY_NAME = {d.name: d for d in (NEXUS_5X, EMULATOR, TABLET)}
 
 #: Environment override consulted when a service (or experiment runner)
 #: does not pin a worker count; also settable via :func:`set_default_workers`.
@@ -121,6 +120,10 @@ class BatchRevealService:
         use_force_execution: bool | None = None,
         run_budget: int | None = None,
         force_iterations: int | None = None,
+        exploration_strategy: str | None = None,
+        max_paths: int | None = None,
+        path_budget: int | None = None,
+        explore_workers: int | None = None,
         config: RevealConfig | None = None,
         workers: int | None = None,
         backend: str = "thread",
@@ -137,6 +140,10 @@ class BatchRevealService:
             use_force_execution=use_force_execution,
             run_budget=run_budget,
             force_iterations=force_iterations,
+            exploration_strategy=exploration_strategy,
+            max_paths=max_paths,
+            path_budget=path_budget,
+            explore_workers=explore_workers,
         )
         self.workers = max(1, workers) if workers is not None \
             else default_worker_count()
@@ -311,10 +318,10 @@ class BatchRevealService:
                 executor.shutdown()
 
     def _process_safe(self, job: RevealJob) -> bool:
-        """Can this job ship to a process worker?  No closures, and a
-        device profile the worker can rebuild from its registry."""
-        device = job.device or self.device
-        return job.drive is None and _DEVICES_BY_NAME.get(device.name) == device
+        """Can this job ship to a process worker?  Only a ``drive``
+        callable blocks shipping (closures do not pickle); any device
+        profile travels whole inside ``RevealConfig.to_dict()``."""
+        return job.drive is None
 
     def _run_job(self, job: RevealJob, key: str = "") -> RevealOutcome:
         lego = self.pipeline_for(job)
@@ -332,6 +339,8 @@ class BatchRevealService:
                     collector_stats=collected.collector_stats,
                     error=collected.crash_reason,
                     stage_timings=timings,
+                    exploration=(collected.force_report.to_summary()
+                                 if collected.force_report else {}),
                     cache_key=key,
                 )
             result = lego.reveal(job.apk, drive=job.drive)
@@ -365,6 +374,8 @@ class BatchRevealService:
             collector_stats=result.collector_stats,
             error=result.crash_reason,
             stage_timings=result.stage_timings,
+            exploration=(result.force_report.to_summary()
+                         if result.force_report else {}),
             cache_key=key,
             result=result,
         )

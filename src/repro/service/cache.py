@@ -151,6 +151,7 @@ class RevealCache:
             "collector_stats": dict(outcome.collector_stats),
             "error": outcome.error,
             "stage_timings": dict(outcome.stage_timings),
+            "exploration": dict(outcome.exploration),
         }
         if self.directory is None:
             record["apk_bytes"] = apk_bytes
@@ -184,6 +185,7 @@ class RevealCache:
             cache_key=key,
             revealed_apk_bytes=record.get("apk_bytes"),
             stage_timings=dict(record.get("stage_timings", {})),
+            exploration=dict(record.get("exploration", {})),
         )
 
     def __contains__(self, key: str) -> bool:

@@ -29,6 +29,7 @@ import json
 import os
 import sys
 
+from repro.core.exploration import ALL_STRATEGIES, STRATEGY_BFS
 from repro.service.batch import BACKENDS, BatchRevealService, RevealJob
 from repro.service.outcomes import STATUS_ERROR, STATUS_VERIFY_FAILED
 
@@ -93,6 +94,19 @@ def main(argv: list[str] | None = None) -> int:
                        help="enable the code coverage improvement module")
     batch.add_argument("--budget", type=int, default=2_000_000,
                        help="interpreter step budget per run")
+    batch.add_argument("--strategy", choices=ALL_STRATEGIES,
+                       default=STRATEGY_BFS,
+                       help="force-execution frontier order "
+                            "(default: bfs)")
+    batch.add_argument("--max-paths", type=int, default=None,
+                       help="total replay budget for force execution "
+                            "(default: unbounded)")
+    batch.add_argument("--path-budget", type=int, default=None,
+                       help="interpreter step budget per replay "
+                            "(default: same as --budget)")
+    batch.add_argument("--explore-workers", type=int, default=1,
+                       help="thread-pool width for replaying one wave of "
+                            "path files (default: 1)")
     batch.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
     reasm = sub.add_parser(
@@ -120,6 +134,10 @@ def main(argv: list[str] | None = None) -> int:
         service = BatchRevealService(
             use_force_execution=args.force_execution,
             run_budget=args.budget,
+            exploration_strategy=args.strategy,
+            max_paths=args.max_paths,
+            path_budget=args.path_budget,
+            explore_workers=args.explore_workers,
             workers=args.workers,
             backend=args.backend,
             cache_dir=args.cache_dir,
@@ -167,7 +185,14 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run_reassemble(args) -> int:
-    """The ``reassemble`` subcommand: archive dir → verified DEX file."""
+    """The ``reassemble`` subcommand: archive dir → verified DEX file.
+
+    Bad input never escapes as a traceback: a missing or unreadable
+    archive directory, undecodable collection files
+    (``UnicodeDecodeError`` is a ``ValueError``, not an ``OSError``)
+    and stage-level reassembly failures all exit non-zero with a
+    one-line diagnostic.
+    """
     from repro.core import reveal_from_archive
     from repro.dex.writer import write_dex
     from repro.errors import StageError
@@ -176,6 +201,9 @@ def _run_reassemble(args) -> int:
         result = reveal_from_archive(args.archive)
     except OSError as exc:
         print(f"cannot read archive {args.archive!r}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"corrupt archive {args.archive!r}: {exc}", file=sys.stderr)
         return 2
     except StageError as err:
         print(f"reassembly failed in the {err.stage} stage: {err.cause}",

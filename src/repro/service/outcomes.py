@@ -88,6 +88,11 @@ class RevealOutcome:
       and stage-level ``error`` records; empty otherwise.
     * ``stage_timings`` — per-stage wall-clock seconds from the
       pipeline run, keyed by stage name.
+    * ``exploration`` — force-execution scheduler digest
+      (:meth:`~repro.core.force_execution.ForceExecutionReport.to_summary`:
+      strategy, paths explored, UCBs discovered vs. covered, replays
+      saved by dedup, coverage curve); empty when the coverage module
+      did not run.
     * ``cache_key`` — content-addressed key the record is stored under.
     * ``result`` — the live :class:`RevealResult` when the pipeline ran
       in-process; ``None`` for disk-cache hits and process workers.
@@ -104,6 +109,7 @@ class RevealOutcome:
     error: str = ""
     failed_stage: str = ""
     stage_timings: dict = field(default_factory=dict)
+    exploration: dict = field(default_factory=dict)
     cache_key: str = ""
     result: RevealResult | None = None
     revealed_apk_bytes: bytes | None = None
@@ -141,5 +147,6 @@ class RevealOutcome:
                 stage: round(seconds, 6)
                 for stage, seconds in self.stage_timings.items()
             },
+            "exploration": self.exploration,
             "cache_key": self.cache_key,
         }

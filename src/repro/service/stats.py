@@ -93,6 +93,30 @@ class BatchReport:
     def p95_latency_s(self) -> float:
         return percentile(self.latencies, 0.95)
 
+    # -- exploration --------------------------------------------------------
+
+    def exploration_summary(self) -> dict:
+        """Aggregate force-execution scheduler stats across the batch.
+
+        Empty when no outcome ran the coverage module; otherwise the
+        fleet view of the exploration: total paths replayed, UCBs
+        discovered vs. covered, and the replays dedup saved.
+        """
+        explored = [o.exploration for o in self.outcomes if o.exploration]
+        if not explored:
+            return {}
+        return {
+            "apps_explored": len(explored),
+            "paths_explored": sum(e.get("paths_explored", 0)
+                                  for e in explored),
+            "ucbs_discovered": sum(e.get("ucbs_discovered", 0)
+                                   for e in explored),
+            "ucbs_covered": sum(e.get("ucbs_covered", 0) for e in explored),
+            "replays_saved_by_dedup": sum(
+                e.get("replays_saved_by_dedup", 0) for e in explored
+            ),
+        }
+
     # -- presentation -------------------------------------------------------
 
     def summary(self) -> dict:
@@ -110,6 +134,7 @@ class BatchReport:
             "p95_latency_s": round(self.p95_latency_s, 6),
             "workers": self.workers,
             "backend": self.backend,
+            "exploration": self.exploration_summary(),
         }
 
     def render(self) -> str:
@@ -118,7 +143,7 @@ class BatchReport:
         breakdown = "  ".join(
             f"{status}={count}" for status, count in counts.items() if count
         ) or "(empty batch)"
-        return "\n".join([
+        lines = [
             f"batch: {self.total} app(s) via {self.workers} "
             f"{self.backend} worker(s) in {self.wall_time_s:.2f}s "
             f"({self.apps_per_sec:.2f} apps/sec)",
@@ -127,4 +152,14 @@ class BatchReport:
             f"({self.cache_hit_rate:.0%})",
             f"latency: p50={self.p50_latency_s * 1000:.1f}ms  "
             f"p95={self.p95_latency_s * 1000:.1f}ms",
-        ])
+        ]
+        exploration = self.exploration_summary()
+        if exploration:
+            lines.append(
+                f"exploration: {exploration['paths_explored']} path(s) over "
+                f"{exploration['apps_explored']} app(s), UCBs "
+                f"{exploration['ucbs_covered']}/{exploration['ucbs_discovered']} "
+                f"covered, {exploration['replays_saved_by_dedup']} replay(s) "
+                f"saved by dedup"
+            )
+        return "\n".join(lines)

@@ -1,6 +1,5 @@
 """Static taint engine and tool-profile differentiation tests."""
 
-import pytest
 
 from repro.analysis import (
     DROIDSAFE_LIKE,
@@ -8,7 +7,6 @@ from repro.analysis import (
     HORNDROID_LIKE,
     StaticTool,
     all_tools,
-    droidsafe,
     flowdroid,
     horndroid,
 )

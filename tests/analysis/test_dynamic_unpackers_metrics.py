@@ -1,6 +1,5 @@
 """Dynamic taint, unpacker baselines, metrics, CFG and call graph."""
 
-import pytest
 
 from repro.analysis import (
     AppSpearLike,
@@ -16,7 +15,7 @@ from repro.analysis import (
 from repro.benchsuite import sample_by_name
 from repro.dex import assemble
 from repro.packers import Qihoo360Packer
-from repro.runtime import EMULATOR, NEXUS_5X, AndroidRuntime, Apk, AppDriver
+from repro.runtime import EMULATOR, NEXUS_5X, AndroidRuntime, AppDriver
 
 from tests.conftest import build_simple_apk
 
@@ -88,7 +87,7 @@ class TestUnpackerBaselines:
     def test_dump_keeps_dead_code(self):
         sample = sample_by_name("DeadCode0")
         packed = Qihoo360Packer().pack(sample.build_apk())
-        dumped = DexHunterLike().unpack(packed).unpacked_apk
+        DexHunterLike().unpack(packed)
         # Wait: DeadCode0's orphan class is never LOADED, so a dump-based
         # unpacker cannot contain it either -- but the ordinary (unpacked)
         # analysis still sees it in the original DEX.  Here we check the

@@ -1,6 +1,5 @@
 """Procedural app generation and app corpora tests."""
 
-import pytest
 
 from repro.benchsuite import (
     AppProfile,

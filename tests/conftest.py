@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dex import DexBuilder, assemble
-from repro.runtime import AndroidRuntime, Apk, AppDriver
+from repro.dex import assemble
+from repro.runtime import AndroidRuntime, Apk
 
 
 @pytest.fixture

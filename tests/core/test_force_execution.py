@@ -87,8 +87,6 @@ class TestEngine:
             _gated_apk("f.e2"), shared_listeners=[collector], max_iterations=4
         )
         engine.run()
-        executed = {pc for sig, pc in collector.executed_instructions
-                    if "onCreate" in sig}
         # The sget/add/sput block behind the gate executed in some run.
         report = collector.report(_gated_apk("f.e2b").dex_files)
         assert report.instructions == 1.0

@@ -1,6 +1,5 @@
 """Reassembler and end-to-end pipeline tests."""
 
-import pytest
 
 from repro.analysis import horndroid
 from repro.core import INSTRUMENT_CLASS, DexLego

@@ -1,6 +1,5 @@
 """Coverage collector, fuzzer and CF-Bench tests."""
 
-import pytest
 
 from repro.benchsuite import AppProfile, generate_app
 from repro.coverage import (

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dex import DexBuilder, assemble, assert_valid, disassemble, write_dex, read_dex
-from repro.dex.instructions import Instruction
 from repro.errors import AssemblyError
 
 

@@ -1,8 +1,6 @@
 """Instruction model tests."""
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.dex import OPCODES, Instruction, iter_instructions
 from repro.dex.opcodes import IndexKind, opcode_for

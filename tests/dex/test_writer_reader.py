@@ -82,7 +82,6 @@ class TestRoundTrip:
         by_name = {}
         for encoded, value in zip(cls.static_fields, cls.static_values):
             by_name[dex.field_ref(encoded.field_idx).name] = value
-        from repro.dex.constants import EncodedValueType
 
         assert dex.string(by_name["NAME"].value) == "roundtrip"
         assert by_name["COUNT"].value == 42

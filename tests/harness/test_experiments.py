@@ -1,8 +1,7 @@
 """Experiment harness tests (scaled-down runs of each table/figure)."""
 
-import pytest
 
-from repro.benchsuite import droidbench_samples, sample_by_name
+from repro.benchsuite import sample_by_name
 from repro.harness import (
     render_table,
     run_fig5,

@@ -272,9 +272,10 @@ class TestProcessBackend:
         assert report.outcomes[0].result is None
         assert report.outcomes[0].revealed_apk is not None
 
-    def test_custom_device_jobs_never_ship_to_workers(self):
-        # A worker can only rebuild registry devices; anything else must
-        # run in the parent so results reflect the *actual* profile.
+    def test_custom_device_jobs_ship_whole_profiles(self):
+        # Workers rebuild the full device profile from
+        # RevealConfig.to_dict(), so custom profiles ship fine; only a
+        # drive callable (unpicklable) keeps a job in the parent.
         import dataclasses
 
         from repro.runtime import NEXUS_5X
@@ -282,10 +283,11 @@ class TestProcessBackend:
         custom = dataclasses.replace(NEXUS_5X, imei="999999999999999")
         service = BatchRevealService(backend="process", workers=2,
                                      device=custom)
-        assert not service._process_safe(
+        assert service._process_safe(
             RevealJob("c", build_simple_apk("svc.dev.c")))
-        assert BatchRevealService(backend="process")._process_safe(
-            RevealJob("r", build_simple_apk("svc.dev.r")))
+        assert not service._process_safe(
+            RevealJob("d", build_simple_apk("svc.dev.d"),
+                      drive=lambda driver: driver.launch()))
         report = service.reveal_batch(_corpus(2, "svc.dev"))
         assert all(o.status == STATUS_OK for o in report.outcomes)
 
@@ -303,3 +305,54 @@ class TestProcessBackend:
         report = BatchRevealService(workers=2, backend="process") \
             .reveal_batch(jobs)
         assert [o.status for o in report.outcomes] == [STATUS_OK, STATUS_OK]
+
+
+class TestExplorationSurface:
+    """Force-execution scheduler stats flow outcome → report."""
+
+    def test_outcome_carries_exploration_summary(self):
+        service = BatchRevealService(use_force_execution=True,
+                                     exploration_strategy="rarity-first",
+                                     explore_workers=2)
+        outcome = service.reveal_one(build_simple_apk("svc.explore"))
+        assert outcome.status == STATUS_OK
+        assert outcome.exploration["strategy"] == "rarity-first"
+        assert outcome.exploration["workers"] == 2
+        assert "ucbs_discovered" in outcome.exploration
+        assert "replays_saved_by_dedup" in outcome.exploration
+        assert outcome.to_summary()["exploration"] == outcome.exploration
+
+    def test_report_aggregates_exploration(self):
+        service = BatchRevealService(use_force_execution=True)
+        report = service.reveal_batch(_corpus(2, prefix="svc.explagg"))
+        aggregate = report.exploration_summary()
+        assert aggregate["apps_explored"] == 2
+        assert aggregate["paths_explored"] >= 0
+        assert report.summary()["exploration"] == aggregate
+        assert "exploration:" in report.render()
+
+    def test_no_exploration_block_when_module_off(self):
+        report = BatchRevealService().reveal_batch(
+            _corpus(1, prefix="svc.noexpl"))
+        assert report.outcomes[0].exploration == {}
+        assert report.exploration_summary() == {}
+        assert "exploration:" not in report.render()
+
+    def test_exploration_survives_the_disk_cache(self, tmp_path):
+        # A warm-cache hit must carry the original run's exploration
+        # stats, not silently drop them.
+        apk = build_simple_apk("svc.explcache")
+        cold = BatchRevealService(use_force_execution=True,
+                                  cache_dir=str(tmp_path)).reveal_one(apk)
+        warm = BatchRevealService(use_force_execution=True,
+                                  cache_dir=str(tmp_path)).reveal_one(apk)
+        assert warm.cache_hit
+        assert warm.exploration == cold.exploration != {}
+
+    def test_exploration_knobs_feed_cache_identity(self):
+        base = BatchRevealService(use_force_execution=True)
+        rare = BatchRevealService(use_force_execution=True,
+                                  exploration_strategy="rarity-first")
+        apk = build_simple_apk("svc.explkey")
+        job = RevealJob("k", apk)
+        assert base.job_cache_key(job) != rare.job_cache_key(job)

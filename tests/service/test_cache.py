@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import DexLego
 from repro.dex import assemble
-from repro.runtime import Apk
 from repro.service import (
     STATUS_ERROR,
     STATUS_OK,

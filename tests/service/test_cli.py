@@ -99,3 +99,48 @@ class TestReassembleCommand:
         out = str(tmp_path / "no" / "such" / "dir" / "r.dex")
         assert main(["reassemble", archive, "--out", out]) == 2
         assert "cannot write DEX" in capsys.readouterr().err
+
+
+class TestReassembleRobustness:
+    """Bad archives exit non-zero with a one-line error, no traceback."""
+
+    def _fill(self, directory, payload: bytes):
+        from repro.core.collection_files import ALL_FILES
+
+        directory.mkdir(exist_ok=True)
+        for name in ALL_FILES:
+            (directory / name).write_bytes(payload)
+        return str(directory)
+
+    def test_binary_garbage_is_exit_2_one_line(self, tmp_path, capsys):
+        archive = self._fill(tmp_path / "bin", b"\xff\xfe\x00bad")
+        assert main(["reassemble", archive]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt archive" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_invalid_json_is_exit_1_one_line(self, tmp_path, capsys):
+        archive = self._fill(tmp_path / "txt", b"not json {{")
+        assert main(["reassemble", archive]) == 1
+        err = capsys.readouterr().err
+        assert "reassembly failed" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_archive_path_that_is_a_file_is_exit_2(self, tmp_path, capsys):
+        target = tmp_path / "file.json"
+        target.write_text("x")
+        assert main(["reassemble", str(target)]) == 2
+        assert "cannot read archive" in capsys.readouterr().err
+
+
+class TestExplorationFlags:
+    def test_reveal_batch_accepts_scheduler_knobs(self, capsys):
+        args = ["reveal-batch", "--corpus", "fdroid", "--limit", "1",
+                "--force-execution", "--strategy", "rarity-first",
+                "--max-paths", "5", "--explore-workers", "2", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        exploration = payload["outcomes"][0]["exploration"]
+        assert exploration["strategy"] == "rarity-first"
+        assert exploration["paths_explored"] <= 5
+        assert payload["summary"]["exploration"]["apps_explored"] == 1
