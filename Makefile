@@ -5,8 +5,9 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCH_TIMINGS ?= bench-smoke-timings.json
+SERVE_SMOKE_STORE ?= .serve-smoke
 
-.PHONY: test bench bench-batch bench-force bench-smoke lint ci all help
+.PHONY: test bench bench-batch bench-force bench-smoke serve-smoke lint ci all help
 
 help:
 	@echo "make test        - tier-1 verify: full pytest suite (-x -q)"
@@ -14,8 +15,9 @@ help:
 	@echo "make bench-batch - batch-service throughput: serial vs parallel, cold vs warm cache"
 	@echo "make bench-force - force-execution exploration: serial vs parallel, fifo vs rarity-first"
 	@echo "make bench-smoke - every benchmark once in quick mode (--benchmark-disable); timing JSON to $(BENCH_TIMINGS)"
+	@echo "make serve-smoke - boot the reveal server, submit two jobs, assert clean shutdown"
 	@echo "make lint        - byte-compile everything (syntax floor; uses pyflakes when present)"
-	@echo "make ci          - exactly what the CI workflow runs: lint + test + bench-smoke"
+	@echo "make ci          - exactly what the CI workflow runs: lint + test + bench-smoke + serve-smoke"
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -37,6 +39,19 @@ bench-force:
 bench-smoke:
 	$(PYTHONPATH_SRC) BENCH_TIMINGS_JSON=$(BENCH_TIMINGS) DEXLEGO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ -o python_files='bench_*.py' --benchmark-disable -q
 
+# End-to-end server smoke: journal two jobs into a fresh store, boot a
+# server against it, drain, and assert both jobs reached `done` with a
+# clean shutdown.  Mirrors the CI bench-smoke job's serve step.
+serve-smoke:
+	rm -rf $(SERVE_SMOKE_STORE)
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.service submit --store $(SERVE_SMOKE_STORE) --corpus fdroid --limit 2
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.service serve --store $(SERVE_SMOKE_STORE) --workers 2
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.service status --store $(SERVE_SMOKE_STORE) --json | \
+		$(PYTHON) -c "import json,sys; payload = json.load(sys.stdin); \
+		assert payload['counts'] == {'done': 2}, payload['counts']; \
+		print('serve-smoke: 2 job(s) done, clean shutdown')"
+	rm -rf $(SERVE_SMOKE_STORE)
+
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
@@ -46,7 +61,7 @@ lint:
 	fi
 
 # Mirrors .github/workflows/ci.yml: the test job runs lint + test, the
-# bench-smoke job runs bench-smoke.
-ci: lint test bench-smoke
+# bench-smoke job runs bench-smoke + serve-smoke.
+ci: lint test bench-smoke serve-smoke
 
 all: lint test

@@ -1,0 +1,123 @@
+"""Reveal-server throughput — job lanes, queue wait, event overhead.
+
+Not a paper table: this measures the job-oriented server the
+reproduction adds on top of the batch service.  One F-Droid corpus is
+pushed through three shapes:
+
+* ``batch``  — the ``reveal_batch`` façade (submit_all + await_all on
+  an ephemeral server), the drop-in replacement for the old pool;
+* ``lanes``  — the same jobs submitted across high/normal/low priority
+  lanes against a single worker, verifying lane order is honoured and
+  recording the queue-wait percentiles the lanes create;
+* ``events`` — a 4-worker server with a subscriber consuming the full
+  unified event stream, pricing the progress channel.
+
+The printed table carries wall time, p50/p95 queue wait and the event
+count per run; the assertions pin the semantics (lane ordering, event
+lifecycle coverage) so a regression breaks the build, not just the
+numbers.
+"""
+
+from benchmarks.conftest import run_once
+from repro.benchsuite import all_fdroid_apps
+from repro.harness.tables import render_table
+from repro.service import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    BatchRevealService,
+    RevealJob,
+    RevealServer,
+)
+
+WORKERS = 4
+LANES = (PRIORITY_HIGH, PRIORITY_NORMAL, PRIORITY_LOW)
+
+
+def _corpus_jobs():
+    return [RevealJob(app.package, app.apk) for app in all_fdroid_apps()]
+
+
+def test_server_throughput_and_lanes(benchmark):
+    jobs = _corpus_jobs()
+    results = {}
+
+    def run():
+        import time
+
+        # batch: the reveal_batch façade end to end.
+        started = time.perf_counter()
+        report = BatchRevealService(workers=WORKERS).reveal_batch(jobs)
+        results["batch"] = {
+            "wall_s": time.perf_counter() - started,
+            "p50_wait_s": report.p50_queue_wait_s,
+            "p95_wait_s": report.p95_queue_wait_s,
+            "events": 0,
+            "note": f"{report.total} ok={report.ok_count}",
+        }
+
+        # lanes: one worker, every lane loaded, completion order must
+        # follow lane priority.
+        started = time.perf_counter()
+        server = RevealServer(workers=1, autostart=False)
+        by_lane = {
+            lane: [server.submit(job, priority=lane) for job in jobs]
+            for lane in LANES
+        }
+        server.start()
+        server.close()
+        lane_report = {
+            lane: max(h.finished_at for h in handles)
+            for lane, handles in by_lane.items()
+        }
+        results["lanes"] = {
+            "wall_s": time.perf_counter() - started,
+            "p50_wait_s": sorted(
+                h.queue_wait_s for hs in by_lane.values() for h in hs
+            )[len(jobs) * len(LANES) // 2],
+            "p95_wait_s": max(
+                h.queue_wait_s for hs in by_lane.values() for h in hs),
+            "events": len(server.bus.history),
+            "note": "lane order honoured",
+        }
+        assert lane_report[PRIORITY_HIGH] <= lane_report[PRIORITY_NORMAL] \
+            <= lane_report[PRIORITY_LOW]
+
+        # events: full stream consumed while a 4-worker pool drains.
+        started = time.perf_counter()
+        server = RevealServer(workers=WORKERS)
+        stream = server.events()
+        handles = server.submit_all(jobs)
+        server.await_all(handles)
+        server.close()
+        consumed = list(stream)
+        results["events"] = {
+            "wall_s": time.perf_counter() - started,
+            "p50_wait_s": sorted(h.queue_wait_s for h in handles)[
+                len(handles) // 2],
+            "p95_wait_s": max(h.queue_wait_s for h in handles),
+            "events": len(consumed),
+            "note": f"{sum(e.terminal for e in consumed)} terminal",
+        }
+        assert sum(1 for e in consumed if e.kind == "done") == len(jobs)
+        return results
+
+    run_once(benchmark, run)
+
+    rows = [
+        [
+            name,
+            f"{entry['wall_s']:.2f}s",
+            f"{entry['p50_wait_s'] * 1000:.1f}ms",
+            f"{entry['p95_wait_s'] * 1000:.1f}ms",
+            str(entry["events"]),
+            entry["note"],
+        ]
+        for name, entry in results.items()
+    ]
+    print()
+    print(render_table(
+        "Reveal server (F-Droid corpus)",
+        ["Run", "Wall", "p50 wait", "p95 wait", "Events", "Note"],
+        rows,
+    ))

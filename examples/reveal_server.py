@@ -1,0 +1,101 @@
+"""Reveal server: a prioritized batch with live progress.
+
+Submits a six-app corpus across the three priority lanes against a
+single-worker server (so lane order is visible in the completion
+order), streams every event — lifecycle transitions, pipeline stages,
+cache hits — as it happens, cancels a queued job before it ever runs,
+and prints the queue-latency picture at the end.
+
+Run:  python examples/reveal_server.py
+"""
+
+from repro.dex import assemble
+from repro.runtime import Apk
+from repro.service import JobState, RevealJob, RevealServer
+
+SMALI_TEMPLATE = """
+.class public L{cls};
+.super Landroid/app/Activity;
+.field public total:I
+
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 6
+    const/4 v0, 0
+    const/4 v1, 0
+    :loop
+    const/16 v2, {rounds}
+    if-ge v1, v2, :done
+    mul-int v3, v1, v1
+    add-int v0, v0, v3
+    add-int/lit8 v1, v1, 1
+    goto :loop
+    :done
+    iput v0, p0, L{cls};->total:I
+    return-void
+.end method
+"""
+
+
+def build_app(name: str, rounds: int) -> Apk:
+    cls = f"ex/srv/{name.capitalize()}"
+    smali = SMALI_TEMPLATE.format(cls=cls, rounds=rounds)
+    return Apk(f"ex.srv.{name}", f"L{cls};", [assemble(smali)])
+
+
+def main() -> None:
+    corpus = [
+        ("backfill-a", "low"),
+        ("backfill-b", "low"),
+        ("nightly-a", "normal"),
+        ("nightly-b", "normal"),
+        ("analyst-sample", "high"),
+        ("doomed", "low"),  # cancelled before it ever runs
+    ]
+
+    print("== live event stream ==")
+    # One worker: completions happen strictly in lane order, whatever
+    # the submission order above says.
+    server = RevealServer(
+        workers=1,
+        autostart=False,  # stage the whole queue first
+        observers=[lambda e: print(f"  [{e.seq:>2}] {e.kind:<10} "
+                                   f"{e.app_id}")],
+    )
+    handles = {
+        name: server.submit(
+            RevealJob(name, build_app(name, rounds=8 + i)),
+            priority=lane,
+        )
+        for i, (name, lane) in enumerate(corpus)
+    }
+
+    server.cancel(handles["doomed"].job_id)
+    server.start()
+    outcomes = server.await_all()
+    server.close()
+
+    print("\n== completion order (lanes honoured) ==")
+    finished = sorted(
+        (h for h in handles.values() if h.state == JobState.DONE),
+        key=lambda h: h.finished_at,
+    )
+    for handle in finished:
+        print(f"  {handle.app_id:<16} priority={handle.priority} "
+              f"wait={handle.queue_wait_s * 1000:6.1f}ms "
+              f"run={handle.run_s * 1000:6.1f}ms")
+
+    doomed = handles["doomed"]
+    print(f"\n  {doomed.app_id}: state={doomed.state} "
+          f"(pipeline never ran, outcome={doomed.outcome})")
+
+    print(f"\n== {len(outcomes)} outcome(s) ==")
+    for outcome in outcomes:
+        print(f"  {outcome.app_id:<16} {outcome.status:<4} "
+              f"queue_wait={outcome.queue_wait_s * 1000:6.1f}ms")
+
+    assert [h.app_id for h in finished][0] == "analyst-sample"
+    assert doomed.state == JobState.CANCELLED
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,7 @@ import hashlib
 import heapq
 import json
 from dataclasses import dataclass, field
+from typing import Callable
 
 BranchSite = tuple[str, int]  # (method signature, dex_pc)
 Decision = tuple[str, int, bool]
@@ -196,6 +197,10 @@ class ExplorationScheduler:
         #: (the rarity signal).
         self.site_observations: dict[BranchSite, int] = {}
         self.stats = ExplorationStats()
+        #: Optional progress callback: called with a JSON-safe snapshot
+        #: after each replayed wave merges (see :meth:`notify_wave`).
+        #: Session-local — never serialised with the frontier.
+        self.wave_observer: Callable[[dict], None] | None = None
 
     # -- trace feedback -----------------------------------------------------
 
@@ -304,6 +309,29 @@ class ExplorationScheduler:
 
     def record_coverage(self, covered_sites: int) -> None:
         self.stats.coverage_curve.append(covered_sites)
+
+    def wave_snapshot(self, wave_size: int) -> dict:
+        """JSON-safe progress digest after one wave of replays merged."""
+        curve = self.stats.coverage_curve
+        return {
+            "wave_size": wave_size,
+            "paths_explored": self.stats.paths_explored,
+            "ucbs_discovered": self.stats.ucbs_discovered,
+            "replays_saved_by_dedup": self.stats.replays_saved_by_dedup,
+            "frontier_pending": self.pending,
+            "covered_sites": curve[-1] if curve else 0,
+            "strategy": self.strategy,
+        }
+
+    def notify_wave(self, wave_size: int) -> None:
+        """Push a wave snapshot to the observer (which must not be able
+        to break the exploration — exceptions are swallowed)."""
+        if self.wave_observer is None:
+            return
+        try:
+            self.wave_observer(self.wave_snapshot(wave_size))
+        except Exception:
+            pass
 
     def finalize_covered(self, outcomes: dict[BranchSite, set[bool]]) -> None:
         """How many discovered UCB flips ended up actually covered."""

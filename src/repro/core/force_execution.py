@@ -188,6 +188,7 @@ class ForceExecutionEngine:
         path_budget: int | None = None,
         workers: int = 1,
         resume_state: dict | None = None,
+        wave_observer=None,
     ) -> None:
         self.apk = apk
         self.drive = drive or (lambda driver: driver.run_standard_session())
@@ -220,6 +221,9 @@ class ForceExecutionEngine:
             self.scheduler.release_uncovered(self.outcomes)
         else:
             self.scheduler = ExplorationScheduler(strategy, max_paths)
+        # Progress channel: the scheduler pushes a snapshot after every
+        # merged wave (session-local, never part of the resume state).
+        self.scheduler.wave_observer = wave_observer
 
     # -- one run ------------------------------------------------------------
 
@@ -359,6 +363,7 @@ class ForceExecutionEngine:
             traces = self._replay_wave(wave, report)
             for path, trace in zip(wave, traces):
                 self._absorb(trace, path)
+            scheduler.notify_wave(len(wave))
             if scheduler.replays_remaining() == 0:
                 break
         self._finalize(report)

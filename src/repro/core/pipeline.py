@@ -94,10 +94,12 @@ class Pipeline:
         self,
         config: RevealConfig | None = None,
         observer: PipelineObserver | None = None,
+        wave_observer=None,
     ) -> None:
         self.config = config or RevealConfig()
         self.observer = observer
-        self.collect_stage = CollectStage(self.config)
+        self.collect_stage = CollectStage(self.config,
+                                          wave_observer=wave_observer)
         self.reassemble_stage = ReassembleStage()
         self.verify_stage = VerifyStage()
         self.repack_stage = RepackStage()
@@ -258,6 +260,7 @@ class DexLego:
         force_iterations: int | None = None,
         config: RevealConfig | None = None,
         observer: PipelineObserver | None = None,
+        wave_observer=None,
     ) -> None:
         config = resolve_config(
             config,
@@ -268,7 +271,8 @@ class DexLego:
             force_iterations=force_iterations,
         )
         self.config = config
-        self.pipeline = Pipeline(config, observer=observer)
+        self.pipeline = Pipeline(config, observer=observer,
+                                 wave_observer=wave_observer)
 
     # Attribute views kept for callers that read the old constructor
     # fields off the instance.

@@ -91,8 +91,13 @@ class CollectStage:
 
     name = STAGE_COLLECT
 
-    def __init__(self, config: RevealConfig | None = None) -> None:
+    def __init__(self, config: RevealConfig | None = None,
+                 wave_observer=None) -> None:
         self.config = config or RevealConfig()
+        #: Optional exploration progress callback, forwarded to the
+        #: force-execution scheduler (callables cannot live on the
+        #: frozen, hashable config, so this travels beside it).
+        self.wave_observer = wave_observer
 
     def run(self, apk: Apk, drive=None,
             resume_state: dict | None = None) -> CollectResult:
@@ -125,6 +130,7 @@ class CollectStage:
                     path_budget=config.path_budget,
                     workers=config.explore_workers,
                     resume_state=resume_state,
+                    wave_observer=self.wave_observer,
                 )
                 force_report = engine.run()
             else:

@@ -18,9 +18,17 @@ Usage::
     dexlego-repro --workers 4 table1   # parallel corpus reveal
     dexlego-repro --list
 
+    dexlego-repro serve --store /tmp/q   # the service CLI's subcommands
+    dexlego-repro submit --store /tmp/q --corpus fdroid
+    dexlego-repro status --store /tmp/q
+    dexlego-repro watch --store /tmp/q
+
 For corpus-scale extraction *without* the paper's measurement harness
 (per-app outcome records, caching, throughput stats), use
-``python -m repro.service reveal-batch`` instead.
+``python -m repro.service reveal-batch`` — and the job-server
+subcommands (``serve`` / ``submit`` / ``status`` / ``watch``) are
+available from this front door too, delegated verbatim to
+:mod:`repro.service.cli`.
 """
 
 from __future__ import annotations
@@ -32,8 +40,17 @@ import time
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.service import set_default_workers
 
+#: Service-CLI subcommands this front door forwards unchanged.
+SERVICE_COMMANDS = ("serve", "submit", "status", "watch",
+                    "reveal-batch", "reassemble")
+
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] in SERVICE_COMMANDS:
+        from repro.service.cli import main as service_main
+
+        return service_main(argv)
     parser = argparse.ArgumentParser(
         prog="dexlego-repro",
         description="Reproduce the tables and figures of DexLego (DSN 2018).",

@@ -4,15 +4,24 @@ Layer above :mod:`repro.core`: where the core pipeline reveals *one*
 application, this package reveals *corpora* — the consumer posture of
 the paper's evaluation (markets, app stores, analysis fleets):
 
+* :class:`~repro.service.server.RevealServer` — the job-oriented async
+  front end: submit / poll / await / cancel, priority lanes,
+  backpressure, restart recovery via a :class:`~repro.service.jobs.JobStore`
+* :class:`~repro.service.events.EventBus` /
+  :class:`~repro.service.events.JobEvent` — the unified progress
+  stream (lifecycle + pipeline stages + exploration waves + cache hits)
 * :class:`~repro.service.batch.BatchRevealService` — worker-pool
-  execution (thread / process / serial) with per-app crash isolation
+  execution (thread / process / serial) with per-app crash isolation;
+  ``reveal_batch`` is now a façade over the server
 * :class:`~repro.service.cache.RevealCache` — content-addressed result
   cache keyed on DEX checksum × pipeline-config hash
 * :class:`~repro.service.outcomes.RevealOutcome` — uniform per-app
   records (ok / crashed / budget-exceeded / verify-failed / error)
 * :class:`~repro.service.stats.BatchReport` — aggregate throughput
-  (apps/sec, cache hit rate, p50/p95 latency)
-* ``python -m repro.service`` — the batch CLI
+  (apps/sec, cache hit rate, p50/p95 latency and queue wait)
+* ``python -m repro.service`` — the batch + server CLI
+  (``reveal-batch``, ``reassemble``, ``serve``, ``submit``, ``status``,
+  ``watch``)
 """
 
 from repro.service.batch import (
@@ -22,6 +31,32 @@ from repro.service.batch import (
     default_worker_count,
     set_default_workers,
 )
+from repro.service.events import (
+    ALL_EVENTS,
+    EVENT_CACHE_HIT,
+    EVENT_CANCELLED,
+    EVENT_DONE,
+    EVENT_FAILED,
+    EVENT_STAGE,
+    EVENT_STARTED,
+    EVENT_SUBMITTED,
+    EVENT_WAVE,
+    TERMINAL_EVENTS,
+    EventBus,
+    EventStream,
+    JobEvent,
+)
+from repro.service.jobs import (
+    PRIORITIES,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    JobHandle,
+    JobState,
+    JobStore,
+    resolve_priority,
+)
+from repro.service.server import QueueFull, RevealServer
 from repro.service.cache import (
     RevealCache,
     apk_content_key,
@@ -42,24 +77,47 @@ from repro.service.outcomes import (
 from repro.service.stats import BatchReport, percentile
 
 __all__ = [
+    "ALL_EVENTS",
     "ALL_STATUSES",
     "BACKENDS",
     "BatchReport",
     "BatchRevealService",
     "CACHEABLE_STATUSES",
+    "EVENT_CACHE_HIT",
+    "EVENT_CANCELLED",
+    "EVENT_DONE",
+    "EVENT_FAILED",
+    "EVENT_STAGE",
+    "EVENT_STARTED",
+    "EVENT_SUBMITTED",
+    "EVENT_WAVE",
+    "EventBus",
+    "EventStream",
+    "JobEvent",
+    "JobHandle",
+    "JobState",
+    "JobStore",
+    "PRIORITIES",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "QueueFull",
     "RevealCache",
     "RevealJob",
     "RevealOutcome",
+    "RevealServer",
     "STATUS_BUDGET_EXCEEDED",
     "STATUS_CRASHED",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_VERIFY_FAILED",
+    "TERMINAL_EVENTS",
     "apk_content_key",
     "classify_result",
     "default_worker_count",
     "percentile",
     "pipeline_config_key",
+    "resolve_priority",
     "reveal_cache_key",
     "set_default_workers",
 ]

@@ -15,7 +15,14 @@ run it over *corpora*.  This module is that production posture:
   pays for apps whose bytes or pipeline configuration changed,
 * the returned :class:`~repro.service.stats.BatchReport` preserves
   submission order and carries throughput aggregates (apps/sec, cache
-  hit rate, p50/p95 latency).
+  hit rate, p50/p95 latency and queue wait).
+
+Since the job-server redesign, ``reveal_batch`` is a façade:
+``thread``/``serial`` corpora run through an ephemeral
+:class:`~repro.service.server.RevealServer` (``submit_all`` +
+``await_all``), which is also where incremental submission, priorities,
+cancellation and the unified event stream live for callers that want
+more than call-and-wait.
 
 Backend notes
 -------------
@@ -177,8 +184,15 @@ class BatchRevealService:
             return self.config
         return self.config.replace(device=job.device)
 
-    def pipeline_for(self, job: RevealJob) -> DexLego:
-        """A fresh, job-private pipeline (runtimes are never shared)."""
+    def pipeline_for(self, job: RevealJob, observer=None,
+                     wave_observer=None) -> DexLego:
+        """A fresh, job-private pipeline (runtimes are never shared).
+
+        ``observer`` receives the pipeline's per-stage
+        :class:`~repro.core.stages.StageEvent` records and
+        ``wave_observer`` the exploration scheduler's wave snapshots —
+        the two channels the reveal server unifies into its event bus.
+        """
         config = self.config_for(job)
         if config.archive_dir is not None:
             # Collection files have fixed names, so parallel jobs
@@ -186,7 +200,8 @@ class BatchRevealService:
             # their save/load round-trips; scope it per job.
             config = config.replace(
                 archive_dir=os.path.join(config.archive_dir, job.app_id))
-        return DexLego(config=config)
+        return DexLego(config=config, observer=observer,
+                       wave_observer=wave_observer)
 
     def job_cache_key(self, job: RevealJob) -> str:
         salt = job.cache_salt
@@ -197,22 +212,105 @@ class BatchRevealService:
     # -- single job ---------------------------------------------------------
 
     def reveal_one(self, job: RevealJob | Apk) -> RevealOutcome:
-        """Run (or fetch) one job; never raises for per-app failures."""
+        """Run (or fetch) one job; never raises for per-app failures.
+
+        Routed through :meth:`RevealCache.get_or_compute`, so two
+        threads revealing the same bytes under the same config run one
+        pipeline and share the admitted record.
+        """
         job = self._coerce(job)
-        key = self.job_cache_key(job) if job.cacheable else ""
-        cached = self._lookup(job, key)
-        if cached is not None:
-            return cached
-        outcome = self._run_job(job, key)
-        self._store(job, outcome)
+        if not job.cacheable:
+            return self._run_job(job, "")
+        key = self.job_cache_key(job)
+        outcome, hit = self.cache.get_or_compute(
+            key, lambda: self._run_job(job, key))
+        if hit:
+            outcome.app_id = job.app_id  # content-addressed, not name-addressed
         return outcome
 
     # -- batch --------------------------------------------------------------
 
+    def server(self, **kwargs) -> "RevealServer":
+        """A :class:`~repro.service.server.RevealServer` owned by this
+        service — shared config, shared cache.  Keyword arguments
+        (``max_pending=``, ``store=``, ``autostart=``...) pass through."""
+        from repro.service.server import RevealServer
+
+        kwargs.setdefault(
+            "workers", 1 if self.backend == "serial" else self.workers)
+        return RevealServer(service=self, **kwargs)
+
+    def submit_all(self, jobs: Iterable[RevealJob | Apk], server,
+                   priority=None) -> list:
+        """Submit a corpus to ``server``; returns the job handles.
+
+        A delegate kept for symmetry with ``await_all`` — the server's
+        own :meth:`~repro.service.server.RevealServer.submit_all` is
+        the implementation (including the Apk→RevealJob coercion).
+        """
+        if priority is None:
+            return server.submit_all(jobs)
+        return server.submit_all(jobs, priority=priority)
+
+    @staticmethod
+    def await_all(handles) -> list[RevealOutcome]:
+        """Block until every handle resolves; outcomes in handle order
+        (cancelled jobs, which produce none, are skipped)."""
+        outcomes = []
+        for handle in handles:
+            outcome = handle.wait()
+            if outcome is not None:
+                outcomes.append(outcome)
+        return outcomes
+
     def reveal_batch(self, jobs: Iterable[RevealJob | Apk]) -> BatchReport:
-        """Run a corpus; outcomes come back in submission order."""
+        """Run a corpus; outcomes come back in submission order.
+
+        A thin façade over the job server: cache hits resolve in the
+        calling thread (a warm corpus never pays for queueing), then
+        the misses run as ``submit_all`` + ``await_all`` against an
+        ephemeral :class:`~repro.service.server.RevealServer`.  The
+        ``process`` backend keeps its dedicated pool — process workers
+        rebuild the pipeline from picklable primitives, which is not a
+        thread-pool concern — and the ``serial`` backend is a
+        one-worker server.
+        """
         job_list = [self._coerce(j) for j in jobs]
         started = time.perf_counter()
+        if self.backend == "process" and job_list:
+            outcomes = self._reveal_batch_pooled(job_list)
+        else:
+            slots: list[RevealOutcome | None] = [None] * len(job_list)
+            # The key hashes every DEX and asset — compute it once per
+            # job and hand it to the server with the submission.
+            pending: list[tuple[int, RevealJob, str]] = []
+            for index, job in enumerate(job_list):
+                key = self.job_cache_key(job) if job.cacheable else ""
+                cached = self._lookup(job, key)
+                if cached is not None:
+                    slots[index] = cached
+                else:
+                    pending.append((index, job, key))
+            if pending:
+                server = self.server()
+                try:
+                    handles = [server.submit(job, cache_key=key)
+                               for _, job, key in pending]
+                    for (index, _job, _key), handle in zip(pending, handles):
+                        slots[index] = handle.wait()
+                finally:
+                    server.close()
+            outcomes = [o for o in slots if o is not None]
+        return BatchReport(
+            outcomes=outcomes,
+            wall_time_s=time.perf_counter() - started,
+            workers=self.workers,
+            backend=self.backend,
+        )
+
+    def _reveal_batch_pooled(
+            self, job_list: list[RevealJob]) -> list[RevealOutcome]:
+        """The pre-server batch body, kept for the process backend."""
         outcomes: list[RevealOutcome | None] = [None] * len(job_list)
 
         # The key hashes every DEX and asset — compute it once per job.
@@ -226,20 +324,14 @@ class BatchRevealService:
                 pending.append((index, job, key))
 
         if pending:
-            if self.backend == "serial" or self.workers <= 1 or len(pending) == 1:
+            if self.workers <= 1 or len(pending) == 1:
                 for index, job, key in pending:
                     outcomes[index] = self._run_job(job, key)
             else:
                 self._run_pool(pending, outcomes)
             for index, job, _key in pending:
                 self._store(job, outcomes[index])
-
-        return BatchReport(
-            outcomes=[o for o in outcomes if o is not None],
-            wall_time_s=time.perf_counter() - started,
-            workers=self.workers,
-            backend=self.backend,
-        )
+        return [o for o in outcomes if o is not None]
 
     # -- internals ----------------------------------------------------------
 
@@ -323,8 +415,10 @@ class BatchRevealService:
         profile travels whole inside ``RevealConfig.to_dict()``."""
         return job.drive is None
 
-    def _run_job(self, job: RevealJob, key: str = "") -> RevealOutcome:
-        lego = self.pipeline_for(job)
+    def _run_job(self, job: RevealJob, key: str = "", observer=None,
+                 wave_observer=None) -> RevealOutcome:
+        lego = self.pipeline_for(job, observer=observer,
+                                 wave_observer=wave_observer)
         started = time.perf_counter()
         try:
             if job.collect_only:

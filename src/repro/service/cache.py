@@ -39,6 +39,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+from typing import Callable
 
 from repro.core.config import RevealConfig
 from repro.dex.writer import write_dex
@@ -127,6 +129,13 @@ class RevealCache:
     def __init__(self, directory: str | None = None) -> None:
         self.directory = directory
         self._memory: dict[str, dict] = {}
+        # The in-memory store is mutated from thread-pool workers
+        # (reveal_batch, the reveal server); every read/write of
+        # ``_memory`` happens under this lock.
+        self._lock = threading.Lock()
+        # key -> Event set when the in-flight computation for that key
+        # finishes (see get_or_compute).
+        self._inflight: dict[str, threading.Event] = {}
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
@@ -155,7 +164,8 @@ class RevealCache:
         }
         if self.directory is None:
             record["apk_bytes"] = apk_bytes
-            self._memory[key] = record
+            with self._lock:
+                self._memory[key] = record
             return True
         if apk_bytes is not None:
             with open(self._apk_path(key), "wb") as fh:
@@ -193,13 +203,59 @@ class RevealCache:
 
     def __len__(self) -> int:
         if self.directory is None:
-            return len(self._memory)
+            with self._lock:
+                return len(self._memory)
         return sum(1 for name in os.listdir(self.directory)
                    if name.endswith(".json"))
 
+    def get_or_compute(
+        self,
+        key: str,
+        compute: Callable[[], RevealOutcome],
+    ) -> tuple[RevealOutcome, bool]:
+        """One reveal per key under concurrency: ``(outcome, hit)``.
+
+        A miss elects the calling thread *leader* for the key: it runs
+        ``compute()``, stores the result (subject to the usual
+        :data:`CACHEABLE_STATUSES` admission) and releases the key.
+        Concurrent callers with the same key block until the leader
+        finishes, then re-check the cache — a hit if the leader's
+        outcome was admitted, otherwise they recompute themselves (a
+        transient ``error`` must not be replicated to every waiter).
+        An empty key (uncacheable job) computes directly.
+        """
+        if not key:
+            return compute(), False
+        while True:
+            cached = self.get(key)
+            if cached is not None:
+                return cached, True
+            with self._lock:
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            waiter.wait()
+        try:
+            # Leadership won — but a previous leader may have finished
+            # (stored and released the key) between this thread's cache
+            # probe and the lock; re-check before paying for a reveal.
+            cached = self.get(key)
+            if cached is not None:
+                return cached, True
+            outcome = compute()
+            self.put(key, outcome)
+            return outcome, False
+        finally:
+            with self._lock:
+                event = self._inflight.pop(key, None)
+            if event is not None:
+                event.set()
+
     def _load(self, key: str) -> dict | None:
         if self.directory is None:
-            return self._memory.get(key)
+            with self._lock:
+                return self._memory.get(key)
         try:
             with open(self._json_path(key), encoding="utf-8") as fh:
                 record = json.load(fh)

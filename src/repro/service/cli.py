@@ -1,25 +1,42 @@
-"""``python -m repro.service`` — batch reveal from the command line.
+"""``python -m repro.service`` — batch reveal and the job server CLI.
 
 Usage::
 
     python -m repro.service reveal-batch                      # F-Droid corpus
     python -m repro.service reveal-batch --corpus aosp --workers 4
     python -m repro.service reveal-batch --cache-dir /tmp/dexlego-cache
-    python -m repro.service reveal-batch --corpus droidbench --limit 10 --json
     python -m repro.service reassemble /path/to/archive --out revealed.dex
+
+    # The job server, over a shared on-disk JobStore:
+    python -m repro.service submit --store /tmp/q --corpus fdroid --limit 2
+    python -m repro.service serve  --store /tmp/q --workers 2
+    python -m repro.service status --store /tmp/q
+    python -m repro.service watch  --store /tmp/q --follow
 
 ``reveal-batch`` builds the requested benchsuite corpus, runs it
 through a :class:`~repro.service.batch.BatchRevealService`, prints one
 row per application (status, cache provenance, latency, dump size) and
 the aggregate throughput block.  Exit status is 0 when every app
 resolved to a deterministic outcome (``ok``/``crashed``/
-``budget-exceeded``) and 1 when any app errored or failed verification.
+``budget-exceeded``), and 1 when any app errored or failed
+verification **or** no app at all resolved ``ok`` (an all-failure
+report must not look like success to a calling script — mirroring the
+``reassemble`` error path).
 
 ``reassemble`` runs only the offline half of the pipeline
 (:func:`~repro.core.pipeline.reveal_from_archive`) over a directory of
 saved collection files — re-running reassembly after a reassembler fix
 without re-driving the application — and writes the verified DEX to
 ``--out``.
+
+The server subcommands speak through a
+:class:`~repro.service.jobs.JobStore` directory, so they compose across
+processes: ``submit`` journals queued job records (no server needed),
+``serve`` boots a :class:`~repro.service.server.RevealServer` against
+the store — adopting whatever is queued, including jobs a killed
+server still owed — drains it and exits cleanly (``--linger`` keeps it
+polling for new submissions), ``status`` renders the journal, and
+``watch`` prints the unified event stream (``--follow`` tails it).
 """
 
 from __future__ import annotations
@@ -28,25 +45,40 @@ import argparse
 import json
 import os
 import sys
+import time
+import uuid
 
 from repro.core.exploration import ALL_STRATEGIES, STRATEGY_BFS
 from repro.service.batch import BACKENDS, BatchRevealService, RevealJob
+from repro.service.jobs import PRIORITIES, JobState, JobStore, resolve_priority
 from repro.service.outcomes import STATUS_ERROR, STATUS_VERIFY_FAILED
 
 CORPORA = ("fdroid", "aosp", "launch", "packed", "droidbench")
 
 
 def build_corpus_jobs(corpus: str, limit: int | None = None) -> list[RevealJob]:
-    """Materialise one named benchsuite corpus as reveal jobs."""
+    """Materialise one named benchsuite corpus as reveal jobs.
+
+    ``limit`` caps *generation*, not just the returned list, for the
+    spec-driven corpora: ``--limit 1`` must not pay for synthesising
+    the four apps it will never reveal.
+    """
     jobs: list[RevealJob] = []
     if corpus == "fdroid":
-        from repro.benchsuite import all_fdroid_apps
+        from repro.benchsuite.fdroid_apps import (
+            FDROID_APP_SPECS,
+            build_fdroid_app,
+        )
 
-        jobs = [RevealJob(app.package, app.apk) for app in all_fdroid_apps()]
+        specs = FDROID_APP_SPECS if limit is None else FDROID_APP_SPECS[:limit]
+        jobs = [RevealJob(pkg, build_fdroid_app(pkg).apk)
+                for pkg, *_ in specs]
     elif corpus == "aosp":
-        from repro.benchsuite import all_aosp_apps
+        from repro.benchsuite.aosp_apps import AOSP_APP_SPECS, build_aosp_app
 
-        jobs = [RevealJob(app.name, app.apk) for app in all_aosp_apps()]
+        specs = AOSP_APP_SPECS if limit is None else AOSP_APP_SPECS[:limit]
+        jobs = [RevealJob(name, build_aosp_app(name).apk)
+                for name, *_ in specs]
     elif corpus == "launch":
         from repro.benchsuite import all_launch_apps
 
@@ -70,10 +102,47 @@ def build_corpus_jobs(corpus: str, limit: int | None = None) -> list[RevealJob]:
     return jobs
 
 
+def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
+    """Pipeline knobs shared by ``reveal-batch`` and ``serve``."""
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result-cache directory")
+    parser.add_argument("--force-execution", action="store_true",
+                        help="enable the code coverage improvement module")
+    parser.add_argument("--budget", type=int, default=2_000_000,
+                        help="interpreter step budget per run")
+    parser.add_argument("--strategy", choices=ALL_STRATEGIES,
+                        default=STRATEGY_BFS,
+                        help="force-execution frontier order "
+                             "(default: bfs)")
+    parser.add_argument("--max-paths", type=int, default=None,
+                        help="total replay budget for force execution "
+                             "(default: unbounded)")
+    parser.add_argument("--path-budget", type=int, default=None,
+                        help="interpreter step budget per replay "
+                             "(default: same as --budget)")
+    parser.add_argument("--explore-workers", type=int, default=1,
+                        help="thread-pool width for replaying one wave of "
+                             "path files (default: 1)")
+
+
+def _service_from(args, backend: str | None = None) -> BatchRevealService:
+    return BatchRevealService(
+        use_force_execution=args.force_execution,
+        run_budget=args.budget,
+        exploration_strategy=args.strategy,
+        max_paths=args.max_paths,
+        path_budget=args.path_budget,
+        explore_workers=args.explore_workers,
+        workers=args.workers,
+        backend=backend or getattr(args, "backend", "thread"),
+        cache_dir=args.cache_dir,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Corpus-scale DexLego: parallel, cached batch reveal.",
+        description="Corpus-scale DexLego: batch reveal and the job server.",
     )
     sub = parser.add_subparsers(dest="command")
     batch = sub.add_parser(
@@ -88,25 +157,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="worker-pool size (default: 2)")
     batch.add_argument("--backend", choices=BACKENDS, default="thread",
                        help="pool flavour (default: thread)")
-    batch.add_argument("--cache-dir", default=None,
-                       help="persistent result-cache directory")
-    batch.add_argument("--force-execution", action="store_true",
-                       help="enable the code coverage improvement module")
-    batch.add_argument("--budget", type=int, default=2_000_000,
-                       help="interpreter step budget per run")
-    batch.add_argument("--strategy", choices=ALL_STRATEGIES,
-                       default=STRATEGY_BFS,
-                       help="force-execution frontier order "
-                            "(default: bfs)")
-    batch.add_argument("--max-paths", type=int, default=None,
-                       help="total replay budget for force execution "
-                            "(default: unbounded)")
-    batch.add_argument("--path-budget", type=int, default=None,
-                       help="interpreter step budget per replay "
-                            "(default: same as --budget)")
-    batch.add_argument("--explore-workers", type=int, default=1,
-                       help="thread-pool width for replaying one wave of "
-                            "path files (default: 1)")
+    _add_pipeline_flags(batch)
     batch.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
     reasm = sub.add_parser(
@@ -121,6 +172,63 @@ def main(argv: list[str] | None = None) -> int:
                             "(default: <archive>/reassembled.dex)")
     reasm.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot a reveal server against a job store and drain it",
+    )
+    serve.add_argument("--store", required=True,
+                       help="job-store directory (shared with submit/status)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker-pool size (default: 2)")
+    serve.add_argument("--linger", type=float, default=0.0,
+                       help="after draining, keep polling the store for new "
+                            "submissions for this many seconds (default: "
+                            "exit once drained)")
+    serve.add_argument("--poll-interval", type=float, default=0.5,
+                       help="store poll period while lingering (default: 0.5s)")
+    _add_pipeline_flags(serve)
+    serve.add_argument("--json", action="store_true",
+                       help="emit a machine-readable run summary")
+
+    submit = sub.add_parser(
+        "submit",
+        help="journal corpus jobs into a store (no server required)",
+    )
+    submit.add_argument("--store", required=True,
+                        help="job-store directory the server will drain")
+    submit.add_argument("--corpus", choices=CORPORA, default="fdroid",
+                        help="which benchsuite corpus to submit")
+    submit.add_argument("--limit", type=int, default=None,
+                        help="cap the corpus at the first N apps")
+    submit.add_argument("--priority", choices=sorted(PRIORITIES),
+                        default="normal",
+                        help="priority lane for these jobs (default: normal)")
+    submit.add_argument("--collect-only", action="store_true",
+                        help="run only the JIT-collection half")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the submitted job ids as JSON")
+
+    status = sub.add_parser(
+        "status",
+        help="render a job store's journal (states, waits, outcomes)",
+    )
+    status.add_argument("--store", required=True,
+                        help="job-store directory to inspect")
+    status.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of a table")
+
+    watch = sub.add_parser(
+        "watch",
+        help="print the unified event stream from a store's journal",
+    )
+    watch.add_argument("--store", required=True,
+                       help="job-store directory to watch")
+    watch.add_argument("--follow", action="store_true",
+                       help="keep tailing until every job is terminal")
+    watch.add_argument("--timeout", type=float, default=60.0,
+                       help="give up following after this many seconds "
+                            "(default: 60)")
     args = parser.parse_args(argv)
 
     if args.command is None:
@@ -128,20 +236,18 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.command == "reassemble":
         return _run_reassemble(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "status":
+        return _run_status(args)
+    if args.command == "watch":
+        return _run_watch(args)
 
     jobs = build_corpus_jobs(args.corpus, args.limit)
     try:
-        service = BatchRevealService(
-            use_force_execution=args.force_execution,
-            run_budget=args.budget,
-            exploration_strategy=args.strategy,
-            max_paths=args.max_paths,
-            path_budget=args.path_budget,
-            explore_workers=args.explore_workers,
-            workers=args.workers,
-            backend=args.backend,
-            cache_dir=args.cache_dir,
-        )
+        service = _service_from(args)
     except OSError as exc:
         print(f"cannot use cache dir {args.cache_dir!r}: {exc}",
               file=sys.stderr)
@@ -181,7 +287,245 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render())
 
     hard_failures = {STATUS_ERROR, STATUS_VERIFY_FAILED}
-    return 1 if any(o.status in hard_failures for o in report.outcomes) else 0
+    if any(o.status in hard_failures for o in report.outcomes):
+        return 1
+    # An all-failure report (nothing resolved ``ok``) must not exit 0:
+    # a calling script would read total failure as success.
+    if report.total and report.ok_count == 0:
+        return 1
+    return 0
+
+
+def _run_serve(args) -> int:
+    """The ``serve`` subcommand: drain a job store, exit cleanly.
+
+    Adopts every queued record in the store — fresh submissions from
+    the ``submit`` CLI and jobs a killed server still owed alike —
+    processes them to a terminal state, and (with ``--linger``) keeps
+    polling for new work before shutting the pool down.
+    """
+    from repro.service.server import RevealServer
+
+    warmed: set[tuple[str, str]] = set()
+
+    def warm_native_registries(records: list[dict]) -> None:
+        # Generated corpus apps register their native libraries as a
+        # process-global side effect of generation; journalled APK
+        # bytes carry only the library *names*.  Regenerate each app
+        # named in the journal once so this process can execute it
+        # (per-app for the spec-driven corpora, whole-corpus otherwise).
+        for record in records:
+            corpus = record.get("meta", {}).get("corpus")
+            key = (corpus or "", record.get("app_id", ""))
+            if not corpus or key in warmed:
+                continue
+            warmed.add(key)
+            try:
+                if corpus == "fdroid":
+                    from repro.benchsuite.fdroid_apps import build_fdroid_app
+
+                    build_fdroid_app(record["app_id"])
+                elif corpus == "aosp":
+                    from repro.benchsuite.aosp_apps import build_aosp_app
+
+                    build_aosp_app(record["app_id"])
+                elif (corpus, "") not in warmed:
+                    warmed.add((corpus, ""))
+                    build_corpus_jobs(corpus)
+            except Exception:
+                pass  # unknown corpus/app: its jobs run without natives
+
+    try:
+        store = JobStore(args.store)
+        warm_native_registries(store.load_all())
+        service = _service_from(args, backend="thread")
+        progress = [] if args.json else [
+            lambda e: print(f"[{e.seq:>4}] {e.kind:<10} {e.job_id} "
+                            f"({e.app_id})")
+        ]
+        # keep_results=False: a lingering server must not accumulate
+        # one revealed APK per completed job on its handles; results
+        # live in the cache and the journal.
+        server = RevealServer(service=service, workers=args.workers,
+                              store=store, observers=progress,
+                              keep_results=False)
+    except OSError as exc:
+        print(f"cannot use store {args.store!r}: {exc}", file=sys.stderr)
+        return 2
+    deadline = time.monotonic() + max(0.0, args.linger)
+    while True:
+        # One journal read per tick, shared by the native-registry
+        # warmer and the queue sync.
+        records = store.load_all()
+        warm_native_registries(records)
+        adopted = server.sync_store(records)
+        if adopted:
+            deadline = time.monotonic() + max(0.0, args.linger)
+        server.wait_idle()
+        if time.monotonic() >= deadline:
+            break
+        time.sleep(min(args.poll_interval,
+                       max(0.0, deadline - time.monotonic())))
+    server.close()
+    counts = server.status_counts()
+    processed = {state: n for state, n in counts.items() if n}
+    if args.json:
+        print(json.dumps({"store": args.store, "jobs": processed}, indent=2))
+    else:
+        breakdown = "  ".join(f"{s}={n}" for s, n in processed.items()) \
+            or "(nothing queued)"
+        print(f"serve: drained {sum(processed.values())} job(s) "
+              f"[{breakdown}]; clean shutdown")
+    # Mirror reveal-batch's exit-code contract: a drain that left
+    # failed jobs behind must not look like success to the caller.
+    return 1 if processed.get(JobState.FAILED) else 0
+
+
+def _run_submit(args) -> int:
+    """The ``submit`` subcommand: journal queued records, no server."""
+    try:
+        jobs = build_corpus_jobs(args.corpus, args.limit)
+        store = JobStore(args.store)
+    except OSError as exc:
+        print(f"cannot use store {args.store!r}: {exc}", file=sys.stderr)
+        return 2
+    lane = resolve_priority(args.priority)
+    job_ids = []
+    for job in jobs:
+        job_id = f"job-{uuid.uuid4().hex[:10]}"
+        store.save(store.make_record(
+            job_id=job_id, app_id=job.app_id, apk=job.apk,
+            priority=lane, collect_only=args.collect_only,
+            cache_salt=job.cache_salt, device=job.device,
+            metadata={"corpus": args.corpus},
+        ))
+        job_ids.append({"job_id": job_id, "app_id": job.app_id})
+    if args.json:
+        print(json.dumps({"store": args.store, "submitted": job_ids},
+                         indent=2))
+    else:
+        for entry in job_ids:
+            print(f"queued {entry['job_id']} ({entry['app_id']})")
+        print(f"submitted {len(job_ids)} job(s) to {args.store}")
+    return 0
+
+
+def _open_store_readonly(path: str) -> JobStore | None:
+    """A store for inspection commands: never create the directory —
+    a typo'd path must error, not masquerade as an empty queue."""
+    if not os.path.isdir(path):
+        print(f"no job store at {path!r}", file=sys.stderr)
+        return None
+    try:
+        return JobStore(path)
+    except OSError as exc:
+        print(f"cannot read store {path!r}: {exc}", file=sys.stderr)
+        return None
+
+
+def _run_status(args) -> int:
+    """The ``status`` subcommand: the journal as a table (or JSON)."""
+    store = _open_store_readonly(args.store)
+    if store is None:
+        return 2
+    records = store.load_all()
+    rows = []
+    for record in records:
+        outcome = record.get("outcome") or {}
+        started = record.get("started_at")
+        finished = record.get("finished_at")
+        submitted = record.get("submitted_at", 0.0)
+        wait_s = (started - submitted) if started else 0.0
+        run_s = (finished - started) if started and finished else 0.0
+        rows.append({
+            "job_id": record["job_id"],
+            "app_id": record.get("app_id", ""),
+            "state": record.get("state", "?"),
+            "priority": record.get("priority", 1),
+            "queue_wait_s": round(max(0.0, wait_s), 6),
+            "run_s": round(max(0.0, run_s), 6),
+            "status": outcome.get("status", ""),
+            "error": record.get("error", ""),
+        })
+    if args.json:
+        counts: dict[str, int] = {}
+        for row in rows:
+            counts[row["state"]] = counts.get(row["state"], 0) + 1
+        print(json.dumps({"store": args.store, "counts": counts,
+                          "jobs": rows}, indent=2))
+        return 0
+    from repro.harness.tables import render_table
+
+    print(render_table(
+        f"Job store — {args.store}",
+        ["Job", "App", "State", "Wait", "Run", "Status", "Detail"],
+        [
+            [
+                row["job_id"],
+                row["app_id"],
+                row["state"],
+                f"{row['queue_wait_s'] * 1000:.1f}ms",
+                f"{row['run_s'] * 1000:.1f}ms",
+                row["status"],
+                row["error"][:40],
+            ]
+            for row in rows
+        ],
+    ))
+    return 0
+
+
+def _run_watch(args) -> int:
+    """The ``watch`` subcommand: print (and optionally tail) events."""
+    store = _open_store_readonly(args.store)
+    if store is None:
+        return 2
+
+    def render(event: dict) -> str:
+        payload = event.get("payload", {})
+        detail = ""
+        if event.get("kind") == "stage":
+            detail = (f" {payload.get('stage')} "
+                      f"{payload.get('duration_s', 0) * 1000:.1f}ms")
+        elif event.get("kind") == "wave":
+            detail = (f" wave={payload.get('wave_size')} "
+                      f"explored={payload.get('paths_explored')}")
+        elif event.get("kind") in ("done", "failed"):
+            detail = f" status={payload.get('status', '')}"
+        return (f"[{event.get('seq', 0):>4}] {event.get('kind', '?'):<10} "
+                f"{event.get('job_id', '?')} ({event.get('app_id', '')})"
+                f"{detail}")
+
+    if not args.follow:
+        for event in store.events():
+            print(render(event))
+        return 0
+
+    # Follow mode tails the journal incrementally (one seek per idle
+    # poll, not a whole-file re-parse) and only re-reads job records
+    # when a terminal event suggests the queue may have drained.
+    offset = 0
+    check_terminal = True
+    deadline = time.monotonic() + max(0.0, args.timeout)
+    while True:
+        events, offset = store.tail_events(offset)
+        for event in events:
+            print(render(event))
+        check_terminal = check_terminal or any(
+            e.get("kind") in ("done", "failed", "cancelled")
+            for e in events
+        )
+        if check_terminal:
+            records = store.load_all()
+            if records and all(r.get("state") in JobState.TERMINAL
+                               for r in records):
+                break
+            check_terminal = False
+        if time.monotonic() >= deadline:
+            print("watch: timeout with jobs still pending", file=sys.stderr)
+            return 1
+        time.sleep(0.2)
+    return 0
 
 
 def _run_reassemble(args) -> int:

@@ -1,0 +1,380 @@
+"""Job lifecycle primitives for the reveal server.
+
+A *job* is one application's trip through the service:
+``queued → running → done | failed | cancelled``.  This module owns the
+three pieces the server composes:
+
+* :class:`JobState` — the five states and the legal transitions;
+* :class:`JobHandle` — the caller's view of one submitted job: state,
+  timestamps (submit / start / finish), priority, the final
+  :class:`~repro.service.outcomes.RevealOutcome`, and a blocking
+  :meth:`JobHandle.wait`;
+* :class:`JobStore` — a JSON-on-disk journal of job records plus an
+  append-only event log, so a killed server can be restarted against
+  the same directory and finish the jobs it still owes (the queue
+  analogue of ``resume_exploration()`` resuming a run).
+
+Store layout
+------------
+
+``<store>/jobs/<job_id>.json``
+    One record per job, rewritten atomically on every state change.
+    The serialised APK travels inside the record (base64), so a
+    restarted server can rebuild the :class:`~repro.service.batch.RevealJob`
+    without the submitting process.
+``<store>/events.jsonl``
+    Every :class:`~repro.service.events.JobEvent` the server published,
+    one JSON object per line — what ``python -m repro.service watch``
+    tails.
+
+Jobs whose ``drive`` callable cannot be serialised are journalled
+without it; a resumed run re-executes them with the default drive.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import os
+import threading
+import time
+
+from repro.runtime.apk import Apk
+from repro.runtime.device import DeviceProfile
+from repro.service.outcomes import RevealOutcome
+
+STORE_FORMAT_VERSION = 1
+
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+#: Name ↔ lane mapping for CLIs and JSON records.
+PRIORITIES = {
+    "high": PRIORITY_HIGH,
+    "normal": PRIORITY_NORMAL,
+    "low": PRIORITY_LOW,
+}
+
+PRIORITY_NAMES = {lane: name for name, lane in PRIORITIES.items()}
+
+
+def resolve_priority(priority) -> int:
+    """Accept a lane int or a name; reject anything else."""
+    if isinstance(priority, bool):
+        raise ValueError(f"not a priority: {priority!r}")
+    if isinstance(priority, int):
+        if priority not in PRIORITY_NAMES:
+            raise ValueError(
+                f"priority {priority!r} not one of "
+                f"{sorted(PRIORITY_NAMES)}"
+            )
+        return priority
+    if isinstance(priority, str) and priority in PRIORITIES:
+        return PRIORITIES[priority]
+    raise ValueError(
+        f"priority {priority!r} not one of {sorted(PRIORITIES)}"
+    )
+
+
+class JobState:
+    """The lifecycle states and the transitions between them."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    TERMINAL = frozenset((DONE, FAILED, CANCELLED))
+
+    #: Legal next states; anything else is a server bug.
+    TRANSITIONS = {
+        QUEUED: frozenset((RUNNING, CANCELLED)),
+        RUNNING: frozenset((DONE, FAILED)),
+        DONE: frozenset(),
+        FAILED: frozenset(),
+        CANCELLED: frozenset(),
+    }
+
+    @classmethod
+    def can_transition(cls, current: str, target: str) -> bool:
+        return target in cls.TRANSITIONS.get(current, frozenset())
+
+
+class JobHandle:
+    """The caller's view of one submitted job.
+
+    State mutation belongs to the server (under its queue lock); the
+    handle exposes reads, the blocking :meth:`wait`, and derived
+    latencies.  ``queue_wait_s`` is submit→start — the number the
+    backpressure design is judged by — and ``run_s`` is start→finish.
+    """
+
+    def __init__(self, job_id: str, app_id: str,
+                 priority: int = PRIORITY_NORMAL,
+                 submitted_at: float | None = None) -> None:
+        self.job_id = job_id
+        self.app_id = app_id
+        self.priority = priority
+        self.state = JobState.QUEUED
+        self.submitted_at = (time.time() if submitted_at is None
+                             else submitted_at)
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.outcome: RevealOutcome | None = None
+        self.error: str = ""
+        self._terminal = threading.Event()
+        # Server bookkeeping: True once the ``submitted`` event is on
+        # the bus, so a cancel racing submit() defers its ``cancelled``
+        # event instead of publishing it first.
+        self._announced = False
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Terminal in any flavour — done, failed or cancelled."""
+        return self.state in JobState.TERMINAL
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state == JobState.CANCELLED
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Seconds from submit to start (0 until the job starts)."""
+        if self.started_at is None:
+            return 0.0
+        return max(0.0, self.started_at - self.submitted_at)
+
+    @property
+    def run_s(self) -> float:
+        """Seconds from start to finish (0 until the job finishes)."""
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return max(0.0, self.finished_at - self.started_at)
+
+    # -- waiting ------------------------------------------------------------
+
+    def wait(self, timeout: float | None = None) -> RevealOutcome | None:
+        """Block until terminal; the outcome, or ``None`` on timeout or
+        cancellation (cancelled jobs never produce one)."""
+        self._terminal.wait(timeout)
+        return self.outcome
+
+    def _mark_terminal(self) -> None:
+        self._terminal.set()
+
+    # -- presentation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe digest (no outcome payload beyond the summary)."""
+        return {
+            "job_id": self.job_id,
+            "app_id": self.app_id,
+            "priority": PRIORITY_NAMES.get(self.priority, self.priority),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "run_s": round(self.run_s, 6),
+            "error": self.error,
+            "outcome": (self.outcome.to_summary()
+                        if self.outcome is not None else None),
+        }
+
+
+class JobStore:
+    """JSON-on-disk journal of job records plus an event log.
+
+    Every mutation rewrites the job's record atomically
+    (``.tmp`` + ``os.replace``), so a server killed mid-write leaves
+    either the old record or the new one, never a torn file.  Records
+    the journal cannot parse are skipped on load — a corrupt entry
+    costs one job, not the queue.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.jobs_dir = os.path.join(path, "jobs")
+        self.events_path = os.path.join(path, "events.jsonl")
+        self._lock = threading.Lock()
+        os.makedirs(self.jobs_dir, exist_ok=True)
+
+    # -- records ------------------------------------------------------------
+
+    @staticmethod
+    def encode_apk(apk: Apk) -> str:
+        return base64.b64encode(apk.to_bytes()).decode("ascii")
+
+    @staticmethod
+    def decode_apk(blob: str) -> Apk:
+        return Apk.from_bytes(base64.b64decode(blob.encode("ascii")))
+
+    @staticmethod
+    def encode_device(device: DeviceProfile | None) -> dict | None:
+        return None if device is None else dataclasses.asdict(device)
+
+    @staticmethod
+    def decode_device(data: dict | None) -> DeviceProfile | None:
+        return None if not data else DeviceProfile(**data)
+
+    def make_record(self, *, job_id: str, app_id: str, apk: Apk,
+                    priority: int = PRIORITY_NORMAL,
+                    collect_only: bool = False, cache_salt: str = "",
+                    device: DeviceProfile | None = None,
+                    submitted_at: float | None = None,
+                    metadata: dict | None = None) -> dict:
+        """A fresh ``queued`` record, not yet saved.
+
+        ``metadata`` is a JSON-safe caller payload carried verbatim
+        (the CLI stores the benchsuite corpus name there so a serving
+        process can re-register the corpus's native libraries, which
+        are process-global and never travel with the APK bytes).
+        """
+        return {
+            "version": STORE_FORMAT_VERSION,
+            "job_id": job_id,
+            "app_id": app_id,
+            "priority": priority,
+            "state": JobState.QUEUED,
+            "submitted_at": (time.time() if submitted_at is None
+                             else submitted_at),
+            "started_at": None,
+            "finished_at": None,
+            "collect_only": collect_only,
+            "cache_salt": cache_salt,
+            # The per-job device override travels whole, like it does
+            # for process workers; only ``drive`` callables cannot.
+            "device": self.encode_device(device),
+            "apk_b64": self.encode_apk(apk),
+            "outcome": None,
+            "error": "",
+            "meta": dict(metadata or {}),
+        }
+
+    def save(self, record: dict) -> None:
+        self._write(record["job_id"], record)
+
+    def update(self, job_id: str, **fields) -> dict | None:
+        """Read-modify-write one record; returns the new record."""
+        with self._lock:
+            record = self._read(job_id)
+            if record is None:
+                return None
+            record.update(fields)
+            self._write_locked(job_id, record)
+            return record
+
+    def load(self, job_id: str) -> dict | None:
+        with self._lock:
+            return self._read(job_id)
+
+    def load_all(self) -> list[dict]:
+        """Every parseable record, oldest submission first."""
+        with self._lock:
+            records = []
+            for name in os.listdir(self.jobs_dir):
+                if not name.endswith(".json"):
+                    continue
+                record = self._read(name[: -len(".json")])
+                if record is not None:
+                    records.append(record)
+        records.sort(key=lambda r: (r.get("submitted_at", 0.0),
+                                    r.get("job_id", "")))
+        return records
+
+    def pending_records(self) -> list[dict]:
+        """Records a restarted server still owes: queued, plus running
+        ones whose server died mid-job (they re-run from scratch)."""
+        return [
+            record for record in self.load_all()
+            if record.get("state") in (JobState.QUEUED, JobState.RUNNING)
+        ]
+
+    # -- event log ----------------------------------------------------------
+
+    def append_event(self, event_dict: dict) -> None:
+        with self._lock:
+            with open(self.events_path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(event_dict) + "\n")
+
+    def events(self) -> list[dict]:
+        """Every journalled event, ordered by bus sequence number.
+
+        Append order can transpose neighbouring events from different
+        jobs (observer callbacks run outside the bus lock), so the read
+        path restores the global order by ``seq``; torn tail lines (a
+        killed server mid-write) are skipped.
+        """
+        try:
+            with open(self.events_path, encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return []
+        events = []
+        for line in lines:
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+        # Timestamp first: sequence numbers restart at 0 with every
+        # server process, so a journal spanning a restart would
+        # interleave the two runs if sorted by seq alone.
+        events.sort(key=lambda e: (e.get("timestamp", 0.0),
+                                   e.get("seq", 0)))
+        return events
+
+    def tail_events(self, offset: int = 0) -> tuple[list[dict], int]:
+        """Events appended after byte ``offset``: ``(events, new_offset)``.
+
+        The incremental read a follower (``watch --follow``) uses so an
+        idle poll costs one seek, not a whole-journal re-parse.  Only
+        complete lines are consumed; a torn tail stays unconsumed for
+        the next call.
+        """
+        try:
+            with open(self.events_path, "rb") as fh:
+                fh.seek(offset)
+                blob = fh.read()
+        except OSError:
+            return [], offset
+        end = blob.rfind(b"\n")
+        if end < 0:
+            return [], offset
+        events = []
+        for line in blob[:end].split(b"\n"):
+            try:
+                events.append(json.loads(line.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError):
+                continue
+        return events, offset + end + 1
+
+    # -- internals ----------------------------------------------------------
+
+    def _json_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def _read(self, job_id: str) -> dict | None:
+        try:
+            with open(self._json_path(job_id), encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if record.get("version") != STORE_FORMAT_VERSION:
+            return None
+        return record
+
+    def _write(self, job_id: str, record: dict) -> None:
+        with self._lock:
+            self._write_locked(job_id, record)
+
+    def _write_locked(self, job_id: str, record: dict) -> None:
+        tmp = self._json_path(job_id) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record, fh)
+        os.replace(tmp, self._json_path(job_id))

@@ -93,6 +93,9 @@ class RevealOutcome:
       strategy, paths explored, UCBs discovered vs. covered, replays
       saved by dedup, coverage curve); empty when the coverage module
       did not run.
+    * ``queue_wait_s`` — seconds the job sat queued before a worker
+      started it (submit→start); 0.0 for direct ``reveal_one`` calls
+      that never queued.  ``latency_s`` remains start→finish.
     * ``cache_key`` — content-addressed key the record is stored under.
     * ``result`` — the live :class:`RevealResult` when the pipeline ran
       in-process; ``None`` for disk-cache hits and process workers.
@@ -110,6 +113,7 @@ class RevealOutcome:
     failed_stage: str = ""
     stage_timings: dict = field(default_factory=dict)
     exploration: dict = field(default_factory=dict)
+    queue_wait_s: float = 0.0
     cache_key: str = ""
     result: RevealResult | None = None
     revealed_apk_bytes: bytes | None = None
@@ -148,5 +152,6 @@ class RevealOutcome:
                 for stage, seconds in self.stage_timings.items()
             },
             "exploration": self.exploration,
+            "queue_wait_s": round(self.queue_wait_s, 6),
             "cache_key": self.cache_key,
         }

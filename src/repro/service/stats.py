@@ -93,6 +93,23 @@ class BatchReport:
     def p95_latency_s(self) -> float:
         return percentile(self.latencies, 0.95)
 
+    # -- queue latency ------------------------------------------------------
+
+    @property
+    def queue_waits(self) -> list[float]:
+        """Per-app submit→start waits; empty unless the batch queued
+        (direct pool runs report no queue wait)."""
+        waits = [o.queue_wait_s for o in self.outcomes]
+        return waits if any(w > 0 for w in waits) else []
+
+    @property
+    def p50_queue_wait_s(self) -> float:
+        return percentile(self.queue_waits, 0.50)
+
+    @property
+    def p95_queue_wait_s(self) -> float:
+        return percentile(self.queue_waits, 0.95)
+
     # -- exploration --------------------------------------------------------
 
     def exploration_summary(self) -> dict:
@@ -132,6 +149,8 @@ class BatchReport:
             "apps_per_sec": round(self.apps_per_sec, 3),
             "p50_latency_s": round(self.p50_latency_s, 6),
             "p95_latency_s": round(self.p95_latency_s, 6),
+            "p50_queue_wait_s": round(self.p50_queue_wait_s, 6),
+            "p95_queue_wait_s": round(self.p95_queue_wait_s, 6),
             "workers": self.workers,
             "backend": self.backend,
             "exploration": self.exploration_summary(),
@@ -153,6 +172,11 @@ class BatchReport:
             f"latency: p50={self.p50_latency_s * 1000:.1f}ms  "
             f"p95={self.p95_latency_s * 1000:.1f}ms",
         ]
+        if self.queue_waits:
+            lines.append(
+                f"queue wait: p50={self.p50_queue_wait_s * 1000:.1f}ms  "
+                f"p95={self.p95_queue_wait_s * 1000:.1f}ms"
+            )
         exploration = self.exploration_summary()
         if exploration:
             lines.append(

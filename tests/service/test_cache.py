@@ -141,6 +141,98 @@ class TestMemoryBackend:
         assert len(cache) == 0
 
 
+class TestGetOrCompute:
+    def test_miss_computes_and_stores(self):
+        cache = RevealCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _outcome("goc")
+
+        outcome, hit = cache.get_or_compute("k", compute)
+        assert not hit and outcome.app_id == "goc"
+        outcome, hit = cache.get_or_compute("k", compute)
+        assert hit and outcome.cache_hit
+        assert len(calls) == 1
+
+    def test_empty_key_always_computes(self):
+        cache = RevealCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _outcome()
+
+        for _ in range(2):
+            _, hit = cache.get_or_compute("", compute)
+            assert not hit
+        assert len(calls) == 2
+
+    def test_uncacheable_result_not_replicated_to_waiters(self):
+        # The leader's error outcome is not admitted; a later caller
+        # recomputes instead of inheriting the transient failure.
+        cache = RevealCache()
+        statuses = iter([STATUS_ERROR, STATUS_OK])
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _outcome(status=next(statuses))
+
+        first, hit1 = cache.get_or_compute("k", compute)
+        second, hit2 = cache.get_or_compute("k", compute)
+        assert first.status == STATUS_ERROR and not hit1
+        assert second.status == STATUS_OK and not hit2
+        assert len(calls) == 2
+
+    def test_concurrent_misses_run_one_reveal(self):
+        import threading
+        import time
+
+        cache = RevealCache()
+        calls = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def compute():
+            calls.append(1)
+            time.sleep(0.02)  # widen the window concurrent misses race in
+            return _outcome("leader")
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_compute("hot", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1  # one reveal, seven waiters
+        assert len(results) == 8
+        assert sum(1 for _, hit in results if not hit) == 1
+        assert all(outcome.status == STATUS_OK for outcome, _ in results)
+
+    def test_concurrent_puts_do_not_corrupt_memory_store(self):
+        import threading
+
+        cache = RevealCache()
+
+        def hammer(prefix):
+            for i in range(50):
+                cache.put(f"{prefix}-{i}", _outcome(f"{prefix}-{i}"))
+                assert cache.get(f"{prefix}-{i}") is not None
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in ("a", "b", "c", "d")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) == 200
+
+
 class TestDiskBackend:
     def test_round_trip_with_apk_sidecar(self, tmp_path):
         cache = RevealCache(str(tmp_path))

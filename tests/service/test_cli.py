@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.service import JobStore
 from repro.service.cli import build_corpus_jobs, main
 
 
@@ -52,6 +53,168 @@ class TestMain:
         assert payload["summary"]["total"] == 1
         assert payload["outcomes"][0]["status"] == "ok"
         assert "cache_hit_rate" in payload["summary"]
+
+
+class TestExitCodes:
+    def test_all_failure_report_exits_nonzero(self, monkeypatch, capsys):
+        # Every job erroring must not look like success to a caller.
+        from repro.service import batch as batch_module
+
+        def exploding(self, job, key="", observer=None, wave_observer=None):
+            from repro.service.outcomes import RevealOutcome
+
+            return RevealOutcome(app_id=job.app_id, status="error",
+                                 error="forced", cache_key=key)
+
+        monkeypatch.setattr(batch_module.BatchRevealService, "_run_job",
+                            exploding)
+        assert main(["reveal-batch", "--corpus", "fdroid",
+                     "--limit", "2"]) == 1
+
+    def test_all_crashed_report_exits_nonzero(self, monkeypatch, capsys):
+        from repro.service import batch as batch_module
+
+        def crashed(self, job, key="", observer=None, wave_observer=None):
+            from repro.service.outcomes import RevealOutcome
+
+            return RevealOutcome(app_id=job.app_id, status="crashed",
+                                 error="boom", cache_key=key)
+
+        monkeypatch.setattr(batch_module.BatchRevealService, "_run_job",
+                            crashed)
+        assert main(["reveal-batch", "--corpus", "fdroid",
+                     "--limit", "2"]) == 1
+
+    def test_partial_failure_still_exits_nonzero(self, monkeypatch, capsys):
+        from repro.service import batch as batch_module
+
+        original = batch_module.BatchRevealService._run_job
+
+        def flaky(self, job, key="", observer=None, wave_observer=None):
+            if job.app_id.endswith("swiftp"):
+                from repro.service.outcomes import RevealOutcome
+
+                return RevealOutcome(app_id=job.app_id, status="error",
+                                     error="forced", cache_key=key)
+            return original(self, job, key, observer, wave_observer)
+
+        monkeypatch.setattr(batch_module.BatchRevealService, "_run_job",
+                            flaky)
+        assert main(["reveal-batch", "--corpus", "fdroid",
+                     "--limit", "2"]) == 1
+
+
+class TestServerCommands:
+    """submit → serve → status → watch against one shared store."""
+
+    def _store(self, tmp_path):
+        return str(tmp_path / "queue")
+
+    def test_submit_then_serve_then_status(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["submit", "--store", store, "--corpus", "fdroid",
+                     "--limit", "2", "--json"]) == 0
+        submitted = json.loads(capsys.readouterr().out)
+        assert len(submitted["submitted"]) == 2
+
+        assert main(["serve", "--store", store, "--workers", "2",
+                     "--json"]) == 0
+        served = json.loads(capsys.readouterr().out)
+        assert served["jobs"] == {"done": 2}
+
+        assert main(["status", "--store", store, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["counts"] == {"done": 2}
+        assert all(job["status"] == "ok" for job in status["jobs"])
+        assert all(job["queue_wait_s"] >= 0 for job in status["jobs"])
+
+    def test_watch_prints_lifecycle(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["submit", "--store", store, "--corpus", "fdroid",
+                     "--limit", "1"]) == 0
+        assert main(["serve", "--store", store, "--workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["watch", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out and "started" in out and "done" in out
+        # Per-job order: submitted precedes started precedes done.
+        assert out.index("submitted") < out.index("started") < \
+            out.index("done")
+
+    def test_watch_follow_ends_when_all_terminal(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["submit", "--store", store, "--corpus", "fdroid",
+                     "--limit", "1"]) == 0
+        assert main(["serve", "--store", store, "--workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["watch", "--store", store, "--follow",
+                     "--timeout", "10"]) == 0
+
+    def test_serve_priorities_order_completions(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["submit", "--store", store, "--corpus", "fdroid",
+                     "--limit", "2", "--priority", "low"]) == 0
+        assert main(["submit", "--store", store, "--corpus", "aosp",
+                     "--limit", "2", "--priority", "high"]) == 0
+        assert main(["serve", "--store", store, "--workers", "1",
+                     "--json"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--store", store, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        finished = {job["job_id"]: job for job in status["jobs"]}
+        records = JobStore(store).load_all()
+        high_finish = [r["finished_at"] for r in records
+                       if r["priority"] == 0]
+        low_finish = [r["finished_at"] for r in records
+                      if r["priority"] == 2]
+        assert len(high_finish) == 2 and len(low_finish) == 2
+        assert max(high_finish) <= min(low_finish)
+        assert all(job["state"] == "done" for job in finished.values())
+
+    def test_serve_empty_store_is_clean(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["serve", "--store", store, "--json"]) == 0
+        served = json.loads(capsys.readouterr().out)
+        assert served["jobs"] == {}
+
+    def test_serve_exits_nonzero_when_jobs_failed(self, tmp_path, capsys):
+        # A drain that left failed jobs must not look like success —
+        # the serve analogue of reveal-batch's all-failure exit code.
+        from repro.runtime import Apk
+        from tests.conftest import build_simple_apk
+
+        store_dir = self._store(tmp_path)
+        store = JobStore(store_dir)
+        broken = Apk("cli.broken", "Lnope/Missing;",
+                     build_simple_apk("cli.broken").dex_files)
+        store.save(store.make_record(job_id="bad", app_id="cli.broken",
+                                     apk=broken))
+        assert main(["serve", "--store", store_dir, "--json"]) == 1
+        served = json.loads(capsys.readouterr().out)
+        assert served["jobs"] == {"failed": 1}
+
+    def test_status_and_watch_reject_missing_store(self, tmp_path, capsys):
+        import os
+
+        missing = str(tmp_path / "typo")
+        assert main(["status", "--store", missing]) == 2
+        assert "no job store" in capsys.readouterr().err
+        assert main(["watch", "--store", missing]) == 2
+        assert "no job store" in capsys.readouterr().err
+        # Inspection must not have created the directory.
+        assert not os.path.exists(missing)
+
+    def test_runner_delegates_server_commands(self, tmp_path, capsys):
+        from repro.harness.runner import main as runner_main
+
+        store = self._store(tmp_path)
+        assert runner_main(["submit", "--store", store, "--corpus",
+                            "fdroid", "--limit", "1", "--json"]) == 0
+        submitted = json.loads(capsys.readouterr().out)
+        assert len(submitted["submitted"]) == 1
+        assert runner_main(["serve", "--store", store, "--json"]) == 0
+        served = json.loads(capsys.readouterr().out)
+        assert served["jobs"] == {"done": 1}
 
 
 class TestReassembleCommand:

@@ -1,0 +1,130 @@
+"""The unified event stream: ordering, thread-safety, consumers."""
+
+import threading
+
+from repro.service import (
+    EVENT_CANCELLED,
+    EVENT_DONE,
+    EVENT_STAGE,
+    EVENT_STARTED,
+    EVENT_SUBMITTED,
+    TERMINAL_EVENTS,
+    EventBus,
+    JobEvent,
+)
+
+
+class TestJobEvent:
+    def test_round_trip(self):
+        event = JobEvent(EVENT_STAGE, "job-1", "app", seq=7,
+                         timestamp=12.5, payload={"stage": "collect"})
+        again = JobEvent.from_dict(event.to_dict())
+        assert again == event
+
+    def test_terminal_flag(self):
+        assert JobEvent(EVENT_DONE, "j").terminal
+        assert JobEvent(EVENT_CANCELLED, "j").terminal
+        assert not JobEvent(EVENT_STARTED, "j").terminal
+        assert TERMINAL_EVENTS == {"done", "failed", "cancelled"}
+
+
+class TestEventBus:
+    def test_global_sequence_is_monotone(self):
+        bus = EventBus()
+        events = [bus.publish(EVENT_SUBMITTED, f"job-{i}") for i in range(5)]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+        assert [e.seq for e in bus.history] == [0, 1, 2, 3, 4]
+
+    def test_observer_receives_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.add_observer(seen.append)
+        bus.publish(EVENT_SUBMITTED, "a")
+        bus.publish(EVENT_DONE, "a")
+        assert [e.kind for e in seen] == [EVENT_SUBMITTED, EVENT_DONE]
+
+    def test_broken_observer_does_not_break_publish(self):
+        bus = EventBus()
+
+        def boom(event):
+            raise RuntimeError("progress UI died")
+
+        good = []
+        bus.add_observer(boom)
+        bus.add_observer(good.append)
+        bus.publish(EVENT_SUBMITTED, "a")
+        assert len(good) == 1
+
+    def test_subscriber_sees_events_after_subscription(self):
+        bus = EventBus()
+        bus.publish(EVENT_SUBMITTED, "early")
+        stream = bus.subscribe()
+        bus.publish(EVENT_DONE, "late")
+        bus.close()
+        assert [e.job_id for e in stream] == ["late"]
+
+    def test_iteration_ends_on_close(self):
+        bus = EventBus()
+        stream = bus.subscribe()
+        collected = []
+
+        def consume():
+            collected.extend(stream)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        bus.publish(EVENT_SUBMITTED, "x")
+        bus.publish(EVENT_DONE, "x")
+        bus.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert [e.kind for e in collected] == [EVENT_SUBMITTED, EVENT_DONE]
+
+    def test_stream_next_timeout(self):
+        bus = EventBus()
+        stream = bus.subscribe()
+        assert stream.next(timeout=0.01) is None
+        bus.publish(EVENT_SUBMITTED, "y")
+        event = stream.next(timeout=1)
+        assert event is not None and event.job_id == "y"
+
+    def test_publish_after_close_is_a_noop(self):
+        bus = EventBus()
+        bus.close()
+        event = bus.publish(EVENT_SUBMITTED, "z")
+        assert event.seq == -1
+        assert bus.history == []
+
+    def test_events_for_filters_by_job(self):
+        bus = EventBus()
+        bus.publish(EVENT_SUBMITTED, "a")
+        bus.publish(EVENT_SUBMITTED, "b")
+        bus.publish(EVENT_DONE, "a")
+        assert [e.kind for e in bus.events_for("a")] == \
+            [EVENT_SUBMITTED, EVENT_DONE]
+
+    def test_history_is_bounded(self):
+        bus = EventBus(history_limit=3)
+        for i in range(10):
+            bus.publish(EVENT_SUBMITTED, f"j{i}")
+        assert [e.job_id for e in bus.history] == ["j7", "j8", "j9"]
+
+    def test_concurrent_publishers_keep_one_total_order(self):
+        bus = EventBus(history_limit=10_000)
+        stream = bus.subscribe()
+
+        def publish_many(prefix):
+            for i in range(100):
+                bus.publish(EVENT_STAGE, f"{prefix}-{i}")
+
+        threads = [threading.Thread(target=publish_many, args=(t,))
+                   for t in ("a", "b", "c", "d")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        bus.close()
+        seqs = [e.seq for e in stream]
+        assert len(seqs) == 400
+        assert seqs == sorted(seqs)  # queue order == publication order
+        assert [e.seq for e in bus.history] == sorted(seqs)

@@ -85,3 +85,33 @@ class TestBatchReport:
         assert "apps/sec" in text
         assert "1/1 hits" in text
         assert "3 thread worker(s)" in text
+
+
+class TestQueueWaits:
+    def _waited(self, wait, **kwargs):
+        outcome = _outcome(**kwargs)
+        outcome.queue_wait_s = wait
+        return outcome
+
+    def test_percentiles_over_waits(self):
+        report = BatchReport(
+            outcomes=[self._waited(w) for w in (0.1, 0.2, 0.3, 0.4)],
+            wall_time_s=1.0,
+        )
+        assert report.p50_queue_wait_s == pytest.approx(0.25)
+        assert report.p95_queue_wait_s == pytest.approx(0.385)
+        assert report.summary()["p50_queue_wait_s"] == pytest.approx(0.25)
+        assert "queue wait:" in report.render()
+
+    def test_no_queue_no_noise(self):
+        # A pool run that never queued reports zeros and no render line.
+        report = BatchReport(outcomes=[_outcome(), _outcome()],
+                             wall_time_s=1.0)
+        assert report.queue_waits == []
+        assert report.p50_queue_wait_s == 0.0
+        assert "queue wait:" not in report.render()
+        assert report.summary()["p95_queue_wait_s"] == 0.0
+
+    def test_outcome_summary_carries_queue_wait(self):
+        outcome = self._waited(0.125)
+        assert outcome.to_summary()["queue_wait_s"] == 0.125
