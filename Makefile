@@ -4,20 +4,30 @@
 
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
-BENCH_TIMINGS ?= bench-smoke-timings.json
+# bench-smoke writes fresh timings to BENCH_TIMINGS (gitignored);
+# bench-check gates them against the committed BENCH_BASELINE.  The
+# default deliberately differs from the baseline path so a casual
+# `make bench-smoke` can never clobber the committed baseline —
+# refresh it explicitly with `make bench-smoke BENCH_TIMINGS=bench-smoke-timings.json`.
+BENCH_TIMINGS ?= bench-smoke-current.json
+BENCH_BASELINE ?= bench-smoke-timings.json
 SERVE_SMOKE_STORE ?= .serve-smoke
 
-.PHONY: test bench bench-batch bench-force bench-smoke serve-smoke lint ci all help
+.PHONY: test bench bench-batch bench-force bench-interp bench-smoke bench-check \
+        serve-smoke profile lint ci all help
 
 help:
 	@echo "make test        - tier-1 verify: full pytest suite (-x -q)"
 	@echo "make bench       - regenerate every paper table/figure (pytest-benchmark)"
 	@echo "make bench-batch - batch-service throughput: serial vs parallel, cold vs warm cache"
 	@echo "make bench-force - force-execution exploration: serial vs parallel, fifo vs rarity-first"
+	@echo "make bench-interp- interpreter fast path: steps/sec, cold/warm/invalidation-storm, +/- collector"
 	@echo "make bench-smoke - every benchmark once in quick mode (--benchmark-disable); timing JSON to $(BENCH_TIMINGS)"
+	@echo "make bench-check - gate $(BENCH_TIMINGS) against the committed $(BENCH_BASELINE) (>25% total regression fails)"
 	@echo "make serve-smoke - boot the reveal server, submit two jobs, assert clean shutdown"
+	@echo "make profile     - cProfile one reveal, print top-20 cumulative (tools/profile_reveal.py)"
 	@echo "make lint        - byte-compile everything (syntax floor; uses pyflakes when present)"
-	@echo "make ci          - exactly what the CI workflow runs: lint + test + bench-smoke + serve-smoke"
+	@echo "make ci          - exactly what the CI workflow runs: lint + test + bench-smoke + bench-check + serve-smoke"
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -33,11 +43,25 @@ bench-batch:
 bench-force:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_force_execution.py -o python_files='bench_*.py' --benchmark-only -s
 
+bench-interp:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_interpreter_dispatch.py -o python_files='bench_*.py' --benchmark-only -s
+
 # Quick mode: every benchmark file collects and executes once, untimed,
 # so a broken benchmark breaks the build; per-test timings land in
 # $(BENCH_TIMINGS) (written by benchmarks/conftest.py).
 bench-smoke:
 	$(PYTHONPATH_SRC) BENCH_TIMINGS_JSON=$(BENCH_TIMINGS) DEXLEGO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ -o python_files='bench_*.py' --benchmark-disable -q
+
+# Perf gate: fail when the fresh bench-smoke timing JSON (written by
+# `make bench-smoke` to $(BENCH_TIMINGS)) regressed the committed
+# baseline's total duration by more than 25%.
+bench-check:
+	$(PYTHON) tools/check_bench_regression.py $(BENCH_BASELINE) $(BENCH_TIMINGS)
+
+# Profile a single reveal (top-20 cumulative by default) so perf work
+# starts from data; see tools/profile_reveal.py --help for knobs.
+profile:
+	$(PYTHONPATH_SRC) $(PYTHON) tools/profile_reveal.py
 
 # End-to-end server smoke: journal two jobs into a fresh store, boot a
 # server against it, drain, and assert both jobs reached `done` with a
@@ -53,15 +77,15 @@ serve-smoke:
 	rm -rf $(SERVE_SMOKE_STORE)
 
 lint:
-	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m compileall -q src tests benchmarks examples tools
 	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
-		$(PYTHON) -m pyflakes src tests benchmarks examples; \
+		$(PYTHON) -m pyflakes src tests benchmarks examples tools; \
 	else \
 		echo "pyflakes not installed; compileall-only lint passed"; \
 	fi
 
 # Mirrors .github/workflows/ci.yml: the test job runs lint + test, the
-# bench-smoke job runs bench-smoke + serve-smoke.
-ci: lint test bench-smoke serve-smoke
+# bench-smoke job runs bench-smoke + bench-check + serve-smoke.
+ci: lint test bench-smoke bench-check serve-smoke
 
 all: lint test

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.method_store import CollectedTry, MethodRecord, MethodStore
 from repro.core.tree import CollectedInstruction, CollectionTree
+from repro.dex.opcodes import IndexKind
 from repro.dex.payloads import payload_unit_count
 from repro.runtime.hooks import RuntimeListener
 from repro.runtime.values import VmString
@@ -208,8 +209,6 @@ class DexLegoCollector(RuntimeListener):
     def _resolve_symbol(frame, ins) -> str | None:
         """Resolve the pool reference to its symbolic form (JIT collection
         of the "related objects" — string / type / field / method)."""
-        from repro.dex.opcodes import IndexKind
-
         kind = ins.opcode.index_kind
         if kind is IndexKind.NONE:
             return None

@@ -8,10 +8,13 @@ Public surface:
 * :func:`~repro.dex.assembler.assemble` /
   :func:`~repro.dex.disassembler.disassemble` — smali-like text
 * :func:`~repro.dex.verify.verify_dex` — structural verification
+* :class:`~repro.dex.code_units.CodeUnits` — generation-tracked live
+  code-unit arrays (the interpreter's predecode-cache substrate)
 """
 
 from repro.dex.assembler import assemble
 from repro.dex.builder import ClassBuilder, DexBuilder, MethodBuilder
+from repro.dex.code_units import CodeUnits
 from repro.dex.disassembler import disassemble, disassemble_class, disassemble_code
 from repro.dex.instructions import Instruction, iter_instructions
 from repro.dex.opcodes import OPCODES, OPCODES_BY_NAME, IndexKind, OpcodeInfo
@@ -35,6 +38,7 @@ __all__ = [
     "ClassBuilder",
     "ClassDef",
     "CodeItem",
+    "CodeUnits",
     "DexBuilder",
     "DexFile",
     "EncodedField",

@@ -1,0 +1,115 @@
+"""Generation-tracked code-unit arrays.
+
+:class:`CodeUnits` is the live, mutable 16-bit code-unit array behind
+every :class:`~repro.dex.structures.CodeItem`.  It behaves exactly like
+the plain ``list[int]`` it replaces — natives index it, slice it and
+patch it in place — but every mutation bumps a monotonically increasing
+``generation`` counter.
+
+The interpreter uses the counter to keep a per-array predecode cache
+(``pc -> decoded instruction``) that is *provably* coherent with live
+fetch: a cached entry is only trusted while its recorded generation
+matches the array's, and on mismatch it is revalidated against the raw
+code units it was decoded from, so exactly the entries whose bytes a
+self-modifying native actually rewrote get re-decoded.  Reads are
+untouched list reads — the tracking costs nothing on the fetch path.
+"""
+
+from __future__ import annotations
+
+
+class CodeUnits(list):
+    """A ``list[int]`` of code units that counts its mutations.
+
+    ``generation`` starts at 0 and increases on every mutating
+    operation.  ``predecode`` is scratch space owned by the interpreter
+    (pc -> cached decode entry); it lives here so the cache dies with
+    the array it describes and can never outlive a wholesale
+    replacement of the code units.
+
+    ``shared`` is the cross-copy decode store: every copy of a code
+    item (each replay runtime links its own live copy of every method)
+    shares one ``pc -> decoded`` dict, so the first runtime to decode
+    an instruction saves every later copy the work.  Adoption is
+    content-validated — an entry is only reused after comparing the
+    adopter's *own live bytes* against the raw units the entry was
+    decoded from — so sharing can never leak a stale decode into a
+    self-modified copy.  Writes race benignly (``setdefault``; all
+    writers produce equivalent entries for equal bytes).
+    """
+
+    __slots__ = ("generation", "predecode", "shared")
+
+    def __init__(self, iterable=(), shared: dict | None = None) -> None:
+        super().__init__(iterable)
+        self.generation = 0
+        self.predecode: dict = {}
+        self.shared: dict = {} if shared is None else shared
+
+    # -- mutation tracking -------------------------------------------------
+    # Every mutating list method bumps the generation.  Slice assignment
+    # (the patch_code idiom) arrives through __setitem__.
+
+    def __setitem__(self, index, value) -> None:
+        list.__setitem__(self, index, value)
+        self.generation += 1
+
+    def __delitem__(self, index) -> None:
+        list.__delitem__(self, index)
+        self.generation += 1
+
+    def __iadd__(self, other):
+        result = list.__iadd__(self, other)
+        self.generation += 1
+        return result
+
+    def __imul__(self, factor):
+        result = list.__imul__(self, factor)
+        self.generation += 1
+        return result
+
+    def append(self, value) -> None:
+        list.append(self, value)
+        self.generation += 1
+
+    def extend(self, iterable) -> None:
+        list.extend(self, iterable)
+        self.generation += 1
+
+    def insert(self, index, value) -> None:
+        list.insert(self, index, value)
+        self.generation += 1
+
+    def pop(self, index=-1):
+        value = list.pop(self, index)
+        self.generation += 1
+        return value
+
+    def remove(self, value) -> None:
+        list.remove(self, value)
+        self.generation += 1
+
+    def clear(self) -> None:
+        list.clear(self)
+        self.generation += 1
+
+    def sort(self, **kwargs) -> None:
+        list.sort(self, **kwargs)
+        self.generation += 1
+
+    def reverse(self) -> None:
+        list.reverse(self)
+        self.generation += 1
+
+    # -- copying / pickling ------------------------------------------------
+
+    def __reduce__(self):
+        # Pickle as a fresh array (generation 0, empty caches): cached
+        # decode entries hold non-picklable bound handlers, and a copy
+        # in another process starts cold anyway.
+        return (CodeUnits, (list(self),))
+
+    def copy(self) -> "CodeUnits":
+        """Same content, fresh generation — and the same shared decode
+        store, so the copy warm-starts on untouched instructions."""
+        return CodeUnits(self, shared=self.shared)

@@ -186,6 +186,153 @@ def encode(fmt: str, opcode: int, operands: tuple[int, ...]) -> list[int]:
     raise DexEncodeError(f"unknown instruction format {fmt!r}")
 
 
+# Per-format operand decoders.  Each takes ``(units, pos)`` and returns
+# the operand tuple in the same layout :func:`encode` accepts; the opcode
+# byte itself is ``units[pos] & 0xFF`` and is not returned.  They are
+# selected *once* per opcode at dispatch-table build time (see
+# :mod:`repro.dex.instructions`) instead of walking a chain of string
+# comparisons on every interpreter step.  Decoders assume the caller has
+# checked that ``FORMAT_UNITS`` code units are available at ``pos``.
+
+
+def _decode_10x(units: list[int], pos: int) -> tuple[int, ...]:
+    return ()
+
+
+def _decode_12x(units: list[int], pos: int) -> tuple[int, ...]:
+    u0 = units[pos]
+    return ((u0 >> 8) & 0xF, (u0 >> 12) & 0xF)
+
+
+def _decode_11n(units: list[int], pos: int) -> tuple[int, ...]:
+    u0 = units[pos]
+    return ((u0 >> 8) & 0xF, _s_of((u0 >> 12) & 0xF, 4))
+
+
+def _decode_11x(units: list[int], pos: int) -> tuple[int, ...]:
+    return ((units[pos] >> 8) & 0xFF,)
+
+
+def _decode_10t(units: list[int], pos: int) -> tuple[int, ...]:
+    return (_s_of((units[pos] >> 8) & 0xFF, 8),)
+
+
+def _decode_20t(units: list[int], pos: int) -> tuple[int, ...]:
+    return (_s_of(units[pos + 1], 16),)
+
+
+def _decode_22x(units: list[int], pos: int) -> tuple[int, ...]:
+    return ((units[pos] >> 8) & 0xFF, units[pos + 1])
+
+
+def _decode_21t_21s_21h(units: list[int], pos: int) -> tuple[int, ...]:
+    return ((units[pos] >> 8) & 0xFF, _s_of(units[pos + 1], 16))
+
+
+def _decode_21c(units: list[int], pos: int) -> tuple[int, ...]:
+    return ((units[pos] >> 8) & 0xFF, units[pos + 1])
+
+
+def _decode_23x(units: list[int], pos: int) -> tuple[int, ...]:
+    u1 = units[pos + 1]
+    return ((units[pos] >> 8) & 0xFF, u1 & 0xFF, (u1 >> 8) & 0xFF)
+
+
+def _decode_22b(units: list[int], pos: int) -> tuple[int, ...]:
+    u1 = units[pos + 1]
+    return ((units[pos] >> 8) & 0xFF, u1 & 0xFF, _s_of((u1 >> 8) & 0xFF, 8))
+
+
+def _decode_22t_22s(units: list[int], pos: int) -> tuple[int, ...]:
+    u0 = units[pos]
+    return ((u0 >> 8) & 0xF, (u0 >> 12) & 0xF, _s_of(units[pos + 1], 16))
+
+
+def _decode_22c(units: list[int], pos: int) -> tuple[int, ...]:
+    u0 = units[pos]
+    return ((u0 >> 8) & 0xF, (u0 >> 12) & 0xF, units[pos + 1])
+
+
+def _decode_32x(units: list[int], pos: int) -> tuple[int, ...]:
+    return (units[pos + 1], units[pos + 2])
+
+
+def _decode_30t(units: list[int], pos: int) -> tuple[int, ...]:
+    value = units[pos + 1] | (units[pos + 2] << 16)
+    return (_s_of(value, 32),)
+
+
+def _decode_31i_31t(units: list[int], pos: int) -> tuple[int, ...]:
+    value = units[pos + 1] | (units[pos + 2] << 16)
+    return ((units[pos] >> 8) & 0xFF, _s_of(value, 32))
+
+
+def _decode_31c(units: list[int], pos: int) -> tuple[int, ...]:
+    value = units[pos + 1] | (units[pos + 2] << 16)
+    return ((units[pos] >> 8) & 0xFF, value)
+
+
+def _decode_35c(units: list[int], pos: int) -> tuple[int, ...]:
+    u0 = units[pos]
+    count = (u0 >> 12) & 0xF
+    g = (u0 >> 8) & 0xF
+    index = units[pos + 1]
+    u2 = units[pos + 2]
+    all_regs = (u2 & 0xF, (u2 >> 4) & 0xF, (u2 >> 8) & 0xF, (u2 >> 12) & 0xF, g)
+    return (index, *all_regs[:count])
+
+
+def _decode_3rc(units: list[int], pos: int) -> tuple[int, ...]:
+    count = (units[pos] >> 8) & 0xFF
+    return (units[pos + 1], units[pos + 2], count)
+
+
+def _decode_51l(units: list[int], pos: int) -> tuple[int, ...]:
+    value = (
+        units[pos + 1]
+        | (units[pos + 2] << 16)
+        | (units[pos + 3] << 32)
+        | (units[pos + 4] << 48)
+    )
+    return ((units[pos] >> 8) & 0xFF, _s_of(value, 64))
+
+
+DECODERS = {
+    "10x": _decode_10x,
+    "12x": _decode_12x,
+    "11n": _decode_11n,
+    "11x": _decode_11x,
+    "10t": _decode_10t,
+    "20t": _decode_20t,
+    "22x": _decode_22x,
+    "21t": _decode_21t_21s_21h,
+    "21s": _decode_21t_21s_21h,
+    "21h": _decode_21t_21s_21h,
+    "21c": _decode_21c,
+    "23x": _decode_23x,
+    "22b": _decode_22b,
+    "22t": _decode_22t_22s,
+    "22s": _decode_22t_22s,
+    "22c": _decode_22c,
+    "32x": _decode_32x,
+    "30t": _decode_30t,
+    "31i": _decode_31i_31t,
+    "31t": _decode_31i_31t,
+    "31c": _decode_31c,
+    "35c": _decode_35c,
+    "3rc": _decode_3rc,
+    "51l": _decode_51l,
+}
+
+
+def decoder_for(fmt: str):
+    """The unbound operand decoder for ``fmt`` (no bounds checking)."""
+    try:
+        return DECODERS[fmt]
+    except KeyError:
+        raise DexFormatError(f"unknown instruction format {fmt!r}") from None
+
+
 def decode(fmt: str, units: list[int], pos: int) -> tuple[int, ...]:
     """Decode the operands of an instruction at ``pos`` in ``units``.
 
@@ -197,62 +344,4 @@ def decode(fmt: str, units: list[int], pos: int) -> tuple[int, ...]:
         raise DexFormatError(
             f"truncated {fmt} instruction at unit {pos} (need {need} units)"
         )
-    u0 = units[pos]
-    if fmt == "10x":
-        return ()
-    if fmt == "12x":
-        return ((u0 >> 8) & 0xF, (u0 >> 12) & 0xF)
-    if fmt == "11n":
-        return ((u0 >> 8) & 0xF, _s_of((u0 >> 12) & 0xF, 4))
-    if fmt == "11x":
-        return ((u0 >> 8) & 0xFF,)
-    if fmt == "10t":
-        return (_s_of((u0 >> 8) & 0xFF, 8),)
-    if fmt == "20t":
-        return (_s_of(units[pos + 1], 16),)
-    if fmt == "22x":
-        return ((u0 >> 8) & 0xFF, units[pos + 1])
-    if fmt in ("21t", "21s", "21h"):
-        return ((u0 >> 8) & 0xFF, _s_of(units[pos + 1], 16))
-    if fmt == "21c":
-        return ((u0 >> 8) & 0xFF, units[pos + 1])
-    if fmt == "23x":
-        u1 = units[pos + 1]
-        return ((u0 >> 8) & 0xFF, u1 & 0xFF, (u1 >> 8) & 0xFF)
-    if fmt == "22b":
-        u1 = units[pos + 1]
-        return ((u0 >> 8) & 0xFF, u1 & 0xFF, _s_of((u1 >> 8) & 0xFF, 8))
-    if fmt in ("22t", "22s"):
-        return ((u0 >> 8) & 0xF, (u0 >> 12) & 0xF, _s_of(units[pos + 1], 16))
-    if fmt == "22c":
-        return ((u0 >> 8) & 0xF, (u0 >> 12) & 0xF, units[pos + 1])
-    if fmt == "32x":
-        return (units[pos + 1], units[pos + 2])
-    if fmt == "30t":
-        value = units[pos + 1] | (units[pos + 2] << 16)
-        return (_s_of(value, 32),)
-    if fmt in ("31i", "31t"):
-        value = units[pos + 1] | (units[pos + 2] << 16)
-        return ((u0 >> 8) & 0xFF, _s_of(value, 32))
-    if fmt == "31c":
-        value = units[pos + 1] | (units[pos + 2] << 16)
-        return ((u0 >> 8) & 0xFF, value)
-    if fmt == "35c":
-        count = (u0 >> 12) & 0xF
-        g = (u0 >> 8) & 0xF
-        index = units[pos + 1]
-        u2 = units[pos + 2]
-        all_regs = (u2 & 0xF, (u2 >> 4) & 0xF, (u2 >> 8) & 0xF, (u2 >> 12) & 0xF, g)
-        return (index, *all_regs[:count])
-    if fmt == "3rc":
-        count = (u0 >> 8) & 0xFF
-        return (units[pos + 1], units[pos + 2], count)
-    if fmt == "51l":
-        value = (
-            units[pos + 1]
-            | (units[pos + 2] << 16)
-            | (units[pos + 3] << 32)
-            | (units[pos + 4] << 48)
-        )
-        return ((u0 >> 8) & 0xFF, _s_of(value, 64))
-    raise DexFormatError(f"unknown instruction format {fmt!r}")
+    return decoder_for(fmt)(units, pos)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.dex import formats
 from repro.dex.opcodes import (
+    OPCODE_TABLE,
     PAYLOAD_IDENTS,
     IndexKind,
     OpcodeInfo,
@@ -20,6 +21,18 @@ from repro.dex.opcodes import (
     opcode_for,
 )
 from repro.errors import DexFormatError
+
+# Decode table indexed by opcode byte: ``(info, operand decoder, unit
+# count)`` resolved once at import time from the value-indexed
+# ``OPCODE_TABLE``.  ``decode_at`` and the interpreter's predecoder
+# index this instead of re-running string format comparisons per fetch.
+# ``None`` marks unassigned opcode bytes.
+DECODE_TABLE: list[tuple[OpcodeInfo, object, int] | None] = [
+    None
+    if info is None
+    else (info, formats.decoder_for(info.fmt), formats.FORMAT_UNITS[info.fmt])
+    for info in OPCODE_TABLE
+]
 
 
 @dataclass(frozen=True)
@@ -44,9 +57,18 @@ class Instruction:
     @classmethod
     def decode_at(cls, units: list[int], pos: int) -> "Instruction":
         """Decode the instruction starting at code unit ``pos``."""
-        info = opcode_at(units, pos)
-        operands = formats.decode(info.fmt, units, pos)
-        return cls(info, operands)
+        unit = units[pos]
+        value = unit & 0xFF
+        entry = DECODE_TABLE[value]
+        if entry is None or (value == 0 and unit in PAYLOAD_IDENTS):
+            opcode_at(units, pos)  # raises the canonical DexFormatError
+        info, decoder, need = entry
+        if pos + need > len(units):
+            raise DexFormatError(
+                f"truncated {info.fmt} instruction at unit {pos}"
+                f" (need {need} units)"
+            )
+        return cls(info, decoder(units, pos))
 
     # -- encoding ---------------------------------------------------------
 

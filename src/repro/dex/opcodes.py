@@ -187,6 +187,14 @@ def _build_table() -> dict[int, OpcodeInfo]:
 OPCODES: dict[int, OpcodeInfo] = _build_table()
 OPCODES_BY_NAME: dict[str, OpcodeInfo] = {info.name: info for info in OPCODES.values()}
 
+# 256-slot table indexed by opcode byte value (``None`` for unassigned
+# values).  The interpreter fast path and the instruction decoder index
+# this directly instead of probing the dict above on every fetch.
+OPCODE_TABLE: list[OpcodeInfo | None] = [None] * 256
+for _info in OPCODES.values():
+    OPCODE_TABLE[_info.value] = _info
+del _info
+
 # Pseudo-opcodes marking inline data payloads.  They live in the code-unit
 # stream but are data, not executable instructions; the low byte is `nop`.
 PACKED_SWITCH_PAYLOAD = 0x0100
@@ -211,7 +219,7 @@ def opcode_at(units: list[int], pos: int) -> OpcodeInfo:
     value = unit & 0xFF
     if value == 0 and unit in PAYLOAD_IDENTS:
         raise DexFormatError(f"code unit at {pos} is a data payload, not an opcode")
-    try:
-        return OPCODES[value]
-    except KeyError:
-        raise DexFormatError(f"unknown opcode {value:#04x} at unit {pos}") from None
+    info = OPCODE_TABLE[value]
+    if info is None:
+        raise DexFormatError(f"unknown opcode {value:#04x} at unit {pos}")
+    return info

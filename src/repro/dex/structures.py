@@ -11,7 +11,9 @@ every index reference (including those embedded in instructions).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
+from repro.dex.code_units import CodeUnits
 from repro.dex.constants import NO_INDEX, AccessFlags, EncodedValueType, shorty_of
 from repro.dex.instructions import Instruction, iter_instructions
 from repro.dex.opcodes import IndexKind
@@ -32,7 +34,10 @@ class MethodRef:
     param_descs: tuple[str, ...]
     return_desc: str
 
-    @property
+    # cached_property, not property: branch tracing and forced-path
+    # matching read the signature once per conditional branch, which
+    # made this f-string one of the hottest lines in force execution.
+    @cached_property
     def signature(self) -> str:
         params = "".join(self.param_descs)
         return f"{self.class_desc}->{self.name}({params}){self.return_desc}"
@@ -55,7 +60,7 @@ class FieldRef:
     name: str
     type_desc: str
 
-    @property
+    @cached_property
     def signature(self) -> str:
         return f"{self.class_desc}->{self.name}:{self.type_desc}"
 
@@ -137,7 +142,15 @@ class TryBlock:
 
 @dataclass
 class CodeItem:
-    """Executable body of a method: registers and the code-unit array."""
+    """Executable body of a method: registers and the code-unit array.
+
+    ``insns`` is always a generation-tracked
+    :class:`~repro.dex.code_units.CodeUnits` array — plain lists are
+    wrapped on assignment (including in ``__init__``), so the
+    interpreter's predecode cache observes *every* way the live array
+    can change: in-place patches bump the generation, and wholesale
+    replacement swaps in a fresh array with a fresh cache.
+    """
 
     registers_size: int
     ins_size: int
@@ -145,16 +158,24 @@ class CodeItem:
     insns: list[int] = field(default_factory=list)
     tries: list[TryBlock] = field(default_factory=list)
 
+    def __setattr__(self, name: str, value) -> None:
+        if name == "insns" and not isinstance(value, CodeUnits):
+            value = CodeUnits(value)
+        super().__setattr__(name, value)
+
     def instructions(self) -> list[tuple[int, Instruction]]:
         """Decode all (dex_pc, instruction) pairs, skipping payloads."""
         return iter_instructions(self.insns)
 
     def copy(self) -> "CodeItem":
+        insns = self.insns
         return CodeItem(
             self.registers_size,
             self.ins_size,
             self.outs_size,
-            list(self.insns),
+            # Copies share the decode store (content-validated on use),
+            # so replay runtimes warm-start instead of re-decoding.
+            insns.copy() if isinstance(insns, CodeUnits) else list(insns),
             [
                 TryBlock(t.start_addr, t.insn_count, list(t.handlers), t.catch_all)
                 for t in self.tries
@@ -217,6 +238,9 @@ class DexFile:
         self._proto_index: dict[tuple[int, tuple[int, ...]], int] = {}
         self._field_index: dict[tuple[int, int, int], int] = {}
         self._method_index: dict[tuple[int, int, int], int] = {}
+        # index -> resolved FieldRef/MethodRef, keyed ("f"/"m", idx);
+        # dropped whenever canonicalize reorders the pools.
+        self._ref_cache: dict[tuple[str, int], object] = {}
 
     # -- interning ---------------------------------------------------------
 
@@ -306,15 +330,33 @@ class DexFile:
             tuple(self.type_descriptor(p) for p in proto.param_type_idxs),
         )
 
+    # field_ref / method_ref memoise per index: the interpreter resolves
+    # a ref on every field access and invoke, and interning only appends
+    # (existing indices keep their meaning).  The memo is dropped by
+    # ``_rebuild_indexes`` whenever ``canonicalize`` reorders the pools.
+
     def field_ref(self, idx: int) -> FieldRef:
+        ref = self._ref_cache.get(("f", idx))
+        if ref is not None:
+            return ref
         fid = self.field_ids[idx]
-        return FieldRef(
+        ref = FieldRef(
             self.type_descriptor(fid.class_idx),
             self.strings[fid.name_idx],
             self.type_descriptor(fid.type_idx),
         )
+        self._ref_cache[("f", idx)] = ref
+        return ref
 
     def method_ref(self, idx: int) -> MethodRef:
+        ref = self._ref_cache.get(("m", idx))
+        if ref is not None:
+            return ref
+        ref = self._build_method_ref(idx)
+        self._ref_cache[("m", idx)] = ref
+        return ref
+
+    def _build_method_ref(self, idx: int) -> MethodRef:
         mid = self.method_ids[idx]
         return_desc, param_descs = self.proto_descs(mid.proto_idx)
         return MethodRef(
@@ -473,6 +515,7 @@ class DexFile:
         self.class_defs = ordered
 
     def _rebuild_indexes(self) -> None:
+        self._ref_cache.clear()  # pool order changed: indices mean new refs
         self._string_index = {s: i for i, s in enumerate(self.strings)}
         self._type_index = {s: i for i, s in enumerate(self.type_ids)}
         self._proto_index = {

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.errors import BudgetExceeded
 from repro.runtime.class_linker import ClassLinker
 from repro.runtime.device import NEXUS_5X, DeviceProfile
-from repro.runtime.hooks import BranchController, RuntimeListener
+from repro.runtime.hooks import BranchController, ListenerFanout, RuntimeListener
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.natives import NativeRegistry
 from repro.runtime.values import VmObject, VmString, provenance_of
@@ -53,6 +53,7 @@ class AndroidRuntime:
     ) -> None:
         self.device = device
         self.listeners: list[RuntimeListener] = []
+        self.fanout = ListenerFanout(())
         self.natives = NativeRegistry()
         self.class_linker = ClassLinker(self)
         self.interpreter = Interpreter(self)
@@ -80,10 +81,14 @@ class AndroidRuntime:
     # -- listeners -----------------------------------------------------------
 
     def add_listener(self, listener: RuntimeListener) -> None:
+        """Attach a listener (the only supported way to add one: it
+        rebuilds the per-event fan-out the interpreter dispatches on)."""
         self.listeners.append(listener)
+        self.fanout = ListenerFanout(self.listeners)
 
     def remove_listener(self, listener: RuntimeListener) -> None:
         self.listeners.remove(listener)
+        self.fanout = ListenerFanout(self.listeners)
 
     # -- budget / clock -----------------------------------------------------
 

@@ -192,7 +192,7 @@ class ClassLinker:
         # Static values are assigned during initialization, but record the
         # declared defaults now for the collector's benefit.
         klass._static_value_defaults = self._decode_static_values(dex, class_def)
-        for listener in self.runtime.listeners:
+        for listener in self.runtime.fanout.on_class_loaded:
             listener.on_class_loaded(klass)
         return klass
 
@@ -236,7 +236,7 @@ class ClassLinker:
             if clinit is not None and clinit.code is not None:
                 self.runtime.interpreter.execute(clinit, [])
             klass.initialized = True
-            for listener in self.runtime.listeners:
+            for listener in self.runtime.fanout.on_class_initialized:
                 listener.on_class_initialized(klass)
         finally:
             klass.initializing = False

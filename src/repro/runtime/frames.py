@@ -15,6 +15,7 @@ class Frame:
 
     __slots__ = (
         "method",
+        "code",
         "registers",
         "dex_pc",
         "result",
@@ -32,6 +33,7 @@ class Frame:
         code = method.code
         assert code is not None, f"frame for code-less method {method}"
         self.method = method
+        self.code = code  # hot-path alias; the insns array stays live
         self.registers: list = [0] * code.registers_size
         if arg_words:
             base = code.registers_size - code.ins_size
@@ -46,7 +48,7 @@ class Frame:
     @property
     def code_units(self) -> list[int]:
         """The LIVE code-unit array (mutations are visible immediately)."""
-        return self.method.code.insns
+        return self.code.insns
 
     def reg(self, index: int):
         return self.registers[index]

@@ -65,6 +65,40 @@ class RuntimeListener:
         """An instance/static field was written."""
 
 
+# Every observable hook on the listener surface, in definition order.
+LISTENER_HOOKS: tuple[str, ...] = tuple(
+    name for name in vars(RuntimeListener) if name.startswith("on_")
+)
+
+
+class ListenerFanout:
+    """Per-event listener lists, precomputed once per listener change.
+
+    For each hook the fan-out holds the tuple of listeners that actually
+    *override* it — subclasses inheriting the base no-op are filtered
+    out.  The interpreter reads these tuples on its hot path, so an
+    uninstrumented run pays a single falsy check per event and a
+    collector-instrumented run calls only real observers, never the
+    base-class no-ops.  Rebuilt by the runtime on ``add_listener`` /
+    ``remove_listener`` (the only supported mutation points).
+    """
+
+    __slots__ = LISTENER_HOOKS
+
+    def __init__(self, listeners=()) -> None:
+        for hook in LISTENER_HOOKS:
+            base = getattr(RuntimeListener, hook)
+            setattr(
+                self,
+                hook,
+                tuple(
+                    listener
+                    for listener in listeners
+                    if getattr(type(listener), hook, base) is not base
+                ),
+            )
+
+
 class BranchController:
     """Force-execution control point for conditional branches.
 

@@ -3,7 +3,7 @@
 Executes code-unit arrays instruction by instruction.  Three properties
 matter for the reproduction:
 
-* **Live fetch** — every step decodes from the method's mutable code-unit
+* **Live fetch** — every step observes the method's mutable code-unit
   array, so in-place modification by native code changes behaviour
   exactly as on ART.
 * **Instrumentation** — listeners observe the fetch (``on_instruction``),
@@ -12,6 +12,29 @@ matter for the reproduction:
 * **Branch control** — a :class:`~repro.runtime.hooks.BranchController`
   may override conditional-branch outcomes (force execution), and the
   runtime can be configured to clear unhandled exceptions (§IV-E).
+
+The execution loop runs a *fast path* that is observably identical to
+naive decode-every-step interpretation (see docs/architecture.md,
+"Interpreter fast path"):
+
+* a **generation-tracked predecode cache** — decoded instructions are
+  cached per :class:`~repro.dex.code_units.CodeUnits` array and trusted
+  only while the array's mutation generation matches; on mismatch an
+  entry is revalidated against the raw units it was decoded from, so
+  self-modifying code invalidates exactly the entries it rewrote and
+  live-fetch semantics are preserved bit for bit;
+* **opcode-value dispatch** — handlers and per-format operand decoders
+  are resolved once into 256-slot tables indexed by opcode byte instead
+  of per-step string-mnemonic lookups;
+* **zero-cost listener fan-out** — per-event listener tuples
+  (:class:`~repro.runtime.hooks.ListenerFanout`) skip listeners that
+  inherit the base-class no-ops, so uninstrumented runs pay a single
+  falsy check per event.
+
+Constructing the interpreter with ``fast_path=False`` yields the naive
+reference loop (decode every step, string-mnemonic handler lookup); the
+differential tests drive both over the self-modifying benchsuite and
+assert identical traces.
 """
 
 from __future__ import annotations
@@ -19,9 +42,10 @@ from __future__ import annotations
 import math
 
 from repro.dex.instructions import Instruction
+from repro.dex.opcodes import OPCODE_TABLE
 from repro.dex.payloads import decode_payload
 from repro.dex.structures import MethodRef
-from repro.errors import ClassLinkError, VmCrash
+from repro.errors import BudgetExceeded, ClassLinkError, VmCrash
 from repro.runtime.exceptions import VmThrow, is_instance_of
 from repro.runtime.frames import Frame
 from repro.runtime.klass import RuntimeMethod
@@ -42,10 +66,17 @@ _MAX_CALL_DEPTH = 200
 
 
 class Interpreter:
-    """Executes bytecode methods against a runtime."""
+    """Executes bytecode methods against a runtime.
 
-    def __init__(self, runtime) -> None:
+    ``fast_path=False`` selects the naive reference loop: decode from
+    the live array on every step, look handlers up by string mnemonic.
+    It exists to *prove* the fast path changes nothing observable — the
+    differential tests run both and compare traces and collector stats.
+    """
+
+    def __init__(self, runtime, fast_path: bool = True) -> None:
         self.runtime = runtime
+        self.fast_path = fast_path
 
     # ------------------------------------------------------------------ entry
 
@@ -59,7 +90,7 @@ class Interpreter:
             raise self._vm_exception(
                 "Ljava/lang/StackOverflowError;", method.ref.signature
             )
-        for listener in runtime.listeners:
+        for listener in runtime.fanout.on_method_enter:
             listener.on_method_enter(frame)
         result = None
         try:
@@ -67,7 +98,7 @@ class Interpreter:
         finally:
             # Fires on abrupt (exception) exits too, with result None, so
             # collectors can finalize per-frame state.
-            for listener in runtime.listeners:
+            for listener in runtime.fanout.on_method_exit:
                 listener.on_method_exit(frame, result)
         return result
 
@@ -109,7 +140,7 @@ class Interpreter:
             )
         args = self._words_to_values(method, arg_words)
         ctx = NativeContext(runtime, caller, method)
-        for listener in runtime.listeners:
+        for listener in runtime.fanout.on_native_call:
             listener.on_native_call(caller, method, args)
         return impl(ctx, *args)
 
@@ -127,8 +158,76 @@ class Interpreter:
     # -------------------------------------------------------------------- loop
 
     def _run_frame(self, frame: Frame):
+        if not self.fast_path:
+            return self._run_frame_reference(frame)
         runtime = self.runtime
-        listeners = runtime.listeners
+        code = frame.code
+        while True:
+            pc = frame.dex_pc
+            # Fetch stays live: the array object and its generation are
+            # re-read every step, so any mutation (or wholesale
+            # replacement) of code.insns is observed before this decode.
+            # Checked before the step is counted so the fallback below
+            # hands the reference loop an uncounted step.
+            units = code.insns
+            try:
+                cache = units.predecode
+                generation = units.generation
+            except AttributeError:
+                # A plain list was injected behind CodeItem's back: no
+                # generation to trust, so decode every step instead.
+                return self._run_frame_reference(frame)
+            # consume_step() inlined: at ~13M calls per bench the call
+            # overhead alone is measurable.  Semantics are identical —
+            # steps/max_steps re-read every iteration (frames nest, and
+            # reset_budget may zero the counter between runs).
+            runtime.steps = steps = runtime.steps + 1
+            if steps % 997 == 0:
+                runtime.clock_ms += 1
+            max_steps = runtime.max_steps
+            if max_steps is not None and steps > max_steps:
+                raise BudgetExceeded(
+                    f"execution budget of {max_steps} steps exhausted"
+                )
+            entry = cache.get(pc)
+            if entry is None or entry[0] != generation:
+                try:
+                    entry = _predecode(units, pc, generation, entry)
+                except Exception as exc:
+                    raise VmCrash(
+                        f"undecodable instruction at "
+                        f"{frame.method.ref.signature}@{pc}: {exc}"
+                    ) from exc
+                cache[pc] = entry
+            ins = entry[1]
+            handler = entry[2]
+            # fanout is re-read per step, not hoisted: a listener
+            # attached mid-frame (add_listener swaps the fanout object)
+            # must observe the very next fetch, as on the naive loop.
+            listeners = runtime.fanout.on_instruction
+            if listeners:
+                for listener in listeners:
+                    listener.on_instruction(frame, pc, ins)
+            if handler is None:
+                raise VmCrash(f"no handler for opcode {ins.name}")
+            try:
+                outcome = handler(self, frame, pc, ins)
+            except VmThrow as thrown:
+                outcome = self._handle_throw(frame, pc, ins, thrown)
+                if outcome is _UNWIND:
+                    raise
+            if outcome is None:
+                frame.dex_pc = pc + entry[3]
+            elif isinstance(outcome, int):
+                frame.dex_pc = outcome
+            else:  # ("return", value)
+                return outcome[1]
+
+    def _run_frame_reference(self, frame: Frame):
+        """Naive loop: decode from the live array on every single step
+        and dispatch by string mnemonic.  The behavioural baseline the
+        fast path is differentially tested against."""
+        runtime = self.runtime
         while True:
             pc = frame.dex_pc
             runtime.consume_step()
@@ -139,12 +238,12 @@ class Interpreter:
                     f"undecodable instruction at {frame.method.ref.signature}"
                     f"@{pc}: {exc}"
                 ) from exc
-            for listener in listeners:
+            for listener in runtime.fanout.on_instruction:
                 listener.on_instruction(frame, pc, ins)
             try:
                 outcome = self._dispatch(frame, pc, ins)
             except VmThrow as thrown:
-                outcome = self._handle_throw(frame, pc, thrown)
+                outcome = self._handle_throw(frame, pc, ins, thrown)
                 if outcome is _UNWIND:
                     raise
             if outcome is None:
@@ -154,10 +253,11 @@ class Interpreter:
             else:  # ("return", value)
                 return outcome[1]
 
-    def _handle_throw(self, frame: Frame, pc: int, thrown: VmThrow):
+    def _handle_throw(self, frame: Frame, pc: int, ins: Instruction, thrown: VmThrow):
         runtime = self.runtime
+        fanout = runtime.fanout
         exception_obj = thrown.exception_obj
-        code = frame.method.code
+        code = frame.code
         for try_block in code.tries:
             if not try_block.covers(pc):
                 continue
@@ -166,27 +266,26 @@ class Interpreter:
                 type_desc = dex.type_descriptor(type_idx) if dex else None
                 if type_desc and is_instance_of(exception_obj, type_desc):
                     frame.pending_exception = exception_obj
-                    for listener in runtime.listeners:
+                    for listener in fanout.on_exception_thrown:
                         listener.on_exception_thrown(frame, exception_obj)
                     return handler_addr
             if try_block.catch_all is not None:
                 frame.pending_exception = exception_obj
-                for listener in runtime.listeners:
+                for listener in fanout.on_exception_thrown:
                     listener.on_exception_thrown(frame, exception_obj)
                 return try_block.catch_all
-        for listener in runtime.listeners:
+        for listener in fanout.on_exception_thrown:
             listener.on_exception_thrown(frame, exception_obj)
         if runtime.tolerate_exceptions:
             # Force execution (§IV-E): clear the unhandled exception and
-            # continue with the next instruction.
-            for listener in runtime.listeners:
+            # continue with the next instruction.  ``ins`` is the very
+            # instruction the run loop already decoded for this step —
+            # no re-decode.  Skipping a bare throw falls through exactly
+            # like any other cleared instruction.
+            for listener in fanout.on_exception_cleared:
                 listener.on_exception_cleared(frame, exception_obj)
-            ins = Instruction.decode_at(frame.code_units, pc)
             if ins.opcode.is_return:
                 return ("return", None)
-            if ins.opcode.is_throw:
-                # Skipping a bare throw: fall through to the next instruction.
-                return pc + ins.unit_count
             return pc + ins.unit_count
         return _UNWIND
 
@@ -244,13 +343,14 @@ class Interpreter:
         ref = dex.method_ref(ins.pool_index)
         regs = ins.invoke_registers
         arg_words = [frame.reg(r) for r in regs]
-        kind = ins.name.split("-")[1].split("/")[0]
+        kind = _INVOKE_KINDS[ins.name]
         callee = self._resolve_callee(frame, ref, kind, arg_words)
-        for listener in self.runtime.listeners:
+        fanout = self.runtime.fanout
+        for listener in fanout.on_invoke:
             listener.on_invoke(frame, pc, callee, arg_words)
         result = self.execute(callee, arg_words, caller=frame)
         frame.result = result
-        for listener in self.runtime.listeners:
+        for listener in fanout.on_return_value:
             listener.on_return_value(frame, result)
         return None
 
@@ -558,15 +658,16 @@ def _make_if(cond: str, zero: bool):
             taken = test(a, b)
         else:
             taken = test(frame.reg(ins.operands[0]), frame.reg(ins.operands[1]))
-        controller = interp.runtime.branch_controller
+        runtime = interp.runtime
+        controller = runtime.branch_controller
         if controller is not None:
             forced = controller.decide(frame, pc, ins, taken)
             if forced is not None:
                 if forced != taken:
-                    for listener in interp.runtime.listeners:
+                    for listener in runtime.fanout.on_branch_forced:
                         listener.on_branch_forced(frame, pc, ins, forced)
                 taken = forced
-        for listener in interp.runtime.listeners:
+        for listener in runtime.fanout.on_branch:
             listener.on_branch(frame, pc, ins, taken)
         if taken:
             return pc + ins.branch_target
@@ -619,7 +720,7 @@ def _op_iget(interp, frame, pc, ins):
     frame.set_reg(dst, value)
     if ins.name == "iget-wide":
         frame.set_reg(dst + 1, WIDE_HIGH)
-    for listener in interp.runtime.listeners:
+    for listener in interp.runtime.fanout.on_field_read:
         listener.on_field_read(frame, key, value)
     return None
 
@@ -630,7 +731,7 @@ def _op_iput(interp, frame, pc, ins):
     key = interp._resolve_instance_field(frame, field_idx, obj)
     value = frame.reg(src)
     obj.fields[key] = value
-    for listener in interp.runtime.listeners:
+    for listener in interp.runtime.fanout.on_field_write:
         listener.on_field_write(frame, key, value)
     return None
 
@@ -642,7 +743,7 @@ def _op_sget(interp, frame, pc, ins):
     frame.set_reg(dst, value)
     if ins.name == "sget-wide":
         frame.set_reg(dst + 1, WIDE_HIGH)
-    for listener in interp.runtime.listeners:
+    for listener in interp.runtime.fanout.on_field_read:
         listener.on_field_read(frame, (owner.descriptor, ref.name), value)
     return None
 
@@ -652,7 +753,7 @@ def _op_sput(interp, frame, pc, ins):
     owner, ref = interp._resolve_static_field(frame, field_idx)
     value = frame.reg(src)
     owner.statics[ref.name] = value
-    for listener in interp.runtime.listeners:
+    for listener in interp.runtime.fanout.on_field_write:
         listener.on_field_write(frame, (owner.descriptor, ref.name), value)
     return None
 
@@ -929,3 +1030,59 @@ def _build_handlers() -> dict:
 
 
 _HANDLERS = _build_handlers()
+
+# Opcode-value dispatch: the string-keyed handler table above, resolved
+# once into a 256-slot list indexed by opcode byte (parallel to
+# ``OPCODE_TABLE``).  ``None`` slots are unassigned opcode values or
+# opcodes without a handler; the run loop reports them with the same
+# VmCrash as name-keyed dispatch.
+_DISPATCH: list = [
+    None if info is None else _HANDLERS.get(info.name) for info in OPCODE_TABLE
+]
+
+# invoke-<kind>[/range] mnemonic -> resolution kind, precomputed so the
+# invoke handler does a single dict probe instead of two string splits.
+_INVOKE_KINDS: dict[str, str] = {
+    f"invoke-{kind}{suffix}": kind
+    for kind in ("virtual", "super", "direct", "static", "interface")
+    for suffix in ("", "/range")
+}
+
+
+def _predecode(units, pc: int, generation: int, stale):
+    """Build (or revalidate) the predecode-cache entry for ``pc``.
+
+    Entries are ``(generation, ins, handler, unit_count, raw_units)``.
+    Three sources, all content-validated against the *live* array:
+
+    1. a stale own-cache entry (the array mutated since it was cached):
+       if the bytes in its own region are untouched the decode is
+       reused and only the generation stamp refreshes — a patch
+       invalidates exactly the instructions it rewrote, nothing else;
+    2. the cross-copy shared store (another runtime's copy of the same
+       code item already decoded this pc): adopted only when the raw
+       units it was decoded from equal this array's live bytes;
+    3. a fresh decode, written through to the shared store
+       (``setdefault``: first writer wins, racing writers are
+       equivalent for equal bytes).
+    """
+    if stale is not None:
+        count = stale[3]
+        if stale[4] == tuple(units[pc:pc + count]):
+            return (generation, stale[1], stale[2], count, stale[4])
+    shared = units.shared.get(pc)
+    if shared is not None:
+        count = shared[3]
+        if shared[4] == tuple(units[pc:pc + count]):
+            return (generation, shared[1], shared[2], count, shared[4])
+    ins = Instruction.decode_at(units, pc)
+    count = ins.unit_count
+    entry = (
+        generation,
+        ins,
+        _DISPATCH[ins.opcode.value],
+        count,
+        tuple(units[pc:pc + count]),
+    )
+    units.shared.setdefault(pc, entry)
+    return entry

@@ -73,7 +73,7 @@ def _method_invoke(ctx, this: VmReflectMethod, receiver, args_array):
     method = this.method
     args = list(args_array.elements) if isinstance(args_array, VmArray) else []
     runtime = ctx.runtime
-    for listener in runtime.listeners:
+    for listener in runtime.fanout.on_reflective_call:
         listener.on_reflective_call(ctx.frame, method, receiver, args)
     arg_words: list = []
     if not method.is_static:

@@ -1,0 +1,101 @@
+"""Generation tracking on the live code-unit array."""
+
+import pickle
+
+from repro.dex.code_units import CodeUnits
+from repro.dex.structures import CodeItem
+
+
+class TestGenerationTracking:
+    def test_starts_at_zero(self):
+        units = CodeUnits([1, 2, 3])
+        assert units.generation == 0
+        assert list(units) == [1, 2, 3]
+
+    def test_setitem_bumps(self):
+        units = CodeUnits([1, 2, 3])
+        units[1] = 9
+        assert units.generation == 1
+        assert units[1] == 9
+
+    def test_slice_assignment_bumps(self):
+        """The ``patch_code`` idiom: splice encoded units over a region."""
+        units = CodeUnits([1, 2, 3, 4])
+        units[1:3] = [7, 8]
+        assert units.generation == 1
+        assert list(units) == [1, 7, 8, 4]
+
+    def test_every_mutator_bumps(self):
+        units = CodeUnits([3, 1, 2])
+        mutations = [
+            lambda u: u.append(5),
+            lambda u: u.extend([6, 7]),
+            lambda u: u.insert(0, 0),
+            lambda u: u.pop(),
+            lambda u: u.remove(6),
+            lambda u: u.sort(),
+            lambda u: u.reverse(),
+            lambda u: u.__iadd__([9]),
+            lambda u: u.__imul__(2),
+            lambda u: u.__delitem__(0),
+            lambda u: u.clear(),
+        ]
+        for i, mutate in enumerate(mutations, start=1):
+            mutate(units)
+            assert units.generation == i, mutate
+
+    def test_reads_do_not_bump(self):
+        units = CodeUnits([1, 2, 3])
+        _ = units[0], units[1:3], len(units), list(units), 2 in units
+        _ = units.index(2), units.count(1)
+        assert units.generation == 0
+
+    def test_slicing_returns_plain_list(self):
+        assert type(CodeUnits([1, 2])[0:1]) is list
+
+    def test_equality_with_plain_list(self):
+        assert CodeUnits([1, 2]) == [1, 2]
+
+    def test_pickle_round_trip_resets_tracking(self):
+        units = CodeUnits([1, 2, 3])
+        units[0] = 4
+        units.predecode[0] = ("sentinel",)
+        clone = pickle.loads(pickle.dumps(units))
+        assert isinstance(clone, CodeUnits)
+        assert list(clone) == [4, 2, 3]
+        assert clone.generation == 0
+        assert clone.predecode == {}
+
+    def test_copy_is_fresh(self):
+        units = CodeUnits([1, 2])
+        units[0] = 3
+        clone = units.copy()
+        assert isinstance(clone, CodeUnits)
+        assert clone.generation == 0
+        clone[0] = 5
+        assert units[0] == 3  # independent storage
+
+
+class TestCodeItemWrapping:
+    def test_constructor_wraps_plain_list(self):
+        code = CodeItem(2, 0, 0, [0x0E])  # return-void
+        assert isinstance(code.insns, CodeUnits)
+
+    def test_reassignment_wraps_plain_list(self):
+        """Tests and tools reassign ``code.insns`` wholesale; the fresh
+        array must be tracked (and carries a fresh predecode cache)."""
+        code = CodeItem(2, 0, 0, [0x0E])
+        old = code.insns
+        code.insns = old[:-1] + [0x0E]
+        assert isinstance(code.insns, CodeUnits)
+        assert code.insns is not old
+        assert code.insns.generation == 0
+
+    def test_copy_yields_independent_tracked_array(self):
+        code = CodeItem(2, 0, 0, [0x0E, 0x0E])
+        clone = code.copy()
+        assert isinstance(clone.insns, CodeUnits)
+        clone.insns[0] = 0x00
+        assert code.insns[0] == 0x0E
+        assert code.insns.generation == 0
+        assert clone.insns.generation == 1

@@ -1,0 +1,102 @@
+"""Zero-cost listener fan-out: only real observers are ever called."""
+
+from repro.runtime import AndroidRuntime, AppDriver
+from repro.runtime.hooks import LISTENER_HOOKS, ListenerFanout, RuntimeListener
+
+from tests.conftest import build_simple_apk
+
+
+class _Counter(RuntimeListener):
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.branches = 0
+
+    def on_instruction(self, frame, dex_pc, ins) -> None:
+        self.instructions += 1
+
+    def on_branch(self, frame, dex_pc, ins, taken) -> None:
+        self.branches += 1
+
+
+class TestFanoutConstruction:
+    def test_hooks_cover_the_listener_surface(self):
+        assert "on_instruction" in LISTENER_HOOKS
+        assert "on_method_enter" in LISTENER_HOOKS
+        assert set(LISTENER_HOOKS) == {
+            name for name in vars(RuntimeListener) if name.startswith("on_")
+        }
+
+    def test_base_noop_listener_appears_nowhere(self):
+        fanout = ListenerFanout([RuntimeListener()])
+        for hook in LISTENER_HOOKS:
+            assert getattr(fanout, hook) == ()
+
+    def test_overriders_appear_only_where_they_override(self):
+        counter = _Counter()
+        fanout = ListenerFanout([counter])
+        assert fanout.on_instruction == (counter,)
+        assert fanout.on_branch == (counter,)
+        for hook in LISTENER_HOOKS:
+            if hook not in ("on_instruction", "on_branch"):
+                assert getattr(fanout, hook) == ()
+
+    def test_order_preserved(self):
+        first, second = _Counter(), _Counter()
+        fanout = ListenerFanout([first, second])
+        assert fanout.on_instruction == (first, second)
+
+
+class TestRuntimeRebuild:
+    def test_add_and_remove_rebuild_fanout(self):
+        runtime = AndroidRuntime()
+        counter = _Counter()
+        runtime.add_listener(counter)
+        assert runtime.fanout.on_instruction == (counter,)
+        runtime.remove_listener(counter)
+        assert runtime.fanout.on_instruction == ()
+
+    def test_uninstrumented_run_has_empty_fanout(self):
+        runtime = AndroidRuntime()
+        report = AppDriver(runtime, build_simple_apk("fan.none")).launch()
+        assert report.launched
+        assert runtime.fanout.on_instruction == ()
+
+    def test_listener_attached_mid_frame_sees_next_fetch(self):
+        """add_listener swaps the fanout object; the running frame must
+        pick it up on the very next step, as on the naive loop."""
+        from repro.dex import assemble
+        from repro.runtime import Apk
+
+        runtime = AndroidRuntime()
+        smali = """
+.class public Lt/Mid;
+.super Ljava/lang/Object;
+.method public static run()I
+    .registers 1
+    invoke-static {}, Lt/Mid;->attach()V
+    const/4 v0, 5
+    return v0
+.end method
+.method public static native attach()V
+.end method
+"""
+        runtime.install_apk(Apk("t.mid", "Lt/Mid;", [assemble(smali)]))
+        counter = _Counter()
+        runtime.natives.register(
+            "Lt/Mid;->attach()V", lambda ctx: runtime.add_listener(counter)
+        )
+        assert runtime.call("Lt/Mid;->run()I") == 5
+        # const/4 and return execute after the native attached it.
+        assert counter.instructions == 2
+
+    def test_observer_sees_every_fetch(self):
+        instrumented = AndroidRuntime()
+        counter = _Counter()
+        instrumented.add_listener(counter)
+        report = AppDriver(
+            instrumented, build_simple_apk("fan.counted")
+        ).launch()
+        assert report.launched
+        # One on_instruction per consumed step, exactly.
+        assert counter.instructions == instrumented.steps
+        assert counter.branches > 0

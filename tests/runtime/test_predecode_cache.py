@@ -1,0 +1,196 @@
+"""The interpreter's generation-tracked predecode cache.
+
+Live-fetch semantics are the contract: a method that rewrites its own
+code units mid-run must observe the new bytes on the very next fetch,
+no matter what the cache held beforehand.
+"""
+
+from repro.dex import assemble
+from repro.dex.instructions import Instruction
+from repro.dex.opcodes import OPCODES
+from repro.runtime import AndroidRuntime, Apk
+from repro.runtime.interpreter import _DISPATCH, _HANDLERS, Interpreter
+
+from tests.conftest import run_method
+
+_LOOP = """
+.class public Lt/Warm;
+.super Ljava/lang/Object;
+.method public static sum(I)I
+    .registers 3
+    const/4 v0, 0
+    :head
+    if-lez p0, :done
+    add-int v0, v0, p0
+    add-int/lit8 p0, p0, -1
+    goto :head
+    :done
+    return v0
+.end method
+"""
+
+# run() executes its first const twice (one goto round trip); between
+# the two fetches a native patches that const in place.  pass 1 loads 0,
+# pass 2 MUST load the patched 7 even though pc 1 is already cached.
+_SELFPATCH = """
+.class public Lt/P;
+.super Ljava/lang/Object;
+.method public static run()I
+    .registers 2
+    const/4 v1, 0
+    :again
+    const/4 v0, 0
+    invoke-static {}, Lt/P;->tamper()V
+    if-nez v1, :done
+    const/4 v1, 1
+    goto :again
+    :done
+    return v0
+.end method
+
+.method public static native tamper()V
+.end method
+"""
+
+
+def _install(runtime: AndroidRuntime, smali: str, main: str) -> None:
+    dex = assemble(smali)
+    runtime.install_apk(Apk("t.cache", main, [dex]))
+
+
+def _method(runtime: AndroidRuntime, class_desc: str, name: str):
+    klass = runtime.class_linker.lookup(class_desc)
+    for method in klass.methods.values():
+        if method.ref.name == name:
+            return method
+    raise AssertionError(f"no method {name} on {class_desc}")
+
+
+class TestWarmCache:
+    def test_second_run_reuses_decoded_instructions(self, runtime):
+        assert run_method(runtime, _LOOP, "Lt/Warm;->sum(I)I", 4) == 10
+        method = _method(runtime, "Lt/Warm;", "sum")
+        cache = method.code.insns.predecode
+        assert cache, "predecode cache never populated"
+        first = {pc: entry[1] for pc, entry in cache.items()}
+        assert runtime.call("Lt/Warm;->sum(I)I", 5) == 15
+        # No mutation happened: every cached Instruction object survives.
+        for pc, entry in cache.items():
+            assert entry[1] is first[pc]
+
+    def test_entries_match_live_units(self, runtime):
+        run_method(runtime, _LOOP, "Lt/Warm;->sum(I)I", 3)
+        method = _method(runtime, "Lt/Warm;", "sum")
+        units = method.code.insns
+        for pc, entry in units.predecode.items():
+            generation, ins, handler, count, raw = entry
+            assert generation == units.generation
+            assert tuple(units[pc:pc + count]) == raw
+            assert ins == Instruction.decode_at(units, pc)
+            assert handler is _DISPATCH[ins.opcode.value]
+
+    def test_fast_and_reference_agree_on_result_and_steps(self):
+        fast = AndroidRuntime()
+        ref = AndroidRuntime()
+        ref.interpreter = Interpreter(ref, fast_path=False)
+        for rt in (fast, ref):
+            _install(rt, _LOOP, "Lt/Warm;")
+        assert fast.call("Lt/Warm;->sum(I)I", 100) == ref.call(
+            "Lt/Warm;->sum(I)I", 100
+        )
+        assert fast.steps == ref.steps
+
+
+class TestSelfModificationInvalidation:
+    def _run_selfpatch(self, runtime: AndroidRuntime) -> int:
+        _install(runtime, _SELFPATCH, "Lt/P;")
+        patched = {"done": False}
+
+        def tamper(ctx):
+            if not patched["done"]:
+                patched["done"] = True
+                ctx.patch_code(
+                    "Lt/P;->run()I", 1, Instruction.make("const/4", 0, 7).encode()
+                )
+
+        runtime.natives.register("Lt/P;->tamper()V", tamper)
+        return runtime.call("Lt/P;->run()I")
+
+    def test_midrun_patch_observed_on_next_fetch(self, runtime):
+        assert self._run_selfpatch(runtime) == 7
+
+    def test_midrun_patch_observed_by_reference_interpreter(self):
+        runtime = AndroidRuntime()
+        runtime.interpreter = Interpreter(runtime, fast_path=False)
+        assert self._run_selfpatch(runtime) == 7
+
+    def test_patch_invalidates_exactly_the_rewritten_entry(self, runtime):
+        self._run_selfpatch(runtime)
+        method = _method(runtime, "Lt/P;", "run")
+        units = method.code.insns
+        before = {pc: entry[1] for pc, entry in units.predecode.items()}
+        # Patch pc 1 again (7 -> 3) and re-run: only pc 1 re-decodes.
+        units[1:2] = Instruction.make("const/4", 0, 3).encode()
+        assert runtime.call("Lt/P;->run()I") == 3
+        after = units.predecode
+        for pc, ins in before.items():
+            if pc == 1:
+                assert after[pc][1] is not ins
+                assert after[pc][1].operands == (0, 3)
+            else:
+                assert after[pc][1] is ins, f"pc {pc} was needlessly re-decoded"
+
+    def test_patch_between_runs_observed_at_any_cache_state(self, runtime):
+        run_method(runtime, _LOOP, "Lt/Warm;->sum(I)I", 4)
+        method = _method(runtime, "Lt/Warm;", "sum")
+        # Rewrite the warm-cached add-int (pc 3) into sub-int in place.
+        old = Instruction.decode_at(method.code.insns, 3)
+        assert old.name == "add-int"
+        method.code.insns[3:5] = Instruction.make(
+            "sub-int", *old.operands
+        ).encode()
+        # sum(2): 0 - 2 - 1 = -3 under sub-int.
+        assert runtime.call("Lt/Warm;->sum(I)I", 2) == -3
+
+    def test_wholesale_insns_replacement_gets_fresh_cache(self, runtime):
+        run_method(runtime, _LOOP, "Lt/Warm;->sum(I)I", 4)
+        method = _method(runtime, "Lt/Warm;", "sum")
+        stale_cache = method.code.insns.predecode
+        method.code.insns = list(method.code.insns)  # replace, same bytes
+        assert method.code.insns.predecode is not stale_cache
+        assert runtime.call("Lt/Warm;->sum(I)I", 4) == 10
+
+    def test_plain_list_injection_falls_back_to_live_decode(self, runtime):
+        run_method(runtime, _LOOP, "Lt/Warm;->sum(I)I", 4)
+        method = _method(runtime, "Lt/Warm;", "sum")
+        # Bypass CodeItem.__setattr__ entirely: a bare list has no
+        # generation to trust, so the interpreter must decode per step.
+        object.__setattr__(method.code, "insns", list(method.code.insns))
+        before = runtime.steps
+        assert runtime.call("Lt/Warm;->sum(I)I", 6) == 21
+        fallback_steps = runtime.steps - before
+        # Step parity: the fallback hand-off must not double-count the
+        # step it bailed on.
+        reference = AndroidRuntime()
+        reference.interpreter = Interpreter(reference, fast_path=False)
+        _install(reference, _LOOP, "Lt/Warm;")
+        before = reference.steps
+        assert reference.call("Lt/Warm;->sum(I)I", 6) == 21
+        assert fallback_steps == reference.steps - before
+
+
+class TestOpcodeValueDispatch:
+    def test_value_table_mirrors_name_table(self):
+        for info in OPCODES.values():
+            assert _DISPATCH[info.value] is _HANDLERS.get(info.name)
+
+    def test_every_opcode_has_a_handler(self):
+        missing = [
+            info.name for info in OPCODES.values() if _DISPATCH[info.value] is None
+        ]
+        assert missing == []
+
+    def test_unassigned_values_have_no_handler(self):
+        assigned = {info.value for info in OPCODES.values()}
+        for value in set(range(256)) - assigned:
+            assert _DISPATCH[value] is None

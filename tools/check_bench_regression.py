@@ -1,0 +1,79 @@
+"""Compare a bench-smoke timing JSON against the committed baseline.
+
+Exit non-zero when the current total duration regresses more than the
+threshold (default 25%) over the baseline — the CI bench-smoke job runs
+this after the benchmarks so a perf regression fails the build instead
+of silently accruing::
+
+    python tools/check_bench_regression.py \\
+        bench-smoke-timings.json current-timings.json --threshold 0.25
+
+Per-test deltas are printed for diagnosis but only the total gates:
+individual experiments are too small/noisy on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed timing JSON")
+    parser.add_argument("current", help="freshly measured timing JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed fractional regression of total duration (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    if current.get("exitstatus", 1) != 0:
+        print("current bench run did not exit cleanly; failing", file=sys.stderr)
+        return 1
+
+    base_by_test = {t["test"]: t["duration_s"] for t in baseline["timings"]}
+    rows = []
+    for timing in current["timings"]:
+        test = timing["test"]
+        base = base_by_test.get(test)
+        delta = (
+            f"{(timing['duration_s'] / base - 1) * 100:+6.1f}%"
+            if base else "   new"
+        )
+        rows.append((test, base, timing["duration_s"], delta))
+    width = max(len(t) for t, *_ in rows) if rows else 0
+    print(f"{'benchmark':<{width}}  {'baseline':>9}  {'current':>9}  delta")
+    for test, base, cur, delta in rows:
+        base_text = f"{base:9.2f}" if base is not None else "        -"
+        print(f"{test:<{width}}  {base_text}  {cur:9.2f}  {delta}")
+    for test in sorted(set(base_by_test) - {t["test"] for t in current["timings"]}):
+        print(f"{test:<{width}}  {base_by_test[test]:9.2f}  {'gone':>9}")
+
+    base_total = baseline["total_duration_s"]
+    cur_total = current["total_duration_s"]
+    ratio = cur_total / base_total if base_total else float("inf")
+    limit = 1.0 + args.threshold
+    print(
+        f"\ntotal: baseline {base_total:.2f}s -> current {cur_total:.2f}s "
+        f"({(ratio - 1) * 100:+.1f}%, limit {args.threshold * 100:+.0f}%)"
+    )
+    if ratio > limit:
+        print("REGRESSION: total bench-smoke duration over threshold",
+              file=sys.stderr)
+        return 1
+    print("ok: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

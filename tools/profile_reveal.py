@@ -1,0 +1,81 @@
+"""cProfile one full reveal and print the top cumulative-time functions.
+
+Future perf PRs start from data, not vibes::
+
+    make profile                 # default: first benchsuite F-Droid app
+    PYTHONPATH=src python tools/profile_reveal.py --app <package> \\
+        --top 30 --sort tottime --force-execution
+
+The reveal runs the standard pipeline (collect -> reassemble -> verify)
+over one benchsuite application on a fresh runtime, exactly the work a
+service worker performs per app.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--app", default=None,
+        help="benchsuite F-Droid package to reveal (default: the first)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, help="rows to print (default 20)"
+    )
+    parser.add_argument(
+        "--sort", default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key (default cumulative)",
+    )
+    parser.add_argument(
+        "--force-execution", action="store_true",
+        help="profile with force execution enabled (slower, deeper)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="also dump raw pstats data to this path (for snakeviz etc.)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.benchsuite import all_fdroid_apps
+    from repro.core import RevealConfig, reveal_apk
+
+    apps = all_fdroid_apps()
+    if args.app is None:
+        app = apps[0]
+    else:
+        matches = [a for a in apps if a.package == args.app]
+        if not matches:
+            known = ", ".join(a.package for a in apps)
+            print(f"unknown app {args.app!r}; known: {known}", file=sys.stderr)
+            return 2
+        app = matches[0]
+
+    config = RevealConfig(use_force_execution=args.force_execution)
+    apk = app.apk
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = reveal_apk(apk, config=config)
+    profiler.disable()
+
+    stats_snapshot = result.collector_stats
+    print(f"revealed {app.package}: crashed={result.crashed} "
+          f"methods={stats_snapshot.get('methods_executed')} "
+          f"instructions={stats_snapshot.get('instructions_observed')}")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw profile written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
