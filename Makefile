@@ -13,11 +13,12 @@ BENCH_TIMINGS ?= bench-smoke-current.json
 BENCH_BASELINE ?= bench-smoke-timings.json
 SERVE_SMOKE_STORE ?= .serve-smoke
 
-.PHONY: test bench bench-batch bench-force bench-interp bench-smoke bench-check \
-        serve-smoke profile lint ci all help
+.PHONY: test test-determinism bench bench-batch bench-force bench-interp \
+        bench-smoke bench-check serve-smoke profile lint ci all help
 
 help:
 	@echo "make test        - tier-1 verify: full pytest suite (-x -q)"
+	@echo "make test-determinism - differential suite: serial/thread/process replay backends bit-identical"
 	@echo "make bench       - regenerate every paper table/figure (pytest-benchmark)"
 	@echo "make bench-batch - batch-service throughput: serial vs parallel, cold vs warm cache"
 	@echo "make bench-force - force-execution exploration: serial vs parallel, fifo vs rarity-first"
@@ -31,6 +32,15 @@ help:
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+# The differential determinism suite on its own: every replay backend
+# (serial / thread / process, 1..8 workers) must produce bit-identical
+# exploration, collection and archives.  Part of `make test` too; this
+# target exists so CI (and bisects) can run the contract in isolation
+# with verbose per-case output.
+test-determinism:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest tests/core/test_determinism.py \
+		tests/core/test_replay_spec.py tests/runtime/test_predecode_warm.py -q
 
 # bench_*.py does not match pytest's default collection pattern, so the
 # bench targets widen it explicitly.
@@ -84,8 +94,9 @@ lint:
 		echo "pyflakes not installed; compileall-only lint passed"; \
 	fi
 
-# Mirrors .github/workflows/ci.yml: the test job runs lint + test, the
-# bench-smoke job runs bench-smoke + bench-check + serve-smoke.
-ci: lint test bench-smoke bench-check serve-smoke
+# Mirrors .github/workflows/ci.yml: the test job runs lint + test +
+# test-determinism, the bench-smoke job runs bench-smoke + bench-check
+# + serve-smoke.
+ci: lint test test-determinism bench-smoke bench-check serve-smoke
 
 all: lint test

@@ -23,6 +23,10 @@ from repro.core.collector import DexLegoCollector
 from repro.core.config import RevealConfig
 from repro.core.exploration import (
     ALL_STRATEGIES,
+    BACKEND_PROCESS,
+    BACKEND_SERIAL,
+    BACKEND_THREAD,
+    EXPLORE_BACKENDS,
     STRATEGY_BFS,
     STRATEGY_DFS,
     STRATEGY_RARITY,
@@ -36,6 +40,7 @@ from repro.core.force_execution import (
     ForceExecutionReport,
     PathFile,
 )
+from repro.core.replay import ReplaySpec, TraceDelta, execute_replay
 from repro.core.method_store import MethodRecord, MethodStore
 from repro.core.pipeline import (
     DexLego,
@@ -65,7 +70,11 @@ from repro.errors import StageError
 __all__ = [
     "ALL_STAGES",
     "ALL_STRATEGIES",
+    "BACKEND_PROCESS",
+    "BACKEND_SERIAL",
+    "BACKEND_THREAD",
     "BranchTraceListener",
+    "EXPLORE_BACKENDS",
     "ExplorationScheduler",
     "ExplorationStats",
     "STRATEGY_BFS",
@@ -89,8 +98,10 @@ __all__ = [
     "Reassembler",
     "ReassembleStage",
     "RepackStage",
+    "ReplaySpec",
     "RevealConfig",
     "RevealResult",
+    "TraceDelta",
     "STAGE_COLLECT",
     "STAGE_REASSEMBLE",
     "STAGE_REPACK",
@@ -99,6 +110,7 @@ __all__ = [
     "StageEvent",
     "TreeNode",
     "VerifyStage",
+    "execute_replay",
     "resume_exploration",
     "reveal_apk",
     "reveal_from_archive",

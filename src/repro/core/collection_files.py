@@ -22,6 +22,7 @@ from repro.core.collector import (
 )
 from repro.core.method_store import CollectedTry, MethodRecord, MethodStore
 from repro.core.tree import CollectionTree
+from repro.runtime.predecode import validate_predecode_index
 
 CLASS_DATA_FILE = "class_data.json"
 FIELD_DATA_FILE = "field_data.json"
@@ -30,6 +31,7 @@ STATIC_VALUES_FILE = "static_values.json"
 BYTECODE_FILE = "bytecode.json"
 REFLECTION_FILE = "reflection.json"
 EXPLORATION_STATE_FILE = "exploration_state.json"
+PREDECODE_INDEX_FILE = "predecode_index.json"
 
 ALL_FILES = (
     CLASS_DATA_FILE,
@@ -44,7 +46,16 @@ ALL_FILES = (
 #: ``exploration_state.json`` is the force-execution frontier snapshot
 #: (scheduler state, covered-outcome map, counters) that lets a resumed
 #: run continue an interrupted exploration instead of restarting.
-OPTIONAL_FILES = (EXPLORATION_STATE_FILE,)
+#: ``predecode_index.json`` is the serialised warm decode state
+#: (:mod:`repro.runtime.predecode`) so the resuming session — and its
+#: replay worker processes — warm-start instead of re-decoding.
+OPTIONAL_FILES = (EXPLORATION_STATE_FILE, PREDECODE_INDEX_FILE)
+
+#: Exploration-state format versions this build can hydrate.  Checked
+#: eagerly on load (and again on access): a frontier written by a
+#: different format must fail with one clear line *before* any
+#: exploration state is rebuilt from it, not corrupt a resumed run.
+SUPPORTED_EXPLORATION_STATE_VERSIONS = (1,)
 
 
 class CollectionArchive:
@@ -154,7 +165,14 @@ class CollectionArchive:
             if os.path.exists(path):
                 with open(path, encoding="utf-8") as fh:
                     payload[name] = fh.read()
-        return cls(payload)
+        archive = cls(payload)
+        # Version-validate the stateful optional files *now*: every
+        # consumer that hydrates exploration state (reassemble CLI,
+        # resume, reveal_from_archive) goes through load, so a foreign
+        # format fails here with one line instead of deep in a resume.
+        archive.exploration_state()
+        archive.predecode_index()
+        return archive
 
     def total_size_bytes(self) -> int:
         """Dump-file size (Table VI's "Dump File Size" column).
@@ -272,14 +290,33 @@ class CollectionArchive:
         }
         archive = cls(payload)
         archive.set_exploration_state(update.exploration_state())
+        # Warm decode state: the update session re-exported its stores
+        # after running, so its index supersedes; an update without one
+        # (e.g. a no-op resume) keeps the base's warmth.
+        archive.set_predecode_index(update.predecode_index()
+                                    or base.predecode_index())
         return archive
 
     # -- exploration state (force-execution resume) -------------------------
 
     def exploration_state(self) -> dict | None:
-        """The serialised force-execution frontier, or None."""
+        """The serialised force-execution frontier, or None.
+
+        Raises ``ValueError`` (one line) when the archive carries a
+        frontier in a format version this build cannot hydrate.
+        """
         text = self._payload.get(EXPLORATION_STATE_FILE)
-        return json.loads(text) if text is not None else None
+        if text is None:
+            return None
+        state = json.loads(text)
+        version = state.get("version")
+        if version not in SUPPORTED_EXPLORATION_STATE_VERSIONS:
+            raise ValueError(
+                f"unsupported exploration state version {version!r} in "
+                f"{EXPLORATION_STATE_FILE} (this build reads "
+                f"{SUPPORTED_EXPLORATION_STATE_VERSIONS})"
+            )
+        return state
 
     def set_exploration_state(self, state: dict | None) -> None:
         """Attach (or clear) the frontier snapshot carried by save/load."""
@@ -287,6 +324,27 @@ class CollectionArchive:
             self._payload.pop(EXPLORATION_STATE_FILE, None)
         else:
             self._payload[EXPLORATION_STATE_FILE] = json.dumps(state, indent=1)
+
+    # -- predecode index (warm decode state) --------------------------------
+
+    def predecode_index(self) -> dict | None:
+        """The serialised warm decode state, or None.
+
+        Raises ``ValueError`` on a foreign index format version — warm
+        state is an optimisation, but silently adopting entries whose
+        layout this build misreads would be a correctness bug.
+        """
+        text = self._payload.get(PREDECODE_INDEX_FILE)
+        if text is None:
+            return None
+        return validate_predecode_index(json.loads(text))
+
+    def set_predecode_index(self, index: dict | None) -> None:
+        """Attach (or clear) the warm decode state carried by save/load."""
+        if index is None:
+            self._payload.pop(PREDECODE_INDEX_FILE, None)
+        else:
+            self._payload[PREDECODE_INDEX_FILE] = json.dumps(index, indent=1)
 
     # -- deserialisation into reassembler inputs ----------------------------------
 

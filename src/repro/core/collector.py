@@ -42,6 +42,15 @@ class CollectedField:
             "value": list(self.static_value),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "CollectedField":
+        return cls(
+            data["name"],
+            data["type"],
+            data["access"],
+            tuple(data["value"]),
+        )
+
 
 @dataclass
 class CollectedClass:
@@ -65,6 +74,18 @@ class CollectedClass:
             "methods": self.method_signatures,
             "initialized": self.initialized,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CollectedClass":
+        return cls(
+            descriptor=data["descriptor"],
+            superclass_desc=data["superclass"],
+            interface_descs=tuple(data["interfaces"]),
+            access_flags=data["access"],
+            fields=[CollectedField.from_dict(f) for f in data["fields"]],
+            method_signatures=list(data["methods"]),
+            initialized=bool(data["initialized"]),
+        )
 
 
 @dataclass
@@ -251,6 +272,117 @@ class DexLegoCollector(RuntimeListener):
                 key, ReflectionSite(caller.ref.signature, frame.dex_pc)
             )
         site.add_target(target_method.ref.signature, target_method.is_static)
+
+    # -- deltas (process-parallel exploration) -------------------------------
+
+    def delta_dict(self) -> dict:
+        """Everything this collector holds, as a JSON-safe value.
+
+        The unit a replay ships back to the engine: a private
+        per-replay collector serialises itself and the engine absorbs
+        the deltas strictly in pop order, so the merged collector is
+        identical no matter which backend or worker count executed the
+        replays.  Instruction counts still sitting in per-frame
+        buckets (a frame that never exited because the run crashed)
+        are deliberately excluded, matching what a directly-attached
+        collector would have folded in.
+        """
+        return {
+            "classes": [c.to_dict() for c in self.classes.values()],
+            "methods": [
+                {
+                    "signature": record.signature,
+                    "class": record.class_desc,
+                    "name": record.name,
+                    "params": list(record.param_descs),
+                    "return": record.return_desc,
+                    "access": record.access_flags,
+                    "native": record.is_native,
+                    "registers": record.registers_size,
+                    "ins": record.ins_size,
+                    "outs": record.outs_size,
+                    "tries": [t.to_dict() for t in record.tries],
+                    "trees": [t.to_dict() for t in record.trees],
+                }
+                for record in self.method_store.records.values()
+            ],
+            "reflection": [
+                {
+                    "caller": site.caller_signature,
+                    "dex_pc": site.dex_pc,
+                    "targets": [
+                        {"signature": sig, "static": site.target_static[sig]}
+                        for sig in site.targets
+                    ],
+                }
+                for site in self.reflection_sites.values()
+            ],
+            "instructions_observed": self.instructions_observed,
+        }
+
+    def absorb(self, delta: dict) -> None:
+        """Merge one replay's delta into this collector.
+
+        The merge rules mirror what a directly-attached shared
+        collector does event-by-event — classes keyed by descriptor,
+        method records by signature with fingerprint-deduped trees,
+        reflection targets unioned in first-observed order — except
+        that here the order is the engine's deterministic merge order
+        rather than thread-completion order.  A delta that initialized
+        a class carries its real static values, so it overwrites
+        link-time defaults (and, like a later serial run re-entering
+        ``<clinit>``, any earlier values).
+        """
+        for entry in delta.get("classes", ()):
+            collected = self.classes.get(entry["descriptor"])
+            if collected is None:
+                self.classes[entry["descriptor"]] = \
+                    CollectedClass.from_dict(entry)
+            else:
+                known = set(collected.method_signatures)
+                collected.method_signatures.extend(
+                    sig for sig in entry["methods"] if sig not in known
+                )
+                if entry["initialized"]:
+                    collected.initialized = True
+                    values = {f["name"]: tuple(f["value"])
+                              for f in entry["fields"]}
+                    for collected_field in collected.fields:
+                        if collected_field.name in values:
+                            collected_field.static_value = \
+                                values[collected_field.name]
+        for entry in delta.get("methods", ()):
+            record = self.method_store.get(entry["signature"])
+            if record is None:
+                record = self.method_store.ensure(
+                    MethodRecord(
+                        signature=entry["signature"],
+                        class_desc=entry["class"],
+                        name=entry["name"],
+                        param_descs=tuple(entry["params"]),
+                        return_desc=entry["return"],
+                        access_flags=entry["access"],
+                        is_native=entry["native"],
+                        registers_size=entry["registers"],
+                        ins_size=entry["ins"],
+                        outs_size=entry["outs"],
+                        tries=[CollectedTry.from_dict(t)
+                               for t in entry["tries"]],
+                    )
+                )
+            for tree_data in entry["trees"]:
+                record.add_tree(CollectionTree.from_dict(tree_data))
+        for entry in delta.get("reflection", ()):
+            key = (entry["caller"], entry["dex_pc"])
+            site = self.reflection_sites.setdefault(
+                key, ReflectionSite(entry["caller"], entry["dex_pc"])
+            )
+            for target in entry["targets"]:
+                site.add_target(target["signature"], target["static"])
+        observed = delta.get("instructions_observed", 0)
+        if observed:
+            with self._stats_lock:
+                self.instructions_observed += observed
 
     # -- summary ---------------------------------------------------------------
 

@@ -21,7 +21,12 @@ import hashlib
 import json
 from dataclasses import dataclass
 
-from repro.core.exploration import ALL_STRATEGIES, STRATEGY_BFS
+from repro.core.exploration import (
+    ALL_STRATEGIES,
+    BACKEND_THREAD,
+    EXPLORE_BACKENDS,
+    STRATEGY_BFS,
+)
 from repro.runtime.device import NEXUS_5X, DeviceProfile
 
 
@@ -67,12 +72,16 @@ class RevealConfig:
       (``None`` = unbounded; the frontier serialises for resume).
     * ``path_budget`` — interpreter step budget per *replay* run
       (``None`` = same as ``run_budget``).
-    * ``explore_workers`` — thread-pool width for replaying one wave of
-      path files.  The exploration itself (order, covered-UCB set,
-      coverage curve) is identical at any width because traces merge in
-      pop order; collector events interleave in completion order, so
-      archive byte layout can vary above 1 — one reason the knob feeds
-      the identity hash with the rest.
+    * ``explore_workers`` — pool width for replaying one wave of path
+      files (threads or processes, per ``explore_backend``).
+    * ``explore_backend`` — how a wave of replays executes: ``serial``,
+      ``thread`` or ``process``
+      (:data:`~repro.core.exploration.EXPLORE_BACKENDS`).  Replays come
+      back as :class:`~repro.core.replay.TraceDelta` values merged in
+      pop order, so exploration state *and* collection output are
+      identical across backends and worker counts; the knob still
+      feeds the identity hash — deliberately conservative, like the
+      rest of the inert force-execution knobs.
     """
 
     device: DeviceProfile = NEXUS_5X
@@ -84,12 +93,18 @@ class RevealConfig:
     max_paths: int | None = None
     path_budget: int | None = None
     explore_workers: int = 1
+    explore_backend: str = BACKEND_THREAD
 
     def __post_init__(self) -> None:
         if self.exploration_strategy not in ALL_STRATEGIES:
             raise ValueError(
                 f"unknown exploration_strategy {self.exploration_strategy!r}; "
                 f"pick one of {ALL_STRATEGIES}"
+            )
+        if self.explore_backend not in EXPLORE_BACKENDS:
+            raise ValueError(
+                f"unknown explore_backend {self.explore_backend!r}; "
+                f"pick one of {EXPLORE_BACKENDS}"
             )
 
     # -- derivation ---------------------------------------------------------
@@ -111,6 +126,7 @@ class RevealConfig:
             "max_paths": self.max_paths,
             "path_budget": self.path_budget,
             "explore_workers": self.explore_workers,
+            "explore_backend": self.explore_backend,
         }
 
     @classmethod
@@ -129,6 +145,7 @@ class RevealConfig:
             max_paths=data.get("max_paths"),
             path_budget=data.get("path_budget"),
             explore_workers=data.get("explore_workers", 1),
+            explore_backend=data.get("explore_backend", BACKEND_THREAD),
         )
 
     def to_json(self) -> str:

@@ -14,22 +14,31 @@ Scheduling is delegated to
 *offered* (decision-prefix dedup collapses repeats), popped back in
 strategy order (``bfs`` / ``dfs`` / ``rarity-first``), and capped by a
 total replay budget.  Each wave of replays runs on isolated
-:class:`~repro.runtime.art.AndroidRuntime` instances — serially or
-across a thread pool — and traces merge in pop order, so the covered
-set and exploration order are identical at any worker count.  The
-whole exploration state serialises via :meth:`ForceExecutionEngine.state_dict`
-and resumes via ``resume_state=``, which is how an interrupted
-exploration continues out of a collection archive.
+:class:`~repro.runtime.art.AndroidRuntime` instances through one of
+three backends — ``serial``, a ``thread`` pool, or a ``process`` pool
+of forked workers — and every replay comes back as a
+:class:`~repro.core.replay.TraceDelta` that the engine merges strictly
+in pop order.  Because results travel as values and merging is ordered
+and single-threaded, the covered-site set, the collector's records and
+the exploration order are bit-for-bit identical at any worker count on
+any backend.  The whole exploration state serialises via
+:meth:`ForceExecutionEngine.state_dict` and resumes via
+``resume_state=``, which is how an interrupted exploration continues
+out of a collection archive.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.core.collector import DexLegoCollector
 from repro.core.exploration import (
+    BACKEND_PROCESS,
+    BACKEND_SERIAL,
+    BACKEND_THREAD,
+    EXPLORE_BACKENDS,
     STRATEGY_BFS,
     BranchSite,
     Decision,
@@ -37,12 +46,18 @@ from repro.core.exploration import (
     FlipKey,
     PathFile,
 )
-from repro.errors import BudgetExceeded, VmCrash
-from repro.runtime.art import AndroidRuntime
+from repro.core.replay import (
+    BranchTraceListener,
+    ForcedPathController,
+    ReplaySpec,
+    TraceDelta,
+    _process_worker_init,
+    _process_worker_replay,
+    execute_replay,
+)
 from repro.runtime.device import NEXUS_5X, DeviceProfile
-from repro.runtime.events import AppDriver, DriveReport
-from repro.runtime.exceptions import VmThrow
-from repro.runtime.hooks import BranchController, RuntimeListener
+from repro.runtime.hooks import RuntimeListener
+from repro.runtime.predecode import export_predecode_index
 
 __all__ = [
     "BranchSite",
@@ -52,50 +67,9 @@ __all__ = [
     "ForceExecutionReport",
     "ForcedPathController",
     "PathFile",
+    "ReplaySpec",
+    "TraceDelta",
 ]
-
-
-class BranchTraceListener(RuntimeListener):
-    """Records the ordered conditional-branch decisions of one run."""
-
-    def __init__(self) -> None:
-        self.trace: list[Decision] = []
-
-    def on_branch(self, frame, dex_pc: int, ins, taken: bool) -> None:
-        method = frame.method
-        if method.declaring_class.source_dex is None:
-            return
-        self.trace.append((method.ref.signature, dex_pc, taken))
-
-
-class ForcedPathController(BranchController):
-    """Forces the interpreter along a path file's decisions, in order."""
-
-    def __init__(self, path: PathFile) -> None:
-        self.queue: deque[Decision] = deque(path.decisions)
-        self.mismatches = 0
-        self.forced = 0
-
-    def decide(self, frame, dex_pc: int, ins, concrete_taken: bool) -> bool | None:
-        if not self.queue:
-            return None  # past the UCB: free execution
-        signature, expected_pc, outcome = self.queue[0]
-        if (
-            frame.method.declaring_class.source_dex is not None
-            and frame.method.ref.signature == signature
-            and dex_pc == expected_pc
-        ):
-            self.queue.popleft()
-            self.forced += 1
-            return outcome
-        if frame.method.declaring_class.source_dex is not None:
-            self.mismatches += 1
-        return None
-
-    @property
-    def reached_target(self) -> bool:
-        """True once every decision (including the flip) was forced."""
-        return not self.queue
 
 
 @dataclass
@@ -111,12 +85,20 @@ class ForceExecutionReport:
     fully_covered_sites: int = 0
     # -- exploration-scheduler view ----------------------------------------
     strategy: str = STRATEGY_BFS
+    backend: str = BACKEND_THREAD
     workers: int = 1
     ucbs_discovered: int = 0
     ucbs_covered: int = 0
     paths_deduped: int = 0
     forced_decisions: int = 0
     paths_reaching_target: int = 0
+    #: Interpreter steps consumed by replays (not the baseline run),
+    #: summed from the per-replay deltas — deterministic across
+    #: backends, unlike wall clock.
+    replay_steps: int = 0
+    #: Replays whose worker process died; each cost one path, never
+    #: the wave (see the crash-isolation contract in `_replay_wave`).
+    workers_lost: int = 0
     coverage_curve: list[int] = field(default_factory=list)
     exploration_order: list[FlipKey] = field(default_factory=list)
     frontier_pending: int = 0
@@ -132,6 +114,7 @@ class ForceExecutionReport:
         """JSON-safe digest for outcome records and batch reports."""
         return {
             "strategy": self.strategy,
+            "backend": self.backend,
             "workers": self.workers,
             "iterations": self.iterations,
             "runs": self.runs,
@@ -141,6 +124,8 @@ class ForceExecutionReport:
             "replays_saved_by_dedup": self.paths_deduped,
             "paths_reaching_target": self.paths_reaching_target,
             "forced_decisions": self.forced_decisions,
+            "replay_steps": self.replay_steps,
+            "workers_lost": self.workers_lost,
             "branch_sites": self.branch_sites,
             "fully_covered_sites": self.fully_covered_sites,
             "branch_outcome_coverage": round(self.branch_outcome_coverage, 4),
@@ -152,20 +137,47 @@ class ForceExecutionReport:
         }
 
 
+#: Counter keys that survive a save/resume round trip (state_dict's
+#: ``report`` section); the scheduler owns the replay counts and curves.
+_REPORT_COUNTER_KEYS = (
+    "iterations",
+    "runs",
+    "native_crashes",
+    "budget_exhausted_runs",
+    "forced_decisions",
+    "paths_reaching_target",
+    "replay_steps",
+    "workers_lost",
+)
+
+
 class ForceExecutionEngine:
     """Drives iterative force execution over fresh runtime instances.
 
     One iteration = one UCB/path analysis plus one *wave* of replays
     popped from the scheduler (at most ``max_paths_per_iteration``).
-    Waves execute serially or on a ``workers``-wide thread pool; every
-    replay gets its own isolated runtime, shared listeners rely on the
-    per-frame keying of the collector (and the GIL) for safe concurrent
-    attachment, and traces merge in pop order either way — so the
-    *exploration* state (order, covered-UCB set, coverage curve) is
-    identical at any worker count.  Shared-listener *events*, however,
-    interleave in completion order, so collector counters and
-    collection-archive byte layout are only guaranteed reproducible at
-    ``workers=1``.
+    ``backend`` picks how a wave executes:
+
+    * ``serial`` — replays run one after another in this process;
+    * ``thread`` — replays run on a ``workers``-wide thread pool;
+    * ``process`` — replays ship to a pool of forked worker processes
+      as :class:`~repro.core.replay.ReplaySpec` values; each worker
+      hydrates the APK once (warm-started from the parent's exported
+      predecode index) and keeps it across replays.
+
+    Every replay returns a :class:`~repro.core.replay.TraceDelta` and
+    the engine merges the deltas strictly in pop order — traces into
+    the covered-outcome map, collector payloads into ``collector`` —
+    so exploration state *and* collection output are identical at any
+    worker count on any backend.  ``shared_listeners`` still attach
+    live to in-process replays (they cannot cross a process boundary;
+    combining them with the process backend is an error — ship a
+    ``collector`` instead).
+
+    A worker process dying mid-wave (a replay tripping a hard native
+    fault) costs exactly that replay: completed results are kept, the
+    pool is rebuilt, the remaining paths retry, and the lost path is
+    charged as ``workers_lost`` with an empty delta.
 
     ``resume_state`` (a dict from :meth:`state_dict`, usually loaded
     from a collection archive) restores the frontier, covered-outcome
@@ -180,6 +192,7 @@ class ForceExecutionEngine:
         drive=None,
         device: DeviceProfile = NEXUS_5X,
         shared_listeners: list[RuntimeListener] | None = None,
+        collector: DexLegoCollector | None = None,
         run_budget: int = 2_000_000,
         max_iterations: int = 25,
         max_paths_per_iteration: int = 64,
@@ -187,13 +200,40 @@ class ForceExecutionEngine:
         max_paths: int | None = None,
         path_budget: int | None = None,
         workers: int = 1,
+        backend: str = BACKEND_THREAD,
         resume_state: dict | None = None,
         wave_observer=None,
     ) -> None:
+        if backend not in EXPLORE_BACKENDS:
+            raise ValueError(
+                f"unknown explore backend {backend!r}; "
+                f"pick one of {EXPLORE_BACKENDS}"
+            )
         self.apk = apk
+        self._custom_drive = drive is not None
         self.drive = drive or (lambda driver: driver.run_standard_session())
         self.device = device
         self.shared_listeners = shared_listeners or []
+        self.collector = collector
+        if backend == BACKEND_PROCESS:
+            if self._custom_drive:
+                raise ValueError(
+                    "the process backend cannot ship a custom drive "
+                    "callable to worker processes; use the thread or "
+                    "serial backend (or the default drive)"
+                )
+            if self.shared_listeners:
+                raise ValueError(
+                    "the process backend cannot attach shared listeners "
+                    "across a process boundary; pass collector= (its "
+                    "records travel back as TraceDeltas) or use the "
+                    "thread or serial backend"
+                )
+            if "fork" not in multiprocessing.get_all_start_methods():
+                # Forked workers are how native-library registries
+                # reach the children; without fork, run threaded.
+                backend = BACKEND_THREAD
+        self.backend = backend
         self.run_budget = run_budget
         self.max_iterations = max_iterations
         self.max_paths_per_iteration = max_paths_per_iteration
@@ -206,7 +246,7 @@ class ForceExecutionEngine:
         # Candidate path files by flip key; a site's prefix never
         # changes once site_trace holds it, so build each once.
         self._candidates: dict[FlipKey, PathFile] = {}
-        self._report_lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
         self._report_seed: dict | None = None
         self._resumed = False
         self.last_report: ForceExecutionReport | None = None
@@ -227,47 +267,33 @@ class ForceExecutionEngine:
 
     # -- one run ------------------------------------------------------------
 
-    def _execute(
-        self,
-        controller: ForcedPathController | None,
-        report: ForceExecutionReport,
-        budget: int,
-    ) -> list[Decision]:
-        runtime = AndroidRuntime(self.device, max_steps=budget)
-        runtime.tolerate_exceptions = True
-        runtime.branch_controller = controller
-        tracer = BranchTraceListener()
-        runtime.add_listener(tracer)
-        for listener in self.shared_listeners:
-            runtime.add_listener(listener)
-        driver = AppDriver(runtime, self.apk)
-        budget_hit = crashed = False
-        try:
-            outcome = self.drive(driver)
-        except BudgetExceeded:
-            budget_hit = True
-        except (VmCrash, VmThrow):
-            # Native crashes (and any exception escaping the tolerant
-            # interpreter) end the run but keep what was collected.
-            crashed = True
-        else:
-            # Standard drivers absorb budget/crash endings into their
-            # DriveReport instead of raising; fold those flags in so
-            # starved replays are counted as such.
-            if isinstance(outcome, DriveReport):
-                budget_hit = outcome.budget_exhausted
-                crashed = outcome.crashed
-        with self._report_lock:
-            report.runs += 1
-            if budget_hit:
-                report.budget_exhausted_runs += 1
-            if crashed:
-                report.native_crashes += 1
-            if controller is not None:
-                report.forced_decisions += controller.forced
-                if controller.reached_target:
-                    report.paths_reaching_target += 1
-        return tracer.trace
+    def _inprocess_spec(self, path: PathFile | None,
+                        budget: int) -> ReplaySpec:
+        """A spec for a replay that stays in this process (no APK bytes
+        — the live object is passed alongside and shares its warm
+        decode stores across the wave)."""
+        return ReplaySpec(
+            app_id=self.apk.package,
+            apk_bytes=b"",
+            device=self.device,
+            path=path,
+            step_budget=budget,
+            collect=self.collector is not None,
+        )
+
+    def _run_baseline(self) -> TraceDelta:
+        """The "previous execution" baseline of Figure 4."""
+        spec = self._inprocess_spec(None, self.run_budget)
+        return execute_replay(spec, apk=self.apk, drive=self.drive,
+                              extra_listeners=tuple(self.shared_listeners))
+
+    def _replay_inprocess(self, path: PathFile) -> TraceDelta:
+        # Round-trip through the serialised path-file format, exactly
+        # like a spec shipped to a worker process would.
+        spec = self._inprocess_spec(PathFile.from_json(path.to_json()),
+                                    self.path_budget)
+        return execute_replay(spec, apk=self.apk, drive=self.drive,
+                              extra_listeners=tuple(self.shared_listeners))
 
     def _merge_trace(self, trace: list[Decision]) -> None:
         for index, (signature, dex_pc, taken) in enumerate(trace):
@@ -280,13 +306,29 @@ class ForceExecutionEngine:
     def _covered_sites(self) -> int:
         return sum(1 for seen in self.outcomes.values() if len(seen) == 2)
 
-    def _absorb(self, trace: list[Decision], path: PathFile | None) -> None:
-        """Deterministic post-replay merge: trace, rarity, curve, order."""
-        self._merge_trace(trace)
-        self.scheduler.observe_trace(trace)
+    def _absorb_delta(self, delta: TraceDelta, path: PathFile | None,
+                      report: ForceExecutionReport) -> None:
+        """Deterministic post-replay merge, the only writer of shared
+        state: trace, rarity, curve, order, collector records and
+        report counters — all in pop order, all on one thread."""
+        self._merge_trace(delta.trace)
+        self.scheduler.observe_trace(delta.trace)
         if path is not None:
             self.scheduler.note_replayed(path)
+            report.replay_steps += delta.steps
         self.scheduler.record_coverage(self._covered_sites())
+        if self.collector is not None and delta.collector is not None:
+            self.collector.absorb(delta.collector)
+        report.runs += 1
+        if delta.budget_hit:
+            report.budget_exhausted_runs += 1
+        if delta.crashed:
+            report.native_crashes += 1
+        if delta.worker_lost:
+            report.workers_lost += 1
+        report.forced_decisions += delta.forced
+        if delta.reached_target:
+            report.paths_reaching_target += 1
 
     # -- UCB analysis ----------------------------------------------------------
 
@@ -317,55 +359,124 @@ class ForceExecutionEngine:
 
     # -- wave replay --------------------------------------------------------
 
-    def _replay_wave(
-        self, wave: list[PathFile], report: ForceExecutionReport
-    ) -> list[list[Decision]]:
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The lazy worker pool: built after the baseline ran, so the
+        exported predecode index carries the parent's warm decodes."""
+        if self._pool is None:
+            index = export_predecode_index(self.apk.dex_files)
+            spec = ReplaySpec(
+                app_id=self.apk.package,
+                apk_bytes=self.apk.to_bytes(),
+                device=self.device,
+                path=None,
+                step_budget=self.path_budget,
+                predecode_index=index if index.get("methods") else None,
+                collect=self.collector is not None,
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_process_worker_init,
+                initargs=(spec,),
+            )
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _replay_wave_process(self, wave: list[PathFile]) -> list[TraceDelta]:
+        """One wave on the worker pool, with crash isolation.
+
+        Paths ship as serialised path files; results come back as
+        deltas and are collected in wave (pop) order.  A worker dying
+        breaks the whole pool, so the recovery path keeps every result
+        that already completed, rebuilds the pool, and resubmits the
+        rest; a path whose replay kills its worker twice is charged as
+        a lost replay (empty delta, ``worker_lost``) instead of
+        poisoning the wave.
+        """
+        results: list[TraceDelta | None] = [None] * len(wave)
+        attempts = [0] * len(wave)
+        futures: list = [None] * len(wave)
+
+        def submit_pending() -> None:
+            pool = self._ensure_pool()
+            for j, path in enumerate(wave):
+                if results[j] is None:
+                    futures[j] = pool.submit(_process_worker_replay,
+                                             path.to_json())
+
+        def harvest_done() -> None:
+            for j in range(len(wave)):
+                future = futures[j]
+                if results[j] is None and future is not None and future.done():
+                    try:
+                        results[j] = future.result()
+                    except Exception:
+                        pass  # its turn in the main loop handles retry
+
+        submit_pending()
+        for j in range(len(wave)):
+            while results[j] is None:
+                try:
+                    results[j] = futures[j].result()
+                except Exception:
+                    attempts[j] += 1
+                    harvest_done()
+                    self._shutdown_pool()
+                    if attempts[j] >= 2:
+                        results[j] = TraceDelta(crashed=True,
+                                                worker_lost=True)
+                    submit_pending()
+        return results
+
+    def _replay_wave(self, wave: list[PathFile]) -> list[TraceDelta]:
         """Replay one wave of path files on isolated runtimes.
 
-        Traces come back in wave (pop) order regardless of backend, so
+        Deltas come back in wave (pop) order regardless of backend, so
         the merged exploration state is worker-count-independent.
         """
-
-        def replay(path: PathFile) -> list[Decision]:
-            # Round-trip through the serialised path-file format.
-            controller = ForcedPathController(PathFile.from_json(path.to_json()))
-            return self._execute(controller, report, self.path_budget)
-
-        if self.workers == 1 or len(wave) == 1:
-            return [replay(path) for path in wave]
+        if self.backend == BACKEND_PROCESS:
+            return self._replay_wave_process(wave)
+        if (self.backend == BACKEND_SERIAL or self.workers == 1
+                or len(wave) == 1):
+            return [self._replay_inprocess(path) for path in wave]
         pool_size = min(self.workers, len(wave))
         with ThreadPoolExecutor(
             max_workers=pool_size, thread_name_prefix="explore"
         ) as pool:
-            return list(pool.map(replay, wave))
+            return list(pool.map(self._replay_inprocess, wave))
 
     # -- iteration loop -----------------------------------------------------------
 
     def run(self) -> ForceExecutionReport:
         report = self._new_report()
         scheduler = self.scheduler
-        if not self._resumed:
-            # The "previous execution" baseline of Figure 4.
-            trace = self._execute(None, report, self.run_budget)
-            self._absorb(trace, None)
-        # The iteration cap, like max_paths, is a per-session budget:
-        # report.iterations stays cumulative across resumes, the cap
-        # governs only this session's analysis rounds.
-        session_iterations = 0
-        while session_iterations < self.max_iterations:
-            for path in self._uncovered_branches():
-                scheduler.offer(path)
-            wave = scheduler.pop_wave(self.max_paths_per_iteration)
-            if not wave:
-                break
-            session_iterations += 1
-            report.iterations += 1
-            traces = self._replay_wave(wave, report)
-            for path, trace in zip(wave, traces):
-                self._absorb(trace, path)
-            scheduler.notify_wave(len(wave))
-            if scheduler.replays_remaining() == 0:
-                break
+        try:
+            if not self._resumed:
+                self._absorb_delta(self._run_baseline(), None, report)
+            # The iteration cap, like max_paths, is a per-session budget:
+            # report.iterations stays cumulative across resumes, the cap
+            # governs only this session's analysis rounds.
+            session_iterations = 0
+            while session_iterations < self.max_iterations:
+                for path in self._uncovered_branches():
+                    scheduler.offer(path)
+                wave = scheduler.pop_wave(self.max_paths_per_iteration)
+                if not wave:
+                    break
+                session_iterations += 1
+                report.iterations += 1
+                deltas = self._replay_wave(wave)
+                for path, delta in zip(wave, deltas):
+                    self._absorb_delta(delta, path, report)
+                scheduler.notify_wave(len(wave))
+                if scheduler.replays_remaining() == 0:
+                    break
+        finally:
+            self._shutdown_pool()
         self._finalize(report)
         self.last_report = report
         return report
@@ -374,12 +485,8 @@ class ForceExecutionEngine:
         report = ForceExecutionReport()
         seed = self._report_seed
         if seed is not None:
-            report.iterations = seed.get("iterations", 0)
-            report.runs = seed.get("runs", 0)
-            report.native_crashes = seed.get("native_crashes", 0)
-            report.budget_exhausted_runs = seed.get("budget_exhausted_runs", 0)
-            report.forced_decisions = seed.get("forced_decisions", 0)
-            report.paths_reaching_target = seed.get("paths_reaching_target", 0)
+            for key in _REPORT_COUNTER_KEYS:
+                setattr(report, key, seed.get(key, 0))
             report.resumed = True
         return report
 
@@ -392,6 +499,7 @@ class ForceExecutionEngine:
         # counters; the report mirrors them (cumulative across resumes).
         report.paths_executed = stats.paths_explored
         report.strategy = self.scheduler.strategy
+        report.backend = self.backend
         report.workers = self.workers
         report.ucbs_discovered = stats.ucbs_discovered
         report.ucbs_covered = stats.ucbs_covered
@@ -415,22 +523,13 @@ class ForceExecutionEngine:
         # survive a save that happens between sessions.
         if self.last_report is not None:
             seed = {
-                "iterations": self.last_report.iterations,
-                "runs": self.last_report.runs,
-                "native_crashes": self.last_report.native_crashes,
-                "budget_exhausted_runs":
-                    self.last_report.budget_exhausted_runs,
-                "forced_decisions": self.last_report.forced_decisions,
-                "paths_reaching_target":
-                    self.last_report.paths_reaching_target,
+                key: getattr(self.last_report, key)
+                for key in _REPORT_COUNTER_KEYS
             }
         else:
             seed = self._report_seed or {}
         counters = {
-            key: seed.get(key, 0)
-            for key in ("iterations", "runs", "native_crashes",
-                        "budget_exhausted_runs", "forced_decisions",
-                        "paths_reaching_target")
+            key: seed.get(key, 0) for key in _REPORT_COUNTER_KEYS
         }
         # Serialise each distinct trace once and point sites at it by
         # (trace id, index) — mirroring the in-memory sharing; copying

@@ -163,7 +163,8 @@ class Pipeline:
             )
         timings: dict[str, float] = {}
         collected = self._timed(STAGE_COLLECT, timings,
-                                self.collect_stage.run, apk, drive, state)
+                                self.collect_stage.run, apk, drive, state,
+                                archive.predecode_index())
         # The session's collector saw only this session's replays; merge
         # with the archive being resumed so code executed only by the
         # earlier session (baseline drive, prior replays) stays revealed

@@ -40,6 +40,7 @@ from repro.runtime.apk import Apk
 from repro.runtime.art import AndroidRuntime
 from repro.runtime.events import AppDriver, DriveReport
 from repro.runtime.exceptions import VmThrow
+from repro.runtime.predecode import export_predecode_index, warm_predecode
 
 STAGE_COLLECT = "collect"
 STAGE_REASSEMBLE = "reassemble"
@@ -100,13 +101,17 @@ class CollectStage:
         self.wave_observer = wave_observer
 
     def run(self, apk: Apk, drive=None,
-            resume_state: dict | None = None) -> CollectResult:
+            resume_state: dict | None = None,
+            predecode_index: dict | None = None) -> CollectResult:
         """Drive (or resume) collection.
 
         ``resume_state`` is a force-execution frontier snapshot (the
         archive's ``exploration_state.json``); passing one continues an
         interrupted exploration — force execution is implied even when
         the config flag is off, because the state only exists for it.
+        ``predecode_index`` optionally warm-starts the interpreter's
+        shared decode stores from a previously saved archive (the
+        resume path passes the one it loaded) before any run happens.
         """
         config = self.config
         collector = DexLegoCollector()
@@ -115,20 +120,25 @@ class CollectStage:
         crashed = False
         crash_reason = ""
         budget_exhausted = False
-        drive = drive or (lambda driver: driver.run_standard_session())
+        if predecode_index is not None:
+            warm_predecode(apk.dex_files, predecode_index)
         try:
             if config.use_force_execution or resume_state is not None:
+                # ``drive`` passes through as-is: the engine must see
+                # ``None`` for the default drive so the process backend
+                # knows nothing un-shippable was requested.
                 engine = ForceExecutionEngine(
                     apk,
                     drive=drive,
                     device=config.device,
-                    shared_listeners=[collector],
+                    collector=collector,
                     run_budget=config.run_budget,
                     max_iterations=config.force_iterations,
                     strategy=config.exploration_strategy,
                     max_paths=config.max_paths,
                     path_budget=config.path_budget,
                     workers=config.explore_workers,
+                    backend=config.explore_backend,
                     resume_state=resume_state,
                     wave_observer=self.wave_observer,
                 )
@@ -138,6 +148,8 @@ class CollectStage:
                                          max_steps=config.run_budget)
                 runtime.add_listener(collector)
                 driver = AppDriver(runtime, apk)
+                drive = drive or \
+                    (lambda driver: driver.run_standard_session())
                 try:
                     outcome = drive(driver)
                 except BudgetExceeded:
@@ -160,8 +172,13 @@ class CollectStage:
         archive = CollectionArchive.from_collector(collector)
         if engine is not None:
             # Persist the frontier with the collection files, so the
-            # archive is enough to continue an interrupted exploration.
+            # archive is enough to continue an interrupted exploration —
+            # and the warm decode state alongside it, so the session
+            # that resumes (or its worker processes) starts warm.
             archive.set_exploration_state(engine.state_dict())
+            index = export_predecode_index(apk.dex_files)
+            if index.get("methods"):
+                archive.set_predecode_index(index)
         return CollectResult(
             archive=archive,
             collector_stats=collector.stats(),

@@ -131,6 +131,7 @@ class BatchRevealService:
         max_paths: int | None = None,
         path_budget: int | None = None,
         explore_workers: int | None = None,
+        explore_backend: str | None = None,
         config: RevealConfig | None = None,
         workers: int | None = None,
         backend: str = "thread",
@@ -151,6 +152,7 @@ class BatchRevealService:
             max_paths=max_paths,
             path_budget=path_budget,
             explore_workers=explore_workers,
+            explore_backend=explore_backend,
         )
         self.workers = max(1, workers) if workers is not None \
             else default_worker_count()

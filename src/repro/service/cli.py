@@ -48,9 +48,20 @@ import sys
 import time
 import uuid
 
-from repro.core.exploration import ALL_STRATEGIES, STRATEGY_BFS
+from repro.core.exploration import (
+    ALL_STRATEGIES,
+    BACKEND_THREAD,
+    EXPLORE_BACKENDS,
+    STRATEGY_BFS,
+)
 from repro.service.batch import BACKENDS, BatchRevealService, RevealJob
-from repro.service.jobs import PRIORITIES, JobState, JobStore, resolve_priority
+from repro.service.jobs import (
+    PRIORITIES,
+    STORE_FORMAT_VERSION,
+    JobState,
+    JobStore,
+    resolve_priority,
+)
 from repro.service.outcomes import STATUS_ERROR, STATUS_VERIFY_FAILED
 
 CORPORA = ("fdroid", "aosp", "launch", "packed", "droidbench")
@@ -121,8 +132,13 @@ def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
                         help="interpreter step budget per replay "
                              "(default: same as --budget)")
     parser.add_argument("--explore-workers", type=int, default=1,
-                        help="thread-pool width for replaying one wave of "
+                        help="pool width for replaying one wave of "
                              "path files (default: 1)")
+    parser.add_argument("--explore-backend", choices=EXPLORE_BACKENDS,
+                        default=BACKEND_THREAD,
+                        help="how a wave of replays executes: serial, "
+                             "thread or process workers — results are "
+                             "bit-identical either way (default: thread)")
 
 
 def _service_from(args, backend: str | None = None) -> BatchRevealService:
@@ -133,6 +149,7 @@ def _service_from(args, backend: str | None = None) -> BatchRevealService:
         max_paths=args.max_paths,
         path_budget=args.path_budget,
         explore_workers=args.explore_workers,
+        explore_backend=args.explore_backend,
         workers=args.workers,
         backend=backend or getattr(args, "backend", "thread"),
         cache_dir=args.cache_dir,
@@ -412,15 +429,26 @@ def _run_submit(args) -> int:
 
 def _open_store_readonly(path: str) -> JobStore | None:
     """A store for inspection commands: never create the directory —
-    a typo'd path must error, not masquerade as an empty queue."""
+    a typo'd path must error, not masquerade as an empty queue — and
+    refuse stores written by a different format version, which
+    ``load_all`` would silently skip (``watch --follow`` would then
+    tail an apparently-empty queue until its timeout)."""
     if not os.path.isdir(path):
         print(f"no job store at {path!r}", file=sys.stderr)
         return None
     try:
-        return JobStore(path)
+        store = JobStore(path)
+        foreign = store.foreign_version_jobs()
     except OSError as exc:
         print(f"cannot read store {path!r}: {exc}", file=sys.stderr)
         return None
+    if foreign:
+        job_id, version = foreign[0]
+        print(f"store {path!r} holds {len(foreign)} record(s) with "
+              f"format version {version!r} (e.g. {job_id}); this build "
+              f"reads version {STORE_FORMAT_VERSION}", file=sys.stderr)
+        return None
+    return store
 
 
 def _run_status(args) -> int:

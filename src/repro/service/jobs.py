@@ -296,6 +296,31 @@ class JobStore:
             if record.get("state") in (JobState.QUEUED, JobState.RUNNING)
         ]
 
+    def foreign_version_jobs(self) -> list[tuple[str, object]]:
+        """``(job_id, version)`` for parseable records this build cannot
+        read (``version`` != :data:`STORE_FORMAT_VERSION`).
+
+        ``load_all`` silently skips such records so a mixed-version
+        store stays usable for the jobs it *can* read; inspection
+        commands call this first so a foreign store errors loudly
+        instead of rendering as an empty (or forever-pending) queue.
+        """
+        with self._lock:
+            foreign = []
+            for name in sorted(os.listdir(self.jobs_dir)):
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    with open(os.path.join(self.jobs_dir, name),
+                              encoding="utf-8") as fh:
+                        record = json.load(fh)
+                except (OSError, ValueError):
+                    continue
+                version = record.get("version")
+                if version != STORE_FORMAT_VERSION:
+                    foreign.append((name[: -len(".json")], version))
+            return foreign
+
     # -- event log ----------------------------------------------------------
 
     def append_event(self, event_dict: dict) -> None:

@@ -1,0 +1,116 @@
+"""CLI version guards: foreign on-disk formats fail loudly, up front.
+
+Two regression cases.  ``reassemble`` over an archive whose
+``exploration_state.json`` was written by a different format version
+used to hydrate the collection files first and only trip (or worse,
+mis-resume) later; the archive loader now validates the stateful
+optional files eagerly, so the CLI exits non-zero with one clear line.
+``watch``/``status`` over a job store holding records of a foreign
+``STORE_FORMAT_VERSION`` used to render an empty queue — and
+``watch --follow`` would tail it until timeout — because the store
+silently skips records it cannot read; the CLI now refuses the store
+outright.
+"""
+
+import json
+import os
+
+from repro.core import CollectionArchive, CollectStage, DexLegoCollector, RevealConfig
+from repro.dex import assemble
+from repro.runtime import Apk
+from repro.service.cli import main
+from repro.service.jobs import JobStore
+
+
+def _archive_dir(tmp_path, exploration_version) -> str:
+    """A valid collection archive whose exploration state claims a
+    foreign format version."""
+    apk = Apk("g.app", "Lg/App;", [assemble("""
+.class public Lg/App;
+.super Landroid/app/Activity;
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 2
+    return-void
+.end method
+""")])
+    config = RevealConfig(use_force_execution=True, force_iterations=2)
+    result = CollectStage(config).run(apk)
+    directory = str(tmp_path / "archive")
+    result.archive.save(directory)
+    state_path = os.path.join(directory, "exploration_state.json")
+    with open(state_path, encoding="utf-8") as fh:
+        state = json.load(fh)
+    state["version"] = exploration_version
+    with open(state_path, "w", encoding="utf-8") as fh:
+        json.dump(state, fh)
+    return directory
+
+
+class TestReassembleVersionGuard:
+    def test_foreign_exploration_state_exits_two(self, tmp_path, capsys):
+        directory = _archive_dir(tmp_path, exploration_version=99)
+        code = main(["reassemble", directory])
+        captured = capsys.readouterr()
+        assert code == 2
+        # One diagnostic line, no traceback, and it names the problem.
+        assert "corrupt archive" in captured.err
+        assert "exploration state version 99" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        # The reassembled DEX was never written.
+        assert not os.path.exists(os.path.join(directory, "reassembled.dex"))
+
+    def test_valid_archive_still_reassembles(self, tmp_path, capsys):
+        directory = _archive_dir(tmp_path, exploration_version=1)
+        assert main(["reassemble", directory]) == 0
+        assert os.path.exists(os.path.join(directory, "reassembled.dex"))
+
+    def test_foreign_predecode_index_exits_two(self, tmp_path, capsys):
+        archive = CollectionArchive.from_collector(DexLegoCollector())
+        archive.set_predecode_index({"version": 7, "methods": []})
+        directory = str(tmp_path / "warmarchive")
+        archive.save(directory)
+        code = main(["reassemble", directory])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "predecode index version 7" in captured.err
+
+
+class TestWatchVersionGuard:
+    def _store_with_foreign_record(self, tmp_path) -> str:
+        directory = str(tmp_path / "store")
+        store = JobStore(directory)
+        record = store.make_record(job_id="job-old", app_id="g.app",
+                                   apk=Apk("g.app", "Lg/App;", []))
+        record["version"] = 99
+        store.save(record)
+        return directory
+
+    def test_watch_refuses_foreign_store(self, tmp_path, capsys):
+        directory = self._store_with_foreign_record(tmp_path)
+        code = main(["watch", "--store", directory])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "format version 99" in captured.err
+        assert "job-old" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_watch_follow_refuses_instead_of_hanging(self, tmp_path, capsys):
+        directory = self._store_with_foreign_record(tmp_path)
+        # Before the guard this tailed an apparently-empty queue until
+        # --timeout; now it must return immediately.
+        code = main(["watch", "--store", directory, "--follow",
+                     "--timeout", "30"])
+        assert code == 2
+
+    def test_status_refuses_foreign_store(self, tmp_path, capsys):
+        directory = self._store_with_foreign_record(tmp_path)
+        assert main(["status", "--store", directory]) == 2
+        assert "format version 99" in capsys.readouterr().err
+
+    def test_clean_store_still_watches(self, tmp_path, capsys):
+        directory = str(tmp_path / "clean")
+        store = JobStore(directory)
+        store.save(store.make_record(job_id="job-new", app_id="g.app",
+                                     apk=Apk("g.app", "Lg/App;", [])))
+        assert main(["watch", "--store", directory]) == 0
+        assert main(["status", "--store", directory, "--json"]) == 0
