@@ -14,7 +14,8 @@ BENCH_BASELINE ?= bench-smoke-timings.json
 SERVE_SMOKE_STORE ?= .serve-smoke
 
 .PHONY: test test-determinism bench bench-batch bench-force bench-interp \
-        bench-smoke bench-check serve-smoke profile lint ci all help
+        bench-index bench-smoke bench-check serve-smoke profile lint ci \
+        all help
 
 help:
 	@echo "make test        - tier-1 verify: full pytest suite (-x -q)"
@@ -23,6 +24,7 @@ help:
 	@echo "make bench-batch - batch-service throughput: serial vs parallel, cold vs warm cache"
 	@echo "make bench-force - force-execution exploration: serial vs parallel, fifo vs rarity-first"
 	@echo "make bench-interp- interpreter fast path: steps/sec, cold/warm/invalidation-storm, +/- collector"
+	@echo "make bench-index - corpus index: cold vs warm cross-app dedup on a ~80%-shared corpus"
 	@echo "make bench-smoke - every benchmark once in quick mode (--benchmark-disable); timing JSON to $(BENCH_TIMINGS)"
 	@echo "make bench-check - gate $(BENCH_TIMINGS) against the committed $(BENCH_BASELINE) (>25% total regression fails)"
 	@echo "make serve-smoke - boot the reveal server, submit two jobs, assert clean shutdown"
@@ -55,6 +57,9 @@ bench-force:
 
 bench-interp:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_interpreter_dispatch.py -o python_files='bench_*.py' --benchmark-only -s
+
+bench-index:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_corpus_index.py -o python_files='bench_*.py' --benchmark-only -s
 
 # Quick mode: every benchmark file collects and executes once, untimed,
 # so a broken benchmark breaks the build; per-test timings land in

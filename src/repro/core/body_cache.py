@@ -1,0 +1,344 @@
+"""Cross-app method-body dedup for the reassembler.
+
+The reassembler's body emission (:meth:`Reassembler._emit_collected_body`)
+is a pure function of the :class:`~repro.core.method_store.MethodRecord`
+— *except* that every constant-pool reference is interned into the
+output DEX at emission time, so the raw instruction stream it produces
+is app-specific.  This module makes the emission portable:
+
+* :func:`exact_method_digest` — a canonical hash of everything the
+  emission depends on, with pool indices masked out of the raw units
+  (the resolved *symbols* are the identity, not the indices).  Two
+  records with equal digests produce byte-identical method bodies in
+  any DEX.
+* :class:`BodyWriter` — the single funnel all body-emission builder
+  calls go through.  It forwards to the live
+  :class:`~repro.dex.builder.MethodBuilder` and (when the body is
+  cacheable) records each call as a JSON-safe *op* carrying symbols,
+  never pool indices.
+* :func:`replay_body` — re-applies a recorded op list against a fresh
+  builder in another app's DEX, re-interning every symbol in the
+  original call order.  Replay therefore performs the same builder and
+  intern calls emission would, which is what makes the byte-identity
+  guarantee hold by construction.
+
+:class:`InMemoryBodyCache` is the minimal ``get_body``/``put_body``
+store; :class:`repro.index.corpus.CorpusIndex` provides the persistent
+one.  Bodies containing reflective-invoke rewrites are never cached —
+bridge method numbering is app-global.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.method_store import MethodRecord
+from repro.dex.normalize import Normalizer
+from repro.dex.opcodes import IndexKind
+from repro.dex.sigs import parse_field_signature, parse_method_signature
+
+BODY_OPS_VERSION = 1
+
+_KIND_TAGS = {
+    IndexKind.STRING: "string",
+    IndexKind.TYPE: "type",
+    IndexKind.FIELD: "field",
+    IndexKind.METHOD: "method",
+}
+
+
+# -- canonical digests -------------------------------------------------------
+
+
+def _instruction_doc(collected) -> list:
+    ins = collected.instruction
+    if ins.opcode.index_kind is not IndexKind.NONE:
+        operands = list(ins.with_pool_index(0).operands)
+    else:
+        operands = list(ins.operands)
+    return [
+        collected.dex_pc,
+        ins.name,
+        operands,
+        list(collected.payload_units) if collected.payload_units else None,
+        collected.symbol,
+    ]
+
+
+def _tree_doc(node) -> dict:
+    return {
+        "sm": [node.sm_start, node.sm_end],
+        "il": [_instruction_doc(c) for c in node.il],
+        "ch": [_tree_doc(child) for child in node.children],
+    }
+
+
+def exact_method_digest(record: MethodRecord) -> str:
+    """SHA-256 over everything body emission reads from the record.
+
+    Pool indices inside the raw units are masked (``with_pool_index(0)``)
+    and the resolved symbols kept, so the digest is invariant across
+    apps whose pools assign different indices to the same references —
+    while register numbers, literals, branch offsets, tree structure,
+    try blocks and frame sizes all stay identity.
+    """
+    doc = {
+        "v": BODY_OPS_VERSION,
+        "sig": record.signature,
+        "access": record.access_flags,
+        "frame": [record.registers_size, record.ins_size, record.outs_size],
+        "params": list(record.param_descs),
+        "ret": record.return_desc,
+        "tries": [t.to_dict() for t in record.tries],
+        "trees": [_tree_doc(tree.root) for tree in record.trees],
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def normalized_method_tokens(record: MethodRecord) -> list:
+    """Register- and pool-index-insensitive token stream for a record.
+
+    Walks the collection trees in storage order (node preorder, IL in
+    ``dex_pc`` order) feeding one :class:`~repro.dex.normalize.Normalizer`
+    whose first-use ordinals replace register numbers and symbols.
+    """
+    normalizer = Normalizer()
+    tokens: list = [["sig", list(record.param_descs), record.return_desc,
+                     record.ins_size]]
+
+    def walk(node) -> None:
+        tokens.append(["node", node.sm_start])
+        for collected in sorted(node.il, key=lambda c: c.dex_pc):
+            tokens.append(
+                [collected.dex_pc]
+                + normalizer.token(collected.instruction, collected.symbol,
+                                   collected.payload_units)
+            )
+        for child in node.children:
+            walk(child)
+
+    for tree in record.trees:
+        walk(tree.root)
+    return tokens
+
+
+def normalized_method_digest(record: MethodRecord) -> str:
+    """SHA-256 of the normalized token stream (layout-sensitive)."""
+    blob = json.dumps(normalized_method_tokens(record),
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def method_fuzzy_bytes(record: MethodRecord) -> bytes:
+    """Byte stream for the fuzzy digest: normalized tokens sans dex_pc.
+
+    Dropping the position makes the fuzzy digest tolerant of inserted /
+    removed instructions shifting everything after them — the whole
+    point of a locality hash.
+    """
+    stripped = [
+        token[1:] if isinstance(token[0], int) else token
+        for token in normalized_method_tokens(record)
+    ]
+    return json.dumps(stripped, separators=(",", ":")).encode("utf-8")
+
+
+# -- recording writer --------------------------------------------------------
+
+
+class BodyWriter:
+    """Funnel for all body-emission builder calls, optionally recording.
+
+    Every method forwards to the live builder immediately; when
+    ``recording`` the call is also appended to :attr:`ops` in a
+    symbolic, app-independent form (constant-pool references travel as
+    ``(kind, symbol)``, instrument fields as their suffix).  A body
+    that takes a non-portable path (reflective bridge invoke) calls
+    :meth:`disable` and is simply not cached.
+    """
+
+    def __init__(self, reassembler, mb, record: MethodRecord,
+                 recording: bool) -> None:
+        self.reassembler = reassembler
+        self.mb = mb
+        self.record = record
+        self.ops: list | None = [] if recording else None
+
+    def _rec(self, op: list) -> None:
+        if self.ops is not None:
+            self.ops.append(op)
+
+    def disable(self) -> None:
+        self.ops = None
+
+    # -- forwarded emitters -------------------------------------------------
+
+    def raw(self, name: str, *operands: int) -> None:
+        self.mb.raw(name, *operands)
+        self._rec(["raw", name, list(operands)])
+
+    def move(self, dst: int, src: int) -> None:
+        self.mb.move(dst, src)
+        self._rec(["move", dst, src])
+
+    def move_object(self, dst: int, src: int) -> None:
+        self.mb.move_object(dst, src)
+        self._rec(["moveo", dst, src])
+
+    def sym(self, name: str, kind: IndexKind, symbol: str,
+            pre: list, post: list, outs: int = 0) -> None:
+        """A pool-referencing instruction: intern now, record the symbol.
+
+        ``pre``/``post`` are the register (and range-count) operands
+        around the pool index — leading for 35c/3rc, trailing
+        otherwise; at most one of them is non-empty.
+        """
+        mb = self.mb
+        index = _intern(mb.dex, kind, symbol)
+        mb.raw(name, *pre, index, *post)
+        if outs:
+            mb._outs = max(mb._outs, outs)
+        self._rec(["sym", name, _KIND_TAGS[kind], symbol,
+                   list(pre), list(post), outs])
+
+    def ifield_read(self, suffix: str, reg: int) -> None:
+        """``sget-boolean`` of an instrument field derived from the record.
+
+        The field name is recomputed from the record's signature at
+        replay time, which also re-registers it with the replaying
+        reassembler — keeping the generated ``<clinit>`` complete.
+        """
+        from repro.core.reassembler import INSTRUMENT_CLASS
+
+        name = self.reassembler._new_instrument_field(
+            self.record.signature, suffix)
+        self.mb.field_op("sget-boolean", reg,
+                         f"{INSTRUMENT_CLASS}->{name}:Z")
+        self._rec(["ifield", suffix, reg])
+
+    def if_zero(self, cond: str, reg: int, label: str) -> None:
+        self.mb.if_zero(cond, reg, label)
+        self._rec(["ifz", cond, reg, label])
+
+    def label(self, name: str) -> None:
+        self.mb.label(name)
+        self._rec(["label", name])
+
+    def goto_(self, label: str) -> None:
+        self.mb.goto_(label)
+        self._rec(["goto", label])
+
+    def branch(self, name: str, operands: tuple, label: str) -> None:
+        self.mb._emit_branch(name, tuple(operands), label)
+        self._rec(["br", name, list(operands), label])
+
+    def packed_switch(self, reg: int, first_key: int,
+                      labels: list[str]) -> None:
+        self.mb.packed_switch(reg, first_key, labels)
+        self._rec(["pswitch", reg, first_key, list(labels)])
+
+    def sparse_switch(self, reg: int, cases: list[tuple[int, str]]) -> None:
+        self.mb.sparse_switch(reg, cases)
+        self._rec(["sswitch", reg, [[key, label] for key, label in cases]])
+
+    def fill_array_data(self, reg: int, element_width: int,
+                        values: list[int]) -> None:
+        self.mb.fill_array_data(reg, element_width, values)
+        self._rec(["fill", reg, element_width, list(values)])
+
+    def try_range(self, start_label: str, end_label: str,
+                  handlers: list[tuple[str | None, str]]) -> None:
+        self.mb.try_range(start_label, end_label, handlers)
+        self._rec(["try", start_label, end_label,
+                   [[desc, label] for desc, label in handlers]])
+
+
+def _intern(dex, kind: IndexKind, symbol: str) -> int:
+    if kind is IndexKind.STRING:
+        return dex.intern_string(symbol)
+    if kind is IndexKind.TYPE:
+        return dex.intern_type(symbol)
+    if kind is IndexKind.FIELD:
+        return dex.intern_field_ref(parse_field_signature(symbol))
+    return dex.intern_method_ref(parse_method_signature(symbol))
+
+
+_KIND_BY_TAG = {tag: kind for kind, tag in _KIND_TAGS.items()}
+
+
+def replay_body(reassembler, class_builder, record: MethodRecord,
+                ops: list) -> None:
+    """Rebuild a method body from recorded ops in another app's DEX.
+
+    The builder frame is reconstructed from the record (identical to
+    the original's by digest equality), then each op re-performs the
+    builder call the original emission made — including interning every
+    symbol in the original order and re-registering instrument fields.
+    """
+    from repro.core.reassembler import INSTRUMENT_CLASS
+
+    original_locals = record.registers_size - record.ins_size
+    mb = class_builder.method(
+        record.name,
+        record.return_desc,
+        record.param_descs,
+        access=record.access_flags,
+        locals_count=original_locals + 1,
+    )
+    mb._outs = max(mb._outs, record.outs_size)
+    for op in ops:
+        tag = op[0]
+        if tag == "raw":
+            mb.raw(op[1], *op[2])
+        elif tag == "move":
+            mb.move(op[1], op[2])
+        elif tag == "moveo":
+            mb.move_object(op[1], op[2])
+        elif tag == "sym":
+            _name, kind_tag, symbol, pre, post, outs = op[1:]
+            index = _intern(mb.dex, _KIND_BY_TAG[kind_tag], symbol)
+            mb.raw(_name, *pre, index, *post)
+            if outs:
+                mb._outs = max(mb._outs, outs)
+        elif tag == "ifield":
+            name = reassembler._new_instrument_field(record.signature, op[1])
+            mb.field_op("sget-boolean", op[2],
+                        f"{INSTRUMENT_CLASS}->{name}:Z")
+        elif tag == "ifz":
+            mb.if_zero(op[1], op[2], op[3])
+        elif tag == "label":
+            mb.label(op[1])
+        elif tag == "goto":
+            mb.goto_(op[1])
+        elif tag == "br":
+            mb._emit_branch(op[1], tuple(op[2]), op[3])
+        elif tag == "pswitch":
+            mb.packed_switch(op[1], op[2], list(op[3]))
+        elif tag == "sswitch":
+            mb.sparse_switch(op[1], [(key, label) for key, label in op[2]])
+        elif tag == "fill":
+            mb.fill_array_data(op[1], op[2], list(op[3]))
+        elif tag == "try":
+            mb.try_range(op[1], op[2],
+                         [(desc, label) for desc, label in op[3]])
+        else:
+            raise ValueError(f"unknown body op {tag!r}")
+    mb.build()
+
+
+class InMemoryBodyCache:
+    """Minimal ``get_body``/``put_body`` store (tests, single session)."""
+
+    def __init__(self) -> None:
+        self._bodies: dict[str, list] = {}
+
+    def get_body(self, digest: str) -> list | None:
+        return self._bodies.get(digest)
+
+    def put_body(self, digest: str, ops: list) -> None:
+        self._bodies.setdefault(digest, ops)
+
+    def __len__(self) -> int:
+        return len(self._bodies)

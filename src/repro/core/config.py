@@ -9,9 +9,10 @@ storable next to archives), and self-hashing (``config_hash()`` is the
 sole configuration input to the service layer's content-addressed
 cache keys).
 
-``archive_dir`` is deliberately excluded from the identity hash: where
-the collection files land on disk does not change what the pipeline
-computes, only where its intermediate is persisted.
+``archive_dir`` and ``index_dir`` are deliberately excluded from the
+identity hash: where the collection files land on disk (or which corpus
+index accelerates reassembly) does not change what the pipeline
+computes, only where its intermediates live and how fast it runs.
 """
 
 from __future__ import annotations
@@ -82,6 +83,13 @@ class RevealConfig:
       identical across backends and worker counts; the knob still
       feeds the identity hash — deliberately conservative, like the
       rest of the inert force-execution knobs.
+    * ``index_dir`` — when set, a persistent
+      :class:`~repro.index.corpus.CorpusIndex` at this path is
+      consulted during reassembly (already-revealed method bodies are
+      replayed instead of re-emitted, across *different* apps) and every
+      reveal registers its methods back.  Excluded from the identity
+      hash like ``archive_dir``: replayed bodies are byte-identical to
+      re-emitted ones, so the index changes cost, never output.
     """
 
     device: DeviceProfile = NEXUS_5X
@@ -94,6 +102,7 @@ class RevealConfig:
     path_budget: int | None = None
     explore_workers: int = 1
     explore_backend: str = BACKEND_THREAD
+    index_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.exploration_strategy not in ALL_STRATEGIES:
@@ -127,6 +136,7 @@ class RevealConfig:
             "path_budget": self.path_budget,
             "explore_workers": self.explore_workers,
             "explore_backend": self.explore_backend,
+            "index_dir": self.index_dir,
         }
 
     @classmethod
@@ -146,6 +156,7 @@ class RevealConfig:
             path_budget=data.get("path_budget"),
             explore_workers=data.get("explore_workers", 1),
             explore_backend=data.get("explore_backend", BACKEND_THREAD),
+            index_dir=data.get("index_dir"),
         )
 
     def to_json(self) -> str:
@@ -158,16 +169,21 @@ class RevealConfig:
     # -- identity -----------------------------------------------------------
 
     def fingerprint(self) -> dict:
-        """The identity-relevant slice: everything except ``archive_dir``.
+        """The identity-relevant slice: everything except the two paths.
 
         Force-execution knobs (``force_iterations`` and the exploration
         set) participate even when ``use_force_execution`` is off —
         deliberately conservative: over-keying the cache costs at most
         a recompute, while normalising inert knobs risks serving a
         stale record if a future pipeline consults them elsewhere.
+        ``archive_dir`` and ``index_dir`` are excluded because neither
+        can change what the pipeline computes: the archive is a
+        persistence location, and index-replayed bodies are
+        byte-identical to re-emitted ones by construction.
         """
         identity = self.to_dict()
         del identity["archive_dir"]
+        del identity["index_dir"]
         return identity
 
     def config_hash(self) -> str:

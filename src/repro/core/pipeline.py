@@ -70,6 +70,9 @@ class RevealResult:
       the drive finished; the reveal covers only the executed prefix.
     * ``stage_timings`` — wall-clock seconds per executed stage, keyed
       by stage name (``collect``/``reassemble``/``verify``/``repack``).
+    * ``index_stats`` — corpus-index dedup accounting when
+      ``RevealConfig.index_dir`` is set (bodies replayed vs emitted,
+      methods the corpus already knew); empty otherwise.
     """
 
     revealed_apk: Apk | None
@@ -81,6 +84,7 @@ class RevealResult:
     crash_reason: str = ""
     budget_exhausted: bool = False
     stage_timings: dict[str, float] = field(default_factory=dict)
+    index_stats: dict = field(default_factory=dict)
 
     @property
     def dump_size_bytes(self) -> int:
@@ -95,12 +99,21 @@ class Pipeline:
         config: RevealConfig | None = None,
         observer: PipelineObserver | None = None,
         wave_observer=None,
+        index=None,
     ) -> None:
         self.config = config or RevealConfig()
         self.observer = observer
+        if index is None and self.config.index_dir is not None:
+            # Lazy import keeps repro.core free of a module-level
+            # dependency on repro.index (which imports back into core).
+            from repro.index.corpus import CorpusIndex
+
+            index = CorpusIndex(self.config.index_dir)
+        self.index = index
         self.collect_stage = CollectStage(self.config,
-                                          wave_observer=wave_observer)
-        self.reassemble_stage = ReassembleStage()
+                                          wave_observer=wave_observer,
+                                          index=index)
+        self.reassemble_stage = ReassembleStage(index=index)
         self.verify_stage = VerifyStage()
         self.repack_stage = RepackStage()
 
@@ -200,6 +213,7 @@ class Pipeline:
             crash_reason=collected.crash_reason,
             budget_exhausted=collected.budget_exhausted,
             stage_timings=timings,
+            index_stats=self._index_stats(),
         )
 
     def reveal_from_archive(
@@ -226,6 +240,7 @@ class Pipeline:
             archive=archive,
             collector_stats={},
             stage_timings=timings,
+            index_stats=self._index_stats(),
         )
 
     def _offline(
@@ -236,13 +251,23 @@ class Pipeline:
     ) -> tuple[DexFile, Apk | None]:
         """Shared reassemble → verify → (repack) suffix."""
         dex = self._timed(STAGE_REASSEMBLE, timings,
-                          self.reassemble_stage.run, archive)
+                          self.reassemble_stage.run, archive,
+                          apk.package if apk is not None else None,
+                          self.config.archive_dir)
         dex = self._timed(STAGE_VERIFY, timings, self.verify_stage.run, dex)
         revealed = None
         if apk is not None:
             revealed = self._timed(STAGE_REPACK, timings,
                                    self.repack_stage.run, apk, dex)
         return dex, revealed
+
+    def _index_stats(self) -> dict:
+        """Merged dedup accounting from the index-aware stages."""
+        if self.index is None:
+            return {}
+        stats = dict(self.collect_stage.last_index_probe)
+        stats.update(self.reassemble_stage.last_index_stats)
+        return stats
 
 
 class DexLego:
@@ -259,9 +284,11 @@ class DexLego:
         run_budget: int | None = None,
         archive_dir: str | None = None,
         force_iterations: int | None = None,
+        index_dir: str | None = None,
         config: RevealConfig | None = None,
         observer: PipelineObserver | None = None,
         wave_observer=None,
+        index=None,
     ) -> None:
         config = resolve_config(
             config,
@@ -270,10 +297,11 @@ class DexLego:
             run_budget=run_budget,
             archive_dir=archive_dir,
             force_iterations=force_iterations,
+            index_dir=index_dir,
         )
         self.config = config
         self.pipeline = Pipeline(config, observer=observer,
-                                 wave_observer=wave_observer)
+                                 wave_observer=wave_observer, index=index)
 
     # Attribute views kept for callers that read the old constructor
     # fields off the instance.

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.body_cache import BodyWriter, exact_method_digest, replay_body
 from repro.core.collector import CollectedClass, ReflectionSite
 from repro.core.method_store import MethodRecord, MethodStore
 from repro.core.tree import CollectedInstruction, TreeNode
@@ -32,7 +33,7 @@ from repro.dex.builder import ClassBuilder, DexBuilder, MethodBuilder
 from repro.dex.constants import AccessFlags
 from repro.dex.opcodes import IndexKind
 from repro.dex.payloads import decode_payload
-from repro.dex.sigs import parse_field_signature, parse_method_signature
+from repro.dex.sigs import parse_method_signature
 from repro.dex.structures import DexFile
 from repro.errors import ReassemblyError
 
@@ -59,10 +60,23 @@ class Reassembler:
         classes: dict[str, CollectedClass],
         store: MethodStore,
         reflection_sites: dict[tuple[str, int], ReflectionSite] | None = None,
+        body_cache=None,
     ) -> None:
         self.classes = classes
         self.store = store
         self.reflection_sites = reflection_sites or {}
+        #: Optional ``get_body``/``put_body`` store (corpus index or
+        #: :class:`~repro.core.body_cache.InMemoryBodyCache`): executed
+        #: bodies whose exact digest is already known are *replayed*
+        #: from their recorded op list instead of re-emitted.
+        self.body_cache = body_cache
+        #: signature -> exact digest, for every executed cacheable body.
+        self.body_digests: dict[str, str] = {}
+        self.bodies_emitted = 0
+        self.bodies_replayed = 0
+        # Methods holding rewritten reflective invokes are never cached:
+        # bridge numbering is global to one output DEX.
+        self._uncacheable = {caller for caller, _pc in self.reflection_sites}
         self.builder = DexBuilder()
         self._instrument_fields: list[str] = []
         self._bridges: list[_BridgeRequest] = []
@@ -135,7 +149,21 @@ class Reassembler:
         if not record.executed:
             self._emit_stub(class_builder, record)
             return
-        self._emit_collected_body(class_builder, record)
+        digest = None
+        if self.body_cache is not None \
+                and record.signature not in self._uncacheable:
+            digest = exact_method_digest(record)
+            self.body_digests[record.signature] = digest
+            ops = self.body_cache.get_body(digest)
+            if ops is not None:
+                replay_body(self, class_builder, record, ops)
+                self.bodies_replayed += 1
+                return
+        ops = self._emit_collected_body(class_builder, record,
+                                        recording=digest is not None)
+        self.bodies_emitted += 1
+        if digest is not None and ops is not None:
+            self.body_cache.put_body(digest, ops)
 
     def _emit_stub(self, class_builder: ClassBuilder, record: MethodRecord) -> None:
         """Default-return stub for a linked-but-never-executed method."""
@@ -160,8 +188,14 @@ class Reassembler:
     # -- collected bodies ---------------------------------------------------------
 
     def _emit_collected_body(
-        self, class_builder: ClassBuilder, record: MethodRecord
-    ) -> None:
+        self, class_builder: ClassBuilder, record: MethodRecord,
+        recording: bool = False,
+    ) -> list | None:
+        """Emit an executed body; returns its portable op list if recorded.
+
+        All builder interactions go through one :class:`BodyWriter`, so
+        a recording pass captures exactly the calls replay must make.
+        """
         trees = record.trees
         original_locals = record.registers_size - record.ins_size
         # One extra register (the scratch used by divergence selectors and
@@ -174,36 +208,33 @@ class Reassembler:
             locals_count=original_locals + 1,
         )
         mb._outs = max(mb._outs, record.outs_size)
+        writer = BodyWriter(self, mb, record, recording)
         scratch = record.registers_size  # top register of the grown frame
-        self._emit_prologue(mb, record, original_locals)
+        self._emit_prologue(writer, record, original_locals)
 
         if len(trees) > 1:
             # Variant dispatcher (paper: "merging instruction arrays").
             for variant in range(1, len(trees)):
-                field_name = self._new_instrument_field(
-                    record.signature, f"variant_{variant}"
-                )
-                mb.field_op(
-                    "sget-boolean", scratch,
-                    f"{INSTRUMENT_CLASS}->{field_name}:Z",
-                )
-                mb.if_zero("ne", scratch, f"v{variant}_entry")
+                writer.ifield_read(f"variant_{variant}", scratch)
+                writer.if_zero("ne", scratch, f"v{variant}_entry")
         needs_unexec = False
         for variant, tree in enumerate(trees):
-            mb.label(f"v{variant}_entry")
+            writer.label(f"v{variant}_entry")
             emitter = _TreeEmitter(
-                self, mb, record, tree.root, prefix=f"v{variant}", scratch=scratch
+                self, writer, record, tree.root, prefix=f"v{variant}",
+                scratch=scratch,
             )
             emitter.emit()
             needs_unexec = needs_unexec or emitter.used_unexec
         if needs_unexec:
-            mb.label(UNEXEC_LABEL)
-            mb.goto_(UNEXEC_LABEL)
-        self._emit_tries(mb, record, trees)
+            writer.label(UNEXEC_LABEL)
+            writer.goto_(UNEXEC_LABEL)
+        self._emit_tries(writer, record, trees)
         mb.build()
+        return writer.ops
 
     def _emit_prologue(
-        self, mb: MethodBuilder, record: MethodRecord, original_locals: int
+        self, writer: BodyWriter, record: MethodRecord, original_locals: int
     ) -> None:
         """Shift incoming parameter words down one register.
 
@@ -232,19 +263,19 @@ class Reassembler:
             dst = old_base + index
             src = new_base + index
             if kind == "wide":
-                mb.raw(
+                writer.raw(
                     "move-wide" if max(dst, src + 1) < 16 else "move-wide/from16",
                     dst, src,
                 )
                 index += 2
             elif kind == "object":
-                mb.move_object(dst, src)
+                writer.move_object(dst, src)
                 index += 1
             else:
-                mb.move(dst, src)
+                writer.move(dst, src)
                 index += 1
 
-    def _emit_tries(self, mb: MethodBuilder, record, trees) -> None:
+    def _emit_tries(self, writer: BodyWriter, record, trees) -> None:
         """Re-attach collected try blocks onto the variant-0 layout.
 
         Regions are clipped to the instructions that actually executed;
@@ -272,7 +303,7 @@ class Reassembler:
                 handlers.append((type_desc, self._handler_label(root, addr)))
             if try_block.catch_all is not None:
                 handlers.append((None, self._handler_label(root, try_block.catch_all)))
-            mb.try_range(start_label, end_label, handlers)
+            writer.try_range(start_label, end_label, handlers)
 
     def _handler_label(self, root: TreeNode, addr: int) -> str:
         if root.lookup(addr) is not None:
@@ -414,14 +445,14 @@ class _TreeEmitter:
     def __init__(
         self,
         reassembler: Reassembler,
-        mb: MethodBuilder,
+        writer: BodyWriter,
         record: MethodRecord,
         root: TreeNode,
         prefix: str,
         scratch: int,
     ) -> None:
         self.reassembler = reassembler
-        self.mb = mb
+        self.w = writer
         self.record = record
         self.root = root
         self.prefix = prefix
@@ -465,7 +496,7 @@ class _TreeEmitter:
             pending.extend(node.children)
 
     def _emit_node(self, node: TreeNode) -> None:
-        mb = self.mb
+        w = self.w
         ordered = sorted(node.il, key=lambda c: c.dex_pc)
         divergences_at: dict[int, list[TreeNode]] = {}
         for child in node.children:
@@ -473,12 +504,12 @@ class _TreeEmitter:
         try_ends_after = self._try_end_plan(node, ordered)
         for position, collected in enumerate(ordered):
             dex_pc = collected.dex_pc
-            mb.label(self._label(node, dex_pc))
+            w.label(self._label(node, dex_pc))
             for child in divergences_at.get(dex_pc, ()):
                 self._emit_selector(child)
             self._emit_instruction(node, collected)
             for end_label in try_ends_after.get(dex_pc, ()):
-                mb.label(end_label)
+                w.label(end_label)
             self._emit_fallthrough(node, ordered, position, collected)
 
     def _try_end_plan(self, node: TreeNode, ordered) -> dict[int, list[str]]:
@@ -505,14 +536,10 @@ class _TreeEmitter:
         Jumps to the child's ``sm_start`` instruction (its entry point);
         the child block itself is emitted after the parent stream.
         """
-        field_name = self.reassembler._new_instrument_field(
-            self.record.signature,
-            f"{self.prefix}_sm_{self._node_ids[id(child)]}",
+        self.w.ifield_read(
+            f"{self.prefix}_sm_{self._node_ids[id(child)]}", self.scratch
         )
-        self.mb.field_op(
-            "sget-boolean", self.scratch, f"{INSTRUMENT_CLASS}->{field_name}:Z"
-        )
-        self.mb.if_zero("ne", self.scratch, self._label(child, child.sm_start))
+        self.w.if_zero("ne", self.scratch, self._label(child, child.sm_start))
 
     def _emit_fallthrough(
         self,
@@ -528,10 +555,10 @@ class _TreeEmitter:
         next_pc = collected.dex_pc + len(collected.units)
         if position + 1 < len(ordered) and ordered[position + 1].dex_pc == next_pc:
             return  # natural fall-through
-        self.mb.goto_(self._resolve(node, next_pc))
+        self.w.goto_(self._resolve(node, next_pc))
 
     def _emit_instruction(self, node: TreeNode, collected: CollectedInstruction) -> None:
-        mb = self.mb
+        w = self.w
         ins = collected.instruction
         name = ins.name
         opcode = ins.opcode
@@ -541,23 +568,23 @@ class _TreeEmitter:
             return
         if name == "fill-array-data":
             payload = decode_payload(list(collected.payload_units), 0)
-            mb.fill_array_data(ins.operands[0], payload.element_width,
-                               payload.elements())
+            w.fill_array_data(ins.operands[0], payload.element_width,
+                              payload.elements())
             return
         if opcode.is_branch:
             target = collected.dex_pc + ins.branch_target
             label = self._resolve(node, target)
             if name.startswith("goto"):
-                mb.goto_(label)
+                w.goto_(label)
             else:
-                mb._emit_branch(name, ins.operands[:-1], label)
+                w.branch(name, ins.operands[:-1], label)
             return
         if opcode.is_invoke:
             self._emit_invoke(node, collected, ins)
             return
         kind = opcode.index_kind
         if kind is IndexKind.NONE:
-            mb.raw(name, *ins.operands)
+            w.raw(name, *ins.operands)
             return
         symbol = collected.symbol
         if symbol is None:
@@ -565,19 +592,10 @@ class _TreeEmitter:
                 f"{self.record.signature}@{collected.dex_pc}: "
                 f"{name} collected without symbol"
             )
-        dex = mb.dex
-        if kind is IndexKind.STRING:
-            index = dex.intern_string(symbol)
-        elif kind is IndexKind.TYPE:
-            index = dex.intern_type(symbol)
-        elif kind is IndexKind.FIELD:
-            index = dex.intern_field_ref(parse_field_signature(symbol))
-        else:
-            index = dex.intern_method_ref(parse_method_signature(symbol))
         if opcode.fmt in ("35c", "3rc"):
-            mb.raw(name, index, *ins.operands[1:])
+            w.sym(name, kind, symbol, pre=[], post=list(ins.operands[1:]))
         else:
-            mb.raw(name, *ins.operands[:-1], index)
+            w.sym(name, kind, symbol, pre=list(ins.operands[:-1]), post=[])
 
     def _emit_switch(self, node: TreeNode, collected, ins) -> None:
         payload = decode_payload(list(collected.payload_units), 0)
@@ -587,12 +605,12 @@ class _TreeEmitter:
             for target in payload.targets
         ]
         if ins.name == "packed-switch":
-            self.mb.packed_switch(reg, payload.first_key, labels)
+            self.w.packed_switch(reg, payload.first_key, labels)
         else:
-            self.mb.sparse_switch(reg, list(zip(payload.keys, labels)))
+            self.w.sparse_switch(reg, list(zip(payload.keys, labels)))
 
     def _emit_invoke(self, node: TreeNode, collected, ins) -> None:
-        mb = self.mb
+        w = self.w
         symbol = collected.symbol
         ref = parse_method_signature(symbol)
         site_key = (self.record.signature, collected.dex_pc)
@@ -604,10 +622,12 @@ class _TreeEmitter:
         ):
             # §IV-D: replace Method.invoke with a direct call through the
             # generated bridge.  Registers: {method, receiver, args[]}.
+            # Bridge numbering is app-global, so this body is uncacheable.
+            w.disable()
             regs = ins.invoke_registers
             receiver_reg = regs[1] if len(regs) > 1 else regs[0]
             args_reg = regs[2] if len(regs) > 2 else regs[0]
-            mb.invoke(
+            w.mb.invoke(
                 "static",
                 f"{INSTRUMENT_CLASS}->{bridge}"
                 "(Ljava/lang/Object;[Ljava/lang/Object;)Ljava/lang/Object;",
@@ -615,16 +635,16 @@ class _TreeEmitter:
                 args_reg,
             )
             return
-        dex = mb.dex
-        index = dex.intern_method_ref(ref)
         from repro.dex.sigs import method_arg_width
 
         is_static = "static" in ins.name
-        mb._outs = max(mb._outs, method_arg_width(ref, is_static=is_static))
+        width = method_arg_width(ref, is_static=is_static)
         if ins.opcode.fmt == "35c":
-            mb.raw(ins.name, index, *ins.operands[1:])
+            post = list(ins.operands[1:])
         else:
-            mb.raw(ins.name, index, ins.operands[1], ins.operands[2])
+            post = [ins.operands[1], ins.operands[2]]
+        w.sym(ins.name, IndexKind.METHOD, symbol, pre=[], post=post,
+              outs=width)
 
 
 def _munge(signature: str) -> str:

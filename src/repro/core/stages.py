@@ -93,12 +93,22 @@ class CollectStage:
     name = STAGE_COLLECT
 
     def __init__(self, config: RevealConfig | None = None,
-                 wave_observer=None) -> None:
+                 wave_observer=None, index=None) -> None:
         self.config = config or RevealConfig()
         #: Optional exploration progress callback, forwarded to the
         #: force-execution scheduler (callables cannot live on the
         #: frozen, hashable config, so this travels beside it).
         self.wave_observer = wave_observer
+        #: Optional :class:`~repro.index.corpus.CorpusIndex` to consult
+        #: after the drive: how much of what this app executed the
+        #: corpus has already revealed elsewhere.  Collection itself
+        #: always runs — live-fetch semantics need the real execution —
+        #: but the probe feeds the dedup accounting and tells the
+        #: reassembler what to expect.
+        self.index = index
+        #: Stats of the most recent :meth:`run`'s index probe (empty
+        #: when no index is attached).
+        self.last_index_probe: dict = {}
 
     def run(self, apk: Apk, drive=None,
             resume_state: dict | None = None,
@@ -170,6 +180,13 @@ class CollectStage:
         except Exception as exc:
             raise StageError(self.name, exc) from exc
         archive = CollectionArchive.from_collector(collector)
+        self.last_index_probe = {}
+        if self.index is not None:
+            try:
+                self.last_index_probe = \
+                    self.index.probe_method_store(archive.method_store())
+            except Exception:  # the probe is advisory, never fatal
+                self.last_index_probe = {}
         if engine is not None:
             # Persist the frontier with the collection files, so the
             # archive is enough to continue an interrupted exploration —
@@ -198,14 +215,31 @@ class ReassembleStage:
 
     name = STAGE_REASSEMBLE
 
-    def run(self, archive: CollectionArchive) -> DexFile:
+    def __init__(self, index=None) -> None:
+        #: Optional :class:`~repro.index.corpus.CorpusIndex`: acts as the
+        #: reassembler's body cache (already-revealed bodies are replayed
+        #: instead of re-emitted) and receives this reveal's digests.
+        self.index = index
+        #: Savings stats of the most recent :meth:`run` (empty without
+        #: an index): bodies emitted vs replayed, corpus known vs new.
+        self.last_index_stats: dict = {}
+
+    def run(self, archive: CollectionArchive, app_id: str | None = None,
+            artifact: str | None = None) -> DexFile:
+        self.last_index_stats = {}
         try:
             reassembler = Reassembler(
                 archive.collected_class_map(),
                 archive.method_store(),
                 archive.reflection_sites(),
+                body_cache=self.index,
             )
             dex = reassembler.reassemble()
+            if self.index is not None:
+                self.last_index_stats = self.index.register_reassembly(
+                    archive.method_store(), reassembler,
+                    app_id=app_id, artifact=artifact,
+                )
             return read_dex(write_dex(dex))
         except Exception as exc:
             raise StageError(self.name, exc) from exc

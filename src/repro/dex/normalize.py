@@ -1,0 +1,82 @@
+"""Structural normalization of Dalvik instructions for similarity hashing.
+
+Two method bodies compiled from the same source rarely share raw code
+units: register allocation renumbers operands and every constant-pool
+reference is an index into that DEX's private pools.  The helpers here
+strip exactly those two accidents while keeping everything structural:
+
+* register operands become first-use ordinals (``v5, v2, v5`` and
+  ``v0, v1, v0`` normalize identically);
+* constant-pool indices become ``(index kind, first-occurrence ordinal
+  of the resolved symbol)`` placeholders — two methods that refer to
+  *their own* class's field in the same position normalize identically
+  even though the descriptors differ;
+* literals, branch offsets and payload data are kept verbatim.
+
+The output is a JSON-safe token list, the shared substrate for the
+corpus index's structural hash and fuzzy digest
+(:mod:`repro.index.digests`).  This module depends only on
+:mod:`repro.dex` — callers adapt their own collection records.
+"""
+
+from __future__ import annotations
+
+from repro.dex.instructions import Instruction
+from repro.dex.opcodes import IndexKind
+
+_REGISTER_LIST_FMTS = ("35c", "3rc")
+
+
+def register_operands(ins: Instruction) -> list[int]:
+    """The register operands of ``ins``, range forms expanded.
+
+    Format names encode the register count in their second character
+    (``22t`` → two registers, then the branch offset) except the
+    register-list forms: ``35c`` carries the pool index first then up
+    to five registers, ``3rc`` a ``(index, first, count)`` range.
+    """
+    fmt = ins.opcode.fmt
+    if fmt == "35c":
+        return list(ins.operands[1:])
+    if fmt == "3rc":
+        first, count = ins.operands[1], ins.operands[2]
+        return list(range(first, first + count))
+    return list(ins.operands[: int(fmt[1])])
+
+
+class Normalizer:
+    """First-use ordinal assignment for registers and pool symbols.
+
+    One instance spans one method: the *sequence* of distinct registers
+    and symbols is identity, their concrete values are not.
+    """
+
+    def __init__(self) -> None:
+        self._registers: dict[int, int] = {}
+        self._symbols: dict[tuple[str, str], int] = {}
+
+    def register(self, reg: int) -> int:
+        return self._registers.setdefault(reg, len(self._registers))
+
+    def symbol(self, kind: IndexKind, symbol: str) -> int:
+        key = (kind.name, symbol)
+        return self._symbols.setdefault(key, len(self._symbols))
+
+    def token(self, ins: Instruction, symbol: str | None,
+              payload_units=None) -> list:
+        """One instruction as a JSON-safe normalized token."""
+        kind = ins.opcode.index_kind
+        registers = [self.register(r) for r in register_operands(ins)]
+        token: list = [ins.name, registers]
+        if kind is not IndexKind.NONE:
+            token.append([
+                "p", kind.name.lower(),
+                self.symbol(kind, symbol) if symbol is not None else -1,
+            ])
+        else:
+            extras = list(ins.operands[len(registers):])
+            if extras:
+                token.append(["l", extras])
+        if payload_units:
+            token.append(["d", list(payload_units)])
+        return token

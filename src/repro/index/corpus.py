@@ -1,0 +1,405 @@
+"""Persistent, shardable corpus index: digest → (app, class, method).
+
+On-disk layout (all JSON, human-greppable):
+
+* ``index_meta.json`` — ``{"version": 1}``; foreign versions are
+  refused with a one-line ``ValueError`` (the archive/job-store guard
+  pattern).
+* ``segments/seg-<writer>.jsonl`` — append-only entry journal.  Every
+  :class:`CorpusIndex` instance appends to its *own* segment (a fresh
+  writer id per open), so any number of threads, processes or hosts
+  sharing the directory never contend on a file; readers merge all
+  segments at open.  Corrupt or truncated lines are skipped (counted in
+  :meth:`stats`) — a crashed writer costs at most its final line.
+* ``bodies/<exact-digest>.json`` — recorded body op lists
+  (:mod:`repro.core.body_cache`), written atomically, first writer
+  wins (contents are digest-determined, so writers agree by
+  construction).
+
+:meth:`compact` folds all segments into one, atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import uuid
+from dataclasses import asdict, dataclass
+
+from repro.core.body_cache import BODY_OPS_VERSION, exact_method_digest
+from repro.index.digests import MethodDigests, class_fuzzy_digest, method_digests
+from repro.index.fuzzy import fuzzy_distance
+
+INDEX_FORMAT_VERSION = 1
+
+_META_FILE = "index_meta.json"
+_SEGMENTS_DIR = "segments"
+_BODIES_DIR = "bodies"
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One indexed artefact: a revealed method or a whole class."""
+
+    kind: str                 # "method" | "class"
+    app_id: str
+    class_desc: str
+    method: str | None        # full signature for methods, None for classes
+    exact: str | None         # exact body digest (methods only)
+    norm: str | None          # structural digest (methods only)
+    fuzzy: str | None         # TLSH-style digest, None when too small
+    artifact: str | None = None  # reveal artifact ref (e.g. archive dir)
+
+    def key(self) -> tuple:
+        return (self.kind, self.app_id, self.class_desc, self.method,
+                self.exact)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["v"] = INDEX_FORMAT_VERSION
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IndexEntry":
+        return cls(
+            kind=data["kind"],
+            app_id=data["app_id"],
+            class_desc=data["class_desc"],
+            method=data.get("method"),
+            exact=data.get("exact"),
+            norm=data.get("norm"),
+            fuzzy=data.get("fuzzy"),
+            artifact=data.get("artifact"),
+        )
+
+
+class CorpusIndex:
+    """Digest-keyed corpus map plus the reassembler's body store.
+
+    Thread-safe; multi-process safe through per-writer segments and
+    atomic body writes.  Instances opened concurrently see each other's
+    entries only from their open time — acceptable, because replaying a
+    body and re-emitting it produce byte-identical output, so index
+    visibility affects savings, never results.
+    """
+
+    def __init__(self, root: str | os.PathLike, create: bool = True) -> None:
+        self.root = os.fspath(root)
+        self.segments_dir = os.path.join(self.root, _SEGMENTS_DIR)
+        self.bodies_dir = os.path.join(self.root, _BODIES_DIR)
+        self._lock = threading.Lock()
+        self._entries: list[IndexEntry] = []
+        self._keys: set[tuple] = set()
+        self._by_exact: dict[str, list[IndexEntry]] = {}
+        self._by_norm: dict[str, list[IndexEntry]] = {}
+        self._body_memo: dict[str, list] = {}
+        self.corrupt_lines = 0
+        self._writer_id = uuid.uuid4().hex[:12]
+        self._segment_handle = None
+        self._open(create)
+
+    # -- open / meta --------------------------------------------------------
+
+    def _open(self, create: bool) -> None:
+        meta_path = os.path.join(self.root, _META_FILE)
+        if not os.path.isfile(meta_path):
+            if not create:
+                raise FileNotFoundError(
+                    f"no corpus index at {self.root!r} "
+                    f"(missing {_META_FILE})"
+                )
+            os.makedirs(self.segments_dir, exist_ok=True)
+            os.makedirs(self.bodies_dir, exist_ok=True)
+            tmp = meta_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"version": INDEX_FORMAT_VERSION}, fh)
+            os.replace(tmp, meta_path)
+            return
+        try:
+            with open(meta_path, encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except ValueError as exc:
+            raise ValueError(
+                f"corpus index at {self.root!r} has an unreadable "
+                f"{_META_FILE}: {exc}"
+            ) from exc
+        version = meta.get("version") if isinstance(meta, dict) else None
+        if version != INDEX_FORMAT_VERSION:
+            raise ValueError(
+                f"corpus index at {self.root!r} has format version "
+                f"{version!r}; this build supports {INDEX_FORMAT_VERSION}"
+            )
+        os.makedirs(self.segments_dir, exist_ok=True)
+        os.makedirs(self.bodies_dir, exist_ok=True)
+        self._load_segments()
+
+    def _load_segments(self) -> None:
+        for name in sorted(os.listdir(self.segments_dir)):
+            if not name.endswith(".jsonl"):
+                continue
+            path = os.path.join(self.segments_dir, name)
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        self._absorb_line(line)
+            except OSError:
+                self.corrupt_lines += 1
+
+    def _absorb_line(self, line: str) -> None:
+        try:
+            data = json.loads(line)
+        except ValueError:
+            self.corrupt_lines += 1
+            return
+        if not isinstance(data, dict) \
+                or data.get("v") != INDEX_FORMAT_VERSION \
+                or "kind" not in data or "app_id" not in data \
+                or "class_desc" not in data:
+            self.corrupt_lines += 1
+            return
+        self._absorb(IndexEntry.from_dict(data))
+
+    def _absorb(self, entry: IndexEntry) -> bool:
+        """Index an entry in memory; False when it was a duplicate."""
+        key = entry.key()
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        self._entries.append(entry)
+        if entry.exact:
+            self._by_exact.setdefault(entry.exact, []).append(entry)
+        if entry.norm:
+            self._by_norm.setdefault(entry.norm, []).append(entry)
+        return True
+
+    # -- writes -------------------------------------------------------------
+
+    def _segment(self):
+        if self._segment_handle is None:
+            path = os.path.join(self.segments_dir,
+                                f"seg-{self._writer_id}.jsonl")
+            self._segment_handle = open(path, "a", encoding="utf-8")
+        return self._segment_handle
+
+    def add_entry(self, entry: IndexEntry) -> bool:
+        """Absorb + journal one entry; False when already present."""
+        with self._lock:
+            if not self._absorb(entry):
+                return False
+            handle = self._segment()
+            handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+            return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._segment_handle is not None:
+                self._segment_handle.close()
+                self._segment_handle = None
+
+    # -- body store (the reassembler's get_body/put_body duck type) ---------
+
+    def _body_path(self, digest: str) -> str:
+        return os.path.join(self.bodies_dir, f"{digest}.json")
+
+    def get_body(self, digest: str) -> list | None:
+        with self._lock:
+            memo = self._body_memo.get(digest)
+        if memo is not None:
+            return memo
+        try:
+            with open(self._body_path(digest), encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("version") != BODY_OPS_VERSION:
+            return None
+        ops = doc.get("ops")
+        if not isinstance(ops, list):
+            return None
+        with self._lock:
+            self._body_memo.setdefault(digest, ops)
+        return ops
+
+    def put_body(self, digest: str, ops: list) -> None:
+        with self._lock:
+            self._body_memo.setdefault(digest, ops)
+        path = self._body_path(digest)
+        if os.path.exists(path):
+            return  # first writer won; contents are digest-determined
+        tmp = f"{path}.{self._writer_id}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"version": BODY_OPS_VERSION, "ops": ops}, fh)
+        os.replace(tmp, path)
+
+    # -- registration (pipeline integration) --------------------------------
+
+    def register_method(self, record, digests: MethodDigests, app_id: str,
+                        artifact: str | None = None) -> bool:
+        return self.add_entry(IndexEntry(
+            kind="method",
+            app_id=app_id,
+            class_desc=record.class_desc,
+            method=record.signature,
+            exact=digests.exact,
+            norm=digests.norm,
+            fuzzy=digests.fuzzy,
+            artifact=artifact,
+        ))
+
+    def register_class(self, class_desc: str, fuzzy: str | None,
+                       app_id: str, artifact: str | None = None) -> bool:
+        return self.add_entry(IndexEntry(
+            kind="class",
+            app_id=app_id,
+            class_desc=class_desc,
+            method=None,
+            exact=None,
+            norm=None,
+            fuzzy=fuzzy,
+            artifact=artifact,
+        ))
+
+    def register_reassembly(self, store, reassembler, app_id: str | None,
+                            artifact: str | None = None) -> dict:
+        """Index every executed method of one reveal; return savings stats.
+
+        ``corpus_known`` counts methods whose exact digest the index
+        already held (from any app) before this registration —
+        the cross-app overlap this reveal could lean on.
+        """
+        app = app_id or "<unknown-app>"
+        known = new = 0
+        by_class: dict[str, list] = {}
+        for record in store.executed_records():
+            exact = reassembler.body_digests.get(record.signature)
+            digests = method_digests(record, exact=exact)
+            if self.lookup_exact(digests.exact):
+                known += 1
+            else:
+                new += 1
+            self.register_method(record, digests, app, artifact=artifact)
+            by_class.setdefault(record.class_desc, []).append(record)
+        for class_desc in sorted(by_class):
+            self.register_class(
+                class_desc, class_fuzzy_digest(by_class[class_desc]),
+                app, artifact=artifact,
+            )
+        return {
+            "bodies_emitted": reassembler.bodies_emitted,
+            "bodies_replayed": reassembler.bodies_replayed,
+            "corpus_known": known,
+            "corpus_new": new,
+        }
+
+    def probe_method_store(self, store) -> dict:
+        """Pre-reassembly probe: how much of this store the corpus knows."""
+        executed = store.executed_records()
+        known = sum(
+            1 for record in executed
+            if self.lookup_exact(exact_method_digest(record))
+        )
+        return {
+            "index_known_methods": known,
+            "index_executed_methods": len(executed),
+        }
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup_exact(self, digest: str) -> list[IndexEntry]:
+        with self._lock:
+            return list(self._by_exact.get(digest, ()))
+
+    def lookup_norm(self, digest: str) -> list[IndexEntry]:
+        with self._lock:
+            return list(self._by_norm.get(digest, ()))
+
+    def lookup_signature(self, signature: str) -> list[IndexEntry]:
+        """Every (app, digest) sighting of one method signature."""
+        with self._lock:
+            return [e for e in self._entries
+                    if e.kind == "method" and e.method == signature]
+
+    def apps_with_norm(self, digest: str) -> list[str]:
+        """'Which apps contain this method?' — by structural digest."""
+        return sorted({entry.app_id for entry in self.lookup_norm(digest)})
+
+    def nearest(self, fuzzy: str, limit: int = 5,
+                kind: str | None = None) -> list[tuple[int, IndexEntry]]:
+        """Nearest neighbours of a fuzzy digest (linear scan)."""
+        with self._lock:
+            candidates = [e for e in self._entries if e.fuzzy
+                          and (kind is None or e.kind == kind)]
+        scored = [(fuzzy_distance(fuzzy, entry.fuzzy), entry)
+                  for entry in candidates]
+        scored.sort(key=lambda pair: (pair[0], pair[1].key()))
+        return scored[:limit]
+
+    def entries(self) -> list[IndexEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            methods = [e for e in self._entries if e.kind == "method"]
+            classes = [e for e in self._entries if e.kind == "class"]
+            apps = {e.app_id for e in self._entries}
+            exact = len(self._by_exact)
+            norm = len(self._by_norm)
+        try:
+            bodies = sum(1 for name in os.listdir(self.bodies_dir)
+                         if name.endswith(".json"))
+            segments = sum(1 for name in os.listdir(self.segments_dir)
+                           if name.endswith(".jsonl"))
+        except OSError:
+            bodies = segments = 0
+        return {
+            "version": INDEX_FORMAT_VERSION,
+            "methods": len(methods),
+            "classes": len(classes),
+            "apps": len(apps),
+            "exact_digests": exact,
+            "norm_digests": norm,
+            "bodies": bodies,
+            "segments": segments,
+            "corrupt_lines": self.corrupt_lines,
+        }
+
+    # -- maintenance --------------------------------------------------------
+
+    def compact(self) -> int:
+        """Fold every segment into one, atomically; returns entry count.
+
+        The merged segment is written to a temp file and renamed into
+        place before the old segments are removed, so a reader opening
+        mid-compaction sees either layout, never neither.
+        """
+        with self._lock:
+            if self._segment_handle is not None:
+                self._segment_handle.close()
+                self._segment_handle = None
+            old = [name for name in os.listdir(self.segments_dir)
+                   if name.endswith(".jsonl")]
+            merged = f"seg-compact-{uuid.uuid4().hex[:12]}.jsonl"
+            tmp = os.path.join(self.segments_dir, merged + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for entry in self._entries:
+                    fh.write(json.dumps(entry.to_dict(), sort_keys=True)
+                             + "\n")
+            os.replace(tmp, os.path.join(self.segments_dir, merged))
+            for name in old:
+                if name == merged:
+                    continue
+                try:
+                    os.unlink(os.path.join(self.segments_dir, name))
+                except OSError:
+                    logger.warning("compact: could not remove segment %s",
+                                   name)
+            return len(self._entries)

@@ -1,0 +1,61 @@
+"""Digest bundles: one method or class → (exact, structural, fuzzy).
+
+Composes the three similarity levels the corpus index stores:
+
+* ``exact`` — :func:`repro.core.body_cache.exact_method_digest`; equal
+  digests mean the reassembler can *replay* the body byte-identically.
+* ``norm`` — SHA-256 of the register/pool-insensitive token stream
+  (:func:`repro.core.body_cache.normalized_method_tokens`); equal
+  digests mean "same code modulo register allocation and constant-pool
+  numbering" — the right key for "which apps contain this method?".
+* ``fuzzy`` — TLSH-style locality digest (:mod:`repro.index.fuzzy`)
+  over the same tokens minus positions; ``None`` for tiny methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.body_cache import (
+    exact_method_digest,
+    method_fuzzy_bytes,
+    normalized_method_digest,
+)
+from repro.core.method_store import MethodRecord
+from repro.index.fuzzy import fuzzy_digest
+
+
+@dataclass(frozen=True)
+class MethodDigests:
+    """The three digest levels for one executed method."""
+
+    exact: str
+    norm: str
+    fuzzy: str | None
+
+
+def method_digests(record: MethodRecord,
+                   exact: str | None = None) -> MethodDigests:
+    """All three digests for one record.
+
+    ``exact`` can be passed when the caller already computed it (the
+    reassembler does, to key its body cache).
+    """
+    return MethodDigests(
+        exact=exact or exact_method_digest(record),
+        norm=normalized_method_digest(record),
+        fuzzy=fuzzy_digest(method_fuzzy_bytes(record)),
+    )
+
+
+def class_fuzzy_digest(records: list[MethodRecord]) -> str | None:
+    """Fuzzy digest of a whole class: member streams, signature order.
+
+    Sorting by signature makes the digest independent of collection
+    order, so the same class revealed in two apps digests identically.
+    """
+    blob = b"".join(
+        method_fuzzy_bytes(record)
+        for record in sorted(records, key=lambda r: r.signature)
+    )
+    return fuzzy_digest(blob)

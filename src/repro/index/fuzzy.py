@@ -1,0 +1,140 @@
+"""Pure-python TLSH-style locality-sensitive digest.
+
+The real TLSH (Trend Micro Locality Sensitive Hash, as used by BANG's
+dex ``UnpackParser``) is a C extension; this is a dependency-free
+re-implementation of its shape for corpus similarity work:
+
+* slide a 5-byte window over the input, hash six salted triplets per
+  window into 128 buckets with a Pearson permutation table;
+* split the bucket histogram at its quartiles and emit 2 bits per
+  bucket (32-byte body);
+* prefix a small header: a rolling Pearson checksum, the capped log of
+  the input length and the two quartile ratios.
+
+``fuzzy_distance`` scores two digests: 0 for identical input, small for
+local edits, large for unrelated streams.  The exact bit layout is
+*not* wire-compatible with TLSH — digests only compare against digests
+produced by this module (the index stores its format version for that
+reason).
+
+Inputs shorter than :data:`MIN_FUZZY_LEN` bytes or with too little
+bucket variety return ``None``: tiny methods hash to digests dominated
+by the header, and every trivial getter would look like every other.
+"""
+
+from __future__ import annotations
+
+MIN_FUZZY_LEN = 50
+_WINDOW = 5
+_BUCKETS = 128
+_BODY_BYTES = _BUCKETS // 4  # 2 bits per bucket
+#: header (checksum, log-length, q1/q2 ratio nibbles) -> 3 bytes of hex
+_DIGEST_LEN = 6 + _BODY_BYTES * 2
+
+# Six triplet selections per window, each with its own Pearson salt —
+# mirrors TLSH's six (salt, byte, byte, byte) combinations.
+_TRIPLETS = (
+    (2, 0, 1, 2),
+    (3, 0, 1, 3),
+    (5, 0, 2, 3),
+    (7, 0, 2, 4),
+    (11, 0, 1, 4),
+    (13, 0, 3, 4),
+)
+
+
+def _pearson_table() -> tuple[int, ...]:
+    """A fixed pseudo-random permutation of 0..255 (seeded LCG shuffle)."""
+    table = list(range(256))
+    state = 1
+    for i in range(255, 0, -1):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        j = state % (i + 1)
+        table[i], table[j] = table[j], table[i]
+    return tuple(table)
+
+
+_TABLE = _pearson_table()
+
+
+def _bucket_hash(salt: int, a: int, b: int, c: int) -> int:
+    t = _TABLE
+    return t[t[t[salt ^ a] ^ b] ^ c]
+
+
+def _capped_log_length(length: int) -> int:
+    value = 0
+    threshold = 1
+    while threshold < length and value < 255:
+        threshold += max(1, threshold // 2)  # ~log base 1.5
+        value += 1
+    return value
+
+
+def fuzzy_digest(data: bytes) -> str | None:
+    """Digest ``data`` into a hex string, or ``None`` when too short."""
+    if len(data) < MIN_FUZZY_LEN:
+        return None
+    buckets = [0] * _BUCKETS
+    checksum = 0
+    t = _TABLE
+    for i in range(len(data) - _WINDOW + 1):
+        w = data[i:i + _WINDOW]
+        checksum = t[w[0] ^ checksum]
+        for salt, x, y, z in _TRIPLETS:
+            buckets[_bucket_hash(salt, w[x], w[y], w[z]) % _BUCKETS] += 1
+    ordered = sorted(buckets)
+    q1 = ordered[_BUCKETS // 4 - 1]
+    q2 = ordered[_BUCKETS // 2 - 1]
+    q3 = ordered[(_BUCKETS * 3) // 4 - 1]
+    if q3 == 0:
+        return None  # degenerate histogram: not enough variety to rank
+    header = (
+        f"{checksum:02x}"
+        f"{_capped_log_length(len(data)):02x}"
+        f"{(q1 * 100 // q3) % 16:x}"
+        f"{(q2 * 100 // q3) % 16:x}"
+    )
+    body = bytearray(_BODY_BYTES)
+    for index, count in enumerate(buckets):
+        if count <= q1:
+            bits = 0
+        elif count <= q2:
+            bits = 1
+        elif count <= q3:
+            bits = 2
+        else:
+            bits = 3
+        body[index // 4] |= bits << ((index % 4) * 2)
+    return header + body.hex()
+
+
+def fuzzy_distance(a: str, b: str) -> int:
+    """Distance between two digests from :func:`fuzzy_digest`.
+
+    Sums the header differences (checksum mismatch, length-band and
+    quartile-ratio deltas) with the per-bucket 2-bit differences; a
+    bucket jumping across the full quartile range (difference of 3)
+    costs 6, as in TLSH.
+    """
+    if len(a) != _DIGEST_LEN or len(b) != _DIGEST_LEN:
+        raise ValueError(
+            f"fuzzy digests must be {_DIGEST_LEN} hex chars, "
+            f"got {len(a)} and {len(b)}"
+        )
+    distance = 0
+    if a[0:2] != b[0:2]:
+        distance += 1
+    distance += abs(int(a[2:4], 16) - int(b[2:4], 16))
+    for pos in (4, 5):
+        delta = abs(int(a[pos], 16) - int(b[pos], 16))
+        distance += min(delta, 16 - delta)
+    body_a = bytes.fromhex(a[6:])
+    body_b = bytes.fromhex(b[6:])
+    for byte_a, byte_b in zip(body_a, body_b):
+        if byte_a == byte_b:
+            continue
+        for shift in (0, 2, 4, 6):
+            delta = abs(((byte_a >> shift) & 3) - ((byte_b >> shift) & 3))
+            distance += 6 if delta == 3 else delta
+    return distance

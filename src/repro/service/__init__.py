@@ -37,6 +37,7 @@ from repro.service.events import (
     EVENT_CANCELLED,
     EVENT_DONE,
     EVENT_FAILED,
+    EVENT_INDEX,
     EVENT_STAGE,
     EVENT_STARTED,
     EVENT_SUBMITTED,
@@ -87,6 +88,7 @@ __all__ = [
     "EVENT_CANCELLED",
     "EVENT_DONE",
     "EVENT_FAILED",
+    "EVENT_INDEX",
     "EVENT_STAGE",
     "EVENT_STARTED",
     "EVENT_SUBMITTED",

@@ -42,6 +42,7 @@ from __future__ import annotations
 import os
 import time
 import traceback
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -132,6 +133,7 @@ class BatchRevealService:
         path_budget: int | None = None,
         explore_workers: int | None = None,
         explore_backend: str | None = None,
+        index_dir: str | None = None,
         config: RevealConfig | None = None,
         workers: int | None = None,
         backend: str = "thread",
@@ -153,11 +155,18 @@ class BatchRevealService:
             path_budget=path_budget,
             explore_workers=explore_workers,
             explore_backend=explore_backend,
+            index_dir=index_dir,
         )
         self.workers = max(1, workers) if workers is not None \
             else default_worker_count()
         self.backend = backend
         self.cache = cache if cache is not None else RevealCache(cache_dir)
+        # One CorpusIndex shared by every in-process job (it is
+        # thread-safe), created lazily so index-less services never pay
+        # for it.  Process workers open their own instance from the
+        # ``index_dir`` travelling inside the config dict.
+        self._index = None
+        self._index_lock = threading.Lock()
 
     # Attribute views kept for callers that read the old constructor
     # fields off the instance.
@@ -203,7 +212,21 @@ class BatchRevealService:
             config = config.replace(
                 archive_dir=os.path.join(config.archive_dir, job.app_id))
         return DexLego(config=config, observer=observer,
-                       wave_observer=wave_observer)
+                       wave_observer=wave_observer,
+                       index=self.corpus_index())
+
+    def corpus_index(self):
+        """The service-wide :class:`~repro.index.corpus.CorpusIndex`
+        (``None`` without an ``index_dir``), shared across jobs so a
+        batch dedups against itself, not just against past runs."""
+        if self.config.index_dir is None:
+            return None
+        with self._index_lock:
+            if self._index is None:
+                from repro.index.corpus import CorpusIndex
+
+                self._index = CorpusIndex(self.config.index_dir)
+            return self._index
 
     def job_cache_key(self, job: RevealJob) -> str:
         salt = job.cache_salt
@@ -472,6 +495,7 @@ class BatchRevealService:
             stage_timings=result.stage_timings,
             exploration=(result.force_report.to_summary()
                          if result.force_report else {}),
+            index_stats=dict(result.index_stats),
             cache_key=key,
             result=result,
         )

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import threading
 from typing import Callable
@@ -48,6 +49,12 @@ from repro.runtime.apk import Apk
 from repro.service.outcomes import CACHEABLE_STATUSES, RevealOutcome
 
 CACHE_FORMAT_VERSION = 1
+
+#: Keys every well-formed cache record carries; an on-disk entry missing
+#: any of them (or that is not a JSON object at all) is corrupt.
+REQUIRED_RECORD_KEYS = frozenset({"version", "app_id", "status"})
+
+logger = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -136,6 +143,9 @@ class RevealCache:
         # key -> Event set when the in-flight computation for that key
         # finishes (see get_or_compute).
         self._inflight: dict[str, threading.Event] = {}
+        # Corrupt on-disk entries are misses; warn about the first one
+        # only, so a directory full of damage doesn't flood the log.
+        self._warned_corrupt = False
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
@@ -161,6 +171,7 @@ class RevealCache:
             "error": outcome.error,
             "stage_timings": dict(outcome.stage_timings),
             "exploration": dict(outcome.exploration),
+            "index_stats": dict(outcome.index_stats),
         }
         if self.directory is None:
             record["apk_bytes"] = apk_bytes
@@ -196,6 +207,7 @@ class RevealCache:
             revealed_apk_bytes=record.get("apk_bytes"),
             stage_timings=dict(record.get("stage_timings", {})),
             exploration=dict(record.get("exploration", {})),
+            index_stats=dict(record.get("index_stats", {})),
         )
 
     def __contains__(self, key: str) -> bool:
@@ -259,7 +271,16 @@ class RevealCache:
         try:
             with open(self._json_path(key), encoding="utf-8") as fh:
                 record = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
+            return None  # absent entry: the ordinary miss
+        except ValueError:
+            # Truncated write, disk damage, editor mishap — a corrupt
+            # entry must read as a miss, never crash the batch.
+            self._note_corrupt(key)
+            return None
+        if not isinstance(record, dict) \
+                or not REQUIRED_RECORD_KEYS <= record.keys():
+            self._note_corrupt(key)
             return None
         if record.get("has_apk"):
             try:
@@ -268,6 +289,15 @@ class RevealCache:
             except OSError:
                 return None
         return record
+
+    def _note_corrupt(self, key: str) -> None:
+        if self._warned_corrupt:
+            return
+        self._warned_corrupt = True
+        logger.warning(
+            "reveal cache entry %s is corrupt; treating it (and any "
+            "further corrupt entries) as misses", self._json_path(key)
+        )
 
     def _json_path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")

@@ -13,6 +13,12 @@ Usage::
     python -m repro.service status --store /tmp/q
     python -m repro.service watch  --store /tmp/q --follow
 
+    # The corpus index (cross-app method dedup):
+    python -m repro.service reveal-batch --index-dir /tmp/idx
+    python -m repro.service index build --index-dir /tmp/idx /path/to/archive
+    python -m repro.service index query --index-dir /tmp/idx --signature SIG
+    python -m repro.service index stats --index-dir /tmp/idx
+
 ``reveal-batch`` builds the requested benchsuite corpus, runs it
 through a :class:`~repro.service.batch.BatchRevealService`, prints one
 row per application (status, cache provenance, latency, dump size) and
@@ -117,6 +123,11 @@ def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
     """Pipeline knobs shared by ``reveal-batch`` and ``serve``."""
     parser.add_argument("--cache-dir", default=None,
                         help="persistent result-cache directory")
+    parser.add_argument("--index-dir", default=None,
+                        help="persistent corpus-index directory: method "
+                             "bodies other apps already revealed are "
+                             "replayed instead of re-emitted, and every "
+                             "reveal registers its methods back")
     parser.add_argument("--force-execution", action="store_true",
                         help="enable the code coverage improvement module")
     parser.add_argument("--budget", type=int, default=2_000_000,
@@ -150,6 +161,7 @@ def _service_from(args, backend: str | None = None) -> BatchRevealService:
         path_budget=args.path_budget,
         explore_workers=args.explore_workers,
         explore_backend=args.explore_backend,
+        index_dir=args.index_dir,
         workers=args.workers,
         backend=backend or getattr(args, "backend", "thread"),
         cache_dir=args.cache_dir,
@@ -226,6 +238,53 @@ def main(argv: list[str] | None = None) -> int:
     submit.add_argument("--json", action="store_true",
                         help="emit the submitted job ids as JSON")
 
+    index_p = sub.add_parser(
+        "index",
+        help="build, query and summarise a persistent corpus index",
+    )
+    index_sub = index_p.add_subparsers(dest="index_command")
+    ibuild = index_sub.add_parser(
+        "build",
+        help="register saved collection archives into a corpus index",
+    )
+    ibuild.add_argument("--index-dir", required=True,
+                        help="corpus-index directory (created if absent)")
+    ibuild.add_argument("archives", nargs="+",
+                        help="collection-archive directories to register")
+    ibuild.add_argument("--app-id", default=None,
+                        help="app id the archives are registered under "
+                             "(default: each archive's directory name)")
+    ibuild.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    iquery = index_sub.add_parser(
+        "query",
+        help="look up methods in a corpus index by digest or signature",
+    )
+    iquery.add_argument("--index-dir", required=True,
+                        help="corpus-index directory to read")
+    iquery.add_argument("--exact", default=None,
+                        help="canonical bytecode digest to look up")
+    iquery.add_argument("--norm", default=None,
+                        help="normalized (register/pool-insensitive) "
+                             "digest to look up")
+    iquery.add_argument("--signature", default=None,
+                        help="method signature to look up")
+    iquery.add_argument("--nearest", default=None,
+                        help="fuzzy digest: rank the corpus by "
+                             "similarity distance to it")
+    iquery.add_argument("--limit", type=int, default=5,
+                        help="result cap for --nearest (default: 5)")
+    iquery.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    istats = index_sub.add_parser(
+        "stats",
+        help="summarise a corpus index (apps, methods, digests, bodies)",
+    )
+    istats.add_argument("--index-dir", required=True,
+                        help="corpus-index directory to read")
+    istats.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+
     status = sub.add_parser(
         "status",
         help="render a job store's journal (states, waits, outcomes)",
@@ -253,6 +312,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.command == "reassemble":
         return _run_reassemble(args)
+    if args.command == "index":
+        return _run_index(args, parser)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "submit":
@@ -433,11 +494,14 @@ def _open_store_readonly(path: str) -> JobStore | None:
     refuse stores written by a different format version, which
     ``load_all`` would silently skip (``watch --follow`` would then
     tail an apparently-empty queue until its timeout)."""
-    if not os.path.isdir(path):
+    if not os.path.isdir(os.path.join(path, "jobs")):
+        # Covers a nonexistent path, a plain file, and a real directory
+        # that simply is not a store — none of which may be mutated
+        # (JobStore would otherwise scaffold ``jobs/`` inside it).
         print(f"no job store at {path!r}", file=sys.stderr)
         return None
     try:
-        store = JobStore(path)
+        store = JobStore(path, create=False)
         foreign = store.foreign_version_jobs()
     except OSError as exc:
         print(f"cannot read store {path!r}: {exc}", file=sys.stderr)
@@ -553,6 +617,164 @@ def _run_watch(args) -> int:
             print("watch: timeout with jobs still pending", file=sys.stderr)
             return 1
         time.sleep(0.2)
+    return 0
+
+
+def _open_index_readonly(path: str):
+    """A corpus index for query/stats: never create the directory — a
+    typo'd path must error, not render an empty index — and surface
+    format-version refusals as one-line diagnostics."""
+    from repro.index.corpus import CorpusIndex
+
+    try:
+        return CorpusIndex(path, create=False)
+    except FileNotFoundError:
+        print(f"no corpus index at {path!r}", file=sys.stderr)
+        return None
+    except OSError as exc:
+        print(f"cannot read index {path!r}: {exc}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+
+
+def _run_index(args, parser) -> int:
+    """The ``index`` subcommand group: build / query / stats.
+
+    Mirrors ``reassemble``'s error contract: bad input (missing
+    archive, foreign index version, malformed digest) exits 2 with a
+    one-line diagnostic, reassembly failures exit 1, tracebacks never
+    escape.
+    """
+    if args.index_command is None:
+        print("usage: python -m repro.service index "
+              "{build,query,stats} ...", file=sys.stderr)
+        return 2
+    if args.index_command == "build":
+        return _run_index_build(args)
+    if args.index_command == "query":
+        return _run_index_query(args)
+    return _run_index_stats(args)
+
+
+def _run_index_build(args) -> int:
+    from repro.core.collection_files import CollectionArchive
+    from repro.core.stages import ReassembleStage
+    from repro.errors import StageError
+    from repro.index.corpus import CorpusIndex
+
+    try:
+        index = CorpusIndex(args.index_dir)
+    except OSError as exc:
+        print(f"cannot use index {args.index_dir!r}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    stage = ReassembleStage(index=index)
+    registered = []
+    try:
+        for path in args.archives:
+            app_id = args.app_id or os.path.basename(os.path.normpath(path))
+            try:
+                archive = CollectionArchive.load(path)
+                stage.run(archive, app_id=app_id, artifact=path)
+            except OSError as exc:
+                print(f"cannot read archive {path!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(f"corrupt archive {path!r}: {exc}", file=sys.stderr)
+                return 2
+            except StageError as err:
+                print(f"reassembly failed in the {err.stage} stage for "
+                      f"{path!r}: {err.cause}", file=sys.stderr)
+                return 1
+            registered.append({"archive": path, "app_id": app_id,
+                               **stage.last_index_stats})
+    finally:
+        index.close()
+    if args.json:
+        print(json.dumps({"index_dir": args.index_dir,
+                          "registered": registered,
+                          "stats": index.stats()}, indent=2))
+    else:
+        for entry in registered:
+            print(f"registered {entry['app_id']} ({entry['archive']}): "
+                  f"{entry.get('corpus_known', 0)} known / "
+                  f"{entry.get('corpus_new', 0)} new method(s), "
+                  f"{entry.get('bodies_replayed', 0)} replayed body(ies)")
+        stats = index.stats()
+        print(f"index now holds {stats['methods']} method(s) across "
+              f"{stats['apps']} app(s)")
+    return 0
+
+
+def _run_index_query(args) -> int:
+    index = _open_index_readonly(args.index_dir)
+    if index is None:
+        return 2
+    selectors = [name for name in ("exact", "norm", "signature", "nearest")
+                 if getattr(args, name)]
+    if len(selectors) != 1:
+        print("pass exactly one of --exact / --norm / --signature / "
+              "--nearest", file=sys.stderr)
+        return 2
+    mode = selectors[0]
+    try:
+        if mode == "exact":
+            results = [(None, e) for e in index.lookup_exact(args.exact)]
+        elif mode == "norm":
+            results = [(None, e) for e in index.lookup_norm(args.norm)]
+        elif mode == "signature":
+            results = [(None, e)
+                       for e in index.lookup_signature(args.signature)]
+        else:
+            results = index.nearest(args.nearest, limit=max(1, args.limit),
+                                    kind=None)
+    except ValueError as exc:
+        print(f"bad digest: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "index_dir": args.index_dir,
+            "query": {mode: getattr(args, mode)},
+            "results": [
+                {**entry.to_dict(),
+                 **({} if distance is None else {"distance": distance})}
+                for distance, entry in results
+            ],
+        }, indent=2))
+        return 0
+    if not results:
+        print("no matches")
+        return 0
+    for distance, entry in results:
+        prefix = "" if distance is None else f"d={distance:<4} "
+        target = entry.method if entry.method else entry.class_desc
+        print(f"{prefix}{entry.kind:<6} {entry.app_id:<24} {target}")
+    return 0
+
+
+def _run_index_stats(args) -> int:
+    index = _open_index_readonly(args.index_dir)
+    if index is None:
+        return 2
+    stats = index.stats()
+    if args.json:
+        print(json.dumps({"index_dir": args.index_dir, **stats}, indent=2))
+    else:
+        print(f"corpus index {args.index_dir} (format v{stats['version']})")
+        print(f"  apps:          {stats['apps']}")
+        print(f"  methods:       {stats['methods']}")
+        print(f"  classes:       {stats['classes']}")
+        print(f"  exact digests: {stats['exact_digests']}")
+        print(f"  norm digests:  {stats['norm_digests']}")
+        print(f"  bodies:        {stats['bodies']}")
+        print(f"  segments:      {stats['segments']}")
+        if stats["corrupt_lines"]:
+            print(f"  corrupt lines skipped: {stats['corrupt_lines']}")
     return 0
 
 

@@ -18,7 +18,11 @@ cache hits entirely.
   :class:`~repro.core.exploration.ExplorationScheduler` (wave size,
   paths explored, frontier depth) while force execution iterates;
 * ``cache-hit`` events when a job is served from the
-  :class:`~repro.service.cache.RevealCache` instead of running.
+  :class:`~repro.service.cache.RevealCache` instead of running;
+* ``index`` events carrying the corpus-index dedup accounting of a
+  finished reveal (bodies replayed from the
+  :class:`~repro.index.corpus.CorpusIndex` vs emitted fresh) when the
+  service runs with an ``index_dir``.
 
 :class:`EventBus` fans events out two ways at once: *push* (observer
 callbacks, registered with :meth:`EventBus.add_observer`) and *pull*
@@ -47,6 +51,7 @@ EVENT_STARTED = "started"
 EVENT_STAGE = "stage"
 EVENT_WAVE = "wave"
 EVENT_CACHE_HIT = "cache-hit"
+EVENT_INDEX = "index"
 EVENT_DONE = "done"
 EVENT_FAILED = "failed"
 EVENT_CANCELLED = "cancelled"
@@ -57,6 +62,7 @@ ALL_EVENTS = (
     EVENT_STAGE,
     EVENT_WAVE,
     EVENT_CACHE_HIT,
+    EVENT_INDEX,
     EVENT_DONE,
     EVENT_FAILED,
     EVENT_CANCELLED,

@@ -198,12 +198,16 @@ class JobStore:
     costs one job, not the queue.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, create: bool = True) -> None:
         self.path = path
         self.jobs_dir = os.path.join(path, "jobs")
         self.events_path = os.path.join(path, "events.jsonl")
         self._lock = threading.Lock()
-        os.makedirs(self.jobs_dir, exist_ok=True)
+        # ``create=False`` opens for inspection only: status/watch CLIs
+        # pointed at a mistyped path must not conjure a store skeleton
+        # inside whatever directory happens to be there.
+        if create:
+            os.makedirs(self.jobs_dir, exist_ok=True)
 
     # -- records ------------------------------------------------------------
 
@@ -278,7 +282,7 @@ class JobStore:
         """Every parseable record, oldest submission first."""
         with self._lock:
             records = []
-            for name in os.listdir(self.jobs_dir):
+            for name in self._job_names():
                 if not name.endswith(".json"):
                     continue
                 record = self._read(name[: -len(".json")])
@@ -307,7 +311,7 @@ class JobStore:
         """
         with self._lock:
             foreign = []
-            for name in sorted(os.listdir(self.jobs_dir)):
+            for name in sorted(self._job_names()):
                 if not name.endswith(".json"):
                     continue
                 try:
@@ -380,6 +384,14 @@ class JobStore:
         return events, offset + end + 1
 
     # -- internals ----------------------------------------------------------
+
+    def _job_names(self) -> list[str]:
+        """Entries of ``jobs/``; empty when the directory is absent
+        (a ``create=False`` store opened on a non-store path)."""
+        try:
+            return os.listdir(self.jobs_dir)
+        except OSError:
+            return []
 
     def _json_path(self, job_id: str) -> str:
         return os.path.join(self.jobs_dir, f"{job_id}.json")

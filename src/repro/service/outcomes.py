@@ -93,6 +93,11 @@ class RevealOutcome:
       strategy, paths explored, UCBs discovered vs. covered, replays
       saved by dedup, coverage curve); empty when the coverage module
       did not run.
+    * ``index_stats`` — corpus-index dedup accounting when the service
+      ran with an ``index_dir``: method bodies replayed from the
+      :class:`~repro.index.corpus.CorpusIndex` vs emitted fresh, plus
+      how many of this app's methods the corpus already knew; empty
+      when no index was attached.
     * ``queue_wait_s`` — seconds the job sat queued before a worker
       started it (submit→start); 0.0 for direct ``reveal_one`` calls
       that never queued.  ``latency_s`` remains start→finish.
@@ -113,6 +118,7 @@ class RevealOutcome:
     failed_stage: str = ""
     stage_timings: dict = field(default_factory=dict)
     exploration: dict = field(default_factory=dict)
+    index_stats: dict = field(default_factory=dict)
     queue_wait_s: float = 0.0
     cache_key: str = ""
     result: RevealResult | None = None
@@ -152,6 +158,7 @@ class RevealOutcome:
                 for stage, seconds in self.stage_timings.items()
             },
             "exploration": self.exploration,
+            "index_stats": self.index_stats,
             "queue_wait_s": round(self.queue_wait_s, 6),
             "cache_key": self.cache_key,
         }

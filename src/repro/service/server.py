@@ -20,7 +20,8 @@ stopped mattering, and survive a restart without losing the queue.
   each handle ``queued → running → done/failed``.
 * :meth:`RevealServer.cancel` on a queued job resolves it
   ``cancelled`` without ever starting its pipeline.
-* Every transition, pipeline stage, exploration wave and cache hit
+* Every transition, pipeline stage, exploration wave, cache hit and
+  corpus-index dedup summary
   flows through one :class:`~repro.service.events.EventBus` —
   consumable as an iterator (:meth:`RevealServer.events`) or an
   observer callback (:meth:`RevealServer.add_observer`).
@@ -43,6 +44,7 @@ from repro.service.events import (
     EVENT_CANCELLED,
     EVENT_DONE,
     EVENT_FAILED,
+    EVENT_INDEX,
     EVENT_STAGE,
     EVENT_STARTED,
     EVENT_SUBMITTED,
@@ -535,6 +537,12 @@ class RevealServer:
                 error=f"{type(exc).__name__}: {exc}",
             )
         outcome.queue_wait_s = handle.queue_wait_s
+        if outcome.index_stats:
+            # Dedup accounting rides the stream before the terminal
+            # event, so per-job lifecycle order stays started → index →
+            # done and corpus dashboards never race the outcome.
+            self.bus.publish(EVENT_INDEX, job_id, job.app_id,
+                             payload=dict(outcome.index_stats))
         if not self.keep_results:
             outcome.result = None
             outcome.revealed_apk_bytes = None

@@ -134,6 +134,33 @@ class BatchReport:
             ),
         }
 
+    # -- corpus index -------------------------------------------------------
+
+    def index_summary(self) -> dict:
+        """Aggregate corpus-index dedup accounting across the batch.
+
+        Empty when no outcome ran against a
+        :class:`~repro.index.corpus.CorpusIndex`; otherwise how much
+        reassembly work the index saved fleet-wide: bodies replayed
+        from already-revealed apps vs emitted fresh, and how many of
+        the batch's methods the corpus had seen before.
+        """
+        indexed = [o.index_stats for o in self.outcomes if o.index_stats]
+        if not indexed:
+            return {}
+        emitted = sum(s.get("bodies_emitted", 0) for s in indexed)
+        replayed = sum(s.get("bodies_replayed", 0) for s in indexed)
+        total_bodies = emitted + replayed
+        return {
+            "apps_indexed": len(indexed),
+            "bodies_emitted": emitted,
+            "bodies_replayed": replayed,
+            "replay_rate": (round(replayed / total_bodies, 4)
+                            if total_bodies else 0.0),
+            "corpus_known": sum(s.get("corpus_known", 0) for s in indexed),
+            "corpus_new": sum(s.get("corpus_new", 0) for s in indexed),
+        }
+
     # -- presentation -------------------------------------------------------
 
     def summary(self) -> dict:
@@ -154,6 +181,7 @@ class BatchReport:
             "workers": self.workers,
             "backend": self.backend,
             "exploration": self.exploration_summary(),
+            "index": self.index_summary(),
         }
 
     def render(self) -> str:
@@ -185,5 +213,14 @@ class BatchReport:
                 f"{exploration['ucbs_covered']}/{exploration['ucbs_discovered']} "
                 f"covered, {exploration['replays_saved_by_dedup']} replay(s) "
                 f"saved by dedup"
+            )
+        index = self.index_summary()
+        if index:
+            total_bodies = index["bodies_replayed"] + index["bodies_emitted"]
+            lines.append(
+                f"index: {index['bodies_replayed']}/{total_bodies} "
+                f"bodies replayed ({index['replay_rate']:.0%}), corpus knew "
+                f"{index['corpus_known']} method(s), learned "
+                f"{index['corpus_new']}"
             )
         return "\n".join(lines)

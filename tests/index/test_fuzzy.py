@@ -1,0 +1,68 @@
+"""Properties of the pure-python TLSH-style fuzzy digest."""
+
+import pytest
+
+from repro.index.fuzzy import MIN_FUZZY_LEN, fuzzy_digest, fuzzy_distance
+
+
+def _blob(seed: int = 1, size: int = 400) -> bytes:
+    # Deterministic pseudo-random bytes without the stdlib RNG, so the
+    # test inputs are stable across python versions.
+    out = bytearray()
+    state = seed
+    for _ in range(size):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out.append(state & 0xFF)
+    return bytes(out)
+
+
+class TestDigest:
+    def test_deterministic(self):
+        data = _blob()
+        assert fuzzy_digest(data) == fuzzy_digest(data)
+
+    def test_shape(self):
+        digest = fuzzy_digest(_blob())
+        assert isinstance(digest, str)
+        assert len(digest) == 70
+        int(digest, 16)  # pure hex
+
+    def test_short_input_has_no_digest(self):
+        assert fuzzy_digest(b"") is None
+        assert fuzzy_digest(b"x" * (MIN_FUZZY_LEN - 1)) is None
+
+    def test_uniform_input_has_no_digest(self):
+        # All-identical windows leave the bucket quartiles degenerate;
+        # a digest of that would match everything.
+        assert fuzzy_digest(b"\x00" * 400) is None
+
+    def test_different_content_different_digest(self):
+        assert fuzzy_digest(_blob(seed=1)) != fuzzy_digest(_blob(seed=2))
+
+
+class TestDistance:
+    def test_self_distance_zero(self):
+        digest = fuzzy_digest(_blob())
+        assert fuzzy_distance(digest, digest) == 0
+
+    def test_symmetry(self):
+        a = fuzzy_digest(_blob(seed=1))
+        b = fuzzy_digest(_blob(seed=2))
+        assert fuzzy_distance(a, b) == fuzzy_distance(b, a)
+
+    def test_small_perturbation_closer_than_rewrite(self):
+        base = _blob(seed=3, size=600)
+        tweaked = bytearray(base)
+        tweaked[10:14] = b"\x01\x02\x03\x04"  # a few bytes changed
+        rewritten = _blob(seed=9, size=600)   # unrelated content
+        d_base = fuzzy_digest(base)
+        near = fuzzy_distance(d_base, fuzzy_digest(bytes(tweaked)))
+        far = fuzzy_distance(d_base, fuzzy_digest(rewritten))
+        assert near < far
+
+    def test_rejects_malformed_digests(self):
+        good = fuzzy_digest(_blob())
+        with pytest.raises(ValueError):
+            fuzzy_distance(good, "abc")
+        with pytest.raises(ValueError):
+            fuzzy_distance("", good)

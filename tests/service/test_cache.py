@@ -271,3 +271,63 @@ class TestDiskBackend:
         cache.put("b", _outcome("b"))
         assert len(cache) == 2
         assert "a" in cache and "c" not in cache
+
+    def test_index_stats_round_trip(self, tmp_path):
+        stats = {"bodies_emitted": 3, "bodies_replayed": 9,
+                 "corpus_known": 9, "corpus_new": 3}
+        cache = RevealCache(str(tmp_path))
+        cache.put("idx", _outcome("idx.app", index_stats=stats))
+        loaded = RevealCache(str(tmp_path)).get("idx")
+        assert loaded is not None
+        assert loaded.index_stats == stats
+
+
+class TestDiskCorruptionTolerance:
+    """Corrupt or truncated on-disk entries degrade to misses.
+
+    A batch sharing its cache directory with a crashed or concurrent
+    writer must never die on a half-written record: every corruption
+    flavour is a miss (the reveal recomputes), reported through one
+    warning per cache instance rather than one per probe.
+    """
+
+    def _corrupt_entries(self, tmp_path):
+        (tmp_path / "truncated.json").write_text('{"version": 1, "app_')
+        (tmp_path / "notdict.json").write_text('["a", "list"]')
+        (tmp_path / "barekeys.json").write_text('{"version": 1}')
+        return ["truncated", "notdict", "barekeys"]
+
+    def test_every_corruption_flavour_is_a_miss(self, tmp_path):
+        cache = RevealCache(str(tmp_path))
+        for key in self._corrupt_entries(tmp_path):
+            assert cache.get(key) is None, key
+
+    def test_corrupt_entries_do_not_hide_good_ones(self, tmp_path):
+        cache = RevealCache(str(tmp_path))
+        cache.put("good", _outcome("good.app"))
+        self._corrupt_entries(tmp_path)
+        assert cache.get("truncated") is None
+        loaded = cache.get("good")
+        assert loaded is not None and loaded.app_id == "good.app"
+
+    def test_warns_once_per_instance(self, tmp_path, caplog):
+        import logging
+
+        cache = RevealCache(str(tmp_path))
+        keys = self._corrupt_entries(tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.service.cache"):
+            for key in keys + keys:  # six corrupt probes
+                assert cache.get(key) is None
+        warnings = [r for r in caplog.records
+                    if r.name == "repro.service.cache"]
+        assert len(warnings) == 1
+        assert "corrupt" in warnings[0].getMessage()
+
+    def test_missing_file_is_a_silent_miss(self, tmp_path, caplog):
+        import logging
+
+        cache = RevealCache(str(tmp_path))
+        with caplog.at_level(logging.WARNING, logger="repro.service.cache"):
+            assert cache.get("never-written") is None
+        assert not [r for r in caplog.records
+                    if r.name == "repro.service.cache"]

@@ -114,3 +114,51 @@ class TestWatchVersionGuard:
                                      apk=Apk("g.app", "Lg/App;", [])))
         assert main(["watch", "--store", directory]) == 0
         assert main(["status", "--store", directory, "--json"]) == 0
+
+
+class TestMissingStoreGuard:
+    """``status``/``watch`` over a path that is not a job store.
+
+    These are read-only inspection commands: a typo'd ``--store`` must
+    exit 2 with one diagnostic line — not scaffold an empty store and
+    render an empty queue (which ``watch --follow`` would then tail
+    until its timeout).
+    """
+
+    def test_status_on_nonexistent_path_exits_two(self, tmp_path, capsys):
+        path = str(tmp_path / "no-such-store")
+        assert main(["status", "--store", path]) == 2
+        captured = capsys.readouterr()
+        assert "no job store at" in captured.err
+        assert "Traceback" not in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert not os.path.exists(path)  # nothing was scaffolded
+
+    def test_watch_on_nonexistent_path_exits_two(self, tmp_path, capsys):
+        path = str(tmp_path / "no-such-store")
+        assert main(["watch", "--store", path]) == 2
+        assert "no job store at" in capsys.readouterr().err
+        assert not os.path.exists(path)
+
+    def test_watch_follow_returns_immediately(self, tmp_path, capsys):
+        # Before the guard, --follow on a missing store would tail an
+        # auto-created empty queue until --timeout expired.
+        path = str(tmp_path / "no-such-store")
+        assert main(["watch", "--store", path, "--follow",
+                     "--timeout", "30"]) == 2
+
+    def test_store_path_that_is_a_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "a-file"
+        path.write_text("not a store")
+        assert main(["status", "--store", str(path)]) == 2
+        assert "no job store at" in capsys.readouterr().err
+
+    def test_directory_without_jobs_is_not_mutated(self, tmp_path, capsys):
+        # A real directory that is not a store must be refused without
+        # JobStore scaffolding ``jobs/`` inside it.
+        path = tmp_path / "plain-dir"
+        path.mkdir()
+        (path / "unrelated.txt").write_text("keep me")
+        assert main(["status", "--store", str(path)]) == 2
+        assert "no job store at" in capsys.readouterr().err
+        assert sorted(os.listdir(path)) == ["unrelated.txt"]
