@@ -14,8 +14,8 @@ BENCH_BASELINE ?= bench-smoke-timings.json
 SERVE_SMOKE_STORE ?= .serve-smoke
 
 .PHONY: test test-determinism bench bench-batch bench-force bench-interp \
-        bench-index bench-smoke bench-check serve-smoke profile lint ci \
-        all help
+        bench-index bench-smoke bench-check serve-smoke gateway-smoke \
+        profile lint ci all help
 
 help:
 	@echo "make test        - tier-1 verify: full pytest suite (-x -q)"
@@ -28,9 +28,10 @@ help:
 	@echo "make bench-smoke - every benchmark once in quick mode (--benchmark-disable); timing JSON to $(BENCH_TIMINGS)"
 	@echo "make bench-check - gate $(BENCH_TIMINGS) against the committed $(BENCH_BASELINE) (>25% total regression fails)"
 	@echo "make serve-smoke - boot the reveal server, submit two jobs, assert clean shutdown"
+	@echo "make gateway-smoke - gateway + 2 fleet workers: HTTP submit, fetch artifact, diff vs in-process"
 	@echo "make profile     - cProfile one reveal, print top-20 cumulative (tools/profile_reveal.py)"
 	@echo "make lint        - byte-compile everything (syntax floor; uses pyflakes when present)"
-	@echo "make ci          - exactly what the CI workflow runs: lint + test + bench-smoke + bench-check + serve-smoke"
+	@echo "make ci          - exactly what the CI workflow runs: lint + test + bench-smoke + bench-check + serve-smoke + gateway-smoke"
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -91,6 +92,13 @@ serve-smoke:
 		print('serve-smoke: 2 job(s) done, clean shutdown')"
 	rm -rf $(SERVE_SMOKE_STORE)
 
+# End-to-end fleet smoke: boot the HTTP gateway on an ephemeral port,
+# race two workers over its store, submit a two-app corpus over real
+# HTTP, and assert every revealed APK (and its fetched artifact) is
+# byte-identical to the in-process reveal of the same APK.
+gateway-smoke:
+	$(PYTHONPATH_SRC) $(PYTHON) tools/gateway_smoke.py
+
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples tools
 	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
@@ -101,7 +109,7 @@ lint:
 
 # Mirrors .github/workflows/ci.yml: the test job runs lint + test +
 # test-determinism, the bench-smoke job runs bench-smoke + bench-check
-# + serve-smoke.
-ci: lint test test-determinism bench-smoke bench-check serve-smoke
+# + serve-smoke + gateway-smoke.
+ci: lint test test-determinism bench-smoke bench-check serve-smoke gateway-smoke
 
 all: lint test

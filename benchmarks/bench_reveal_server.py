@@ -4,7 +4,7 @@ Not a paper table: this measures the job-oriented server the
 reproduction adds on top of the batch service.  One F-Droid corpus is
 pushed through three shapes:
 
-* ``batch``  — the ``reveal_batch`` façade (submit_all + await_all on
+* ``batch``  — the ``reveal_batch`` façade (submit_many + await_many on
   an ephemeral server), the drop-in replacement for the old pool;
 * ``lanes``  — the same jobs submitted across high/normal/low priority
   lanes against a single worker, verifying lane order is honoured and
@@ -87,8 +87,8 @@ def test_server_throughput_and_lanes(benchmark):
         started = time.perf_counter()
         server = RevealServer(workers=WORKERS)
         stream = server.events()
-        handles = server.submit_all(jobs)
-        server.await_all(handles)
+        handles = server.submit_many(jobs)
+        server.await_many(handles)
         server.close()
         consumed = list(stream)
         results["events"] = {

@@ -71,7 +71,7 @@ def main() -> None:
 
     server.cancel(handles["doomed"].job_id)
     server.start()
-    outcomes = server.await_all()
+    outcomes = server.await_many()
     server.close()
 
     print("\n== completion order (lanes honoured) ==")

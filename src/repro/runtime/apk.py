@@ -82,12 +82,20 @@ class Apk:
                 "activities": self.activities,
                 "native_libraries": self.native_libraries,
             }
-            zf.writestr("manifest.json", json.dumps(manifest, indent=2))
+            entries = [("manifest.json",
+                        json.dumps(manifest, indent=2).encode("utf-8"))]
             for i, dex in enumerate(self.dex_files):
                 name = "classes.dex" if i == 0 else f"classes{i + 1}.dex"
-                zf.writestr(name, write_dex(dex))
+                entries.append((name, write_dex(dex)))
             for path, data in sorted(self.assets.items()):
-                zf.writestr(f"assets/{path}", data)
+                entries.append((f"assets/{path}", data))
+            for name, data in entries:
+                # Fixed timestamps keep serialisation a pure function
+                # of content: equal APKs produce equal bytes (and equal
+                # content-addressed artifact digests) across runs.
+                info = zipfile.ZipInfo(name, date_time=(1980, 1, 1, 0, 0, 0))
+                info.compress_type = zipfile.ZIP_DEFLATED
+                zf.writestr(info, data)
         return buffer.getvalue()
 
     @classmethod

@@ -19,17 +19,44 @@ the paper's evaluation (markets, app stores, analysis fleets):
   records (ok / crashed / budget-exceeded / verify-failed / error)
 * :class:`~repro.service.stats.BatchReport` — aggregate throughput
   (apps/sec, cache hit rate, p50/p95 latency and queue wait)
+* :class:`~repro.service.api.SubmitAPI` — the one submit/poll/await
+  protocol :class:`RevealServer`, :class:`BatchRevealService` and
+  :class:`~repro.service.http_client.GatewayClient` all implement
+* :class:`~repro.service.gateway.RevealGateway` /
+  :class:`~repro.service.worker.RevealWorker` /
+  :class:`~repro.service.artifacts.ArtifactStore` — the HTTP front
+  end, the lease-pulling worker fleet, and the content-addressed
+  artifact store they share
 * ``python -m repro.service`` — the batch + server CLI
   (``reveal-batch``, ``reassemble``, ``serve``, ``submit``, ``status``,
-  ``watch``)
+  ``watch``, ``gateway``, ``worker``)
 """
 
+from repro.service.api import SubmitAPI
+from repro.service.artifacts import (
+    ArtifactStore,
+    artifact_digest,
+    is_artifact_digest,
+)
 from repro.service.batch import (
     BACKENDS,
     BatchRevealService,
     RevealJob,
     default_worker_count,
     set_default_workers,
+)
+from repro.service.gateway import RevealGateway
+from repro.service.http_client import (
+    GatewayClient,
+    GatewayError,
+    RemoteJobHandle,
+)
+from repro.service.worker import (
+    ARTIFACT_COLLECTION,
+    ARTIFACT_REVEALED_APK,
+    ARTIFACT_REVEALED_DEX,
+    RevealWorker,
+    WorkerReport,
 )
 from repro.service.events import (
     ALL_EVENTS,
@@ -48,6 +75,10 @@ from repro.service.events import (
     JobEvent,
 )
 from repro.service.jobs import (
+    HEARTBEAT_CANCELLED,
+    HEARTBEAT_LOST,
+    HEARTBEAT_OK,
+    LEASE_TTL_DEFAULT_S,
     PRIORITIES,
     PRIORITY_HIGH,
     PRIORITY_LOW,
@@ -80,6 +111,10 @@ from repro.service.stats import BatchReport, percentile
 __all__ = [
     "ALL_EVENTS",
     "ALL_STATUSES",
+    "ARTIFACT_COLLECTION",
+    "ARTIFACT_REVEALED_APK",
+    "ARTIFACT_REVEALED_DEX",
+    "ArtifactStore",
     "BACKENDS",
     "BatchReport",
     "BatchRevealService",
@@ -95,28 +130,41 @@ __all__ = [
     "EVENT_WAVE",
     "EventBus",
     "EventStream",
+    "GatewayClient",
+    "GatewayError",
+    "HEARTBEAT_CANCELLED",
+    "HEARTBEAT_LOST",
+    "HEARTBEAT_OK",
     "JobEvent",
     "JobHandle",
     "JobState",
     "JobStore",
+    "LEASE_TTL_DEFAULT_S",
     "PRIORITIES",
     "PRIORITY_HIGH",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",
     "QueueFull",
+    "RemoteJobHandle",
     "RevealCache",
+    "RevealGateway",
     "RevealJob",
     "RevealOutcome",
     "RevealServer",
+    "RevealWorker",
     "STATUS_BUDGET_EXCEEDED",
     "STATUS_CRASHED",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_VERIFY_FAILED",
+    "SubmitAPI",
     "TERMINAL_EVENTS",
+    "WorkerReport",
     "apk_content_key",
+    "artifact_digest",
     "classify_result",
     "default_worker_count",
+    "is_artifact_digest",
     "percentile",
     "pipeline_config_key",
     "resolve_priority",

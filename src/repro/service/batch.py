@@ -19,8 +19,8 @@ run it over *corpora*.  This module is that production posture:
 
 Since the job-server redesign, ``reveal_batch`` is a façade:
 ``thread``/``serial`` corpora run through an ephemeral
-:class:`~repro.service.server.RevealServer` (``submit_all`` +
-``await_all``), which is also where incremental submission, priorities,
+:class:`~repro.service.server.RevealServer` (``submit_many`` +
+``await_many``), which is also where incremental submission, priorities,
 cancellation and the unified event stream live for callers that want
 more than call-and-wait.
 
@@ -52,7 +52,9 @@ from repro.core.pipeline import DexLego
 from repro.errors import StageError, VerificationError
 from repro.runtime.apk import Apk
 from repro.runtime.device import DeviceProfile
+from repro.service.api import SubmitAPI, warn_deprecated
 from repro.service.cache import RevealCache, reveal_cache_key
+from repro.service.jobs import PRIORITY_NORMAL
 from repro.service.outcomes import (
     STATUS_ERROR,
     STATUS_VERIFY_FAILED,
@@ -118,8 +120,15 @@ class RevealJob:
         return self.drive is None or bool(self.cache_salt)
 
 
-class BatchRevealService:
-    """Parallel, cached collect→reassemble→verify over an APK corpus."""
+class BatchRevealService(SubmitAPI):
+    """Parallel, cached collect→reassemble→verify over an APK corpus.
+
+    As a :class:`~repro.service.api.SubmitAPI` implementation, the
+    service also accepts incremental submissions directly: the first
+    :meth:`submit` lazily boots an internal
+    :class:`~repro.service.server.RevealServer` (shared config, shared
+    cache) that :meth:`close` shuts down.
+    """
 
     def __init__(
         self,
@@ -167,6 +176,11 @@ class BatchRevealService:
         # ``index_dir`` travelling inside the config dict.
         self._index = None
         self._index_lock = threading.Lock()
+        # Lazily booted by the first direct submit(); owned and closed
+        # by this service.  reveal_batch keeps its own ephemeral server
+        # so call-and-wait corpora never leave a pool lingering.
+        self._submit_server = None
+        self._submit_lock = threading.Lock()
 
     # Attribute views kept for callers that read the old constructor
     # fields off the instance.
@@ -265,35 +279,69 @@ class BatchRevealService:
             "workers", 1 if self.backend == "serial" else self.workers)
         return RevealServer(service=self, **kwargs)
 
-    def submit_all(self, jobs: Iterable[RevealJob | Apk], server,
+    # -- SubmitAPI ----------------------------------------------------------
+
+    def _ensure_server(self):
+        with self._submit_lock:
+            if self._submit_server is None:
+                self._submit_server = self.server()
+            return self._submit_server
+
+    def submit(self, job: RevealJob | Apk, *, priority=PRIORITY_NORMAL,
+               **kwargs):
+        """Enqueue one job on the service's internal server."""
+        return self._ensure_server().submit(job, priority=priority,
+                                            **kwargs)
+
+    def poll(self, job_id: str):
+        return self._ensure_server().poll(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        return self._ensure_server().cancel(job_id)
+
+    def handles(self) -> list:
+        with self._submit_lock:
+            server = self._submit_server
+        return [] if server is None else server.handles()
+
+    def close(self, drain: bool = True) -> None:
+        """Shut down the internal submit server (no-op without one)."""
+        with self._submit_lock:
+            server, self._submit_server = self._submit_server, None
+        if server is not None:
+            server.close(drain=drain)
+
+    def __enter__(self) -> "BatchRevealService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # -- deprecated legacy delegates ----------------------------------------
+
+    def submit_all(self, jobs: Iterable[RevealJob | Apk], server=None,
                    priority=None) -> list:
-        """Submit a corpus to ``server``; returns the job handles.
-
-        A delegate kept for symmetry with ``await_all`` — the server's
-        own :meth:`~repro.service.server.RevealServer.submit_all` is
-        the implementation (including the Apk→RevealJob coercion).
-        """
+        """Deprecated: ``submit_many`` (on a server, or on the service
+        itself) is the surviving spelling.  The pre-protocol form took
+        the target server positionally; that shape still works."""
+        warn_deprecated("BatchRevealService.submit_all", "submit_many")
+        target = self if server is None else server
         if priority is None:
-            return server.submit_all(jobs)
-        return server.submit_all(jobs, priority=priority)
+            return target.submit_many(jobs)
+        return target.submit_many(jobs, priority=priority)
 
-    @staticmethod
-    def await_all(handles) -> list[RevealOutcome]:
-        """Block until every handle resolves; outcomes in handle order
-        (cancelled jobs, which produce none, are skipped)."""
-        outcomes = []
-        for handle in handles:
-            outcome = handle.wait()
-            if outcome is not None:
-                outcomes.append(outcome)
-        return outcomes
+    def await_all(self, handles=None, timeout=None) -> list[RevealOutcome]:
+        """Deprecated alias of :meth:`await_many` (handles may come
+        from any server — only ``handle.wait`` is used)."""
+        warn_deprecated("BatchRevealService.await_all", "await_many")
+        return self.await_many(handles, timeout=timeout)
 
     def reveal_batch(self, jobs: Iterable[RevealJob | Apk]) -> BatchReport:
         """Run a corpus; outcomes come back in submission order.
 
         A thin façade over the job server: cache hits resolve in the
         calling thread (a warm corpus never pays for queueing), then
-        the misses run as ``submit_all`` + ``await_all`` against an
+        the misses run as ``submit`` + ``wait`` against an
         ephemeral :class:`~repro.service.server.RevealServer`.  The
         ``process`` backend keeps its dedicated pool — process workers
         rebuild the pipeline from picklable primitives, which is not a

@@ -13,6 +13,11 @@ Usage::
     python -m repro.service status --store /tmp/q
     python -m repro.service watch  --store /tmp/q --follow
 
+    # The HTTP gateway and the worker fleet over the same store:
+    python -m repro.service gateway --store /tmp/q --port 8080
+    python -m repro.service worker  --store /tmp/q --linger 60
+    python -m repro.service submit  --url http://127.0.0.1:8080 --limit 2
+
     # The corpus index (cross-app method dedup):
     python -m repro.service reveal-batch --index-dir /tmp/idx
     python -m repro.service index build --index-dir /tmp/idx /path/to/archive
@@ -61,9 +66,18 @@ from repro.core.exploration import (
     STRATEGY_BFS,
 )
 from repro.service.batch import BACKENDS, BatchRevealService, RevealJob
+from repro.service.cli_contract import (
+    EXIT_OK,
+    EXIT_USAGE,
+    exit_for_failures,
+    failure,
+    usage_error,
+)
 from repro.service.jobs import (
+    LEASE_TTL_DEFAULT_S,
     PRIORITIES,
     STORE_FORMAT_VERSION,
+    JobHandle,
     JobState,
     JobStore,
     resolve_priority,
@@ -152,6 +166,44 @@ def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
                              "bit-identical either way (default: thread)")
 
 
+def registry_warmer():
+    """A once-per-app native-library warmer over journalled records.
+
+    Generated corpus apps register their native libraries as a
+    process-global side effect of generation; journalled APK bytes
+    carry only the library *names*.  The returned callable regenerates
+    each app named in a record's ``meta.corpus`` once, so the process
+    executing it (``serve`` loop or fleet ``worker``) can run its
+    native methods — per-app for the spec-driven corpora, whole-corpus
+    otherwise.
+    """
+    warmed: set[tuple[str, str]] = set()
+
+    def warm(records: list[dict]) -> None:
+        for record in records:
+            corpus = record.get("meta", {}).get("corpus")
+            key = (corpus or "", record.get("app_id", ""))
+            if not corpus or key in warmed:
+                continue
+            warmed.add(key)
+            try:
+                if corpus == "fdroid":
+                    from repro.benchsuite.fdroid_apps import build_fdroid_app
+
+                    build_fdroid_app(record["app_id"])
+                elif corpus == "aosp":
+                    from repro.benchsuite.aosp_apps import build_aosp_app
+
+                    build_aosp_app(record["app_id"])
+                elif (corpus, "") not in warmed:
+                    warmed.add((corpus, ""))
+                    build_corpus_jobs(corpus)
+            except Exception:
+                pass  # unknown corpus/app: its jobs run without natives
+
+    return warm
+
+
 def _service_from(args, backend: str | None = None) -> BatchRevealService:
     return BatchRevealService(
         use_force_execution=args.force_execution,
@@ -222,10 +274,17 @@ def main(argv: list[str] | None = None) -> int:
 
     submit = sub.add_parser(
         "submit",
-        help="journal corpus jobs into a store (no server required)",
+        help="journal corpus jobs into a store (no server required) "
+             "or POST them to a gateway with --url",
     )
-    submit.add_argument("--store", required=True,
+    submit.add_argument("--store", default=None,
                         help="job-store directory the server will drain")
+    submit.add_argument("--url", default=None,
+                        help="submit over HTTP to a running gateway "
+                             "instead of writing the store directly")
+    submit.add_argument("--token", default=None,
+                        help="bearer token for a tenant-scoped gateway "
+                             "(--url only)")
     submit.add_argument("--corpus", choices=CORPORA, default="fdroid",
                         help="which benchsuite corpus to submit")
     submit.add_argument("--limit", type=int, default=None,
@@ -237,6 +296,65 @@ def main(argv: list[str] | None = None) -> int:
                         help="run only the JIT-collection half")
     submit.add_argument("--json", action="store_true",
                         help="emit the submitted job ids as JSON")
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="serve the HTTP reveal API in front of a job store",
+    )
+    gateway.add_argument("--store", required=True,
+                         help="job-store directory the fleet shares")
+    gateway.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    gateway.add_argument("--port", type=int, default=8080,
+                         help="bind port; 0 picks an ephemeral one "
+                              "(default: 8080)")
+    gateway.add_argument("--tenant", action="append", default=None,
+                         metavar="TOKEN:NAME",
+                         help="add one tenant (repeatable); with any "
+                              "--tenant, requests must send "
+                              "'Authorization: Bearer TOKEN'")
+    gateway.add_argument("--rate-limit", type=int, default=None,
+                         help="per-tenant requests per minute "
+                              "(default: unlimited)")
+    gateway.add_argument("--max-active", type=int, default=None,
+                         help="per-tenant cap on jobs queued or running "
+                              "(default: unlimited)")
+    gateway.add_argument("--duration", type=float, default=None,
+                         help="serve for this many seconds then exit "
+                              "(default: until interrupted)")
+    gateway.add_argument("--json", action="store_true",
+                         help="announce the bound URL as JSON")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join the worker fleet: lease jobs from a store and "
+             "reveal them",
+    )
+    worker.add_argument("--store", required=True,
+                        help="job-store directory the fleet shares")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable fleet identity "
+                             "(default: host-pid-random)")
+    worker.add_argument("--lease-ttl", type=float,
+                        default=LEASE_TTL_DEFAULT_S,
+                        help="seconds a lease survives without a "
+                             f"heartbeat (default: {LEASE_TTL_DEFAULT_S})")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after this many jobs (default: "
+                             "drain the store)")
+    worker.add_argument("--linger", type=float, default=0.0,
+                        help="after draining, keep polling for new work "
+                             "this many seconds (default: exit once "
+                             "drained)")
+    worker.add_argument("--poll-interval", type=float, default=0.5,
+                        help="store poll period while lingering "
+                             "(default: 0.5s)")
+    worker.add_argument("--workers", type=int, default=1,
+                        help="thread-pool width inside this worker's "
+                             "pipeline service (default: 1)")
+    _add_pipeline_flags(worker)
+    worker.add_argument("--json", action="store_true",
+                        help="emit a machine-readable drain report")
 
     index_p = sub.add_parser(
         "index",
@@ -318,6 +436,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "submit":
         return _run_submit(args)
+    if args.command == "gateway":
+        return _run_gateway(args)
+    if args.command == "worker":
+        return _run_worker(args)
     if args.command == "status":
         return _run_status(args)
     if args.command == "watch":
@@ -327,9 +449,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         service = _service_from(args)
     except OSError as exc:
-        print(f"cannot use cache dir {args.cache_dir!r}: {exc}",
-              file=sys.stderr)
-        return 2
+        return usage_error(f"cannot use cache dir {args.cache_dir!r}: {exc}")
     report = service.reveal_batch(jobs)
 
     if args.json:
@@ -366,12 +486,12 @@ def main(argv: list[str] | None = None) -> int:
 
     hard_failures = {STATUS_ERROR, STATUS_VERIFY_FAILED}
     if any(o.status in hard_failures for o in report.outcomes):
-        return 1
+        return failure()
     # An all-failure report (nothing resolved ``ok``) must not exit 0:
     # a calling script would read total failure as success.
     if report.total and report.ok_count == 0:
-        return 1
-    return 0
+        return failure()
+    return EXIT_OK
 
 
 def _run_serve(args) -> int:
@@ -384,35 +504,7 @@ def _run_serve(args) -> int:
     """
     from repro.service.server import RevealServer
 
-    warmed: set[tuple[str, str]] = set()
-
-    def warm_native_registries(records: list[dict]) -> None:
-        # Generated corpus apps register their native libraries as a
-        # process-global side effect of generation; journalled APK
-        # bytes carry only the library *names*.  Regenerate each app
-        # named in the journal once so this process can execute it
-        # (per-app for the spec-driven corpora, whole-corpus otherwise).
-        for record in records:
-            corpus = record.get("meta", {}).get("corpus")
-            key = (corpus or "", record.get("app_id", ""))
-            if not corpus or key in warmed:
-                continue
-            warmed.add(key)
-            try:
-                if corpus == "fdroid":
-                    from repro.benchsuite.fdroid_apps import build_fdroid_app
-
-                    build_fdroid_app(record["app_id"])
-                elif corpus == "aosp":
-                    from repro.benchsuite.aosp_apps import build_aosp_app
-
-                    build_aosp_app(record["app_id"])
-                elif (corpus, "") not in warmed:
-                    warmed.add((corpus, ""))
-                    build_corpus_jobs(corpus)
-            except Exception:
-                pass  # unknown corpus/app: its jobs run without natives
-
+    warm_native_registries = registry_warmer()
     try:
         store = JobStore(args.store)
         warm_native_registries(store.load_all())
@@ -428,8 +520,7 @@ def _run_serve(args) -> int:
                               store=store, observers=progress,
                               keep_results=False)
     except OSError as exc:
-        print(f"cannot use store {args.store!r}: {exc}", file=sys.stderr)
-        return 2
+        return usage_error(f"cannot use store {args.store!r}: {exc}")
     deadline = time.monotonic() + max(0.0, args.linger)
     while True:
         # One journal read per tick, shared by the native-registry
@@ -456,36 +547,155 @@ def _run_serve(args) -> int:
               f"[{breakdown}]; clean shutdown")
     # Mirror reveal-batch's exit-code contract: a drain that left
     # failed jobs behind must not look like success to the caller.
-    return 1 if processed.get(JobState.FAILED) else 0
+    return exit_for_failures(processed.get(JobState.FAILED, 0))
 
 
 def _run_submit(args) -> int:
-    """The ``submit`` subcommand: journal queued records, no server."""
+    """The ``submit`` subcommand: journal queued records (``--store``)
+    or POST them to a running gateway (``--url``)."""
+    if bool(args.store) == bool(args.url):
+        return usage_error("pass exactly one of --store or --url")
     try:
         jobs = build_corpus_jobs(args.corpus, args.limit)
-        store = JobStore(args.store)
-    except OSError as exc:
-        print(f"cannot use store {args.store!r}: {exc}", file=sys.stderr)
-        return 2
+    except ValueError as exc:
+        return usage_error(str(exc))
     lane = resolve_priority(args.priority)
     job_ids = []
-    for job in jobs:
-        job_id = f"job-{uuid.uuid4().hex[:10]}"
-        store.save(store.make_record(
-            job_id=job_id, app_id=job.app_id, apk=job.apk,
-            priority=lane, collect_only=args.collect_only,
-            cache_salt=job.cache_salt, device=job.device,
-            metadata={"corpus": args.corpus},
-        ))
-        job_ids.append({"job_id": job_id, "app_id": job.app_id})
+    if args.url:
+        from repro.service.http_client import GatewayClient, GatewayError
+
+        client = GatewayClient(args.url, token=args.token)
+        try:
+            for job in jobs:
+                job.collect_only = args.collect_only
+                handle = client.submit(job, priority=lane,
+                                       meta={"corpus": args.corpus})
+                job_ids.append({"job_id": handle.job_id,
+                                "app_id": job.app_id})
+        except GatewayError as exc:
+            return usage_error(str(exc))
+        except OSError as exc:
+            return usage_error(f"cannot reach gateway {args.url!r}: {exc}")
+        target = args.url
+    else:
+        try:
+            store = JobStore(args.store)
+        except OSError as exc:
+            return usage_error(f"cannot use store {args.store!r}: {exc}")
+        for job in jobs:
+            job_id = f"job-{uuid.uuid4().hex[:10]}"
+            store.save(store.make_record(
+                job_id=job_id, app_id=job.app_id, apk=job.apk,
+                priority=lane, collect_only=args.collect_only,
+                cache_salt=job.cache_salt, device=job.device,
+                metadata={"corpus": args.corpus},
+            ))
+            job_ids.append({"job_id": job_id, "app_id": job.app_id})
+        target = args.store
     if args.json:
-        print(json.dumps({"store": args.store, "submitted": job_ids},
+        print(json.dumps({"target": target, "store": args.store,
+                          "url": args.url, "submitted": job_ids},
                          indent=2))
     else:
         for entry in job_ids:
             print(f"queued {entry['job_id']} ({entry['app_id']})")
-        print(f"submitted {len(job_ids)} job(s) to {args.store}")
-    return 0
+        print(f"submitted {len(job_ids)} job(s) to {target}")
+    return EXIT_OK
+
+
+def _run_gateway(args) -> int:
+    """The ``gateway`` subcommand: HTTP front end over one store."""
+    from repro.service.gateway import RevealGateway
+
+    tenants: dict[str, str] = {}
+    for spec in args.tenant or ():
+        token, sep, name = spec.partition(":")
+        if not sep or not token or not name:
+            return usage_error(f"--tenant expects TOKEN:NAME, "
+                               f"got {spec!r}")
+        tenants[token] = name
+    try:
+        gateway = RevealGateway(
+            JobStore(args.store),
+            host=args.host, port=args.port,
+            tenants=tenants or None,
+            rate_limit_per_min=args.rate_limit,
+            max_active_per_tenant=args.max_active,
+        ).start()
+    except OSError as exc:
+        return usage_error(f"cannot serve store {args.store!r}: {exc}")
+    if args.json:
+        print(json.dumps({"url": gateway.url, "store": args.store,
+                          "tenants": sorted(tenants.values())}),
+              flush=True)
+    else:
+        print(f"gateway listening on {gateway.url} "
+              f"(store {args.store})", flush=True)
+    try:
+        if args.duration is None:
+            while True:
+                time.sleep(3600)
+        else:
+            time.sleep(max(0.0, args.duration))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gateway.close()
+    return EXIT_OK
+
+
+def _run_worker(args) -> int:
+    """The ``worker`` subcommand: one fleet member draining a store.
+
+    The outer loop interleaves native-registry warming with claim
+    sweeps so corpus jobs submitted *while* the worker lingers still
+    find their native libraries registered.
+    """
+    from repro.service.worker import RevealWorker
+
+    try:
+        store = JobStore(args.store)
+        service = _service_from(args, backend="thread")
+        worker = RevealWorker(
+            store, service=service, worker_id=args.worker_id,
+            lease_ttl_s=args.lease_ttl,
+            poll_interval_s=args.poll_interval,
+        )
+    except OSError as exc:
+        return usage_error(f"cannot use store {args.store!r}: {exc}")
+    warm_native_registries = registry_warmer()
+    totals = {"processed": 0, "done": 0, "failed": 0,
+              "cancelled": 0, "lost": 0}
+    deadline = time.monotonic() + max(0.0, args.linger)
+    while True:
+        warm_native_registries(store.load_all())
+        remaining = (None if args.max_jobs is None
+                     else args.max_jobs - totals["processed"])
+        report = worker.run(max_jobs=remaining, linger_s=0.0)
+        for key in totals:
+            totals[key] += getattr(report, key)
+        if not args.json and report.processed:
+            for job_id in report.job_ids:
+                print(f"[{worker.worker_id}] finished {job_id}")
+        if report.processed:
+            deadline = time.monotonic() + max(0.0, args.linger)
+        if args.max_jobs is not None \
+                and totals["processed"] >= args.max_jobs:
+            break
+        if time.monotonic() >= deadline:
+            break
+        time.sleep(min(args.poll_interval,
+                       max(0.0, deadline - time.monotonic())))
+    if args.json:
+        print(json.dumps({"store": args.store,
+                          "worker_id": worker.worker_id, **totals},
+                         indent=2))
+    else:
+        breakdown = "  ".join(f"{k}={n}" for k, n in totals.items() if n) \
+            or "(nothing claimed)"
+        print(f"worker {worker.worker_id}: {totals['processed']} job(s) "
+              f"[{breakdown}]")
+    return exit_for_failures(totals["failed"])
 
 
 def _open_store_readonly(path: str) -> JobStore | None:
@@ -498,47 +708,35 @@ def _open_store_readonly(path: str) -> JobStore | None:
         # Covers a nonexistent path, a plain file, and a real directory
         # that simply is not a store — none of which may be mutated
         # (JobStore would otherwise scaffold ``jobs/`` inside it).
-        print(f"no job store at {path!r}", file=sys.stderr)
+        usage_error(f"no job store at {path!r}")
         return None
     try:
         store = JobStore(path, create=False)
         foreign = store.foreign_version_jobs()
     except OSError as exc:
-        print(f"cannot read store {path!r}: {exc}", file=sys.stderr)
+        usage_error(f"cannot read store {path!r}: {exc}")
         return None
     if foreign:
         job_id, version = foreign[0]
-        print(f"store {path!r} holds {len(foreign)} record(s) with "
-              f"format version {version!r} (e.g. {job_id}); this build "
-              f"reads version {STORE_FORMAT_VERSION}", file=sys.stderr)
+        usage_error(f"store {path!r} holds {len(foreign)} record(s) with "
+                    f"format version {version!r} (e.g. {job_id}); this "
+                    f"build reads version {STORE_FORMAT_VERSION}")
         return None
     return store
 
 
 def _run_status(args) -> int:
-    """The ``status`` subcommand: the journal as a table (or JSON)."""
+    """The ``status`` subcommand: the journal as a table (or JSON).
+
+    Rows are :meth:`JobHandle.to_dict` — the same wire shape the
+    gateway's ``GET /v1/jobs/<id>`` serves, so scripts parse one
+    vocabulary whichever surface they read.
+    """
     store = _open_store_readonly(args.store)
     if store is None:
-        return 2
-    records = store.load_all()
-    rows = []
-    for record in records:
-        outcome = record.get("outcome") or {}
-        started = record.get("started_at")
-        finished = record.get("finished_at")
-        submitted = record.get("submitted_at", 0.0)
-        wait_s = (started - submitted) if started else 0.0
-        run_s = (finished - started) if started and finished else 0.0
-        rows.append({
-            "job_id": record["job_id"],
-            "app_id": record.get("app_id", ""),
-            "state": record.get("state", "?"),
-            "priority": record.get("priority", 1),
-            "queue_wait_s": round(max(0.0, wait_s), 6),
-            "run_s": round(max(0.0, run_s), 6),
-            "status": outcome.get("status", ""),
-            "error": record.get("error", ""),
-        })
+        return EXIT_USAGE
+    rows = [JobHandle.from_record(record).to_dict()
+            for record in store.load_all()]
     if args.json:
         counts: dict[str, int] = {}
         for row in rows:
@@ -571,7 +769,7 @@ def _run_watch(args) -> int:
     """The ``watch`` subcommand: print (and optionally tail) events."""
     store = _open_store_readonly(args.store)
     if store is None:
-        return 2
+        return EXIT_USAGE
 
     def render(event: dict) -> str:
         payload = event.get("payload", {})
@@ -614,10 +812,9 @@ def _run_watch(args) -> int:
                 break
             check_terminal = False
         if time.monotonic() >= deadline:
-            print("watch: timeout with jobs still pending", file=sys.stderr)
-            return 1
+            return failure("watch: timeout with jobs still pending")
         time.sleep(0.2)
-    return 0
+    return EXIT_OK
 
 
 def _open_index_readonly(path: str):
@@ -629,13 +826,13 @@ def _open_index_readonly(path: str):
     try:
         return CorpusIndex(path, create=False)
     except FileNotFoundError:
-        print(f"no corpus index at {path!r}", file=sys.stderr)
+        usage_error(f"no corpus index at {path!r}")
         return None
     except OSError as exc:
-        print(f"cannot read index {path!r}: {exc}", file=sys.stderr)
+        usage_error(f"cannot read index {path!r}: {exc}")
         return None
     except ValueError as exc:
-        print(str(exc), file=sys.stderr)
+        usage_error(str(exc))
         return None
 
 
@@ -648,9 +845,8 @@ def _run_index(args, parser) -> int:
     escape.
     """
     if args.index_command is None:
-        print("usage: python -m repro.service index "
-              "{build,query,stats} ...", file=sys.stderr)
-        return 2
+        return usage_error("usage: python -m repro.service index "
+                           "{build,query,stats} ...")
     if args.index_command == "build":
         return _run_index_build(args)
     if args.index_command == "query":
@@ -667,11 +863,9 @@ def _run_index_build(args) -> int:
     try:
         index = CorpusIndex(args.index_dir)
     except OSError as exc:
-        print(f"cannot use index {args.index_dir!r}: {exc}", file=sys.stderr)
-        return 2
+        return usage_error(f"cannot use index {args.index_dir!r}: {exc}")
     except ValueError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
+        return usage_error(str(exc))
     stage = ReassembleStage(index=index)
     registered = []
     try:
@@ -681,16 +875,12 @@ def _run_index_build(args) -> int:
                 archive = CollectionArchive.load(path)
                 stage.run(archive, app_id=app_id, artifact=path)
             except OSError as exc:
-                print(f"cannot read archive {path!r}: {exc}",
-                      file=sys.stderr)
-                return 2
+                return usage_error(f"cannot read archive {path!r}: {exc}")
             except ValueError as exc:
-                print(f"corrupt archive {path!r}: {exc}", file=sys.stderr)
-                return 2
+                return usage_error(f"corrupt archive {path!r}: {exc}")
             except StageError as err:
-                print(f"reassembly failed in the {err.stage} stage for "
-                      f"{path!r}: {err.cause}", file=sys.stderr)
-                return 1
+                return failure(f"reassembly failed in the {err.stage} "
+                               f"stage for {path!r}: {err.cause}")
             registered.append({"archive": path, "app_id": app_id,
                                **stage.last_index_stats})
     finally:
@@ -714,13 +904,12 @@ def _run_index_build(args) -> int:
 def _run_index_query(args) -> int:
     index = _open_index_readonly(args.index_dir)
     if index is None:
-        return 2
+        return EXIT_USAGE
     selectors = [name for name in ("exact", "norm", "signature", "nearest")
                  if getattr(args, name)]
     if len(selectors) != 1:
-        print("pass exactly one of --exact / --norm / --signature / "
-              "--nearest", file=sys.stderr)
-        return 2
+        return usage_error("pass exactly one of --exact / --norm / "
+                           "--signature / --nearest")
     mode = selectors[0]
     try:
         if mode == "exact":
@@ -734,8 +923,7 @@ def _run_index_query(args) -> int:
             results = index.nearest(args.nearest, limit=max(1, args.limit),
                                     kind=None)
     except ValueError as exc:
-        print(f"bad digest: {exc}", file=sys.stderr)
-        return 2
+        return usage_error(f"bad digest: {exc}")
     if args.json:
         print(json.dumps({
             "index_dir": args.index_dir,
@@ -760,7 +948,7 @@ def _run_index_query(args) -> int:
 def _run_index_stats(args) -> int:
     index = _open_index_readonly(args.index_dir)
     if index is None:
-        return 2
+        return EXIT_USAGE
     stats = index.stats()
     if args.json:
         print(json.dumps({"index_dir": args.index_dir, **stats}, indent=2))
@@ -794,15 +982,12 @@ def _run_reassemble(args) -> int:
     try:
         result = reveal_from_archive(args.archive)
     except OSError as exc:
-        print(f"cannot read archive {args.archive!r}: {exc}", file=sys.stderr)
-        return 2
+        return usage_error(f"cannot read archive {args.archive!r}: {exc}")
     except ValueError as exc:
-        print(f"corrupt archive {args.archive!r}: {exc}", file=sys.stderr)
-        return 2
+        return usage_error(f"corrupt archive {args.archive!r}: {exc}")
     except StageError as err:
-        print(f"reassembly failed in the {err.stage} stage: {err.cause}",
-              file=sys.stderr)
-        return 1
+        return failure(f"reassembly failed in the {err.stage} stage: "
+                       f"{err.cause}")
 
     dex = result.reassembled_dex
     payload = write_dex(dex)
@@ -811,8 +996,7 @@ def _run_reassemble(args) -> int:
         with open(out, "wb") as fh:
             fh.write(payload)
     except OSError as exc:
-        print(f"cannot write DEX to {out!r}: {exc}", file=sys.stderr)
-        return 2
+        return usage_error(f"cannot write DEX to {out!r}: {exc}")
 
     summary = {
         "archive": args.archive,

@@ -40,11 +40,12 @@ subscribe instead.
 
 from __future__ import annotations
 
+import json
 import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 EVENT_SUBMITTED = "submitted"
 EVENT_STARTED = "started"
@@ -119,6 +120,49 @@ class JobEvent:
             timestamp=data.get("timestamp", 0.0),
             payload=dict(data.get("payload", {})),
         )
+
+    # -- wire frames ---------------------------------------------------------
+
+    def to_frame(self) -> bytes:
+        """One newline-delimited JSON frame — the shape the journal
+        stores and the gateway's ``/events`` endpoint streams."""
+        return event_to_frame(self.to_dict())
+
+    @classmethod
+    def from_frame(cls, line: bytes | str) -> "JobEvent | None":
+        """Parse one frame; ``None`` for a torn/undecodable line (a
+        killed writer's partial tail must not break a follower)."""
+        if isinstance(line, bytes):
+            try:
+                line = line.decode("utf-8")
+            except UnicodeDecodeError:
+                return None
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            data = json.loads(line)
+            return cls.from_dict(data)
+        except (ValueError, TypeError, KeyError):
+            return None
+
+
+def event_to_frame(event: "JobEvent | dict") -> bytes:
+    """Serialise one event (or its dict) as an NDJSON frame."""
+    data = event.to_dict() if isinstance(event, JobEvent) else event
+    return (json.dumps(data, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def events_from_frames(blob: bytes | Iterable[bytes]) -> list["JobEvent"]:
+    """Every parseable event in a frame blob (or iterable of lines);
+    torn frames are skipped, order preserved."""
+    lines = blob.split(b"\n") if isinstance(blob, bytes) else blob
+    events = []
+    for line in lines:
+        event = JobEvent.from_frame(line)
+        if event is not None:
+            events.append(event)
+    return events
 
 
 class EventStream:

@@ -29,6 +29,28 @@ Store layout
 
 Jobs whose ``drive`` callable cannot be serialised are journalled
 without it; a resumed run re-executes them with the default drive.
+
+Worker-fleet leases
+-------------------
+
+The store doubles as the queue a fleet of
+:class:`~repro.service.worker.RevealWorker` processes drains.  A worker
+*claims* the best queued record (priority lane, then submission order)
+by winning an exclusive *claim token* — ``claims/<job_id>.<generation>``
+created with ``O_CREAT | O_EXCL`` — so two workers racing the same
+record resolve to exactly one owner per lease generation, including
+across processes and hosts sharing the store directory.  A claim stamps
+the record with a *lease* (worker id, expiry, generation in
+``lease_seq``); the owner extends it with :meth:`JobStore.heartbeat`
+and finishes with :meth:`JobStore.complete_leased`.
+
+Crash-safe handoff falls out of the generations: a worker that dies
+mid-job stops heartbeating, its lease expires, and the record becomes
+claimable again at the *next* generation.  Writes from the dead (or
+merely slow) first owner are *fenced* — heartbeat and completion verify
+the record still carries their generation, and completion additionally
+takes a once-only ``claims/<job_id>.done`` token — so a job revealed by
+two overlapping owners still completes exactly once.
 """
 
 from __future__ import annotations
@@ -45,6 +67,15 @@ from repro.runtime.device import DeviceProfile
 from repro.service.outcomes import RevealOutcome
 
 STORE_FORMAT_VERSION = 1
+
+#: Default seconds a worker lease stays live without a heartbeat.
+LEASE_TTL_DEFAULT_S = 30.0
+
+#: ``JobStore.heartbeat`` results: keep going, stop (operator cancel),
+#: or abandon (another worker holds the lease now).
+HEARTBEAT_OK = "ok"
+HEARTBEAT_CANCELLED = "cancelled"
+HEARTBEAT_LOST = "lost"
 
 PRIORITY_HIGH = 0
 PRIORITY_NORMAL = 1
@@ -90,10 +121,14 @@ class JobState:
     ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
     TERMINAL = frozenset((DONE, FAILED, CANCELLED))
 
-    #: Legal next states; anything else is a server bug.
+    #: Legal next states; anything else is a server bug.  The fleet
+    #: protocol widened the ``RUNNING`` row: a running job may return
+    #: to ``QUEUED`` (its worker's lease expired and a restarted server
+    #: re-adopted it) or resolve ``CANCELLED`` (an operator cancel the
+    #: owning worker acknowledged at its next heartbeat).
     TRANSITIONS = {
         QUEUED: frozenset((RUNNING, CANCELLED)),
-        RUNNING: frozenset((DONE, FAILED)),
+        RUNNING: frozenset((DONE, FAILED, CANCELLED, QUEUED)),
         DONE: frozenset(),
         FAILED: frozenset(),
         CANCELLED: frozenset(),
@@ -126,6 +161,16 @@ class JobHandle:
         self.finished_at: float | None = None
         self.outcome: RevealOutcome | None = None
         self.error: str = ""
+        #: Fleet bookkeeping (populated from journalled records): which
+        #: worker holds/held the lease, how many times the job was
+        #: claimed, and the content digests of its stored artifacts.
+        self.worker_id: str = ""
+        self.attempts: int = 0
+        self.artifacts: dict = {}
+        # The outcome digest when the full RevealOutcome is not in this
+        # process (a handle rebuilt from a store record or a gateway
+        # response); ``to_dict`` falls back to it.
+        self._outcome_summary: dict | None = None
         self._terminal = threading.Event()
         # Server bookkeeping: True once the ``submitted`` event is on
         # the bus, so a cancel racing submit() defers its ``cancelled``
@@ -170,22 +215,74 @@ class JobHandle:
 
     # -- presentation -------------------------------------------------------
 
+    def outcome_summary(self) -> dict | None:
+        """The outcome digest, whatever the handle's provenance."""
+        if self.outcome is not None:
+            return self.outcome.to_summary()
+        return self._outcome_summary
+
     def to_dict(self) -> dict:
-        """JSON-safe digest (no outcome payload beyond the summary)."""
+        """JSON-safe digest (no outcome payload beyond the summary).
+
+        This is *the* job-status wire shape: the ``status``/``watch``
+        CLI and the gateway's ``GET /v1/jobs/<id>`` all serialise it,
+        so every surface reports one vocabulary.
+        """
+        summary = self.outcome_summary()
         return {
             "job_id": self.job_id,
             "app_id": self.app_id,
             "priority": PRIORITY_NAMES.get(self.priority, self.priority),
             "state": self.state,
+            "status": (summary or {}).get("status", ""),
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "queue_wait_s": round(self.queue_wait_s, 6),
             "run_s": round(self.run_s, 6),
             "error": self.error,
-            "outcome": (self.outcome.to_summary()
-                        if self.outcome is not None else None),
+            "worker_id": self.worker_id,
+            "attempts": self.attempts,
+            "artifacts": dict(self.artifacts),
+            "outcome": summary,
         }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "JobHandle":
+        """Rebuild a handle from a journalled store record.
+
+        The single path every status surface shares — a handle built
+        here renders via :meth:`to_dict` exactly like a live server
+        handle does.  Terminal records arrive pre-resolved (``wait``
+        returns immediately); non-terminal ones have no waiter wired
+        up, so callers poll the store rather than block.
+        """
+        try:
+            priority = resolve_priority(
+                record.get("priority", PRIORITY_NORMAL))
+        except ValueError:
+            priority = PRIORITY_NORMAL
+        handle = cls(
+            record.get("job_id", ""),
+            record.get("app_id", ""),
+            priority,
+            submitted_at=record.get("submitted_at"),
+        )
+        state = record.get("state")
+        if state in JobState.ALL:
+            handle.state = state
+        handle.started_at = record.get("started_at")
+        handle.finished_at = record.get("finished_at")
+        handle.error = record.get("error", "") or ""
+        handle._outcome_summary = record.get("outcome")
+        lease = record.get("lease") or {}
+        handle.worker_id = (record.get("worker_id", "")
+                            or lease.get("worker_id", ""))
+        handle.attempts = int(record.get("attempts", 0) or 0)
+        handle.artifacts = dict(record.get("artifacts") or {})
+        if handle.done:
+            handle._mark_terminal()
+        return handle
 
 
 class JobStore:
@@ -201,6 +298,7 @@ class JobStore:
     def __init__(self, path: str, create: bool = True) -> None:
         self.path = path
         self.jobs_dir = os.path.join(path, "jobs")
+        self.claims_dir = os.path.join(path, "claims")
         self.events_path = os.path.join(path, "events.jsonl")
         self._lock = threading.Lock()
         # ``create=False`` opens for inspection only: status/watch CLIs
@@ -208,6 +306,7 @@ class JobStore:
         # inside whatever directory happens to be there.
         if create:
             os.makedirs(self.jobs_dir, exist_ok=True)
+            os.makedirs(self.claims_dir, exist_ok=True)
 
     # -- records ------------------------------------------------------------
 
@@ -259,6 +358,14 @@ class JobStore:
             "outcome": None,
             "error": "",
             "meta": dict(metadata or {}),
+            # Fleet fields: which lease generation owns the record (0 =
+            # never claimed), by whom, and what it produced.
+            "lease_seq": 0,
+            "lease": None,
+            "worker_id": "",
+            "attempts": 0,
+            "cancel_requested": False,
+            "artifacts": {},
         }
 
     def save(self, record: dict) -> None:
@@ -294,11 +401,244 @@ class JobStore:
 
     def pending_records(self) -> list[dict]:
         """Records a restarted server still owes: queued, plus running
-        ones whose server died mid-job (they re-run from scratch)."""
+        ones whose server died mid-job (they re-run from scratch).
+
+        Running records under a *live* worker lease are excluded — a
+        server sharing its store with a worker fleet must not steal a
+        job another process is actively revealing.  Lease-less running
+        records (an in-process server's own orphans) and expired leases
+        (a dead worker's) are owed work.
+        """
+        now = time.time()
         return [
             record for record in self.load_all()
-            if record.get("state") in (JobState.QUEUED, JobState.RUNNING)
+            if record.get("state") == JobState.QUEUED
+            or (record.get("state") == JobState.RUNNING
+                and not self._lease_live(record, now))
         ]
+
+    # -- worker leases -------------------------------------------------------
+
+    @staticmethod
+    def _lease_live(record: dict, now: float) -> bool:
+        lease = record.get("lease")
+        return bool(lease) and lease.get("expires_at", 0.0) > now
+
+    def claimable_records(self, now: float | None = None) -> list[dict]:
+        """Records a worker may lease, best first (lane, then age).
+
+        Queued records (unless an operator already requested their
+        cancellation) and running records whose lease expired — the
+        crash-handoff case.  Running records *without* a lease belong
+        to an in-process :class:`~repro.service.server.RevealServer`
+        and are never claimable.
+        """
+        now = time.time() if now is None else now
+        claimable = []
+        for record in self.load_all():
+            state = record.get("state")
+            if state == JobState.QUEUED:
+                if not record.get("cancel_requested"):
+                    claimable.append(record)
+            elif state == JobState.RUNNING:
+                lease = record.get("lease")
+                if lease and lease.get("expires_at", 0.0) <= now:
+                    claimable.append(record)
+        claimable.sort(key=lambda r: (r.get("priority", PRIORITY_NORMAL),
+                                      r.get("submitted_at", 0.0),
+                                      r.get("job_id", "")))
+        return claimable
+
+    def try_claim(self, record: dict, worker_id: str, *,
+                  lease_ttl_s: float = LEASE_TTL_DEFAULT_S,
+                  now: float | None = None) -> dict | None:
+        """Attempt to lease one record; the stamped record, or ``None``.
+
+        Ownership is decided by exclusive creation of the generation's
+        claim token, so of N workers (threads, processes or hosts on a
+        shared mount) racing one record, exactly one wins — the losers
+        see ``FileExistsError`` and move to the next candidate.  The
+        winner's generation lands in the record as ``lease_seq``; every
+        later heartbeat/completion is fenced against it.
+        """
+        now = time.time() if now is None else now
+        job_id = record.get("job_id", "")
+        if not job_id:
+            return None
+        generation = int(record.get("lease_seq", 0) or 0) + 1
+        if not self._take_token(f"{job_id}.{generation}"):
+            return None
+        return self.update(
+            job_id,
+            state=JobState.RUNNING,
+            started_at=now,
+            lease_seq=generation,
+            lease={
+                "worker_id": worker_id,
+                "acquired_at": now,
+                "heartbeat_at": now,
+                "expires_at": now + max(0.1, lease_ttl_s),
+            },
+            attempts=int(record.get("attempts", 0) or 0) + 1,
+        )
+
+    def claim_next(self, worker_id: str, *,
+                   lease_ttl_s: float = LEASE_TTL_DEFAULT_S,
+                   now: float | None = None) -> dict | None:
+        """Lease the best claimable record; ``None`` when the queue is
+        drained (or every candidate was won by somebody else)."""
+        now = time.time() if now is None else now
+        for record in self.claimable_records(now):
+            claimed = self.try_claim(record, worker_id,
+                                     lease_ttl_s=lease_ttl_s, now=now)
+            if claimed is not None:
+                return claimed
+        return None
+
+    def heartbeat(self, job_id: str, lease_seq: int, *,
+                  lease_ttl_s: float = LEASE_TTL_DEFAULT_S,
+                  now: float | None = None) -> str:
+        """Extend a held lease; one of :data:`HEARTBEAT_OK` /
+        :data:`HEARTBEAT_CANCELLED` / :data:`HEARTBEAT_LOST`.
+
+        ``cancelled`` tells the owner to stop work and acknowledge with
+        :meth:`complete_leased` (state ``cancelled``); ``lost`` means
+        the lease expired and another worker claimed the job — the
+        caller must abandon it (its eventual completion would be fenced
+        off anyway).
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            record = self._read(job_id)
+            if record is None:
+                return HEARTBEAT_LOST
+            if record.get("state") == JobState.CANCELLED:
+                return HEARTBEAT_LOST
+            if int(record.get("lease_seq", 0) or 0) != lease_seq \
+                    or record.get("state") != JobState.RUNNING:
+                return HEARTBEAT_LOST
+            # The cancelled path still extends the lease: the owner
+            # keeps the job fenced while it acknowledges the cancel.
+            lease = dict(record.get("lease") or {})
+            lease["heartbeat_at"] = now
+            lease["expires_at"] = now + max(0.1, lease_ttl_s)
+            record["lease"] = lease
+            self._write_locked(job_id, record)
+            if record.get("cancel_requested"):
+                return HEARTBEAT_CANCELLED
+            return HEARTBEAT_OK
+
+    def complete_leased(self, job_id: str, lease_seq: int, *,
+                        state: str, outcome: dict | None = None,
+                        error: str = "", artifacts: dict | None = None,
+                        now: float | None = None) -> bool:
+        """Terminal write by a lease owner; True when it landed.
+
+        Exactly-once completion rests on two fences: the record must
+        still carry the caller's generation in ``lease_seq`` (a
+        reclaimed job rejects its previous owner), and the terminal
+        write itself takes the once-only ``<job_id>.done`` claim token
+        — so even two owners whose fence reads interleave resolve to a
+        single completion.
+        """
+        if state not in JobState.TERMINAL:
+            raise ValueError(f"not a terminal state: {state!r}")
+        now = time.time() if now is None else now
+        with self._lock:
+            record = self._read(job_id)
+            if record is None:
+                return False
+            if int(record.get("lease_seq", 0) or 0) != lease_seq \
+                    or record.get("state") != JobState.RUNNING:
+                return False
+            if not JobState.can_transition(record["state"], state):
+                return False
+            if not self._take_token(f"{job_id}.done"):
+                return False
+            record["state"] = state
+            record["finished_at"] = now
+            record["outcome"] = outcome
+            record["error"] = error
+            if artifacts:
+                record["artifacts"] = dict(artifacts)
+            # The lease is spent, but who completed the job survives it.
+            record["worker_id"] = (record.get("lease")
+                                   or {}).get("worker_id", "")
+            record["lease"] = None
+            record["cancel_requested"] = False
+            self._write_locked(job_id, record)
+            return True
+
+    def request_cancel(self, job_id: str,
+                       now: float | None = None) -> str | None:
+        """Ask for a job to stop; how far the request got, or ``None``.
+
+        * ``"cancelled"`` — the job was still queued; it is terminal
+          now (the claim token taken here excludes a racing worker).
+        * ``"requested"`` — the job is running; the flag is set and the
+          owning worker will observe it at its next heartbeat.
+        * ``None`` — unknown job, or already terminal.
+        """
+        now = time.time() if now is None else now
+        record = self.load(job_id)
+        if record is None:
+            return None
+        state = record.get("state")
+        if state == JobState.QUEUED:
+            # Cancellation *is* a claim: winning the next generation's
+            # token means no worker can start this record afterwards.
+            generation = int(record.get("lease_seq", 0) or 0) + 1
+            if not self._take_token(f"{job_id}.{generation}"):
+                return None  # a worker just started it; retry as running
+            self.update(job_id, state=JobState.CANCELLED,
+                        finished_at=now, lease_seq=generation)
+            return "cancelled"
+        if state == JobState.RUNNING:
+            self.update(job_id, cancel_requested=True)
+            return "requested"
+        return None
+
+    def worker_leases(self, now: float | None = None) -> list[dict]:
+        """Live leases (one dict per running worker-held job) for
+        fleet dashboards: worker id, job id, expiry headroom."""
+        now = time.time() if now is None else now
+        leases = []
+        for record in self.load_all():
+            if record.get("state") != JobState.RUNNING:
+                continue
+            lease = record.get("lease")
+            if not lease:
+                continue
+            leases.append({
+                "job_id": record.get("job_id", ""),
+                "app_id": record.get("app_id", ""),
+                "worker_id": lease.get("worker_id", ""),
+                "lease_seq": record.get("lease_seq", 0),
+                "expires_in_s": round(
+                    lease.get("expires_at", 0.0) - now, 3),
+                "live": self._lease_live(record, now),
+            })
+        return leases
+
+    def _take_token(self, name: str) -> bool:
+        """Win (or lose) one exclusive claim token."""
+        try:
+            fd = os.open(os.path.join(self.claims_dir, name),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # A store created by an older build has no claims/ yet;
+            # materialise it once and retry rather than failing the
+            # claim (the token is the correctness anchor).
+            try:
+                os.makedirs(self.claims_dir, exist_ok=True)
+                fd = os.open(os.path.join(self.claims_dir, name),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except OSError:
+                return False
+        os.close(fd)
+        return True
 
     def foreign_version_jobs(self) -> list[tuple[str, object]]:
         """``(job_id, version)`` for parseable records this build cannot

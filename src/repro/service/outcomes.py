@@ -143,6 +143,33 @@ class RevealOutcome:
         apk = self.revealed_apk
         return apk.primary_dex if apk is not None and apk.dex_files else None
 
+    @classmethod
+    def from_summary(cls, summary: dict,
+                     revealed_apk_bytes: bytes | None = None
+                     ) -> "RevealOutcome":
+        """Rebuild an outcome from a :meth:`to_summary` digest.
+
+        The inverse the HTTP client needs: a gateway job record carries
+        the summary (and artifact digests), not the live result object.
+        Round-trips everything ``to_summary`` emits; the APK bytes are
+        grafted back on when the caller fetched the artifact.
+        """
+        return cls(
+            app_id=summary.get("app_id", ""),
+            status=summary.get("status", STATUS_ERROR),
+            cache_hit=bool(summary.get("cache_hit", False)),
+            latency_s=float(summary.get("latency_s", 0.0) or 0.0),
+            dump_size_bytes=int(summary.get("dump_size_bytes", 0) or 0),
+            error=summary.get("error", "") or "",
+            failed_stage=summary.get("failed_stage", "") or "",
+            stage_timings=dict(summary.get("stage_timings") or {}),
+            exploration=dict(summary.get("exploration") or {}),
+            index_stats=dict(summary.get("index_stats") or {}),
+            queue_wait_s=float(summary.get("queue_wait_s", 0.0) or 0.0),
+            cache_key=summary.get("cache_key", "") or "",
+            revealed_apk_bytes=revealed_apk_bytes,
+        )
+
     def to_summary(self) -> dict:
         """JSON-safe digest (no APK payload) for reports and the CLI."""
         return {

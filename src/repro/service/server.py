@@ -38,6 +38,7 @@ import threading
 import time
 import uuid
 
+from repro.service.api import SubmitAPI
 from repro.service.batch import BatchRevealService, RevealJob
 from repro.service.events import (
     EVENT_CACHE_HIT,
@@ -74,7 +75,7 @@ class QueueFull(RuntimeError):
     """Raised by ``submit`` when the bounded queue is at ``max_pending``."""
 
 
-class RevealServer:
+class RevealServer(SubmitAPI):
     """Async job server over a :class:`BatchRevealService`.
 
     ``service`` supplies the pipeline configuration, result cache and
@@ -304,10 +305,6 @@ class RevealServer:
             self._finish_cancel(job_id, handle)
         return handle
 
-    def submit_all(self, jobs, *,
-                   priority: int | str = PRIORITY_NORMAL) -> list[JobHandle]:
-        return [self.submit(job, priority=priority) for job in jobs]
-
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
@@ -347,25 +344,9 @@ class RevealServer:
         return counts
 
     # -- waiting ------------------------------------------------------------
-
-    def await_job(self, job_id: str,
-                  timeout: float | None = None) -> RevealOutcome | None:
-        return self.poll(job_id).wait(timeout)
-
-    def await_all(self, handles: list[JobHandle] | None = None,
-                  timeout: float | None = None) -> list[RevealOutcome]:
-        """Outcomes of the given handles (default: all), submission
-        order, cancelled jobs skipped."""
-        handles = self.handles() if handles is None else handles
-        deadline = None if timeout is None else time.monotonic() + timeout
-        outcomes = []
-        for handle in handles:
-            remaining = (None if deadline is None
-                         else max(0.0, deadline - time.monotonic()))
-            outcome = handle.wait(remaining)
-            if outcome is not None:
-                outcomes.append(outcome)
-        return outcomes
+    # ``submit_many`` / ``await_many`` / ``await_job`` (and the
+    # deprecated ``submit_all`` / ``await_all`` shims) come from
+    # :class:`SubmitAPI`.
 
     def wait_idle(self, timeout: float | None = None) -> bool:
         """Block until nothing is queued or running; False on timeout."""

@@ -1,0 +1,392 @@
+"""RevealWorker: a lease-pulling fleet member over a shared JobStore.
+
+The :class:`~repro.service.server.RevealServer` scales to the threads
+of one process; the fleet protocol scales reveals to *processes and
+hosts*.  Workers share nothing but the store directory (local disk or
+a shared mount): the gateway (or the ``submit`` CLI) appends queued
+records, and every worker loops
+
+    claim → heartbeat while revealing → store artifacts → complete
+
+with all coordination living in :class:`~repro.service.jobs.JobStore`'s
+claim tokens and lease generations.  There is no registration, no
+leader and no broker process to keep alive — a worker is *in* the
+fleet the moment it points at the store, and *out* of it the moment it
+stops (its in-flight lease expires and the job is reclaimed by whoever
+gets there first).
+
+Execution reuses :class:`~repro.service.batch.BatchRevealService`
+whole — result cache, crash isolation, outcome classification — so a
+job revealed by a fleet worker is byte-for-byte the job an in-process
+server would have produced.  Progress events are published on the
+worker's own bus and journalled to the store's ``events.jsonl``, which
+is what the gateway's ``/events`` endpoint and ``watch`` CLI tail.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import socket
+import tempfile
+import threading
+import time
+import uuid
+import zipfile
+from dataclasses import dataclass, field
+
+from repro.service.artifacts import ArtifactStore
+from repro.service.batch import BatchRevealService, RevealJob
+from repro.service.events import (
+    EVENT_CACHE_HIT,
+    EVENT_CANCELLED,
+    EVENT_DONE,
+    EVENT_FAILED,
+    EVENT_INDEX,
+    EVENT_STAGE,
+    EVENT_STARTED,
+    EVENT_WAVE,
+    EventBus,
+)
+from repro.service.jobs import (
+    HEARTBEAT_LOST,
+    HEARTBEAT_OK,
+    LEASE_TTL_DEFAULT_S,
+    JobState,
+    JobStore,
+)
+from repro.service.outcomes import STATUS_ERROR, RevealOutcome
+from repro.service.server import FAILED_STATUSES
+
+#: Artifact kinds a worker stores per successful reveal, keyed in the
+#: record's ``artifacts`` map: the repacked APK, the revealed primary
+#: DEX on its own (what a static analyzer actually loads), and the
+#: collection archive as a zip of its JSON files.
+ARTIFACT_REVEALED_APK = "revealed_apk"
+ARTIFACT_REVEALED_DEX = "revealed_dex"
+ARTIFACT_COLLECTION = "collection"
+
+
+def default_worker_id() -> str:
+    """Host-qualified so a fleet dashboard reads across machines."""
+    host = socket.gethostname().split(".")[0] or "host"
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass
+class WorkerReport:
+    """What one :meth:`RevealWorker.run` drained, for CLIs and tests."""
+
+    worker_id: str
+    processed: int = 0
+    done: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    lost: int = 0
+    job_ids: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "processed": self.processed,
+            "done": self.done,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "lost": self.lost,
+            "job_ids": list(self.job_ids),
+        }
+
+
+class _HeartbeatThread(threading.Thread):
+    """Extends one lease every ``ttl/3`` seconds while a job runs.
+
+    Sets ``cancelled`` when an operator cancel arrives (the reveal
+    finishes but its result is discarded and the job resolves
+    ``cancelled``) and ``lost`` when the lease was reclaimed (the
+    worker abandons the job; its completion would be fenced off
+    anyway).  A lost lease stops the beats — there is nothing left to
+    extend.
+    """
+
+    def __init__(self, store: JobStore, job_id: str, lease_seq: int,
+                 lease_ttl_s: float) -> None:
+        super().__init__(name=f"lease-heartbeat-{job_id}", daemon=True)
+        self._store = store
+        self._job_id = job_id
+        self._lease_seq = lease_seq
+        self._ttl = lease_ttl_s
+        self._halt = threading.Event()
+        self.cancelled = threading.Event()
+        self.lost = threading.Event()
+
+    def run(self) -> None:
+        interval = max(0.05, self._ttl / 3.0)
+        while not self._halt.wait(interval):
+            result = self._store.heartbeat(self._job_id, self._lease_seq,
+                                           lease_ttl_s=self._ttl)
+            if result == HEARTBEAT_LOST:
+                self.lost.set()
+                return
+            if result != HEARTBEAT_OK:
+                self.cancelled.set()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join()
+
+
+class RevealWorker:
+    """One fleet member: claims, reveals, heartbeats, completes.
+
+    ``store`` is the shared queue (path or :class:`JobStore`);
+    ``service`` the pipeline executor (built from ``service_kwargs``
+    when omitted, exactly like :class:`RevealServer` does).  Artifacts
+    land in ``artifact_store`` — default ``<store>/artifacts``, the
+    location the gateway serves from.
+
+    The worker publishes the same event vocabulary as the in-process
+    server on its own :class:`EventBus`, with every event journalled to
+    the store so followers (gateway ``/events``, ``watch`` CLI) see one
+    merged fleet stream.
+    """
+
+    def __init__(
+        self,
+        store: JobStore | str,
+        service: BatchRevealService | None = None,
+        *,
+        worker_id: str | None = None,
+        lease_ttl_s: float = LEASE_TTL_DEFAULT_S,
+        poll_interval_s: float = 0.2,
+        artifact_store: ArtifactStore | str | None = None,
+        keep_results: bool = False,
+        **service_kwargs,
+    ) -> None:
+        if service is not None and service_kwargs:
+            raise ValueError(
+                f"pass either service or service kwargs, not both "
+                f"(got {sorted(service_kwargs)})"
+            )
+        self.store = JobStore(store) if isinstance(store, str) else store
+        self.service = service if service is not None \
+            else BatchRevealService(**service_kwargs)
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_interval_s = poll_interval_s
+        if artifact_store is None:
+            artifact_store = os.path.join(self.store.path, "artifacts")
+        self.artifacts = (ArtifactStore(artifact_store)
+                          if isinstance(artifact_store, str)
+                          else artifact_store)
+        self.keep_results = keep_results
+        self.bus = EventBus()
+        store_ref = self.store
+        self.bus.add_observer(
+            lambda event: store_ref.append_event(event.to_dict()))
+        self._stop = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to return after the in-flight job (if any)."""
+        self._stop.set()
+
+    def run(self, *, max_jobs: int | None = None,
+            linger_s: float = 0.0) -> WorkerReport:
+        """Drain the store: claim and reveal until it is empty.
+
+        ``linger_s`` keeps the worker polling that long after the queue
+        drains (a daemonised fleet member uses a large value; tests and
+        one-shot CLIs use 0 for "drain and exit").  ``max_jobs`` bounds
+        the total processed.
+        """
+        report = WorkerReport(worker_id=self.worker_id)
+        deadline = time.monotonic() + linger_s
+        while not self._stop.is_set():
+            if max_jobs is not None and report.processed >= max_jobs:
+                break
+            status = self.run_one()
+            if status is not None:
+                report.processed += 1
+                report.job_ids.append(status[1])
+                setattr(report, status[0],
+                        getattr(report, status[0]) + 1)
+                deadline = time.monotonic() + linger_s
+                continue
+            if time.monotonic() >= deadline:
+                break
+            self._stop.wait(self.poll_interval_s)
+        return report
+
+    # -- one job ------------------------------------------------------------
+
+    def run_one(self) -> tuple[str, str] | None:
+        """Claim and finish one job; ``(disposition, job_id)`` where
+        disposition is ``done``/``failed``/``cancelled``/``lost``, or
+        ``None`` when nothing was claimable."""
+        record = self.store.claim_next(self.worker_id,
+                                       lease_ttl_s=self.lease_ttl_s)
+        if record is None:
+            return None
+        job_id = record["job_id"]
+        lease_seq = int(record.get("lease_seq", 0) or 0)
+        return (self._process(record, job_id, lease_seq), job_id)
+
+    def _process(self, record: dict, job_id: str, lease_seq: int) -> str:
+        app_id = record.get("app_id", "")
+        # A cancel requested while the record sat lease-expired is
+        # honoured before any pipeline work.
+        if record.get("cancel_requested"):
+            return self._finish_cancelled(job_id, lease_seq, app_id)
+        try:
+            job = RevealJob(
+                app_id=record["app_id"],
+                apk=JobStore.decode_apk(record["apk_b64"]),
+                device=JobStore.decode_device(record.get("device")),
+                collect_only=record.get("collect_only", False),
+                cache_salt=record.get("cache_salt", ""),
+            )
+        except Exception:
+            landed = self.store.complete_leased(
+                job_id, lease_seq, state=JobState.FAILED,
+                error="unreadable job record")
+            if not landed:
+                return "lost"
+            self.bus.publish(EVENT_FAILED, job_id, app_id,
+                             payload={"error": "unreadable job record",
+                                      "worker_id": self.worker_id})
+            return "failed"
+
+        queue_wait_s = max(0.0, (record.get("started_at") or 0.0)
+                           - (record.get("submitted_at") or 0.0))
+        self.bus.publish(EVENT_STARTED, job_id, job.app_id, payload={
+            "queue_wait_s": queue_wait_s,
+            "worker_id": self.worker_id,
+            "attempt": int(record.get("attempts", 0) or 0),
+        })
+        beat = _HeartbeatThread(self.store, job_id, lease_seq,
+                                self.lease_ttl_s)
+        beat.start()
+        try:
+            outcome = self._execute(job_id, job)
+        except Exception as exc:  # _run_job never raises; belt and braces
+            outcome = RevealOutcome(
+                app_id=job.app_id, status=STATUS_ERROR,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            beat.stop()
+        outcome.queue_wait_s = queue_wait_s
+        if beat.lost.is_set():
+            # Another worker owns the job now; our result is discarded
+            # (its completion would be fenced off regardless).
+            return "lost"
+        if beat.cancelled.is_set():
+            return self._finish_cancelled(job_id, lease_seq, job.app_id)
+        if outcome.index_stats:
+            self.bus.publish(EVENT_INDEX, job_id, job.app_id,
+                             payload=dict(outcome.index_stats))
+        digests = self._store_artifacts(outcome)
+        failed = outcome.status in FAILED_STATUSES
+        landed = self.store.complete_leased(
+            job_id, lease_seq,
+            state=JobState.FAILED if failed else JobState.DONE,
+            outcome=outcome.to_summary(),
+            error=outcome.error,
+            artifacts=digests,
+        )
+        if not landed:
+            return "lost"
+        payload = outcome.to_summary()
+        payload["worker_id"] = self.worker_id
+        payload["artifacts"] = digests
+        self.bus.publish(EVENT_FAILED if failed else EVENT_DONE,
+                         job_id, job.app_id, payload=payload)
+        return "failed" if failed else "done"
+
+    def _finish_cancelled(self, job_id: str, lease_seq: int,
+                          app_id: str) -> str:
+        landed = self.store.complete_leased(
+            job_id, lease_seq, state=JobState.CANCELLED)
+        if not landed:
+            return "lost"
+        self.bus.publish(EVENT_CANCELLED, job_id, app_id,
+                         payload={"worker_id": self.worker_id})
+        return "cancelled"
+
+    def _execute(self, job_id: str, job: RevealJob) -> RevealOutcome:
+        """One job through the service — the same cache-then-run path
+        (and event vocabulary) as ``RevealServer._execute``."""
+        service = self.service
+
+        def on_stage(event) -> None:
+            self.bus.publish(EVENT_STAGE, job_id, job.app_id, payload={
+                "stage": event.stage,
+                "duration_s": event.duration_s,
+                "ok": event.ok,
+                "error": event.error,
+            })
+
+        def on_wave(snapshot: dict) -> None:
+            self.bus.publish(EVENT_WAVE, job_id, job.app_id,
+                             payload=dict(snapshot))
+
+        key = service.job_cache_key(job) if job.cacheable else ""
+
+        def compute() -> RevealOutcome:
+            return service._run_job(job, key, observer=on_stage,
+                                    wave_observer=on_wave)
+
+        if key:
+            outcome, hit = service.cache.get_or_compute(key, compute)
+            if hit:
+                outcome.app_id = job.app_id
+                self.bus.publish(EVENT_CACHE_HIT, job_id, job.app_id,
+                                 payload={"cache_key": key})
+        else:
+            outcome = compute()
+        return outcome
+
+    # -- artifacts -----------------------------------------------------------
+
+    def _store_artifacts(self, outcome: RevealOutcome) -> dict:
+        """Persist what the job produced; ``{kind: digest}``.
+
+        Collect-only jobs and hard failures produce nothing; disk-cache
+        hits carry the APK bytes but no live archive, so they store the
+        APK/DEX pair and skip the collection zip.
+        """
+        digests: dict[str, str] = {}
+        apk = outcome.revealed_apk
+        if apk is not None:
+            digests[ARTIFACT_REVEALED_APK] = self.artifacts.put(
+                apk.to_bytes())
+            if apk.dex_files:
+                from repro.dex.writer import write_dex
+                digests[ARTIFACT_REVEALED_DEX] = self.artifacts.put(
+                    write_dex(apk.primary_dex))
+        result = outcome.result
+        if result is not None and result.archive is not None:
+            digests[ARTIFACT_COLLECTION] = self.artifacts.put(
+                collection_zip_bytes(result.archive))
+        if not self.keep_results:
+            outcome.result = None
+            outcome.revealed_apk_bytes = None
+        return digests
+
+
+def collection_zip_bytes(archive) -> bytes:
+    """One collection archive as a deterministic zip (sorted names,
+    fixed timestamps) — equal archives hash to equal artifacts."""
+    with tempfile.TemporaryDirectory() as tmpdir:
+        archive.save(tmpdir)
+        buf = io.BytesIO()
+        with zipfile.ZipFile(buf, "w", zipfile.ZIP_DEFLATED) as zf:
+            for name in sorted(os.listdir(tmpdir)):
+                with open(os.path.join(tmpdir, name), "rb") as fh:
+                    data = fh.read()
+                info = zipfile.ZipInfo(name, date_time=(1980, 1, 1,
+                                                        0, 0, 0))
+                info.compress_type = zipfile.ZIP_DEFLATED
+                zf.writestr(info, data)
+        return buf.getvalue()

@@ -1,0 +1,79 @@
+"""Content-addressed ArtifactStore: digests, dedup, atomicity."""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.service import ArtifactStore, artifact_digest, is_artifact_digest
+
+
+class TestDigest:
+    def test_digest_is_sha256_hex(self):
+        payload = b"reveal me"
+        assert artifact_digest(payload) == hashlib.sha256(payload).hexdigest()
+
+    def test_is_artifact_digest_guards_shapes(self):
+        good = artifact_digest(b"x")
+        assert is_artifact_digest(good)
+        assert not is_artifact_digest(good.upper())
+        assert not is_artifact_digest(good[:-1])
+        assert not is_artifact_digest(good + "0")
+        assert not is_artifact_digest("../../etc/passwd")
+        assert not is_artifact_digest("")
+
+
+class TestStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        digest = store.put(b"payload-bytes")
+        assert digest == artifact_digest(b"payload-bytes")
+        assert store.get(digest) == b"payload-bytes"
+        assert digest in store
+        assert store.size(digest) == len(b"payload-bytes")
+
+    def test_put_is_idempotent_and_deduplicates(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        first = store.put(b"same bytes")
+        second = store.put(b"same bytes")
+        assert first == second
+        assert store.stats()["artifacts"] == 1
+
+    def test_sharded_layout_keeps_directories_small(self, tmp_path):
+        root = tmp_path / "artifacts"
+        store = ArtifactStore(str(root))
+        digest = store.put(b"sharded")
+        assert (root / digest[:2] / digest).is_file()
+
+    def test_get_absent_returns_none(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        missing = artifact_digest(b"never stored")
+        assert store.get(missing) is None
+        assert missing not in store
+        assert store.size(missing) is None
+
+    def test_malformed_digest_treated_as_absent(self, tmp_path):
+        # Path-traversal shapes never touch the filesystem: the digest
+        # guard rejects them before a path is built.
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        assert store.get("../escape") is None
+        assert "../escape" not in store
+        assert store.size("../escape") is None
+
+    def test_missing_root_requires_create(self, tmp_path):
+        root = str(tmp_path / "absent")
+        with pytest.raises(FileNotFoundError):
+            ArtifactStore(root, create=False)
+        ArtifactStore(root)
+        assert os.path.isdir(root)
+
+    def test_stats_counts_bytes_and_skips_tmp_droppings(self, tmp_path):
+        root = tmp_path / "artifacts"
+        store = ArtifactStore(str(root))
+        store.put(b"aaaa")
+        store.put(b"bbbbbb")
+        shard = next(p for p in root.iterdir() if p.is_dir())
+        (shard / "half-written.tmp").write_bytes(b"junk")
+        stats = store.stats()
+        assert stats["artifacts"] == 2
+        assert stats["total_bytes"] == 10

@@ -1,0 +1,119 @@
+"""Every subcommand honours one exit-code contract: 0 ok, 1 failed
+work, 2 usage/corrupt input with exactly one stderr line."""
+
+import pytest
+
+from repro.service import JobStore
+from repro.service.cli import main
+from repro.service.cli_contract import (
+    EXIT_FAILURES,
+    EXIT_OK,
+    EXIT_USAGE,
+    exit_for_failures,
+    failure,
+    usage_error,
+)
+
+from tests.conftest import build_simple_apk
+
+
+def _file(tmp_path):
+    """A plain file where a directory is expected."""
+    path = tmp_path / "not-a-dir"
+    path.write_text("imposter")
+    return str(path)
+
+
+def _missing(tmp_path):
+    return str(tmp_path / "absent")
+
+
+# Every guard path a calling script can hit: (id, argv builder).  Each
+# must exit 2 with a single diagnostic line on stderr — no tracebacks.
+USAGE_CASES = [
+    ("status-missing-store",
+     lambda tmp: ["status", "--store", _missing(tmp)]),
+    ("watch-missing-store",
+     lambda tmp: ["watch", "--store", _missing(tmp)]),
+    ("serve-store-is-a-file",
+     lambda tmp: ["serve", "--store", _file(tmp)]),
+    ("worker-store-is-a-file",
+     lambda tmp: ["worker", "--store", _file(tmp)]),
+    ("gateway-malformed-tenant",
+     lambda tmp: ["gateway", "--store", _missing(tmp), "--port", "0",
+                  "--tenant", "token-without-name"]),
+    ("submit-neither-target",
+     lambda tmp: ["submit", "--limit", "1"]),
+    ("submit-both-targets",
+     lambda tmp: ["submit", "--limit", "1",
+                  "--store", _missing(tmp),
+                  "--url", "http://127.0.0.1:1/"]),
+    ("submit-unreachable-gateway",
+     lambda tmp: ["submit", "--limit", "1",
+                  "--url", "http://127.0.0.1:9/"]),
+    ("reassemble-missing-archive",
+     lambda tmp: ["reassemble", _missing(tmp)]),
+    ("index-no-subcommand",
+     lambda tmp: ["index"]),
+    ("index-stats-missing-dir",
+     lambda tmp: ["index", "stats", "--index-dir", _missing(tmp)]),
+]
+
+
+class TestUsageContract:
+    @pytest.mark.parametrize(
+        "argv_for", [case[1] for case in USAGE_CASES],
+        ids=[case[0] for case in USAGE_CASES])
+    def test_guard_exits_2_with_one_stderr_line(self, argv_for, tmp_path,
+                                                capsys):
+        code = main(argv_for(tmp_path))
+        captured = capsys.readouterr()
+        assert code == EXIT_USAGE
+        assert captured.err.strip(), "usage errors must diagnose on stderr"
+        assert captured.err.count("\n") == 1, (
+            f"expected one stderr line, got: {captured.err!r}")
+        assert "Traceback" not in captured.err
+
+
+class TestFailureContract:
+    def test_watch_timeout_with_pending_jobs_exits_1(self, tmp_path, capsys):
+        store = JobStore(str(tmp_path / "store"))
+        store.save(store.make_record(
+            job_id="stuck", app_id="app.stuck",
+            apk=build_simple_apk("cli.stuck")))
+        code = main(["watch", "--store", str(tmp_path / "store"),
+                     "--follow", "--timeout", "0.3"])
+        captured = capsys.readouterr()
+        assert code == EXIT_FAILURES
+        assert captured.err.count("\n") == 1
+        assert "pending" in captured.err
+
+
+class TestOkContract:
+    def test_status_on_valid_store_exits_0(self, tmp_path, capsys):
+        store = JobStore(str(tmp_path / "store"))
+        store.save(store.make_record(
+            job_id="fine", app_id="app.fine",
+            apk=build_simple_apk("cli.fine")))
+        code = main(["status", "--store", str(tmp_path / "store")])
+        captured = capsys.readouterr()
+        assert code == EXIT_OK
+        assert captured.err == ""
+        assert "fine" in captured.out
+
+
+class TestHelpers:
+    def test_usage_error_collapses_to_one_line(self, capsys):
+        code = usage_error("bad\n  input:\n\tdetails")
+        assert code == EXIT_USAGE
+        assert capsys.readouterr().err == "bad input: details\n"
+
+    def test_failure_with_and_without_message(self, capsys):
+        assert failure("went\nwrong") == EXIT_FAILURES
+        assert capsys.readouterr().err == "went wrong\n"
+        assert failure() == EXIT_FAILURES
+        assert capsys.readouterr().err == ""
+
+    def test_exit_for_failures(self):
+        assert exit_for_failures(0) == EXIT_OK
+        assert exit_for_failures(3) == EXIT_FAILURES
