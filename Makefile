@@ -14,8 +14,8 @@ BENCH_BASELINE ?= bench-smoke-timings.json
 SERVE_SMOKE_STORE ?= .serve-smoke
 
 .PHONY: test test-determinism bench bench-batch bench-force bench-interp \
-        bench-index bench-smoke bench-check serve-smoke gateway-smoke \
-        profile lint ci all help
+        bench-index bench-cluster bench-smoke bench-check serve-smoke \
+        gateway-smoke profile lint ci all help
 
 help:
 	@echo "make test        - tier-1 verify: full pytest suite (-x -q)"
@@ -25,6 +25,7 @@ help:
 	@echo "make bench-force - force-execution exploration: serial vs parallel, fifo vs rarity-first"
 	@echo "make bench-interp- interpreter fast path: steps/sec, cold/warm/invalidation-storm, +/- collector"
 	@echo "make bench-index - corpus index: cold vs warm cross-app dedup on a ~80%-shared corpus"
+	@echo "make bench-cluster - LSH nearest vs linear scan (>=10x @ recall >=0.95) + reveal-and-label throughput"
 	@echo "make bench-smoke - every benchmark once in quick mode (--benchmark-disable); timing JSON to $(BENCH_TIMINGS)"
 	@echo "make bench-check - gate $(BENCH_TIMINGS) against the committed $(BENCH_BASELINE) (>25% total regression fails)"
 	@echo "make serve-smoke - boot the reveal server, submit two jobs, assert clean shutdown"
@@ -61,6 +62,9 @@ bench-interp:
 
 bench-index:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_corpus_index.py -o python_files='bench_*.py' --benchmark-only -s
+
+bench-cluster:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_cluster.py -o python_files='bench_*.py' --benchmark-only -s
 
 # Quick mode: every benchmark file collects and executes once, untimed,
 # so a broken benchmark breaks the build; per-test timings land in

@@ -1,0 +1,66 @@
+"""Corpus-scale family clustering over the reveal index.
+
+Sits beside :mod:`repro.index` and consumes its digests; the core
+pipeline never imports this package unless ``RevealConfig.cluster_dir``
+is set (the same lazy, one-way dependency rule the index follows):
+
+* :class:`~repro.cluster.lsh.LshIndex` — banded-prefix LSH over the
+  TLSH-style fuzzy digests; ``nearest(digest, k)`` without scanning
+  every method, with the exact linear scan kept as the
+  ``exhaustive=True`` oracle
+* :class:`~repro.cluster.profiles.AppProfile` — per-app normalized-
+  digest sets with inverse-document-frequency library-stub weighting
+* :func:`~repro.cluster.families.cluster_families` — union-find
+  threshold clustering, deterministic regardless of insertion order
+* :class:`~repro.cluster.store.ClusterStore` — the persistent store
+  under ``RevealConfig.cluster_dir`` (format-versioned JSONL segments,
+  atomic ``families.json`` snapshots)
+* :class:`~repro.cluster.labels.AutoLabeler` — tags fresh reveals with
+  family + nearest-known-method evidence from ``apps_with_norm``
+  provenance; results surface in ``RevealOutcome.cluster_stats``,
+  ``EVENT_CLUSTER`` bus events, gateway ``/v1/stats`` and the
+  ``cluster`` CLI
+"""
+
+from repro.cluster.families import (
+    DEFAULT_FAMILY_THRESHOLD,
+    FamilyAssignment,
+    cluster_families,
+    family_id,
+)
+from repro.cluster.labels import (
+    EVIDENCE_LIMIT,
+    NEAR_MISS_MAX_DISTANCE,
+    AutoLabeler,
+)
+from repro.cluster.lsh import DEFAULT_BANDS, LshIndex
+from repro.cluster.profiles import (
+    AppProfile,
+    build_profiles,
+    digest_weights,
+    profile_similarity,
+)
+from repro.cluster.store import (
+    CLUSTER_FORMAT_VERSION,
+    ClusterMember,
+    ClusterStore,
+)
+
+__all__ = [
+    "AppProfile",
+    "AutoLabeler",
+    "CLUSTER_FORMAT_VERSION",
+    "ClusterMember",
+    "ClusterStore",
+    "DEFAULT_BANDS",
+    "DEFAULT_FAMILY_THRESHOLD",
+    "EVIDENCE_LIMIT",
+    "FamilyAssignment",
+    "LshIndex",
+    "NEAR_MISS_MAX_DISTANCE",
+    "build_profiles",
+    "cluster_families",
+    "digest_weights",
+    "family_id",
+    "profile_similarity",
+]

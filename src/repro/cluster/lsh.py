@@ -1,0 +1,143 @@
+"""Banded-prefix LSH over the TLSH-style fuzzy digests.
+
+:func:`repro.index.fuzzy.fuzzy_digest` emits a 6-hex-char header plus a
+64-hex-char body (2 bits per histogram bucket).  A local edit to a
+method body moves only a handful of buckets across a quartile
+boundary, so most of the body hex stays put.  :class:`LshIndex` exploits
+that: the body is split into :data:`DEFAULT_BANDS` contiguous bands and
+each item is filed under one bucket per band, keyed by the band's exact
+hex substring.  Two digests within small edit distance of each other
+almost surely agree on at least one band (16 bands of 4 chars: even
+with 10% of bucket codes changed, P[some band matches] > 0.9999), so
+``nearest`` only rescores the union of the query's band buckets with
+the exact :func:`~repro.index.fuzzy.fuzzy_distance` instead of scanning
+the whole corpus.
+
+The header chars are deliberately *not* banded — checksum and length
+band shift on any edit and would only dilute the buckets.
+
+Exactness guarantees:
+
+* every returned distance comes from ``fuzzy_distance`` (the LSH only
+  prunes candidates, it never approximates scores);
+* when the banded candidate set is smaller than the requested ``limit``
+  (sparse corner of the corpus) the scan silently widens to every item,
+  so small corpora behave exactly like the linear oracle;
+* ``exhaustive=True`` bypasses the buckets entirely — the oracle the
+  recall tests and benchmarks compare against.
+
+Not thread-safe on its own: callers (:class:`~repro.index.corpus.CorpusIndex`,
+:class:`~repro.cluster.store.ClusterStore`) mutate it under their own
+locks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.index.fuzzy import _DIGEST_LEN, fuzzy_distance
+
+_HEADER_CHARS = 6
+_BODY_CHARS = _DIGEST_LEN - _HEADER_CHARS
+
+#: 16 bands x 4 hex chars over the 64-char body.
+DEFAULT_BANDS = 16
+
+
+class LshIndex:
+    """In-memory banded buckets answering ``nearest(digest, k)``.
+
+    Items are ``(digest, ref)`` pairs plus a caller-supplied *sort key*
+    used to break distance ties deterministically regardless of
+    insertion order.  Deduplication is the caller's job — the owning
+    store already keeps a key set.
+    """
+
+    def __init__(self, bands: int = DEFAULT_BANDS) -> None:
+        if bands <= 0 or _BODY_CHARS % bands:
+            raise ValueError(
+                f"bands must divide the {_BODY_CHARS}-char digest body, "
+                f"got {bands}"
+            )
+        self.bands = bands
+        self.band_width = _BODY_CHARS // bands
+        #: (band index, band hex) -> item indexes filed there
+        self._buckets: dict[tuple[int, str], list[int]] = {}
+        self._items: list[tuple[str, object, tuple]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _band_keys(self, digest: str) -> list[tuple[int, str]]:
+        body = digest[_HEADER_CHARS:]
+        width = self.band_width
+        return [(band, body[band * width:(band + 1) * width])
+                for band in range(self.bands)]
+
+    def add(self, digest: str, ref: object, sort_key: tuple = ()) -> None:
+        """File one item under its band buckets."""
+        if len(digest) != _DIGEST_LEN:
+            raise ValueError(
+                f"fuzzy digests must be {_DIGEST_LEN} hex chars, "
+                f"got {len(digest)}"
+            )
+        index = len(self._items)
+        self._items.append((digest, ref, tuple(sort_key)))
+        for key in self._band_keys(digest):
+            self._buckets.setdefault(key, []).append(index)
+
+    def candidates(self, digest: str) -> list[int]:
+        """Item indexes sharing at least one band with ``digest``."""
+        seen: set[int] = set()
+        for key in self._band_keys(digest):
+            seen.update(self._buckets.get(key, ()))
+        return sorted(seen)
+
+    def nearest(
+        self,
+        digest: str,
+        limit: int = 5,
+        exhaustive: bool = False,
+        accept: Callable[[object], bool] | None = None,
+    ) -> list[tuple[int, object]]:
+        """The ``limit`` closest refs as ``(distance, ref)`` pairs.
+
+        ``accept`` filters refs *before* the sparse-fallback decision,
+        so a filtered-out bucket never masks a true neighbour.
+        """
+        if len(digest) != _DIGEST_LEN:
+            raise ValueError(
+                f"fuzzy digests must be {_DIGEST_LEN} hex chars, "
+                f"got {len(digest)}"
+            )
+        if limit <= 0:
+            return []
+        items = self._items
+        if exhaustive:
+            pool = range(len(items))
+        else:
+            pool = self.candidates(digest)
+            if accept is not None:
+                pool = [i for i in pool if accept(items[i][1])]
+            if len(pool) < limit:
+                pool = range(len(items))  # sparse corner: match the oracle
+        scored = []
+        for i in pool:
+            item_digest, ref, sort_key = items[i]
+            if accept is not None and not accept(ref):
+                continue
+            scored.append((fuzzy_distance(digest, item_digest), sort_key,
+                           ref))
+        scored.sort(key=lambda entry: (entry[0], entry[1]))
+        return [(distance, ref) for distance, _, ref in scored[:limit]]
+
+    def stats(self) -> dict:
+        buckets = self._buckets
+        largest = max((len(v) for v in buckets.values()), default=0)
+        return {
+            "items": len(self._items),
+            "bands": self.bands,
+            "band_width": self.band_width,
+            "buckets": len(buckets),
+            "largest_bucket": largest,
+        }

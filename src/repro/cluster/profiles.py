@@ -1,0 +1,82 @@
+"""App-level profile vectors over normalized method digests.
+
+An app's profile is the *set* of its normalized (register- and
+pool-insensitive) method digests.  Two apps repacked from the same
+sources, or padded with the same SDK, share most of that set — which is
+exactly what family clustering keys on.
+
+The catch is library stubs: a digest present in *every* app of the
+corpus (a packer's loader stub, `Object.<init>` boilerplate) says
+nothing about kinship, while a digest shared by exactly two apps says a
+lot.  :func:`digest_weights` therefore weights each digest by inverse
+document frequency — ``1 / apps_containing_it`` — and
+:func:`profile_similarity` is the weighted Jaccard over those weights.
+A ubiquitous stub contributes ~1/N to both intersection and union; a
+rare shared method contributes ~1/2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One app's normalized-digest set."""
+
+    app_id: str
+    digests: frozenset[str]
+
+    def __len__(self) -> int:
+        return len(self.digests)
+
+
+def build_profiles(entries: Iterable) -> dict[str, AppProfile]:
+    """Profiles for every app seen in ``entries``.
+
+    Accepts anything shaped like :class:`~repro.index.corpus.IndexEntry`
+    or :class:`~repro.cluster.store.ClusterMember`: only ``kind``
+    (``"method"``), ``app_id`` and ``norm`` are read.
+    """
+    digests_by_app: dict[str, set[str]] = {}
+    for entry in entries:
+        if entry.kind != "method" or not entry.norm:
+            continue
+        digests_by_app.setdefault(entry.app_id, set()).add(entry.norm)
+    return {
+        app_id: AppProfile(app_id=app_id, digests=frozenset(digests))
+        for app_id, digests in digests_by_app.items()
+    }
+
+
+def digest_weights(profiles: Mapping[str, AppProfile]) -> dict[str, float]:
+    """Inverse-document-frequency weight per digest: ``1 / app count``."""
+    document_frequency: dict[str, int] = {}
+    for profile in profiles.values():
+        for digest in profile.digests:
+            document_frequency[digest] = document_frequency.get(digest, 0) + 1
+    return {digest: 1.0 / count
+            for digest, count in document_frequency.items()}
+
+
+def profile_similarity(
+    a: AppProfile,
+    b: AppProfile,
+    weights: Mapping[str, float] | None = None,
+) -> float:
+    """Weighted Jaccard similarity of two profiles, in ``[0, 1]``.
+
+    Without ``weights`` this is the plain Jaccard index; with the
+    :func:`digest_weights` map, library stubs shared by the whole corpus
+    barely count while rare shared methods dominate.
+    """
+    if not a.digests or not b.digests:
+        return 0.0
+    if weights is None:
+        shared = len(a.digests & b.digests)
+        union = len(a.digests | b.digests)
+    else:
+        shared = sum(weights.get(d, 1.0) for d in a.digests & b.digests)
+        union = sum(weights.get(d, 1.0) for d in a.digests | b.digests)
+    return shared / union if union else 0.0

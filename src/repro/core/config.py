@@ -9,10 +9,11 @@ storable next to archives), and self-hashing (``config_hash()`` is the
 sole configuration input to the service layer's content-addressed
 cache keys).
 
-``archive_dir`` and ``index_dir`` are deliberately excluded from the
-identity hash: where the collection files land on disk (or which corpus
-index accelerates reassembly) does not change what the pipeline
-computes, only where its intermediates live and how fast it runs.
+``archive_dir``, ``index_dir`` and ``cluster_dir`` are deliberately
+excluded from the identity hash: where the collection files land on
+disk (or which corpus index accelerates reassembly, or which cluster
+store labels the reveal) does not change what the pipeline computes,
+only where its intermediates live and how fast it runs.
 """
 
 from __future__ import annotations
@@ -90,6 +91,13 @@ class RevealConfig:
       reveal registers its methods back.  Excluded from the identity
       hash like ``archive_dir``: replayed bodies are byte-identical to
       re-emitted ones, so the index changes cost, never output.
+    * ``cluster_dir`` — when set, a persistent
+      :class:`~repro.cluster.store.ClusterStore` at this path labels
+      every reveal with its family + nearest-known-method evidence
+      (``RevealResult.cluster_stats``) and absorbs the reveal's digests
+      for future labeling.  Excluded from the identity hash like
+      ``index_dir``: labels annotate the result, they never change the
+      revealed bytes.
     """
 
     device: DeviceProfile = NEXUS_5X
@@ -103,6 +111,7 @@ class RevealConfig:
     explore_workers: int = 1
     explore_backend: str = BACKEND_THREAD
     index_dir: str | None = None
+    cluster_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.exploration_strategy not in ALL_STRATEGIES:
@@ -137,6 +146,7 @@ class RevealConfig:
             "explore_workers": self.explore_workers,
             "explore_backend": self.explore_backend,
             "index_dir": self.index_dir,
+            "cluster_dir": self.cluster_dir,
         }
 
     @classmethod
@@ -157,6 +167,7 @@ class RevealConfig:
             explore_workers=data.get("explore_workers", 1),
             explore_backend=data.get("explore_backend", BACKEND_THREAD),
             index_dir=data.get("index_dir"),
+            cluster_dir=data.get("cluster_dir"),
         )
 
     def to_json(self) -> str:
@@ -176,14 +187,16 @@ class RevealConfig:
         deliberately conservative: over-keying the cache costs at most
         a recompute, while normalising inert knobs risks serving a
         stale record if a future pipeline consults them elsewhere.
-        ``archive_dir`` and ``index_dir`` are excluded because neither
-        can change what the pipeline computes: the archive is a
-        persistence location, and index-replayed bodies are
-        byte-identical to re-emitted ones by construction.
+        ``archive_dir``, ``index_dir`` and ``cluster_dir`` are excluded
+        because none of them can change what the pipeline computes: the
+        archive is a persistence location, index-replayed bodies are
+        byte-identical to re-emitted ones by construction, and cluster
+        labels annotate the result without touching the revealed bytes.
         """
         identity = self.to_dict()
         del identity["archive_dir"]
         del identity["index_dir"]
+        del identity["cluster_dir"]
         return identity
 
     def config_hash(self) -> str:

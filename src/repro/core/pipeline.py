@@ -73,6 +73,10 @@ class RevealResult:
     * ``index_stats`` — corpus-index dedup accounting when
       ``RevealConfig.index_dir`` is set (bodies replayed vs emitted,
       methods the corpus already knew); empty otherwise.
+    * ``cluster_stats`` — auto-labeling verdict when
+      ``RevealConfig.cluster_dir`` is set (family, per-method known /
+      near-miss counts, nearest-known-method evidence); empty
+      otherwise.
     """
 
     revealed_apk: Apk | None
@@ -85,6 +89,7 @@ class RevealResult:
     budget_exhausted: bool = False
     stage_timings: dict[str, float] = field(default_factory=dict)
     index_stats: dict = field(default_factory=dict)
+    cluster_stats: dict = field(default_factory=dict)
 
     @property
     def dump_size_bytes(self) -> int:
@@ -100,6 +105,7 @@ class Pipeline:
         observer: PipelineObserver | None = None,
         wave_observer=None,
         index=None,
+        cluster=None,
     ) -> None:
         self.config = config or RevealConfig()
         self.observer = observer
@@ -110,6 +116,12 @@ class Pipeline:
 
             index = CorpusIndex(self.config.index_dir)
         self.index = index
+        if cluster is None and self.config.cluster_dir is not None:
+            # Same lazy, one-way rule for repro.cluster.
+            from repro.cluster.store import ClusterStore
+
+            cluster = ClusterStore(self.config.cluster_dir)
+        self.cluster = cluster
         self.collect_stage = CollectStage(self.config,
                                           wave_observer=wave_observer,
                                           index=index)
@@ -214,6 +226,7 @@ class Pipeline:
             budget_exhausted=collected.budget_exhausted,
             stage_timings=timings,
             index_stats=self._index_stats(),
+            cluster_stats=self._cluster_stats(archive, apk.package),
         )
 
     def reveal_from_archive(
@@ -241,6 +254,8 @@ class Pipeline:
             collector_stats={},
             stage_timings=timings,
             index_stats=self._index_stats(),
+            cluster_stats=self._cluster_stats(
+                archive, apk.package if apk is not None else None),
         )
 
     def _offline(
@@ -269,6 +284,29 @@ class Pipeline:
         stats.update(self.reassemble_stage.last_index_stats)
         return stats
 
+    def _cluster_stats(self, archive: CollectionArchive,
+                       app_id: str | None) -> dict:
+        """Auto-label this reveal, then absorb it for future labeling.
+
+        Labeling runs *before* registration so the reveal never matches
+        itself; the app-id filter in the labeler guards the re-reveal
+        case.  Advisory like the index probe: failures degrade to no
+        labels, never a failed reveal.
+        """
+        if self.cluster is None:
+            return {}
+        from repro.cluster.labels import AutoLabeler
+
+        app = app_id or "<unknown-app>"
+        records = archive.method_store().executed_records()
+        try:
+            labeler = AutoLabeler(self.cluster, index=self.index)
+            stats = labeler.label_records(records, app)
+            self.cluster.register_records(app, records)
+        except (OSError, ValueError):
+            return {}
+        return stats
+
 
 class DexLego:
     """The DexLego system: JIT collection + offline reassembly.
@@ -285,10 +323,12 @@ class DexLego:
         archive_dir: str | None = None,
         force_iterations: int | None = None,
         index_dir: str | None = None,
+        cluster_dir: str | None = None,
         config: RevealConfig | None = None,
         observer: PipelineObserver | None = None,
         wave_observer=None,
         index=None,
+        cluster=None,
     ) -> None:
         config = resolve_config(
             config,
@@ -298,10 +338,12 @@ class DexLego:
             archive_dir=archive_dir,
             force_iterations=force_iterations,
             index_dir=index_dir,
+            cluster_dir=cluster_dir,
         )
         self.config = config
         self.pipeline = Pipeline(config, observer=observer,
-                                 wave_observer=wave_observer, index=index)
+                                 wave_observer=wave_observer, index=index,
+                                 cluster=cluster)
 
     # Attribute views kept for callers that read the old constructor
     # fields off the instance.

@@ -97,6 +97,7 @@ class CorpusIndex:
         self._by_exact: dict[str, list[IndexEntry]] = {}
         self._by_norm: dict[str, list[IndexEntry]] = {}
         self._body_memo: dict[str, list] = {}
+        self._lsh = None
         self.corrupt_lines = 0
         self._writer_id = uuid.uuid4().hex[:12]
         self._segment_handle = None
@@ -177,7 +178,29 @@ class CorpusIndex:
             self._by_exact.setdefault(entry.exact, []).append(entry)
         if entry.norm:
             self._by_norm.setdefault(entry.norm, []).append(entry)
+        if entry.fuzzy and self._lsh is not None:
+            self._lsh.add(entry.fuzzy, entry, sort_key=key)
         return True
+
+    def attach_lsh(self, lsh=None):
+        """Accelerate :meth:`nearest` with a banded LSH structure.
+
+        Backfills ``lsh`` (a fresh
+        :class:`~repro.cluster.lsh.LshIndex` when omitted) with every
+        fuzzy-bearing entry already held, and feeds it on every later
+        absorb.  Result shapes and ordering do not change — the LSH
+        rescores its candidates with the exact distance and falls back
+        to the full scan when buckets are sparse.
+        """
+        if lsh is None:
+            from repro.cluster.lsh import LshIndex
+            lsh = LshIndex()
+        with self._lock:
+            for entry in self._entries:
+                if entry.fuzzy:
+                    lsh.add(entry.fuzzy, entry, sort_key=entry.key())
+            self._lsh = lsh
+        return lsh
 
     # -- writes -------------------------------------------------------------
 
@@ -331,10 +354,23 @@ class CorpusIndex:
         """'Which apps contain this method?' — by structural digest."""
         return sorted({entry.app_id for entry in self.lookup_norm(digest)})
 
-    def nearest(self, fuzzy: str, limit: int = 5,
-                kind: str | None = None) -> list[tuple[int, IndexEntry]]:
-        """Nearest neighbours of a fuzzy digest (linear scan)."""
+    def nearest(self, fuzzy: str, limit: int = 5, kind: str | None = None,
+                exhaustive: bool = False) -> list[tuple[int, IndexEntry]]:
+        """Nearest neighbours of a fuzzy digest.
+
+        Routed through the banded LSH when one is attached
+        (:meth:`attach_lsh`); ``exhaustive=True`` — or no attached
+        LSH — is the exact linear-scan oracle.  Both paths score with
+        the same :func:`~repro.index.fuzzy.fuzzy_distance` and order by
+        ``(distance, entry key)``, so they agree wherever they overlap.
+        """
         with self._lock:
+            lsh = self._lsh
+            if lsh is not None and not exhaustive:
+                if kind is None:
+                    return lsh.nearest(fuzzy, limit=limit)
+                return lsh.nearest(fuzzy, limit=limit,
+                                   accept=lambda entry: entry.kind == kind)
             candidates = [e for e in self._entries if e.fuzzy
                           and (kind is None or e.kind == kind)]
         scored = [(fuzzy_distance(fuzzy, entry.fuzzy), entry)

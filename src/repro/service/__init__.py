@@ -62,6 +62,7 @@ from repro.service.events import (
     ALL_EVENTS,
     EVENT_CACHE_HIT,
     EVENT_CANCELLED,
+    EVENT_CLUSTER,
     EVENT_DONE,
     EVENT_FAILED,
     EVENT_INDEX,
@@ -121,6 +122,7 @@ __all__ = [
     "CACHEABLE_STATUSES",
     "EVENT_CACHE_HIT",
     "EVENT_CANCELLED",
+    "EVENT_CLUSTER",
     "EVENT_DONE",
     "EVENT_FAILED",
     "EVENT_INDEX",

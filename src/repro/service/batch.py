@@ -143,6 +143,7 @@ class BatchRevealService(SubmitAPI):
         explore_workers: int | None = None,
         explore_backend: str | None = None,
         index_dir: str | None = None,
+        cluster_dir: str | None = None,
         config: RevealConfig | None = None,
         workers: int | None = None,
         backend: str = "thread",
@@ -165,6 +166,7 @@ class BatchRevealService(SubmitAPI):
             explore_workers=explore_workers,
             explore_backend=explore_backend,
             index_dir=index_dir,
+            cluster_dir=cluster_dir,
         )
         self.workers = max(1, workers) if workers is not None \
             else default_worker_count()
@@ -176,6 +178,10 @@ class BatchRevealService(SubmitAPI):
         # ``index_dir`` travelling inside the config dict.
         self._index = None
         self._index_lock = threading.Lock()
+        # Same sharing story for the ClusterStore: thread-safe, lazily
+        # created, and process workers open their own from the config.
+        self._cluster = None
+        self._cluster_lock = threading.Lock()
         # Lazily booted by the first direct submit(); owned and closed
         # by this service.  reveal_batch keeps its own ephemeral server
         # so call-and-wait corpora never leave a pool lingering.
@@ -227,7 +233,8 @@ class BatchRevealService(SubmitAPI):
                 archive_dir=os.path.join(config.archive_dir, job.app_id))
         return DexLego(config=config, observer=observer,
                        wave_observer=wave_observer,
-                       index=self.corpus_index())
+                       index=self.corpus_index(),
+                       cluster=self.cluster_store())
 
     def corpus_index(self):
         """The service-wide :class:`~repro.index.corpus.CorpusIndex`
@@ -241,6 +248,19 @@ class BatchRevealService(SubmitAPI):
 
                 self._index = CorpusIndex(self.config.index_dir)
             return self._index
+
+    def cluster_store(self):
+        """The service-wide :class:`~repro.cluster.store.ClusterStore`
+        (``None`` without a ``cluster_dir``), shared across jobs so a
+        batch labels against everything it has already revealed."""
+        if self.config.cluster_dir is None:
+            return None
+        with self._cluster_lock:
+            if self._cluster is None:
+                from repro.cluster.store import ClusterStore
+
+                self._cluster = ClusterStore(self.config.cluster_dir)
+            return self._cluster
 
     def job_cache_key(self, job: RevealJob) -> str:
         salt = job.cache_salt
@@ -544,6 +564,7 @@ class BatchRevealService(SubmitAPI):
             exploration=(result.force_report.to_summary()
                          if result.force_report else {}),
             index_stats=dict(result.index_stats),
+            cluster_stats=dict(result.cluster_stats),
             cache_key=key,
             result=result,
         )

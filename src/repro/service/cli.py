@@ -24,6 +24,14 @@ Usage::
     python -m repro.service index query --index-dir /tmp/idx --signature SIG
     python -m repro.service index stats --index-dir /tmp/idx
 
+    # Family clustering and auto-labeling over the index:
+    python -m repro.service reveal-batch --cluster-dir /tmp/fam
+    python -m repro.service cluster build --index-dir /tmp/idx \
+        --cluster-dir /tmp/fam
+    python -m repro.service cluster label --cluster-dir /tmp/fam /path/to/archive
+    python -m repro.service cluster neighbors --cluster-dir /tmp/fam --digest D
+    python -m repro.service cluster stats --cluster-dir /tmp/fam
+
 ``reveal-batch`` builds the requested benchsuite corpus, runs it
 through a :class:`~repro.service.batch.BatchRevealService`, prints one
 row per application (status, cache provenance, latency, dump size) and
@@ -142,6 +150,11 @@ def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
                              "bodies other apps already revealed are "
                              "replayed instead of re-emitted, and every "
                              "reveal registers its methods back")
+    parser.add_argument("--cluster-dir", default=None,
+                        help="persistent cluster-store directory: every "
+                             "reveal is auto-labeled with its family and "
+                             "nearest-known-method evidence, then absorbed "
+                             "for future labeling")
     parser.add_argument("--force-execution", action="store_true",
                         help="enable the code coverage improvement module")
     parser.add_argument("--budget", type=int, default=2_000_000,
@@ -214,6 +227,7 @@ def _service_from(args, backend: str | None = None) -> BatchRevealService:
         explore_workers=args.explore_workers,
         explore_backend=args.explore_backend,
         index_dir=args.index_dir,
+        cluster_dir=args.cluster_dir,
         workers=args.workers,
         backend=backend or getattr(args, "backend", "thread"),
         cache_dir=args.cache_dir,
@@ -403,6 +417,69 @@ def main(argv: list[str] | None = None) -> int:
     istats.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of text")
 
+    cluster_p = sub.add_parser(
+        "cluster",
+        help="family clustering, LSH nearest-neighbor and auto-labels "
+             "over a corpus index",
+    )
+    cluster_sub = cluster_p.add_subparsers(dest="cluster_command")
+    cbuild = cluster_sub.add_parser(
+        "build",
+        help="absorb a corpus index into a cluster store and "
+             "(re)compute family assignments",
+    )
+    cbuild.add_argument("--index-dir", required=True,
+                        help="corpus-index directory to cluster")
+    cbuild.add_argument("--cluster-dir", required=True,
+                        help="cluster-store directory (created if absent)")
+    cbuild.add_argument("--threshold", type=float, default=None,
+                        help="weighted-Jaccard similarity at which two "
+                             "apps join one family (default: 0.5)")
+    cbuild.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    clabel = cluster_sub.add_parser(
+        "label",
+        help="auto-label a saved collection archive against a "
+             "cluster store (read-only)",
+    )
+    clabel.add_argument("archive",
+                        help="collection-archive directory to label")
+    clabel.add_argument("--cluster-dir", required=True,
+                        help="cluster-store directory to label against")
+    clabel.add_argument("--index-dir", default=None,
+                        help="corpus index supplying apps_with_norm "
+                             "provenance (default: the cluster store's "
+                             "own members)")
+    clabel.add_argument("--app-id", default=None,
+                        help="app id the archive is labeled as "
+                             "(default: the archive's directory name)")
+    clabel.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    cneigh = cluster_sub.add_parser(
+        "neighbors",
+        help="rank cluster members by fuzzy distance to a digest "
+             "(banded LSH; --exhaustive scans linearly)",
+    )
+    cneigh.add_argument("--cluster-dir", required=True,
+                        help="cluster-store directory to read")
+    cneigh.add_argument("--digest", required=True,
+                        help="fuzzy digest to rank against")
+    cneigh.add_argument("--limit", type=int, default=5,
+                        help="result cap (default: 5)")
+    cneigh.add_argument("--exhaustive", action="store_true",
+                        help="bypass the LSH buckets and scan every "
+                             "member (the oracle path)")
+    cneigh.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    cstats = cluster_sub.add_parser(
+        "stats",
+        help="summarise a cluster store (members, families, LSH shape)",
+    )
+    cstats.add_argument("--cluster-dir", required=True,
+                        help="cluster-store directory to read")
+    cstats.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+
     status = sub.add_parser(
         "status",
         help="render a job store's journal (states, waits, outcomes)",
@@ -432,6 +509,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_reassemble(args)
     if args.command == "index":
         return _run_index(args, parser)
+    if args.command == "cluster":
+        return _run_cluster(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "submit":
@@ -920,6 +999,10 @@ def _run_index_query(args) -> int:
             results = [(None, e)
                        for e in index.lookup_signature(args.signature)]
         else:
+            # Accelerate the similarity ranking with the banded LSH;
+            # candidates are rescored with the exact distance, so the
+            # results match the linear scan.
+            index.attach_lsh()
             results = index.nearest(args.nearest, limit=max(1, args.limit),
                                     kind=None)
     except ValueError as exc:
@@ -963,6 +1046,179 @@ def _run_index_stats(args) -> int:
         print(f"  segments:      {stats['segments']}")
         if stats["corrupt_lines"]:
             print(f"  corrupt lines skipped: {stats['corrupt_lines']}")
+    return 0
+
+
+def _open_cluster_readonly(path: str):
+    """A cluster store for label/neighbors/stats: never create the
+    directory — a typo'd path must error, not render an empty store —
+    and surface format-version refusals as one-line diagnostics."""
+    from repro.cluster.store import ClusterStore
+
+    try:
+        return ClusterStore(path, create=False)
+    except FileNotFoundError:
+        usage_error(f"no cluster store at {path!r}")
+        return None
+    except OSError as exc:
+        usage_error(f"cannot read cluster store {path!r}: {exc}")
+        return None
+    except ValueError as exc:
+        usage_error(str(exc))
+        return None
+
+
+def _run_cluster(args) -> int:
+    """The ``cluster`` subcommand group: build / label / neighbors /
+    stats, under the codified exit contract — bad input (missing
+    store, foreign format version, malformed digest, unreadable
+    archive) exits 2 with a one-line diagnostic, tracebacks never
+    escape."""
+    if args.cluster_command is None:
+        return usage_error("usage: python -m repro.service cluster "
+                           "{build,label,neighbors,stats} ...")
+    if args.cluster_command == "build":
+        return _run_cluster_build(args)
+    if args.cluster_command == "label":
+        return _run_cluster_label(args)
+    if args.cluster_command == "neighbors":
+        return _run_cluster_neighbors(args)
+    return _run_cluster_stats(args)
+
+
+def _run_cluster_build(args) -> int:
+    from repro.cluster.families import DEFAULT_FAMILY_THRESHOLD
+    from repro.cluster.store import ClusterStore
+
+    index = _open_index_readonly(args.index_dir)
+    if index is None:
+        return EXIT_USAGE
+    try:
+        store = ClusterStore(args.cluster_dir)
+    except OSError as exc:
+        return usage_error(f"cannot use cluster store "
+                           f"{args.cluster_dir!r}: {exc}")
+    except ValueError as exc:
+        return usage_error(str(exc))
+    threshold = (DEFAULT_FAMILY_THRESHOLD if args.threshold is None
+                 else args.threshold)
+    if not 0.0 < threshold <= 1.0:
+        return usage_error(f"--threshold must be in (0, 1], "
+                           f"got {threshold}")
+    try:
+        absorbed = store.register_index(index)
+        assignment = store.build_families(threshold=threshold)
+    finally:
+        store.close()
+    stats = store.stats()
+    if args.json:
+        print(json.dumps({
+            "cluster_dir": args.cluster_dir,
+            "index_dir": args.index_dir,
+            "absorbed": absorbed,
+            "families": assignment.to_dict(),
+            "stats": stats,
+        }, indent=2))
+        return 0
+    print(f"absorbed {absorbed} member(s) from {args.index_dir}")
+    print(f"{stats['apps']} app(s) -> {len(assignment.families)} "
+          f"famil(ies) at threshold {assignment.threshold}")
+    for family in assignment.families:
+        members = ", ".join(family["apps"][:4])
+        if family["size"] > 4:
+            members += f", ... (+{family['size'] - 4})"
+        print(f"  {family['family']}  size={family['size']:<3} {members}")
+    return 0
+
+
+def _run_cluster_label(args) -> int:
+    from repro.cluster.labels import AutoLabeler
+    from repro.core.collection_files import CollectionArchive
+
+    store = _open_cluster_readonly(args.cluster_dir)
+    if store is None:
+        return EXIT_USAGE
+    index = None
+    if args.index_dir is not None:
+        index = _open_index_readonly(args.index_dir)
+        if index is None:
+            return EXIT_USAGE
+    try:
+        archive = CollectionArchive.load(args.archive)
+        records = archive.method_store().executed_records()
+    except OSError as exc:
+        return usage_error(f"cannot read archive {args.archive!r}: {exc}")
+    except ValueError as exc:
+        return usage_error(f"corrupt archive {args.archive!r}: {exc}")
+    app_id = args.app_id or os.path.basename(os.path.normpath(args.archive))
+    verdict = AutoLabeler(store, index=index).label_records(records, app_id)
+    if args.json:
+        print(json.dumps({"cluster_dir": args.cluster_dir,
+                          "archive": args.archive, "app_id": app_id,
+                          **verdict}, indent=2))
+        return 0
+    family = verdict["family"] or "(no family)"
+    print(f"{app_id}: {family} "
+          f"(score {verdict['family_score']:.2f}, "
+          f"{verdict['methods_known']} known + "
+          f"{verdict['methods_near_miss']} near-miss of "
+          f"{verdict['methods_total']} method(s))")
+    for row in verdict["nearest"]:
+        print(f"  d={row['distance']:<4} {row['kind']:<9} "
+              f"{row['app_id']:<24} {row['match']}")
+    return 0
+
+
+def _run_cluster_neighbors(args) -> int:
+    store = _open_cluster_readonly(args.cluster_dir)
+    if store is None:
+        return EXIT_USAGE
+    try:
+        results = store.nearest(args.digest, limit=max(1, args.limit),
+                                exhaustive=args.exhaustive)
+    except ValueError as exc:
+        return usage_error(f"bad digest: {exc}")
+    if args.json:
+        print(json.dumps({
+            "cluster_dir": args.cluster_dir,
+            "digest": args.digest,
+            "exhaustive": args.exhaustive,
+            "results": [{**member.to_dict(), "distance": distance}
+                        for distance, member in results],
+        }, indent=2))
+        return 0
+    if not results:
+        print("no members with fuzzy digests")
+        return 0
+    for distance, member in results:
+        target = member.method if member.method else member.class_desc
+        print(f"d={distance:<4} {member.kind:<6} {member.app_id:<24} "
+              f"{target}")
+    return 0
+
+
+def _run_cluster_stats(args) -> int:
+    store = _open_cluster_readonly(args.cluster_dir)
+    if store is None:
+        return EXIT_USAGE
+    stats = store.stats()
+    if args.json:
+        print(json.dumps({"cluster_dir": args.cluster_dir, **stats},
+                         indent=2))
+        return 0
+    print(f"cluster store {args.cluster_dir} (format v{stats['version']})")
+    print(f"  apps:      {stats['apps']}")
+    print(f"  members:   {stats['members']}")
+    print(f"  families:  {stats['families']}"
+          + (f" (threshold {stats['family_threshold']})"
+             if stats["family_threshold"] is not None else ""))
+    print(f"  segments:  {stats['segments']}")
+    lsh = stats["lsh"]
+    print(f"  lsh:       {lsh['items']} item(s) in {lsh['buckets']} "
+          f"bucket(s) ({lsh['bands']} bands x {lsh['band_width']} chars, "
+          f"largest bucket {lsh['largest_bucket']})")
+    if stats["corrupt_lines"]:
+        print(f"  corrupt lines skipped: {stats['corrupt_lines']}")
     return 0
 
 

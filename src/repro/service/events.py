@@ -22,7 +22,11 @@ cache hits entirely.
 * ``index`` events carrying the corpus-index dedup accounting of a
   finished reveal (bodies replayed from the
   :class:`~repro.index.corpus.CorpusIndex` vs emitted fresh) when the
-  service runs with an ``index_dir``.
+  service runs with an ``index_dir``;
+* ``cluster`` events carrying the auto-labeling verdict of a finished
+  reveal (family, known / near-miss method counts, nearest-known-method
+  evidence from the :class:`~repro.cluster.labels.AutoLabeler`) when
+  the service runs with a ``cluster_dir``.
 
 :class:`EventBus` fans events out two ways at once: *push* (observer
 callbacks, registered with :meth:`EventBus.add_observer`) and *pull*
@@ -53,6 +57,7 @@ EVENT_STAGE = "stage"
 EVENT_WAVE = "wave"
 EVENT_CACHE_HIT = "cache-hit"
 EVENT_INDEX = "index"
+EVENT_CLUSTER = "cluster"
 EVENT_DONE = "done"
 EVENT_FAILED = "failed"
 EVENT_CANCELLED = "cancelled"
@@ -64,6 +69,7 @@ ALL_EVENTS = (
     EVENT_WAVE,
     EVENT_CACHE_HIT,
     EVENT_INDEX,
+    EVENT_CLUSTER,
     EVENT_DONE,
     EVENT_FAILED,
     EVENT_CANCELLED,

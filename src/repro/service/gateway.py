@@ -269,14 +269,36 @@ class RevealGateway:
 
     def stats(self) -> dict:
         counts = {state: 0 for state in JobState.ALL}
+        index = {"apps_indexed": 0, "bodies_emitted": 0,
+                 "bodies_replayed": 0}
+        cluster = {"apps_labeled": 0, "labels_assigned": 0}
         for record in self.store.load_all():
             state = record.get("state")
             if state in counts:
                 counts[state] += 1
+            # Fleet-wide dedup and labeling rates, straight off the
+            # outcome digests — operators should not need to read job
+            # stores to see whether the index/cluster dirs are earning
+            # their keep.
+            outcome = record.get("outcome") or {}
+            index_stats = outcome.get("index_stats") or {}
+            if index_stats:
+                index["apps_indexed"] += 1
+                index["bodies_emitted"] += index_stats.get(
+                    "bodies_emitted", 0)
+                index["bodies_replayed"] += index_stats.get(
+                    "bodies_replayed", 0)
+            cluster_stats = outcome.get("cluster_stats") or {}
+            if cluster_stats:
+                cluster["apps_labeled"] += 1
+                cluster["labels_assigned"] += cluster_stats.get(
+                    "labels_assigned", 0)
         return {
             "jobs": counts,
             "workers": self.store.worker_leases(),
             "artifacts": self.artifacts.stats(),
+            "index": index,
+            "cluster": cluster,
             "uptime_s": round(time.time() - self.started_at, 3),
             "tenants": (sorted(set(self.tenants.values()))
                         if self.tenants else []),

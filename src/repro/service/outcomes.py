@@ -98,6 +98,11 @@ class RevealOutcome:
       :class:`~repro.index.corpus.CorpusIndex` vs emitted fresh, plus
       how many of this app's methods the corpus already knew; empty
       when no index was attached.
+    * ``cluster_stats`` — auto-labeling verdict when the service ran
+      with a ``cluster_dir``: the family the
+      :class:`~repro.cluster.labels.AutoLabeler` assigned, per-method
+      known / near-miss counts and nearest-known-method evidence; empty
+      when no cluster store was attached.
     * ``queue_wait_s`` — seconds the job sat queued before a worker
       started it (submit→start); 0.0 for direct ``reveal_one`` calls
       that never queued.  ``latency_s`` remains start→finish.
@@ -119,6 +124,7 @@ class RevealOutcome:
     stage_timings: dict = field(default_factory=dict)
     exploration: dict = field(default_factory=dict)
     index_stats: dict = field(default_factory=dict)
+    cluster_stats: dict = field(default_factory=dict)
     queue_wait_s: float = 0.0
     cache_key: str = ""
     result: RevealResult | None = None
@@ -165,6 +171,7 @@ class RevealOutcome:
             stage_timings=dict(summary.get("stage_timings") or {}),
             exploration=dict(summary.get("exploration") or {}),
             index_stats=dict(summary.get("index_stats") or {}),
+            cluster_stats=dict(summary.get("cluster_stats") or {}),
             queue_wait_s=float(summary.get("queue_wait_s", 0.0) or 0.0),
             cache_key=summary.get("cache_key", "") or "",
             revealed_apk_bytes=revealed_apk_bytes,
@@ -186,6 +193,7 @@ class RevealOutcome:
             },
             "exploration": self.exploration,
             "index_stats": self.index_stats,
+            "cluster_stats": self.cluster_stats,
             "queue_wait_s": round(self.queue_wait_s, 6),
             "cache_key": self.cache_key,
         }

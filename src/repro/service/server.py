@@ -44,6 +44,7 @@ from repro.service.events import (
     EVENT_CACHE_HIT,
     EVENT_CANCELLED,
     EVENT_DONE,
+    EVENT_CLUSTER,
     EVENT_FAILED,
     EVENT_INDEX,
     EVENT_STAGE,
@@ -524,6 +525,11 @@ class RevealServer(SubmitAPI):
             # done and corpus dashboards never race the outcome.
             self.bus.publish(EVENT_INDEX, job_id, job.app_id,
                              payload=dict(outcome.index_stats))
+        if outcome.cluster_stats:
+            # Same pre-terminal placement for the labeling verdict:
+            # started → index → cluster → done.
+            self.bus.publish(EVENT_CLUSTER, job_id, job.app_id,
+                             payload=dict(outcome.cluster_stats))
         if not self.keep_results:
             outcome.result = None
             outcome.revealed_apk_bytes = None

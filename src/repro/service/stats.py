@@ -161,6 +161,34 @@ class BatchReport:
             "corpus_new": sum(s.get("corpus_new", 0) for s in indexed),
         }
 
+    # -- family clustering --------------------------------------------------
+
+    def cluster_summary(self) -> dict:
+        """Aggregate auto-labeling verdicts across the batch.
+
+        Empty when no outcome ran against a
+        :class:`~repro.cluster.store.ClusterStore`; otherwise the fleet
+        view of labeling: how many apps got labeled, how many methods
+        matched known corpus methods exactly (by structure) or as
+        fuzzy near-misses, and which families the batch touched.
+        """
+        labeled = [o.cluster_stats for o in self.outcomes
+                   if o.cluster_stats]
+        if not labeled:
+            return {}
+        return {
+            "apps_labeled": len(labeled),
+            "apps_with_family": sum(1 for s in labeled if s.get("family")),
+            "labels_assigned": sum(s.get("labels_assigned", 0)
+                                   for s in labeled),
+            "methods_known": sum(s.get("methods_known", 0)
+                                 for s in labeled),
+            "methods_near_miss": sum(s.get("methods_near_miss", 0)
+                                     for s in labeled),
+            "families": sorted({s["family"] for s in labeled
+                                if s.get("family")}),
+        }
+
     # -- presentation -------------------------------------------------------
 
     def summary(self) -> dict:
@@ -182,6 +210,7 @@ class BatchReport:
             "backend": self.backend,
             "exploration": self.exploration_summary(),
             "index": self.index_summary(),
+            "cluster": self.cluster_summary(),
         }
 
     def render(self) -> str:
@@ -222,5 +251,15 @@ class BatchReport:
                 f"bodies replayed ({index['replay_rate']:.0%}), corpus knew "
                 f"{index['corpus_known']} method(s), learned "
                 f"{index['corpus_new']}"
+            )
+        cluster = self.cluster_summary()
+        if cluster:
+            lines.append(
+                f"cluster: {cluster['apps_with_family']}/"
+                f"{cluster['apps_labeled']} app(s) assigned to "
+                f"{len(cluster['families'])} famil(ies), "
+                f"{cluster['labels_assigned']} method label(s) "
+                f"({cluster['methods_known']} known, "
+                f"{cluster['methods_near_miss']} near-miss)"
             )
         return "\n".join(lines)

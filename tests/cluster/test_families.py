@@ -1,0 +1,145 @@
+"""Profiles, weighted similarity and deterministic family clustering."""
+
+import random
+
+from repro.cluster.families import (
+    DEFAULT_FAMILY_THRESHOLD,
+    FamilyAssignment,
+    cluster_families,
+    family_id,
+)
+from repro.cluster.profiles import (
+    AppProfile,
+    build_profiles,
+    digest_weights,
+    profile_similarity,
+)
+
+
+class _Entry:
+    """Shape-compatible with IndexEntry / ClusterMember for profiles."""
+
+    def __init__(self, app_id, norm, kind="method"):
+        self.app_id = app_id
+        self.norm = norm
+        self.kind = kind
+
+
+def _profile(app_id, *digests):
+    return AppProfile(app_id=app_id, digests=frozenset(digests))
+
+
+class TestProfiles:
+    def test_build_profiles_groups_by_app(self):
+        entries = [_Entry("a", "d1"), _Entry("a", "d2"), _Entry("b", "d1")]
+        profiles = build_profiles(entries)
+        assert profiles["a"].digests == {"d1", "d2"}
+        assert profiles["b"].digests == {"d1"}
+
+    def test_build_profiles_skips_classes_and_empty_norms(self):
+        entries = [_Entry("a", "d1"), _Entry("a", "dX", kind="class"),
+                   _Entry("a", None)]
+        assert build_profiles(entries)["a"].digests == {"d1"}
+
+    def test_similarity_plain_jaccard(self):
+        a, b = _profile("a", "x", "y"), _profile("b", "y", "z")
+        assert profile_similarity(a, b) == 1 / 3
+        assert profile_similarity(a, a) == 1.0
+        assert profile_similarity(a, _profile("c")) == 0.0
+
+    def test_similarity_is_symmetric(self):
+        a, b = _profile("a", "x", "y", "z"), _profile("b", "y")
+        assert profile_similarity(a, b) == profile_similarity(b, a)
+
+    def test_library_stub_barely_counts(self):
+        # "stub" is in every app; "rare" only in a and b.  IDF weighting
+        # must make the a-b pair much more similar than the a-c pair.
+        profiles = {
+            "a": _profile("a", "stub", "rare"),
+            "b": _profile("b", "stub", "rare"),
+            "c": _profile("c", "stub", "own1", "own2"),
+        }
+        weights = digest_weights(profiles)
+        assert weights["stub"] == 1 / 3
+        assert weights["rare"] == 1 / 2
+        kin = profile_similarity(profiles["a"], profiles["b"], weights)
+        stub_only = profile_similarity(profiles["a"], profiles["c"], weights)
+        assert kin == 1.0
+        assert stub_only < 0.25
+
+
+class TestFamilyId:
+    def test_content_addressed_and_order_free(self):
+        assert family_id(["b", "a"]) == family_id(["a", "b"])
+        assert family_id(["a", "b"]) != family_id(["a", "b", "c"])
+        assert family_id(["a"]).startswith("fam-")
+
+
+class TestClusterFamilies:
+    def _profiles(self):
+        # Two families {a1, a2} and {b1, b2} plus a loner, all sharing
+        # one ubiquitous stub digest.
+        return {
+            "a1": _profile("a1", "stub", "fam-a-1", "fam-a-2"),
+            "a2": _profile("a2", "stub", "fam-a-1", "fam-a-2"),
+            "b1": _profile("b1", "stub", "fam-b-1", "fam-b-2"),
+            "b2": _profile("b2", "stub", "fam-b-1", "fam-b-2"),
+            "lone": _profile("lone", "stub", "own"),
+        }
+
+    def test_partitions_and_singletons(self):
+        assignment = cluster_families(self._profiles())
+        groups = {tuple(f["apps"]) for f in assignment.families}
+        assert ("a1", "a2") in groups
+        assert ("b1", "b2") in groups
+        assert ("lone",) in groups
+        assert assignment.family_of("a1") == assignment.family_of("a2")
+        assert assignment.family_of("a1") != assignment.family_of("b1")
+        assert assignment.family_of("nobody") == ""
+
+    def test_threshold_one_requires_identical_profiles(self):
+        profiles = self._profiles()
+        assignment = cluster_families(profiles, threshold=1.0)
+        assert {tuple(f["apps"]) for f in assignment.families} >= \
+            {("a1", "a2"), ("b1", "b2"), ("lone",)}
+        # Tiny threshold: the shared stub glues everything together.
+        merged = cluster_families(profiles, threshold=0.01)
+        assert merged.families[0]["size"] == 5
+
+    def test_families_sorted_largest_first(self):
+        profiles = self._profiles()
+        profiles["a3"] = _profile("a3", "stub", "fam-a-1", "fam-a-2")
+        assignment = cluster_families(profiles)
+        sizes = [f["size"] for f in assignment.families]
+        assert sizes == sorted(sizes, reverse=True)
+        assert assignment.families[0]["apps"] == ["a1", "a2", "a3"]
+
+    def test_round_trips_through_dict(self):
+        assignment = cluster_families(self._profiles())
+        clone = FamilyAssignment.from_dict(assignment.to_dict())
+        assert clone.to_json() == assignment.to_json()
+        assert clone.family_of("a1") == assignment.family_of("a1")
+
+    def test_byte_identical_across_insertion_orders(self):
+        # The acceptance bar: the serialized partition is a pure
+        # function of the member *set* — shuffling the entry stream
+        # (what different worker counts / arrival orders produce) must
+        # not move a single byte of families.json content.
+        entries = []
+        for app, digests in [
+            ("a1", ["stub", "fam-a-1", "fam-a-2"]),
+            ("a2", ["stub", "fam-a-1", "fam-a-2"]),
+            ("b1", ["stub", "fam-b-1", "fam-b-2"]),
+            ("b2", ["stub", "fam-b-1", "fam-b-2"]),
+            ("lone", ["stub", "own"]),
+        ]:
+            entries.extend(_Entry(app, digest) for digest in digests)
+        baseline = cluster_families(build_profiles(entries)).to_json()
+        for seed in range(5):
+            shuffled = list(entries)
+            random.Random(seed).shuffle(shuffled)
+            assignment = cluster_families(build_profiles(shuffled))
+            assert assignment.to_json() == baseline
+
+    def test_default_threshold_exported(self):
+        assert 0.0 < DEFAULT_FAMILY_THRESHOLD <= 1.0

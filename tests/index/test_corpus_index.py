@@ -183,6 +183,44 @@ class TestQueries:
         assert [e.kind for _, e in only_classes] == ["class"]
         assert len(index.nearest(digest, limit=1)) == 1
 
+    def test_attached_lsh_keeps_the_result_shape(self, tmp_path):
+        # Satellite contract: routing nearest() through an attached
+        # LshIndex changes the scan cost, never the results or their
+        # (distance, entry) shape; exhaustive=True stays the oracle.
+        index = CorpusIndex(str(tmp_path / "index"))
+        base = _blob(seed=3, size=600)
+        tweaked = bytearray(base)
+        tweaked[10:14] = b"\x01\x02\x03\x04"
+        probe = fuzzy_digest(base)
+        index.add_entry(_entry(app_id="far", exact="e-far",
+                               fuzzy=fuzzy_digest(_blob(seed=9, size=600))))
+        index.add_entry(_entry(app_id="near", exact="e-near",
+                               fuzzy=fuzzy_digest(bytes(tweaked))))
+        linear = index.nearest(probe, limit=5)
+
+        index.attach_lsh()
+        assert index.nearest(probe, limit=5) == linear
+        assert index.nearest(probe, limit=5, exhaustive=True) == linear
+
+    def test_attached_lsh_sees_later_entries(self, tmp_path):
+        index = CorpusIndex(str(tmp_path / "index"))
+        index.attach_lsh()
+        digest = fuzzy_digest(_blob(seed=5))
+        index.add_entry(_entry(app_id="late", exact="e1", fuzzy=digest))
+        hits = index.nearest(digest, limit=1)
+        assert [entry.app_id for _, entry in hits] == ["late"]
+        assert hits[0][0] == 0
+
+    def test_attached_lsh_respects_kind(self, tmp_path):
+        index = CorpusIndex(str(tmp_path / "index"))
+        digest = fuzzy_digest(_blob(seed=5))
+        index.add_entry(_entry(app_id="m", exact="e1", fuzzy=digest))
+        index.add_entry(_entry(app_id="c", kind="class", method=None,
+                               exact=None, norm=None, fuzzy=digest))
+        index.attach_lsh()
+        only_classes = index.nearest(digest, kind="class")
+        assert [e.kind for _, e in only_classes] == ["class"]
+
     def test_stats_shape(self, tmp_path):
         index = CorpusIndex(str(tmp_path / "index"))
         index.add_entry(_entry())

@@ -90,6 +90,15 @@ class TestNormalizedDigest:
         b = method_digests(_record(_VARIANT_B, "Lb/Two;", "b.two"))
         assert a.exact != b.exact
 
+    def test_fuzzy_digest_is_stable_under_renaming(self):
+        # The fuzzy stream derives from the same normalized tokens, so
+        # register permutation + identifier renaming cannot move even a
+        # single histogram bucket — LSH buckets see one method, not two.
+        a = method_digests(_record(_VARIANT_A, "La/One;", "a.one"))
+        b = method_digests(_record(_VARIANT_B, "Lb/Two;", "b.two"))
+        assert a.fuzzy is not None
+        assert a.fuzzy == b.fuzzy
+
 
 class TestExactDigest:
     def test_pool_index_shifts_are_invisible(self):

@@ -1,0 +1,202 @@
+"""The ``cluster`` CLI group: build / label / neighbors / stats + guards."""
+
+import json
+import os
+
+from repro.cluster.store import CLUSTER_FORMAT_VERSION
+from repro.core import CollectStage, RevealConfig
+from repro.dex import assemble
+from repro.runtime import Apk
+from repro.service.cli import main
+
+_SMALI = """
+.class public {cls}
+.super Landroid/app/Activity;
+.method public onCreate(Landroid/os/Bundle;)V
+    .registers 4
+    const/4 v0, 0
+    const/16 v1, 9
+    :loop
+    if-ge v0, v1, :done
+    mul-int v2, v0, v0
+    add-int/lit8 v0, v0, 1
+    goto :loop
+    :done
+    return-void
+.end method
+"""
+
+
+def _archive_dir(tmp_path, package, main_cls, name=None) -> str:
+    apk = Apk(package, main_cls, [assemble(_SMALI.format(cls=main_cls))])
+    result = CollectStage(RevealConfig()).run(apk)
+    directory = str(tmp_path / (name or package))
+    result.archive.save(directory)
+    return directory
+
+
+def _built_cluster(tmp_path):
+    """An index of two kin apps absorbed into a fresh cluster store."""
+    index_dir = str(tmp_path / "idx")
+    for package, cls in (("kin.a", "Lk/A;"), ("kin.b", "Lk/B;")):
+        archive = _archive_dir(tmp_path, package, cls)
+        assert main(["index", "build", "--index-dir", index_dir,
+                     "--app-id", package, archive]) == 0
+    cluster_dir = str(tmp_path / "fam")
+    assert main(["cluster", "build", "--index-dir", index_dir,
+                 "--cluster-dir", cluster_dir]) == 0
+    return index_dir, cluster_dir
+
+
+class TestClusterGuards:
+    def test_stats_on_missing_store_exits_two(self, tmp_path, capsys):
+        path = str(tmp_path / "nowhere")
+        assert main(["cluster", "stats", "--cluster-dir", path]) == 2
+        captured = capsys.readouterr()
+        assert "no cluster store at" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert not os.path.exists(path)  # read-only commands never create
+
+    def test_neighbors_on_missing_store_exits_two(self, tmp_path, capsys):
+        assert main(["cluster", "neighbors",
+                     "--cluster-dir", str(tmp_path / "nope"),
+                     "--digest", "0" * 70]) == 2
+        assert "no cluster store at" in capsys.readouterr().err
+
+    def test_label_on_missing_store_exits_two(self, tmp_path, capsys):
+        assert main(["cluster", "label",
+                     "--cluster-dir", str(tmp_path / "nope"),
+                     str(tmp_path / "archive")]) == 2
+        assert "no cluster store at" in capsys.readouterr().err
+
+    def test_missing_subcommand_exits_two(self, capsys):
+        assert main(["cluster"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_foreign_version_exits_two(self, tmp_path, capsys):
+        root = tmp_path / "fam"
+        root.mkdir()
+        (root / "cluster_meta.json").write_text(
+            json.dumps({"version": CLUSTER_FORMAT_VERSION + 1}))
+        assert main(["cluster", "stats", "--cluster-dir", str(root)]) == 2
+        captured = capsys.readouterr()
+        assert "format version" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_non_store_directory_exits_two(self, tmp_path, capsys):
+        # A directory that exists but holds no cluster_meta.json is not
+        # silently adopted by read-only commands.
+        root = tmp_path / "plain"
+        root.mkdir()
+        (root / "some.txt").write_text("hello")
+        assert main(["cluster", "stats", "--cluster-dir", str(root)]) == 2
+        assert "no cluster store at" in capsys.readouterr().err
+
+    def test_build_on_missing_index_exits_two(self, tmp_path, capsys):
+        assert main(["cluster", "build",
+                     "--index-dir", str(tmp_path / "no-index"),
+                     "--cluster-dir", str(tmp_path / "fam")]) == 2
+        assert "no corpus index at" in capsys.readouterr().err
+
+    def test_build_with_bad_threshold_exits_two(self, tmp_path, capsys):
+        index_dir = str(tmp_path / "idx")
+        archive = _archive_dir(tmp_path, "kin.a", "Lk/A;")
+        assert main(["index", "build", "--index-dir", index_dir,
+                     archive]) == 0
+        capsys.readouterr()
+        assert main(["cluster", "build", "--index-dir", index_dir,
+                     "--cluster-dir", str(tmp_path / "fam"),
+                     "--threshold", "1.5"]) == 2
+        assert "--threshold" in capsys.readouterr().err
+
+    def test_bad_digest_exits_two(self, tmp_path, capsys):
+        _, cluster_dir = _built_cluster(tmp_path)
+        capsys.readouterr()
+        assert main(["cluster", "neighbors", "--cluster-dir", cluster_dir,
+                     "--digest", "zz"]) == 2
+        assert "bad digest" in capsys.readouterr().err
+
+    def test_label_on_missing_archive_exits_two(self, tmp_path, capsys):
+        _, cluster_dir = _built_cluster(tmp_path)
+        capsys.readouterr()
+        assert main(["cluster", "label", "--cluster-dir", cluster_dir,
+                     str(tmp_path / "no-archive")]) == 2
+        assert "archive" in capsys.readouterr().err
+
+
+class TestClusterBuildLabelNeighborsStats:
+    def test_build_then_stats(self, tmp_path, capsys):
+        _, cluster_dir = _built_cluster(tmp_path)
+        out = capsys.readouterr().out
+        assert "absorbed" in out
+        assert "famil(ies)" in out
+
+        assert main(["cluster", "stats", "--cluster-dir", cluster_dir,
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["version"] == CLUSTER_FORMAT_VERSION
+        assert stats["apps"] == 2
+        assert stats["members"] >= 2
+        assert stats["families"] == 1  # the two kin apps merged
+        assert stats["lsh"]["items"] >= 1
+
+    def test_label_finds_the_family(self, tmp_path, capsys):
+        _, cluster_dir = _built_cluster(tmp_path)
+        fresh = _archive_dir(tmp_path, "fresh.app", "Lf/App;")
+        capsys.readouterr()
+        assert main(["cluster", "label", "--cluster-dir", cluster_dir,
+                     "--app-id", "fresh.app", "--json", fresh]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["app_id"] == "fresh.app"
+        assert verdict["family"].startswith("fam-")
+        assert verdict["methods_known"] >= 1
+        assert verdict["nearest"][0]["kind"] == "known"
+        assert verdict["nearest"][0]["app_id"] in ("kin.a", "kin.b")
+
+    def test_label_with_index_provenance(self, tmp_path, capsys):
+        index_dir, cluster_dir = _built_cluster(tmp_path)
+        fresh = _archive_dir(tmp_path, "fresh.app", "Lf/App;")
+        capsys.readouterr()
+        assert main(["cluster", "label", "--cluster-dir", cluster_dir,
+                     "--index-dir", index_dir,
+                     "--app-id", "fresh.app", fresh]) == 0
+        out = capsys.readouterr().out
+        assert "fresh.app: fam-" in out
+
+    def test_neighbors_ranks_by_distance(self, tmp_path, capsys):
+        _, cluster_dir = _built_cluster(tmp_path)
+        capsys.readouterr()
+        assert main(["cluster", "stats", "--cluster-dir", cluster_dir,
+                     "--json"]) == 0
+        capsys.readouterr()
+
+        # Fetch a real member digest through the neighbors JSON of an
+        # exhaustive query seeded with any digest the index holds.
+        from repro.cluster.store import ClusterStore
+        store = ClusterStore(cluster_dir, create=False)
+        digest = next(m.fuzzy for m in store.members() if m.fuzzy)
+        store.close()
+
+        assert main(["cluster", "neighbors", "--cluster-dir", cluster_dir,
+                     "--digest", digest, "--json"]) == 0
+        results = json.loads(capsys.readouterr().out)["results"]
+        assert results
+        assert results[0]["distance"] == 0  # self-match first
+        distances = [row["distance"] for row in results]
+        assert distances == sorted(distances)
+
+        # The exhaustive oracle agrees with the banded default.
+        assert main(["cluster", "neighbors", "--cluster-dir", cluster_dir,
+                     "--digest", digest, "--exhaustive", "--json"]) == 0
+        oracle = json.loads(capsys.readouterr().out)["results"]
+        assert oracle == results
+
+    def test_build_is_idempotent(self, tmp_path, capsys):
+        index_dir, cluster_dir = _built_cluster(tmp_path)
+        assert main(["cluster", "build", "--index-dir", index_dir,
+                     "--cluster-dir", cluster_dir]) == 0
+        capsys.readouterr()
+        assert main(["cluster", "stats", "--cluster-dir", cluster_dir,
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["apps"] == 2  # duplicates collapsed

@@ -241,5 +241,35 @@ class TestReadEndpoints:
             stats = client.stats()
             assert stats["jobs"]["queued"] == 1
             assert stats["workers"] == []
+            # The index/cluster counters exist (zeroed) even before any
+            # worker with those dirs attached has run.
+            assert stats["index"] == {"apps_indexed": 0,
+                                      "bodies_emitted": 0,
+                                      "bodies_replayed": 0}
+            assert stats["cluster"] == {"apps_labeled": 0,
+                                        "labels_assigned": 0}
         # A closed gateway reads unhealthy, not an exception.
         assert GatewayClient(url, request_timeout_s=2).healthz() is False
+
+    def test_stats_aggregate_index_and_cluster_counters(self, tmp_path):
+        # Workers attached to an index + cluster store feed per-job
+        # outcome summaries back through the job store; /v1/stats rolls
+        # them up fleet-wide.
+        store = _store(tmp_path)
+        with RevealGateway(store) as gateway:
+            client = GatewayClient(gateway.url, poll_interval_s=0.05)
+            handles = client.submit_many([_job("ix.a"), _job("ix.b")])
+            worker = RevealWorker(store, worker_id="wx",
+                                  workers=1, poll_interval_s=0.05,
+                                  index_dir=str(tmp_path / "idx"),
+                                  cluster_dir=str(tmp_path / "fam"))
+            worker.run(max_jobs=2, linger_s=3.0)
+            client.await_many(handles, timeout=120)
+
+            stats = client.stats()
+            assert stats["index"]["apps_indexed"] == 2
+            assert stats["index"]["bodies_emitted"] + \
+                stats["index"]["bodies_replayed"] > 0
+            assert stats["cluster"]["apps_labeled"] == 2
+            # The second app's methods were known from the first.
+            assert stats["cluster"]["labels_assigned"] >= 1
