@@ -13,13 +13,14 @@ BENCH_TIMINGS ?= bench-smoke-current.json
 BENCH_BASELINE ?= bench-smoke-timings.json
 SERVE_SMOKE_STORE ?= .serve-smoke
 
-.PHONY: test test-determinism bench bench-batch bench-force bench-interp \
-        bench-index bench-cluster bench-smoke bench-check serve-smoke \
-        gateway-smoke profile lint ci all help
+.PHONY: test test-determinism test-chaos bench bench-batch bench-force \
+        bench-interp bench-index bench-cluster bench-smoke bench-check \
+        serve-smoke gateway-smoke profile lint ci all help
 
 help:
 	@echo "make test        - tier-1 verify: full pytest suite (-x -q)"
 	@echo "make test-determinism - differential suite: serial/thread/process replay backends bit-identical"
+	@echo "make test-chaos  - seeded fault schedules vs gateway + worker fleet: exactly-once, byte-identical artifacts"
 	@echo "make bench       - regenerate every paper table/figure (pytest-benchmark)"
 	@echo "make bench-batch - batch-service throughput: serial vs parallel, cold vs warm cache"
 	@echo "make bench-force - force-execution exploration: serial vs parallel, fifo vs rarity-first"
@@ -32,7 +33,7 @@ help:
 	@echo "make gateway-smoke - gateway + 2 fleet workers: HTTP submit, fetch artifact, diff vs in-process"
 	@echo "make profile     - cProfile one reveal, print top-20 cumulative (tools/profile_reveal.py)"
 	@echo "make lint        - byte-compile everything (syntax floor; uses pyflakes when present)"
-	@echo "make ci          - exactly what the CI workflow runs: lint + test + bench-smoke + bench-check + serve-smoke + gateway-smoke"
+	@echo "make ci          - exactly what the CI workflow runs: lint + test + test-determinism + test-chaos + bench-smoke + bench-check + serve-smoke + gateway-smoke"
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -45,6 +46,16 @@ test:
 test-determinism:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest tests/core/test_determinism.py \
 		tests/core/test_replay_spec.py tests/runtime/test_predecode_warm.py -q
+
+# The chaos suite on its own: deterministic seeded fault schedules
+# (store I/O, network, worker kills) against a live gateway and a
+# two-worker fleet; every schedule must complete every job exactly
+# once with byte-identical artifacts.  Failing runs print the full
+# schedule, seed included, so they can be replayed.  Part of
+# `make test` too; this target exists for CI and for replaying one
+# schedule in isolation.
+test-chaos:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest tests/service/test_chaos.py -q
 
 # bench_*.py does not match pytest's default collection pattern, so the
 # bench targets widen it explicitly.
@@ -112,8 +123,8 @@ lint:
 	fi
 
 # Mirrors .github/workflows/ci.yml: the test job runs lint + test +
-# test-determinism, the bench-smoke job runs bench-smoke + bench-check
-# + serve-smoke + gateway-smoke.
-ci: lint test test-determinism bench-smoke bench-check serve-smoke gateway-smoke
+# test-determinism + test-chaos, the bench-smoke job runs bench-smoke
+# + bench-check + serve-smoke + gateway-smoke.
+ci: lint test test-determinism test-chaos bench-smoke bench-check serve-smoke gateway-smoke
 
 all: lint test

@@ -28,6 +28,7 @@ import threading
 import uuid
 from dataclasses import asdict, dataclass
 
+from repro import faults
 from repro.cluster.families import (
     DEFAULT_FAMILY_THRESHOLD,
     FamilyAssignment,
@@ -214,7 +215,9 @@ class ClusterStore:
             if not self._absorb(member):
                 return False
             handle = self._segment()
-            handle.write(json.dumps(member.to_dict(), sort_keys=True) + "\n")
+            faults.append_line(
+                handle, json.dumps(member.to_dict(), sort_keys=True) + "\n",
+                site="cluster.segment.append")
             handle.flush()
             return True
 
@@ -285,10 +288,9 @@ class ClusterStore:
             profiles = build_profiles(self._members)
         assignment = cluster_families(profiles, threshold=threshold)
         path = os.path.join(self.root, _FAMILIES_FILE)
-        tmp = f"{path}.{self._writer_id}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(assignment.to_json())
-        os.replace(tmp, path)
+        faults.atomic_write_text(path, assignment.to_json(),
+                                 site="cluster.families.write",
+                                 tmp=f"{path}.{self._writer_id}.tmp")
         with self._lock:
             self._families = assignment
         return assignment
@@ -337,12 +339,12 @@ class ClusterStore:
             old = [name for name in os.listdir(self.segments_dir)
                    if name.endswith(".jsonl")]
             merged = f"seg-compact-{uuid.uuid4().hex[:12]}.jsonl"
-            tmp = os.path.join(self.segments_dir, merged + ".tmp")
-            with open(tmp, "w", encoding="utf-8") as fh:
-                for member in self._members:
-                    fh.write(json.dumps(member.to_dict(), sort_keys=True)
-                             + "\n")
-            os.replace(tmp, os.path.join(self.segments_dir, merged))
+            payload = "".join(
+                json.dumps(member.to_dict(), sort_keys=True) + "\n"
+                for member in self._members)
+            faults.atomic_write_text(
+                os.path.join(self.segments_dir, merged), payload,
+                site="cluster.compact")
             for name in old:
                 if name == merged:
                     continue

@@ -12,8 +12,10 @@ in-process state.
 from __future__ import annotations
 
 import json
+import logging
 import os
 
+from repro import faults
 from repro.core.collector import (
     CollectedClass,
     CollectedField,
@@ -32,6 +34,8 @@ BYTECODE_FILE = "bytecode.json"
 REFLECTION_FILE = "reflection.json"
 EXPLORATION_STATE_FILE = "exploration_state.json"
 PREDECODE_INDEX_FILE = "predecode_index.json"
+
+logger = logging.getLogger(__name__)
 
 ALL_FILES = (
     CLASS_DATA_FILE,
@@ -142,8 +146,11 @@ class CollectionArchive:
     def save(self, directory: str) -> None:
         os.makedirs(directory, exist_ok=True)
         for name, text in self._payload.items():
-            with open(os.path.join(directory, name), "w", encoding="utf-8") as fh:
-                fh.write(text)
+            # Atomic per file: a crash mid-save can lose whole files
+            # (load will say which) but never leaves a half-written one
+            # masquerading as collected data.
+            faults.atomic_write_text(os.path.join(directory, name), text,
+                                     site="archive.save")
         # Optional files this archive does not carry must not survive
         # from an earlier save — a stale exploration_state.json would
         # resurrect a foreign frontier on the next load/resume.
@@ -154,7 +161,9 @@ class CollectionArchive:
                     os.remove(path)
 
     @classmethod
-    def load(cls, directory: str) -> "CollectionArchive":
+    def load(cls, directory: str,
+             strict: bool = True) -> "CollectionArchive":
+        faults.check("archive.load")
         payload = {}
         for name in ALL_FILES:
             path = os.path.join(directory, name)
@@ -170,8 +179,21 @@ class CollectionArchive:
         # consumer that hydrates exploration state (reassemble CLI,
         # resume, reveal_from_archive) goes through load, so a foreign
         # format fails here with one line instead of deep in a resume.
+        # The exploration frontier is correctness-bearing and always
+        # strict; the predecode index is a pure warm-start optimisation,
+        # so ``strict=False`` (the service's degradation mode) drops a
+        # foreign or unreadable one with a warning instead of failing
+        # the load.
         archive.exploration_state()
-        archive.predecode_index()
+        try:
+            archive.predecode_index()
+        except ValueError:
+            if strict:
+                raise
+            logger.warning(
+                "dropping unreadable predecode index from archive at %s "
+                "(cold decode instead of warm start)", directory)
+            archive._payload.pop(PREDECODE_INDEX_FILE, None)
         return archive
 
     def total_size_bytes(self) -> int:

@@ -17,12 +17,13 @@ keep working unchanged.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.collection_files import CollectionArchive
+from repro.core.collection_files import PREDECODE_INDEX_FILE, CollectionArchive
 from repro.core.config import RevealConfig, resolve_config
 from repro.core.force_execution import ForceExecutionReport
 from repro.core.stages import (
@@ -41,6 +42,8 @@ from repro.dex.structures import DexFile
 from repro.errors import StageError
 from repro.runtime.apk import Apk
 from repro.runtime.device import DeviceProfile
+
+logger = logging.getLogger(__name__)
 
 #: Observer signature: called once per finished (or failed) stage.
 PipelineObserver = Callable[[StageEvent], None]
@@ -109,18 +112,29 @@ class Pipeline:
     ) -> None:
         self.config = config or RevealConfig()
         self.observer = observer
+        #: Optional subsystems this pipeline had to bypass (name ->
+        #: reason).  A corrupt or foreign-version index/cluster
+        #: directory degrades to running without that store — dedup and
+        #: labeling are optimisations, never prerequisites for a reveal.
+        self.degraded: dict[str, str] = {}
         if index is None and self.config.index_dir is not None:
             # Lazy import keeps repro.core free of a module-level
             # dependency on repro.index (which imports back into core).
             from repro.index.corpus import CorpusIndex
 
-            index = CorpusIndex(self.config.index_dir)
+            try:
+                index = CorpusIndex(self.config.index_dir)
+            except (OSError, ValueError) as exc:
+                self._note_degraded("index", exc)
         self.index = index
         if cluster is None and self.config.cluster_dir is not None:
             # Same lazy, one-way rule for repro.cluster.
             from repro.cluster.store import ClusterStore
 
-            cluster = ClusterStore(self.config.cluster_dir)
+            try:
+                cluster = ClusterStore(self.config.cluster_dir)
+            except (OSError, ValueError) as exc:
+                self._note_degraded("cluster", exc)
         self.cluster = cluster
         self.collect_stage = CollectStage(self.config,
                                           wave_observer=wave_observer,
@@ -128,6 +142,30 @@ class Pipeline:
         self.reassemble_stage = ReassembleStage(index=index)
         self.verify_stage = VerifyStage()
         self.repack_stage = RepackStage()
+
+    def _note_degraded(self, subsystem: str, reason) -> None:
+        if isinstance(reason, Exception):
+            reason = f"{type(reason).__name__}: {reason}"
+        self.degraded[subsystem] = reason
+        logger.warning(
+            "%s unavailable (%s); revealing without it",
+            subsystem, reason)
+
+    def _load_archive(self, directory: str,
+                      strict: bool) -> CollectionArchive:
+        """Load an archive directory; in non-strict (service) mode a
+        foreign predecode index — pure warm-start state — degrades to a
+        cold start instead of failing the run.  The exploration
+        frontier is correctness-bearing and stays strict either way."""
+        archive = CollectionArchive.load(directory, strict=strict)
+        if not strict:
+            predecode_path = os.path.join(directory, PREDECODE_INDEX_FILE)
+            if os.path.exists(predecode_path) \
+                    and archive.predecode_index() is None:
+                self._note_degraded(
+                    "predecode",
+                    f"foreign predecode index at {predecode_path} dropped")
+        return archive
 
     # -- stage execution ----------------------------------------------------
 
@@ -166,7 +204,7 @@ class Pipeline:
         return self._finish_run(apk, collected, timings)
 
     def resume(self, apk: Apk, source: "CollectionArchive | str | os.PathLike",
-               drive=None) -> RevealResult:
+               drive=None, strict: bool = True) -> RevealResult:
         """Continue an interrupted force-execution exploration.
 
         ``source`` is a saved collection archive (or directory) whose
@@ -174,10 +212,12 @@ class Pipeline:
         run; collection restarts *from that frontier* — no baseline
         re-drive, dedup set intact — then the offline half runs as
         usual.  Raises ``ValueError`` when the archive has no
-        exploration state to resume.
+        exploration state to resume.  ``strict=False`` is the service's
+        degradation mode: a foreign predecode index is dropped (cold
+        decode, ``degraded`` noted) instead of failing the resume.
         """
         if isinstance(source, (str, os.PathLike)):
-            archive = CollectionArchive.load(os.fspath(source))
+            archive = self._load_archive(os.fspath(source), strict)
         else:
             archive = source
         state = archive.exploration_state()
@@ -233,16 +273,18 @@ class Pipeline:
         self,
         source: CollectionArchive | str | os.PathLike,
         apk: Apk | None = None,
+        strict: bool = True,
     ) -> RevealResult:
         """The offline half only: saved collection files → verified DEX.
 
         ``source`` is a :class:`CollectionArchive` or a directory it was
         saved to.  When ``apk`` is provided the DEX is also repacked
         into a revealed application; otherwise ``revealed_apk`` is
-        ``None`` and the reassembled DEX is the product.
+        ``None`` and the reassembled DEX is the product.  ``strict``
+        as in :meth:`resume`.
         """
         if isinstance(source, (str, os.PathLike)):
-            archive = CollectionArchive.load(os.fspath(source))
+            archive = self._load_archive(os.fspath(source), strict)
         else:
             archive = source
         timings: dict[str, float] = {}
@@ -383,8 +425,10 @@ class DexLego:
         self,
         source: CollectionArchive | str | os.PathLike,
         apk: Apk | None = None,
+        strict: bool = True,
     ) -> RevealResult:
-        return self.pipeline.reveal_from_archive(source, apk)
+        return self.pipeline.reveal_from_archive(source, apk,
+                                                 strict=strict)
 
 
 def reveal_apk(apk: Apk, **kwargs) -> RevealResult:
@@ -397,10 +441,15 @@ def reveal_from_archive(
     apk: Apk | None = None,
     config: RevealConfig | None = None,
     observer: PipelineObserver | None = None,
+    strict: bool = True,
 ) -> RevealResult:
     """Standalone offline entry point: saved collection files in,
-    verified (optionally repacked) DEX out — no runtime, no drive."""
-    return Pipeline(config, observer=observer).reveal_from_archive(source, apk)
+    verified (optionally repacked) DEX out — no runtime, no drive.
+    ``strict=False`` opts into the graceful-degradation policy for the
+    archive's *optional* payloads (a foreign predecode index is dropped
+    instead of raising); exploration state is always validated."""
+    return Pipeline(config, observer=observer).reveal_from_archive(
+        source, apk, strict=strict)
 
 
 def resume_exploration(
@@ -409,6 +458,7 @@ def resume_exploration(
     config: RevealConfig | None = None,
     drive=None,
     observer: PipelineObserver | None = None,
+    strict: bool = True,
 ) -> RevealResult:
     """Continue an interrupted force-execution run from a saved archive.
 
@@ -417,4 +467,5 @@ def resume_exploration(
     the previous session's budget stopped them (``config.max_paths``
     applies afresh to this session).
     """
-    return Pipeline(config, observer=observer).resume(apk, source, drive)
+    return Pipeline(config, observer=observer).resume(apk, source, drive,
+                                                      strict=strict)

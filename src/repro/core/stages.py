@@ -236,10 +236,16 @@ class ReassembleStage:
             )
             dex = reassembler.reassemble()
             if self.index is not None:
-                self.last_index_stats = self.index.register_reassembly(
-                    archive.method_store(), reassembler,
-                    app_id=app_id, artifact=artifact,
-                )
+                try:
+                    self.last_index_stats = self.index.register_reassembly(
+                        archive.method_store(), reassembler,
+                        app_id=app_id, artifact=artifact,
+                    )
+                except OSError as exc:
+                    # The index is an optional subsystem: failing to
+                    # journal this reveal's digests costs future dedup
+                    # savings, never the reveal itself.
+                    self.last_index_stats = {"degraded": str(exc)}
             return read_dex(write_dex(dex))
         except Exception as exc:
             raise StageError(self.name, exc) from exc

@@ -28,6 +28,7 @@ import threading
 import uuid
 from dataclasses import asdict, dataclass
 
+from repro import faults
 from repro.core.body_cache import BODY_OPS_VERSION, exact_method_digest
 from repro.index.digests import MethodDigests, class_fuzzy_digest, method_digests
 from repro.index.fuzzy import fuzzy_distance
@@ -217,7 +218,9 @@ class CorpusIndex:
             if not self._absorb(entry):
                 return False
             handle = self._segment()
-            handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+            faults.append_line(
+                handle, json.dumps(entry.to_dict(), sort_keys=True) + "\n",
+                site="index.segment.append")
             handle.flush()
             return True
 
@@ -257,10 +260,9 @@ class CorpusIndex:
         path = self._body_path(digest)
         if os.path.exists(path):
             return  # first writer won; contents are digest-determined
-        tmp = f"{path}.{self._writer_id}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump({"version": BODY_OPS_VERSION, "ops": ops}, fh)
-        os.replace(tmp, path)
+        faults.atomic_write_json(
+            path, {"version": BODY_OPS_VERSION, "ops": ops},
+            site="index.body.write", tmp=f"{path}.{self._writer_id}.tmp")
 
     # -- registration (pipeline integration) --------------------------------
 
@@ -424,12 +426,12 @@ class CorpusIndex:
             old = [name for name in os.listdir(self.segments_dir)
                    if name.endswith(".jsonl")]
             merged = f"seg-compact-{uuid.uuid4().hex[:12]}.jsonl"
-            tmp = os.path.join(self.segments_dir, merged + ".tmp")
-            with open(tmp, "w", encoding="utf-8") as fh:
-                for entry in self._entries:
-                    fh.write(json.dumps(entry.to_dict(), sort_keys=True)
-                             + "\n")
-            os.replace(tmp, os.path.join(self.segments_dir, merged))
+            payload = "".join(
+                json.dumps(entry.to_dict(), sort_keys=True) + "\n"
+                for entry in self._entries)
+            faults.atomic_write_text(
+                os.path.join(self.segments_dir, merged), payload,
+                site="index.compact")
             for name in old:
                 if name == merged:
                     continue

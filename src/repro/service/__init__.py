@@ -63,6 +63,7 @@ from repro.service.events import (
     EVENT_CACHE_HIT,
     EVENT_CANCELLED,
     EVENT_CLUSTER,
+    EVENT_DEGRADED,
     EVENT_DONE,
     EVENT_FAILED,
     EVENT_INDEX,
@@ -88,6 +89,12 @@ from repro.service.jobs import (
     JobState,
     JobStore,
     resolve_priority,
+)
+from repro.service.retry import (
+    NO_RETRY,
+    Backoff,
+    RetryPolicy,
+    call_with_retries,
 )
 from repro.service.server import QueueFull, RevealServer
 from repro.service.cache import (
@@ -120,9 +127,11 @@ __all__ = [
     "BatchReport",
     "BatchRevealService",
     "CACHEABLE_STATUSES",
+    "Backoff",
     "EVENT_CACHE_HIT",
     "EVENT_CANCELLED",
     "EVENT_CLUSTER",
+    "EVENT_DEGRADED",
     "EVENT_DONE",
     "EVENT_FAILED",
     "EVENT_INDEX",
@@ -142,12 +151,14 @@ __all__ = [
     "JobState",
     "JobStore",
     "LEASE_TTL_DEFAULT_S",
+    "NO_RETRY",
     "PRIORITIES",
     "PRIORITY_HIGH",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",
     "QueueFull",
     "RemoteJobHandle",
+    "RetryPolicy",
     "RevealCache",
     "RevealGateway",
     "RevealJob",
@@ -164,6 +175,7 @@ __all__ = [
     "WorkerReport",
     "apk_content_key",
     "artifact_digest",
+    "call_with_retries",
     "classify_result",
     "default_worker_count",
     "is_artifact_digest",

@@ -23,6 +23,8 @@ import hashlib
 import os
 import re
 
+from repro import faults
+
 _DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
 
 
@@ -46,6 +48,10 @@ class ArtifactStore:
 
     def __init__(self, root: str, create: bool = True) -> None:
         self.root = root
+        #: Blobs whose bytes no longer rehash to their digest — seen on
+        #: :meth:`get`, which refuses to serve them (content addressing
+        #: makes every read integrity-checkable for free).
+        self.corrupt_blobs = 0
         if create:
             os.makedirs(root, exist_ok=True)
         elif not os.path.isdir(root):
@@ -66,25 +72,30 @@ class ArtifactStore:
         if os.path.exists(path):
             return digest
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.{os.getpid()}.tmp"
-        with open(tmp, "wb") as fh:
-            fh.write(data)
-        os.replace(tmp, path)
+        faults.atomic_write_bytes(path, data, site="artifacts.put",
+                                  tmp=f"{path}.{os.getpid()}.tmp")
         return digest
 
     # -- read ----------------------------------------------------------------
 
     def get(self, digest: str) -> bytes | None:
-        """The blob for one digest, or ``None`` when absent."""
+        """The blob for one digest, or ``None`` when absent or corrupt
+        (bytes that fail the rehash are never served — a truncated blob
+        would otherwise masquerade as a valid artifact)."""
         try:
             path = self._path(digest)
         except ValueError:
             return None
+        faults.check("artifacts.get")
         try:
             with open(path, "rb") as fh:
-                return fh.read()
+                data = fh.read()
         except OSError:
             return None
+        if artifact_digest(data) != digest:
+            self.corrupt_blobs += 1
+            return None
+        return data
 
     def __contains__(self, digest: str) -> bool:
         try:
@@ -120,4 +131,5 @@ class ArtifactStore:
                     total += os.path.getsize(os.path.join(shard_dir, name))
                 except OSError:
                     pass
-        return {"artifacts": count, "total_bytes": total}
+        return {"artifacts": count, "total_bytes": total,
+                "corrupt_blobs": self.corrupt_blobs}

@@ -39,6 +39,7 @@ remains the safe default everywhere.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 import traceback
@@ -64,6 +65,8 @@ from repro.service.outcomes import (
 from repro.service.stats import BatchReport
 
 BACKENDS = ("thread", "process", "serial")
+
+logger = logging.getLogger(__name__)
 
 #: Environment override consulted when a service (or experiment runner)
 #: does not pin a worker count; also settable via :func:`set_default_workers`.
@@ -182,6 +185,12 @@ class BatchRevealService(SubmitAPI):
         # created, and process workers open their own from the config.
         self._cluster = None
         self._cluster_lock = threading.Lock()
+        # Graceful degradation: subsystem name -> reason, populated
+        # when an *optional* store (index, cluster) fails to open.  A
+        # failed open is remembered so each reveal does not retry (and
+        # re-warn about) a corrupt directory; reopening means building
+        # a new service.
+        self._degraded: dict[str, str] = {}
         # Lazily booted by the first direct submit(); owned and closed
         # by this service.  reveal_batch keeps its own ephemeral server
         # so call-and-wait corpora never leave a pool lingering.
@@ -231,36 +240,79 @@ class BatchRevealService(SubmitAPI):
             # their save/load round-trips; scope it per job.
             config = config.replace(
                 archive_dir=os.path.join(config.archive_dir, job.app_id))
+        index = self.corpus_index()
+        cluster = self.cluster_store()
+        # Once the service has noted a degraded store, job pipelines
+        # must not re-attempt (and re-warn about) the corrupt open
+        # through their own lazy path.
+        degraded = self.degraded_subsystems()
+        if "index" in degraded:
+            config = config.replace(index_dir=None)
+        if "cluster" in degraded:
+            config = config.replace(cluster_dir=None)
         return DexLego(config=config, observer=observer,
                        wave_observer=wave_observer,
-                       index=self.corpus_index(),
-                       cluster=self.cluster_store())
+                       index=index, cluster=cluster)
 
     def corpus_index(self):
         """The service-wide :class:`~repro.index.corpus.CorpusIndex`
         (``None`` without an ``index_dir``), shared across jobs so a
-        batch dedups against itself, not just against past runs."""
+        batch dedups against itself, not just against past runs.
+
+        A corrupt or foreign-version ``index_dir`` degrades to ``None``
+        (no dedup, one warning, ``degraded`` stamped on outcomes)
+        instead of failing every reveal in the batch — the index is an
+        optimisation, never a prerequisite.
+        """
         if self.config.index_dir is None:
             return None
         with self._index_lock:
-            if self._index is None:
+            if self._index is None and "index" not in self._degraded:
                 from repro.index.corpus import CorpusIndex
 
-                self._index = CorpusIndex(self.config.index_dir)
+                try:
+                    self._index = CorpusIndex(self.config.index_dir)
+                except (OSError, ValueError) as exc:
+                    self._note_degraded("index", exc)
             return self._index
 
     def cluster_store(self):
         """The service-wide :class:`~repro.cluster.store.ClusterStore`
         (``None`` without a ``cluster_dir``), shared across jobs so a
-        batch labels against everything it has already revealed."""
+        batch labels against everything it has already revealed.
+
+        Degrades to ``None`` on a corrupt or foreign-version
+        ``cluster_dir``, exactly like :meth:`corpus_index` — reveals
+        proceed unlabeled rather than failing.
+        """
         if self.config.cluster_dir is None:
             return None
         with self._cluster_lock:
-            if self._cluster is None:
+            if self._cluster is None and "cluster" not in self._degraded:
                 from repro.cluster.store import ClusterStore
 
-                self._cluster = ClusterStore(self.config.cluster_dir)
+                try:
+                    self._cluster = ClusterStore(self.config.cluster_dir)
+                except (OSError, ValueError) as exc:
+                    self._note_degraded("cluster", exc)
             return self._cluster
+
+    def _note_degraded(self, subsystem: str, exc: Exception) -> None:
+        """Record (and warn once about) one degraded subsystem."""
+        if subsystem in self._degraded:
+            return
+        self._degraded[subsystem] = f"{type(exc).__name__}: {exc}"
+        logger.warning(
+            "%s unavailable (%s); continuing without it — reveals will "
+            "carry degraded=[%r]", subsystem, self._degraded[subsystem],
+            subsystem)
+
+    def degraded_subsystems(self) -> dict[str, str]:
+        """Subsystem name -> reason for everything this service has had
+        to bypass (empty when fully provisioned)."""
+        with self._index_lock:
+            with self._cluster_lock:
+                return dict(self._degraded)
 
     def job_cache_key(self, job: RevealJob) -> str:
         salt = job.cache_salt
@@ -508,6 +560,16 @@ class BatchRevealService(SubmitAPI):
         profile travels whole inside ``RevealConfig.to_dict()``."""
         return job.drive is None
 
+    def _degraded_for(self, lego, result=None) -> list:
+        """Sorted union of everything this reveal had to bypass:
+        service-level open failures, pipeline-level ones, and a
+        mid-reveal index write failure reported by the stages."""
+        names = set(self._degraded)
+        names.update(lego.pipeline.degraded)
+        if result is not None and result.index_stats.get("degraded"):
+            names.add("index")
+        return sorted(names)
+
     def _run_job(self, job: RevealJob, key: str = "", observer=None,
                  wave_observer=None) -> RevealOutcome:
         lego = self.pipeline_for(job, observer=observer,
@@ -528,6 +590,7 @@ class BatchRevealService(SubmitAPI):
                     stage_timings=timings,
                     exploration=(collected.force_report.to_summary()
                                  if collected.force_report else {}),
+                    degraded=self._degraded_for(lego),
                     cache_key=key,
                 )
             result = lego.reveal(job.apk, drive=job.drive)
@@ -541,6 +604,7 @@ class BatchRevealService(SubmitAPI):
                 error=(str(err.cause) if verify_failed else
                        f"{type(err.cause).__name__}: {err.cause}"),
                 failed_stage=err.stage,
+                degraded=self._degraded_for(lego),
                 cache_key=key,
             )
         except Exception as exc:
@@ -551,6 +615,7 @@ class BatchRevealService(SubmitAPI):
                 error="".join(
                     traceback.format_exception_only(type(exc), exc)
                 ).strip(),
+                degraded=self._degraded_for(lego),
                 cache_key=key,
             )
         return RevealOutcome(
@@ -565,6 +630,7 @@ class BatchRevealService(SubmitAPI):
                          if result.force_report else {}),
             index_stats=dict(result.index_stats),
             cluster_stats=dict(result.cluster_stats),
+            degraded=self._degraded_for(lego, result),
             cache_key=key,
             result=result,
         )

@@ -43,6 +43,7 @@ import os
 import threading
 from typing import Callable
 
+from repro import faults
 from repro.core.config import RevealConfig
 from repro.dex.writer import write_dex
 from repro.runtime.apk import Apk
@@ -144,8 +145,12 @@ class RevealCache:
         # finishes (see get_or_compute).
         self._inflight: dict[str, threading.Event] = {}
         # Corrupt on-disk entries are misses; warn about the first one
-        # only, so a directory full of damage doesn't flood the log.
-        self._warned_corrupt = False
+        # only, so a directory full of damage doesn't flood the log —
+        # but count every one, so a sweep can report what was skipped.
+        self.corrupt_entries = 0
+        #: Failed disk stores (cache writes degrade, they never fail a
+        #: reveal); the first one logs a warning.
+        self.write_failures = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
@@ -178,14 +183,28 @@ class RevealCache:
             with self._lock:
                 self._memory[key] = record
             return True
-        if apk_bytes is not None:
-            with open(self._apk_path(key), "wb") as fh:
-                fh.write(apk_bytes)
-            record["has_apk"] = True
-        tmp = self._json_path(key) + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(record, fh)
-        os.replace(tmp, self._json_path(key))
+        try:
+            if apk_bytes is not None:
+                # The sidecar lands first and the metadata write is
+                # atomic, so a crash between the two leaves an orphan
+                # .apk (ignored by every read path), never a record
+                # pointing at nothing.
+                faults.atomic_write_bytes(self._apk_path(key), apk_bytes,
+                                          site="cache.write")
+                record["has_apk"] = True
+            faults.atomic_write_json(self._json_path(key), record,
+                                     site="cache.write")
+        except OSError:
+            # The cache is an optional subsystem: a failed store costs
+            # a future recompute, never this reveal.
+            self.write_failures += 1
+            if self.write_failures == 1:
+                logger.warning(
+                    "reveal cache write failed for %s; continuing "
+                    "uncached", key)
+            if "cache" not in outcome.degraded:
+                outcome.degraded.append("cache")
+            return False
         return True
 
     # -- read ---------------------------------------------------------------
@@ -269,10 +288,11 @@ class RevealCache:
             with self._lock:
                 return self._memory.get(key)
         try:
+            faults.check("cache.read")
             with open(self._json_path(key), encoding="utf-8") as fh:
                 record = json.load(fh)
         except OSError:
-            return None  # absent entry: the ordinary miss
+            return None  # absent entry (or unreadable disk): a miss
         except ValueError:
             # Truncated write, disk damage, editor mishap — a corrupt
             # entry must read as a miss, never crash the batch.
@@ -291,9 +311,9 @@ class RevealCache:
         return record
 
     def _note_corrupt(self, key: str) -> None:
-        if self._warned_corrupt:
+        self.corrupt_entries += 1
+        if self.corrupt_entries > 1:
             return
-        self._warned_corrupt = True
         logger.warning(
             "reveal cache entry %s is corrupt; treating it (and any "
             "further corrupt entries) as misses", self._json_path(key)

@@ -26,7 +26,11 @@ cache hits entirely.
 * ``cluster`` events carrying the auto-labeling verdict of a finished
   reveal (family, known / near-miss method counts, nearest-known-method
   evidence from the :class:`~repro.cluster.labels.AutoLabeler`) when
-  the service runs with a ``cluster_dir``.
+  the service runs with a ``cluster_dir``;
+* ``degraded`` events naming the optional subsystems (index, cluster,
+  cache, predecode) a reveal had to bypass under the
+  graceful-degradation policy — published before the terminal event so
+  dashboards can flag reveals that succeeded at reduced fidelity.
 
 :class:`EventBus` fans events out two ways at once: *push* (observer
 callbacks, registered with :meth:`EventBus.add_observer`) and *pull*
@@ -58,6 +62,7 @@ EVENT_WAVE = "wave"
 EVENT_CACHE_HIT = "cache-hit"
 EVENT_INDEX = "index"
 EVENT_CLUSTER = "cluster"
+EVENT_DEGRADED = "degraded"
 EVENT_DONE = "done"
 EVENT_FAILED = "failed"
 EVENT_CANCELLED = "cancelled"
@@ -70,6 +75,7 @@ ALL_EVENTS = (
     EVENT_CACHE_HIT,
     EVENT_INDEX,
     EVENT_CLUSTER,
+    EVENT_DEGRADED,
     EVENT_DONE,
     EVENT_FAILED,
     EVENT_CANCELLED,

@@ -51,12 +51,14 @@ import collections
 import hashlib
 import json
 import os
+import socket
 import threading
 import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro import faults
 from repro.runtime.apk import Apk
 from repro.service.artifacts import ArtifactStore, is_artifact_digest
 from repro.service.events import (
@@ -272,6 +274,7 @@ class RevealGateway:
         index = {"apps_indexed": 0, "bodies_emitted": 0,
                  "bodies_replayed": 0}
         cluster = {"apps_labeled": 0, "labels_assigned": 0}
+        degraded: dict = {"reveals_degraded": 0, "by_subsystem": {}}
         for record in self.store.load_all():
             state = record.get("state")
             if state in counts:
@@ -293,12 +296,27 @@ class RevealGateway:
                 cluster["apps_labeled"] += 1
                 cluster["labels_assigned"] += cluster_stats.get(
                     "labels_assigned", 0)
+            # Degradation visibility: reveals that completed while
+            # bypassing a broken optional subsystem, per subsystem —
+            # the dashboard signal that an index/cluster/cache dir
+            # needs operator attention even though jobs still succeed.
+            subsystems = outcome.get("degraded") or []
+            if subsystems:
+                degraded["reveals_degraded"] += 1
+                for name in subsystems:
+                    degraded["by_subsystem"][name] = \
+                        degraded["by_subsystem"].get(name, 0) + 1
         return {
             "jobs": counts,
             "workers": self.store.worker_leases(),
             "artifacts": self.artifacts.stats(),
             "index": index,
             "cluster": cluster,
+            "degraded": degraded,
+            "store": {
+                "corrupt_records": self.store.corrupt_records,
+                "corrupt_event_lines": self.store.corrupt_event_lines,
+            },
             "uptime_s": round(time.time() - self.started_at, 3),
             "tenants": (sorted(set(self.tenants.values()))
                         if self.tenants else []),
@@ -340,6 +358,28 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._error(401, "missing or unknown bearer token")
         return tenant
 
+    def _inject_fault(self) -> bool:
+        """Chaos hook: apply one armed ``gateway.request`` fault at the
+        HTTP boundary.  ``True`` means the request was consumed (the
+        client saw a 5xx or a dead socket and is expected to retry);
+        delays fall through to normal handling."""
+        rule = faults.decide("gateway.request")
+        if rule is None:
+            return False
+        if rule.kind == faults.FAULT_DELAY:
+            time.sleep(rule.delay_s)
+            return False
+        if rule.kind == faults.FAULT_HTTP_500:
+            self._error(500, "injected fault")
+            return True
+        # Connection reset: drop the socket without any response.
+        self.close_connection = True
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        return True
+
     def _read_body(self) -> bytes | None:
         try:
             length = int(self.headers.get("Content-Length", "0"))
@@ -358,6 +398,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        if self._inject_fault():
+            return
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
         query = parse_qs(parsed.query)
@@ -380,6 +422,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._error(404, f"no route for GET {parsed.path}")
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        if self._inject_fault():
+            return
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
         tenant = self._tenant()

@@ -22,6 +22,15 @@ bytes grafted back on from the artifact store — so
 byte for byte.
 
 Transport is ``urllib.request`` (stdlib only, like the gateway).
+
+Transient failures — a connection refused while the gateway restarts,
+a 5xx, a socket timeout — are retried with capped exponential backoff
+and full jitter (:class:`~repro.service.retry.RetryPolicy`), but *only*
+for requests that are safe to repeat: every GET, and POSTs carrying an
+``Idempotency-Key`` header.  A non-idempotent POST is never retried —
+re-sending it could duplicate the job.  ``submit`` therefore stamps a
+fresh idempotency key on every call by default (``auto_idempotency``),
+which makes submission retry-safe end to end.
 """
 
 from __future__ import annotations
@@ -30,7 +39,9 @@ import json
 import time
 import urllib.error
 import urllib.request
+import uuid
 
+from repro import faults
 from repro.service.api import SubmitAPI
 from repro.service.batch import BatchRevealService
 from repro.service.events import JobEvent, events_from_frames
@@ -42,6 +53,7 @@ from repro.service.jobs import (
     resolve_priority,
 )
 from repro.service.outcomes import RevealOutcome
+from repro.service.retry import NO_RETRY, RetryPolicy, call_with_retries
 from repro.service.worker import ARTIFACT_REVEALED_APK
 
 
@@ -130,25 +142,66 @@ class GatewayClient(SubmitAPI):
     ``token`` is the tenant bearer token (omit against an anonymous
     gateway).  ``poll_interval_s`` paces ``wait``/``await_many``
     polling; ``request_timeout_s`` bounds every single HTTP call.
+    ``retry`` governs transient-failure retries for idempotent
+    requests (pass :data:`~repro.service.retry.NO_RETRY` to disable);
+    ``auto_idempotency`` stamps a fresh ``Idempotency-Key`` on every
+    ``submit`` so job submission is retry-safe.  ``retries`` counts
+    the retries this client has performed.
     """
 
     def __init__(self, base_url: str, *, token: str | None = None,
                  poll_interval_s: float = 0.2,
-                 request_timeout_s: float = 30.0) -> None:
+                 request_timeout_s: float = 30.0,
+                 retry: RetryPolicy | None = None,
+                 auto_idempotency: bool = True) -> None:
         self.base_url = base_url.rstrip("/")
         self.token = token
         self.poll_interval_s = poll_interval_s
         self.request_timeout_s = request_timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.auto_idempotency = auto_idempotency
+        #: Transient failures retried (and recovered from) so far.
+        self.retries = 0
         self._handles: dict[str, RemoteJobHandle] = {}
 
     # -- transport -----------------------------------------------------------
+
+    @staticmethod
+    def _transient(exc: Exception) -> bool:
+        """Is this failure worth retrying?  Server-side 5xx (the
+        gateway answered but could not serve) and socket-level OSErrors
+        (refused, reset, timed out) are; any 4xx is the caller's bug."""
+        if isinstance(exc, GatewayError):
+            return exc.status >= 500
+        return isinstance(exc, OSError)
 
     def _request(self, method: str, path: str, *,
                  body: bytes | None = None,
                  headers: dict | None = None,
                  stream: bool = False):
-        """One round trip; the parsed JSON (or the raw response object
-        with ``stream=True``).  Non-2xx raises :class:`GatewayError`."""
+        """One logical round trip; the parsed JSON (or the raw response
+        object with ``stream=True``).  Non-2xx raises
+        :class:`GatewayError`.  Transient failures are retried under
+        ``self.retry`` — but only when the request is idempotent: any
+        GET, or a POST carrying an ``Idempotency-Key`` header.  Other
+        POSTs get exactly one try."""
+        headers = dict(headers or {})
+        idempotent = method == "GET" or "Idempotency-Key" in headers
+        policy = self.retry if idempotent else NO_RETRY
+
+        def count(_exc, _attempt, _delay) -> None:
+            self.retries += 1
+
+        return call_with_retries(
+            lambda: self._request_once(method, path, body=body,
+                                       headers=headers, stream=stream),
+            policy=policy, retryable=self._transient, on_retry=count)
+
+    def _request_once(self, method: str, path: str, *,
+                      body: bytes | None = None,
+                      headers: dict | None = None,
+                      stream: bool = False):
+        faults.check("client.request")
         request = urllib.request.Request(
             self.base_url + path, data=body, method=method)
         if self.token:
@@ -177,12 +230,19 @@ class GatewayClient(SubmitAPI):
     def submit(self, job, *, priority: int | str = PRIORITY_NORMAL,
                idempotency_key: str | None = None,
                meta: dict | None = None, **kwargs) -> RemoteJobHandle:
-        """POST one job; returns its remote handle immediately."""
+        """POST one job; returns its remote handle immediately.
+
+        Without an explicit ``idempotency_key``, a fresh one is minted
+        per call (when ``auto_idempotency`` is on) so a retried POST
+        deduplicates server-side instead of enqueueing twice.
+        """
         if kwargs:
             raise TypeError(
                 f"unsupported submit options over HTTP: {sorted(kwargs)}")
         job = BatchRevealService._coerce(job)
         lane = resolve_priority(priority)
+        if idempotency_key is None and self.auto_idempotency:
+            idempotency_key = f"auto-{uuid.uuid4().hex}"
         envelope = {
             "app_id": job.app_id,
             "apk_b64": JobStore.encode_apk(job.apk),

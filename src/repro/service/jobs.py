@@ -62,6 +62,7 @@ import os
 import threading
 import time
 
+from repro import faults
 from repro.runtime.apk import Apk
 from repro.runtime.device import DeviceProfile
 from repro.service.outcomes import RevealOutcome
@@ -292,7 +293,10 @@ class JobStore:
     (``.tmp`` + ``os.replace``), so a server killed mid-write leaves
     either the old record or the new one, never a torn file.  Records
     the journal cannot parse are skipped on load — a corrupt entry
-    costs one job, not the queue.
+    costs one job, not the queue — and *counted* in
+    :attr:`corrupt_records` (torn event-journal lines likewise in
+    :attr:`corrupt_event_lines`), so an operator can tell a clean store
+    from one that has been shedding data.
     """
 
     def __init__(self, path: str, create: bool = True) -> None:
@@ -301,6 +305,12 @@ class JobStore:
         self.claims_dir = os.path.join(path, "claims")
         self.events_path = os.path.join(path, "events.jsonl")
         self._lock = threading.Lock()
+        #: Unparseable job records seen by this instance (zero-byte or
+        #: torn JSON; foreign versions are *not* corrupt, see
+        #: :meth:`foreign_version_jobs`).
+        self.corrupt_records = 0
+        #: Undecodable event-journal lines skipped by :meth:`events`.
+        self.corrupt_event_lines = 0
         # ``create=False`` opens for inspection only: status/watch CLIs
         # pointed at a mistyped path must not conjure a store skeleton
         # inside whatever directory happens to be there.
@@ -460,14 +470,34 @@ class JobStore:
         see ``FileExistsError`` and move to the next candidate.  The
         winner's generation lands in the record as ``lease_seq``; every
         later heartbeat/completion is fenced against it.
+
+        A claimant can die (or its store write can fail) *between*
+        taking the token and landing the lease write; the record then
+        still shows the old ``lease_seq``, so every later claim would
+        recompute the same generation and bounce off the orphaned token
+        forever.  Two recoveries close that hole: the token carries the
+        claimant's ``worker_id``, so the same worker retrying simply
+        finishes its own half-claim; and a *foreign* token whose lease
+        never landed within one TTL is stepped past to the next
+        generation (record-level fencing keeps a late riser harmless —
+        its heartbeat and completion lose to the newer ``lease_seq``).
         """
         now = time.time() if now is None else now
         job_id = record.get("job_id", "")
         if not job_id:
             return None
         generation = int(record.get("lease_seq", 0) or 0) + 1
-        if not self._take_token(f"{job_id}.{generation}"):
-            return None
+        while True:
+            token = f"{job_id}.{generation}"
+            if self._take_token(token, payload=worker_id):
+                break
+            if self._token_payload(token) == worker_id:
+                # Our own half-claim: the lease write crashed after the
+                # token landed.  Finish it now.
+                break
+            if not self._token_stale(token, lease_ttl_s, now=now):
+                return None
+            generation += 1
         return self.update(
             job_id,
             state=JobState.RUNNING,
@@ -539,7 +569,11 @@ class JobStore:
         reclaimed job rejects its previous owner), and the terminal
         write itself takes the once-only ``<job_id>.done`` claim token
         — so even two owners whose fence reads interleave resolve to a
-        single completion.
+        single completion.  The token records the generation that won
+        it, which makes a crashed completion *recoverable*: an owner
+        that took the token and then died before the record write finds
+        its own generation inside on retry and finishes the write,
+        while any other generation still bounces off.
         """
         if state not in JobState.TERMINAL:
             raise ValueError(f"not a terminal state: {state!r}")
@@ -553,8 +587,10 @@ class JobStore:
                 return False
             if not JobState.can_transition(record["state"], state):
                 return False
-            if not self._take_token(f"{job_id}.done"):
-                return False
+            if not self._take_token(f"{job_id}.done",
+                                    payload=str(lease_seq)):
+                if self._token_payload(f"{job_id}.done") != str(lease_seq):
+                    return False
             record["state"] = state
             record["finished_at"] = now
             record["outcome"] = outcome
@@ -620,8 +656,11 @@ class JobStore:
             })
         return leases
 
-    def _take_token(self, name: str) -> bool:
-        """Win (or lose) one exclusive claim token."""
+    def _take_token(self, name: str, payload: str = "") -> bool:
+        """Win (or lose) one exclusive claim token.  ``payload`` is a
+        breadcrumb stored inside (the ``.done`` token keeps the winning
+        generation there, see :meth:`complete_leased`)."""
+        faults.check("jobstore.claim.token")
         try:
             fd = os.open(os.path.join(self.claims_dir, name),
                          os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -637,8 +676,36 @@ class JobStore:
                              os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except OSError:
                 return False
+        if payload:
+            os.write(fd, payload.encode("utf-8"))
         os.close(fd)
         return True
+
+    def _token_payload(self, name: str) -> str:
+        """Breadcrumb inside an existing claim token ('' when absent or
+        unreadable — an empty read is treated as *not mine*, so a racer
+        that lost simply retries later)."""
+        try:
+            with open(os.path.join(self.claims_dir, name),
+                      encoding="utf-8") as fh:
+                return fh.read().strip()
+        except OSError:
+            return ""
+
+    def _token_stale(self, name: str, ttl_s: float, *,
+                     now: float | None = None) -> bool:
+        """True when an existing claim token outlived one lease TTL
+        without its lease write ever landing — the claimant died
+        between the token and the record stamp.  A live racer's token
+        is younger than that (its write lands within milliseconds), so
+        fresh tokens are never stale; a missing token is not stale
+        either (the loser just retries)."""
+        now = time.time() if now is None else now
+        try:
+            taken_at = os.path.getmtime(os.path.join(self.claims_dir, name))
+        except OSError:
+            return False
+        return now - taken_at > max(0.1, ttl_s)
 
     def foreign_version_jobs(self) -> list[tuple[str, object]]:
         """``(job_id, version)`` for parseable records this build cannot
@@ -670,7 +737,8 @@ class JobStore:
     def append_event(self, event_dict: dict) -> None:
         with self._lock:
             with open(self.events_path, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(event_dict) + "\n")
+                faults.append_line(fh, json.dumps(event_dict) + "\n",
+                                   site="jobstore.events.append")
 
     def events(self) -> list[dict]:
         """Every journalled event, ordered by bus sequence number.
@@ -690,6 +758,7 @@ class JobStore:
             try:
                 events.append(json.loads(line))
             except ValueError:
+                self.corrupt_event_lines += 1
                 continue
         # Timestamp first: sequence numbers restart at 0 with every
         # server process, so a journal spanning a restart would
@@ -740,7 +809,11 @@ class JobStore:
         try:
             with open(self._json_path(job_id), encoding="utf-8") as fh:
                 record = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
+            return None
+        except ValueError:
+            # Zero-byte or torn JSON: report, don't silently swallow.
+            self.corrupt_records += 1
             return None
         if record.get("version") != STORE_FORMAT_VERSION:
             return None
@@ -751,7 +824,5 @@ class JobStore:
             self._write_locked(job_id, record)
 
     def _write_locked(self, job_id: str, record: dict) -> None:
-        tmp = self._json_path(job_id) + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(record, fh)
-        os.replace(tmp, self._json_path(job_id))
+        faults.atomic_write_json(self._json_path(job_id), record,
+                                 site="jobstore.record.write")

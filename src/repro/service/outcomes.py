@@ -106,6 +106,11 @@ class RevealOutcome:
     * ``queue_wait_s`` — seconds the job sat queued before a worker
       started it (submit→start); 0.0 for direct ``reveal_one`` calls
       that never queued.  ``latency_s`` remains start→finish.
+    * ``degraded`` — names of optional subsystems (``index``,
+      ``cluster``, ``cache``, ``predecode``) that were unavailable or
+      corrupt during this reveal and were bypassed under the
+      graceful-degradation policy.  Empty for a fully-provisioned run;
+      a non-empty list never changes ``status`` (that is the point).
     * ``cache_key`` — content-addressed key the record is stored under.
     * ``result`` — the live :class:`RevealResult` when the pipeline ran
       in-process; ``None`` for disk-cache hits and process workers.
@@ -126,6 +131,7 @@ class RevealOutcome:
     index_stats: dict = field(default_factory=dict)
     cluster_stats: dict = field(default_factory=dict)
     queue_wait_s: float = 0.0
+    degraded: list = field(default_factory=list)
     cache_key: str = ""
     result: RevealResult | None = None
     revealed_apk_bytes: bytes | None = None
@@ -173,6 +179,7 @@ class RevealOutcome:
             index_stats=dict(summary.get("index_stats") or {}),
             cluster_stats=dict(summary.get("cluster_stats") or {}),
             queue_wait_s=float(summary.get("queue_wait_s", 0.0) or 0.0),
+            degraded=list(summary.get("degraded") or []),
             cache_key=summary.get("cache_key", "") or "",
             revealed_apk_bytes=revealed_apk_bytes,
         )
@@ -195,5 +202,6 @@ class RevealOutcome:
             "index_stats": self.index_stats,
             "cluster_stats": self.cluster_stats,
             "queue_wait_s": round(self.queue_wait_s, 6),
+            "degraded": list(self.degraded),
             "cache_key": self.cache_key,
         }

@@ -1,0 +1,96 @@
+"""Bounded retry with capped exponential backoff and full jitter.
+
+One policy object shared by everything that retries: the
+:class:`~repro.service.http_client.GatewayClient` (idempotent requests
+only) and the :class:`~repro.service.worker.RevealWorker` claim /
+heartbeat loop.  Full jitter (delay drawn uniformly from
+``[0, min(max, base * 2**attempt)]``) decorrelates a fleet hammering a
+recovering store; the ``rng`` injection point makes delays
+deterministic under test.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+_module_rng = random.Random()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many tries, and how long to wait between them.
+
+    ``attempts`` counts *total* tries including the first; ``1`` means
+    no retries.  ``jitter=False`` makes :meth:`delay_for` return the
+    cap itself — useful when a test asserts exact sleep sequences.
+    """
+
+    attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: bool = True
+
+    def delay_for(self, attempt: int, rng=None) -> float:
+        """Backoff before retry number ``attempt`` (0-based: the delay
+        after the first failure is ``delay_for(0)``)."""
+        cap = min(self.max_delay_s, self.base_delay_s * (2 ** attempt))
+        if not self.jitter:
+            return cap
+        return (rng or _module_rng).uniform(0.0, cap)
+
+
+#: Single-try policy: behave exactly like unhardened code.
+NO_RETRY = RetryPolicy(attempts=1)
+
+
+def call_with_retries(fn, *, policy: RetryPolicy, retryable,
+                      sleep=time.sleep, on_retry=None, rng=None):
+    """Call ``fn()`` up to ``policy.attempts`` times.
+
+    ``retryable(exc)`` decides whether a failure is transient; a final
+    or non-transient failure re-raises.  ``on_retry(exc, attempt,
+    delay)`` fires before each backoff sleep — callers use it to count
+    retries in their reports.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as exc:
+            if attempt + 1 >= policy.attempts or not retryable(exc):
+                raise
+            delay = policy.delay_for(attempt, rng)
+            if on_retry is not None:
+                on_retry(exc, attempt, delay)
+            sleep(delay)
+            attempt += 1
+
+
+class Backoff:
+    """Stateful backoff for a long-lived loop (the worker's claim
+    loop): consecutive failures escalate the delay, one success resets
+    it.  Unlike :func:`call_with_retries` there is no attempt cap — a
+    fleet worker backs off and *resumes*, it does not die."""
+
+    def __init__(self, policy: RetryPolicy | None = None, rng=None) -> None:
+        self.policy = policy or RetryPolicy()
+        self._rng = rng
+        self._failures = 0
+        #: Total seconds this backoff has asked callers to sleep.
+        self.total_delay_s = 0.0
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    def next_delay(self) -> float:
+        """Delay for the latest failure (escalates each call)."""
+        delay = self.policy.delay_for(self._failures, self._rng)
+        self._failures += 1
+        self.total_delay_s += delay
+        return delay
+
+    def reset(self) -> None:
+        self._failures = 0

@@ -43,6 +43,7 @@ from repro.service.batch import BatchRevealService, RevealJob
 from repro.service.events import (
     EVENT_CACHE_HIT,
     EVENT_CANCELLED,
+    EVENT_DEGRADED,
     EVENT_DONE,
     EVENT_CLUSTER,
     EVENT_FAILED,
@@ -530,6 +531,12 @@ class RevealServer(SubmitAPI):
             # started → index → cluster → done.
             self.bus.publish(EVENT_CLUSTER, job_id, job.app_id,
                              payload=dict(outcome.cluster_stats))
+        if outcome.degraded:
+            # Degradations also ride pre-terminal, so a dashboard sees
+            # what this reveal bypassed before it sees the outcome.
+            self.bus.publish(EVENT_DEGRADED, job_id, job.app_id,
+                             payload={"subsystems":
+                                      list(outcome.degraded)})
         if not self.keep_results:
             outcome.result = None
             outcome.revealed_apk_bytes = None

@@ -26,6 +26,7 @@ is what the gateway's ``/events`` endpoint and ``watch`` CLI tail.
 from __future__ import annotations
 
 import io
+import logging
 import os
 import socket
 import tempfile
@@ -35,11 +36,13 @@ import uuid
 import zipfile
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.service.artifacts import ArtifactStore
 from repro.service.batch import BatchRevealService, RevealJob
 from repro.service.events import (
     EVENT_CACHE_HIT,
     EVENT_CANCELLED,
+    EVENT_DEGRADED,
     EVENT_DONE,
     EVENT_FAILED,
     EVENT_INDEX,
@@ -56,7 +59,10 @@ from repro.service.jobs import (
     JobStore,
 )
 from repro.service.outcomes import STATUS_ERROR, RevealOutcome
+from repro.service.retry import Backoff, RetryPolicy, call_with_retries
 from repro.service.server import FAILED_STATUSES
+
+logger = logging.getLogger(__name__)
 
 #: Artifact kinds a worker stores per successful reveal, keyed in the
 #: record's ``artifacts`` map: the repacked APK, the revealed primary
@@ -75,7 +81,13 @@ def default_worker_id() -> str:
 
 @dataclass
 class WorkerReport:
-    """What one :meth:`RevealWorker.run` drained, for CLIs and tests."""
+    """What one :meth:`RevealWorker.run` drained, for CLIs and tests.
+
+    ``transient_errors`` counts store failures the claim loop absorbed
+    (backed off and resumed instead of dying); ``retries`` counts
+    bounded complete/artifact retries that recovered; ``backoff_s`` is
+    the total time spent sleeping on either.
+    """
 
     worker_id: str
     processed: int = 0
@@ -83,6 +95,9 @@ class WorkerReport:
     failed: int = 0
     cancelled: int = 0
     lost: int = 0
+    transient_errors: int = 0
+    retries: int = 0
+    backoff_s: float = 0.0
     job_ids: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
@@ -93,6 +108,9 @@ class WorkerReport:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "lost": self.lost,
+            "transient_errors": self.transient_errors,
+            "retries": self.retries,
+            "backoff_s": round(self.backoff_s, 6),
             "job_ids": list(self.job_ids),
         }
 
@@ -106,6 +124,12 @@ class _HeartbeatThread(threading.Thread):
     worker abandons the job; its completion would be fenced off
     anyway).  A lost lease stops the beats — there is nothing left to
     extend.
+
+    A beat that fails at the store level (shared mount flaking, an
+    injected fault) is *transient*: it is counted and the next beat
+    retries at the normal interval — beats fire every ``ttl/3``, so a
+    single missed beat leaves two more chances before the lease
+    expires.
     """
 
     def __init__(self, store: JobStore, job_id: str, lease_seq: int,
@@ -118,12 +142,18 @@ class _HeartbeatThread(threading.Thread):
         self._halt = threading.Event()
         self.cancelled = threading.Event()
         self.lost = threading.Event()
+        self.transient_errors = 0
 
     def run(self) -> None:
         interval = max(0.05, self._ttl / 3.0)
         while not self._halt.wait(interval):
-            result = self._store.heartbeat(self._job_id, self._lease_seq,
-                                           lease_ttl_s=self._ttl)
+            try:
+                faults.check("worker.heartbeat")
+                result = self._store.heartbeat(
+                    self._job_id, self._lease_seq, lease_ttl_s=self._ttl)
+            except OSError:
+                self.transient_errors += 1
+                continue
             if result == HEARTBEAT_LOST:
                 self.lost.set()
                 return
@@ -160,6 +190,7 @@ class RevealWorker:
         poll_interval_s: float = 0.2,
         artifact_store: ArtifactStore | str | None = None,
         keep_results: bool = False,
+        retry: RetryPolicy | None = None,
         **service_kwargs,
     ) -> None:
         if service is not None and service_kwargs:
@@ -179,6 +210,10 @@ class RevealWorker:
                           if isinstance(artifact_store, str)
                           else artifact_store)
         self.keep_results = keep_results
+        #: Bounded-retry policy for the store writes that must land for
+        #: a job to resolve (artifacts, completion); the claim loop
+        #: uses the same policy's curve, uncapped, via a Backoff.
+        self.retry = retry if retry is not None else RetryPolicy()
         self.bus = EventBus()
         store_ref = self.store
         self.bus.add_observer(
@@ -199,13 +234,32 @@ class RevealWorker:
         drains (a daemonised fleet member uses a large value; tests and
         one-shot CLIs use 0 for "drain and exit").  ``max_jobs`` bounds
         the total processed.
+
+        A store that stops answering (shared mount flake, injected
+        fault) does not kill the loop: the failure is counted in the
+        report, the worker backs off with escalating jittered delays,
+        and the next success resets the backoff.
         """
         report = WorkerReport(worker_id=self.worker_id)
+        backoff = Backoff(self.retry)
         deadline = time.monotonic() + linger_s
         while not self._stop.is_set():
             if max_jobs is not None and report.processed >= max_jobs:
                 break
-            status = self.run_one()
+            try:
+                status = self.run_one(report=report)
+            except OSError as exc:
+                report.transient_errors += 1
+                delay = backoff.next_delay()
+                report.backoff_s += delay
+                if backoff.failures == 1:
+                    logger.warning(
+                        "worker %s: store unavailable (%s); backing off",
+                        self.worker_id, exc)
+                deadline = max(deadline, time.monotonic() + linger_s)
+                self._stop.wait(delay)
+                continue
+            backoff.reset()
             if status is not None:
                 report.processed += 1
                 report.job_ids.append(status[1])
@@ -220,24 +274,29 @@ class RevealWorker:
 
     # -- one job ------------------------------------------------------------
 
-    def run_one(self) -> tuple[str, str] | None:
+    def run_one(self, report: WorkerReport | None = None
+                ) -> tuple[str, str] | None:
         """Claim and finish one job; ``(disposition, job_id)`` where
         disposition is ``done``/``failed``/``cancelled``/``lost``, or
         ``None`` when nothing was claimable."""
+        faults.check("worker.claim")
         record = self.store.claim_next(self.worker_id,
                                        lease_ttl_s=self.lease_ttl_s)
         if record is None:
             return None
         job_id = record["job_id"]
         lease_seq = int(record.get("lease_seq", 0) or 0)
-        return (self._process(record, job_id, lease_seq), job_id)
+        return (self._process(record, job_id, lease_seq, report=report),
+                job_id)
 
-    def _process(self, record: dict, job_id: str, lease_seq: int) -> str:
+    def _process(self, record: dict, job_id: str, lease_seq: int,
+                 report: WorkerReport | None = None) -> str:
         app_id = record.get("app_id", "")
         # A cancel requested while the record sat lease-expired is
         # honoured before any pipeline work.
         if record.get("cancel_requested"):
-            return self._finish_cancelled(job_id, lease_seq, app_id)
+            return self._finish_cancelled(job_id, lease_seq, app_id,
+                                          report=report)
         try:
             job = RevealJob(
                 app_id=record["app_id"],
@@ -247,9 +306,9 @@ class RevealWorker:
                 cache_salt=record.get("cache_salt", ""),
             )
         except Exception:
-            landed = self.store.complete_leased(
-                job_id, lease_seq, state=JobState.FAILED,
-                error="unreadable job record")
+            landed = self._complete(report, job_id, lease_seq,
+                                    state=JobState.FAILED,
+                                    error="unreadable job record")
             if not landed:
                 return "lost"
             self.bus.publish(EVENT_FAILED, job_id, app_id,
@@ -276,20 +335,33 @@ class RevealWorker:
             )
         finally:
             beat.stop()
+            if report is not None:
+                report.transient_errors += beat.transient_errors
         outcome.queue_wait_s = queue_wait_s
         if beat.lost.is_set():
             # Another worker owns the job now; our result is discarded
             # (its completion would be fenced off regardless).
             return "lost"
         if beat.cancelled.is_set():
-            return self._finish_cancelled(job_id, lease_seq, job.app_id)
+            return self._finish_cancelled(job_id, lease_seq, job.app_id,
+                                          report=report)
         if outcome.index_stats:
             self.bus.publish(EVENT_INDEX, job_id, job.app_id,
                              payload=dict(outcome.index_stats))
-        digests = self._store_artifacts(outcome)
+        if outcome.degraded:
+            self.bus.publish(EVENT_DEGRADED, job_id, job.app_id,
+                             payload={"subsystems": list(outcome.degraded),
+                                      "worker_id": self.worker_id})
+        # Artifact puts are content-addressed, so retrying them is
+        # idempotent; a re-run by another worker after a lost lease
+        # lands the same digests.
+        digests = call_with_retries(
+            lambda: self._store_artifacts(outcome),
+            policy=self.retry, retryable=self._transient,
+            on_retry=self._counter(report))
         failed = outcome.status in FAILED_STATUSES
-        landed = self.store.complete_leased(
-            job_id, lease_seq,
+        landed = self._complete(
+            report, job_id, lease_seq,
             state=JobState.FAILED if failed else JobState.DONE,
             outcome=outcome.to_summary(),
             error=outcome.error,
@@ -304,10 +376,38 @@ class RevealWorker:
                          job_id, job.app_id, payload=payload)
         return "failed" if failed else "done"
 
+    @staticmethod
+    def _transient(exc: Exception) -> bool:
+        return isinstance(exc, OSError)
+
+    def _counter(self, report: WorkerReport | None):
+        """An ``on_retry`` callback accounting into ``report``."""
+        def count(_exc, _attempt, delay: float) -> None:
+            if report is not None:
+                report.retries += 1
+                report.backoff_s += delay
+        return count
+
+    def _complete(self, report: WorkerReport | None, job_id: str,
+                  lease_seq: int, **kwargs) -> bool:
+        """``complete_leased`` under bounded retry — the one write that
+        must land for a job to resolve.  Retrying is safe: the store's
+        done-token records the winning lease generation, so this owner
+        recovers its own half-finished completion, while a different
+        generation's attempt is fenced off."""
+        def once() -> bool:
+            faults.check("worker.complete")
+            return self.store.complete_leased(job_id, lease_seq, **kwargs)
+
+        return call_with_retries(once, policy=self.retry,
+                                 retryable=self._transient,
+                                 on_retry=self._counter(report))
+
     def _finish_cancelled(self, job_id: str, lease_seq: int,
-                          app_id: str) -> str:
-        landed = self.store.complete_leased(
-            job_id, lease_seq, state=JobState.CANCELLED)
+                          app_id: str,
+                          report: WorkerReport | None = None) -> str:
+        landed = self._complete(report, job_id, lease_seq,
+                                state=JobState.CANCELLED)
         if not landed:
             return "lost"
         self.bus.publish(EVENT_CANCELLED, job_id, app_id,

@@ -1,0 +1,188 @@
+"""Graceful degradation: a reveal must never fail because an optional
+subsystem (index, cluster, cache, predecode index) is corrupt,
+foreign-versioned or unavailable — it degrades, warns once, and stamps
+the outcome."""
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.core import (
+    CollectionArchive,
+    DexLego,
+    DexLegoCollector,
+    RevealConfig,
+    reveal_from_archive,
+)
+from repro.faults import FAULT_OS_ERROR, FaultPlan, FaultRule
+from repro.service import (
+    EVENT_DEGRADED,
+    STATUS_OK,
+    JobStore,
+    RevealCache,
+    RevealGateway,
+    RevealServer,
+    RevealOutcome,
+)
+from repro.service.batch import BatchRevealService, RevealJob
+
+from tests.conftest import build_simple_apk
+
+
+def _foreign_index_dir(tmp_path, name="index") -> str:
+    directory = tmp_path / name
+    directory.mkdir()
+    (directory / "index_meta.json").write_text(
+        json.dumps({"version": 999}))
+    return str(directory)
+
+
+def _foreign_cluster_dir(tmp_path, name="cluster") -> str:
+    directory = tmp_path / name
+    directory.mkdir()
+    (directory / "cluster_meta.json").write_text("{definitely not json")
+    return str(directory)
+
+
+class TestServiceDegrades:
+    def test_foreign_index_degrades_not_fails(self, tmp_path, caplog):
+        service = BatchRevealService(
+            index_dir=_foreign_index_dir(tmp_path), workers=1)
+        with caplog.at_level("WARNING"):
+            outcome = service.reveal_one(
+                RevealJob(app_id="a", apk=build_simple_apk("deg.index")))
+        assert outcome.status == STATUS_OK
+        assert outcome.degraded == ["index"]
+        assert outcome.index_stats == {}
+        reasons = service.degraded_subsystems()
+        assert "ValueError" in reasons["index"]
+        warnings = [r for r in caplog.records
+                    if "index unavailable" in r.getMessage()]
+        assert len(warnings) == 1
+        # A second reveal does not retry (or re-warn about) the open.
+        service.reveal_one(
+            RevealJob(app_id="b", apk=build_simple_apk("deg.index2")))
+        warnings = [r for r in caplog.records
+                    if "index unavailable" in r.getMessage()]
+        assert len(warnings) == 1
+
+    def test_corrupt_cluster_degrades_not_fails(self, tmp_path):
+        service = BatchRevealService(
+            cluster_dir=_foreign_cluster_dir(tmp_path), workers=1)
+        outcome = service.reveal_one(
+            RevealJob(app_id="a", apk=build_simple_apk("deg.cluster")))
+        assert outcome.status == STATUS_OK
+        assert outcome.degraded == ["cluster"]
+        assert outcome.cluster_stats == {}
+
+    def test_multiple_degradations_are_sorted(self, tmp_path):
+        service = BatchRevealService(
+            index_dir=_foreign_index_dir(tmp_path),
+            cluster_dir=_foreign_cluster_dir(tmp_path), workers=1)
+        outcome = service.reveal_one(
+            RevealJob(app_id="a", apk=build_simple_apk("deg.both")))
+        assert outcome.status == STATUS_OK
+        assert outcome.degraded == ["cluster", "index"]
+
+    def test_degraded_round_trips_through_summary(self):
+        outcome = RevealOutcome(app_id="a", status=STATUS_OK,
+                                degraded=["cache", "index"])
+        summary = outcome.to_summary()
+        assert summary["degraded"] == ["cache", "index"]
+        assert RevealOutcome.from_summary(summary).degraded == \
+               ["cache", "index"]
+
+
+class TestPredecodeDegrades:
+    def _warm_archive(self, tmp_path) -> str:
+        archive = CollectionArchive.from_collector(DexLegoCollector())
+        archive.set_predecode_index({"version": 7, "methods": []})
+        directory = str(tmp_path / "warm")
+        archive.save(directory)
+        return directory
+
+    def test_strict_load_still_raises(self, tmp_path):
+        directory = self._warm_archive(tmp_path)
+        with pytest.raises(ValueError):
+            CollectionArchive.load(directory)
+
+    def test_non_strict_drops_predecode_and_notes_it(self, tmp_path):
+        directory = self._warm_archive(tmp_path)
+        archive = CollectionArchive.load(directory, strict=False)
+        assert archive.predecode_index() is None
+
+    def test_pipeline_notes_predecode_degradation(self, tmp_path):
+        directory = self._warm_archive(tmp_path)
+        lego = DexLego()
+        with pytest.raises(ValueError):
+            lego.reveal_from_archive(directory)  # strict by default
+        result = lego.reveal_from_archive(directory, strict=False)
+        assert result is not None
+        assert "predecode" in lego.pipeline.degraded
+
+    def test_module_entry_point_passes_strict(self, tmp_path):
+        directory = self._warm_archive(tmp_path)
+        with pytest.raises(ValueError):
+            reveal_from_archive(directory)
+        assert reveal_from_archive(directory, strict=False) is not None
+
+
+class TestCacheDegrades:
+    def test_failed_cache_write_degrades_not_fails(self, tmp_path):
+        cache = RevealCache(str(tmp_path / "cache"))
+        outcome = RevealOutcome(app_id="a", status=STATUS_OK)
+        plan = FaultPlan([FaultRule("cache.write", FAULT_OS_ERROR,
+                                    times=10)])
+        with faults.armed(plan):
+            admitted = cache.put("key", outcome)
+        assert admitted is False
+        assert cache.write_failures == 1
+        assert outcome.degraded == ["cache"]
+        # The entry is simply absent; the next run recomputes.
+        assert cache.get("key") is None
+
+
+class TestDegradedEvents:
+    def test_server_publishes_degraded_before_terminal(self, tmp_path):
+        config = RevealConfig(index_dir=_foreign_index_dir(tmp_path))
+        with RevealServer(config=config, workers=1) as server:
+            stream = server.bus.subscribe()
+            handle = server.submit(build_simple_apk("deg.events"))
+            outcome = handle.wait(timeout=120)
+            assert outcome is not None and outcome.degraded == ["index"]
+            kinds = []
+            while True:
+                event = stream.next(timeout=5)
+                assert event is not None, "terminal event never arrived"
+                kinds.append(event.kind)
+                if event.terminal:
+                    break
+            assert EVENT_DEGRADED in kinds
+            assert kinds.index(EVENT_DEGRADED) < len(kinds) - 1
+            degraded = [e for e in server.bus.history
+                        if e.kind == EVENT_DEGRADED]
+            assert degraded[0].payload["subsystems"] == ["index"]
+
+
+class TestGatewayStats:
+    def test_stats_count_degraded_reveals(self, tmp_path):
+        store = JobStore(str(tmp_path / "store"))
+        apk = build_simple_apk("deg.stats")
+        for job_id, subsystems in (("j1", ["index"]),
+                                   ("j2", ["cluster", "index"]),
+                                   ("j3", [])):
+            record = store.make_record(job_id=job_id, app_id=job_id,
+                                       apk=apk)
+            record["state"] = "done"
+            record["outcome"] = {"app_id": job_id, "status": STATUS_OK,
+                                 "degraded": subsystems}
+            store.save(record)
+        gateway = RevealGateway(store)
+        stats = gateway.stats()
+        assert stats["degraded"]["reveals_degraded"] == 2
+        assert stats["degraded"]["by_subsystem"] == {"index": 2,
+                                                     "cluster": 1}
+        assert stats["store"] == {"corrupt_records": 0,
+                                  "corrupt_event_lines": 0}

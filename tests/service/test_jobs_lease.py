@@ -1,7 +1,13 @@
 """JobStore worker leases: claims, heartbeats, fencing, exactly-once."""
 
+import os
 import threading
+import time
 
+import pytest
+
+from repro import faults
+from repro.faults import FAULT_OS_ERROR, FaultPlan, FaultRule
 from repro.service import (
     HEARTBEAT_CANCELLED,
     HEARTBEAT_LOST,
@@ -217,6 +223,48 @@ class TestExactlyOnce:
             pass
         else:
             raise AssertionError("non-terminal state must be rejected")
+
+
+class TestHalfClaimRecovery:
+    """A claimant that dies between its token and its lease write must
+    not park the record forever."""
+
+    def test_same_worker_finishes_its_own_half_claim(self, tmp_path):
+        store = _store(tmp_path)
+        _queue(store, "j1")
+        plan = FaultPlan([FaultRule("jobstore.record.write",
+                                    FAULT_OS_ERROR, times=1)])
+        with faults.armed(plan):
+            with pytest.raises(OSError):
+                store.claim_next("w1")
+            # The retry (the worker loop's backoff path) walks straight
+            # back into its own token and lands the lease write.
+            claimed = store.claim_next("w1")
+        assert claimed is not None
+        assert claimed["job_id"] == "j1"
+        assert claimed["lease_seq"] == 1
+        assert claimed["attempts"] == 1
+
+    def test_stale_foreign_half_claim_is_stepped_past(self, tmp_path):
+        store = _store(tmp_path)
+        _queue(store, "j1")
+        # A foreign claimant took generation 1's token and died before
+        # its lease write; backdate the token past one TTL.
+        assert store._take_token("j1.1", payload="dead-worker")
+        token = os.path.join(store.claims_dir, "j1.1")
+        os.utime(token, (time.time() - 60.0, time.time() - 60.0))
+        claimed = store.claim_next("w2", lease_ttl_s=5.0)
+        assert claimed is not None
+        assert claimed["lease_seq"] == 2
+        assert claimed["lease"]["worker_id"] == "w2"
+
+    def test_fresh_foreign_token_is_not_stolen(self, tmp_path):
+        # A *live* racer's token (its lease write is in flight) must
+        # still win: the loser backs off instead of escalating.
+        store = _store(tmp_path)
+        _queue(store, "j1")
+        assert store._take_token("j1.1", payload="other-worker")
+        assert store.claim_next("w2", lease_ttl_s=5.0) is None
 
 
 class TestCancelAndVisibility:

@@ -1,0 +1,218 @@
+"""RetryPolicy / Backoff semantics and the client idempotency rules."""
+
+import random
+
+import pytest
+
+from repro import faults
+from repro.faults import FAULT_CONN_RESET, FaultPlan, FaultRule
+from repro.service import GatewayClient, GatewayError
+from repro.service.retry import (
+    NO_RETRY,
+    Backoff,
+    RetryPolicy,
+    call_with_retries,
+)
+
+
+class TestRetryPolicy:
+    def test_delay_caps_and_doubles_without_jitter(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5,
+                             jitter=False)
+        assert [policy.delay_for(a) for a in range(4)] == \
+               [0.1, 0.2, 0.4, 0.5]
+
+    def test_full_jitter_draws_inside_the_cap(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=2.0)
+        rng = random.Random(1)
+        for attempt in range(6):
+            cap = min(2.0, 0.1 * 2 ** attempt)
+            for _ in range(50):
+                assert 0.0 <= policy.delay_for(attempt, rng) <= cap
+
+    def test_call_with_retries_recovers_transient_failures(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionResetError("transient")
+            return "ok"
+
+        result = call_with_retries(
+            flaky, policy=RetryPolicy(attempts=4, jitter=False,
+                                      base_delay_s=0.01),
+            retryable=lambda exc: isinstance(exc, OSError),
+            sleep=sleeps.append)
+        assert result == "ok"
+        assert len(calls) == 3
+        assert sleeps == [0.01, 0.02]
+
+    def test_non_transient_raises_immediately(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise ValueError("caller bug")
+
+        with pytest.raises(ValueError):
+            call_with_retries(fatal, policy=RetryPolicy(attempts=5),
+                              retryable=lambda e: isinstance(e, OSError),
+                              sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_attempts_bound_the_total_tries(self):
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            call_with_retries(always_down,
+                              policy=RetryPolicy(attempts=3, jitter=False,
+                                                 base_delay_s=0.0),
+                              retryable=lambda e: True,
+                              sleep=lambda _s: None)
+        assert len(calls) == 3
+
+    def test_on_retry_counts_every_recovery_attempt(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("x")
+            return True
+
+        call_with_retries(flaky,
+                          policy=RetryPolicy(attempts=4, jitter=False,
+                                             base_delay_s=0.0),
+                          retryable=lambda e: True,
+                          on_retry=lambda e, a, d: seen.append((a, d)),
+                          sleep=lambda _s: None)
+        assert [a for a, _d in seen] == [0, 1]
+
+    def test_no_retry_is_one_shot(self):
+        assert NO_RETRY.attempts == 1
+
+
+class TestBackoff:
+    def test_escalates_then_resets(self):
+        backoff = Backoff(RetryPolicy(base_delay_s=0.1, max_delay_s=1.0,
+                                      jitter=False))
+        assert backoff.next_delay() == 0.1
+        assert backoff.next_delay() == 0.2
+        assert backoff.failures == 2
+        backoff.reset()
+        assert backoff.next_delay() == 0.1
+        assert backoff.total_delay_s == pytest.approx(0.4)
+
+
+class _FakeTransport:
+    """Patchable stand-in for GatewayClient._request_once."""
+
+    def __init__(self, failures, exc_factory):
+        self.failures = failures
+        self.exc_factory = exc_factory
+        self.calls = []
+
+    def __call__(self, method, path, *, body=None, headers=None,
+                 stream=False):
+        self.calls.append((method, path))
+        if len(self.calls) <= self.failures:
+            raise self.exc_factory()
+        return {"ok": True}
+
+
+class TestClientIdempotency:
+    def _client(self, transport, **kwargs):
+        kwargs.setdefault("retry", RetryPolicy(attempts=3, jitter=False,
+                                               base_delay_s=0.0))
+        client = GatewayClient("http://test.invalid", **kwargs)
+        client._request_once = transport
+        return client
+
+    def test_get_retries_transient_oserror(self):
+        transport = _FakeTransport(2, lambda: ConnectionResetError("rst"))
+        client = self._client(transport)
+        assert client._request("GET", "/v1/stats") == {"ok": True}
+        assert len(transport.calls) == 3
+        assert client.retries == 2
+
+    def test_get_retries_5xx_but_not_4xx(self):
+        transport = _FakeTransport(1, lambda: GatewayError(503, "busy"))
+        client = self._client(transport)
+        assert client._request("GET", "/v1/stats") == {"ok": True}
+        assert client.retries == 1
+
+        transport = _FakeTransport(5, lambda: GatewayError(404, "gone"))
+        client = self._client(transport)
+        with pytest.raises(GatewayError):
+            client._request("GET", "/v1/jobs/nope")
+        assert len(transport.calls) == 1
+
+    def test_post_without_idempotency_key_is_never_retried(self):
+        transport = _FakeTransport(1, lambda: OSError("reset"))
+        client = self._client(transport)
+        with pytest.raises(OSError):
+            client._request("POST", "/v1/jobs", body=b"{}")
+        assert len(transport.calls) == 1
+        assert client.retries == 0
+
+    def test_post_with_idempotency_key_is_retried(self):
+        transport = _FakeTransport(2, lambda: OSError("reset"))
+        client = self._client(transport)
+        data = client._request("POST", "/v1/jobs", body=b"{}",
+                               headers={"Idempotency-Key": "k1"})
+        assert data == {"ok": True}
+        assert len(transport.calls) == 3
+
+    def test_injected_client_faults_are_transparent_to_retry(self):
+        # A conn-reset armed at the client.request site is retried away
+        # like the real thing.
+        plan = FaultPlan([FaultRule("client.request", FAULT_CONN_RESET)])
+        calls = []
+
+        def transport(method, path, *, body=None, headers=None,
+                      stream=False):
+            calls.append(path)
+            return {"ok": True}
+
+        client = self._client(transport)
+        real_once = GatewayClient._request_once
+
+        def faulted(method, path, **kwargs):
+            faults.check("client.request")
+            return transport(method, path, **kwargs)
+
+        client._request_once = faulted
+        with faults.armed(plan):
+            assert client._request("GET", "/x") == {"ok": True}
+        assert client.retries == 1
+        assert real_once is GatewayClient._request_once  # untouched
+
+    def test_submit_mints_an_idempotency_key_by_default(self):
+        captured = {}
+
+        def transport(method, path, *, body=None, headers=None,
+                      stream=False):
+            captured["headers"] = dict(headers or {})
+            return {"job_id": "job-1", "deduplicated": False}
+
+        from tests.conftest import build_simple_apk
+        from repro.service.batch import RevealJob
+
+        client = GatewayClient("http://test.invalid")
+        client._request_once = transport
+        client.submit(RevealJob(app_id="a",
+                                apk=build_simple_apk("retry.auto")))
+        assert captured["headers"].get("Idempotency-Key", "") \
+            .startswith("auto-")
+
+        client = GatewayClient("http://test.invalid",
+                               auto_idempotency=False)
+        client._request_once = transport
+        client.submit(RevealJob(app_id="a",
+                                apk=build_simple_apk("retry.noauto")))
+        assert "Idempotency-Key" not in captured["headers"]
